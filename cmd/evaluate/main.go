@@ -1,0 +1,170 @@
+// Command evaluate reproduces the paper's evaluation (§5): it runs the
+// benchmark corpus under the selected memory models, unroll bounds and
+// decision strategies and prints Table 1, Table 2, Table 3 and the data
+// behind Figures 6-11 (per-task scatter, per-subcategory times).
+//
+// Usage:
+//
+//	evaluate [-models sc,tso,pso] [-bounds 1,2,3] [-timeout 10s]
+//	         [-sub wmm,pthread] [-table all|1|2|3] [-figure all|6..11]
+//	         [-out results/] [-width 8] [-seed 1] [-progress]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"zpre/internal/harness"
+	"zpre/internal/memmodel"
+)
+
+func main() {
+	var (
+		modelsFlag = flag.String("models", "sc,tso,pso", "comma-separated memory models")
+		boundsFlag = flag.String("bounds", "1,2,3", "comma-separated unroll bounds")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-task solve timeout")
+		subFlag    = flag.String("sub", "", "restrict to comma-separated subcategories")
+		tableFlag  = flag.String("table", "all", "which table to print: all, 1, 2, 3, none")
+		figFlag    = flag.String("figure", "all", "which figure data to print: all, 6..11, none")
+		outDir     = flag.String("out", "", "directory for CSV dumps (optional)")
+		width      = flag.Int("width", 8, "program integer bit width")
+		seed       = flag.Int64("seed", 1, "random-polarity seed")
+		progress   = flag.Bool("progress", false, "print per-task progress")
+		parallel   = flag.Int("parallel", 1, "worker goroutines (1 = faithful per-task timing)")
+		checked    = flag.Bool("checked", false, "independently validate every verdict (proofs + witnesses)")
+		jsonOut    = flag.String("json", "", "write the full result set as JSON to this file")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{
+		Timeout:       *timeout,
+		Width:         *width,
+		Seed:          *seed,
+		Parallel:      *parallel,
+		CheckVerdicts: *checked,
+	}
+	for _, name := range strings.Split(*modelsFlag, ",") {
+		mm, ok := memmodel.Parse(strings.TrimSpace(name))
+		if !ok {
+			fatalf("unknown memory model %q", name)
+		}
+		cfg.Models = append(cfg.Models, mm)
+	}
+	for _, b := range strings.Split(*boundsFlag, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(b))
+		if err != nil || k < 1 {
+			fatalf("bad bound %q", b)
+		}
+		cfg.Bounds = append(cfg.Bounds, k)
+	}
+	if *subFlag != "" {
+		cfg.Subcategories = strings.Split(*subFlag, ",")
+	}
+	if *progress {
+		cfg.Progress = os.Stderr
+	}
+
+	start := time.Now()
+	res := harness.Run(cfg)
+	fmt.Printf("evaluation: %d runs in %v\n\n", len(res.Runs), time.Since(start).Round(time.Millisecond))
+	if *checked {
+		nChecked, nSkipped, nFailed := 0, 0, 0
+		for _, r := range res.Runs {
+			switch {
+			case r.CheckErr != nil:
+				nFailed++
+				fmt.Printf("VALIDATION FAILURE %s/%s: %v\n", r.Task.ID(), r.Strategy, r.CheckErr)
+			case r.Checked:
+				nChecked++
+			case r.CheckSkipped:
+				nSkipped++
+			}
+		}
+		fmt.Printf("verdict validation: %d checked, %d skipped (proof too large), %d FAILED\n\n",
+			nChecked, nSkipped, nFailed)
+		if nFailed > 0 {
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := res.WriteJSON(f); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+
+	wantTable := func(n string) bool { return *tableFlag == "all" || *tableFlag == n }
+	if wantTable("1") {
+		fmt.Println(harness.FormatTable1(res.Table1()))
+	}
+	if wantTable("2") {
+		fmt.Println(harness.FormatTable2(res.Table2()))
+	}
+	if wantTable("3") {
+		fmt.Println(harness.FormatTable3(res.Table3()))
+	}
+	if *tableFlag == "all" {
+		for _, mm := range cfg.Models {
+			fmt.Println(harness.FormatAsymmetries(res.TimeoutAsymmetries(mm), mm))
+		}
+	}
+
+	figModels := map[string]memmodel.Model{"6": memmodel.SC, "7": memmodel.TSO, "8": memmodel.PSO}
+	figSubcats := map[string]memmodel.Model{"9": memmodel.SC, "10": memmodel.TSO, "11": memmodel.PSO}
+	wantFig := func(n string) bool { return *figFlag == "all" || *figFlag == n }
+	for _, n := range []string{"6", "7", "8"} {
+		if !wantFig(n) || !hasModel(cfg.Models, figModels[n]) {
+			continue
+		}
+		points := res.Scatter(figModels[n])
+		fmt.Println(harness.AsciiScatter(points, fmt.Sprintf("Figure %s. baseline vs ZPRE, %s", n, figModels[n])))
+		writeOut(*outDir, fmt.Sprintf("figure%s_scatter_%s.csv", n, figModels[n]), harness.ScatterCSV(points))
+	}
+	for _, n := range []string{"9", "10", "11"} {
+		if !wantFig(n) || !hasModel(cfg.Models, figSubcats[n]) {
+			continue
+		}
+		rows := res.SubcategoryTimes(figSubcats[n])
+		fmt.Println(harness.FormatSubcategories(rows,
+			fmt.Sprintf("Figure %s. per-subcategory time, %s: baseline vs ZPRE", n, figSubcats[n])))
+	}
+}
+
+func hasModel(models []memmodel.Model, mm memmodel.Model) bool {
+	for _, m := range models {
+		if m == mm {
+			return true
+		}
+	}
+	return false
+}
+
+func writeOut(dir, name, content string) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatalf("mkdir %s: %v", dir, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		fatalf("write %s: %v", name, err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "evaluate: "+format+"\n", args...)
+	os.Exit(1)
+}

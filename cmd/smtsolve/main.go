@@ -1,0 +1,86 @@
+// Command smtsolve solves a verification-condition file in the SMT-LIB v2.6
+// subset emitted by zpre/benchgen. It reconstructs the interference decision
+// order from variable names alone — exactly the paper's backend scenario
+// (§4.1): nothing but the rf_/ws_ naming convention crosses the
+// frontend/backend boundary.
+//
+// Usage:
+//
+//	smtsolve [-strategy baseline|zpre-|zpre] [-timeout 60s] [-stats] file.smt2
+//
+// Prints "sat" or "unsat" like an SMT solver; exit status 0 on a definite
+// answer, 2 on unknown or error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"zpre/internal/core"
+	"zpre/internal/sat"
+	"zpre/internal/smt"
+	"zpre/internal/smtlib"
+)
+
+func main() {
+	var (
+		stratFlag = flag.String("strategy", "zpre", "decision strategy: baseline, zpre-, zpre")
+		timeout   = flag.Duration("timeout", 60*time.Second, "solve timeout")
+		seed      = flag.Int64("seed", 1, "random-polarity seed")
+		stats     = flag.Bool("stats", false, "print solver statistics")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: smtsolve [flags] file.smt2")
+		os.Exit(2)
+	}
+	strat, ok := core.ParseStrategy(*stratFlag)
+	if !ok {
+		fatalf("unknown strategy %q", *stratFlag)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	bd, err := smtlib.Parse(string(src))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	infos := core.Classify(bd.NamedVars())
+	dec := core.NewDecider(strat, infos, core.Config{Seed: *seed})
+	var decider sat.Decider
+	if dec != nil {
+		decider = dec
+	}
+	start := time.Now()
+	res, err := bd.Solve(smt.Options{
+		Decider:  decider,
+		Deadline: time.Now().Add(*timeout),
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Println(res.Status)
+	if *stats {
+		itf := 0
+		for _, vi := range infos {
+			if vi.Class.Interference() {
+				itf++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "time %v; %d named vars (%d interference); %d decisions, %d propagations, %d conflicts\n",
+			time.Since(start).Round(time.Microsecond), len(infos), itf,
+			res.Stats.Decisions, res.Stats.Propagations, res.Stats.Conflicts)
+	}
+	if res.Status == sat.Unknown {
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "smtsolve: "+format+"\n", args...)
+	os.Exit(2)
+}

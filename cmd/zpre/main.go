@@ -1,0 +1,195 @@
+// Command zpre verifies a multi-threaded program file: it unrolls loops,
+// encodes the verification condition under the chosen memory model and
+// solves it with the chosen decision strategy (baseline / zpre- / zpre).
+//
+// Usage:
+//
+//	zpre [-model sc|tso|pso] [-strategy baseline|zpre-|zpre] [-unroll k]
+//	     [-width 8] [-timeout 30s] [-stats] [-dump-smt out.smt2]
+//	     [-dump-eog out.dot] program.cp
+//
+// Exit status: 0 = safe (unsat), 1 = unsafe (sat), 2 = unknown/error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"zpre"
+	"zpre/internal/core"
+	"zpre/internal/cprog"
+	"zpre/internal/encode"
+	"zpre/internal/eog"
+	"zpre/internal/memmodel"
+	"zpre/internal/smt"
+	"zpre/internal/smtlib"
+	"zpre/internal/witness"
+)
+
+func main() {
+	var (
+		modelFlag = flag.String("model", "sc", "memory model: sc, tso, pso")
+		stratFlag = flag.String("strategy", "zpre", "decision strategy: baseline, zpre-, zpre")
+		unroll    = flag.Int("unroll", 1, "loop unrolling bound")
+		width     = flag.Int("width", 8, "program integer bit width")
+		timeout   = flag.Duration("timeout", 30*time.Second, "solve timeout")
+		seed      = flag.Int64("seed", 1, "random-polarity seed")
+		stats     = flag.Bool("stats", false, "print encoding and solver statistics")
+		dumpSMT   = flag.String("dump-smt", "", "write the VC as SMT-LIB v2.6 to this file")
+		dumpEOG   = flag.String("dump-eog", "", "write the event order graph as Graphviz DOT")
+		witness   = flag.Bool("witness", false, "on UNSAFE, print a violating interleaving")
+		checkPf   = flag.Bool("proof", false, "record and independently check the refutation proof on SAFE")
+		each      = flag.Bool("each", false, "check every assertion separately (incremental per-property queries)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: zpre [flags] program.cp")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	model, ok := memmodel.Parse(*modelFlag)
+	if !ok {
+		fatalf("unknown memory model %q", *modelFlag)
+	}
+	strat, ok := core.ParseStrategy(*stratFlag)
+	if !ok {
+		fatalf("unknown strategy %q", *stratFlag)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	prog, err := cprog.Parse(flag.Arg(0), string(src))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *dumpSMT != "" || *dumpEOG != "" {
+		unrolled := cprog.Unroll(prog, *unroll, cprog.UnwindAssume)
+		vc, err := encode.Program(unrolled, encode.Options{Model: model, Width: *width})
+		if err != nil {
+			fatalf("encode: %v", err)
+		}
+		if *dumpSMT != "" {
+			if err := os.WriteFile(*dumpSMT, []byte(smtlib.Write(vc)), 0o644); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *dumpSMT)
+		}
+		if *dumpEOG != "" {
+			g := eog.FromVC(vc)
+			if err := os.WriteFile(*dumpEOG, []byte(g.DOT(prog.Name)), 0o644); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *dumpEOG)
+		}
+	}
+
+	verifyOpts := zpre.Options{
+		Model:    model,
+		Strategy: strat,
+		Unroll:   *unroll,
+		Width:    *width,
+		Timeout:  *timeout,
+		Seed:     *seed,
+	}
+	if *each {
+		reps, err := zpre.VerifyEach(prog, verifyOpts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		code := 0
+		for _, r := range reps {
+			where := "main"
+			if r.Thread > 0 {
+				where = fmt.Sprintf("thread %d", r.Thread)
+			}
+			fmt.Printf("assertion %d (%s): %s (solve %v)\n",
+				r.Index, where, verdictText(r.Verdict), r.SolveTime.Round(time.Microsecond))
+			if r.Verdict == zpre.Unsafe {
+				code = 1
+			} else if r.Verdict == zpre.Unknown && code == 0 {
+				code = 2
+			}
+		}
+		os.Exit(code)
+	}
+
+	var rep zpre.Report
+	if *checkPf {
+		rep, err = zpre.VerifyWithProof(prog, verifyOpts)
+	} else {
+		rep, err = zpre.Verify(prog, verifyOpts)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if rep.ProofChecked {
+		fmt.Fprintln(os.Stderr, "refutation proof independently checked: OK")
+	}
+
+	if *witness && rep.Verdict == zpre.Unsafe {
+		printWitness(prog, model, *unroll, *width, *seed)
+	}
+
+	fmt.Printf("%s: %s (model=%s strategy=%s unroll=%d, solve %v)\n",
+		prog.Name, verdictText(rep.Verdict), model, strat, *unroll,
+		rep.SolveTime.Round(time.Microsecond))
+	if *stats {
+		fmt.Printf("encoding: %d threads, %d events (%d reads, %d writes), %d rf vars, %d ws vars, %d po edges, %d clauses, %d variables\n",
+			rep.EncodeStats.Threads, rep.EncodeStats.Events, rep.EncodeStats.Reads,
+			rep.EncodeStats.Writes, rep.EncodeStats.RFVars, rep.EncodeStats.WSVars,
+			rep.EncodeStats.POEdges, rep.EncodeStats.Clauses, rep.EncodeStats.Variables)
+		fmt.Printf("solver: %d decisions, %d propagations (%d theory), %d conflicts (%d theory), %d restarts\n",
+			rep.SolverStats.Decisions, rep.SolverStats.Propagations, rep.SolverStats.TheoryProps,
+			rep.SolverStats.Conflicts, rep.SolverStats.TheoryConfl, rep.SolverStats.Restarts)
+	}
+	switch rep.Verdict {
+	case zpre.Safe:
+		os.Exit(0)
+	case zpre.Unsafe:
+		os.Exit(1)
+	default:
+		os.Exit(2)
+	}
+}
+
+// printWitness re-solves the instance (the Verify-owned builder is not
+// exposed) and linearises the model's EOG into a concrete interleaving.
+func printWitness(prog *cprog.Program, model memmodel.Model, unroll, width int, seed int64) {
+	unrolled := cprog.Unroll(prog, unroll, cprog.UnwindAssume)
+	vc, err := encode.Program(unrolled, encode.Options{Model: model, Width: width})
+	if err != nil {
+		fatalf("encode: %v", err)
+	}
+	infos := core.Classify(vc.Builder.NamedVars())
+	dec := core.NewDecider(core.ZPRE, infos, core.Config{Seed: seed})
+	if _, err := vc.Builder.Solve(smt.Options{Decider: dec}); err != nil {
+		fatalf("solve: %v", err)
+	}
+	steps, err := witness.Extract(vc)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Println("witness interleaving (thread, access, value):")
+	fmt.Print(witness.Format(steps, "  "))
+}
+
+func verdictText(v zpre.Verdict) string {
+	switch v {
+	case zpre.Safe:
+		return "SAFE (verification condition unsat)"
+	case zpre.Unsafe:
+		return "UNSAFE (assertion violation reachable)"
+	}
+	return "UNKNOWN (budget exhausted)"
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "zpre: "+format+"\n", args...)
+	os.Exit(2)
+}

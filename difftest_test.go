@@ -1,0 +1,121 @@
+package zpre
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"zpre/internal/cprog"
+	"zpre/internal/interp"
+	"zpre/internal/memmodel"
+)
+
+// randProgram generates a small random concurrent program. No locks or
+// atomic sections (the interpreter's WMM lock semantics are intentionally
+// stronger; see internal/interp); those constructs get their own directed
+// tests under SC.
+func randProgram(rng *rand.Rand, id int) *cprog.Program {
+	nShared := 2 + rng.Intn(2)
+	var shared []cprog.SharedDecl
+	var names []string
+	for i := 0; i < nShared; i++ {
+		n := fmt.Sprintf("g%d", i)
+		names = append(names, n)
+		shared = append(shared, cprog.SharedDecl{Name: n, Init: int64(rng.Intn(2))})
+	}
+	randVar := func() string { return names[rng.Intn(len(names))] }
+	var randExpr func(depth int) cprog.Expr
+	randExpr = func(depth int) cprog.Expr {
+		if depth == 0 || rng.Intn(3) == 0 {
+			if rng.Intn(2) == 0 {
+				return cprog.C(int64(rng.Intn(4)))
+			}
+			return cprog.V(randVar())
+		}
+		ops := []cprog.Op{cprog.OpAdd, cprog.OpSub, cprog.OpEq, cprog.OpLt, cprog.OpBitAnd, cprog.OpBitXor}
+		return cprog.BinOp{
+			Op: ops[rng.Intn(len(ops))],
+			L:  randExpr(depth - 1),
+			R:  randExpr(depth - 1),
+		}
+	}
+	randStmt := func() cprog.Stmt {
+		switch rng.Intn(8) {
+		case 0:
+			return cprog.Assume{Cond: cprog.BinOp{Op: cprog.OpLe, L: randExpr(1), R: cprog.C(int64(rng.Intn(7)))}}
+		case 1:
+			return cprog.Assert{Cond: cprog.BinOp{Op: cprog.OpNe, L: randExpr(1), R: cprog.C(int64(3 + rng.Intn(4)))}}
+		case 2:
+			return cprog.If{
+				Cond: randExpr(1),
+				Then: []cprog.Stmt{cprog.Set(randVar(), randExpr(1))},
+				Else: []cprog.Stmt{cprog.Set(randVar(), randExpr(1))},
+			}
+		case 3:
+			return cprog.Havoc{Name: randVar()}
+		case 4:
+			return cprog.Fence{}
+		default:
+			return cprog.Set(randVar(), randExpr(2))
+		}
+	}
+	p := &cprog.Program{Name: fmt.Sprintf("rand%d", id), Shared: shared}
+	nThreads := 2
+	for t := 0; t < nThreads; t++ {
+		th := &cprog.Thread{Name: fmt.Sprintf("t%d", t+1)}
+		n := 2 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			th.Body = append(th.Body, randStmt())
+		}
+		p.Threads = append(p.Threads, th)
+	}
+	p.Post = []cprog.Stmt{
+		cprog.Assert{Cond: cprog.BinOp{Op: cprog.OpNe,
+			L: cprog.Add(cprog.V(names[0]), cprog.V(names[1])),
+			R: cprog.C(int64(rng.Intn(8)))}},
+	}
+	return p
+}
+
+func TestDifferentialRandomPrograms(t *testing.T) {
+	const width = 3
+	rng := rand.New(rand.NewSource(20220212))
+	models := []memmodel.Model{memmodel.SC, memmodel.TSO, memmodel.PSO}
+	checked := 0
+	for i := 0; i < 60; i++ {
+		p := randProgram(rng, i)
+		for _, mm := range models {
+			want, err := interp.Run(p, 1, interp.Options{Model: mm, Width: width, MaxStates: 1 << 21})
+			if errors.Is(err, interp.ErrStateExplosion) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s/%v: interp error: %v", p.Name, mm, err)
+			}
+			for _, strat := range []struct {
+				name string
+				s    Options
+			}{
+				{"baseline", Options{Model: mm, Strategy: Baseline, Width: width}},
+				{"zpre-", Options{Model: mm, Strategy: ZPREMinus, Width: width, Seed: int64(i)}},
+				{"zpre", Options{Model: mm, Strategy: ZPRE, Width: width, Seed: int64(i)}},
+			} {
+				rep, err := Verify(p, strat.s)
+				if err != nil {
+					t.Fatalf("%s/%v/%s: verify error: %v", p.Name, mm, strat.name, err)
+				}
+				got := rep.Verdict == Unsafe
+				if got != (want == interp.Unsafe) {
+					t.Errorf("%s/%v/%s: SMT says unsafe=%v, explicit-state says unsafe=%v\nprogram:\n%s",
+						p.Name, mm, strat.name, got, want == interp.Unsafe, cprog.Format(p))
+				}
+				checked++
+			}
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("too few differential checks ran: %d", checked)
+	}
+	t.Logf("differential checks: %d", checked)
+}

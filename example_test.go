@@ -1,0 +1,100 @@
+package zpre_test
+
+import (
+	"fmt"
+	"log"
+
+	"zpre"
+)
+
+// The paper's Figure 2 program: safe under sequential consistency, unsafe
+// under TSO where the write-to-read program order is relaxed.
+const fig2Src = `
+shared x; shared y; shared m; shared n;
+thread t1 { x = y + 1; m = y; }
+thread t2 { y = x + 1; n = x; }
+main { assert(!(m == 0 && n == 0)); }
+`
+
+func ExampleVerify() {
+	prog, err := zpre.ParseProgram("fig2", fig2Src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, mm := range []struct {
+		name  string
+		model zpre.Options
+	}{
+		{"SC", zpre.Options{Model: zpre.SC, Strategy: zpre.ZPRE}},
+		{"TSO", zpre.Options{Model: zpre.TSO, Strategy: zpre.ZPRE}},
+	} {
+		rep, err := zpre.Verify(prog, mm.model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %s\n", mm.name, rep.Verdict)
+	}
+	// Output:
+	// SC: true
+	// TSO: false
+}
+
+func ExampleVerifyEach() {
+	prog, err := zpre.ParseProgram("two-props", `
+shared x;
+thread t1 { x = x + 1; }
+thread t2 { x = x + 1; }
+main {
+    assert(x == 2);  // violable: the unlocked increments can lose an update
+    assert(x >= 1);  // holds: both threads write at least 1
+}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reps, err := zpre.VerifyEach(prog, zpre.Options{Model: zpre.SC, Strategy: zpre.ZPRE})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reps {
+		fmt.Printf("assertion %d: %s\n", r.Index, r.Verdict)
+	}
+	// Output:
+	// assertion 0: false
+	// assertion 1: true
+}
+
+func ExampleVerifyWithProof() {
+	prog, err := zpre.ParseProgram("fig2", fig2Src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := zpre.VerifyWithProof(prog, zpre.Options{Model: zpre.SC, Strategy: zpre.ZPRE})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verdict %s, independently checked: %v\n", rep.Verdict, rep.ProofChecked)
+	// Output:
+	// verdict true, independently checked: true
+}
+
+func ExampleFindMinimalBound() {
+	prog, err := zpre.ParseProgram("counter", `
+shared x;
+thread t {
+    local c;
+    while (c < 3) { x = x + 1; c = c + 1; }
+}
+main { assert(x != 3); }
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, rep, err := zpre.FindMinimalBound(prog, zpre.Options{Model: zpre.SC, Strategy: zpre.ZPRE}, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("violation first reachable at unroll bound %d (verdict %s)\n", k, rep.Verdict)
+	// Output:
+	// violation first reachable at unroll bound 3 (verdict false)
+}

@@ -1,0 +1,89 @@
+// Litmus: run the classic weak-memory litmus tests (SB, MP, LB, 2+2W, S,
+// IRIW and their fenced variants) under SC, TSO and PSO, printing the
+// verdict matrix. The matrix is the fingerprint of a memory model: which
+// relaxed outcomes it admits.
+//
+//	SB     needs W→R reordering      → forbidden SC, allowed TSO/PSO
+//	MP     needs W→W (or R→R)        → forbidden SC/TSO, allowed PSO
+//	LB     needs R→W                 → forbidden everywhere here
+//	2+2W   needs W→W                 → forbidden SC/TSO, allowed PSO
+//	S      needs W→W                 → forbidden SC/TSO, allowed PSO
+//	IRIW   needs R→R or non-MCA      → forbidden everywhere here
+//
+// "Allowed" shows up as verdict false (the assertion over the forbidden
+// outcome is violated).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"zpre"
+	"zpre/internal/memmodel"
+	"zpre/internal/svcomp"
+)
+
+func main() {
+	picks := []string{
+		"sb_1", "sb_fenced_1",
+		"mp_1", "mp_fenced_1",
+		"lb_1",
+		"2plus2w_1", "2plus2w_fenced_1",
+		"s_1",
+		"iriw_1",
+	}
+	byName := map[string]svcomp.Benchmark{}
+	for _, b := range svcomp.BySubcategory("wmm") {
+		byName[b.Name] = b
+	}
+
+	fmt.Println("Litmus verdicts (true = outcome forbidden / program safe):")
+	fmt.Printf("%-18s %8s %8s %8s\n", "test", "SC", "TSO", "PSO")
+	fmt.Println(strings.Repeat("-", 46))
+	for _, name := range picks {
+		b, ok := byName[name]
+		if !ok {
+			log.Fatalf("missing litmus benchmark %q", name)
+		}
+		fmt.Printf("%-18s", name)
+		for _, mm := range memmodel.All() {
+			rep, err := zpre.Verify(b.Program, zpre.Options{
+				Model:    mm,
+				Strategy: zpre.ZPRE,
+				Unroll:   1,
+				Seed:     7,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %8s", rep.Verdict)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("Pure litmus cores are propagation-trivial (zero decisions); the")
+	fmt.Println("data-carrying variants (nondeterministic written values) give the")
+	fmt.Println("search real work — watch ZPRE's advantage on them (TSO):")
+	fmt.Printf("%-12s %12s %12s %12s %12s\n", "instance", "base decs", "zpre decs", "base confl", "zpre confl")
+	for k := 1; k <= 6; k++ {
+		b, ok := byName[fmt.Sprintf("sb_data_%d", k)]
+		if !ok {
+			continue
+		}
+		var decs, confl [2]uint64
+		for i, strat := range []zpre.Options{
+			{Model: memmodel.TSO, Strategy: zpre.Baseline, Unroll: 1, Width: 16},
+			{Model: memmodel.TSO, Strategy: zpre.ZPRE, Unroll: 1, Seed: 7, Width: 16},
+		} {
+			rep, err := zpre.Verify(b.Program, strat)
+			if err != nil {
+				log.Fatal(err)
+			}
+			decs[i] = rep.SolverStats.Decisions
+			confl[i] = rep.SolverStats.Conflicts
+		}
+		fmt.Printf("sb_data_%-4d %12d %12d %12d %12d\n", k, decs[0], decs[1], confl[0], confl[1])
+	}
+}

@@ -1,0 +1,123 @@
+// Strategy: build custom decision strategies through the solver's Decider
+// hook and compare them on one instance. This demonstrates the extension
+// seam the paper's technique lives behind: anything that can rank variables
+// can steer DPLL(T).
+//
+// Strategies compared:
+//
+//	baseline   — VSIDS only (the paper's "Z3")
+//	zpre-      — interference variables first, unranked (HEURISTIC 1)
+//	zpre       — the full paper order (RF≺WS, external≺internal, #write)
+//	ws-first   — a deliberately inverted order (WS before RF): the paper
+//	             argues RF dominates SSA values while WS does not, so this
+//	             should do worse than zpre
+//	ssa-only   — anti-strategy: decide SSA variables first; expect the
+//	             worst search, as §3.4 predicts (bit-level thrashing)
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"zpre/internal/core"
+	"zpre/internal/cprog"
+	"zpre/internal/encode"
+	"zpre/internal/memmodel"
+	"zpre/internal/sat"
+	"zpre/internal/smt"
+	"zpre/internal/svcomp"
+)
+
+// listDecider decides the given variables in order (true polarity), then
+// falls back to VSIDS. It implements sat.Decider.
+type listDecider struct {
+	order  []sat.Var
+	cursor int
+}
+
+func (d *listDecider) Next(value func(sat.Var) sat.LBool) sat.Lit {
+	for d.cursor < len(d.order) {
+		v := d.order[d.cursor]
+		if value(v) == sat.LUndef {
+			return sat.PosLit(v)
+		}
+		d.cursor++
+	}
+	return sat.LitUndef
+}
+
+func (d *listDecider) OnBacktrack() { d.cursor = 0 }
+
+func main() {
+	// A mid-size instance: the 4-pair store-buffering litmus under TSO.
+	var prog *cprog.Program
+	for _, b := range svcomp.BySubcategory("wmm") {
+		if b.Name == "sb_4" {
+			prog = b.Program
+		}
+	}
+	if prog == nil {
+		log.Fatal("sb_4 missing")
+	}
+
+	type strategy struct {
+		name string
+		mk   func(vc *encode.VC) sat.Decider
+	}
+	strategies := []strategy{
+		{"baseline", func(*encode.VC) sat.Decider { return nil }},
+		{"zpre-", func(vc *encode.VC) sat.Decider {
+			return core.NewDecider(core.ZPREMinus, core.Classify(vc.Builder.NamedVars()), core.Config{Seed: 3})
+		}},
+		{"zpre", func(vc *encode.VC) sat.Decider {
+			return core.NewDecider(core.ZPRE, core.Classify(vc.Builder.NamedVars()), core.Config{Seed: 3})
+		}},
+		{"ws-first", func(vc *encode.VC) sat.Decider {
+			return &listDecider{order: pickByClass(vc, core.ClassWS, core.ClassRFExternal, core.ClassRFInternal)}
+		}},
+		{"ssa-only", func(vc *encode.VC) sat.Decider {
+			return &listDecider{order: pickByClass(vc, core.ClassSSA)}
+		}},
+	}
+
+	fmt.Println("Custom decision strategies on wmm/sb_4 under TSO:")
+	fmt.Printf("%-10s %-8s %12s %14s %12s %10s\n",
+		"strategy", "status", "decisions", "propagations", "conflicts", "solve")
+	for _, s := range strategies {
+		unrolled := cprog.Unroll(prog, 1, cprog.UnwindAssume)
+		vc, err := encode.Program(unrolled, encode.Options{Model: memmodel.TSO})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := vc.Builder.Solve(smt.Options{Decider: s.mk(vc)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-8s %12d %14d %12d %10s\n",
+			s.name, res.Status, res.Stats.Decisions, res.Stats.Propagations,
+			res.Stats.Conflicts, res.Elapsed.Round(1000))
+	}
+	fmt.Println()
+	fmt.Println("The interference-guided orders (zpre-, zpre) should search less than")
+	fmt.Println("the baseline; the inverted and anti-strategies show that it is the")
+	fmt.Println("specific ranking, not merely having *some* fixed order, that helps.")
+}
+
+// pickByClass lists the variables of the given classes, in class order, each
+// class sorted by variable index.
+func pickByClass(vc *encode.VC, classes ...core.Class) []sat.Var {
+	infos := core.Classify(vc.Builder.NamedVars())
+	var out []sat.Var
+	for _, cl := range classes {
+		var vs []sat.Var
+		for _, vi := range infos {
+			if vi.Class == cl {
+				vs = append(vs, vi.Var)
+			}
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		out = append(out, vs...)
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module zpre
+
+go 1.22

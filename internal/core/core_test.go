@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"zpre/internal/sat"
+)
+
+func TestParseName(t *testing.T) {
+	cases := []struct {
+		name string
+		want Class
+	}{
+		{"rf_1_3_2_1", ClassRFExternal},
+		{"rf_2_0_2_5", ClassRFInternal},
+		{"rf_0_1_2_3", ClassRFExternal},
+		{"ws_1_0_2_1", ClassWS},
+		{"ord_t1_0_t2_1", ClassOrd},
+		{"v1_3_x.0", ClassSSA},
+		{"guard_7", ClassGuard},
+		{"guardx", ClassSSA},
+		{"rf_bogus", ClassSSA},   // malformed rf falls back to SSA
+		{"rf_1_2_3", ClassSSA},   // wrong arity
+		{"ws_a_b_c_d", ClassSSA}, // non-numeric
+		{"rf_1_2_3_x", ClassSSA}, // non-numeric tail
+	}
+	for _, c := range cases {
+		if got := ParseName(c.name).Class; got != c.want {
+			t.Errorf("ParseName(%q).Class = %v, want %v", c.name, got, c.want)
+		}
+	}
+	vi := ParseName("rf_1_3_2_7")
+	if vi.ReadThread != 1 || vi.ReadIdx != 3 || vi.WriteThread != 2 || vi.WriteIdx != 7 {
+		t.Errorf("rf fields wrong: %+v", vi)
+	}
+}
+
+func TestClassInterference(t *testing.T) {
+	if !ClassRFExternal.Interference() || !ClassRFInternal.Interference() || !ClassWS.Interference() {
+		t.Error("rf/ws must be interference classes")
+	}
+	if ClassSSA.Interference() || ClassOrd.Interference() {
+		t.Error("ssa/ord are not interference classes")
+	}
+}
+
+func TestClassifyNumWrites(t *testing.T) {
+	named := map[string]sat.Var{
+		// Read (1,0) has three candidate writes; read (2,1) has one.
+		"rf_1_0_0_0": 0,
+		"rf_1_0_2_3": 1,
+		"rf_1_0_2_5": 2,
+		"rf_2_1_0_0": 3,
+		"ws_0_0_2_3": 4,
+		"v1_0_x.0":   5,
+	}
+	infos := Classify(named)
+	byVar := map[sat.Var]VarInfo{}
+	for _, vi := range infos {
+		byVar[vi.Var] = vi
+	}
+	for _, v := range []sat.Var{0, 1, 2} {
+		if byVar[v].NumWrites != 3 {
+			t.Errorf("var %d: NumWrites = %d, want 3", v, byVar[v].NumWrites)
+		}
+	}
+	if byVar[3].NumWrites != 1 {
+		t.Errorf("var 3: NumWrites = %d, want 1", byVar[3].NumWrites)
+	}
+	if byVar[4].NumWrites != 0 || byVar[4].Class != ClassWS {
+		t.Errorf("ws var misclassified: %+v", byVar[4])
+	}
+	// Classify output is sorted by variable for determinism.
+	for i := 1; i < len(infos); i++ {
+		if infos[i].Var <= infos[i-1].Var {
+			t.Fatal("Classify output not sorted")
+		}
+	}
+}
+
+// TestPriorTo reproduces the paper's prior_to cases (§4.1).
+func TestPriorTo(t *testing.T) {
+	rfe3 := VarInfo{Class: ClassRFExternal, NumWrites: 3}
+	rfe1 := VarInfo{Class: ClassRFExternal, NumWrites: 1}
+	rfi5 := VarInfo{Class: ClassRFInternal, NumWrites: 5}
+	rfi2 := VarInfo{Class: ClassRFInternal, NumWrites: 2}
+	ws := VarInfo{Class: ClassWS}
+	ssa := VarInfo{Class: ClassSSA}
+
+	cases := []struct {
+		a, b VarInfo
+		want bool
+	}{
+		{rfe1, ws, true},   // case 1: RF before WS
+		{rfi2, ws, true},   // case 1 applies to internal RF too
+		{ws, rfe3, false},  // never the reverse
+		{rfe1, rfi5, true}, // case 2: external before internal, regardless of #write
+		{rfi5, rfe1, false},
+		{rfe3, rfe1, true}, // case 3: more candidate writes first
+		{rfe1, rfe3, false},
+		{rfi5, rfi2, true},
+		{ws, ws, false},  // WS unordered among themselves
+		{ssa, ws, false}, // non-interference never prioritised
+		{rfe3, ssa, false},
+	}
+	for i, c := range cases {
+		if got := PriorTo(c.a, c.b); got != c.want {
+			t.Errorf("case %d: PriorTo = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// buildInfos fabricates a random classified variable set.
+func buildInfos(rng *rand.Rand, n int) []VarInfo {
+	named := map[string]sat.Var{}
+	v := sat.Var(0)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			named[fmt.Sprintf("rf_%d_%d_%d_%d", 1+rng.Intn(2), rng.Intn(6), 1+rng.Intn(2), rng.Intn(6))] = v
+		case 1:
+			named[fmt.Sprintf("ws_%d_%d_%d_%d", rng.Intn(3), rng.Intn(6), rng.Intn(3), rng.Intn(6))] = v
+		case 2:
+			named[fmt.Sprintf("ord_e%d_e%d", rng.Intn(9), rng.Intn(9))] = v
+		default:
+			named[fmt.Sprintf("v%d_%d_x.%d", rng.Intn(3), rng.Intn(9), rng.Intn(8))] = v
+		}
+		v++
+	}
+	return Classify(named)
+}
+
+// TestQuickZPREOrderInvariants: for arbitrary variable sets, the ZPRE order
+// (1) contains exactly the interference variables, (2) never places a WS
+// variable before an RF variable, (3) never places internal RF before
+// external RF, and (4) sorts same-class RF by descending #write.
+func TestQuickZPREOrderInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		infos := buildInfos(rng, 5+rng.Intn(40))
+		d := NewDecider(ZPRE, infos, Config{Seed: seed})
+		if d == nil {
+			return false
+		}
+		order := d.Order()
+		byVar := map[sat.Var]VarInfo{}
+		itf := 0
+		for _, vi := range infos {
+			byVar[vi.Var] = vi
+			if vi.Class.Interference() {
+				itf++
+			}
+		}
+		if len(order) != itf {
+			return false
+		}
+		rank := func(c Class) int {
+			switch c {
+			case ClassRFExternal:
+				return 0
+			case ClassRFInternal:
+				return 1
+			case ClassWS:
+				return 2
+			}
+			return 3
+		}
+		for i := 1; i < len(order); i++ {
+			a, b := byVar[order[i-1]], byVar[order[i]]
+			if rank(a.Class) > rank(b.Class) {
+				return false
+			}
+			if a.Class == b.Class && (a.Class == ClassRFExternal || a.Class == ClassRFInternal) {
+				if a.NumWrites < b.NumWrites {
+					return false
+				}
+			}
+		}
+		// The order must be a permutation (no duplicates).
+		seen := map[sat.Var]bool{}
+		for _, v := range order {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineHasNoDecider(t *testing.T) {
+	infos := buildInfos(rand.New(rand.NewSource(1)), 10)
+	if NewDecider(Baseline, infos, Config{}) != nil {
+		t.Fatal("baseline must return nil decider")
+	}
+}
+
+func TestZPREMinusKeepsVariableOrder(t *testing.T) {
+	infos := buildInfos(rand.New(rand.NewSource(2)), 30)
+	d := NewDecider(ZPREMinus, infos, Config{})
+	order := d.Order()
+	// ZPRE⁻ applies HEURISTIC 1 only: interference variables in their
+	// original (variable-index) order.
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatal("zpre- must keep variable order")
+	}
+}
+
+func TestDeciderNextAndBacktrack(t *testing.T) {
+	named := map[string]sat.Var{
+		"rf_1_0_2_0": 0,
+		"rf_1_1_2_0": 1,
+		"ws_1_0_2_0": 2,
+		"ssa_thing":  3,
+	}
+	d := NewDecider(ZPRE, Classify(named), Config{Seed: 1, Polarity: PolarityTrue})
+	assigned := map[sat.Var]sat.LBool{}
+	value := func(v sat.Var) sat.LBool { return assigned[v] }
+
+	l1 := d.Next(value)
+	if l1 == sat.LitUndef || l1.IsNeg() {
+		t.Fatalf("first decision: %v", l1)
+	}
+	if vi := ParseName("rf_1_0_2_0"); !vi.Class.Interference() {
+		t.Fatal("sanity")
+	}
+	assigned[l1.Var()] = sat.LTrue
+	l2 := d.Next(value)
+	assigned[l2.Var()] = sat.LTrue
+	l3 := d.Next(value)
+	assigned[l3.Var()] = sat.LTrue
+	if l4 := d.Next(value); l4 != sat.LitUndef {
+		t.Fatalf("after all interference vars assigned, want fallback, got %v", l4)
+	}
+	// Backtrack: one variable unassigned again.
+	delete(assigned, l2.Var())
+	d.OnBacktrack()
+	if l := d.Next(value); l == sat.LitUndef || l.Var() != l2.Var() {
+		t.Fatalf("after backtrack want %v again, got %v", l2.Var(), l)
+	}
+}
+
+func TestPolarityModes(t *testing.T) {
+	named := map[string]sat.Var{"rf_1_0_2_0": 0}
+	value := func(sat.Var) sat.LBool { return sat.LUndef }
+
+	d := NewDecider(ZPRE, Classify(named), Config{Polarity: PolarityTrue})
+	if l := d.Next(value); l.IsNeg() {
+		t.Fatal("PolarityTrue must pick the positive literal")
+	}
+	d = NewDecider(ZPRE, Classify(named), Config{Polarity: PolarityFalse})
+	if l := d.Next(value); !l.IsNeg() {
+		t.Fatal("PolarityFalse must pick the negative literal")
+	}
+	// Random polarity is deterministic per seed.
+	pick := func(seed int64) bool {
+		d := NewDecider(ZPRE, Classify(named), Config{Seed: seed, Polarity: PolarityRandom})
+		return d.Next(value).IsNeg()
+	}
+	if pick(7) != pick(7) {
+		t.Fatal("random polarity must be seed-deterministic")
+	}
+}
+
+func TestDisableNumWrites(t *testing.T) {
+	named := map[string]sat.Var{
+		"rf_1_0_2_0": 0, // read (1,0): 1 write
+		"rf_1_1_2_0": 1, // read (1,1): 2 writes
+		"rf_1_1_0_0": 2,
+	}
+	infos := Classify(named)
+	full := NewDecider(ZPRE, infos, Config{}).Order()
+	// With #write ranking, the two-candidate read's variables come first.
+	if full[0] != 1 && full[0] != 2 {
+		t.Fatalf("full order should start with a 2-write rf var: %v", full)
+	}
+	flat := NewDecider(ZPRE, infos, Config{DisableNumWrites: true}).Order()
+	// Without it, stable variable order survives within the class.
+	if flat[0] != 0 {
+		t.Fatalf("ablated order should keep var order: %v", flat)
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Strategy
+		ok   bool
+	}{
+		{"baseline", Baseline, true}, {"z3", Baseline, true},
+		{"zpre-", ZPREMinus, true}, {"zpre", ZPRE, true},
+		{"garbage", Baseline, false},
+	} {
+		got, ok := ParseStrategy(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ParseStrategy(%q) = %v,%v", c.in, got, ok)
+		}
+	}
+	if Baseline.String() != "baseline" || ZPREMinus.String() != "zpre-" || ZPRE.String() != "zpre" {
+		t.Error("Strategy.String broken")
+	}
+}
+
+func TestBranchStrategies(t *testing.T) {
+	named := map[string]sat.Var{
+		"rf_1_0_2_0": 0,
+		"ws_1_0_2_0": 1,
+		"guard_1_1":  2,
+		"guard_2_1":  3,
+		"v1_0_x.0":   4,
+	}
+	infos := Classify(named)
+	bf := NewDecider(BranchFirst, infos, Config{Polarity: PolarityTrue})
+	order := bf.Order()
+	if len(order) != 2 || order[0] != 2 || order[1] != 3 {
+		t.Fatalf("branch-first order: %v", order)
+	}
+	zb := NewDecider(ZPREBranch, infos, Config{Polarity: PolarityTrue})
+	order = zb.Order()
+	if len(order) != 4 {
+		t.Fatalf("zpre+branch order length: %v", order)
+	}
+	// Interference first (rf then ws), guards after.
+	if order[0] != 0 || order[1] != 1 || order[2] != 2 || order[3] != 3 {
+		t.Fatalf("zpre+branch order: %v", order)
+	}
+	for _, in := range []string{"branch", "cfg", "zpre+branch"} {
+		if _, ok := ParseStrategy(in); !ok {
+			t.Errorf("ParseStrategy(%q) failed", in)
+		}
+	}
+	if BranchFirst.String() != "branch" || ZPREBranch.String() != "zpre+branch" {
+		t.Error("strategy names")
+	}
+}

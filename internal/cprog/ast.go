@@ -1,0 +1,399 @@
+// Package cprog defines a small concurrent imperative language — the
+// fragment of C that SV-COMP ConcurrencySafety benchmarks exercise: shared
+// and thread-local integer variables, assignments, assume/assert, if/while,
+// mutex lock/unlock, atomic sections, memory fences and nondeterministic
+// havoc. Programs can be built programmatically (the benchmark generators do
+// this) or parsed from a textual form (see parser.go); loops are removed by
+// bounded unrolling (see unroll.go) before encoding.
+package cprog
+
+import "fmt"
+
+// Program is a multi-threaded program: shared variable declarations with
+// initial values, a set of threads started together by main, and an optional
+// post block that main executes after joining all threads (where the paper's
+// Figure 2 places its final assertion).
+type Program struct {
+	Name    string
+	Shared  []SharedDecl
+	Threads []*Thread
+	// Post runs in the main thread after all threads have been joined.
+	Post []Stmt
+}
+
+// SharedDecl declares a shared variable with its initial value.
+type SharedDecl struct {
+	Name string
+	Init int64
+}
+
+// Thread is a named sequence of statements executed concurrently.
+type Thread struct {
+	Name string
+	Body []Stmt
+}
+
+// Stmt is a program statement.
+type Stmt interface{ stmt() }
+
+// Assign writes Rhs to the (shared or local) variable Lhs.
+type Assign struct {
+	Lhs string
+	Rhs Expr
+}
+
+// Local declares a thread-local variable, optionally initialised (nil Init
+// means zero).
+type Local struct {
+	Name string
+	Init Expr
+}
+
+// Assume constrains executions to those satisfying Cond.
+type Assume struct{ Cond Expr }
+
+// Assert claims Cond holds; a reachable violation makes the program unsafe.
+type Assert struct{ Cond Expr }
+
+// If branches on Cond.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// While loops on Cond; removed by bounded unrolling before encoding.
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// Lock acquires the mutex variable (blocking acquire modelled as an atomic
+// test-and-set whose success is assumed).
+type Lock struct{ Mutex string }
+
+// Unlock releases the mutex variable.
+type Unlock struct{ Mutex string }
+
+// Fence is a full memory fence: it restores all program order across it.
+type Fence struct{}
+
+// Atomic executes Body without interference on the variables it accesses.
+type Atomic struct{ Body []Stmt }
+
+// Havoc assigns a nondeterministic value to a variable.
+type Havoc struct{ Name string }
+
+func (Assign) stmt() {}
+func (Local) stmt()  {}
+func (Assume) stmt() {}
+func (Assert) stmt() {}
+func (If) stmt()     {}
+func (While) stmt()  {}
+func (Lock) stmt()   {}
+func (Unlock) stmt() {}
+func (Fence) stmt()  {}
+func (Atomic) stmt() {}
+func (Havoc) stmt()  {}
+
+// Expr is an integer-valued expression. Comparisons and logical operators
+// yield 0 or 1; conditions treat any non-zero value as true.
+type Expr interface{ expr() }
+
+// Const is an integer literal.
+type Const struct{ Value int64 }
+
+// Ref reads a variable (shared or local).
+type Ref struct{ Name string }
+
+// BinOp applies a binary operator.
+type BinOp struct {
+	Op   Op
+	L, R Expr
+}
+
+// UnOp applies a unary operator.
+type UnOp struct {
+	Op Op
+	X  Expr
+}
+
+func (Const) expr() {}
+func (Ref) expr()   {}
+func (BinOp) expr() {}
+func (UnOp) expr()  {}
+
+// Op enumerates operators.
+type Op int
+
+// Operators.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpBitAnd
+	OpBitOr
+	OpBitXor
+	OpShl // right operand must be a constant
+	OpShr // right operand must be a constant (logical shift)
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpLAnd
+	OpLOr
+	OpLNot // unary
+	OpNeg  // unary
+	OpBitNot
+)
+
+// String renders the operator in source syntax.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpBitAnd:
+		return "&"
+	case OpBitOr:
+		return "|"
+	case OpBitXor:
+		return "^"
+	case OpShl:
+		return "<<"
+	case OpShr:
+		return ">>"
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpLAnd:
+		return "&&"
+	case OpLOr:
+		return "||"
+	case OpLNot:
+		return "!"
+	case OpNeg:
+		return "-"
+	case OpBitNot:
+		return "~"
+	}
+	return "?"
+}
+
+// Convenience constructors used heavily by the benchmark generators.
+
+// C returns a constant expression.
+func C(v int64) Expr { return Const{v} }
+
+// V returns a variable reference.
+func V(name string) Expr { return Ref{name} }
+
+// Add returns l + r.
+func Add(l, r Expr) Expr { return BinOp{OpAdd, l, r} }
+
+// Sub returns l - r.
+func Sub(l, r Expr) Expr { return BinOp{OpSub, l, r} }
+
+// Mul returns l * r.
+func Mul(l, r Expr) Expr { return BinOp{OpMul, l, r} }
+
+// Eq returns l == r.
+func Eq(l, r Expr) Expr { return BinOp{OpEq, l, r} }
+
+// Ne returns l != r.
+func Ne(l, r Expr) Expr { return BinOp{OpNe, l, r} }
+
+// Lt returns l < r.
+func Lt(l, r Expr) Expr { return BinOp{OpLt, l, r} }
+
+// Le returns l <= r.
+func Le(l, r Expr) Expr { return BinOp{OpLe, l, r} }
+
+// Gt returns l > r.
+func Gt(l, r Expr) Expr { return BinOp{OpGt, l, r} }
+
+// Ge returns l >= r.
+func Ge(l, r Expr) Expr { return BinOp{OpGe, l, r} }
+
+// LAnd returns l && r.
+func LAnd(l, r Expr) Expr { return BinOp{OpLAnd, l, r} }
+
+// LOr returns l || r.
+func LOr(l, r Expr) Expr { return BinOp{OpLOr, l, r} }
+
+// LNot returns !x.
+func LNot(x Expr) Expr { return UnOp{OpLNot, x} }
+
+// Set returns the assignment statement lhs = rhs.
+func Set(lhs string, rhs Expr) Stmt { return Assign{lhs, rhs} }
+
+// Validate checks structural well-formedness: every referenced variable is a
+// declared shared variable or a local declared earlier in the same thread,
+// and shift amounts are constants.
+func (p *Program) Validate() error {
+	shared := map[string]bool{}
+	for _, d := range p.Shared {
+		if shared[d.Name] {
+			return fmt.Errorf("%s: shared variable %q declared twice", p.Name, d.Name)
+		}
+		shared[d.Name] = true
+	}
+	seen := map[string]bool{}
+	for _, t := range p.Threads {
+		if seen[t.Name] {
+			return fmt.Errorf("%s: thread %q declared twice", p.Name, t.Name)
+		}
+		seen[t.Name] = true
+		locals := map[string]bool{}
+		if err := validateStmts(t.Body, shared, locals, t.Name); err != nil {
+			return fmt.Errorf("%s: %w", p.Name, err)
+		}
+	}
+	locals := map[string]bool{}
+	if err := validateStmts(p.Post, shared, locals, "main"); err != nil {
+		return fmt.Errorf("%s: %w", p.Name, err)
+	}
+	return nil
+}
+
+func validateStmts(body []Stmt, shared, locals map[string]bool, where string) error {
+	checkVar := func(name string) error {
+		if !shared[name] && !locals[name] {
+			return fmt.Errorf("%s: undeclared variable %q", where, name)
+		}
+		return nil
+	}
+	var checkExpr func(e Expr) error
+	checkExpr = func(e Expr) error {
+		switch x := e.(type) {
+		case Const:
+			return nil
+		case Ref:
+			return checkVar(x.Name)
+		case UnOp:
+			return checkExpr(x.X)
+		case BinOp:
+			if x.Op == OpShl || x.Op == OpShr {
+				if _, ok := x.R.(Const); !ok {
+					return fmt.Errorf("%s: shift amount must be a constant", where)
+				}
+			}
+			if err := checkExpr(x.L); err != nil {
+				return err
+			}
+			return checkExpr(x.R)
+		}
+		return fmt.Errorf("%s: unknown expression %T", where, e)
+	}
+	for _, s := range body {
+		switch st := s.(type) {
+		case Local:
+			// Re-declaring a local reinitialises it (loop unrolling copies
+			// bodies, so this must be legal); shadowing a shared variable is
+			// still an error.
+			if shared[st.Name] {
+				return fmt.Errorf("%s: local %q shadows a shared variable", where, st.Name)
+			}
+			if st.Init != nil {
+				if err := checkExpr(st.Init); err != nil {
+					return err
+				}
+			}
+			locals[st.Name] = true
+		case Assign:
+			if err := checkVar(st.Lhs); err != nil {
+				return err
+			}
+			if err := checkExpr(st.Rhs); err != nil {
+				return err
+			}
+		case Assume:
+			if err := checkExpr(st.Cond); err != nil {
+				return err
+			}
+		case Assert:
+			if err := checkExpr(st.Cond); err != nil {
+				return err
+			}
+		case If:
+			if err := checkExpr(st.Cond); err != nil {
+				return err
+			}
+			if err := validateStmts(st.Then, shared, locals, where); err != nil {
+				return err
+			}
+			if err := validateStmts(st.Else, shared, locals, where); err != nil {
+				return err
+			}
+		case While:
+			if err := checkExpr(st.Cond); err != nil {
+				return err
+			}
+			if err := validateStmts(st.Body, shared, locals, where); err != nil {
+				return err
+			}
+		case Lock:
+			if !shared[st.Mutex] {
+				return fmt.Errorf("%s: lock on non-shared %q", where, st.Mutex)
+			}
+		case Unlock:
+			if !shared[st.Mutex] {
+				return fmt.Errorf("%s: unlock on non-shared %q", where, st.Mutex)
+			}
+		case Fence:
+		case Atomic:
+			if err := validateStmts(st.Body, shared, locals, where); err != nil {
+				return err
+			}
+		case Havoc:
+			if err := checkVar(st.Name); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%s: unknown statement %T", where, s)
+		}
+	}
+	return nil
+}
+
+// HasLoops reports whether the program contains any While statement.
+func (p *Program) HasLoops() bool {
+	var scan func(body []Stmt) bool
+	scan = func(body []Stmt) bool {
+		for _, s := range body {
+			switch st := s.(type) {
+			case While:
+				return true
+			case If:
+				if scan(st.Then) || scan(st.Else) {
+					return true
+				}
+			case Atomic:
+				if scan(st.Body) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, t := range p.Threads {
+		if scan(t.Body) {
+			return true
+		}
+	}
+	return scan(p.Post)
+}

@@ -1,0 +1,319 @@
+package cprog
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+// sample program
+shared x = 3;
+shared m;
+
+thread t1 {
+    local r;
+    lock(m);
+    r = x;
+    x = r + 1;
+    unlock(m);
+    if (x == 4) {
+        x = 0;
+    } else {
+        x = x * 2;
+    }
+}
+
+thread t2 {
+    local c = 0;
+    while (c < 2) {
+        havoc x;
+        assume(x >= 0);
+        c = c + 1;
+    }
+    fence;
+    atomic {
+        x = x - 1;
+    }
+}
+
+main {
+    assert(!(x == 99));
+}
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse("sample", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Shared) != 2 || p.Shared[0].Name != "x" || p.Shared[0].Init != 3 {
+		t.Fatalf("shared decls wrong: %+v", p.Shared)
+	}
+	if len(p.Threads) != 2 || p.Threads[0].Name != "t1" || p.Threads[1].Name != "t2" {
+		t.Fatalf("threads wrong")
+	}
+	if len(p.Post) != 1 {
+		t.Fatalf("post wrong")
+	}
+	if !p.HasLoops() {
+		t.Fatal("sample has a loop")
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	p1, err := Parse("sample", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(p1)
+	p2, err := Parse("sample2", text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	if Format(p2) != text {
+		t.Fatalf("format not a fixpoint:\n%s\nvs\n%s", text, Format(p2))
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p, err := Parse("prec", `
+shared a; shared b; shared c;
+thread t { a = b + c * 2 == b && c < 1 || b != 0; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FormatExpr(p.Threads[0].Body[0].(Assign).Rhs)
+	want := "(((b + (c * 2)) == b) && (c < 1)) || (b != 0)"
+	// Format parenthesises fully; compare structure via reformat.
+	if !strings.Contains(got, "(c * 2)") {
+		t.Errorf("* should bind tighter than +: %s", got)
+	}
+	if !strings.Contains(got, "|| (b != 0)") && !strings.HasSuffix(got, "(b != 0))") {
+		t.Errorf("|| should bind loosest: %s", got)
+	}
+	_ = want
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"missing semicolon", "shared x\nthread t { }", "expected"},
+		{"undeclared var", "thread t { x = 1; }", "undeclared"},
+		{"bad token", "shared x; thread t { x = @; }", "expected expression"},
+		{"unterminated comment", "/* oops", "unterminated"},
+		{"unterminated block", "shared x; thread t { x = 1;", "end of input"},
+		{"shadow shared", "shared x; thread t { local x; }", "shadows"},
+		{"nonconst shift", "shared x; thread t { x = x << x; }", "shift"},
+		{"dup shared", "shared x; shared x;", "twice"},
+		{"dup thread", "shared x; thread t { } thread t { }", "twice"},
+		{"lock nonshared", "shared x; thread t { local m; lock(m); }", "non-shared"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.name, tc.src)
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func countStmts(body []Stmt) int {
+	n := 0
+	for _, s := range body {
+		n++
+		switch st := s.(type) {
+		case If:
+			n += countStmts(st.Then) + countStmts(st.Else)
+		case While:
+			n += countStmts(st.Body)
+		case Atomic:
+			n += countStmts(st.Body)
+		}
+	}
+	return n
+}
+
+func TestUnroll(t *testing.T) {
+	p := &Program{
+		Name:   "u",
+		Shared: []SharedDecl{{Name: "x"}},
+		Threads: []*Thread{{Name: "t", Body: []Stmt{
+			While{Cond: Lt(V("x"), C(3)), Body: []Stmt{Set("x", Add(V("x"), C(1)))}},
+		}}},
+	}
+	for bound := 0; bound <= 4; bound++ {
+		u := Unroll(p, bound, UnwindAssume)
+		if u.HasLoops() {
+			t.Fatalf("bound %d: loops remain", bound)
+		}
+		if err := u.Validate(); err != nil {
+			t.Fatalf("bound %d: %v", bound, err)
+		}
+		// Each unrolling level adds one If wrapping body+frontier.
+		// Statement count grows linearly: bound * (body + if) + assume.
+		n := countStmts(u.Threads[0].Body)
+		want := 1 + 2*bound // assume + per-level (if + assign)
+		if n != want {
+			t.Fatalf("bound %d: %d stmts, want %d", bound, n, want)
+		}
+	}
+	// Assert mode places an assert at the frontier.
+	u := Unroll(p, 1, UnwindAssert)
+	iff := u.Threads[0].Body[0].(If)
+	if _, ok := iff.Then[len(iff.Then)-1].(Assert); !ok {
+		t.Fatalf("want unwinding assertion at frontier, got %T", iff.Then[len(iff.Then)-1])
+	}
+	// The original program is untouched.
+	if !p.HasLoops() {
+		t.Fatal("input mutated by Unroll")
+	}
+}
+
+func TestUnrollNested(t *testing.T) {
+	p := &Program{
+		Name:   "nest",
+		Shared: []SharedDecl{{Name: "x"}},
+		Threads: []*Thread{{Name: "t", Body: []Stmt{
+			While{Cond: Lt(V("x"), C(2)), Body: []Stmt{
+				While{Cond: Lt(V("x"), C(1)), Body: []Stmt{Set("x", Add(V("x"), C(1)))}},
+				Set("x", Add(V("x"), C(1))),
+			}},
+		}}},
+	}
+	u := Unroll(p, 2, UnwindAssume)
+	if u.HasLoops() {
+		t.Fatal("nested loops remain")
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateExprForms(t *testing.T) {
+	p := &Program{
+		Name:   "v",
+		Shared: []SharedDecl{{Name: "x"}},
+		Threads: []*Thread{{Name: "t", Body: []Stmt{
+			Set("x", BinOp{OpShl, V("x"), C(2)}),
+			Assume{Cond: UnOp{OpLNot, V("x")}},
+			If{Cond: V("x"), Then: []Stmt{Local{Name: "y", Init: V("x")}}},
+		}}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalRedeclarationAllowed(t *testing.T) {
+	// Loop unrolling duplicates local declarations; they must validate.
+	p := &Program{
+		Name:   "re",
+		Shared: []SharedDecl{{Name: "x"}},
+		Threads: []*Thread{{Name: "t", Body: []Stmt{
+			Local{Name: "a", Init: C(1)},
+			Local{Name: "a", Init: C(2)},
+			Set("x", V("a")),
+		}}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHexAndNegativeLiterals(t *testing.T) {
+	p, err := Parse("hex", `
+shared x = -5;
+thread t { x = 0x1f; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shared[0].Init != -5 {
+		t.Fatalf("negative init: %d", p.Shared[0].Init)
+	}
+	if c := p.Threads[0].Body[0].(Assign).Rhs.(Const); c.Value != 31 {
+		t.Fatalf("hex literal: %d", c.Value)
+	}
+}
+
+func TestCompoundAssignmentSugar(t *testing.T) {
+	p, err := Parse("sugar", `
+shared x = 1;
+thread t {
+    x += 2;
+    x -= 1;
+    x *= 3;
+    x &= 7;
+    x |= 8;
+    x ^= 1;
+    x++;
+    x--;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []Op{OpAdd, OpSub, OpMul, OpBitAnd, OpBitOr, OpBitXor, OpAdd, OpSub}
+	if len(p.Threads[0].Body) != len(wantOps) {
+		t.Fatalf("got %d stmts", len(p.Threads[0].Body))
+	}
+	for i, s := range p.Threads[0].Body {
+		bin := s.(Assign).Rhs.(BinOp)
+		if bin.Op != wantOps[i] {
+			t.Errorf("stmt %d: op %v, want %v", i, bin.Op, wantOps[i])
+		}
+		if ref, ok := bin.L.(Ref); !ok || ref.Name != "x" {
+			t.Errorf("stmt %d: lhs of desugared op must be x", i)
+		}
+	}
+	// Desugared text must re-parse.
+	if _, err := Parse("resugar", Format(p)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForLoopSugar(t *testing.T) {
+	p, err := Parse("forloop", `
+shared x;
+thread t {
+    local i;
+    for (i = 0; i < 3; i++) {
+        x += 1;
+    }
+    for (; x < 10;) {
+        x += 2;
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := p.Threads[0].Body
+	// local i; i = 0; while(...); while(...)
+	if len(body) != 4 {
+		t.Fatalf("got %d statements: %#v", len(body), body)
+	}
+	w1, ok := body[2].(While)
+	if !ok {
+		t.Fatalf("statement 2 is %T, want While", body[2])
+	}
+	// Body: x += 1 plus the spliced step i++.
+	if len(w1.Body) != 2 {
+		t.Fatalf("first loop body: %d stmts", len(w1.Body))
+	}
+	if _, ok := body[3].(While); !ok {
+		t.Fatalf("statement 3 is %T, want While", body[3])
+	}
+	// Unrolling and validation must work on the desugared form.
+	u := Unroll(p, 3, UnwindAssume)
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

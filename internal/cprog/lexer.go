@@ -1,0 +1,179 @@
+package cprog
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokPunct // operators and delimiters, stored verbatim in text
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	val  int64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokInt:
+		return fmt.Sprintf("%d", t.val)
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (lx *lexer) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("%d:%d: %s", lx.line, lx.col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peek() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peek2() rune {
+	if lx.pos+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+1]
+}
+
+func (lx *lexer) advance() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		switch {
+		case unicode.IsSpace(r):
+			lx.advance()
+		case r == '/' && lx.peek2() == '/':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case r == '/' && lx.peek2() == '*':
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return lx.errorf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// twoCharPuncts are the multi-rune operators, longest match first.
+var twoCharPuncts = []string{
+	"==", "!=", "<=", ">=", "<<", ">>", "&&", "||",
+	"+=", "-=", "*=", "&=", "|=", "^=", "++", "--",
+}
+
+func (lx *lexer) next() (token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	r := lx.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := lx.pos
+		for lx.pos < len(lx.src) {
+			c := lx.peek()
+			if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+				lx.advance()
+			} else {
+				break
+			}
+		}
+		return token{kind: tokIdent, text: string(lx.src[start:lx.pos]), line: line, col: col}, nil
+	case unicode.IsDigit(r):
+		start := lx.pos
+		for lx.pos < len(lx.src) && (unicode.IsDigit(lx.peek()) || lx.peek() == 'x' || lx.peek() == 'X' ||
+			(lx.peek() >= 'a' && lx.peek() <= 'f') || (lx.peek() >= 'A' && lx.peek() <= 'F')) {
+			lx.advance()
+		}
+		text := string(lx.src[start:lx.pos])
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return token{}, fmt.Errorf("%d:%d: bad integer literal %q", line, col, text)
+		}
+		return token{kind: tokInt, val: v, line: line, col: col}, nil
+	default:
+		if lx.pos+1 < len(lx.src) {
+			two := string(lx.src[lx.pos : lx.pos+2])
+			for _, p := range twoCharPuncts {
+				if two == p {
+					lx.advance()
+					lx.advance()
+					return token{kind: tokPunct, text: p, line: line, col: col}, nil
+				}
+			}
+		}
+		lx.advance()
+		return token{kind: tokPunct, text: string(r), line: line, col: col}, nil
+	}
+}
+
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,478 @@
+package cprog
+
+import "fmt"
+
+// Parse converts program text to its AST and validates it. The syntax is a
+// small C-like DSL:
+//
+//	shared x = 0;
+//	shared m;                     // mutex, initially 0
+//	thread t1 {
+//	    local r;
+//	    lock(m);
+//	    r = x; x = r + 1;
+//	    unlock(m);
+//	}
+//	thread t2 { ... }
+//	main { assert(x == 2); }      // runs after all threads join
+func Parse(name, src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram(name)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	// pending holds statements to splice after the one just parsed (the
+	// desugared tail of a for loop).
+	pending []Stmt
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) at(s string) bool {
+	t := p.cur()
+	return (t.kind == tokPunct || t.kind == tokIdent) && t.text == s
+}
+
+func (p *parser) accept(s string) bool {
+	if p.at(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) error {
+	if !p.accept(s) {
+		return fmt.Errorf("%d:%d: expected %q, found %q", p.cur().line, p.cur().col, s, p.cur().String())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("%d:%d: expected identifier, found %q", t.line, t.col, t.String())
+	}
+	p.advance()
+	return t.text, nil
+}
+
+func (p *parser) parseProgram(name string) (*Program, error) {
+	prog := &Program{Name: name}
+	for p.cur().kind != tokEOF {
+		switch {
+		case p.accept("shared"):
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			var init int64
+			if p.accept("=") {
+				neg := p.accept("-")
+				t := p.cur()
+				if t.kind != tokInt {
+					return nil, fmt.Errorf("%d:%d: expected integer initialiser", t.line, t.col)
+				}
+				p.advance()
+				init = t.val
+				if neg {
+					init = -init
+				}
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			prog.Shared = append(prog.Shared, SharedDecl{Name: id, Init: init})
+		case p.accept("thread"):
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			body, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			prog.Threads = append(prog.Threads, &Thread{Name: id, Body: body})
+		case p.accept("main"):
+			body, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			prog.Post = append(prog.Post, body...)
+		default:
+			t := p.cur()
+			return nil, fmt.Errorf("%d:%d: expected shared/thread/main, found %q", t.line, t.col, t.String())
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var body []Stmt
+	for !p.at("}") {
+		if p.cur().kind == tokEOF {
+			return nil, fmt.Errorf("unexpected end of input inside block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+		body = append(body, p.pending...)
+		p.pending = nil
+	}
+	p.advance() // consume }
+	return body, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.accept("local"):
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		var init Expr
+		if p.accept("=") {
+			init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return Local{Name: id, Init: init}, p.expect(";")
+	case p.accept("assume"):
+		e, err := p.parseParenExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Assume{Cond: e}, p.expect(";")
+	case p.accept("assert"):
+		e, err := p.parseParenExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Assert{Cond: e}, p.expect(";")
+	case p.accept("if"):
+		cond, err := p.parseParenExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept("else") {
+			if p.at("if") {
+				s, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				els = []Stmt{s}
+			} else {
+				els, err = p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return If{Cond: cond, Then: then, Else: els}, nil
+	case p.accept("while"):
+		cond, err := p.parseParenExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return While{Cond: cond, Body: body}, nil
+	case p.accept("for"):
+		// for (init; cond; step) { body } desugars to init; while (cond)
+		// { body; step }. The statement returns the while; the init is
+		// spliced by returning a synthetic sequence via Atomic? No — for
+		// keeps loop semantics only: we return the init statement followed
+		// by the loop through a trailing buffer (see pendingStmts).
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var init Stmt
+		if !p.at(";") {
+			var err error
+			init, err = p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		var cond Expr = C(1)
+		if !p.at(";") {
+			var err error
+			cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		var step Stmt
+		if !p.at(")") {
+			var err error
+			step, err = p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		if step != nil {
+			body = append(body, step)
+		}
+		loop := While{Cond: cond, Body: body}
+		if init != nil {
+			p.pending = append(p.pending, loop)
+			return init, nil
+		}
+		return loop, nil
+	case p.accept("lock"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return Lock{Mutex: id}, p.expect(";")
+	case p.accept("unlock"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return Unlock{Mutex: id}, p.expect(";")
+	case p.accept("fence"):
+		return Fence{}, p.expect(";")
+	case p.accept("atomic"):
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return Atomic{Body: body}, nil
+	case p.accept("havoc"):
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return Havoc{Name: id}, p.expect(";")
+	default:
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		// Compound assignment and increment/decrement sugar.
+		compound := map[string]Op{"+=": OpAdd, "-=": OpSub, "*=": OpMul, "&=": OpBitAnd, "|=": OpBitOr, "^=": OpBitXor}
+		if op, ok := compound[p.cur().text]; ok && p.cur().kind == tokPunct {
+			p.advance()
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return Assign{Lhs: id, Rhs: BinOp{Op: op, L: Ref{Name: id}, R: rhs}}, p.expect(";")
+		}
+		if p.accept("++") {
+			return Assign{Lhs: id, Rhs: Add(V(id), C(1))}, p.expect(";")
+		}
+		if p.accept("--") {
+			return Assign{Lhs: id, Rhs: Sub(V(id), C(1))}, p.expect(";")
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Assign{Lhs: id, Rhs: rhs}, p.expect(";")
+	}
+}
+
+// parseSimpleStmt parses an assignment (including compound/++/-- sugar) or
+// local declaration WITHOUT a trailing semicolon, for for-loop headers.
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	if p.accept("local") {
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		var init Expr
+		if p.accept("=") {
+			init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return Local{Name: id, Init: init}, nil
+	}
+	id, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	compound := map[string]Op{"+=": OpAdd, "-=": OpSub, "*=": OpMul, "&=": OpBitAnd, "|=": OpBitOr, "^=": OpBitXor}
+	if op, ok := compound[p.cur().text]; ok && p.cur().kind == tokPunct {
+		p.advance()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Assign{Lhs: id, Rhs: BinOp{Op: op, L: Ref{Name: id}, R: rhs}}, nil
+	}
+	if p.accept("++") {
+		return Assign{Lhs: id, Rhs: Add(V(id), C(1))}, nil
+	}
+	if p.accept("--") {
+		return Assign{Lhs: id, Rhs: Sub(V(id), C(1))}, nil
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return Assign{Lhs: id, Rhs: rhs}, nil
+}
+
+func (p *parser) parseParenExpr() (Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return e, p.expect(")")
+}
+
+// Precedence climbing. Levels from loosest to tightest:
+// || , && , | , ^ , & , ==/!= , rel , shifts , +- , * , unary.
+
+var binLevels = [][]struct {
+	text string
+	op   Op
+}{
+	{{"||", OpLOr}},
+	{{"&&", OpLAnd}},
+	{{"|", OpBitOr}},
+	{{"^", OpBitXor}},
+	{{"&", OpBitAnd}},
+	{{"==", OpEq}, {"!=", OpNe}},
+	{{"<=", OpLe}, {">=", OpGe}, {"<", OpLt}, {">", OpGt}},
+	{{"<<", OpShl}, {">>", OpShr}},
+	{{"+", OpAdd}, {"-", OpSub}},
+	{{"*", OpMul}},
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBin(0) }
+
+func (p *parser) parseBin(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBin(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, cand := range binLevels[level] {
+			if p.cur().kind == tokPunct && p.cur().text == cand.text {
+				p.advance()
+				rhs, err := p.parseBin(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				lhs = BinOp{Op: cand.op, L: lhs, R: rhs}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch {
+	case p.accept("!"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnOp{Op: OpLNot, X: x}, nil
+	case p.accept("-"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnOp{Op: OpNeg, X: x}, nil
+	case p.accept("~"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnOp{Op: OpBitNot, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.advance()
+		return Const{Value: t.val}, nil
+	case t.kind == tokIdent:
+		p.advance()
+		return Ref{Name: t.text}, nil
+	case p.accept("("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	}
+	return nil, fmt.Errorf("%d:%d: expected expression, found %q", t.line, t.col, t.String())
+}

@@ -1,0 +1,99 @@
+package cprog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the program back to parseable source text.
+func Format(p *Program) string {
+	var b strings.Builder
+	for _, d := range p.Shared {
+		if d.Init != 0 {
+			fmt.Fprintf(&b, "shared %s = %d;\n", d.Name, d.Init)
+		} else {
+			fmt.Fprintf(&b, "shared %s;\n", d.Name)
+		}
+	}
+	for _, t := range p.Threads {
+		fmt.Fprintf(&b, "\nthread %s {\n", t.Name)
+		formatStmts(&b, t.Body, 1)
+		b.WriteString("}\n")
+	}
+	if len(p.Post) > 0 {
+		b.WriteString("\nmain {\n")
+		formatStmts(&b, p.Post, 1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func formatStmts(b *strings.Builder, body []Stmt, depth int) {
+	for _, s := range body {
+		indent(b, depth)
+		switch st := s.(type) {
+		case Local:
+			if st.Init != nil {
+				fmt.Fprintf(b, "local %s = %s;\n", st.Name, FormatExpr(st.Init))
+			} else {
+				fmt.Fprintf(b, "local %s;\n", st.Name)
+			}
+		case Assign:
+			fmt.Fprintf(b, "%s = %s;\n", st.Lhs, FormatExpr(st.Rhs))
+		case Assume:
+			fmt.Fprintf(b, "assume(%s);\n", FormatExpr(st.Cond))
+		case Assert:
+			fmt.Fprintf(b, "assert(%s);\n", FormatExpr(st.Cond))
+		case If:
+			fmt.Fprintf(b, "if (%s) {\n", FormatExpr(st.Cond))
+			formatStmts(b, st.Then, depth+1)
+			indent(b, depth)
+			if len(st.Else) > 0 {
+				b.WriteString("} else {\n")
+				formatStmts(b, st.Else, depth+1)
+				indent(b, depth)
+			}
+			b.WriteString("}\n")
+		case While:
+			fmt.Fprintf(b, "while (%s) {\n", FormatExpr(st.Cond))
+			formatStmts(b, st.Body, depth+1)
+			indent(b, depth)
+			b.WriteString("}\n")
+		case Lock:
+			fmt.Fprintf(b, "lock(%s);\n", st.Mutex)
+		case Unlock:
+			fmt.Fprintf(b, "unlock(%s);\n", st.Mutex)
+		case Fence:
+			b.WriteString("fence;\n")
+		case Atomic:
+			b.WriteString("atomic {\n")
+			formatStmts(b, st.Body, depth+1)
+			indent(b, depth)
+			b.WriteString("}\n")
+		case Havoc:
+			fmt.Fprintf(b, "havoc %s;\n", st.Name)
+		}
+	}
+}
+
+// FormatExpr renders an expression with full parenthesisation (always
+// re-parseable; precedence-minimal output is not a goal).
+func FormatExpr(e Expr) string {
+	switch x := e.(type) {
+	case Const:
+		return fmt.Sprintf("%d", x.Value)
+	case Ref:
+		return x.Name
+	case UnOp:
+		return fmt.Sprintf("%s(%s)", x.Op, FormatExpr(x.X))
+	case BinOp:
+		return fmt.Sprintf("(%s %s %s)", FormatExpr(x.L), x.Op, FormatExpr(x.R))
+	}
+	return "?"
+}

@@ -1,0 +1,71 @@
+package cprog
+
+// UnrollMode selects what happens at the unrolling frontier of a loop.
+type UnrollMode int
+
+// Unrolling modes.
+const (
+	// UnwindAssume adds assume(!cond) after the last unrolled iteration:
+	// executions needing more iterations are cut off (the standard BMC
+	// under-approximation; "correct under unrolling bound k" in the paper).
+	UnwindAssume UnrollMode = iota
+	// UnwindAssert adds assert(!cond) instead, so exceeding the bound is
+	// itself reported as a violation (CBMC's --unwinding-assertions).
+	UnwindAssert
+)
+
+// Unroll returns a loop-free copy of the program in which every while loop
+// is replaced by bound-many nested if statements (§5 "Experimental Setup").
+// The input program is not modified.
+func Unroll(p *Program, bound int, mode UnrollMode) *Program {
+	out := &Program{Name: p.Name, Shared: append([]SharedDecl(nil), p.Shared...)}
+	for _, t := range p.Threads {
+		out.Threads = append(out.Threads, &Thread{
+			Name: t.Name,
+			Body: unrollStmts(t.Body, bound, mode),
+		})
+	}
+	out.Post = unrollStmts(p.Post, bound, mode)
+	return out
+}
+
+func unrollStmts(body []Stmt, bound int, mode UnrollMode) []Stmt {
+	out := make([]Stmt, 0, len(body))
+	for _, s := range body {
+		switch st := s.(type) {
+		case While:
+			out = append(out, unrollLoop(st, bound, mode))
+		case If:
+			out = append(out, If{
+				Cond: st.Cond,
+				Then: unrollStmts(st.Then, bound, mode),
+				Else: unrollStmts(st.Else, bound, mode),
+			})
+		case Atomic:
+			out = append(out, Atomic{Body: unrollStmts(st.Body, bound, mode)})
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func unrollLoop(w While, bound int, mode UnrollMode) Stmt {
+	// Innermost frontier: assume/assert the loop exits.
+	var frontier Stmt
+	switch mode {
+	case UnwindAssert:
+		frontier = Assert{Cond: LNot(w.Cond)}
+	default:
+		frontier = Assume{Cond: LNot(w.Cond)}
+	}
+	current := []Stmt{frontier}
+	body := unrollStmts(w.Body, bound, mode)
+	for i := 0; i < bound; i++ {
+		iter := make([]Stmt, 0, len(body)+1)
+		iter = append(iter, body...)
+		iter = append(iter, current...)
+		current = []Stmt{If{Cond: w.Cond, Then: iter}}
+	}
+	return current[0]
+}

@@ -1,0 +1,139 @@
+// Package dimacs reads and writes the DIMACS CNF format, making the CDCL
+// core (internal/sat) usable as a standalone SAT solver (cmd/satsolve) and
+// testable against standard instances.
+package dimacs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"zpre/internal/sat"
+)
+
+// Formula is a parsed CNF instance.
+type Formula struct {
+	NumVars int
+	Clauses [][]sat.Lit
+}
+
+// Parse reads a DIMACS CNF file: comment lines (c ...), a problem line
+// (p cnf <vars> <clauses>), then zero-terminated clauses. The declared
+// clause count is checked; literals out of the declared variable range are
+// rejected.
+func Parse(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	f := &Formula{NumVars: -1}
+	declared := -1
+	var current []sat.Lit
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		if strings.HasPrefix(text, "p") {
+			if f.NumVars >= 0 {
+				return nil, fmt.Errorf("dimacs:%d: duplicate problem line", line)
+			}
+			fields := strings.Fields(text)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("dimacs:%d: malformed problem line %q", line, text)
+			}
+			nv, err1 := strconv.Atoi(fields[2])
+			nc, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || nv < 0 || nc < 0 {
+				return nil, fmt.Errorf("dimacs:%d: bad problem counts %q", line, text)
+			}
+			f.NumVars = nv
+			declared = nc
+			continue
+		}
+		if f.NumVars < 0 {
+			return nil, fmt.Errorf("dimacs:%d: clause before problem line", line)
+		}
+		for _, tok := range strings.Fields(text) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("dimacs:%d: bad literal %q", line, tok)
+			}
+			if n == 0 {
+				f.Clauses = append(f.Clauses, current)
+				current = nil
+				continue
+			}
+			v := n
+			if v < 0 {
+				v = -v
+			}
+			if v > f.NumVars {
+				return nil, fmt.Errorf("dimacs:%d: literal %d out of range (declared %d vars)", line, n, f.NumVars)
+			}
+			current = append(current, sat.MkLit(sat.Var(v-1), n < 0))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(current) > 0 {
+		// Tolerate a missing final 0 (common in the wild).
+		f.Clauses = append(f.Clauses, current)
+	}
+	if declared >= 0 && len(f.Clauses) != declared {
+		return nil, fmt.Errorf("dimacs: declared %d clauses, found %d", declared, len(f.Clauses))
+	}
+	return f, nil
+}
+
+// Write renders the formula in DIMACS CNF format.
+func Write(w io.Writer, f *Formula) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses))
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			n := int(l.Var()) + 1
+			if l.IsNeg() {
+				n = -n
+			}
+			fmt.Fprintf(bw, "%d ", n)
+		}
+		fmt.Fprintln(bw, "0")
+	}
+	return bw.Flush()
+}
+
+// LoadInto installs the formula into a fresh-enough solver: variables are
+// created up to NumVars and every clause added. It returns false if the
+// instance is already trivially unsatisfiable.
+func LoadInto(s *sat.Solver, f *Formula) bool {
+	for s.NVars() < f.NumVars {
+		s.NewVar()
+	}
+	ok := true
+	for _, c := range f.Clauses {
+		if !s.AddClause(c...) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// Model renders a satisfying assignment in the DIMACS solution convention
+// ("v 1 -2 3 ... 0").
+func Model(s *sat.Solver, numVars int) string {
+	var b strings.Builder
+	b.WriteString("v")
+	for v := 0; v < numVars; v++ {
+		n := v + 1
+		if s.Value(sat.Var(v)) == sat.LFalse {
+			n = -n
+		}
+		fmt.Fprintf(&b, " %d", n)
+	}
+	b.WriteString(" 0")
+	return b.String()
+}

@@ -1,0 +1,532 @@
+// Package encode turns a loop-free concurrent program into the paper's
+// verification condition (Eq. 1-2):
+//
+//	Φ = Φ_ssa ∧ Φ_po ∧ Φ_rf ∧ Φ_rf_some ∧ Φ_ws ∧ Φ_fr ∧ Φ_err
+//
+// Each thread is symbolically executed to a sequence of global memory-access
+// events (SSA form); program order is computed per memory model and added as
+// fixed EOG edges; read-from and write-serialization relations become named
+// Boolean variables (rf_<rt>_<ri>_<wt>_<wi>, ws_<t1>_<i1>_<t2>_<i2>) so the
+// backend can reconstruct the interference decision order from names alone;
+// from-read ordering is derived per rf×write pair. The VC is satisfiable iff
+// the program violates an assertion within the given unrolling.
+package encode
+
+import (
+	"fmt"
+
+	"zpre/internal/cprog"
+	"zpre/internal/memmodel"
+	"zpre/internal/proof"
+	"zpre/internal/smt"
+)
+
+// Options configures the encoding.
+type Options struct {
+	// Model is the memory model (SC, TSO, PSO).
+	Model memmodel.Model
+	// Width is the bit width of program integers (default 8; the paper's
+	// instances are 32-bit, which our blaster supports but makes every
+	// experiment proportionally slower).
+	Width int
+	// SelectableAsserts, instead of disjoining all assertion violations into
+	// one error condition, guards each violation behind a selector variable
+	// (VC.Selectors). Solving under the assumption selector_i checks
+	// property i alone; the instance without assumptions is trivially
+	// satisfiable, so use Builder.SolveAssuming. Enables incremental
+	// per-property verification on one solver.
+	SelectableAsserts bool
+	// WithProof records the solver's inference trace (VC.Proof); after an
+	// unsat (safe) verdict, Builder.CheckProof validates it independently.
+	WithProof bool
+}
+
+// Event is one global memory access in SSA form.
+type Event struct {
+	ID      smt.EventID
+	Thread  int // 0 = main
+	Index   int // per-thread memory-event index (used in rf/ws names)
+	Var     string
+	IsWrite bool
+	Guard   smt.Bool
+	Val     smt.BV
+	seqPos  int // position in the thread's access sequence (incl. fences)
+}
+
+// Stats summarises the encoded VC.
+type Stats struct {
+	Threads   int
+	Events    int
+	Reads     int
+	Writes    int
+	RFVars    int
+	WSVars    int
+	POEdges   int
+	Asserts   int
+	Assumes   int
+	Clauses   int
+	Variables int
+}
+
+// VC is an encoded verification condition ready to solve.
+type VC struct {
+	Builder *smt.Builder
+	Events  []*Event
+	Model   memmodel.Model
+	Width   int
+	Stats   Stats
+	// Selectors guards one assertion each (SelectableAsserts mode): solving
+	// under the assumption Selectors[i] asks "is assertion i violable?".
+	Selectors []smt.Bool
+	// AssertThreads records the thread each assertion belongs to, aligned
+	// with Selectors.
+	AssertThreads []int
+	// Proof is the recorded inference trace (WithProof mode), checkable
+	// with Builder.CheckProof after an unsat result.
+	Proof *proof.Trace
+}
+
+// window is a span of events that must not be interleaved by other threads'
+// accesses to the given variables (atomic sections and lock test-and-sets).
+type window struct {
+	thread int
+	first  *Event
+	last   *Event
+	vars   map[string]bool
+}
+
+type encoder struct {
+	bd   *smt.Builder
+	opts Options
+
+	events []*Event
+
+	// Per thread: the access sequence (with fences) and aligned events.
+	seqs      [][]memmodel.Access
+	seqEvents [][]*Event
+
+	assumes       []smt.Bool
+	violations    []smt.Bool
+	assertThreads []int
+	windows       []window
+
+	atomicCounter int
+	guardCounter  int
+	stats         Stats
+}
+
+// threadState is the symbolic execution state of one thread.
+type threadState struct {
+	id         int
+	guard      smt.Bool
+	locals     map[string]smt.BV
+	eventIndex int
+	atomicID   int
+}
+
+// Program encodes a loop-free program. Programs containing loops must be
+// unrolled first (cprog.Unroll); an error is returned otherwise.
+func Program(p *cprog.Program, opts Options) (*VC, error) {
+	if p.HasLoops() {
+		return nil, fmt.Errorf("encode: program %q contains loops; unroll first", p.Name)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Width == 0 {
+		opts.Width = 8
+	}
+	nThreads := len(p.Threads) + 1
+	bd := smt.NewBuilder()
+	var trace *proof.Trace
+	if opts.WithProof {
+		bd, trace = smt.NewBuilderWithProof()
+	}
+	e := &encoder{
+		bd:        bd,
+		opts:      opts,
+		seqs:      make([][]memmodel.Access, nThreads),
+		seqEvents: make([][]*Event, nThreads),
+	}
+
+	// Main thread prologue: one initialising write per shared variable,
+	// then a fence (create/join preserve order across them; paper §3.1).
+	shared := map[string]bool{}
+	main := &threadState{id: 0, guard: e.bd.True(), locals: map[string]smt.BV{}}
+	for _, d := range p.Shared {
+		shared[d.Name] = true
+		e.addWrite(main, d.Name, e.bd.BVConst(uint64(d.Init), opts.Width))
+	}
+	e.addFence(main)
+	initEvents := append([]*Event(nil), e.events...)
+
+	// Threads.
+	firstThreadEvent := len(e.events)
+	for ti, t := range p.Threads {
+		ts := &threadState{id: ti + 1, guard: e.bd.True(), locals: map[string]smt.BV{}}
+		if err := e.execStmts(ts, t.Body, shared); err != nil {
+			return nil, err
+		}
+	}
+	threadEvents := e.events[firstThreadEvent:]
+
+	// Main thread epilogue (after joining all threads).
+	e.addFence(main)
+	firstPostEvent := len(e.events)
+	if err := e.execStmts(main, p.Post, shared); err != nil {
+		return nil, err
+	}
+	postEvents := e.events[firstPostEvent:]
+
+	// Program order per thread under the memory model.
+	reach := e.emitProgramOrder(initEvents, threadEvents, postEvents)
+
+	// Interference relations.
+	e.emitReadFrom(reach)
+	e.emitWriteSerialization()
+	e.emitAtomicWindows()
+
+	// Assumptions and the error condition.
+	for _, a := range e.assumes {
+		e.bd.Assert(a)
+	}
+	var selectors []smt.Bool
+	if opts.SelectableAsserts {
+		for i, v := range e.violations {
+			sel := e.bd.NamedBool(fmt.Sprintf("sel_%d", i))
+			e.bd.AssertClause(e.bd.Not(sel), v)
+			selectors = append(selectors, sel)
+		}
+	} else {
+		e.bd.Assert(e.bd.OrN(e.violations...))
+	}
+
+	e.stats.Threads = nThreads
+	e.stats.Events = len(e.events)
+	e.stats.Asserts = len(e.violations)
+	e.stats.Assumes = len(e.assumes)
+	e.stats.Clauses = e.bd.NumClauses()
+	e.stats.Variables = e.bd.NumVars()
+	return &VC{
+		Builder:       e.bd,
+		Events:        e.events,
+		Model:         opts.Model,
+		Width:         opts.Width,
+		Stats:         e.stats,
+		Selectors:     selectors,
+		AssertThreads: e.assertThreads,
+		Proof:         trace,
+	}, nil
+}
+
+func (e *encoder) addEvent(ts *threadState, name string, isWrite bool, val smt.BV) *Event {
+	ev := &Event{
+		ID:      e.bd.NewEvent(fmt.Sprintf("t%d_%d", ts.id, ts.eventIndex)),
+		Thread:  ts.id,
+		Index:   ts.eventIndex,
+		Var:     name,
+		IsWrite: isWrite,
+		Guard:   ts.guard,
+		Val:     val,
+		seqPos:  len(e.seqs[ts.id]),
+	}
+	ts.eventIndex++
+	e.events = append(e.events, ev)
+	e.seqs[ts.id] = append(e.seqs[ts.id], memmodel.Access{
+		Var:     name,
+		IsWrite: isWrite,
+		Atomic:  ts.atomicID,
+	})
+	e.seqEvents[ts.id] = append(e.seqEvents[ts.id], ev)
+	if isWrite {
+		e.stats.Writes++
+	} else {
+		e.stats.Reads++
+	}
+	return ev
+}
+
+func (e *encoder) addWrite(ts *threadState, name string, val smt.BV) *Event {
+	return e.addEvent(ts, name, true, val)
+}
+
+func (e *encoder) addRead(ts *threadState, name string) *Event {
+	val := e.bd.NamedBV(fmt.Sprintf("v%d_%d_%s", ts.id, ts.eventIndex, name), e.opts.Width)
+	return e.addEvent(ts, name, false, val)
+}
+
+func (e *encoder) addFence(ts *threadState) {
+	e.seqs[ts.id] = append(e.seqs[ts.id], memmodel.Access{IsFence: true})
+	e.seqEvents[ts.id] = append(e.seqEvents[ts.id], nil)
+}
+
+// execStmts symbolically executes a statement list.
+func (e *encoder) execStmts(ts *threadState, body []cprog.Stmt, shared map[string]bool) error {
+	for _, s := range body {
+		if err := e.execStmt(ts, s, shared); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *encoder) execStmt(ts *threadState, s cprog.Stmt, shared map[string]bool) error {
+	switch st := s.(type) {
+	case cprog.Local:
+		if st.Init != nil {
+			v, err := e.evalExpr(ts, st.Init, shared)
+			if err != nil {
+				return err
+			}
+			ts.locals[st.Name] = v
+		} else {
+			ts.locals[st.Name] = e.bd.BVConst(0, e.opts.Width)
+		}
+	case cprog.Assign:
+		v, err := e.evalExpr(ts, st.Rhs, shared)
+		if err != nil {
+			return err
+		}
+		if shared[st.Lhs] {
+			e.addWrite(ts, st.Lhs, v)
+		} else {
+			ts.locals[st.Lhs] = v
+		}
+	case cprog.Havoc:
+		v := e.bd.NewBV(e.opts.Width)
+		if shared[st.Name] {
+			e.addWrite(ts, st.Name, v)
+		} else {
+			ts.locals[st.Name] = v
+		}
+	case cprog.Assume:
+		c, err := e.evalCond(ts, st.Cond, shared)
+		if err != nil {
+			return err
+		}
+		e.assumes = append(e.assumes, e.bd.Implies(ts.guard, c))
+	case cprog.Assert:
+		c, err := e.evalCond(ts, st.Cond, shared)
+		if err != nil {
+			return err
+		}
+		e.violations = append(e.violations, e.bd.And(ts.guard, e.bd.Not(c)))
+		e.assertThreads = append(e.assertThreads, ts.id)
+	case cprog.If:
+		c, err := e.evalCond(ts, st.Cond, shared)
+		if err != nil {
+			return err
+		}
+		// Tag the branch condition so the control-flow heuristic (the
+		// paper's "Other Attempts", after Chen & He 2018) can find it.
+		e.guardCounter++
+		e.bd.NameVar(c, fmt.Sprintf("guard_%d_%d", ts.id, e.guardCounter))
+		saved := ts.locals
+		savedGuard := ts.guard
+
+		thenLocals := copyLocals(saved)
+		ts.locals = thenLocals
+		ts.guard = e.bd.And(savedGuard, c)
+		if err := e.execStmts(ts, st.Then, shared); err != nil {
+			return err
+		}
+		thenLocals = ts.locals
+
+		elseLocals := copyLocals(saved)
+		ts.locals = elseLocals
+		ts.guard = e.bd.And(savedGuard, e.bd.Not(c))
+		if err := e.execStmts(ts, st.Else, shared); err != nil {
+			return err
+		}
+		elseLocals = ts.locals
+
+		ts.guard = savedGuard
+		ts.locals = mergeLocals(e.bd, c, thenLocals, elseLocals, e.opts.Width)
+	case cprog.While:
+		return fmt.Errorf("encode: while reached (program not unrolled)")
+	case cprog.Lock:
+		// Blocking acquire: atomic { assume(m == 0); m = 1; } followed by an
+		// acquire fence — pthread_mutex_lock is a full barrier, so critical
+		// sections do not leak under TSO/PSO.
+		e.addFence(ts)
+		save := ts.atomicID
+		e.atomicCounter++
+		ts.atomicID = e.atomicCounter
+		r := e.addRead(ts, st.Mutex)
+		e.assumes = append(e.assumes, e.bd.Implies(ts.guard, e.bd.BVIsZero(r.Val)))
+		w := e.addWrite(ts, st.Mutex, e.bd.BVConst(1, e.opts.Width))
+		ts.atomicID = save
+		e.addFence(ts)
+		e.windows = append(e.windows, window{
+			thread: ts.id,
+			first:  r,
+			last:   w,
+			vars:   map[string]bool{st.Mutex: true},
+		})
+	case cprog.Unlock:
+		// Release fence before the unlocking store (full-barrier semantics).
+		e.addFence(ts)
+		e.addWrite(ts, st.Mutex, e.bd.BVConst(0, e.opts.Width))
+		e.addFence(ts)
+	case cprog.Fence:
+		e.addFence(ts)
+	case cprog.Atomic:
+		save := ts.atomicID
+		e.atomicCounter++
+		ts.atomicID = e.atomicCounter
+		firstIdx := len(e.seqEvents[ts.id])
+		if err := e.execStmts(ts, st.Body, shared); err != nil {
+			return err
+		}
+		ts.atomicID = save
+		var evs []*Event
+		for _, ev := range e.seqEvents[ts.id][firstIdx:] {
+			if ev != nil {
+				evs = append(evs, ev)
+			}
+		}
+		if len(evs) > 0 {
+			vars := map[string]bool{}
+			for _, ev := range evs {
+				vars[ev.Var] = true
+			}
+			e.windows = append(e.windows, window{
+				thread: ts.id,
+				first:  evs[0],
+				last:   evs[len(evs)-1],
+				vars:   vars,
+			})
+		}
+	default:
+		return fmt.Errorf("encode: unknown statement %T", s)
+	}
+	return nil
+}
+
+func copyLocals(m map[string]smt.BV) map[string]smt.BV {
+	out := make(map[string]smt.BV, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func mergeLocals(bd *smt.Builder, cond smt.Bool, then, els map[string]smt.BV, width int) map[string]smt.BV {
+	out := make(map[string]smt.BV, len(then))
+	zero := bd.BVConst(0, width)
+	for k, tv := range then {
+		ev, ok := els[k]
+		if !ok {
+			ev = zero // declared only in the then-branch
+		}
+		out[k] = bd.BVIte(cond, tv, ev)
+	}
+	for k, ev := range els {
+		if _, ok := then[k]; !ok {
+			out[k] = bd.BVIte(cond, zero, ev)
+		}
+	}
+	return out
+}
+
+// evalCond evaluates an expression as a condition (non-zero is true).
+func (e *encoder) evalCond(ts *threadState, x cprog.Expr, shared map[string]bool) (smt.Bool, error) {
+	v, err := e.evalExpr(ts, x, shared)
+	if err != nil {
+		return smt.Bool{}, err
+	}
+	return e.bd.Not(e.bd.BVIsZero(v)), nil
+}
+
+// evalExpr evaluates an integer expression; every syntactic read of a shared
+// variable produces a fresh global read event (SSA).
+func (e *encoder) evalExpr(ts *threadState, x cprog.Expr, shared map[string]bool) (smt.BV, error) {
+	w := e.opts.Width
+	switch ex := x.(type) {
+	case cprog.Const:
+		return e.bd.BVConst(uint64(ex.Value), w), nil
+	case cprog.Ref:
+		if shared[ex.Name] {
+			return e.addRead(ts, ex.Name).Val, nil
+		}
+		v, ok := ts.locals[ex.Name]
+		if !ok {
+			return smt.BV{}, fmt.Errorf("encode: use of undeclared local %q", ex.Name)
+		}
+		return v, nil
+	case cprog.UnOp:
+		v, err := e.evalExpr(ts, ex.X, shared)
+		if err != nil {
+			return smt.BV{}, err
+		}
+		switch ex.Op {
+		case cprog.OpNeg:
+			return e.bd.BVNeg(v), nil
+		case cprog.OpBitNot:
+			return e.bd.BVNot(v), nil
+		case cprog.OpLNot:
+			return e.bd.BoolToBV(e.bd.BVIsZero(v), w), nil
+		}
+		return smt.BV{}, fmt.Errorf("encode: unknown unary op %v", ex.Op)
+	case cprog.BinOp:
+		l, err := e.evalExpr(ts, ex.L, shared)
+		if err != nil {
+			return smt.BV{}, err
+		}
+		if ex.Op == cprog.OpShl || ex.Op == cprog.OpShr {
+			c, ok := ex.R.(cprog.Const)
+			if !ok {
+				return smt.BV{}, fmt.Errorf("encode: shift amount must be a constant")
+			}
+			k := int(c.Value)
+			if k < 0 || k >= w {
+				return e.bd.BVConst(0, w), nil
+			}
+			if ex.Op == cprog.OpShl {
+				return e.bd.BVShlConst(l, k), nil
+			}
+			return e.bd.BVLshrConst(l, k), nil
+		}
+		r, err := e.evalExpr(ts, ex.R, shared)
+		if err != nil {
+			return smt.BV{}, err
+		}
+		b2i := func(b smt.Bool) smt.BV { return e.bd.BoolToBV(b, w) }
+		switch ex.Op {
+		case cprog.OpAdd:
+			return e.bd.BVAdd(l, r), nil
+		case cprog.OpSub:
+			return e.bd.BVSub(l, r), nil
+		case cprog.OpMul:
+			return e.bd.BVMul(l, r), nil
+		case cprog.OpBitAnd:
+			return e.bd.BVAnd(l, r), nil
+		case cprog.OpBitOr:
+			return e.bd.BVOr(l, r), nil
+		case cprog.OpBitXor:
+			return e.bd.BVXor(l, r), nil
+		case cprog.OpEq:
+			return b2i(e.bd.BVEq(l, r)), nil
+		case cprog.OpNe:
+			return b2i(e.bd.Not(e.bd.BVEq(l, r))), nil
+		case cprog.OpLt:
+			return b2i(e.bd.BVSlt(l, r)), nil
+		case cprog.OpLe:
+			return b2i(e.bd.BVSle(l, r)), nil
+		case cprog.OpGt:
+			return b2i(e.bd.BVSlt(r, l)), nil
+		case cprog.OpGe:
+			return b2i(e.bd.BVSle(r, l)), nil
+		case cprog.OpLAnd:
+			lt := e.bd.Not(e.bd.BVIsZero(l))
+			rt := e.bd.Not(e.bd.BVIsZero(r))
+			return b2i(e.bd.And(lt, rt)), nil
+		case cprog.OpLOr:
+			lt := e.bd.Not(e.bd.BVIsZero(l))
+			rt := e.bd.Not(e.bd.BVIsZero(r))
+			return b2i(e.bd.Or(lt, rt)), nil
+		}
+		return smt.BV{}, fmt.Errorf("encode: unknown binary op %v", ex.Op)
+	}
+	return smt.BV{}, fmt.Errorf("encode: unknown expression %T", x)
+}

@@ -1,0 +1,234 @@
+package encode
+
+import (
+	"strings"
+	"testing"
+
+	"zpre/internal/core"
+	"zpre/internal/cprog"
+	"zpre/internal/memmodel"
+)
+
+func mustEncode(t *testing.T, p *cprog.Program, mm memmodel.Model) *VC {
+	t.Helper()
+	vc, err := Program(p, Options{Model: mm, Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vc
+}
+
+func TestLoopsRejected(t *testing.T) {
+	p := &cprog.Program{
+		Name:   "loop",
+		Shared: []cprog.SharedDecl{{Name: "x"}},
+		Threads: []*cprog.Thread{{Name: "t", Body: []cprog.Stmt{
+			cprog.While{Cond: cprog.V("x"), Body: []cprog.Stmt{cprog.Set("x", cprog.C(0))}},
+		}}},
+	}
+	if _, err := Program(p, Options{}); err == nil || !strings.Contains(err.Error(), "unroll") {
+		t.Fatalf("want unroll error, got %v", err)
+	}
+}
+
+func TestEventExtraction(t *testing.T) {
+	vc := mustEncode(t, fig2(), memmodel.SC)
+	// fig2: 4 init writes + per t1/t2 (read, write, read, write) + 2 post
+	// reads = 4 + 8 + 2 = 14 events.
+	if vc.Stats.Events != 14 {
+		t.Fatalf("events = %d, want 14", vc.Stats.Events)
+	}
+	if vc.Stats.Reads != 6 || vc.Stats.Writes != 8 {
+		t.Fatalf("reads/writes = %d/%d, want 6/8", vc.Stats.Reads, vc.Stats.Writes)
+	}
+	if vc.Stats.Threads != 3 {
+		t.Fatalf("threads = %d", vc.Stats.Threads)
+	}
+	// Event indices are per-thread and consecutive.
+	perThread := map[int][]int{}
+	for _, ev := range vc.Events {
+		perThread[ev.Thread] = append(perThread[ev.Thread], ev.Index)
+	}
+	for tid, idxs := range perThread {
+		for i, idx := range idxs {
+			if idx != i {
+				t.Fatalf("thread %d: index %d at position %d", tid, idx, i)
+			}
+		}
+	}
+}
+
+// TestInterferenceCountInvariantAcrossModels checks the paper's §5.2
+// observation: changing the memory model does not change the number of
+// interference variables, only the program-order constraints.
+func TestInterferenceCountInvariantAcrossModels(t *testing.T) {
+	progs := []*cprog.Program{fig2()}
+	for _, p := range progs {
+		var rf, ws [3]int
+		var po [3]int
+		for i, mm := range memmodel.All() {
+			vc := mustEncode(t, p, mm)
+			rf[i], ws[i], po[i] = vc.Stats.RFVars, vc.Stats.WSVars, vc.Stats.POEdges
+		}
+		if rf[0] != rf[1] || rf[1] != rf[2] {
+			t.Errorf("%s: RF count varies across models: %v", p.Name, rf)
+		}
+		if ws[0] != ws[1] || ws[1] != ws[2] {
+			t.Errorf("%s: WS count varies across models: %v", p.Name, ws)
+		}
+		// The paper's §5.2 observation: relaxation breaks transitivity, so
+		// WMM encodings carry at least as many explicit program-order pairs
+		// as SC (the SC chain compresses transitively).
+		if po[1] < po[0] || po[2] < po[0] {
+			t.Errorf("%s: WMM should need >= explicit po pairs: sc=%d tso=%d pso=%d",
+				p.Name, po[0], po[1], po[2])
+		}
+	}
+}
+
+// TestNamingScheme checks the rf_/ws_ naming convention carries exactly the
+// thread/index data the backend classifier needs, and that the #write count
+// recovered from names matches the encoder's candidate count.
+func TestNamingScheme(t *testing.T) {
+	vc := mustEncode(t, fig2(), memmodel.SC)
+	infos := core.Classify(vc.Builder.NamedVars())
+	rfByRead := map[[2]int]int{}
+	nRF, nWS := 0, 0
+	for _, vi := range infos {
+		switch vi.Class {
+		case core.ClassRFExternal, core.ClassRFInternal:
+			nRF++
+			rfByRead[[2]int{vi.ReadThread, vi.ReadIdx}]++
+		case core.ClassWS:
+			nWS++
+		}
+	}
+	if nRF != vc.Stats.RFVars {
+		t.Fatalf("classifier sees %d rf vars, encoder made %d", nRF, vc.Stats.RFVars)
+	}
+	if nWS != vc.Stats.WSVars {
+		t.Fatalf("classifier sees %d ws vars, encoder made %d", nWS, vc.Stats.WSVars)
+	}
+	// Every read event must have as many rf vars as its candidate count;
+	// the classifier's NumWrites equals that group size by construction.
+	for _, vi := range infos {
+		if vi.Class == core.ClassRFExternal || vi.Class == core.ClassRFInternal {
+			if vi.NumWrites != rfByRead[[2]int{vi.ReadThread, vi.ReadIdx}] {
+				t.Fatalf("NumWrites mismatch for %s", vi.Name)
+			}
+		}
+	}
+}
+
+// TestGuardedEventsBranch: events inside an if-branch get that branch's
+// guard; reads in the condition stay under the outer guard.
+func TestGuardedEventsBranch(t *testing.T) {
+	p := &cprog.Program{
+		Name:   "guard",
+		Shared: []cprog.SharedDecl{{Name: "x"}, {Name: "y"}},
+		Threads: []*cprog.Thread{{Name: "t", Body: []cprog.Stmt{
+			cprog.If{
+				Cond: cprog.Eq(cprog.V("x"), cprog.C(0)),
+				Then: []cprog.Stmt{cprog.Set("y", cprog.C(1))},
+				Else: []cprog.Stmt{cprog.Set("y", cprog.C(2))},
+			},
+		}}},
+	}
+	vc := mustEncode(t, p, memmodel.SC)
+	var condRead, thenWrite, elseWrite *Event
+	for _, ev := range vc.Events {
+		if ev.Thread != 1 {
+			continue
+		}
+		switch {
+		case !ev.IsWrite && ev.Var == "x":
+			condRead = ev
+		case ev.IsWrite && ev.Var == "y" && thenWrite == nil:
+			thenWrite = ev
+		case ev.IsWrite && ev.Var == "y":
+			elseWrite = ev
+		}
+	}
+	if condRead == nil || thenWrite == nil || elseWrite == nil {
+		t.Fatal("missing events")
+	}
+	trueLit := vc.Builder.True().Lit()
+	if condRead.Guard.Lit() != trueLit {
+		t.Error("condition read must be unguarded")
+	}
+	if thenWrite.Guard.Lit() == trueLit || elseWrite.Guard.Lit() == trueLit {
+		t.Error("branch writes must be guarded")
+	}
+	if thenWrite.Guard.Lit() != elseWrite.Guard.Lit().Neg() {
+		// Guards are c and ¬c conjoined with the outer true guard; with
+		// constant folding they are exact complements.
+		t.Error("then/else guards should be complementary")
+	}
+}
+
+// TestLockEmitsWindow: lock() produces the read+write test-and-set pair and
+// fences around it; the fences shrink po relaxation.
+func TestLockEmitsWindow(t *testing.T) {
+	p := &cprog.Program{
+		Name:   "lk",
+		Shared: []cprog.SharedDecl{{Name: "m"}, {Name: "x"}},
+		Threads: []*cprog.Thread{{Name: "t", Body: []cprog.Stmt{
+			cprog.Lock{Mutex: "m"},
+			cprog.Set("x", cprog.C(1)),
+			cprog.Unlock{Mutex: "m"},
+		}}},
+	}
+	vc := mustEncode(t, p, memmodel.PSO)
+	var seq []string
+	for _, ev := range vc.Events {
+		if ev.Thread == 1 {
+			kind := "R"
+			if ev.IsWrite {
+				kind = "W"
+			}
+			seq = append(seq, kind+ev.Var)
+		}
+	}
+	want := []string{"Rm", "Wm", "Wx", "Wm"}
+	if len(seq) != len(want) {
+		t.Fatalf("thread events: %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("thread events: %v, want %v", seq, want)
+		}
+	}
+}
+
+// TestStatsPopulated sanity-checks the remaining stats fields.
+func TestStatsPopulated(t *testing.T) {
+	vc := mustEncode(t, fig2(), memmodel.TSO)
+	s := vc.Stats
+	if s.RFVars == 0 || s.WSVars == 0 || s.POEdges == 0 || s.Clauses == 0 || s.Variables == 0 {
+		t.Fatalf("stats not populated: %+v", s)
+	}
+	if s.Asserts != 1 {
+		t.Fatalf("asserts = %d", s.Asserts)
+	}
+}
+
+// TestAssumeOnlyProgramSafe: a program whose only constraint is an assume
+// (no asserts) has no error condition: trivially safe.
+func TestAssumeOnlyProgramSafe(t *testing.T) {
+	p := &cprog.Program{
+		Name:   "noassert",
+		Shared: []cprog.SharedDecl{{Name: "x"}},
+		Threads: []*cprog.Thread{{Name: "t", Body: []cprog.Stmt{
+			cprog.Havoc{Name: "x"},
+			cprog.Assume{Cond: cprog.Gt(cprog.V("x"), cprog.C(0))},
+		}}},
+	}
+	vc := mustEncode(t, p, memmodel.SC)
+	res, err := vc.Builder.Solve(smtOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status.String() != "unsat" {
+		t.Fatalf("no-assert program must be unsat (safe), got %v", res.Status)
+	}
+}

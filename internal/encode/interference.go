@@ -1,0 +1,212 @@
+package encode
+
+import (
+	"fmt"
+	"sort"
+
+	"zpre/internal/memmodel"
+	"zpre/internal/smt"
+)
+
+// reachability answers "is a guaranteed before b?" over the fixed
+// program-order edges (including create/join), by BFS with memoisation per
+// source.
+type reachability struct {
+	n    int
+	adj  [][]int32
+	memo map[int32][]bool
+}
+
+func newReachability(n int) *reachability {
+	return &reachability{n: n, adj: make([][]int32, n), memo: map[int32][]bool{}}
+}
+
+func (r *reachability) addEdge(a, b smt.EventID) {
+	r.adj[a] = append(r.adj[a], int32(b))
+}
+
+func (r *reachability) reaches(a, b smt.EventID) bool {
+	set, ok := r.memo[int32(a)]
+	if !ok {
+		set = make([]bool, r.n)
+		queue := []int32{int32(a)}
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range r.adj[u] {
+				if !set[v] {
+					set[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		r.memo[int32(a)] = set
+	}
+	return set[b]
+}
+
+// emitProgramOrder computes Φ_po: per-thread preserved program order under
+// the memory model, plus create/join ordering through two dummy EOG nodes.
+// It returns the reachability oracle over the fixed order for candidate
+// pruning.
+func (e *encoder) emitProgramOrder(initEvents, threadEvents, postEvents []*Event) *reachability {
+	orderFixed := func(reach *reachability, a, b smt.EventID) {
+		e.bd.OrderFixed(a, b)
+		reach.addEdge(a, b)
+		e.stats.POEdges++
+	}
+
+	// Per-thread preserved pairs (positions are indices into the access
+	// sequence; fences occupy positions but yield no pairs).
+	type pendingEdge struct{ a, b smt.EventID }
+	var pending []pendingEdge
+	for tid := range e.seqs {
+		pairs := memmodel.OrderedPairs(e.opts.Model, e.seqs[tid])
+		for _, pr := range pairs {
+			a := e.seqEvents[tid][pr[0]]
+			b := e.seqEvents[tid][pr[1]]
+			if a == nil || b == nil {
+				continue // fence endpoints carry no event
+			}
+			pending = append(pending, pendingEdge{a.ID, b.ID})
+		}
+	}
+
+	// Create/join dummies. All events (of all threads) were already created,
+	// so the dummy ids extend the event id space.
+	create := e.bd.NewEvent("create")
+	join := e.bd.NewEvent("join")
+	reach := newReachability(e.bd.NumEvents())
+	for _, ed := range pending {
+		orderFixed(reach, ed.a, ed.b)
+	}
+	for _, ev := range initEvents {
+		orderFixed(reach, ev.ID, create)
+	}
+	for _, ev := range threadEvents {
+		orderFixed(reach, create, ev.ID)
+		orderFixed(reach, ev.ID, join)
+	}
+	orderFixed(reach, create, join)
+	for _, ev := range postEvents {
+		orderFixed(reach, join, ev.ID)
+	}
+	return reach
+}
+
+// emitReadFrom computes Φ_rf, Φ_rf_some and Φ_fr.
+func (e *encoder) emitReadFrom(reach *reachability) {
+	writesByVar := map[string][]*Event{}
+	readsByVar := map[string][]*Event{}
+	for _, ev := range e.events {
+		if ev.IsWrite {
+			writesByVar[ev.Var] = append(writesByVar[ev.Var], ev)
+		} else {
+			readsByVar[ev.Var] = append(readsByVar[ev.Var], ev)
+		}
+	}
+	vars := make([]string, 0, len(readsByVar))
+	for v := range readsByVar {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars) // deterministic encoding order
+
+	for _, v := range vars {
+		writes := writesByVar[v]
+		for _, r := range readsByVar[v] {
+			// Candidate writes: those not provably after the read.
+			var cands []*Event
+			for _, w := range writes {
+				if reach.reaches(r.ID, w.ID) {
+					continue
+				}
+				cands = append(cands, w)
+			}
+			rfVars := make([]smt.Bool, len(cands))
+			some := make([]smt.Bool, 0, len(cands)+1)
+			some = append(some, e.bd.Not(r.Guard))
+			for ci, w := range cands {
+				rf := e.bd.NamedBool(fmt.Sprintf("rf_%d_%d_%d_%d", r.Thread, r.Index, w.Thread, w.Index))
+				rfVars[ci] = rf
+				e.stats.RFVars++
+				nrf := e.bd.Not(rf)
+				// Value equality, bit by bit (strong unit propagation).
+				for bit := 0; bit < e.opts.Width; bit++ {
+					rb, wb := r.Val.Bit(bit), w.Val.Bit(bit)
+					e.bd.AssertClause(nrf, e.bd.Not(rb), wb)
+					e.bd.AssertClause(nrf, rb, e.bd.Not(wb))
+				}
+				// Read-from order and writer guard.
+				e.bd.AssertClause(nrf, e.bd.Before(w.ID, r.ID))
+				e.bd.AssertClause(nrf, w.Guard)
+				some = append(some, rf)
+			}
+			// Φ_rf_some: an occurring read takes its value from some write.
+			e.bd.AssertClause(some...)
+
+			// Φ_fr: if r reads from w and another write k to the same
+			// variable occurs after w, then r is before k.
+			for ci, w := range cands {
+				nrf := e.bd.Not(rfVars[ci])
+				for _, k := range writes {
+					if k == w {
+						continue
+					}
+					if reach.reaches(k.ID, w.ID) {
+						continue // k is fixed before w: antecedent false
+					}
+					e.bd.AssertClause(nrf,
+						e.bd.Not(e.bd.Before(w.ID, k.ID)),
+						e.bd.Not(k.Guard),
+						e.bd.Before(r.ID, k.ID))
+				}
+			}
+		}
+	}
+}
+
+// emitWriteSerialization computes Φ_ws: a total order over same-variable
+// writes, one named Boolean per pair, each polarity forcing one direction
+// (the paper's ws_{i,k} encoding).
+func (e *encoder) emitWriteSerialization() {
+	writesByVar := map[string][]*Event{}
+	for _, ev := range e.events {
+		if ev.IsWrite {
+			writesByVar[ev.Var] = append(writesByVar[ev.Var], ev)
+		}
+	}
+	vars := make([]string, 0, len(writesByVar))
+	for v := range writesByVar {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
+		writes := writesByVar[v]
+		for i := 0; i < len(writes); i++ {
+			for j := i + 1; j < len(writes); j++ {
+				wi, wj := writes[i], writes[j]
+				ws := e.bd.NamedBool(fmt.Sprintf("ws_%d_%d_%d_%d", wi.Thread, wi.Index, wj.Thread, wj.Index))
+				e.stats.WSVars++
+				atom := e.bd.Before(wi.ID, wj.ID)
+				e.bd.AssertClause(e.bd.Not(ws), atom)
+				e.bd.AssertClause(ws, e.bd.Not(atom))
+			}
+		}
+	}
+}
+
+// emitAtomicWindows enforces that no other thread's access to a window's
+// variables lands inside the window (atomic sections, lock test-and-sets).
+func (e *encoder) emitAtomicWindows() {
+	for _, w := range e.windows {
+		for _, ev := range e.events {
+			if ev.Thread == w.thread || !w.vars[ev.Var] {
+				continue
+			}
+			e.bd.AssertClause(
+				e.bd.Not(ev.Guard),
+				e.bd.Before(ev.ID, w.first.ID),
+				e.bd.Before(w.last.ID, ev.ID))
+		}
+	}
+}

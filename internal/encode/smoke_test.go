@@ -1,0 +1,87 @@
+package encode
+
+import (
+	"testing"
+
+	"zpre/internal/core"
+	"zpre/internal/cprog"
+	"zpre/internal/memmodel"
+	"zpre/internal/sat"
+	"zpre/internal/smt"
+)
+
+// fig2 is the paper's running example (Figure 2): with SC semantics the
+// assertion !(m==0 && n==0) can be violated? Both threads read the other's
+// variable before either write is visible... x := y+1 and y := x+1; then
+// m := y, n := x. m==0 requires t1 reading y==0, i.e. before y4; n==0
+// requires t2 reading x==0, before x2. Writes x2 and y4 always happen with
+// values >= 1, and m reads y after x2 (po), n reads x after y4 (po):
+// m==0 ⇒ y3 reads init ⇒ clk(y3) < clk(y4) is allowed; n==0 ⇒ x4 reads
+// init ⇒ clk(x4) < clk(x2). With po y2<x2<y3 and x3<y4<x4, the cycle
+// y3<y4<x4<x2<y3 makes both zero impossible under SC: the program is safe.
+func fig2() *cprog.Program {
+	return &cprog.Program{
+		Name: "fig2",
+		Shared: []cprog.SharedDecl{
+			{Name: "x"}, {Name: "y"}, {Name: "m"}, {Name: "n"},
+		},
+		Threads: []*cprog.Thread{
+			{Name: "t1", Body: []cprog.Stmt{
+				cprog.Set("x", cprog.Add(cprog.V("y"), cprog.C(1))),
+				cprog.Set("m", cprog.V("y")),
+			}},
+			{Name: "t2", Body: []cprog.Stmt{
+				cprog.Set("y", cprog.Add(cprog.V("x"), cprog.C(1))),
+				cprog.Set("n", cprog.V("x")),
+			}},
+		},
+		Post: []cprog.Stmt{
+			cprog.Assert{Cond: cprog.LNot(cprog.LAnd(
+				cprog.Eq(cprog.V("m"), cprog.C(0)),
+				cprog.Eq(cprog.V("n"), cprog.C(0)),
+			))},
+		},
+	}
+}
+
+func solveFig2(t *testing.T, model memmodel.Model, strategy core.Strategy) sat.Status {
+	t.Helper()
+	vc, err := Program(fig2(), Options{Model: model})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	infos := core.Classify(vc.Builder.NamedVars())
+	dec := core.NewDecider(strategy, infos, core.Config{Seed: 1})
+	var decider sat.Decider
+	if dec != nil {
+		decider = dec
+	}
+	res, err := vc.Builder.Solve(smt.Options{Decider: decider})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	return res.Status
+}
+
+func TestFig2SC(t *testing.T) {
+	for _, strat := range []core.Strategy{core.Baseline, core.ZPREMinus, core.ZPRE} {
+		if got := solveFig2(t, memmodel.SC, strat); got != sat.Unsat {
+			t.Errorf("SC/%v: got %v, want unsat (safe)", strat, got)
+		}
+	}
+}
+
+func TestFig2WMM(t *testing.T) {
+	// Under TSO/PSO the W→R reordering lets both m and n read stale zeros:
+	// the assertion is violated (sat).
+	for _, mm := range []memmodel.Model{memmodel.TSO, memmodel.PSO} {
+		for _, strat := range []core.Strategy{core.Baseline, core.ZPREMinus, core.ZPRE} {
+			if got := solveFig2(t, mm, strat); got != sat.Sat {
+				t.Errorf("%v/%v: got %v, want sat (unsafe)", mm, strat, got)
+			}
+		}
+	}
+}
+
+// smtOptions returns default solve options (helper shared by tests).
+func smtOptions() smt.Options { return smt.Options{} }

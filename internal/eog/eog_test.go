@@ -1,0 +1,159 @@
+package eog
+
+import (
+	"strings"
+	"testing"
+
+	"zpre/internal/core"
+	"zpre/internal/cprog"
+	"zpre/internal/encode"
+	"zpre/internal/memmodel"
+	"zpre/internal/sat"
+	"zpre/internal/smt"
+	"zpre/internal/svcomp"
+)
+
+func TestFindCycle(t *testing.T) {
+	g := &Graph{
+		Nodes: []Node{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 3}},
+		Edges: []Edge{{0, 1, PO}, {1, 2, RF}, {2, 0, FR}, {2, 3, PO}},
+	}
+	cyc := g.FindCycle()
+	if cyc == nil {
+		t.Fatal("cycle 0→1→2→0 not found")
+	}
+	if cyc[0] != cyc[len(cyc)-1] {
+		t.Fatalf("cycle must close: %v", cyc)
+	}
+	// Every consecutive pair must be an edge.
+	edgeSet := map[[2]int]bool{}
+	for _, e := range g.Edges {
+		edgeSet[[2]int{e.From, e.To}] = true
+	}
+	for i := 1; i < len(cyc); i++ {
+		if !edgeSet[[2]int{cyc[i-1], cyc[i]}] {
+			t.Fatalf("cycle uses non-edge %d→%d", cyc[i-1], cyc[i])
+		}
+	}
+	if g.Acyclic() {
+		t.Fatal("Acyclic disagrees with FindCycle")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := &Graph{
+		Nodes: []Node{{ID: 0}, {ID: 1}, {ID: 2}},
+		Edges: []Edge{{0, 1, PO}, {0, 2, PO}, {1, 2, WS}},
+	}
+	order := g.TopoOrder()
+	if order == nil {
+		t.Fatal("acyclic graph must topo-sort")
+	}
+	pos := map[int]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, e := range g.Edges {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("edge %d→%d violated by order %v", e.From, e.To, order)
+		}
+	}
+	g.Edges = append(g.Edges, Edge{2, 0, FR})
+	if g.TopoOrder() != nil {
+		t.Fatal("cyclic graph must not topo-sort")
+	}
+}
+
+func buildFig2VC(t *testing.T, mm memmodel.Model) *encode.VC {
+	t.Helper()
+	var prog *cprog.Program
+	for _, b := range svcomp.Lit() {
+		if b.Name == "fig2" {
+			prog = b.Program
+		}
+	}
+	vc, err := encode.Program(prog, encode.Options{Model: mm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vc
+}
+
+func TestFromVC(t *testing.T) {
+	vc := buildFig2VC(t, memmodel.SC)
+	g := FromVC(vc)
+	if len(g.Nodes) != vc.Builder.NumEvents() {
+		t.Fatalf("nodes %d != events %d", len(g.Nodes), vc.Builder.NumEvents())
+	}
+	dummies := 0
+	for _, n := range g.Nodes {
+		if n.Dummy {
+			dummies++
+		}
+	}
+	if dummies != 2 {
+		t.Fatalf("want 2 dummies (create/join), got %d", dummies)
+	}
+	if !g.Acyclic() {
+		t.Fatal("program order must be acyclic")
+	}
+	if g.TopoOrder() == nil {
+		t.Fatal("po graph must topo-sort")
+	}
+}
+
+// TestWithModelIsAcyclic: after a Sat solve, the model's interference edges
+// plus program order must form an acyclic EOG (§3.3 validity), and its
+// linearisation is a witness interleaving.
+func TestWithModelIsAcyclic(t *testing.T) {
+	vc := buildFig2VC(t, memmodel.TSO) // unsafe: solver finds a model
+	infos := core.Classify(vc.Builder.NamedVars())
+	dec := core.NewDecider(core.ZPRE, infos, core.Config{Seed: 3})
+	res, err := vc.Builder.Solve(smt.Options{Decider: dec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Sat {
+		t.Fatalf("fig2/TSO must be sat, got %v", res.Status)
+	}
+	g := WithModel(vc, FromVC(vc))
+	if len(g.Edges) <= len(FromVC(vc).Edges) {
+		t.Fatal("model must contribute interference edges")
+	}
+	if cyc := g.FindCycle(); cyc != nil {
+		t.Fatalf("valid execution EOG must be acyclic; cycle %v", cyc)
+	}
+	if g.TopoOrder() == nil {
+		t.Fatal("witness linearisation failed")
+	}
+	// Some RF and WS edges must be present.
+	kinds := map[EdgeKind]int{}
+	for _, e := range g.Edges {
+		kinds[e.Kind]++
+	}
+	if kinds[RF] == 0 || kinds[WS] == 0 {
+		t.Fatalf("edge kinds: %v", kinds)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	vc := buildFig2VC(t, memmodel.SC)
+	g := FromVC(vc)
+	dot := g.DOT("fig2")
+	for _, want := range []string{"digraph", "grey80", "style=solid", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Error("DOT not closed")
+	}
+}
+
+func TestEdgeKindString(t *testing.T) {
+	for k, s := range map[EdgeKind]string{PO: "po", RF: "rf", WS: "ws", FR: "fr"} {
+		if k.String() != s {
+			t.Errorf("%v != %s", k, s)
+		}
+	}
+}

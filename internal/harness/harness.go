@@ -1,0 +1,304 @@
+// Package harness runs the paper's evaluation (§5): every corpus program is
+// encoded per memory model and unrolling bound, and each resulting SMT
+// instance (a "verification task") is solved with each decision strategy.
+// Aggregators reproduce Table 1 (both-solved time and speedup), Table 2
+// (decisions/propagations/conflicts), Table 3 (Z3 vs ZPRE⁻ vs ZPRE summary)
+// and the data series behind Figures 6–11 (per-task scatter and
+// per-subcategory times).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"zpre/internal/core"
+	"zpre/internal/cprog"
+	"zpre/internal/encode"
+	"zpre/internal/memmodel"
+	"zpre/internal/sat"
+	"zpre/internal/smt"
+	"zpre/internal/svcomp"
+	"zpre/internal/witness"
+)
+
+// Task is one SMT instance: a program at a memory model and unroll bound.
+type Task struct {
+	Bench svcomp.Benchmark
+	Model memmodel.Model
+	Bound int
+}
+
+// ID renders a unique task identifier.
+func (t Task) ID() string {
+	return fmt.Sprintf("%s/%s@%s/k%d", t.Bench.Subcategory, t.Bench.Name, t.Model, t.Bound)
+}
+
+// RunResult is the outcome of solving one task with one strategy.
+type RunResult struct {
+	Task     Task
+	Strategy core.Strategy
+	Status   sat.Status
+	Solve    time.Duration
+	Encode   time.Duration
+	Stats    sat.Stats
+	Err      error
+	// Checked: the verdict passed independent validation (CheckVerdicts
+	// mode). CheckSkipped: the proof exceeded the checking cap.
+	Checked      bool
+	CheckSkipped bool
+	// CheckErr is a validation failure (a solver bug if it ever happens).
+	CheckErr error
+}
+
+// Solved reports whether the run finished within budget.
+func (r RunResult) Solved() bool { return r.Err == nil && r.Status != sat.Unknown }
+
+// Config controls an evaluation run.
+type Config struct {
+	// Models to evaluate (default: SC, TSO, PSO — the paper's three).
+	Models []memmodel.Model
+	// Strategies to evaluate (default: Baseline, ZPREMinus, ZPRE).
+	Strategies []core.Strategy
+	// Bounds are the unroll bounds (the paper uses 1..6; loop-free programs
+	// are deduplicated to bound 1, as in §5 "after eliminating duplications").
+	Bounds []int
+	// Timeout per task (the paper uses 1800 s; default 10 s here).
+	Timeout time.Duration
+	// MaxConflicts optionally caps the search instead of/in addition to the
+	// wall clock (deterministic budgets for tests).
+	MaxConflicts uint64
+	// Width is the program integer bit width (default 8).
+	Width int
+	// Seed drives random polarities.
+	Seed int64
+	// Subcategories restricts the corpus (empty = all).
+	Subcategories []string
+	// CheckVerdicts validates every verdict independently: unsat answers by
+	// proof checking (internal/proof; skipped above CheckLearntCap learnt
+	// clauses — the naive RUP checker is quadratic), sat answers by witness
+	// schedule validation (internal/witness). Failures land in
+	// RunResult.CheckErr.
+	CheckVerdicts bool
+	// CheckLearntCap bounds proof checking (default 4000 learnt clauses).
+	CheckLearntCap int
+	// Parallel is the number of worker goroutines solving tasks. Default 1:
+	// sequential runs give the cleanest per-task wall-clock timings (the
+	// quantity the paper reports). Set to runtime.NumCPU() (or use
+	// RunParallel) for throughput when only verdicts and counters matter —
+	// the corpus sweep is embarrassingly parallel across tasks.
+	Parallel int
+	// Progress, when non-nil, receives one line per completed task.
+	Progress io.Writer
+}
+
+func (c *Config) fill() {
+	if len(c.Models) == 0 {
+		c.Models = memmodel.All()
+	}
+	if len(c.Strategies) == 0 {
+		c.Strategies = []core.Strategy{core.Baseline, core.ZPREMinus, core.ZPRE}
+	}
+	if len(c.Bounds) == 0 {
+		c.Bounds = []int{1, 2, 3}
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.Width == 0 {
+		c.Width = 8
+	}
+	if c.CheckLearntCap == 0 {
+		c.CheckLearntCap = 4000
+	}
+}
+
+// Tasks expands the corpus into the task list: programs × models × bounds,
+// with loop-free programs contributing a single bound (the paper's
+// deduplication of identical SMT files).
+func Tasks(cfg Config) []Task {
+	cfg.fill()
+	var benches []svcomp.Benchmark
+	if len(cfg.Subcategories) == 0 {
+		benches = svcomp.All()
+	} else {
+		for _, sub := range cfg.Subcategories {
+			benches = append(benches, svcomp.BySubcategory(sub)...)
+		}
+	}
+	var tasks []Task
+	for _, b := range benches {
+		bounds := cfg.Bounds
+		if !b.Program.HasLoops() {
+			bounds = cfg.Bounds[:1]
+		}
+		for _, mm := range cfg.Models {
+			for _, k := range bounds {
+				tasks = append(tasks, Task{Bench: b, Model: mm, Bound: k})
+			}
+		}
+	}
+	return tasks
+}
+
+// Results holds every run of an evaluation.
+type Results struct {
+	Config Config
+	Runs   []RunResult
+}
+
+// Run executes the full evaluation: every task is encoded once per strategy
+// (deterministic encoding yields the identical instance, mirroring the
+// paper's shared SMT files) and solved; solving time excludes encoding, as
+// the paper measures backend time only. With cfg.Parallel > 1, tasks are
+// distributed over a worker pool; results come back in deterministic order
+// regardless of completion order.
+func Run(cfg Config) *Results {
+	cfg.fill()
+	res := &Results{Config: cfg}
+	tasks := Tasks(cfg)
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = 1
+	}
+
+	type job struct {
+		taskIdx  int
+		stratIdx int
+	}
+	nStrat := len(cfg.Strategies)
+	res.Runs = make([]RunResult, len(tasks)*nStrat)
+
+	if workers == 1 {
+		for i, task := range tasks {
+			for si, strat := range cfg.Strategies {
+				res.Runs[i*nStrat+si] = RunOne(task, strat, cfg)
+			}
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "[%d/%d] %s\n", i+1, len(tasks), task.ID())
+			}
+		}
+		return res
+	}
+
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var done int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r := RunOne(tasks[j.taskIdx], cfg.Strategies[j.stratIdx], cfg)
+				res.Runs[j.taskIdx*nStrat+j.stratIdx] = r
+				if cfg.Progress != nil {
+					mu.Lock()
+					done++
+					fmt.Fprintf(cfg.Progress, "[%d/%d] %s\n", done, len(res.Runs), r.Task.ID())
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for ti := range tasks {
+		for si := range cfg.Strategies {
+			jobs <- job{taskIdx: ti, stratIdx: si}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return res
+}
+
+// RunParallel is Run with one worker per CPU: maximal throughput for
+// verdict/counter sweeps where per-task wall-clock timing fidelity is not
+// needed.
+func RunParallel(cfg Config) *Results {
+	cfg.Parallel = runtime.NumCPU()
+	return Run(cfg)
+}
+
+// RunOne encodes and solves a single task with one strategy.
+func RunOne(task Task, strat core.Strategy, cfg Config) RunResult {
+	cfg.fill()
+	out := RunResult{Task: task, Strategy: strat}
+
+	encStart := time.Now()
+	unrolled := cprog.Unroll(task.Bench.Program, task.Bound, cprog.UnwindAssume)
+	vc, err := encode.Program(unrolled, encode.Options{
+		Model:     task.Model,
+		Width:     cfg.Width,
+		WithProof: cfg.CheckVerdicts,
+	})
+	out.Encode = time.Since(encStart)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+
+	infos := core.Classify(vc.Builder.NamedVars())
+	dec := core.NewDecider(strat, infos, core.Config{Seed: cfg.Seed})
+	var decider sat.Decider
+	if dec != nil {
+		decider = dec
+	}
+	opts := smt.Options{Decider: decider, MaxConflicts: cfg.MaxConflicts}
+	if cfg.Timeout > 0 {
+		opts.Deadline = time.Now().Add(cfg.Timeout)
+	}
+	r, err := vc.Builder.Solve(opts)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Status = r.Status
+	out.Solve = r.Elapsed
+	out.Stats = r.Stats
+	if cfg.CheckVerdicts {
+		checkVerdict(&out, vc, cfg)
+	}
+	return out
+}
+
+// checkVerdict validates the run's answer independently of the solver.
+func checkVerdict(out *RunResult, vc *encode.VC, cfg Config) {
+	switch out.Status {
+	case sat.Unsat:
+		_, learnts, _, _ := vc.Proof.Stats()
+		if learnts > cfg.CheckLearntCap {
+			out.CheckSkipped = true
+			return
+		}
+		if err := vc.Builder.CheckProof(vc.Proof); err != nil {
+			out.CheckErr = err
+			return
+		}
+		out.Checked = true
+	case sat.Sat:
+		steps, err := witness.Extract(vc)
+		if err == nil {
+			err = witness.Validate(steps)
+		}
+		if err != nil {
+			out.CheckErr = err
+			return
+		}
+		out.Checked = true
+	}
+}
+
+// byTask groups runs per task id and strategy.
+func (r *Results) byTask() map[string]map[core.Strategy]RunResult {
+	out := map[string]map[core.Strategy]RunResult{}
+	for _, run := range r.Runs {
+		id := run.Task.ID()
+		if out[id] == nil {
+			out[id] = map[core.Strategy]RunResult{}
+		}
+		out[id][run.Strategy] = run
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// JSONRun is the serialisable form of one run (stable field names for
+// downstream analysis scripts).
+type JSONRun struct {
+	Task         string  `json:"task"`
+	Subcategory  string  `json:"subcategory"`
+	Benchmark    string  `json:"benchmark"`
+	Model        string  `json:"model"`
+	Bound        int     `json:"bound"`
+	Strategy     string  `json:"strategy"`
+	Status       string  `json:"status"`
+	SolveSec     float64 `json:"solve_sec"`
+	EncodeSec    float64 `json:"encode_sec"`
+	Decisions    uint64  `json:"decisions"`
+	Propagations uint64  `json:"propagations"`
+	TheoryProps  uint64  `json:"theory_propagations"`
+	Conflicts    uint64  `json:"conflicts"`
+	TheoryConfl  uint64  `json:"theory_conflicts"`
+	Restarts     uint64  `json:"restarts"`
+	Checked      bool    `json:"checked,omitempty"`
+	CheckSkipped bool    `json:"check_skipped,omitempty"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// JSONResults is the top-level export document.
+type JSONResults struct {
+	Models     []string  `json:"models"`
+	Strategies []string  `json:"strategies"`
+	Bounds     []int     `json:"bounds"`
+	TimeoutSec float64   `json:"timeout_sec"`
+	Width      int       `json:"width"`
+	Runs       []JSONRun `json:"runs"`
+}
+
+// WriteJSON serialises the full result set for external analysis
+// (plotting the paper's figures with real chart tooling, regression
+// tracking, etc.).
+func (r *Results) WriteJSON(w io.Writer) error {
+	doc := JSONResults{
+		TimeoutSec: r.Config.Timeout.Seconds(),
+		Width:      r.Config.Width,
+		Bounds:     r.Config.Bounds,
+	}
+	for _, m := range r.Config.Models {
+		doc.Models = append(doc.Models, m.String())
+	}
+	for _, s := range r.Config.Strategies {
+		doc.Strategies = append(doc.Strategies, s.String())
+	}
+	for _, run := range r.Runs {
+		jr := JSONRun{
+			Task:         run.Task.ID(),
+			Subcategory:  run.Task.Bench.Subcategory,
+			Benchmark:    run.Task.Bench.Name,
+			Model:        run.Task.Model.String(),
+			Bound:        run.Task.Bound,
+			Strategy:     run.Strategy.String(),
+			Status:       run.Status.String(),
+			SolveSec:     durSec(run.Solve),
+			EncodeSec:    durSec(run.Encode),
+			Decisions:    run.Stats.Decisions,
+			Propagations: run.Stats.Propagations,
+			TheoryProps:  run.Stats.TheoryProps,
+			Conflicts:    run.Stats.Conflicts,
+			TheoryConfl:  run.Stats.TheoryConfl,
+			Restarts:     run.Stats.Restarts,
+			Checked:      run.Checked,
+			CheckSkipped: run.CheckSkipped,
+		}
+		if run.Err != nil {
+			jr.Error = run.Err.Error()
+		} else if run.CheckErr != nil {
+			jr.Error = "validation: " + run.CheckErr.Error()
+		}
+		doc.Runs = append(doc.Runs, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func durSec(d time.Duration) float64 { return d.Seconds() }

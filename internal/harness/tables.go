@@ -1,0 +1,452 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"zpre/internal/core"
+	"zpre/internal/memmodel"
+	"zpre/internal/sat"
+)
+
+// Table1Row reproduces one row of the paper's Table 1: accumulated CPU time
+// of baseline vs ZPRE on both-solved tasks, split by satisfiability.
+type Table1Row struct {
+	Model      memmodel.Model
+	BothSolved int
+	SatBase    time.Duration
+	SatZpre    time.Duration
+	UnsatBase  time.Duration
+	UnsatZpre  time.Duration
+}
+
+// AllBase returns the total baseline time.
+func (r Table1Row) AllBase() time.Duration { return r.SatBase + r.UnsatBase }
+
+// AllZpre returns the total ZPRE time.
+func (r Table1Row) AllZpre() time.Duration { return r.SatZpre + r.UnsatZpre }
+
+func speedup(base, opt time.Duration) float64 {
+	if opt <= 0 {
+		return math.Inf(1)
+	}
+	return float64(base) / float64(opt)
+}
+
+// Table1 aggregates baseline vs ZPRE over both-solved tasks per model.
+func (r *Results) Table1() []Table1Row {
+	rows := map[memmodel.Model]*Table1Row{}
+	for _, mm := range r.Config.Models {
+		rows[mm] = &Table1Row{Model: mm}
+	}
+	for _, per := range r.byTask() {
+		base, okB := per[core.Baseline]
+		zpre, okZ := per[core.ZPRE]
+		if !okB || !okZ || !base.Solved() || !zpre.Solved() {
+			continue
+		}
+		row := rows[base.Task.Model]
+		if row == nil {
+			continue
+		}
+		row.BothSolved++
+		if base.Status == sat.Sat {
+			row.SatBase += base.Solve
+			row.SatZpre += zpre.Solve
+		} else {
+			row.UnsatBase += base.Solve
+			row.UnsatZpre += zpre.Solve
+		}
+	}
+	var out []Table1Row
+	for _, mm := range r.Config.Models {
+		out = append(out, *rows[mm])
+	}
+	return out
+}
+
+// FormatTable1 renders Table 1 in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1. Overall results: baseline (\"Z3\") vs ZPRE, both-solved tasks\n")
+	fmt.Fprintf(&b, "%-5s | %28s | %28s | %28s\n", "MM", "Sat (base/zpre, speedup)", "Unsat (base/zpre, speedup)", "All (base/zpre, speedup)")
+	b.WriteString(strings.Repeat("-", 100) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s | %10.3fs/%9.3fs %5.2fx | %10.3fs/%9.3fs %5.2fx | %10.3fs/%9.3fs %5.2fx\n",
+			r.Model,
+			r.SatBase.Seconds(), r.SatZpre.Seconds(), speedup(r.SatBase, r.SatZpre),
+			r.UnsatBase.Seconds(), r.UnsatZpre.Seconds(), speedup(r.UnsatBase, r.UnsatZpre),
+			r.AllBase().Seconds(), r.AllZpre().Seconds(), speedup(r.AllBase(), r.AllZpre()))
+	}
+	return b.String()
+}
+
+// Table2Row reproduces one row of the paper's Table 2: search counters.
+type Table2Row struct {
+	Model         memmodel.Model
+	DecisionsBase uint64
+	DecisionsZpre uint64
+	PropsBase     uint64
+	PropsZpre     uint64
+	ConflictsBase uint64
+	ConflictsZpre uint64
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return math.Inf(1)
+	}
+	return float64(a) / float64(b)
+}
+
+// Table2 aggregates decisions/propagations/conflicts over both-solved tasks.
+func (r *Results) Table2() []Table2Row {
+	rows := map[memmodel.Model]*Table2Row{}
+	for _, mm := range r.Config.Models {
+		rows[mm] = &Table2Row{Model: mm}
+	}
+	for _, per := range r.byTask() {
+		base, okB := per[core.Baseline]
+		zpre, okZ := per[core.ZPRE]
+		if !okB || !okZ || !base.Solved() || !zpre.Solved() {
+			continue
+		}
+		row := rows[base.Task.Model]
+		if row == nil {
+			continue
+		}
+		row.DecisionsBase += base.Stats.Decisions
+		row.DecisionsZpre += zpre.Stats.Decisions
+		row.PropsBase += base.Stats.Propagations + base.Stats.TheoryProps
+		row.PropsZpre += zpre.Stats.Propagations + zpre.Stats.TheoryProps
+		row.ConflictsBase += base.Stats.Conflicts
+		row.ConflictsZpre += zpre.Stats.Conflicts
+	}
+	var out []Table2Row
+	for _, mm := range r.Config.Models {
+		out = append(out, *rows[mm])
+	}
+	return out
+}
+
+// FormatTable2 renders Table 2 in the paper's layout.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2. Decisions, propagations, conflicts: baseline vs ZPRE (both-solved)\n")
+	fmt.Fprintf(&b, "%-5s | %30s | %30s | %30s\n", "MM", "Decisions (base/zpre, ratio)", "Propagations (base/zpre, ratio)", "Conflicts (base/zpre, ratio)")
+	b.WriteString(strings.Repeat("-", 108) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s | %11d/%11d %5.2fx | %11d/%11d %5.2fx | %11d/%11d %5.2fx\n",
+			r.Model,
+			r.DecisionsBase, r.DecisionsZpre, ratio(r.DecisionsBase, r.DecisionsZpre),
+			r.PropsBase, r.PropsZpre, ratio(r.PropsBase, r.PropsZpre),
+			r.ConflictsBase, r.ConflictsZpre, ratio(r.ConflictsBase, r.ConflictsZpre))
+	}
+	return b.String()
+}
+
+// StrategySummary is the per-strategy part of a Table 3 row.
+type StrategySummary struct {
+	Strategy core.Strategy
+	Timeouts int
+	CPUTime  time.Duration
+	Speedup  float64 // vs baseline over the all-solved task set
+}
+
+// Table3Row reproduces one row of the paper's Table 3.
+type Table3Row struct {
+	Model     memmodel.Model
+	SMTFiles  int
+	AllSolved int // solved by every strategy ("#Both-Solved")
+	True      int // unsat = safe
+	False     int // sat = unsafe
+	Per       []StrategySummary
+}
+
+// Table3 aggregates the three-strategy comparison per model.
+func (r *Results) Table3() []Table3Row {
+	strategies := r.Config.Strategies
+	var out []Table3Row
+	for _, mm := range r.Config.Models {
+		row := Table3Row{Model: mm}
+		times := map[core.Strategy]time.Duration{}
+		timeouts := map[core.Strategy]int{}
+		for _, per := range r.byTask() {
+			any := false
+			for _, run := range per {
+				if run.Task.Model == mm {
+					any = true
+					break
+				}
+			}
+			if !any {
+				continue
+			}
+			row.SMTFiles++
+			allSolved := true
+			verdict := sat.Unknown
+			for _, strat := range strategies {
+				run, ok := per[strat]
+				if !ok || !run.Solved() {
+					allSolved = false
+					if ok {
+						timeouts[strat]++
+					}
+					continue
+				}
+				verdict = run.Status
+			}
+			if !allSolved {
+				continue
+			}
+			row.AllSolved++
+			if verdict == sat.Unsat {
+				row.True++
+			} else {
+				row.False++
+			}
+			for _, strat := range strategies {
+				times[strat] += per[strat].Solve
+			}
+		}
+		for _, strat := range strategies {
+			row.Per = append(row.Per, StrategySummary{
+				Strategy: strat,
+				Timeouts: timeouts[strat],
+				CPUTime:  times[strat],
+				Speedup:  speedup(times[core.Baseline], times[strat]),
+			})
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// FormatTable3 renders Table 3 in the paper's layout.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table 3. Summary: baseline (\"Z3\") vs ZPRE- vs ZPRE\n")
+	fmt.Fprintf(&b, "%-5s %9s %9s %6s %6s |", "MM", "SMTFiles", "AllSolved", "True", "False")
+	if len(rows) > 0 {
+		for _, p := range rows[0].Per {
+			fmt.Fprintf(&b, " %-28s |", p.Strategy.String()+" (TO, time, speedup)")
+		}
+	}
+	b.WriteString("\n" + strings.Repeat("-", 135) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s %9d %9d %6d %6d |", r.Model, r.SMTFiles, r.AllSolved, r.True, r.False)
+		for _, p := range r.Per {
+			fmt.Fprintf(&b, " %3d %12.3fs %8.2fx |", p.Timeouts, p.CPUTime.Seconds(), p.Speedup)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ScatterPoint is one point of Figures 6-8: per-task solve times.
+type ScatterPoint struct {
+	TaskID      string
+	Subcategory string
+	Base        time.Duration
+	Zpre        time.Duration
+	BaseSolved  bool
+	ZpreSolved  bool
+}
+
+// Scatter extracts the per-task baseline-vs-ZPRE series for a model
+// (Figures 6, 7, 8). Unsolved runs carry the timeout as their time, placing
+// them on the boundary as in the paper's plots.
+func (r *Results) Scatter(mm memmodel.Model) []ScatterPoint {
+	var out []ScatterPoint
+	for id, per := range r.byTask() {
+		base, okB := per[core.Baseline]
+		zpre, okZ := per[core.ZPRE]
+		if !okB || !okZ || base.Task.Model != mm {
+			continue
+		}
+		p := ScatterPoint{
+			TaskID:      id,
+			Subcategory: base.Task.Bench.Subcategory,
+			Base:        base.Solve,
+			Zpre:        zpre.Solve,
+			BaseSolved:  base.Solved(),
+			ZpreSolved:  zpre.Solved(),
+		}
+		if !p.BaseSolved {
+			p.Base = r.Config.Timeout
+		}
+		if !p.ZpreSolved {
+			p.Zpre = r.Config.Timeout
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TaskID < out[j].TaskID })
+	return out
+}
+
+// ScatterCSV renders the scatter series as CSV (task, subcategory, seconds).
+func ScatterCSV(points []ScatterPoint) string {
+	var b strings.Builder
+	b.WriteString("task,subcategory,baseline_s,zpre_s,baseline_solved,zpre_solved\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%s,%s,%.6f,%.6f,%v,%v\n",
+			p.TaskID, p.Subcategory, p.Base.Seconds(), p.Zpre.Seconds(), p.BaseSolved, p.ZpreSolved)
+	}
+	return b.String()
+}
+
+// AsciiScatter renders a log-log scatter plot (baseline on X, ZPRE on Y)
+// like Figures 6-8; points below the diagonal favour ZPRE.
+func AsciiScatter(points []ScatterPoint, title string) string {
+	const size = 40
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range points {
+		for _, d := range []time.Duration{p.Base, p.Zpre} {
+			s := math.Max(d.Seconds(), 1e-6)
+			lo = math.Min(lo, s)
+			hi = math.Max(hi, s)
+		}
+	}
+	if len(points) == 0 || lo >= hi {
+		return title + ": no data\n"
+	}
+	logLo, logHi := math.Log10(lo), math.Log10(hi)
+	scale := func(d time.Duration) int {
+		s := math.Max(d.Seconds(), 1e-6)
+		f := (math.Log10(s) - logLo) / (logHi - logLo)
+		i := int(f * float64(size-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= size {
+			i = size - 1
+		}
+		return i
+	}
+	grid := make([][]byte, size)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", size))
+		grid[i][i] = '.'
+	}
+	for _, p := range points {
+		x, y := scale(p.Base), scale(p.Zpre)
+		grid[y][x] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (x: baseline seconds, y: ZPRE seconds, log-log %.2gs..%.2gs; below diagonal = ZPRE wins)\n",
+		title, lo, hi)
+	for row := size - 1; row >= 0; row-- {
+		b.WriteString("  |")
+		b.Write(grid[row])
+		b.WriteString("\n")
+	}
+	b.WriteString("  +" + strings.Repeat("-", size) + "\n")
+	return b.String()
+}
+
+// SubcatRow is one bar of Figures 9-11: per-subcategory accumulated time.
+type SubcatRow struct {
+	Subcategory string
+	Tasks       int
+	Base        time.Duration
+	Zpre        time.Duration
+}
+
+// Speedup returns the subcategory speedup.
+func (r SubcatRow) Speedup() float64 { return speedup(r.Base, r.Zpre) }
+
+// SubcategoryTimes aggregates both-solved times per subcategory for a model
+// (Figures 9, 10, 11).
+func (r *Results) SubcategoryTimes(mm memmodel.Model) []SubcatRow {
+	rows := map[string]*SubcatRow{}
+	for _, per := range r.byTask() {
+		base, okB := per[core.Baseline]
+		zpre, okZ := per[core.ZPRE]
+		if !okB || !okZ || base.Task.Model != mm || !base.Solved() || !zpre.Solved() {
+			continue
+		}
+		sub := base.Task.Bench.Subcategory
+		if rows[sub] == nil {
+			rows[sub] = &SubcatRow{Subcategory: sub}
+		}
+		rows[sub].Tasks++
+		rows[sub].Base += base.Solve
+		rows[sub].Zpre += zpre.Solve
+	}
+	var out []SubcatRow
+	for _, row := range rows {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Subcategory < out[j].Subcategory })
+	return out
+}
+
+// FormatSubcategories renders a Figure 9-11 style table with a speedup bar.
+func FormatSubcategories(rows []SubcatRow, title string) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%-14s %6s %12s %12s %9s  %s\n", "subcategory", "tasks", "baseline", "zpre", "speedup", "")
+	for _, r := range rows {
+		bar := strings.Repeat("#", int(math.Min(r.Speedup()*10, 60)))
+		fmt.Fprintf(&b, "%-14s %6d %11.3fs %11.3fs %8.2fx  %s\n",
+			r.Subcategory, r.Tasks, r.Base.Seconds(), r.Zpre.Seconds(), r.Speedup(), bar)
+	}
+	return b.String()
+}
+
+// Asymmetry is a task one strategy solved within budget and the other did
+// not (the paper's boundary points of Figures 6-8 and the "cancel the time
+// limit" discussion).
+type Asymmetry struct {
+	TaskID     string
+	SolvedBy   core.Strategy
+	SolvedIn   time.Duration
+	FailedBy   core.Strategy
+	FailedTime time.Duration // budget it exhausted
+}
+
+// TimeoutAsymmetries lists, for a model, the tasks where exactly one of
+// baseline/ZPRE finished within the budget.
+func (r *Results) TimeoutAsymmetries(mm memmodel.Model) []Asymmetry {
+	var out []Asymmetry
+	for id, per := range r.byTask() {
+		base, okB := per[core.Baseline]
+		zpre, okZ := per[core.ZPRE]
+		if !okB || !okZ || base.Task.Model != mm {
+			continue
+		}
+		switch {
+		case base.Solved() && !zpre.Solved():
+			out = append(out, Asymmetry{
+				TaskID: id, SolvedBy: core.Baseline, SolvedIn: base.Solve,
+				FailedBy: core.ZPRE, FailedTime: r.Config.Timeout,
+			})
+		case !base.Solved() && zpre.Solved():
+			out = append(out, Asymmetry{
+				TaskID: id, SolvedBy: core.ZPRE, SolvedIn: zpre.Solve,
+				FailedBy: core.Baseline, FailedTime: r.Config.Timeout,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TaskID < out[j].TaskID })
+	return out
+}
+
+// FormatAsymmetries renders the timeout-asymmetry list.
+func FormatAsymmetries(rows []Asymmetry, mm memmodel.Model) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Timeout asymmetries under %s (solved by exactly one of baseline/zpre):\n", mm)
+	if len(rows) == 0 {
+		b.WriteString("  none\n")
+		return b.String()
+	}
+	for _, a := range rows {
+		fmt.Fprintf(&b, "  %-40s solved by %-8s in %v; %s exhausted %v\n",
+			a.TaskID, a.SolvedBy, a.SolvedIn.Round(time.Millisecond),
+			a.FailedBy, a.FailedTime)
+	}
+	return b.String()
+}

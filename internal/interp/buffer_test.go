@@ -1,0 +1,182 @@
+package interp
+
+import (
+	"testing"
+
+	"zpre/internal/cprog"
+	"zpre/internal/memmodel"
+)
+
+// TestTSOBufferIsFIFO: under TSO the two stores of one thread hit memory in
+// order, so an observer that sees the second must see the first (MP with a
+// same-thread observer pair): safe. Under PSO the per-variable buffers break
+// the FIFO property: unsafe.
+func TestTSOBufferIsFIFO(t *testing.T) {
+	p := &cprog.Program{
+		Name:   "fifo",
+		Shared: []cprog.SharedDecl{{Name: "x"}, {Name: "y"}, {Name: "bad"}},
+		Threads: []*cprog.Thread{
+			{Name: "w", Body: []cprog.Stmt{
+				cprog.Set("x", cprog.C(1)),
+				cprog.Set("y", cprog.C(1)),
+			}},
+			{Name: "r", Body: []cprog.Stmt{
+				cprog.If{
+					Cond: cprog.Eq(cprog.V("y"), cprog.C(1)),
+					Then: []cprog.Stmt{cprog.If{
+						Cond: cprog.Eq(cprog.V("x"), cprog.C(0)),
+						Then: []cprog.Stmt{cprog.Set("bad", cprog.C(1))},
+					}},
+				},
+			}},
+		},
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.Eq(cprog.V("bad"), cprog.C(0))}},
+	}
+	if run(t, p, memmodel.TSO, 1) != Safe {
+		t.Error("TSO buffer must drain in FIFO order")
+	}
+	if run(t, p, memmodel.PSO, 1) != Unsafe {
+		t.Error("PSO per-variable buffers must break global FIFO")
+	}
+}
+
+// TestPSOPerVariableFIFO: even under PSO, two stores to the SAME variable
+// drain in order (coherence).
+func TestPSOPerVariableFIFO(t *testing.T) {
+	p := &cprog.Program{
+		Name:   "pvfifo",
+		Shared: []cprog.SharedDecl{{Name: "x"}, {Name: "r1"}, {Name: "r2"}},
+		Threads: []*cprog.Thread{
+			{Name: "w", Body: []cprog.Stmt{
+				cprog.Set("x", cprog.C(1)),
+				cprog.Set("x", cprog.C(2)),
+			}},
+			{Name: "r", Body: []cprog.Stmt{
+				cprog.Set("r1", cprog.V("x")),
+				cprog.Set("r2", cprog.V("x")),
+			}},
+		},
+		// Never observe 2 then 1.
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.LNot(cprog.LAnd(
+			cprog.Eq(cprog.V("r1"), cprog.C(2)),
+			cprog.Eq(cprog.V("r2"), cprog.C(1))))}},
+	}
+	for _, mm := range memmodel.All() {
+		if run(t, p, mm, 1) != Safe {
+			t.Errorf("%v: same-variable stores must stay ordered", mm)
+		}
+	}
+}
+
+// TestSameAddressLoadStalls: the no-forwarding machine makes a same-address
+// read wait for the pending store, so a thread always sees its own latest
+// write — under every model.
+func TestSameAddressLoadStalls(t *testing.T) {
+	p := &cprog.Program{
+		Name:   "stall",
+		Shared: []cprog.SharedDecl{{Name: "x"}, {Name: "r"}},
+		Threads: []*cprog.Thread{
+			{Name: "t", Body: []cprog.Stmt{
+				cprog.Set("x", cprog.C(1)),
+				cprog.Set("r", cprog.V("x")),
+			}},
+		},
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.Eq(cprog.V("r"), cprog.C(1))}},
+	}
+	for _, mm := range memmodel.All() {
+		if run(t, p, mm, 1) != Safe {
+			t.Errorf("%v: own store must be visible to the same-address load", mm)
+		}
+	}
+}
+
+// TestRfiRestoresSBOrderInNoForwardingModel: the sb_rfi shape — a
+// same-address read between the store and the cross-variable read — chains
+// Wx < Rx(own) < Ry, so the SB outcome is forbidden even under TSO/PSO in
+// the no-forwarding machine (full x86-TSO with forwarding would allow it).
+func TestRfiRestoresSBOrderInNoForwardingModel(t *testing.T) {
+	p := &cprog.Program{
+		Name: "rfi",
+		Shared: []cprog.SharedDecl{
+			{Name: "x"}, {Name: "y"}, {Name: "r"}, {Name: "s"},
+			{Name: "o1"}, {Name: "o2"},
+		},
+		Threads: []*cprog.Thread{
+			{Name: "t1", Body: []cprog.Stmt{
+				cprog.Set("x", cprog.C(1)),
+				cprog.Set("o1", cprog.V("x")),
+				cprog.Set("r", cprog.V("y")),
+			}},
+			{Name: "t2", Body: []cprog.Stmt{
+				cprog.Set("y", cprog.C(1)),
+				cprog.Set("o2", cprog.V("y")),
+				cprog.Set("s", cprog.V("x")),
+			}},
+		},
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.LNot(cprog.LAnd(
+			cprog.Eq(cprog.V("r"), cprog.C(0)),
+			cprog.Eq(cprog.V("s"), cprog.C(0))))}},
+	}
+	for _, mm := range memmodel.All() {
+		if run(t, p, mm, 1) != Safe {
+			t.Errorf("%v: rfi must forbid the SB outcome without forwarding", mm)
+		}
+	}
+}
+
+// TestFlushInterleavesWithOtherThreads: a buffered store can become visible
+// at any later point, so another thread may observe the store before the
+// writer's next step runs.
+func TestFlushInterleavesWithOtherThreads(t *testing.T) {
+	p := &cprog.Program{
+		Name:   "flush",
+		Shared: []cprog.SharedDecl{{Name: "x"}, {Name: "seen"}},
+		Threads: []*cprog.Thread{
+			{Name: "w", Body: []cprog.Stmt{
+				cprog.Set("x", cprog.C(1)),
+				cprog.Fence{}, // forces the flush to happen before w finishes
+			}},
+			{Name: "r", Body: []cprog.Stmt{
+				cprog.Set("seen", cprog.V("x")),
+			}},
+		},
+		// Both outcomes reachable: the assert pinning seen==0 must be
+		// violable (the reader can observe the flushed store).
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.Eq(cprog.V("seen"), cprog.C(0))}},
+	}
+	for _, mm := range memmodel.All() {
+		if run(t, p, mm, 1) != Unsafe {
+			t.Errorf("%v: reader must be able to observe the store", mm)
+		}
+	}
+}
+
+// TestAtomicDrainsUnderWMM: an atomic section under TSO/PSO operates on
+// memory after a drain, so its effect is immediately visible and ordered.
+func TestAtomicDrainsUnderWMM(t *testing.T) {
+	p := &cprog.Program{
+		Name:   "atomicdrain",
+		Shared: []cprog.SharedDecl{{Name: "x"}, {Name: "y"}, {Name: "bad"}},
+		Threads: []*cprog.Thread{
+			{Name: "w", Body: []cprog.Stmt{
+				cprog.Set("x", cprog.C(1)),
+				cprog.Atomic{Body: []cprog.Stmt{cprog.Set("y", cprog.C(1))}},
+			}},
+			{Name: "r", Body: []cprog.Stmt{
+				cprog.If{
+					Cond: cprog.Eq(cprog.V("y"), cprog.C(1)),
+					Then: []cprog.Stmt{cprog.If{
+						Cond: cprog.Eq(cprog.V("x"), cprog.C(0)),
+						Then: []cprog.Stmt{cprog.Set("bad", cprog.C(1))},
+					}},
+				},
+			}},
+		},
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.Eq(cprog.V("bad"), cprog.C(0))}},
+	}
+	// The atomic drains the pending x store first, so y==1 implies x==1:
+	// safe even under PSO (where a plain store pair would be unsafe).
+	if run(t, p, memmodel.PSO, 1) != Safe {
+		t.Error("atomic section must drain the buffer before executing")
+	}
+}

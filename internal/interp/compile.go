@@ -1,0 +1,192 @@
+// Package interp is an explicit-state model checker for the cprog language:
+// it enumerates all interleavings of a (loop-free or unrolled) program and
+// reports whether any assertion can be violated. Sequential consistency is
+// the direct interleaving semantics; TSO and PSO are realised operationally
+// with per-thread (TSO) or per-thread-per-variable (PSO) FIFO store buffers.
+//
+// The package exists as a differential oracle for the SMT pipeline: on small
+// programs (small bit widths, fully-enumerated havoc domains) its verdict
+// must coincide with the verdict of encode+solve. Known scope limit: lock
+// and atomic sections under TSO/PSO are given x86-style "drain the buffer"
+// semantics, which is slightly stronger than the axiomatic encoding; the
+// differential tests therefore exercise locks under SC only.
+package interp
+
+import (
+	"fmt"
+
+	"zpre/internal/cprog"
+)
+
+type opKind int
+
+const (
+	opLoad    opKind = iota // tmp[dst] = mem[shared]
+	opLocal                 // local[dst] = eval(e)
+	opStore                 // mem[shared] = eval(e)
+	opAssume                // abandon path unless eval(e) != 0
+	opAssert                // violation if eval(e) == 0
+	opBranchZ               // if eval(e) == 0 jump to target
+	opJump                  // jump to target
+	opTAS                   // test-and-set: requires mem[shared]==0, sets 1
+	opHavocL                // local[dst] = nondet
+	opHavocS                // mem[shared] = nondet
+	opFence                 // block until own store buffer(s) empty
+)
+
+// op is one atomic micro-operation. Shared loads/stores are the only global
+// interleaving points; expressions in e reference locals and temporaries
+// only.
+type op struct {
+	kind   opKind
+	shared int // shared-variable index
+	dst    int // local slot
+	e      cprog.Expr
+	target int
+	group  int // non-zero: atomic group id
+}
+
+// threadCode is a compiled thread.
+type threadCode struct {
+	name      string
+	ops       []op
+	nSlots    int
+	slotNames []string // slot index → name (locals and temporaries)
+}
+
+type compiler struct {
+	sharedIdx map[string]int
+	slots     map[string]int
+	slotNames []string
+	ops       []op
+	group     int
+	groupSeq  int
+	err       error
+}
+
+func (c *compiler) slot(name string) int {
+	if i, ok := c.slots[name]; ok {
+		return i
+	}
+	i := len(c.slots)
+	c.slots[name] = i
+	c.slotNames = append(c.slotNames, name)
+	return i
+}
+
+func (c *compiler) emit(o op) int {
+	o.group = c.group
+	c.ops = append(c.ops, o)
+	return len(c.ops) - 1
+}
+
+// rewriteExpr replaces each shared-variable reference with a fresh temporary
+// fed by an emitted load, preserving left-to-right evaluation order.
+func (c *compiler) rewriteExpr(e cprog.Expr) cprog.Expr {
+	switch x := e.(type) {
+	case cprog.Const:
+		return x
+	case cprog.Ref:
+		if si, ok := c.sharedIdx[x.Name]; ok {
+			tmp := fmt.Sprintf("%%t%d", len(c.ops))
+			c.emit(op{kind: opLoad, shared: si, dst: c.slot(tmp)})
+			return cprog.Ref{Name: tmp}
+		}
+		return x
+	case cprog.UnOp:
+		return cprog.UnOp{Op: x.Op, X: c.rewriteExpr(x.X)}
+	case cprog.BinOp:
+		l := c.rewriteExpr(x.L)
+		r := c.rewriteExpr(x.R)
+		return cprog.BinOp{Op: x.Op, L: l, R: r}
+	}
+	c.err = fmt.Errorf("interp: unknown expression %T", e)
+	return cprog.Const{}
+}
+
+func (c *compiler) compileStmts(body []cprog.Stmt) {
+	for _, s := range body {
+		if c.err != nil {
+			return
+		}
+		c.compileStmt(s)
+	}
+}
+
+func (c *compiler) compileStmt(s cprog.Stmt) {
+	switch st := s.(type) {
+	case cprog.Local:
+		var e cprog.Expr = cprog.Const{Value: 0}
+		if st.Init != nil {
+			e = c.rewriteExpr(st.Init)
+		}
+		c.emit(op{kind: opLocal, dst: c.slot(st.Name), e: e})
+	case cprog.Assign:
+		e := c.rewriteExpr(st.Rhs)
+		if si, ok := c.sharedIdx[st.Lhs]; ok {
+			c.emit(op{kind: opStore, shared: si, e: e})
+		} else {
+			c.emit(op{kind: opLocal, dst: c.slot(st.Lhs), e: e})
+		}
+	case cprog.Assume:
+		e := c.rewriteExpr(st.Cond)
+		c.emit(op{kind: opAssume, e: e})
+	case cprog.Assert:
+		e := c.rewriteExpr(st.Cond)
+		c.emit(op{kind: opAssert, e: e})
+	case cprog.If:
+		e := c.rewriteExpr(st.Cond)
+		br := c.emit(op{kind: opBranchZ, e: e})
+		c.compileStmts(st.Then)
+		if len(st.Else) > 0 {
+			jmp := c.emit(op{kind: opJump})
+			c.ops[br].target = len(c.ops)
+			c.compileStmts(st.Else)
+			c.ops[jmp].target = len(c.ops)
+		} else {
+			c.ops[br].target = len(c.ops)
+		}
+	case cprog.While:
+		c.err = fmt.Errorf("interp: while reached (program not unrolled)")
+	case cprog.Lock:
+		// Full-barrier acquire: the TAS itself requires a drained buffer.
+		si := c.sharedIdx[st.Mutex]
+		c.emit(op{kind: opTAS, shared: si})
+	case cprog.Unlock:
+		// Full-barrier release: drain the buffer, then store 0 directly so
+		// the unlocking write is immediately visible (matching the fence +
+		// store + fence shape of the encoder).
+		si := c.sharedIdx[st.Mutex]
+		c.emit(op{kind: opFence})
+		c.emit(op{kind: opStore, shared: si, e: cprog.Const{Value: 0}})
+		c.emit(op{kind: opFence})
+	case cprog.Fence:
+		c.emit(op{kind: opFence})
+	case cprog.Atomic:
+		if c.group != 0 {
+			c.err = fmt.Errorf("interp: nested atomic sections unsupported")
+			return
+		}
+		c.groupSeq++
+		c.group = c.groupSeq
+		c.compileStmts(st.Body)
+		c.group = 0
+	case cprog.Havoc:
+		if si, ok := c.sharedIdx[st.Name]; ok {
+			c.emit(op{kind: opHavocS, shared: si})
+		} else {
+			c.emit(op{kind: opHavocL, dst: c.slot(st.Name)})
+		}
+	default:
+		c.err = fmt.Errorf("interp: unknown statement %T", s)
+	}
+}
+
+func compileThread(name string, body []cprog.Stmt, sharedIdx map[string]int) (threadCode, error) {
+	c := &compiler{sharedIdx: sharedIdx, slots: map[string]int{}}
+	c.compileStmts(body)
+	if c.err != nil {
+		return threadCode{}, c.err
+	}
+	return threadCode{name: name, ops: c.ops, nSlots: len(c.slots), slotNames: c.slotNames}, nil
+}

@@ -1,0 +1,334 @@
+package interp
+
+import (
+	"testing"
+
+	"zpre/internal/cprog"
+	"zpre/internal/memmodel"
+)
+
+func run(t *testing.T, p *cprog.Program, mm memmodel.Model, unroll int) Result {
+	t.Helper()
+	r, err := Run(p, unroll, Options{Model: mm, Width: 4})
+	if err != nil {
+		t.Fatalf("%s/%v: %v", p.Name, mm, err)
+	}
+	return r
+}
+
+func sbProgram(fenced bool) *cprog.Program {
+	t1 := []cprog.Stmt{cprog.Set("x", cprog.C(1))}
+	t2 := []cprog.Stmt{cprog.Set("y", cprog.C(1))}
+	if fenced {
+		t1 = append(t1, cprog.Fence{})
+		t2 = append(t2, cprog.Fence{})
+	}
+	t1 = append(t1, cprog.Set("r", cprog.V("y")))
+	t2 = append(t2, cprog.Set("s", cprog.V("x")))
+	return &cprog.Program{
+		Name: "sb",
+		Shared: []cprog.SharedDecl{
+			{Name: "x"}, {Name: "y"}, {Name: "r"}, {Name: "s"},
+		},
+		Threads: []*cprog.Thread{{Name: "t1", Body: t1}, {Name: "t2", Body: t2}},
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.LNot(cprog.LAnd(
+			cprog.Eq(cprog.V("r"), cprog.C(0)),
+			cprog.Eq(cprog.V("s"), cprog.C(0))))}},
+	}
+}
+
+func TestStoreBufferingSemantics(t *testing.T) {
+	p := sbProgram(false)
+	if run(t, p, memmodel.SC, 1) != Safe {
+		t.Error("SB forbidden under SC")
+	}
+	if run(t, p, memmodel.TSO, 1) != Unsafe {
+		t.Error("SB allowed under TSO")
+	}
+	if run(t, p, memmodel.PSO, 1) != Unsafe {
+		t.Error("SB allowed under PSO")
+	}
+	fenced := sbProgram(true)
+	for _, mm := range memmodel.All() {
+		if run(t, fenced, mm, 1) != Safe {
+			t.Errorf("fenced SB must be safe under %v", mm)
+		}
+	}
+}
+
+func TestMessagePassingSemantics(t *testing.T) {
+	mp := &cprog.Program{
+		Name:   "mp",
+		Shared: []cprog.SharedDecl{{Name: "d"}, {Name: "f"}, {Name: "bad"}},
+		Threads: []*cprog.Thread{
+			{Name: "w", Body: []cprog.Stmt{
+				cprog.Set("d", cprog.C(1)),
+				cprog.Set("f", cprog.C(1)),
+			}},
+			{Name: "r", Body: []cprog.Stmt{
+				cprog.If{
+					Cond: cprog.Eq(cprog.V("f"), cprog.C(1)),
+					Then: []cprog.Stmt{cprog.If{
+						Cond: cprog.Eq(cprog.V("d"), cprog.C(0)),
+						Then: []cprog.Stmt{cprog.Set("bad", cprog.C(1))},
+					}},
+				},
+			}},
+		},
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.Eq(cprog.V("bad"), cprog.C(0))}},
+	}
+	if run(t, mp, memmodel.SC, 1) != Safe {
+		t.Error("MP forbidden under SC")
+	}
+	if run(t, mp, memmodel.TSO, 1) != Safe {
+		t.Error("MP forbidden under TSO (FIFO buffer)")
+	}
+	if run(t, mp, memmodel.PSO, 1) != Unsafe {
+		t.Error("MP allowed under PSO (per-variable buffers)")
+	}
+}
+
+func TestLockMutualExclusionSC(t *testing.T) {
+	mk := func(locked bool) *cprog.Program {
+		body := func() []cprog.Stmt {
+			inner := []cprog.Stmt{cprog.Set("x", cprog.Add(cprog.V("x"), cprog.C(1)))}
+			if !locked {
+				return inner
+			}
+			out := []cprog.Stmt{cprog.Lock{Mutex: "m"}}
+			out = append(out, inner...)
+			return append(out, cprog.Unlock{Mutex: "m"})
+		}
+		return &cprog.Program{
+			Name:   "incr",
+			Shared: []cprog.SharedDecl{{Name: "x"}, {Name: "m"}},
+			Threads: []*cprog.Thread{
+				{Name: "a", Body: body()},
+				{Name: "b", Body: body()},
+			},
+			Post: []cprog.Stmt{cprog.Assert{Cond: cprog.Eq(cprog.V("x"), cprog.C(2))}},
+		}
+	}
+	if run(t, mk(true), memmodel.SC, 1) != Safe {
+		t.Error("locked increments must serialise")
+	}
+	if run(t, mk(false), memmodel.SC, 1) != Unsafe {
+		t.Error("unlocked increments race")
+	}
+}
+
+func TestAtomicSection(t *testing.T) {
+	mk := func(atomic bool) *cprog.Program {
+		inner := []cprog.Stmt{cprog.Set("x", cprog.Add(cprog.V("x"), cprog.C(1)))}
+		body := inner
+		if atomic {
+			body = []cprog.Stmt{cprog.Atomic{Body: inner}}
+		}
+		return &cprog.Program{
+			Name:   "atomic",
+			Shared: []cprog.SharedDecl{{Name: "x"}},
+			Threads: []*cprog.Thread{
+				{Name: "a", Body: body},
+				{Name: "b", Body: body},
+			},
+			Post: []cprog.Stmt{cprog.Assert{Cond: cprog.Eq(cprog.V("x"), cprog.C(2))}},
+		}
+	}
+	if run(t, mk(true), memmodel.SC, 1) != Safe {
+		t.Error("atomic increments must serialise")
+	}
+	if run(t, mk(false), memmodel.SC, 1) != Unsafe {
+		t.Error("bare increments race")
+	}
+	// Atomicity also holds under WMM (drain semantics).
+	if run(t, mk(true), memmodel.PSO, 1) != Safe {
+		t.Error("atomic increments must serialise under PSO")
+	}
+}
+
+func TestAssumeCutsViolations(t *testing.T) {
+	// The assert fires before the assume in program order, but the assume is
+	// globally false: completion semantics discards the whole execution.
+	p := &cprog.Program{
+		Name:   "cut",
+		Shared: []cprog.SharedDecl{{Name: "x"}},
+		Threads: []*cprog.Thread{{Name: "t", Body: []cprog.Stmt{
+			cprog.Assert{Cond: cprog.C(0)}, // always violated...
+			cprog.Assume{Cond: cprog.C(0)}, // ...but never on a completed run
+		}}},
+	}
+	if run(t, p, memmodel.SC, 1) != Safe {
+		t.Error("assume after assert must suppress the violation (BMC semantics)")
+	}
+}
+
+func TestHavocDomain(t *testing.T) {
+	p := &cprog.Program{
+		Name:   "hv",
+		Shared: []cprog.SharedDecl{{Name: "x"}},
+		Threads: []*cprog.Thread{{Name: "t", Body: []cprog.Stmt{
+			cprog.Havoc{Name: "x"},
+		}}},
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.Ne(cprog.V("x"), cprog.C(9))}},
+	}
+	// Width 4: havoc ranges over 0..15, so x == 9 is reachable.
+	r, err := Run(p, 1, Options{Model: memmodel.SC, Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != Unsafe {
+		t.Error("havoc must cover the full width-4 domain")
+	}
+	// Restricted domain misses it.
+	r, err = Run(p, 1, Options{Model: memmodel.SC, Width: 4, HavocValues: []uint64{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != Safe {
+		t.Error("restricted havoc domain should miss 9")
+	}
+}
+
+func TestUnrollBoundSemantics(t *testing.T) {
+	// Two iterations needed to reach x == 2.
+	p := &cprog.Program{
+		Name:   "loop2",
+		Shared: []cprog.SharedDecl{{Name: "x"}},
+		Threads: []*cprog.Thread{{Name: "t", Body: []cprog.Stmt{
+			cprog.Local{Name: "c"},
+			cprog.While{Cond: cprog.Lt(cprog.V("c"), cprog.C(2)), Body: []cprog.Stmt{
+				cprog.Set("x", cprog.Add(cprog.V("x"), cprog.C(1))),
+				cprog.Set("c", cprog.Add(cprog.V("c"), cprog.C(1))),
+			}},
+		}}},
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.Ne(cprog.V("x"), cprog.C(2))}},
+	}
+	if run(t, p, memmodel.SC, 1) != Safe {
+		t.Error("bound 1 cannot complete the loop: no violation")
+	}
+	if run(t, p, memmodel.SC, 2) != Unsafe {
+		t.Error("bound 2 reaches x == 2")
+	}
+}
+
+func TestFenceBlocksUntilDrained(t *testing.T) {
+	// Under TSO, a fence forces the buffered store out before the next read:
+	// exactly the fenced-SB safety from TestStoreBufferingSemantics. Here we
+	// additionally check a fence-only thread terminates (no deadlock).
+	p := &cprog.Program{
+		Name:   "fence",
+		Shared: []cprog.SharedDecl{{Name: "x"}},
+		Threads: []*cprog.Thread{{Name: "t", Body: []cprog.Stmt{
+			cprog.Set("x", cprog.C(1)),
+			cprog.Fence{},
+			cprog.Assert{Cond: cprog.Eq(cprog.V("x"), cprog.C(1))},
+		}}},
+	}
+	for _, mm := range memmodel.All() {
+		if run(t, p, mm, 1) != Safe {
+			t.Errorf("%v: own store after fence must be visible", mm)
+		}
+	}
+}
+
+func TestStateExplosionBudget(t *testing.T) {
+	// Many independent havoc writes blow past a tiny budget.
+	p := &cprog.Program{
+		Name: "boom",
+		Shared: []cprog.SharedDecl{
+			{Name: "a"}, {Name: "b"}, {Name: "c"}, {Name: "d"},
+		},
+		Threads: []*cprog.Thread{
+			{Name: "t1", Body: []cprog.Stmt{cprog.Havoc{Name: "a"}, cprog.Havoc{Name: "b"}}},
+			{Name: "t2", Body: []cprog.Stmt{cprog.Havoc{Name: "c"}, cprog.Havoc{Name: "d"}}},
+		},
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.C(1)}},
+	}
+	_, err := Run(p, 1, Options{Model: memmodel.SC, Width: 4, MaxStates: 10})
+	if err != ErrStateExplosion {
+		t.Fatalf("want ErrStateExplosion, got %v", err)
+	}
+}
+
+func TestDeadlockIsNotViolation(t *testing.T) {
+	// Two threads lock in opposite order with a held lock: executions that
+	// deadlock never complete, so the (unreachable) assert stays unviolated;
+	// executions that serialise complete safely.
+	p := &cprog.Program{
+		Name:   "dead",
+		Shared: []cprog.SharedDecl{{Name: "m1"}, {Name: "m2"}, {Name: "x"}},
+		Threads: []*cprog.Thread{
+			{Name: "a", Body: []cprog.Stmt{
+				cprog.Lock{Mutex: "m1"}, cprog.Lock{Mutex: "m2"},
+				cprog.Set("x", cprog.C(1)),
+				cprog.Unlock{Mutex: "m2"}, cprog.Unlock{Mutex: "m1"},
+			}},
+			{Name: "b", Body: []cprog.Stmt{
+				cprog.Lock{Mutex: "m2"}, cprog.Lock{Mutex: "m1"},
+				cprog.Set("x", cprog.C(2)),
+				cprog.Unlock{Mutex: "m1"}, cprog.Unlock{Mutex: "m2"},
+			}},
+		},
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.Ne(cprog.V("x"), cprog.C(0))}},
+	}
+	if run(t, p, memmodel.SC, 1) != Safe {
+		t.Error("deadlocked paths must not count; completed paths set x != 0")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if Safe.String() != "true" || Unsafe.String() != "false" {
+		t.Error("SV-COMP vocabulary broken")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	// Opposite-order lock acquisition: a classic deadlock.
+	p := &cprog.Program{
+		Name:   "abba",
+		Shared: []cprog.SharedDecl{{Name: "m1"}, {Name: "m2"}, {Name: "x"}},
+		Threads: []*cprog.Thread{
+			{Name: "a", Body: []cprog.Stmt{
+				cprog.Lock{Mutex: "m1"}, cprog.Lock{Mutex: "m2"},
+				cprog.Set("x", cprog.C(1)),
+				cprog.Unlock{Mutex: "m2"}, cprog.Unlock{Mutex: "m1"},
+			}},
+			{Name: "b", Body: []cprog.Stmt{
+				cprog.Lock{Mutex: "m2"}, cprog.Lock{Mutex: "m1"},
+				cprog.Set("x", cprog.C(2)),
+				cprog.Unlock{Mutex: "m1"}, cprog.Unlock{Mutex: "m2"},
+			}},
+		},
+	}
+	r, err := Run(p, 1, Options{Model: memmodel.SC, Width: 4, DetectDeadlock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != Deadlock {
+		t.Fatalf("ABBA locking must deadlock, got %v", r)
+	}
+	// Consistent lock order: no deadlock.
+	p2 := &cprog.Program{
+		Name:   "abab",
+		Shared: []cprog.SharedDecl{{Name: "m1"}, {Name: "m2"}, {Name: "x"}},
+		Threads: []*cprog.Thread{
+			{Name: "a", Body: []cprog.Stmt{
+				cprog.Lock{Mutex: "m1"}, cprog.Lock{Mutex: "m2"},
+				cprog.Set("x", cprog.C(1)),
+				cprog.Unlock{Mutex: "m2"}, cprog.Unlock{Mutex: "m1"},
+			}},
+			{Name: "b", Body: []cprog.Stmt{
+				cprog.Lock{Mutex: "m1"}, cprog.Lock{Mutex: "m2"},
+				cprog.Set("x", cprog.C(2)),
+				cprog.Unlock{Mutex: "m2"}, cprog.Unlock{Mutex: "m1"},
+			}},
+		},
+	}
+	r, err = Run(p2, 1, Options{Model: memmodel.SC, Width: 4, DetectDeadlock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != Safe {
+		t.Fatalf("ordered locking must be deadlock-free, got %v", r)
+	}
+}

@@ -1,0 +1,528 @@
+package interp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"zpre/internal/cprog"
+	"zpre/internal/memmodel"
+)
+
+// Result is the explicit-state verdict.
+type Result int
+
+// Verdicts.
+const (
+	// Safe: no interleaving violates an assertion.
+	Safe Result = iota
+	// Unsafe: some interleaving violates an assertion.
+	Unsafe
+	// Deadlock: some interleaving reaches a state with unfinished threads
+	// and no enabled action (only with Options.DetectDeadlock).
+	Deadlock
+)
+
+// String renders the result in SV-COMP vocabulary.
+func (r Result) String() string {
+	switch r {
+	case Safe:
+		return "true"
+	case Unsafe:
+		return "false"
+	case Deadlock:
+		return "deadlock"
+	}
+	return "?"
+}
+
+// ErrStateExplosion is returned when the visited-state budget is exhausted.
+var ErrStateExplosion = errors.New("interp: state budget exhausted")
+
+// Options configures a Run.
+type Options struct {
+	// Model is the memory model; TSO/PSO use store-buffer semantics.
+	Model memmodel.Model
+	// DetectDeadlock reports Deadlock when some reachable state has
+	// unfinished threads but no enabled action (e.g. cyclic lock
+	// acquisition). Off by default: assertion checking treats deadlocked
+	// paths as silent dead ends, like the BMC encoding does.
+	DetectDeadlock bool
+	// Width is the integer bit width (must match the encoder's for
+	// differential testing). Default 8.
+	Width int
+	// HavocValues is the domain for havoc statements. Defaults to the full
+	// 2^Width range when Width <= 4, else {0, 1}.
+	HavocValues []uint64
+	// MaxStates bounds the visited set (default 1 << 22).
+	MaxStates int
+}
+
+// bufEntry is one pending store in a store buffer.
+type bufEntry struct {
+	varIdx int
+	val    uint64
+}
+
+// state is one global configuration of the interleaving exploration.
+type state struct {
+	mem      []uint64
+	pcs      []int
+	locals   [][]uint64
+	bufs     [][]bufEntry // empty slices under SC
+	violated bool         // some assertion failed on this path
+}
+
+func (s *state) clone() *state {
+	ns := &state{
+		mem:      append([]uint64(nil), s.mem...),
+		pcs:      append([]int(nil), s.pcs...),
+		locals:   make([][]uint64, len(s.locals)),
+		bufs:     make([][]bufEntry, len(s.bufs)),
+		violated: s.violated,
+	}
+	for i := range s.locals {
+		ns.locals[i] = append([]uint64(nil), s.locals[i]...)
+	}
+	for i := range s.bufs {
+		ns.bufs[i] = append([]bufEntry(nil), s.bufs[i]...)
+	}
+	return ns
+}
+
+func (s *state) key() string {
+	var buf []byte
+	put := func(v uint64) { buf = binary.AppendUvarint(buf, v) }
+	for _, v := range s.mem {
+		put(v)
+	}
+	for _, v := range s.pcs {
+		put(uint64(v))
+	}
+	for _, ls := range s.locals {
+		put(uint64(len(ls)))
+		for _, v := range ls {
+			put(v)
+		}
+	}
+	for _, b := range s.bufs {
+		put(uint64(len(b)))
+		for _, e := range b {
+			put(uint64(e.varIdx))
+			put(e.val)
+		}
+	}
+	put(b2u(s.violated))
+	return string(buf)
+}
+
+type machine struct {
+	detectDeadlock bool
+	model          memmodel.Model
+	width          int
+	mask           uint64
+	threads        []threadCode
+	slotOf         []map[string]int // per thread: name → local slot
+	postIdx        int              // thread index of the post (join) thread, -1 if none
+	havoc          []uint64
+	max            int
+}
+
+// Run explores all interleavings of the program (unrolled at the given
+// bound) under the memory model and reports Safe or Unsafe.
+func Run(p *cprog.Program, unroll int, opts Options) (Result, error) {
+	if opts.Width == 0 {
+		opts.Width = 8
+	}
+	if opts.MaxStates == 0 {
+		opts.MaxStates = 1 << 22
+	}
+	if opts.HavocValues == nil {
+		if opts.Width <= 4 {
+			for v := uint64(0); v < 1<<uint(opts.Width); v++ {
+				opts.HavocValues = append(opts.HavocValues, v)
+			}
+		} else {
+			opts.HavocValues = []uint64{0, 1}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Safe, err
+	}
+	unrolled := cprog.Unroll(p, unroll, cprog.UnwindAssume)
+
+	sharedIdx := map[string]int{}
+	mem := make([]uint64, len(unrolled.Shared))
+	mask := uint64(1)<<uint(opts.Width) - 1
+	for i, d := range unrolled.Shared {
+		sharedIdx[d.Name] = i
+		mem[i] = uint64(d.Init) & mask
+	}
+
+	m := &machine{
+		detectDeadlock: opts.DetectDeadlock,
+		model:          opts.Model,
+		width:          opts.Width,
+		mask:           mask,
+		postIdx:        -1,
+		havoc:          opts.HavocValues,
+		max:            opts.MaxStates,
+	}
+	for _, t := range unrolled.Threads {
+		tc, err := compileThread(t.Name, t.Body, sharedIdx)
+		if err != nil {
+			return Safe, err
+		}
+		m.threads = append(m.threads, tc)
+	}
+	if len(unrolled.Post) > 0 {
+		tc, err := compileThread("main.post", unrolled.Post, sharedIdx)
+		if err != nil {
+			return Safe, err
+		}
+		m.postIdx = len(m.threads)
+		m.threads = append(m.threads, tc)
+	}
+	m.slotOf = make([]map[string]int, len(m.threads))
+	for i := range m.threads {
+		// Rebuild name → slot from a fresh compile pass is wasteful; the
+		// compiler kept the mapping, recover it here.
+		m.slotOf[i] = slotMap(&m.threads[i])
+	}
+
+	init := &state{
+		mem:    mem,
+		pcs:    make([]int, len(m.threads)),
+		locals: make([][]uint64, len(m.threads)),
+		bufs:   make([][]bufEntry, len(m.threads)),
+	}
+	for i := range m.threads {
+		init.locals[i] = make([]uint64, m.threads[i].nSlots)
+	}
+	return m.explore(init)
+}
+
+// slotMap reconstructs the name → slot mapping of a compiled thread by
+// replaying the compiler's slot-allocation order recorded in slotNames.
+func slotMap(tc *threadCode) map[string]int {
+	out := make(map[string]int, len(tc.slotNames))
+	for i, n := range tc.slotNames {
+		out[n] = i
+	}
+	return out
+}
+
+func (m *machine) explore(init *state) (Result, error) {
+	visited := map[string]bool{init.key(): true}
+	stack := []*state{init}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// Completion semantics (matching the BMC encoding, where Φ_prog
+		// constrains the whole execution): a violation counts only on a
+		// fully completed, assume-consistent run.
+		if s.violated && m.completed(s) {
+			return Unsafe, nil
+		}
+		succs, err := m.successors(s)
+		if err != nil {
+			return Safe, err
+		}
+		if m.detectDeadlock && len(succs) == 0 && !m.completed(s) {
+			return Deadlock, nil
+		}
+		for _, ns := range succs {
+			k := ns.key()
+			if !visited[k] {
+				if len(visited) >= m.max {
+					return Safe, ErrStateExplosion
+				}
+				visited[k] = true
+				stack = append(stack, ns)
+			}
+		}
+	}
+	return Safe, nil
+}
+
+// completed reports whether every thread has run to the end and every store
+// buffer has drained.
+func (m *machine) completed(s *state) bool {
+	for t := range m.threads {
+		if s.pcs[t] < len(m.threads[t].ops) || len(s.bufs[t]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *machine) threadEnabled(s *state, t int) bool {
+	if s.pcs[t] >= len(m.threads[t].ops) {
+		return false
+	}
+	if t == m.postIdx {
+		// The join thread runs only after every worker finished and all
+		// store buffers drained.
+		for i := range m.threads {
+			if i == m.postIdx {
+				continue
+			}
+			if s.pcs[i] < len(m.threads[i].ops) || len(s.bufs[i]) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// successors generates all one-step successors of s.
+func (m *machine) successors(s *state) ([]*state, error) {
+	var out []*state
+	for t := range m.threads {
+		if !m.threadEnabled(s, t) {
+			continue
+		}
+		out = append(out, m.step(s, t)...)
+	}
+	// Flush actions for store buffers.
+	if m.model != memmodel.SC {
+		for t := range m.threads {
+			buf := s.bufs[t]
+			if len(buf) == 0 {
+				continue
+			}
+			if m.model == memmodel.TSO {
+				ns := s.clone()
+				e := ns.bufs[t][0]
+				ns.bufs[t] = append([]bufEntry(nil), ns.bufs[t][1:]...)
+				ns.mem[e.varIdx] = e.val
+				out = append(out, ns)
+			} else { // PSO: the oldest pending store of any variable
+				seen := map[int]bool{}
+				for i, e := range buf {
+					if seen[e.varIdx] {
+						continue
+					}
+					seen[e.varIdx] = true
+					ns := s.clone()
+					ns.mem[e.varIdx] = e.val
+					ns.bufs[t] = append(append([]bufEntry(nil), buf[:i]...), buf[i+1:]...)
+					out = append(out, ns)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// partial is an in-flight step execution (forks at havoc).
+type partial struct {
+	st *state
+	pc int
+}
+
+// step executes one scheduler step of thread t: a single micro-op, or a full
+// atomic group. It returns the successor states (several when havoc forks,
+// none when the step is disabled or an assumption fails).
+func (m *machine) step(s *state, t int) []*state {
+	tc := &m.threads[t]
+	startOp := tc.ops[s.pcs[t]]
+	group := startOp.group
+	if group != 0 && m.model != memmodel.SC {
+		// x86-style semantics: an atomic section starts with a drained
+		// buffer; its accesses hit memory directly.
+		if len(s.bufs[t]) > 0 {
+			return nil
+		}
+	}
+	var done []*state
+	work := []partial{{st: s.clone(), pc: s.pcs[t]}}
+	for len(work) > 0 {
+		p := work[len(work)-1]
+		work = work[:len(work)-1]
+		o := tc.ops[p.pc]
+		nextPC := p.pc + 1
+		inAtomic := group != 0
+		st := p.st
+		switch o.kind {
+		case opLoad:
+			if m.model != memmodel.SC && !inAtomic && m.pendingStore(st, t, o.shared) {
+				continue // same-address load stalls until the store drains
+			}
+			st.locals[t][o.dst] = st.mem[o.shared]
+		case opLocal:
+			st.locals[t][o.dst] = m.eval(st, t, o.e)
+		case opStore:
+			m.store(st, t, o.shared, m.eval(st, t, o.e), inAtomic)
+		case opAssume:
+			if m.eval(st, t, o.e) == 0 {
+				continue // path abandoned
+			}
+		case opAssert:
+			if m.eval(st, t, o.e) == 0 {
+				st.violated = true
+			}
+		case opBranchZ:
+			if m.eval(st, t, o.e) == 0 {
+				nextPC = o.target
+			}
+		case opJump:
+			nextPC = o.target
+		case opTAS:
+			if m.model != memmodel.SC && len(st.bufs[t]) > 0 {
+				continue // must drain first (a flush action will enable it)
+			}
+			if st.mem[o.shared] != 0 {
+				continue // lock unavailable: blocked
+			}
+			st.mem[o.shared] = 1
+		case opFence:
+			if len(st.bufs[t]) > 0 {
+				continue // blocked until drained
+			}
+		case opHavocL:
+			for _, v := range m.havoc {
+				ns := st.clone()
+				ns.locals[t][o.dst] = v
+				m.continueStep(ns, t, nextPC, group, &work, &done)
+			}
+			continue
+		case opHavocS:
+			for _, v := range m.havoc {
+				ns := st.clone()
+				m.store(ns, t, o.shared, v, inAtomic)
+				m.continueStep(ns, t, nextPC, group, &work, &done)
+			}
+			continue
+		}
+		m.continueStep(st, t, nextPC, group, &work, &done)
+	}
+	return done
+}
+
+// continueStep either queues the next op of an atomic group or finalises the
+// step by committing the program counter.
+func (m *machine) continueStep(st *state, t, nextPC, group int, work *[]partial, done *[]*state) {
+	if group != 0 && nextPC < len(m.threads[t].ops) && m.threads[t].ops[nextPC].group == group {
+		*work = append(*work, partial{st: st, pc: nextPC})
+		return
+	}
+	st.pcs[t] = nextPC
+	*done = append(*done, st)
+}
+
+// pendingStore reports whether thread t has a buffered store to varIdx.
+// Loads of a variable with a pending own store stall until it drains: this
+// "no store forwarding" buffer machine matches the paper's axiomatic model
+// (program order relaxed only from a write to a read/write of a DIFFERENT
+// address), unlike full x86-TSO whose forwarding admits strictly more
+// behaviours (the n6 litmus corner).
+func (m *machine) pendingStore(s *state, t, varIdx int) bool {
+	for _, e := range s.bufs[t] {
+		if e.varIdx == varIdx {
+			return true
+		}
+	}
+	return false
+}
+
+// store writes a shared variable: buffered under WMM, direct under SC or
+// inside an atomic section.
+func (m *machine) store(s *state, t, varIdx int, val uint64, direct bool) {
+	val &= m.mask
+	if m.model == memmodel.SC || direct {
+		s.mem[varIdx] = val
+		return
+	}
+	s.bufs[t] = append(s.bufs[t], bufEntry{varIdx: varIdx, val: val})
+}
+
+// eval computes a local expression (no shared references remain after
+// compilation) with width-masked wrap-around arithmetic and signed
+// comparisons, matching the encoder's semantics.
+func (m *machine) eval(s *state, t int, e cprog.Expr) uint64 {
+	v := m.evalRaw(s, t, e)
+	return v & m.mask
+}
+
+func (m *machine) toSigned(v uint64) int64 {
+	sign := uint64(1) << uint(m.width-1)
+	if v&sign != 0 {
+		return int64(v) - int64(1)<<uint(m.width)
+	}
+	return int64(v)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (m *machine) evalRaw(s *state, t int, e cprog.Expr) uint64 {
+	switch x := e.(type) {
+	case cprog.Const:
+		return uint64(x.Value) & m.mask
+	case cprog.Ref:
+		slot, ok := m.slotOf[t][x.Name]
+		if !ok {
+			panic(fmt.Sprintf("interp: unresolved local %q in thread %d", x.Name, t))
+		}
+		return s.locals[t][slot]
+	case cprog.UnOp:
+		v := m.eval(s, t, x.X)
+		switch x.Op {
+		case cprog.OpNeg:
+			return (-v) & m.mask
+		case cprog.OpBitNot:
+			return (^v) & m.mask
+		case cprog.OpLNot:
+			return b2u(v == 0)
+		}
+	case cprog.BinOp:
+		l := m.eval(s, t, x.L)
+		r := m.eval(s, t, x.R)
+		switch x.Op {
+		case cprog.OpAdd:
+			return (l + r) & m.mask
+		case cprog.OpSub:
+			return (l - r) & m.mask
+		case cprog.OpMul:
+			return (l * r) & m.mask
+		case cprog.OpBitAnd:
+			return l & r
+		case cprog.OpBitOr:
+			return l | r
+		case cprog.OpBitXor:
+			return l ^ r
+		case cprog.OpShl:
+			if r >= uint64(m.width) {
+				return 0
+			}
+			return (l << r) & m.mask
+		case cprog.OpShr:
+			if r >= uint64(m.width) {
+				return 0
+			}
+			return l >> r
+		case cprog.OpEq:
+			return b2u(l == r)
+		case cprog.OpNe:
+			return b2u(l != r)
+		case cprog.OpLt:
+			return b2u(m.toSigned(l) < m.toSigned(r))
+		case cprog.OpLe:
+			return b2u(m.toSigned(l) <= m.toSigned(r))
+		case cprog.OpGt:
+			return b2u(m.toSigned(l) > m.toSigned(r))
+		case cprog.OpGe:
+			return b2u(m.toSigned(l) >= m.toSigned(r))
+		case cprog.OpLAnd:
+			return b2u(l != 0 && r != 0)
+		case cprog.OpLOr:
+			return b2u(l != 0 || r != 0)
+		}
+	}
+	panic(fmt.Sprintf("interp: unknown expression %T", e))
+}

@@ -1,0 +1,175 @@
+// Package memmodel implements the memory-model-specific program-order
+// computation of the paper (§2.2, §3.1). Under sequential consistency every
+// pair of same-thread events is ordered; TSO relaxes the order from a write
+// to a later read of a different address; PSO additionally relaxes the order
+// from a write to a later write of a different address. A fence between two
+// events restores their order. Because relaxation breaks transitivity, the
+// preserved program order must be emitted pairwise, which is why (as the
+// paper observes in §5.2) WMM encodings carry more explicit ordering
+// constraints than SC while the number of interference variables stays the
+// same.
+package memmodel
+
+// Model selects the memory model.
+type Model int
+
+// Supported memory models.
+const (
+	SC Model = iota
+	TSO
+	PSO
+)
+
+// String renders the model name.
+func (m Model) String() string {
+	switch m {
+	case SC:
+		return "sc"
+	case TSO:
+		return "tso"
+	case PSO:
+		return "pso"
+	}
+	return "unknown"
+}
+
+// Parse converts a name to a Model.
+func Parse(name string) (Model, bool) {
+	switch name {
+	case "sc", "SC":
+		return SC, true
+	case "tso", "TSO":
+		return TSO, true
+	case "pso", "PSO":
+		return PSO, true
+	}
+	return SC, false
+}
+
+// All lists the models in the paper's evaluation order.
+func All() []Model { return []Model{SC, TSO, PSO} }
+
+// Access describes one entry of a thread's access sequence for program-order
+// computation.
+type Access struct {
+	// Var is the shared variable accessed (ignored for fences).
+	Var string
+	// IsWrite distinguishes writes from reads.
+	IsWrite bool
+	// IsFence marks a full memory fence pseudo-access.
+	IsFence bool
+	// Atomic groups events of one atomic section: non-zero equal ids keep
+	// their mutual program order under every model.
+	Atomic int
+}
+
+// Preserved reports whether the program order between earlier access a and
+// later access b is preserved under the model, assuming no fence in between.
+func (m Model) Preserved(a, b Access) bool {
+	if a.IsFence || b.IsFence {
+		return true
+	}
+	if a.Atomic != 0 && a.Atomic == b.Atomic {
+		return true // same atomic section: never reordered
+	}
+	switch m {
+	case SC:
+		return true
+	case TSO:
+		// Only write → later read of a DIFFERENT address is relaxed.
+		if a.IsWrite && !b.IsWrite && a.Var != b.Var {
+			return false
+		}
+		return true
+	case PSO:
+		// Write → later read/write of a DIFFERENT address is relaxed.
+		if a.IsWrite && a.Var != b.Var {
+			return false
+		}
+		return true
+	}
+	return true
+}
+
+// OrderedMatrix returns the transitive closure of the preserved program
+// order over a thread's access sequence: ordered[i][j] (for i < j) reports
+// that event i is guaranteed before event j under the model. Fences act as
+// barriers and produce no rows/columns of their own.
+func OrderedMatrix(m Model, seq []Access) [][]bool {
+	n := len(seq)
+	ordered := make([][]bool, n)
+	for i := range ordered {
+		ordered[i] = make([]bool, n)
+	}
+	// fenceAfter[i] = index of first fence at position >= i, or n if none.
+	fenceAfter := make([]int, n+1)
+	fenceAfter[n] = n
+	for i := n - 1; i >= 0; i-- {
+		if seq[i].IsFence {
+			fenceAfter[i] = i
+		} else {
+			fenceAfter[i] = fenceAfter[i+1]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if seq[i].IsFence {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if seq[j].IsFence {
+				continue
+			}
+			if fenceAfter[i] < j { // a fence strictly between i and j
+				ordered[i][j] = true
+				continue
+			}
+			ordered[i][j] = m.Preserved(seq[i], seq[j])
+		}
+	}
+	// Transitive closure over the preserved relation: ordering through an
+	// intermediate event also orders the endpoints.
+	for k := 0; k < n; k++ {
+		for i := 0; i < k; i++ {
+			if !ordered[i][k] {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				if ordered[k][j] {
+					ordered[i][j] = true
+				}
+			}
+		}
+	}
+	return ordered
+}
+
+// OrderedPairs returns the preserved program-order pairs (i, j), i < j, over
+// a thread's access sequence. Fences act as barriers: if a fence sits
+// between i and j, the pair is ordered regardless of the model. Fence
+// entries themselves produce no pairs (they are not memory events). The
+// result is transitively reduced: a pair is dropped when it is implied by
+// two shorter preserved pairs, keeping the emitted Φ_po small without
+// changing reachability in the EOG.
+func OrderedPairs(m Model, seq []Access) [][2]int {
+	n := len(seq)
+	ordered := OrderedMatrix(m, seq)
+	var out [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !ordered[i][j] {
+				continue
+			}
+			implied := false
+			for k := i + 1; k < j; k++ {
+				if ordered[i][k] && ordered[k][j] {
+					implied = true
+					break
+				}
+			}
+			if !implied {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}

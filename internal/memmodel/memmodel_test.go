@@ -1,0 +1,191 @@
+package memmodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func acc(v string, w bool) Access { return Access{Var: v, IsWrite: w} }
+func fence() Access               { return Access{IsFence: true} }
+
+func TestPreservedRules(t *testing.T) {
+	wx, wy := acc("x", true), acc("y", true)
+	rx, ry := acc("x", false), acc("y", false)
+	cases := []struct {
+		m    Model
+		a, b Access
+		want bool
+	}{
+		// SC preserves everything.
+		{SC, wx, ry, true}, {SC, wx, wy, true}, {SC, rx, wy, true}, {SC, rx, ry, true},
+		// TSO relaxes only W→R to a different address.
+		{TSO, wx, ry, false}, {TSO, wx, rx, true}, {TSO, wx, wy, true},
+		{TSO, rx, wy, true}, {TSO, rx, ry, true},
+		// PSO also relaxes W→W to a different address.
+		{PSO, wx, ry, false}, {PSO, wx, wy, false}, {PSO, wx, wx, true},
+		{PSO, wx, rx, true}, {PSO, rx, wy, true}, {PSO, rx, ry, true},
+	}
+	for _, c := range cases {
+		if got := c.m.Preserved(c.a, c.b); got != c.want {
+			t.Errorf("%v.Preserved(%+v,%+v) = %v, want %v", c.m, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAtomicSectionPreserved(t *testing.T) {
+	a := Access{Var: "x", IsWrite: true, Atomic: 3}
+	b := Access{Var: "y", IsWrite: true, Atomic: 3}
+	c := Access{Var: "y", IsWrite: true, Atomic: 4}
+	if !PSO.Preserved(a, b) {
+		t.Error("same atomic section must stay ordered under PSO")
+	}
+	if PSO.Preserved(a, c) {
+		t.Error("different atomic sections relax as usual")
+	}
+}
+
+func pairsContain(pairs [][2]int, a, b int) bool {
+	for _, p := range pairs {
+		if p[0] == a && p[1] == b {
+			return true
+		}
+	}
+	return false
+}
+
+func TestOrderedPairsSC(t *testing.T) {
+	seq := []Access{acc("x", true), acc("y", false), acc("x", false)}
+	pairs := OrderedPairs(SC, seq)
+	// Transitive reduction: only adjacent pairs.
+	if len(pairs) != 2 || !pairsContain(pairs, 0, 1) || !pairsContain(pairs, 1, 2) {
+		t.Fatalf("SC pairs: %v", pairs)
+	}
+}
+
+func TestOrderedPairsTSO(t *testing.T) {
+	// W x; R y: the only pair is relaxed under TSO.
+	seq := []Access{acc("x", true), acc("y", false)}
+	if pairs := OrderedPairs(TSO, seq); len(pairs) != 0 {
+		t.Fatalf("TSO should relax Wx→Ry: %v", pairs)
+	}
+	// W x; R x stays.
+	seq = []Access{acc("x", true), acc("x", false)}
+	if pairs := OrderedPairs(TSO, seq); len(pairs) != 1 {
+		t.Fatalf("TSO must keep Wx→Rx: %v", pairs)
+	}
+	// W x; W y; R x: Wx→Wy and Wy→Rx kept... Wy→Rx is W→R different var:
+	// relaxed. But Wx→Rx (same var) is kept directly.
+	seq = []Access{acc("x", true), acc("y", true), acc("x", false)}
+	pairs := OrderedPairs(TSO, seq)
+	if !pairsContain(pairs, 0, 1) || !pairsContain(pairs, 0, 2) {
+		t.Fatalf("TSO pairs: %v", pairs)
+	}
+	if pairsContain(pairs, 1, 2) {
+		t.Fatalf("Wy→Rx should be relaxed under TSO: %v", pairs)
+	}
+}
+
+func TestOrderedPairsPSO(t *testing.T) {
+	// W x; W y relaxed under PSO.
+	seq := []Access{acc("x", true), acc("y", true)}
+	if pairs := OrderedPairs(PSO, seq); len(pairs) != 0 {
+		t.Fatalf("PSO should relax Wx→Wy: %v", pairs)
+	}
+	// Reads keep order everywhere.
+	seq = []Access{acc("x", false), acc("y", true)}
+	if pairs := OrderedPairs(PSO, seq); len(pairs) != 1 {
+		t.Fatalf("PSO must keep Rx→Wy: %v", pairs)
+	}
+}
+
+func TestFenceRestoresOrder(t *testing.T) {
+	seq := []Access{acc("x", true), fence(), acc("y", false)}
+	pairs := OrderedPairs(TSO, seq)
+	if !pairsContain(pairs, 0, 2) {
+		t.Fatalf("fence must order Wx before Ry under TSO: %v", pairs)
+	}
+	// Without the fence the pair disappears.
+	seq = []Access{acc("x", true), acc("y", false)}
+	if pairs := OrderedPairs(TSO, seq); len(pairs) != 0 {
+		t.Fatalf("unexpected pairs: %v", pairs)
+	}
+}
+
+func TestTransitiveClosureThroughPreservedChain(t *testing.T) {
+	// Under TSO: Wx→Wz preserved, Wz→Rz preserved (same var), so Wx is
+	// transitively before Rz even though Wx→Rz alone would be relaxed.
+	seq := []Access{acc("x", true), acc("z", true), acc("z", false)}
+	m := OrderedMatrix(TSO, seq)
+	if !m[0][2] {
+		t.Fatal("closure missing: Wx < Wz < Rz implies Wx < Rz")
+	}
+}
+
+// TestQuickReductionPreservesReachability: the transitively-reduced pairs
+// must reproduce exactly the closure matrix when re-closed.
+func TestQuickReductionPreservesReachability(t *testing.T) {
+	vars := []string{"x", "y", "z"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		seq := make([]Access, n)
+		for i := range seq {
+			if rng.Intn(8) == 0 {
+				seq[i] = fence()
+			} else {
+				seq[i] = Access{Var: vars[rng.Intn(len(vars))], IsWrite: rng.Intn(2) == 0}
+			}
+		}
+		for _, m := range All() {
+			closure := OrderedMatrix(m, seq)
+			pairs := OrderedPairs(m, seq)
+			// Re-close the reduced pairs.
+			re := make([][]bool, n)
+			for i := range re {
+				re[i] = make([]bool, n)
+			}
+			for _, p := range pairs {
+				re[p[0]][p[1]] = true
+			}
+			for k := 0; k < n; k++ {
+				for i := 0; i < n; i++ {
+					if !re[i][k] {
+						continue
+					}
+					for j := 0; j < n; j++ {
+						if re[k][j] {
+							re[i][j] = true
+						}
+					}
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if seq[i].IsFence || seq[j].IsFence {
+						continue
+					}
+					if closure[i][j] != re[i][j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	for _, m := range All() {
+		got, ok := Parse(m.String())
+		if !ok || got != m {
+			t.Errorf("parse roundtrip broken for %v", m)
+		}
+	}
+	if _, ok := Parse("bogus"); ok {
+		t.Error("bogus model parsed")
+	}
+}

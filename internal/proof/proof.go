@@ -1,0 +1,259 @@
+// Package proof records and independently checks the DPLL(T) solver's
+// unsatisfiability proofs. The trace is DRAT-flavoured, extended with
+// theory lemmas:
+//
+//   - input clauses are axioms;
+//   - learnt clauses must hold by reverse unit propagation (RUP) over the
+//     clauses currently in the database — the standard DRAT check;
+//   - theory lemmas must be valid in the attached theory; for the ordering
+//     theory this means "asserting the negations of the clause's literals
+//     as EOG edges closes a cycle", which the checker validates by
+//     replaying the edges against an independent ordering-theory instance;
+//   - deletions remove learnt clauses from the database;
+//   - the trace proves unsatisfiability when it derives the empty clause.
+//
+// The checker shares no inference code with the solver (propagation is
+// reimplemented naively), so a bug in the CDCL engine cannot vouch for
+// itself.
+package proof
+
+import (
+	"fmt"
+
+	"zpre/internal/sat"
+)
+
+// Kind labels a trace line.
+type Kind int
+
+// Trace line kinds.
+const (
+	// Input is a problem clause (axiom).
+	Input Kind = iota
+	// Learnt is a clause derived by conflict analysis (RUP-checkable).
+	Learnt
+	// TheoryLemma is a clause supplied by the theory solver.
+	TheoryLemma
+	// Deleted removes a clause from the database.
+	Deleted
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case Input:
+		return "input"
+	case Learnt:
+		return "learnt"
+	case TheoryLemma:
+		return "theory"
+	case Deleted:
+		return "delete"
+	}
+	return "?"
+}
+
+// Line is one step of the trace.
+type Line struct {
+	Kind Kind
+	Lits []sat.Lit
+}
+
+// Trace accumulates the solver's inference steps. It implements
+// sat.ProofRecorder. The zero value is ready to use.
+type Trace struct {
+	Lines []Line
+}
+
+func (t *Trace) record(k Kind, lits []sat.Lit) {
+	t.Lines = append(t.Lines, Line{Kind: k, Lits: append([]sat.Lit(nil), lits...)})
+}
+
+// Input implements sat.ProofRecorder.
+func (t *Trace) Input(lits []sat.Lit) { t.record(Input, lits) }
+
+// Learnt implements sat.ProofRecorder.
+func (t *Trace) Learnt(lits []sat.Lit) { t.record(Learnt, lits) }
+
+// TheoryLemma implements sat.ProofRecorder.
+func (t *Trace) TheoryLemma(lits []sat.Lit) { t.record(TheoryLemma, lits) }
+
+// Deleted implements sat.ProofRecorder.
+func (t *Trace) Deleted(lits []sat.Lit) { t.record(Deleted, lits) }
+
+// Stats summarises a trace.
+func (t *Trace) Stats() (inputs, learnts, lemmas, deletions int) {
+	for _, l := range t.Lines {
+		switch l.Kind {
+		case Input:
+			inputs++
+		case Learnt:
+			learnts++
+		case TheoryLemma:
+			lemmas++
+		case Deleted:
+			deletions++
+		}
+	}
+	return
+}
+
+// TheoryValidator decides whether a clause is a valid theory lemma. nil is
+// allowed when the trace contains no theory lemmas.
+type TheoryValidator func(lits []sat.Lit) bool
+
+// Check validates the trace as a proof of unsatisfiability:
+// every Learnt line must be RUP over the database accumulated so far, every
+// TheoryLemma must pass the validator, and the trace must derive the empty
+// clause. On success it returns nil.
+func Check(t *Trace, numVars int, validate TheoryValidator) error {
+	c := &checker{numVars: numVars}
+	derivedEmpty := false
+	for i, line := range t.Lines {
+		switch line.Kind {
+		case Input:
+			c.add(line.Lits)
+		case TheoryLemma:
+			if validate == nil {
+				return fmt.Errorf("proof: line %d: theory lemma but no validator supplied", i)
+			}
+			if !validate(line.Lits) {
+				return fmt.Errorf("proof: line %d: invalid theory lemma %v", i, line.Lits)
+			}
+			c.add(line.Lits)
+		case Learnt:
+			if !c.rup(line.Lits) {
+				return fmt.Errorf("proof: line %d: learnt clause %v is not RUP", i, line.Lits)
+			}
+			if len(line.Lits) == 0 {
+				derivedEmpty = true
+			}
+			c.add(line.Lits)
+		case Deleted:
+			c.remove(line.Lits)
+		}
+		if derivedEmpty {
+			break
+		}
+	}
+	if !derivedEmpty {
+		return fmt.Errorf("proof: trace does not derive the empty clause")
+	}
+	return nil
+}
+
+// checker is a deliberately simple clause database with naive unit
+// propagation (no watched literals: independence from the solver is the
+// point, not speed).
+type checker struct {
+	numVars int
+	clauses [][]sat.Lit
+}
+
+func key(lits []sat.Lit) string {
+	b := make([]byte, 0, 4*len(lits))
+	for _, l := range lits {
+		b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return string(b)
+}
+
+func (c *checker) add(lits []sat.Lit) {
+	// Deduplicate literals: the solver simplifies clauses on entry, and a
+	// duplicated literal would make the naive unit detection miscount.
+	out := make([]sat.Lit, 0, len(lits))
+	for _, l := range lits {
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	c.clauses = append(c.clauses, out)
+}
+
+func (c *checker) remove(lits []sat.Lit) {
+	want := key(lits)
+	for i, cl := range c.clauses {
+		if key(cl) == want {
+			c.clauses[i] = c.clauses[len(c.clauses)-1]
+			c.clauses = c.clauses[:len(c.clauses)-1]
+			return
+		}
+	}
+	// Deleting an unknown clause is harmless (the solver may delete a
+	// clause recorded with reordered literals); ignore.
+}
+
+// rup checks the clause by reverse unit propagation: assume every literal
+// false and propagate; the clause is RUP iff a conflict follows.
+func (c *checker) rup(lits []sat.Lit) bool {
+	assign := make([]sat.LBool, c.numVars)
+	setLit := func(l sat.Lit) bool { // false = conflict
+		v := l.Var()
+		want := sat.LTrue
+		if l.IsNeg() {
+			want = sat.LFalse
+		}
+		if assign[v] == sat.LUndef {
+			assign[v] = want
+			return true
+		}
+		return assign[v] == want
+	}
+	for _, l := range lits {
+		if !setLit(l.Neg()) {
+			return true // negated clause already contradictory
+		}
+	}
+	valueOf := func(l sat.Lit) sat.LBool {
+		v := assign[l.Var()]
+		if v == sat.LUndef {
+			return sat.LUndef
+		}
+		if l.IsNeg() {
+			return v.Neg()
+		}
+		return v
+	}
+	for {
+		progress := false
+		for _, cl := range c.clauses {
+			unassigned := sat.LitUndef
+			nUnassigned := 0
+			satisfied := false
+			for _, l := range cl {
+				switch valueOf(l) {
+				case sat.LTrue:
+					satisfied = true
+				case sat.LUndef:
+					nUnassigned++
+					unassigned = l
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			switch nUnassigned {
+			case 0:
+				return true // conflict: clause fully falsified
+			case 1:
+				if !setLit(unassigned) {
+					return true
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			return false
+		}
+	}
+}

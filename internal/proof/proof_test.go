@@ -1,0 +1,211 @@
+package proof_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"zpre/internal/core"
+	"zpre/internal/cprog"
+	"zpre/internal/encode"
+	"zpre/internal/memmodel"
+	"zpre/internal/proof"
+	"zpre/internal/sat"
+	"zpre/internal/smt"
+	"zpre/internal/svcomp"
+)
+
+// TestPureSATProof: the solver's trace on an unsat CNF checks out, and a
+// corrupted trace is rejected.
+func TestPureSATProof(t *testing.T) {
+	s := sat.New()
+	tr := &proof.Trace{}
+	s.Proof = tr
+	// Pigeonhole(4): genuinely requires learning.
+	n := 4
+	vars := make([][]sat.Var, n+1)
+	for p := 0; p <= n; p++ {
+		vars[p] = make([]sat.Var, n)
+		for h := 0; h < n; h++ {
+			vars[p][h] = s.NewVar()
+		}
+		lits := make([]sat.Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = sat.PosLit(vars[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(sat.NegLit(vars[p1][h]), sat.NegLit(vars[p2][h]))
+			}
+		}
+	}
+	if s.Solve() != sat.Unsat {
+		t.Fatal("php(4) must be unsat")
+	}
+	if err := proof.Check(tr, s.NVars(), nil); err != nil {
+		t.Fatalf("valid proof rejected: %v", err)
+	}
+	inputs, learnts, _, _ := tr.Stats()
+	if inputs == 0 || learnts == 0 {
+		t.Fatalf("trace too thin: %d inputs %d learnts", inputs, learnts)
+	}
+
+	// Corrupt a learnt clause: flipping a literal must break RUP somewhere.
+	corrupted := &proof.Trace{Lines: append([]proof.Line(nil), tr.Lines...)}
+	flipped := false
+	for i, line := range corrupted.Lines {
+		if line.Kind == proof.Learnt && len(line.Lits) >= 2 {
+			lits := append([]sat.Lit(nil), line.Lits...)
+			lits[0] = lits[0].Neg()
+			corrupted.Lines[i] = proof.Line{Kind: proof.Learnt, Lits: lits}
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Skip("no multi-literal learnt clause to corrupt")
+	}
+	if err := proof.Check(corrupted, s.NVars(), nil); err == nil {
+		t.Fatal("corrupted proof accepted")
+	}
+}
+
+// TestSatTraceHasNoEmptyClause: a satisfiable run's trace must not verify
+// as an unsat proof.
+func TestSatTraceHasNoEmptyClause(t *testing.T) {
+	s := sat.New()
+	tr := &proof.Trace{}
+	s.Proof = tr
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(sat.PosLit(a), sat.PosLit(b))
+	if s.Solve() != sat.Sat {
+		t.Fatal("want sat")
+	}
+	err := proof.Check(tr, s.NVars(), nil)
+	if err == nil || !strings.Contains(err.Error(), "empty clause") {
+		t.Fatalf("sat trace must not check as unsat proof: %v", err)
+	}
+}
+
+// TestDPLLTProofWithOrderTheory: the full pipeline — a safe (unsat) program
+// whose refutation uses EOG-cycle theory lemmas — produces a checkable
+// proof; tampering with a theory lemma is caught.
+func TestDPLLTProofWithOrderTheory(t *testing.T) {
+	var prog *cprog.Program
+	for _, b := range svcomp.Lit() {
+		if b.Name == "fig2" {
+			prog = b.Program
+		}
+	}
+	for _, strat := range []core.Strategy{core.Baseline, core.ZPRE} {
+		vc, err := encode.Program(prog, encode.Options{Model: memmodel.SC, Width: 8, WithProof: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := core.NewDecider(strat, core.Classify(vc.Builder.NamedVars()), core.Config{Seed: 3})
+		var d sat.Decider
+		if dec != nil {
+			d = dec
+		}
+		res, err := vc.Builder.Solve(smt.Options{Decider: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != sat.Unsat {
+			t.Fatalf("fig2/SC must be unsat, got %v", res.Status)
+		}
+		if err := vc.Builder.CheckProof(vc.Proof); err != nil {
+			t.Fatalf("%v: proof rejected: %v", strat, err)
+		}
+		_, _, lemmas, _ := vc.Proof.Stats()
+		if lemmas == 0 {
+			t.Fatalf("%v: refutation should involve theory lemmas", strat)
+		}
+
+		// Tamper with a theory lemma: replace with a non-cyclic one.
+		bad := &proof.Trace{Lines: append([]proof.Line(nil), vc.Proof.Lines...)}
+		for i, line := range bad.Lines {
+			if line.Kind == proof.TheoryLemma && len(line.Lits) >= 2 {
+				bad.Lines[i] = proof.Line{Kind: proof.TheoryLemma, Lits: line.Lits[:1]}
+				break
+			}
+		}
+		if err := vc.Builder.CheckProof(bad); err == nil {
+			t.Fatalf("%v: tampered theory lemma accepted", strat)
+		}
+	}
+}
+
+// TestCorpusProofs: every safe (unsat) lit/wmm-coherence task yields a
+// checkable proof under both strategies.
+func TestCorpusProofs(t *testing.T) {
+	picks := []string{"fig2", "co_rr", "co_ww", "lb_1", "iriw_1", "peterson_fenced", "dekker_flags_fenced"}
+	byName := map[string]svcomp.Benchmark{}
+	for _, b := range svcomp.All() {
+		byName[b.Name] = b
+	}
+	for _, name := range picks {
+		b, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		for _, mm := range memmodel.All() {
+			if b.Expected[mm] != svcomp.ExpectSafe {
+				continue
+			}
+			vc, err := encode.Program(cprog.Unroll(b.Program, b.MinBound, cprog.UnwindAssume),
+				encode.Options{Model: mm, Width: 8, WithProof: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec := core.NewDecider(core.ZPRE, core.Classify(vc.Builder.NamedVars()), core.Config{Seed: 1})
+			res, err := vc.Builder.Solve(smt.Options{Decider: dec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != sat.Unsat {
+				t.Fatalf("%s/%v: expected unsat", name, mm)
+			}
+			if err := vc.Builder.CheckProof(vc.Proof); err != nil {
+				t.Errorf("%s/%v: proof rejected: %v", name, mm, err)
+			}
+		}
+	}
+}
+
+// TestQuickRandomUnsatProofs: random unsat CNFs produce checkable traces.
+func TestQuickRandomUnsatProofs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2022))
+	checked := 0
+	for i := 0; i < 200 && checked < 40; i++ {
+		nVars := 4 + rng.Intn(8)
+		s := sat.New()
+		tr := &proof.Trace{}
+		s.Proof = tr
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		for j := 0; j < 6*nVars; j++ {
+			k := 2 + rng.Intn(2)
+			lits := make([]sat.Lit, k)
+			for x := range lits {
+				lits[x] = sat.MkLit(sat.Var(rng.Intn(nVars)), rng.Intn(2) == 1)
+			}
+			s.AddClause(lits...)
+		}
+		if s.Solve() != sat.Unsat {
+			continue
+		}
+		checked++
+		if err := proof.Check(tr, nVars, nil); err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("too few unsat instances: %d", checked)
+	}
+}

@@ -1,0 +1,35 @@
+package proof
+
+import (
+	"zpre/internal/order"
+	"zpre/internal/sat"
+)
+
+// OrderValidator builds a TheoryValidator for the ordering theory: a clause
+// is a valid lemma iff asserting the negation of each of its literals as
+// EOG edges (over the given fixed program-order edges) closes a cycle. The
+// validation replays the edges against a fresh, independent theory
+// instance per lemma.
+func OrderValidator(numEvents int, atoms map[sat.Var][2]int32, fixed [][2]int32) TheoryValidator {
+	return func(lits []sat.Lit) bool {
+		if len(lits) == 0 {
+			return false
+		}
+		th := order.New(numEvents)
+		for _, e := range fixed {
+			th.AddFixedEdge(e[0], e[1])
+		}
+		for v, ab := range atoms {
+			th.RegisterAtom(v, ab[0], ab[1])
+		}
+		for _, l := range lits {
+			if _, _, ok := th.Atom(l.Var()); !ok {
+				return false // theory lemmas speak about order atoms only
+			}
+			if confl := th.Assert(l.Neg()); confl != nil {
+				return true // the negated clause is order-inconsistent
+			}
+		}
+		return false
+	}
+}

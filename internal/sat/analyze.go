@@ -1,0 +1,100 @@
+package sat
+
+// analyze performs first-UIP conflict analysis on the conflicting clause and
+// returns the learnt clause (asserting literal first, a literal of the second
+// highest level at position 1) and the backjump level. Must be called at
+// decision level > 0 with every literal of confl false.
+func (s *Solver) analyze(confl *Clause) (learnt []Lit, btLevel int) {
+	pathC := 0
+	p := LitUndef
+	learnt = append(learnt, LitUndef) // slot for the asserting literal
+	idx := len(s.trail) - 1
+	c := confl
+
+	for {
+		if c.learnt {
+			s.claBump(c)
+		}
+		start := 0
+		if p != LitUndef {
+			start = 1 // skip the propagated literal at position 0
+		}
+		for j := start; j < len(c.Lits); j++ {
+			q := c.Lits[j]
+			v := q.Var()
+			if s.seen[v] == 0 && s.level[v] > 0 {
+				s.seen[v] = 1
+				s.varBump(v)
+				if int(s.level[v]) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		for s.seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		c = s.reason[p.Var()]
+		s.seen[p.Var()] = 0
+		pathC--
+		if pathC <= 0 {
+			break
+		}
+	}
+	learnt[0] = p.Neg()
+
+	// Clause minimisation (basic mode): drop literals whose reasons are fully
+	// subsumed by the rest of the learnt clause.
+	s.minimizeCl = s.minimizeCl[:0]
+	for _, l := range learnt {
+		s.minimizeCl = append(s.minimizeCl, l)
+	}
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		q := learnt[i]
+		r := s.reason[q.Var()]
+		if r == nil || !s.litRedundant(q, r) {
+			learnt[j] = q
+			j++
+		}
+	}
+	learnt = learnt[:j]
+
+	// Clear seen flags for all involved variables.
+	for _, l := range s.minimizeCl {
+		s.seen[l.Var()] = 0
+	}
+
+	// Find the backjump level: the second-highest decision level.
+	if len(learnt) == 1 {
+		return learnt, 0
+	}
+	maxI := 1
+	for i := 2; i < len(learnt); i++ {
+		if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+			maxI = i
+		}
+	}
+	learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+	return learnt, int(s.level[learnt[1].Var()])
+}
+
+// litRedundant reports whether q can be removed from the learnt clause
+// because every literal in its reason (other than q itself) is either at
+// level 0 or already present (seen) in the learnt clause. This is the
+// "basic" clause-minimisation mode.
+func (s *Solver) litRedundant(q Lit, r *Clause) bool {
+	for k := 1; k < len(r.Lits); k++ {
+		l := r.Lits[k]
+		if s.level[l.Var()] == 0 {
+			continue
+		}
+		if s.seen[l.Var()] == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,55 @@
+package sat
+
+// Clause is a disjunction of literals. Learnt clauses carry an activity used
+// by the clause-database reduction policy and an LBD (literal block distance)
+// glue score computed when they are learnt.
+type Clause struct {
+	Lits     []Lit
+	activity float64
+	lbd      int32
+	learnt   bool
+	deleted  bool
+}
+
+// Learnt reports whether the clause was derived by conflict analysis.
+func (c *Clause) Learnt() bool { return c.learnt }
+
+// Len returns the number of literals.
+func (c *Clause) Len() int { return len(c.Lits) }
+
+// watcher pairs a watching clause with a "blocker" literal: if the blocker is
+// already true the clause cannot propagate and the watch list scan can skip
+// dereferencing the clause.
+type watcher struct {
+	clause  *Clause
+	blocker Lit
+}
+
+// Stats are cumulative search counters, mirroring the quantities the paper
+// reports in Table 2 (decisions, propagations, conflicts) plus bookkeeping.
+type Stats struct {
+	Decisions     uint64
+	Propagations  uint64 // Boolean (unit) propagations
+	TheoryProps   uint64 // literals propagated by the theory solver
+	Conflicts     uint64
+	TheoryConfl   uint64 // conflicts raised by the theory solver
+	Restarts      uint64
+	LearntClauses uint64
+	DeletedCls    uint64
+	MaxTrail      int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Decisions += other.Decisions
+	s.Propagations += other.Propagations
+	s.TheoryProps += other.TheoryProps
+	s.Conflicts += other.Conflicts
+	s.TheoryConfl += other.TheoryConfl
+	s.Restarts += other.Restarts
+	s.LearntClauses += other.LearntClauses
+	s.DeletedCls += other.DeletedCls
+	if other.MaxTrail > s.MaxTrail {
+		s.MaxTrail = other.MaxTrail
+	}
+}

@@ -1,0 +1,104 @@
+package sat
+
+// varHeap is a binary max-heap over variables keyed by VSIDS activity,
+// with an index table for decrease/increase-key and membership tests.
+type varHeap struct {
+	heap     []Var
+	indices  []int32 // var -> position in heap, -1 if absent
+	activity *[]float64
+}
+
+func newVarHeap(activity *[]float64) *varHeap {
+	return &varHeap{activity: activity}
+}
+
+func (h *varHeap) growTo(n int) {
+	for len(h.indices) < n {
+		h.indices = append(h.indices, -1)
+	}
+}
+
+func (h *varHeap) less(a, b Var) bool {
+	return (*h.activity)[a] > (*h.activity)[b]
+}
+
+func (h *varHeap) contains(v Var) bool {
+	return int(v) < len(h.indices) && h.indices[v] >= 0
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) push(v Var) {
+	if h.contains(v) {
+		return
+	}
+	h.growTo(int(v) + 1)
+	h.heap = append(h.heap, v)
+	h.indices[v] = int32(len(h.heap) - 1)
+	h.siftUp(len(h.heap) - 1)
+}
+
+func (h *varHeap) pop() Var {
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.indices[h.heap[0]] = 0
+	h.heap = h.heap[:last]
+	h.indices[top] = -1
+	if len(h.heap) > 1 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+// update restores the heap property after v's activity increased.
+func (h *varHeap) update(v Var) {
+	if h.contains(v) {
+		h.siftUp(int(h.indices[v]))
+	}
+}
+
+// rebuild re-heapifies after a global activity rescale (order unchanged, so
+// this is a no-op for correctness, but kept for clarity and future keys).
+func (h *varHeap) rebuild() {
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *varHeap) siftUp(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(v, h.heap[parent]) {
+			break
+		}
+		h.heap[i] = h.heap[parent]
+		h.indices[h.heap[i]] = int32(i)
+		i = parent
+	}
+	h.heap[i] = v
+	h.indices[v] = int32(i)
+}
+
+func (h *varHeap) siftDown(i int) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if child+1 < n && h.less(h.heap[child+1], h.heap[child]) {
+			child++
+		}
+		if !h.less(h.heap[child], v) {
+			break
+		}
+		h.heap[i] = h.heap[child]
+		h.indices[h.heap[i]] = int32(i)
+		i = child
+	}
+	h.heap[i] = v
+	h.indices[v] = int32(i)
+}

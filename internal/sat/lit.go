@@ -1,0 +1,129 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT solver
+// in the MiniSat tradition: two-watched-literal propagation, first-UIP
+// conflict analysis with clause minimisation, VSIDS variable activities with
+// phase saving, Luby restarts and activity-based learnt-clause deletion.
+//
+// The solver exposes two extension points used by the DPLL(T) engine in
+// internal/smt:
+//
+//   - a Theory hook, consulted after every Boolean propagation fixpoint so a
+//     theory solver can assert trail literals, report conflicts as clauses
+//     and propagate theory-implied literals with clause explanations; and
+//   - a Decider hook, consulted before the built-in VSIDS order so a custom
+//     decision strategy (such as the interference-relation order from
+//     internal/core) can pick the next decision literal.
+package sat
+
+import "fmt"
+
+// Var is a Boolean variable index. Variables are numbered from 0.
+type Var int32
+
+// NoVar marks the absence of a variable.
+const NoVar Var = -1
+
+// Lit is a literal: variable 2*v encodes the positive literal of v and
+// 2*v+1 the negative one, exactly as in MiniSat.
+type Lit int32
+
+// LitUndef marks the absence of a literal.
+const LitUndef Lit = -1
+
+// MkLit builds a literal from a variable. neg selects the negative polarity.
+func MkLit(v Var, neg bool) Lit {
+	l := Lit(v) << 1
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(v) << 1 }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(v)<<1 | 1 }
+
+// Var returns the variable underlying l.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg returns the complement literal.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// IsNeg reports whether l is a negative literal.
+func (l Lit) IsNeg() bool { return l&1 == 1 }
+
+// XorSign flips the literal when cond is true.
+func (l Lit) XorSign(cond bool) Lit {
+	if cond {
+		return l ^ 1
+	}
+	return l
+}
+
+// String renders the literal as v or ~v followed by the variable index.
+func (l Lit) String() string {
+	if l == LitUndef {
+		return "undef"
+	}
+	if l.IsNeg() {
+		return fmt.Sprintf("~x%d", l.Var())
+	}
+	return fmt.Sprintf("x%d", l.Var())
+}
+
+// LBool is a lifted Boolean: true, false or undefined.
+type LBool int8
+
+// Lifted Boolean constants.
+const (
+	LUndef LBool = iota
+	LTrue
+	LFalse
+)
+
+// Neg returns the lifted negation (undef stays undef).
+func (b LBool) Neg() LBool {
+	switch b {
+	case LTrue:
+		return LFalse
+	case LFalse:
+		return LTrue
+	}
+	return LUndef
+}
+
+// String renders the lifted Boolean.
+func (b LBool) String() string {
+	switch b {
+	case LTrue:
+		return "true"
+	case LFalse:
+		return "false"
+	}
+	return "undef"
+}
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	// Unknown means the solver gave up (budget or deadline exhausted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found (see Solver.Value).
+	Sat
+	// Unsat means the formula is unsatisfiable.
+	Unsat
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}

@@ -1,0 +1,573 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLitBasics(t *testing.T) {
+	v := Var(5)
+	p, n := PosLit(v), NegLit(v)
+	if p.Var() != v || n.Var() != v {
+		t.Fatal("Var roundtrip broken")
+	}
+	if p.IsNeg() || !n.IsNeg() {
+		t.Fatal("sign broken")
+	}
+	if p.Neg() != n || n.Neg() != p {
+		t.Fatal("Neg broken")
+	}
+	if MkLit(v, false) != p || MkLit(v, true) != n {
+		t.Fatal("MkLit broken")
+	}
+	if p.XorSign(true) != n || p.XorSign(false) != p {
+		t.Fatal("XorSign broken")
+	}
+	if p.String() != "x5" || n.String() != "~x5" {
+		t.Fatalf("String: %s %s", p, n)
+	}
+}
+
+func TestLBool(t *testing.T) {
+	if LTrue.Neg() != LFalse || LFalse.Neg() != LTrue || LUndef.Neg() != LUndef {
+		t.Fatal("LBool.Neg broken")
+	}
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	s.AddClause(NegLit(a))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v", got)
+	}
+	if s.Value(a) != LFalse {
+		t.Fatalf("a should be false, got %v", s.Value(a))
+	}
+	if s.Value(b) != LTrue {
+		t.Fatalf("b should be true, got %v", s.Value(b))
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(PosLit(a))
+	if s.AddClause(NegLit(a)) {
+		t.Fatal("conflicting unit should report failure")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(PosLit(a))
+	// Clause simplification removes the false literal, leaving empty.
+	if s.AddClause(NegLit(a)) {
+		t.Fatal("want failure")
+	}
+	if s.Okay() {
+		t.Fatal("solver should be in failed state")
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if !s.AddClause(PosLit(a), NegLit(a)) {
+		t.Fatal("tautology should be accepted (and dropped)")
+	}
+	if s.NClauses() != 0 {
+		t.Fatal("tautology should not be stored")
+	}
+	if s.Solve() != Sat {
+		t.Fatal("want sat")
+	}
+}
+
+func TestDuplicateLiterals(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(PosLit(a), PosLit(a), PosLit(b), PosLit(b))
+	s.AddClause(NegLit(a))
+	s.AddClause(NegLit(b), NegLit(a))
+	if s.Solve() != Sat {
+		t.Fatal("want sat")
+	}
+}
+
+// pigeonhole(n): n+1 pigeons into n holes — classic small unsat family that
+// requires real conflict-driven search.
+func pigeonhole(s *Solver, n int) {
+	vars := make([][]Var, n+1)
+	for p := 0; p <= n; p++ {
+		vars[p] = make([]Var, n)
+		for h := 0; h < n; h++ {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		s := New()
+		pigeonhole(s, n)
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("php(%d): got %v", n, got)
+		}
+		if n >= 4 && s.Stats().Conflicts == 0 {
+			t.Errorf("php(%d) should require conflicts", n)
+		}
+	}
+}
+
+func TestPigeonholeSatVariant(t *testing.T) {
+	// n pigeons into n holes is satisfiable.
+	s := New()
+	n := 5
+	vars := make([][]Var, n)
+	for p := 0; p < n; p++ {
+		vars[p] = make([]Var, n)
+		for h := 0; h < n; h++ {
+			vars[p][h] = s.NewVar()
+		}
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 < n; p1++ {
+			for p2 := p1 + 1; p2 < n; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("got %v", got)
+	}
+	// Verify the model is a valid assignment: each pigeon in some hole, no
+	// hole shared.
+	used := map[int]bool{}
+	for p := 0; p < n; p++ {
+		found := -1
+		for h := 0; h < n; h++ {
+			if s.Value(vars[p][h]) == LTrue {
+				if used[h] {
+					t.Fatalf("hole %d used twice", h)
+				}
+				used[h] = true
+				found = h
+				break
+			}
+		}
+		if found < 0 {
+			t.Fatalf("pigeon %d has no hole", p)
+		}
+	}
+}
+
+// randomFormula builds a random k-SAT instance and returns the clauses.
+func randomFormula(rng *rand.Rand, nVars, nClauses, k int) [][]Lit {
+	out := make([][]Lit, nClauses)
+	for i := range out {
+		c := make([]Lit, k)
+		for j := range c {
+			c[j] = MkLit(Var(rng.Intn(nVars)), rng.Intn(2) == 1)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// bruteForceSat checks satisfiability by enumeration (nVars <= 20).
+func bruteForceSat(nVars int, clauses [][]Lit) bool {
+	for m := 0; m < 1<<uint(nVars); m++ {
+		ok := true
+		for _, c := range clauses {
+			sat := false
+			for _, l := range c {
+				val := m>>uint(l.Var())&1 == 1
+				if val != l.IsNeg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRandomVsBruteForce cross-checks the CDCL result against exhaustive
+// enumeration on hundreds of small random instances, and checks that every
+// Sat model actually satisfies every clause.
+func TestRandomVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 400; i++ {
+		nVars := 3 + rng.Intn(10)
+		nClauses := 2 + rng.Intn(6*nVars)
+		clauses := randomFormula(rng, nVars, nClauses, 2+rng.Intn(2))
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		expect := true
+		for _, c := range clauses {
+			if !s.AddClause(c...) {
+				expect = false
+			}
+		}
+		got := s.Solve()
+		want := bruteForceSat(nVars, clauses)
+		_ = expect
+		if (got == Sat) != want {
+			t.Fatalf("instance %d: solver=%v bruteforce=%v (%d vars, %d clauses)", i, got, want, nVars, nClauses)
+		}
+		if got == Sat {
+			for ci, c := range clauses {
+				ok := false
+				for _, l := range c {
+					if s.ValueLit(l) == LTrue {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("instance %d: model does not satisfy clause %d", i, ci)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickModelSoundness is the testing/quick form of model soundness: for
+// arbitrary seeds, a Sat answer comes with a model satisfying all clauses.
+func TestQuickModelSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 4 + rng.Intn(12)
+		clauses := randomFormula(rng, nVars, 3+rng.Intn(30), 3)
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		for _, c := range clauses {
+			s.AddClause(c...)
+		}
+		if s.Solve() != Sat {
+			return true // unsat is checked by TestRandomVsBruteForce
+		}
+		for _, c := range clauses {
+			ok := false
+			for _, l := range c {
+				if s.ValueLit(l) == LTrue {
+					ok = true
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxConflictsBudget(t *testing.T) {
+	s := New()
+	pigeonhole(s, 7) // hard enough to exceed a tiny budget
+	s.MaxConflicts = 5
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("got %v, want unknown under budget", got)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	s := New()
+	pigeonhole(s, 9)
+	s.Deadline = time.Now().Add(-time.Second) // already past
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("got %v, want unknown past deadline", got)
+	}
+}
+
+func TestPolaritySelection(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b)) // free choice
+	s.SetPolarity(a, false)           // prefer positive
+	if s.Solve() != Sat {
+		t.Fatal("want sat")
+	}
+	if s.Value(a) != LTrue {
+		t.Fatalf("polarity hint ignored: a=%v", s.Value(a))
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(i); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestIncrementalSolving(t *testing.T) {
+	// The solver backtracks to the root after each Solve, so clauses can be
+	// added between calls and learnt clauses are reused.
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	if s.Solve() != Sat {
+		t.Fatal("want sat")
+	}
+	model1 := s.Value(a)
+	if model1 == LUndef {
+		t.Fatal("model must be readable after Sat")
+	}
+	s.AddClause(NegLit(a))
+	if s.Solve() != Sat {
+		t.Fatal("still sat with b")
+	}
+	if s.Value(a) != LFalse || s.Value(b) != LTrue {
+		t.Fatalf("model: a=%v b=%v", s.Value(a), s.Value(b))
+	}
+	s.AddClause(NegLit(b))
+	if s.Solve() != Unsat {
+		t.Fatal("now unsat")
+	}
+}
+
+// decideAll is a Decider that proposes variables in a fixed order.
+type decideAll struct {
+	order  []Var
+	neg    bool
+	resets int
+}
+
+func (d *decideAll) Next(value func(Var) LBool) Lit {
+	for _, v := range d.order {
+		if value(v) == LUndef {
+			return MkLit(v, d.neg)
+		}
+	}
+	return LitUndef
+}
+
+func (d *decideAll) OnBacktrack() { d.resets++ }
+
+func TestDeciderHook(t *testing.T) {
+	s := New()
+	var vars []Var
+	for i := 0; i < 6; i++ {
+		vars = append(vars, s.NewVar())
+	}
+	// (v0 | v1) & (~v0 | v2): decider forces positive assignments in order.
+	s.AddClause(PosLit(vars[0]), PosLit(vars[1]))
+	s.AddClause(NegLit(vars[0]), PosLit(vars[2]))
+	s.Decider = &decideAll{order: vars}
+	if s.Solve() != Sat {
+		t.Fatal("want sat")
+	}
+	if s.Value(vars[0]) != LTrue || s.Value(vars[2]) != LTrue {
+		t.Fatal("decider order not honoured")
+	}
+}
+
+func TestDeciderBacktrackNotification(t *testing.T) {
+	s := New()
+	pigeonhole(s, 4)
+	d := &decideAll{neg: false}
+	for v := 0; v < s.NVars(); v++ {
+		d.order = append(d.order, Var(v))
+	}
+	s.Decider = d
+	if s.Solve() != Unsat {
+		t.Fatal("want unsat")
+	}
+	if d.resets == 0 {
+		t.Fatal("decider should have been notified of backtracks")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	var a, b Stats
+	a.Decisions, a.Conflicts, a.MaxTrail = 5, 2, 10
+	b.Decisions, b.Conflicts, b.MaxTrail = 7, 1, 4
+	a.Add(b)
+	if a.Decisions != 12 || a.Conflicts != 3 || a.MaxTrail != 10 {
+		t.Fatalf("bad accumulate: %+v", a)
+	}
+}
+
+func TestManyRestartsAndReduceDB(t *testing.T) {
+	// A larger random-but-satisfiable instance to exercise restarts and
+	// clause-database reduction paths.
+	rng := rand.New(rand.NewSource(99))
+	s := New()
+	nVars := 60
+	for v := 0; v < nVars; v++ {
+		s.NewVar()
+	}
+	// Planted solution: all true; every clause has at least one positive lit.
+	for i := 0; i < 500; i++ {
+		a := Var(rng.Intn(nVars))
+		b := Var(rng.Intn(nVars))
+		c := Var(rng.Intn(nVars))
+		s.AddClause(PosLit(a), MkLit(b, rng.Intn(2) == 0), MkLit(c, rng.Intn(2) == 0))
+	}
+	if s.Solve() != Sat {
+		t.Fatal("planted instance must be sat")
+	}
+}
+
+func TestSolveWithAssumptions(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	c := s.NewVar()
+	s.AddClause(NegLit(a), PosLit(b)) // a → b
+	s.AddClause(NegLit(b), PosLit(c)) // b → c
+
+	if got := s.SolveWithAssumptions(PosLit(a)); got != Sat {
+		t.Fatalf("sat under a: got %v", got)
+	}
+	if s.Value(b) != LTrue || s.Value(c) != LTrue {
+		t.Fatal("implication chain not in model")
+	}
+
+	// a ∧ ¬c is inconsistent with the chain.
+	if got := s.SolveWithAssumptions(PosLit(a), NegLit(c)); got != Unsat {
+		t.Fatalf("want unsat under {a, ~c}, got %v", got)
+	}
+	core := s.ConflictCore()
+	if len(core) == 0 {
+		t.Fatal("empty conflict core for assumption-unsat")
+	}
+	inAssumps := map[Lit]bool{PosLit(a): true, NegLit(c): true}
+	for _, l := range core {
+		if !inAssumps[l] {
+			t.Fatalf("core literal %v is not an assumption", l)
+		}
+	}
+
+	// The formula itself is still satisfiable afterwards.
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("formula must stay sat, got %v", got)
+	}
+	if !s.Okay() {
+		t.Fatal("assumption-unsat must not poison the solver")
+	}
+}
+
+func TestAssumptionsSelectProperties(t *testing.T) {
+	// Two selector-guarded "errors", mutually exclusive with a shared base.
+	s := New()
+	sel1 := s.NewVar()
+	sel2 := s.NewVar()
+	x := s.NewVar()
+	s.AddClause(NegLit(sel1), PosLit(x)) // sel1 → x
+	s.AddClause(NegLit(sel2), NegLit(x)) // sel2 → ~x
+	if s.SolveWithAssumptions(PosLit(sel1)) != Sat {
+		t.Fatal("property 1 reachable")
+	}
+	if s.Value(x) != LTrue {
+		t.Fatal("x forced by sel1")
+	}
+	if s.SolveWithAssumptions(PosLit(sel2)) != Sat {
+		t.Fatal("property 2 reachable")
+	}
+	if s.Value(x) != LFalse {
+		t.Fatal("x forced off by sel2")
+	}
+	if s.SolveWithAssumptions(PosLit(sel1), PosLit(sel2)) != Unsat {
+		t.Fatal("both together contradict")
+	}
+}
+
+func TestAssumptionFalseAtLevelZero(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(NegLit(a)) // unit: a false
+	if got := s.SolveWithAssumptions(PosLit(a)); got != Unsat {
+		t.Fatalf("got %v", got)
+	}
+	core := s.ConflictCore()
+	if len(core) != 1 || core[0] != PosLit(a) {
+		t.Fatalf("core: %v", core)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("formula itself sat, got %v", got)
+	}
+}
+
+func TestAssumptionsWithHardSearch(t *testing.T) {
+	// Pigeonhole with a relaxation selector: clauses are guarded so the
+	// instance is unsat only under the assumption.
+	s := New()
+	sel := s.NewVar()
+	n := 5
+	vars := make([][]Var, n+1)
+	for p := 0; p <= n; p++ {
+		vars[p] = make([]Var, n)
+		for h := 0; h < n; h++ {
+			vars[p][h] = s.NewVar()
+		}
+		lits := []Lit{NegLit(sel)}
+		for h := 0; h < n; h++ {
+			lits = append(lits, PosLit(vars[p][h]))
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+	if got := s.SolveWithAssumptions(PosLit(sel)); got != Unsat {
+		t.Fatalf("guarded php must be unsat under sel, got %v", got)
+	}
+	if got := s.SolveWithAssumptions(NegLit(sel)); got != Sat {
+		t.Fatalf("relaxed php must be sat, got %v", got)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("unguarded formula sat, got %v", got)
+	}
+}

@@ -1,0 +1,790 @@
+package sat
+
+import (
+	"time"
+)
+
+// Solver is a CDCL SAT solver with DPLL(T) hooks.
+//
+// Typical use:
+//
+//	s := sat.New()
+//	a, b := s.NewVar(), s.NewVar()
+//	s.AddClause(sat.PosLit(a), sat.NegLit(b))
+//	if s.Solve() == sat.Sat { _ = s.Value(a) }
+//
+// The zero budget fields mean "no limit". Theory and Decider, when non-nil,
+// plug a theory solver and a custom decision strategy into the search.
+type Solver struct {
+	// Theory, when set, participates in the search (DPLL(T)).
+	Theory Theory
+	// Decider, when set, is consulted for decision literals before VSIDS.
+	Decider Decider
+	// MaxConflicts aborts the search (Unknown) after this many conflicts.
+	MaxConflicts uint64
+	// Deadline aborts the search (Unknown) when the wall clock passes it.
+	Deadline time.Time
+	// Proof, when set, records the inference trace (set it before adding
+	// clauses; see ProofRecorder).
+	Proof ProofRecorder
+
+	clauses []*Clause
+	learnts []*Clause
+	watches [][]watcher
+
+	assigns  []LBool
+	polarity []bool // saved phase: true = prefer the negative literal
+	reason   []*Clause
+	level    []int32
+
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	thHead int     // trail prefix already asserted to the theory
+	thCum  []int32 // thCum[i] = theory.AssertedCount after asserting trail[i]
+
+	activity []float64
+	order    *varHeap
+	varInc   float64
+	varDecay float64
+	claInc   float64
+	claDecay float64
+
+	seen       []byte
+	minimizeCl []Lit // scratch for clause minimisation
+
+	maxLearnts   float64
+	learntAdjust int
+
+	ok    bool
+	stats Stats
+
+	assumptions []Lit
+	conflCore   []Lit
+	model       []LBool
+
+	tempConfl Clause // reusable container for theory conflict clauses
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{
+		varInc:   1.0,
+		varDecay: 0.95,
+		claInc:   1.0,
+		claDecay: 0.999,
+		ok:       true,
+	}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NewVar introduces a fresh variable and returns it.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, LUndef)
+	s.polarity = append(s.polarity, true)
+	s.reason = append(s.reason, nil)
+	s.level = append(s.level, 0)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.order.growTo(int(v) + 1)
+	s.order.push(v)
+	return v
+}
+
+// NVars returns the number of variables created so far.
+func (s *Solver) NVars() int { return len(s.assigns) }
+
+// NClauses returns the number of problem clauses currently held.
+func (s *Solver) NClauses() int { return len(s.clauses) }
+
+// ProblemClauses returns copies of the problem clauses (for serialisation).
+func (s *Solver) ProblemClauses() [][]Lit {
+	out := make([][]Lit, 0, len(s.clauses))
+	for _, c := range s.clauses {
+		out = append(out, append([]Lit(nil), c.Lits...))
+	}
+	return out
+}
+
+// LevelZeroLits returns the literals fixed by top-level unit clauses.
+func (s *Solver) LevelZeroLits() []Lit {
+	if s.decisionLevel() != 0 {
+		panic("sat: LevelZeroLits during search")
+	}
+	return append([]Lit(nil), s.trail...)
+}
+
+// Value returns the assignment of v: from the last Sat model if one exists,
+// else from the current (partial) assignment. The solver backtracks to the
+// root level after every Solve call, so it stays incrementally usable —
+// clauses may be added and Solve called again — while models remain
+// readable.
+func (s *Solver) Value(v Var) LBool {
+	if int(v) < len(s.model) {
+		return s.model[v]
+	}
+	return s.assigns[v]
+}
+
+// ValueLit returns the value of literal l (see Value).
+func (s *Solver) ValueLit(l Lit) LBool {
+	val := s.Value(l.Var())
+	if val == LUndef {
+		return LUndef
+	}
+	if l.IsNeg() {
+		return val.Neg()
+	}
+	return val
+}
+
+// valueLitInternal reads the live assignment (ignores saved models); all
+// search-internal code uses this.
+func (s *Solver) valueLitInternal(l Lit) LBool {
+	val := s.assigns[l.Var()]
+	if val == LUndef {
+		return LUndef
+	}
+	if l.IsNeg() {
+		return val.Neg()
+	}
+	return val
+}
+
+// Stats returns the cumulative search counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// Okay reports whether the clause set is still possibly satisfiable (false
+// once a top-level conflict has been derived).
+func (s *Solver) Okay() bool { return s.ok }
+
+// SetPolarity sets the preferred first assignment for v (neg=true means the
+// solver will try the negative literal first).
+func (s *Solver) SetPolarity(v Var, neg bool) { s.polarity[v] = neg }
+
+// BumpActivity increases v's VSIDS score, biasing the default order.
+func (s *Solver) BumpActivity(v Var) { s.varBump(v) }
+
+// AddClause adds a clause over the given literals, simplifying against the
+// top-level assignment. It returns false if the clause set became trivially
+// unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.Proof != nil {
+		s.Proof.Input(lits)
+	}
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause called during search")
+	}
+	// Sort-free simplification: drop duplicates, false literals; detect
+	// tautologies and satisfied clauses.
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		switch s.valueLitInternal(l) {
+		case LTrue:
+			return true // already satisfied at top level
+		case LFalse:
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Neg() {
+				return true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagateBool() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &Clause{Lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *Clause) {
+	s.watches[c.Lits[0].Neg()] = append(s.watches[c.Lits[0].Neg()], watcher{c, c.Lits[1]})
+	s.watches[c.Lits[1].Neg()] = append(s.watches[c.Lits[1].Neg()], watcher{c, c.Lits[0]})
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) newDecisionLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *Clause) {
+	v := l.Var()
+	if l.IsNeg() {
+		s.assigns[v] = LFalse
+	} else {
+		s.assigns[v] = LTrue
+	}
+	s.reason[v] = from
+	s.level[v] = int32(s.decisionLevel())
+	s.trail = append(s.trail, l)
+	if len(s.trail) > s.stats.MaxTrail {
+		s.stats.MaxTrail = len(s.trail)
+	}
+}
+
+// cancelUntil backtracks to the given decision level.
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.trail[i].IsNeg()
+		s.assigns[v] = LUndef
+		s.reason[v] = nil
+		s.order.push(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = bound
+	if s.thHead > bound {
+		if s.Theory != nil {
+			n := 0
+			if bound > 0 {
+				n = int(s.thCum[bound-1])
+			}
+			s.Theory.PopToCount(n)
+			s.thCum = s.thCum[:bound]
+		}
+		s.thHead = bound
+	}
+	if s.Decider != nil {
+		s.Decider.OnBacktrack()
+	}
+}
+
+// propagateBool runs unit propagation to fixpoint; it returns a conflicting
+// clause or nil.
+func (s *Solver) propagateBool() *Clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		ws := s.watches[p]
+		i, j := 0, 0
+	clauseLoop:
+		for i < len(ws) {
+			w := ws[i]
+			if s.valueLitInternal(w.blocker) == LTrue {
+				ws[j] = ws[i]
+				i++
+				j++
+				continue
+			}
+			c := w.clause
+			if c.deleted {
+				i++ // drop the watcher
+				continue
+			}
+			falseLit := p.Neg()
+			if c.Lits[0] == falseLit {
+				c.Lits[0], c.Lits[1] = c.Lits[1], c.Lits[0]
+			}
+			first := c.Lits[0]
+			nw := watcher{c, first}
+			if first != w.blocker && s.valueLitInternal(first) == LTrue {
+				ws[j] = nw
+				i++
+				j++
+				continue
+			}
+			for k := 2; k < len(c.Lits); k++ {
+				if s.valueLitInternal(c.Lits[k]) != LFalse {
+					c.Lits[1], c.Lits[k] = c.Lits[k], c.Lits[1]
+					neg := c.Lits[1].Neg()
+					s.watches[neg] = append(s.watches[neg], nw)
+					i++
+					continue clauseLoop
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[j] = nw
+			i++
+			j++
+			if s.valueLitInternal(first) == LFalse {
+				for i < len(ws) {
+					ws[j] = ws[i]
+					i++
+					j++
+				}
+				s.watches[p] = ws[:j]
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.stats.Propagations++
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = ws[:j]
+	}
+	return nil
+}
+
+// theoryStep asserts pending trail literals to the theory and applies theory
+// propagations. It returns a conflict clause (or nil) and whether any new
+// literal was enqueued (so Boolean propagation must re-run).
+func (s *Solver) theoryStep() (*Clause, bool) {
+	if s.Theory == nil {
+		s.thHead = len(s.trail)
+		return nil, false
+	}
+	for s.thHead < len(s.trail) {
+		p := s.trail[s.thHead]
+		if s.Theory.Relevant(p.Var()) {
+			if confl := s.Theory.Assert(p); confl != nil {
+				s.stats.TheoryConfl++
+				if s.Proof != nil {
+					s.Proof.TheoryLemma(confl)
+				}
+				s.tempConfl.Lits = append(s.tempConfl.Lits[:0], confl...)
+				return &s.tempConfl, false
+			}
+		}
+		s.thCum = append(s.thCum, int32(s.Theory.AssertedCount()))
+		s.thHead++
+	}
+	progressed := false
+	for _, imp := range s.Theory.Propagate() {
+		switch s.valueLitInternal(imp.Lit) {
+		case LTrue:
+			continue
+		case LFalse:
+			// The explanation clause is fully falsified: a theory conflict.
+			s.stats.TheoryConfl++
+			if s.Proof != nil {
+				s.Proof.TheoryLemma(imp.Reason)
+			}
+			s.tempConfl.Lits = append(s.tempConfl.Lits[:0], imp.Reason...)
+			return &s.tempConfl, false
+		}
+		if len(imp.Reason) < 2 || imp.Reason[0] != imp.Lit {
+			// Theories must explain with (lit ∨ ¬cause1 ∨ ...); anything else
+			// is a contract violation we refuse rather than mis-handle.
+			panic("sat: malformed theory implication reason")
+		}
+		if s.Proof != nil {
+			s.Proof.TheoryLemma(imp.Reason)
+		}
+		reason := &Clause{Lits: append([]Lit(nil), imp.Reason...), learnt: true}
+		// Mid-search clause attachment: the second watch must be the false
+		// literal with the highest decision level, so the watch invariants
+		// survive backtracking.
+		maxI := 1
+		for k := 2; k < len(reason.Lits); k++ {
+			if s.level[reason.Lits[k].Var()] > s.level[reason.Lits[maxI].Var()] {
+				maxI = k
+			}
+		}
+		reason.Lits[1], reason.Lits[maxI] = reason.Lits[maxI], reason.Lits[1]
+		s.learnts = append(s.learnts, reason)
+		s.attach(reason)
+		s.stats.LearntClauses++
+		s.claBump(reason)
+		s.stats.TheoryProps++
+		s.uncheckedEnqueue(imp.Lit, reason)
+		progressed = true
+	}
+	return nil, progressed
+}
+
+// propagateAll interleaves Boolean and theory propagation to fixpoint.
+func (s *Solver) propagateAll() *Clause {
+	for {
+		if confl := s.propagateBool(); confl != nil {
+			return confl
+		}
+		confl, progressed := s.theoryStep()
+		if confl != nil {
+			return confl
+		}
+		if !progressed {
+			return nil
+		}
+	}
+}
+
+func (s *Solver) varBump(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+		s.order.rebuild()
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) varDecayActivity() { s.varInc /= s.varDecay }
+
+func (s *Solver) claBump(c *Clause) {
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) claDecayActivity() { s.claInc /= s.claDecay }
+
+// pickBranchLit selects the next decision literal using VSIDS + saved phase.
+func (s *Solver) pickBranchLit() Lit {
+	for !s.order.empty() {
+		v := s.order.pop()
+		if s.assigns[v] == LUndef {
+			return MkLit(v, s.polarity[v])
+		}
+	}
+	return LitUndef
+}
+
+// maxClauseLevel returns the highest decision level among the clause's
+// literals (used to pre-backtrack before analysing lagging theory conflicts).
+func (s *Solver) maxClauseLevel(c *Clause) int {
+	m := 0
+	for _, l := range c.Lits {
+		if lv := int(s.level[l.Var()]); lv > m {
+			m = lv
+		}
+	}
+	return m
+}
+
+// Solve runs the CDCL search and returns Sat, Unsat or Unknown (budget
+// exhausted). After Sat the model is saved (read it via Value) and the
+// solver backtracks to the root level, so it remains incrementally usable:
+// more clauses may be added and Solve called again, reusing learnt clauses
+// and activities.
+func (s *Solver) Solve() Status { return s.SolveWithAssumptions() }
+
+// SolveWithAssumptions solves under the given assumption literals: the
+// formula is checked together with the temporary facts assumps. On Unsat,
+// ConflictCore reports a subset of the assumptions that is already
+// inconsistent with the formula (empty core = unsat without assumptions).
+func (s *Solver) SolveWithAssumptions(assumps ...Lit) Status {
+	if !s.ok {
+		if s.Proof != nil {
+			s.Proof.Learnt(nil)
+		}
+		s.conflCore = nil
+		return Unsat
+	}
+	s.assumptions = append(s.assumptions[:0], assumps...)
+	s.conflCore = nil
+	s.model = nil
+	confBudget := s.MaxConflicts
+	restart := 0
+	for {
+		limit := luby(restart) * 100
+		st := s.search(limit, &confBudget)
+		if st != Unknown {
+			if st == Sat {
+				s.model = append([]LBool(nil), s.assigns...)
+			}
+			s.cancelUntil(0)
+			return st
+		}
+		if s.budgetExhausted(confBudget) {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		restart++
+		s.stats.Restarts++
+	}
+}
+
+// ConflictCore returns, after an Unsat result from SolveWithAssumptions, a
+// subset of the assumptions whose conjunction the formula refutes. An empty
+// core means the formula is unsatisfiable regardless of assumptions.
+func (s *Solver) ConflictCore() []Lit {
+	return append([]Lit(nil), s.conflCore...)
+}
+
+// analyzeFinal computes the subset of assumption literals implying the
+// falsification of the assumption p (which currently evaluates to false):
+// it walks the implication cone of ¬p back to the assumption decisions. It
+// is only called while every decision level below the current one is an
+// assumption level.
+func (s *Solver) analyzeFinal(p Lit) []Lit {
+	out := []Lit{p}
+	if s.decisionLevel() == 0 {
+		return out
+	}
+	s.seen[p.Var()] = 1
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if s.seen[v] == 0 {
+			continue
+		}
+		if s.reason[v] == nil {
+			// A decision below the VSIDS region is an assumption.
+			if s.level[v] > 0 {
+				out = append(out, s.trail[i])
+			}
+		} else {
+			c := s.reason[v]
+			for j := 1; j < len(c.Lits); j++ {
+				if s.level[c.Lits[j].Var()] > 0 {
+					s.seen[c.Lits[j].Var()] = 1
+				}
+			}
+		}
+		s.seen[v] = 0
+	}
+	s.seen[p.Var()] = 0
+	return out
+}
+
+func (s *Solver) budgetExhausted(confBudget uint64) bool {
+	if s.MaxConflicts > 0 && confBudget == 0 {
+		return true
+	}
+	if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+		return true
+	}
+	return false
+}
+
+// search runs up to maxConfl conflicts; Unknown means "restart or give up".
+func (s *Solver) search(maxConfl int, confBudget *uint64) Status {
+	var conflicts int
+	for {
+		confl := s.propagateAll()
+		if confl != nil {
+			s.stats.Conflicts++
+			conflicts++
+			if s.MaxConflicts > 0 && *confBudget > 0 {
+				*confBudget--
+			}
+			// A theory conflict can live entirely below the current level.
+			if ml := s.maxClauseLevel(confl); ml < s.decisionLevel() {
+				s.cancelUntil(ml)
+			}
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				if s.Proof != nil {
+					s.Proof.Learnt(nil)
+				}
+				return Unsat
+			}
+			learnt, bt := s.analyze(confl)
+			if s.Proof != nil {
+				s.Proof.Learnt(learnt)
+			}
+			s.cancelUntil(bt)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &Clause{Lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.claBump(c)
+				s.stats.LearntClauses++
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.varDecayActivity()
+			s.claDecayActivity()
+			s.learntAdjust--
+			if s.learntAdjust <= 0 {
+				s.learntAdjust = 1000
+				s.maxLearnts = s.maxLearnts*1.1 + 2000
+			}
+			if conflicts >= maxConfl || s.budgetExhausted(*confBudget) {
+				s.cancelUntil(0)
+				return Unknown
+			}
+		} else {
+			if float64(len(s.learnts)) > s.maxLearnts+float64(len(s.trail)) {
+				s.reduceDB()
+			}
+			// Enqueue pending assumptions first, one decision level each.
+			next := LitUndef
+			for s.decisionLevel() < len(s.assumptions) {
+				p := s.assumptions[s.decisionLevel()]
+				switch s.valueLitInternal(p) {
+				case LTrue:
+					s.newDecisionLevel() // dummy level: already satisfied
+				case LFalse:
+					s.conflCore = s.analyzeFinal(p)
+					return Unsat
+				default:
+					next = p
+				}
+				if next != LitUndef {
+					break
+				}
+			}
+			if next == LitUndef && s.Decider != nil {
+				next = s.Decider.Next(func(v Var) LBool { return s.assigns[v] })
+			}
+			if next == LitUndef {
+				next = s.pickBranchLit()
+			}
+			if next == LitUndef {
+				if s.Theory != nil {
+					if confl := s.Theory.FinalCheck(); confl != nil {
+						s.stats.TheoryConfl++
+						if s.Proof != nil {
+							s.Proof.TheoryLemma(confl)
+						}
+						s.tempConfl.Lits = append(s.tempConfl.Lits[:0], confl...)
+						// Treat like any other conflict on the next loop
+						// iteration by handling it here directly.
+						c := &s.tempConfl
+						s.stats.Conflicts++
+						if ml := s.maxClauseLevel(c); ml < s.decisionLevel() {
+							s.cancelUntil(ml)
+						}
+						if s.decisionLevel() == 0 {
+							s.ok = false
+							if s.Proof != nil {
+								s.Proof.Learnt(nil)
+							}
+							return Unsat
+						}
+						learnt, bt := s.analyze(c)
+						if s.Proof != nil {
+							s.Proof.Learnt(learnt)
+						}
+						s.cancelUntil(bt)
+						if len(learnt) == 1 {
+							s.uncheckedEnqueue(learnt[0], nil)
+						} else {
+							lc := &Clause{Lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
+							s.learnts = append(s.learnts, lc)
+							s.attach(lc)
+							s.claBump(lc)
+							s.stats.LearntClauses++
+							s.uncheckedEnqueue(learnt[0], lc)
+						}
+						continue
+					}
+				}
+				return Sat
+			}
+			if s.assigns[next.Var()] != LUndef {
+				panic("sat: decision on assigned variable")
+			}
+			s.stats.Decisions++
+			s.newDecisionLevel()
+			s.uncheckedEnqueue(next, nil)
+		}
+	}
+}
+
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	seenLvl := map[int32]struct{}{}
+	for _, l := range lits {
+		seenLvl[s.level[l.Var()]] = struct{}{}
+	}
+	return int32(len(seenLvl))
+}
+
+// locked reports whether c is the reason of its first literal's assignment.
+func (s *Solver) locked(c *Clause) bool {
+	v := c.Lits[0].Var()
+	return s.reason[v] == c && s.valueLitInternal(c.Lits[0]) == LTrue
+}
+
+// reduceDB removes roughly half of the learnt clauses, preferring inactive,
+// long, high-LBD ones. Watchers are purged lazily via the deleted flag.
+func (s *Solver) reduceDB() {
+	ls := s.learnts
+	// Simple selection: order by (lbd, activity) with binary/glue clauses kept.
+	sortLearnts(ls, func(a, b *Clause) bool {
+		if (a.lbd <= 2) != (b.lbd <= 2) {
+			return a.lbd <= 2
+		}
+		return a.activity > b.activity
+	})
+	keep := ls[:0]
+	limit := len(ls) / 2
+	for i, c := range ls {
+		if c.Len() <= 2 || c.lbd <= 2 || s.locked(c) || i < limit {
+			keep = append(keep, c)
+		} else {
+			c.deleted = true
+			s.stats.DeletedCls++
+			if s.Proof != nil {
+				s.Proof.Deleted(c.Lits)
+			}
+		}
+	}
+	s.learnts = keep
+}
+
+// luby returns the x-th element (0-based) of the Luby restart sequence
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,... (MiniSat's formulation).
+func luby(x int) int {
+	size, seq := 1, 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return 1 << seq
+}
+
+// sortLearnts is an insertion-free sort wrapper (kept separate to avoid an
+// import of sort with interface boxing in this hot path).
+func sortLearnts(ls []*Clause, less func(a, b *Clause) bool) {
+	// Standard heapsort: no allocations, O(n log n).
+	n := len(ls)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftClause(ls, i, n, less)
+	}
+	for end := n - 1; end > 0; end-- {
+		ls[0], ls[end] = ls[end], ls[0]
+		siftClause(ls, 0, end, less)
+	}
+}
+
+func siftClause(ls []*Clause, i, n int, less func(a, b *Clause) bool) {
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		// Max-heap w.r.t. "greater", i.e. less(b,a); final array ascending in
+		// "less", so the clauses we want to keep sort first.
+		if child+1 < n && less(ls[child], ls[child+1]) {
+			child++
+		}
+		if !less(ls[i], ls[child]) {
+			return
+		}
+		ls[i], ls[child] = ls[child], ls[i]
+		i = child
+	}
+}

@@ -1,0 +1,229 @@
+package sat
+
+import "testing"
+
+// xorTheory is a test theory over a set of watched variables: it requires
+// the number of TRUE watched variables to be even. It checks lazily (only
+// in FinalCheck), exercising the final-check conflict path that the eager
+// ordering theory never takes.
+type xorTheory struct {
+	watched  []Var
+	solver   *Solver
+	asserted []Lit
+}
+
+func (t *xorTheory) Relevant(v Var) bool {
+	for _, w := range t.watched {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *xorTheory) Assert(l Lit) []Lit {
+	t.asserted = append(t.asserted, l)
+	return nil
+}
+
+func (t *xorTheory) AssertedCount() int { return len(t.asserted) }
+
+func (t *xorTheory) PopToCount(n int) { t.asserted = t.asserted[:n] }
+
+func (t *xorTheory) Propagate() []TheoryImplication { return nil }
+
+func (t *xorTheory) FinalCheck() []Lit {
+	ones := 0
+	for _, l := range t.asserted {
+		if !l.IsNeg() {
+			ones++
+		}
+	}
+	if ones%2 == 0 {
+		return nil
+	}
+	// Conflict: the conjunction of all current assignments to watched vars
+	// is rejected; clause = negation of each.
+	out := make([]Lit, len(t.asserted))
+	for i, l := range t.asserted {
+		out[i] = l.Neg()
+	}
+	return out
+}
+
+func TestTheoryFinalCheckParity(t *testing.T) {
+	s := New()
+	var vars []Var
+	for i := 0; i < 4; i++ {
+		vars = append(vars, s.NewVar())
+	}
+	th := &xorTheory{watched: vars, solver: s}
+	s.Theory = th
+	// Force v0 true: the theory then requires an odd completion among the
+	// rest... total parity even ⇒ exactly one more (or three more) true.
+	s.AddClause(PosLit(vars[0]))
+	if s.Solve() != Sat {
+		t.Fatal("parity constraint is satisfiable")
+	}
+	ones := 0
+	for _, v := range vars {
+		if s.Value(v) == LTrue {
+			ones++
+		}
+	}
+	if ones%2 != 0 {
+		t.Fatalf("model has odd parity: %d ones", ones)
+	}
+}
+
+func TestTheoryFinalCheckUnsat(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	th := &xorTheory{watched: []Var{v}, solver: s}
+	s.Theory = th
+	s.AddClause(PosLit(v)) // one watched var forced true: parity always odd
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+// implTheory propagates b whenever a is asserted true (with explanation
+// b ∨ ¬a), exercising the theory-propagation machinery.
+type implTheory struct {
+	a, b     Var
+	asserted []Lit
+	pending  []TheoryImplication
+}
+
+func (t *implTheory) Relevant(v Var) bool { return v == t.a || v == t.b }
+
+func (t *implTheory) Assert(l Lit) []Lit {
+	t.asserted = append(t.asserted, l)
+	if l == PosLit(t.a) {
+		t.pending = append(t.pending, TheoryImplication{
+			Lit:    PosLit(t.b),
+			Reason: []Lit{PosLit(t.b), NegLit(t.a)},
+		})
+	}
+	return nil
+}
+
+func (t *implTheory) AssertedCount() int { return len(t.asserted) }
+
+func (t *implTheory) PopToCount(n int) {
+	t.asserted = t.asserted[:n]
+	t.pending = nil
+}
+
+func (t *implTheory) Propagate() []TheoryImplication {
+	out := t.pending
+	t.pending = nil
+	return out
+}
+
+func (t *implTheory) FinalCheck() []Lit { return nil }
+
+func TestTheoryPropagation(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	th := &implTheory{a: a, b: b}
+	s.Theory = th
+	s.AddClause(PosLit(a))
+	if s.Solve() != Sat {
+		t.Fatal("want sat")
+	}
+	if s.Value(b) != LTrue {
+		t.Fatalf("theory propagation lost: b = %v", s.Value(b))
+	}
+	if s.Stats().TheoryProps == 0 {
+		t.Fatal("theory propagation not counted")
+	}
+}
+
+func TestTheoryPropagationConflicts(t *testing.T) {
+	// The theory insists b follows a, but the clauses forbid b when a:
+	// unsat, discovered through the propagation's explanation clause.
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.Theory = &implTheory{a: a, b: b}
+	s.AddClause(PosLit(a))
+	s.AddClause(NegLit(a), NegLit(b))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}
+
+// chainTheory forbids any two of its watched vars being simultaneously true
+// (checked eagerly in Assert), to exercise deep backtracking interplay.
+type chainTheory struct {
+	watched  map[Var]bool
+	asserted []Lit
+}
+
+func (t *chainTheory) Relevant(v Var) bool { return t.watched[v] }
+
+func (t *chainTheory) Assert(l Lit) []Lit {
+	if !l.IsNeg() {
+		for _, prev := range t.asserted {
+			if !prev.IsNeg() {
+				return []Lit{prev.Neg(), l.Neg()}
+			}
+		}
+	}
+	t.asserted = append(t.asserted, l)
+	return nil
+}
+
+func (t *chainTheory) AssertedCount() int             { return len(t.asserted) }
+func (t *chainTheory) PopToCount(n int)               { t.asserted = t.asserted[:n] }
+func (t *chainTheory) Propagate() []TheoryImplication { return nil }
+func (t *chainTheory) FinalCheck() []Lit              { return nil }
+
+func TestTheoryAtMostOne(t *testing.T) {
+	s := New()
+	n := 6
+	watched := map[Var]bool{}
+	var vars []Var
+	for i := 0; i < n; i++ {
+		v := s.NewVar()
+		vars = append(vars, v)
+		watched[v] = true
+	}
+	s.Theory = &chainTheory{watched: watched}
+	// At least one must be true.
+	lits := make([]Lit, n)
+	for i, v := range vars {
+		lits[i] = PosLit(v)
+	}
+	s.AddClause(lits...)
+	if s.Solve() != Sat {
+		t.Fatal("want sat")
+	}
+	ones := 0
+	for _, v := range vars {
+		if s.Value(v) == LTrue {
+			ones++
+		}
+	}
+	if ones != 1 {
+		t.Fatalf("theory allows exactly one true var, model has %d", ones)
+	}
+
+	// Forcing two true is unsat.
+	s2 := New()
+	watched2 := map[Var]bool{}
+	var vars2 []Var
+	for i := 0; i < 3; i++ {
+		v := s2.NewVar()
+		vars2 = append(vars2, v)
+		watched2[v] = true
+	}
+	s2.Theory = &chainTheory{watched: watched2}
+	s2.AddClause(PosLit(vars2[0]))
+	s2.AddClause(PosLit(vars2[2]))
+	if got := s2.Solve(); got != Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}

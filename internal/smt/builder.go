@@ -1,0 +1,307 @@
+package smt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"zpre/internal/order"
+	"zpre/internal/proof"
+	"zpre/internal/sat"
+)
+
+// EventID identifies a memory-access event for the ordering theory; it is an
+// index into the builder's event table (the node set of the EOG).
+type EventID int32
+
+// Builder constructs a verification-condition formula: Boolean structure and
+// bit-vector arithmetic are compiled to CNF immediately; ordering atoms over
+// events are registered with the ordering theory at Solve time.
+type Builder struct {
+	solver  *sat.Solver
+	trueLit sat.Lit
+
+	gates    map[gateKey]sat.Lit
+	names    map[sat.Var]string
+	byName   map[string]sat.Var
+	bvByName map[string]BV
+
+	eventNames []string
+	fixedEdges [][2]int32
+	atomVars   map[[2]int32]sat.Var // canonical (a,b) with a<b → atom var "a before b"
+	atomList   []registeredAtom
+
+	theory *order.Theory // built lazily on the first Solve, then reused
+
+	asserted int // number of top-level assertions (for reporting)
+}
+
+type registeredAtom struct {
+	v    sat.Var
+	a, b int32
+}
+
+// NewBuilder returns an empty formula builder.
+func NewBuilder() *Builder {
+	bd, _ := newBuilder(false)
+	return bd
+}
+
+// NewBuilderWithProof returns a builder whose solver records its inference
+// trace; after an unsat Solve, CheckProof validates the trace independently.
+func NewBuilderWithProof() (*Builder, *proof.Trace) {
+	return newBuilder(true)
+}
+
+func newBuilder(withProof bool) (*Builder, *proof.Trace) {
+	s := sat.New()
+	var tr *proof.Trace
+	if withProof {
+		tr = &proof.Trace{}
+		s.Proof = tr
+	}
+	t := s.NewVar() // variable 0 is the constant true
+	s.AddClause(sat.PosLit(t))
+	return &Builder{
+		solver:   s,
+		trueLit:  sat.PosLit(t),
+		gates:    map[gateKey]sat.Lit{},
+		names:    map[sat.Var]string{},
+		byName:   map[string]sat.Var{},
+		bvByName: map[string]BV{},
+		atomVars: map[[2]int32]sat.Var{},
+	}, tr
+}
+
+// CheckProof validates a trace recorded by this builder's solver against an
+// independent RUP checker, with the builder's ordering atoms and fixed
+// edges validating the theory lemmas. It is meaningful after an unsat
+// Solve result with no assumptions.
+func (bd *Builder) CheckProof(tr *proof.Trace) error {
+	atoms := make(map[sat.Var][2]int32, len(bd.atomList))
+	for _, a := range bd.atomList {
+		atoms[a.v] = [2]int32{a.a, a.b}
+	}
+	fixed := make([][2]int32, len(bd.fixedEdges))
+	copy(fixed, bd.fixedEdges)
+	return proof.Check(tr, bd.solver.NVars(),
+		proof.OrderValidator(len(bd.eventNames), atoms, fixed))
+}
+
+// Solver exposes the underlying SAT solver (for tests and advanced use).
+func (bd *Builder) Solver() *sat.Solver { return bd.solver }
+
+// NumVars returns the number of SAT variables allocated so far.
+func (bd *Builder) NumVars() int { return bd.solver.NVars() }
+
+// NumClauses returns the number of problem clauses added so far.
+func (bd *Builder) NumClauses() int { return bd.solver.NClauses() }
+
+// NumAssertions returns the number of top-level Assert calls.
+func (bd *Builder) NumAssertions() int { return bd.asserted }
+
+// VarName returns the name of a named variable ("" if unnamed).
+func (bd *Builder) VarName(v sat.Var) string { return bd.names[v] }
+
+// NamedVars returns the name → SAT variable table. The decision strategies
+// in internal/core classify variables from exactly this table, mirroring the
+// paper's "recognise interference variables by their names".
+func (bd *Builder) NamedVars() map[string]sat.Var {
+	out := make(map[string]sat.Var, len(bd.byName))
+	for k, v := range bd.byName {
+		out[k] = v
+	}
+	return out
+}
+
+// NewEvent declares a memory-access event (an EOG node) and returns its id.
+func (bd *Builder) NewEvent(name string) EventID {
+	bd.eventNames = append(bd.eventNames, name)
+	return EventID(len(bd.eventNames) - 1)
+}
+
+// NumEvents returns the number of declared events.
+func (bd *Builder) NumEvents() int { return len(bd.eventNames) }
+
+// FixedEdges returns the unconditional order edges added with OrderFixed.
+func (bd *Builder) FixedEdges() [][2]EventID {
+	out := make([][2]EventID, len(bd.fixedEdges))
+	for i, e := range bd.fixedEdges {
+		out[i] = [2]EventID{EventID(e[0]), EventID(e[1])}
+	}
+	return out
+}
+
+// OrderAtoms returns each interned ordering atom as (var, a, b) meaning the
+// variable is true iff clk(a) < clk(b).
+func (bd *Builder) OrderAtoms() []OrderAtom {
+	out := make([]OrderAtom, len(bd.atomList))
+	for i, a := range bd.atomList {
+		out[i] = OrderAtom{Var: a.v, A: EventID(a.a), B: EventID(a.b)}
+	}
+	return out
+}
+
+// OrderAtom describes an interned ordering atom.
+type OrderAtom struct {
+	Var  sat.Var
+	A, B EventID
+}
+
+// EventName returns the name of an event.
+func (bd *Builder) EventName(e EventID) string { return bd.eventNames[e] }
+
+// OrderFixed records the unconditional order a before b (program order,
+// create/join edges).
+func (bd *Builder) OrderFixed(a, b EventID) {
+	bd.fixedEdges = append(bd.fixedEdges, [2]int32{int32(a), int32(b)})
+}
+
+// Before returns the ordering atom clk(a) < clk(b). Atoms are interned so
+// Before(a,b) and Before(b,a) share one SAT variable with opposite polarity
+// (timestamps are pairwise distinct).
+func (bd *Builder) Before(a, b EventID) Bool {
+	if a == b {
+		panic("smt: Before on identical events")
+	}
+	x, y, neg := int32(a), int32(b), false
+	if x > y {
+		x, y, neg = y, x, true
+	}
+	v, ok := bd.atomVars[[2]int32{x, y}]
+	if !ok {
+		v = bd.solver.NewVar()
+		bd.names[v] = fmt.Sprintf("ord_%s_%s", bd.eventNames[x], bd.eventNames[y])
+		bd.atomVars[[2]int32{x, y}] = v
+		bd.atomList = append(bd.atomList, registeredAtom{v: v, a: x, b: y})
+	}
+	return Bool{sat.MkLit(v, neg)}
+}
+
+// Assert adds b as a top-level constraint.
+func (bd *Builder) Assert(b Bool) {
+	bd.asserted++
+	bd.solver.AddClause(b.lit)
+}
+
+// AssertClause adds the disjunction of the given terms as one clause,
+// avoiding intermediate OR gates.
+func (bd *Builder) AssertClause(terms ...Bool) {
+	bd.asserted++
+	lits := make([]sat.Lit, len(terms))
+	for i, t := range terms {
+		lits[i] = t.lit
+	}
+	bd.solver.AddClause(lits...)
+}
+
+// AssertEq asserts a = b over bit-vectors clause-by-clause (cheaper than
+// Assert(BVEq(a,b)) because no gate tree is built).
+func (bd *Builder) AssertEq(a, b BV) {
+	bd.checkSameWidth(a, b)
+	bd.asserted++
+	for i := 0; i < a.Width(); i++ {
+		bd.solver.AddClause(a.bits[i].lit.Neg(), b.bits[i].lit)
+		bd.solver.AddClause(a.bits[i].lit, b.bits[i].lit.Neg())
+	}
+}
+
+// Options configures a Solve call.
+type Options struct {
+	// Decider, when non-nil, is consulted before VSIDS for decisions; this is
+	// where the interference-relation strategies plug in.
+	Decider sat.Decider
+	// Deadline aborts with StatusUnknown when the wall clock passes it.
+	Deadline time.Time
+	// MaxConflicts aborts with StatusUnknown after this many conflicts (0 =
+	// unlimited).
+	MaxConflicts uint64
+	// EagerOrderPropagation switches the ordering theory to eager
+	// reachability propagation (ablation knob; off in the paper's setting).
+	EagerOrderPropagation bool
+}
+
+// Result reports the outcome of a Solve call.
+type Result struct {
+	Status  sat.Status
+	Stats   sat.Stats
+	Elapsed time.Duration
+}
+
+// ErrInconsistentPO is returned when the unconditional program order is
+// cyclic, which indicates an encoder bug rather than an unsatisfiable VC.
+var ErrInconsistentPO = errors.New("smt: fixed program order contains a cycle")
+
+// Solve builds the ordering theory, installs hooks and runs the search.
+// After a Sat result, model values can be read with Value/BVValue. The
+// builder stays usable: further Solve/SolveAssuming calls reuse the solver
+// state (learnt clauses, activities) incrementally.
+func (bd *Builder) Solve(opts Options) (Result, error) {
+	return bd.SolveAssuming(opts)
+}
+
+// SolveAssuming solves under temporary assumptions (e.g. the per-assertion
+// selectors of encode's SelectableAsserts mode). An Unsat result holds only
+// under the assumptions unless they are empty.
+func (bd *Builder) SolveAssuming(opts Options, assumps ...Bool) (Result, error) {
+	start := time.Now()
+	if bd.theory == nil {
+		th := order.New(len(bd.eventNames))
+		for _, e := range bd.fixedEdges {
+			th.AddFixedEdge(e[0], e[1])
+		}
+		if !th.FixedAcyclic() {
+			return Result{}, ErrInconsistentPO
+		}
+		for _, a := range bd.atomList {
+			th.RegisterAtom(a.v, a.a, a.b)
+		}
+		// Atoms already decided by fixed program order become level-0 facts.
+		for _, fi := range th.FixedImplications() {
+			bd.solver.AddClause(fi.Lit)
+		}
+		bd.theory = th
+	}
+	bd.theory.SetEagerPropagation(opts.EagerOrderPropagation)
+	bd.solver.Theory = bd.theory
+	bd.solver.Decider = opts.Decider
+	bd.solver.Deadline = opts.Deadline
+	bd.solver.MaxConflicts = opts.MaxConflicts
+	lits := make([]sat.Lit, len(assumps))
+	for i, a := range assumps {
+		lits[i] = a.lit
+	}
+	st := bd.solver.SolveWithAssumptions(lits...)
+	return Result{Status: st, Stats: bd.solver.Stats(), Elapsed: time.Since(start)}, nil
+}
+
+// Value returns the model value of a Boolean term (valid after Sat).
+func (bd *Builder) Value(b Bool) bool {
+	return bd.solver.ValueLit(b.lit) == sat.LTrue
+}
+
+// BVValue returns the model value of a bit-vector term (valid after Sat).
+func (bd *Builder) BVValue(v BV) uint64 {
+	var out uint64
+	for i, b := range v.bits {
+		if bd.Value(b) {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// BVByName returns a named bit-vector variable, if declared.
+func (bd *Builder) BVByName(name string) (BV, bool) {
+	v, ok := bd.bvByName[name]
+	return v, ok
+}
+
+// BoolByName returns a named Boolean variable, if declared.
+func (bd *Builder) BoolByName(name string) (Bool, bool) {
+	v, ok := bd.byName[name]
+	if !ok {
+		return Bool{}, false
+	}
+	return Bool{sat.PosLit(v)}, true
+}

@@ -1,0 +1,241 @@
+package smtlib
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"zpre/internal/smt"
+)
+
+// sexpr is a parsed S-expression: either an atom (list nil) or a list.
+type sexpr struct {
+	atom string
+	list []sexpr
+}
+
+func (s sexpr) isAtom() bool { return s.list == nil }
+
+// parseSexprs tokenises and reads all top-level S-expressions, skipping
+// comments and |quoted| symbols' interiors.
+func parseSexprs(src string) ([]sexpr, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ';':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '(' || c == ')':
+			toks = append(toks, string(c))
+			i++
+		case c == '|':
+			j := strings.IndexByte(src[i+1:], '|')
+			if j < 0 {
+				return nil, fmt.Errorf("smtlib: unterminated quoted symbol")
+			}
+			toks = append(toks, src[i:i+j+2])
+			i += j + 2
+		case c == '"':
+			j := strings.IndexByte(src[i+1:], '"')
+			if j < 0 {
+				return nil, fmt.Errorf("smtlib: unterminated string literal")
+			}
+			toks = append(toks, src[i:i+j+2])
+			i += j + 2
+		case unicode.IsSpace(rune(c)):
+			i++
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune("(); \t\r\n\"|", rune(src[j])) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		}
+	}
+	var out []sexpr
+	pos := 0
+	for pos < len(toks) {
+		e, next, err := readSexpr(toks, pos)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		pos = next
+	}
+	return out, nil
+}
+
+func readSexpr(toks []string, pos int) (sexpr, int, error) {
+	if pos >= len(toks) {
+		return sexpr{}, pos, fmt.Errorf("smtlib: unexpected end of input")
+	}
+	switch toks[pos] {
+	case "(":
+		pos++
+		list := []sexpr{}
+		for {
+			if pos >= len(toks) {
+				return sexpr{}, pos, fmt.Errorf("smtlib: unbalanced parentheses")
+			}
+			if toks[pos] == ")" {
+				return sexpr{list: list}, pos + 1, nil
+			}
+			e, next, err := readSexpr(toks, pos)
+			if err != nil {
+				return sexpr{}, pos, err
+			}
+			list = append(list, e)
+			pos = next
+		}
+	case ")":
+		return sexpr{}, pos, fmt.Errorf("smtlib: unexpected )")
+	default:
+		return sexpr{atom: toks[pos]}, pos + 1, nil
+	}
+}
+
+// Parse reads the SMT-LIB subset emitted by Write and reconstructs a formula
+// builder ready to solve. Interference variable names survive the round
+// trip, so decision strategies built from Builder.NamedVars work as if the
+// formula had been encoded directly.
+func Parse(src string) (*smt.Builder, error) {
+	exprs, err := parseSexprs(src)
+	if err != nil {
+		return nil, err
+	}
+	bd := smt.NewBuilder()
+	events := map[string]smt.EventID{}
+	boolDecls := map[string]bool{}
+	bound := map[string]smt.Bool{}
+
+	eventOf := func(sym string) (smt.EventID, error) {
+		name, ok := strings.CutPrefix(sym, "clk_")
+		if !ok {
+			return 0, fmt.Errorf("smtlib: expected clk_* symbol, got %q", sym)
+		}
+		if id, ok := events[name]; ok {
+			return id, nil
+		}
+		return 0, fmt.Errorf("smtlib: undeclared event %q", sym)
+	}
+
+	// Pass 1: declarations and ordering-atom bindings.
+	var clauses []sexpr
+	for _, e := range exprs {
+		if e.isAtom() || len(e.list) == 0 || !e.list[0].isAtom() {
+			continue
+		}
+		switch e.list[0].atom {
+		case "declare-fun", "declare-const":
+			if len(e.list) < 3 {
+				return nil, fmt.Errorf("smtlib: malformed declaration")
+			}
+			name := e.list[1].atom
+			sortExpr := e.list[len(e.list)-1]
+			switch {
+			case sortExpr.isAtom() && sortExpr.atom == "Int":
+				evName, ok := strings.CutPrefix(name, "clk_")
+				if !ok {
+					return nil, fmt.Errorf("smtlib: Int constant %q is not a clk_* timestamp", name)
+				}
+				events[evName] = bd.NewEvent(evName)
+			case sortExpr.isAtom() && sortExpr.atom == "Bool":
+				boolDecls[name] = true
+			default:
+				return nil, fmt.Errorf("smtlib: unsupported sort in declaration of %q", name)
+			}
+		case "assert":
+			if len(e.list) != 2 {
+				return nil, fmt.Errorf("smtlib: malformed assert")
+			}
+			body := e.list[1]
+			// Ordering-atom binding: (= v (< clkA clkB)).
+			if !body.isAtom() && len(body.list) == 3 && body.list[0].isAtom() && body.list[0].atom == "=" &&
+				body.list[1].isAtom() && !body.list[2].isAtom() &&
+				len(body.list[2].list) == 3 && body.list[2].list[0].atom == "<" {
+				a, err := eventOf(body.list[2].list[1].atom)
+				if err != nil {
+					return nil, err
+				}
+				bEv, err := eventOf(body.list[2].list[2].atom)
+				if err != nil {
+					return nil, err
+				}
+				bound[body.list[1].atom] = bd.Before(a, bEv)
+				continue
+			}
+			clauses = append(clauses, body)
+		case "set-logic", "set-info", "check-sat", "exit", "get-model":
+			// metadata: ignored
+		default:
+			return nil, fmt.Errorf("smtlib: unsupported command %q", e.list[0].atom)
+		}
+	}
+
+	// Declare all Bool symbols that were not bound to ordering atoms, with
+	// their original names (preserving rf_/ws_ recognisability).
+	for name := range boolDecls {
+		if _, ok := bound[name]; !ok {
+			bound[name] = bd.NamedBool(name)
+		}
+	}
+
+	litOf := func(e sexpr) (smt.Bool, error) {
+		if e.isAtom() {
+			t, ok := bound[e.atom]
+			if !ok {
+				return smt.Bool{}, fmt.Errorf("smtlib: undeclared symbol %q", e.atom)
+			}
+			return t, nil
+		}
+		if len(e.list) == 2 && e.list[0].isAtom() && e.list[0].atom == "not" && e.list[1].isAtom() {
+			t, ok := bound[e.list[1].atom]
+			if !ok {
+				return smt.Bool{}, fmt.Errorf("smtlib: undeclared symbol %q", e.list[1].atom)
+			}
+			return bd.Not(t), nil
+		}
+		return smt.Bool{}, fmt.Errorf("smtlib: unsupported literal form")
+	}
+
+	// Pass 2: clauses, fixed edges, distinct.
+	for _, body := range clauses {
+		switch {
+		case body.isAtom() || (len(body.list) == 2 && body.list[0].atom == "not"):
+			l, err := litOf(body)
+			if err != nil {
+				return nil, err
+			}
+			bd.AssertClause(l)
+		case len(body.list) >= 1 && body.list[0].isAtom() && body.list[0].atom == "or":
+			lits := make([]smt.Bool, 0, len(body.list)-1)
+			for _, le := range body.list[1:] {
+				l, err := litOf(le)
+				if err != nil {
+					return nil, err
+				}
+				lits = append(lits, l)
+			}
+			bd.AssertClause(lits...)
+		case len(body.list) == 3 && body.list[0].isAtom() && body.list[0].atom == "<":
+			a, err := eventOf(body.list[1].atom)
+			if err != nil {
+				return nil, err
+			}
+			bEv, err := eventOf(body.list[2].atom)
+			if err != nil {
+				return nil, err
+			}
+			bd.OrderFixed(a, bEv)
+		case len(body.list) >= 1 && body.list[0].isAtom() && body.list[0].atom == "distinct":
+			// Timestamps are distinct by construction of the order theory.
+		default:
+			return nil, fmt.Errorf("smtlib: unsupported assertion form")
+		}
+	}
+	return bd, nil
+}

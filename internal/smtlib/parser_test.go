@@ -1,0 +1,113 @@
+package smtlib
+
+import (
+	"strings"
+	"testing"
+
+	"zpre/internal/sat"
+	"zpre/internal/smt"
+)
+
+func TestParseMinimal(t *testing.T) {
+	src := `
+; comment
+(set-logic QF_LIA)
+(declare-fun clk_a () Int)
+(declare-fun clk_b () Int)
+(declare-fun p () Bool)
+(declare-fun ord1 () Bool)
+(assert (distinct clk_a clk_b))
+(assert (< clk_a clk_b))
+(assert (= ord1 (< clk_a clk_b)))
+(assert (or p (not ord1)))
+(check-sat)
+`
+	bd, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bd.Solve(smt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Sat {
+		t.Fatalf("got %v", res.Status)
+	}
+	// ord1 is bound to the fixed-true atom; p is free but the clause is
+	// already satisfied through ord1... ord1 true makes (not ord1) false,
+	// so p must be true.
+	p, ok := bd.BoolByName("p")
+	if !ok {
+		t.Fatal("p lost")
+	}
+	if !bd.Value(p) {
+		t.Fatal("p must be forced true")
+	}
+}
+
+func TestParseUnsatCycle(t *testing.T) {
+	src := `
+(declare-fun clk_a () Int)
+(declare-fun clk_b () Int)
+(assert (< clk_a clk_b))
+(assert (< clk_b clk_a))
+(check-sat)
+`
+	bd, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bd.Solve(smt.Options{}); err == nil {
+		// A 2-cycle in fixed order is an inconsistent po: reported as error.
+		t.Fatal("fixed cycle should be rejected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unbalanced", "(assert (or a b)", "unbalanced"},
+		{"stray close", ")", "unexpected )"},
+		{"unknown command", "(push 1)", "unsupported command"},
+		{"bad declaration", "(declare-fun x () Real)", "unsupported sort"},
+		{"undeclared symbol", "(assert (or q))", "undeclared symbol"},
+		{"non-clk int", "(declare-fun n () Int)", "not a clk_* timestamp"},
+		{"bad assert form", "(declare-fun clk_a () Int)(declare-fun clk_b () Int)(assert (<= clk_a clk_b))", "unsupported assertion"},
+		{"unterminated quote", "(set-info :src |oops)", "unterminated"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("%s: want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseSingleLiteralAsserts(t *testing.T) {
+	src := `
+(declare-fun a () Bool)
+(declare-fun b () Bool)
+(assert a)
+(assert (not b))
+`
+	bd, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := bd.Solve(smt.Options{})
+	if res.Status != sat.Sat {
+		t.Fatal("want sat")
+	}
+	av, _ := bd.BoolByName("a")
+	bv, _ := bd.BoolByName("b")
+	if !bd.Value(av) || bd.Value(bv) {
+		t.Fatal("unit asserts not honoured")
+	}
+}

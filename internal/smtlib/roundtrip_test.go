@@ -1,0 +1,99 @@
+package smtlib_test
+
+import (
+	"strings"
+	"testing"
+
+	"zpre/internal/core"
+	"zpre/internal/cprog"
+	"zpre/internal/encode"
+	"zpre/internal/memmodel"
+	"zpre/internal/sat"
+	"zpre/internal/smt"
+	"zpre/internal/smtlib"
+	"zpre/internal/svcomp"
+)
+
+// solveBuilder classifies named variables and solves with the strategy.
+func solveBuilder(t *testing.T, bd *smt.Builder, strat core.Strategy) sat.Status {
+	t.Helper()
+	infos := core.Classify(bd.NamedVars())
+	dec := core.NewDecider(strat, infos, core.Config{Seed: 5})
+	var d sat.Decider
+	if dec != nil {
+		d = dec
+	}
+	res, err := bd.Solve(smt.Options{Decider: d})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	return res.Status
+}
+
+// TestRoundTrip checks that writing a VC to SMT-LIB and parsing it back
+// preserves satisfiability (and therefore verdicts) under every model and
+// strategy, across a slice of the corpus.
+func TestRoundTrip(t *testing.T) {
+	picks := []string{"fig2", "sb_1", "mp_1", "incr_race_unsafe", "counter_safe_2", "peterson"}
+	byName := map[string]svcomp.Benchmark{}
+	for _, b := range svcomp.All() {
+		byName[b.Name] = b
+	}
+	for _, name := range picks {
+		b, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing corpus program %q", name)
+		}
+		for _, mm := range memmodel.All() {
+			unrolled := cprog.Unroll(b.Program, b.MinBound, cprog.UnwindAssume)
+			vc, err := encode.Program(unrolled, encode.Options{Model: mm, Width: 4})
+			if err != nil {
+				t.Fatalf("%s/%v: encode: %v", name, mm, err)
+			}
+			text := smtlib.Write(vc)
+			if !strings.Contains(text, "(set-logic QF_LIA)") {
+				t.Fatalf("missing set-logic in output")
+			}
+			parsed, err := smtlib.Parse(text)
+			if err != nil {
+				t.Fatalf("%s/%v: parse: %v\n%s", name, mm, err, text[:min(len(text), 2000)])
+			}
+
+			// The parsed formula must preserve the interference names.
+			origNamed := vc.Builder.NamedVars()
+			parsedNamed := parsed.NamedVars()
+			for n := range origNamed {
+				if strings.HasPrefix(n, "rf_") || strings.HasPrefix(n, "ws_") {
+					if _, ok := parsedNamed[n]; !ok {
+						t.Fatalf("%s/%v: interference variable %s lost in round trip", name, mm, n)
+					}
+				}
+			}
+
+			// Both must agree on satisfiability, for every strategy. The
+			// original builder is consumed by its solve, so re-encode.
+			for _, strat := range []core.Strategy{core.Baseline, core.ZPRE} {
+				fresh, err := encode.Program(unrolled, encode.Options{Model: mm, Width: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := solveBuilder(t, fresh.Builder, strat)
+				reparsed, err := smtlib.Parse(text)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := solveBuilder(t, reparsed, strat)
+				if got != want {
+					t.Errorf("%s/%v/%v: parsed=%v, direct=%v", name, mm, strat, got, want)
+				}
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,132 @@
+package svcomp
+
+import (
+	"fmt"
+
+	"zpre/internal/cprog"
+)
+
+// Atomic generates the atomic subcategory: programs whose correctness hinges
+// on atomic{} sections (uninterruptible compound accesses).
+func Atomic() []Benchmark {
+	var out []Benchmark
+
+	// n threads each run atomic { x = x+1 }: the increments serialise, so
+	// x == n finally (safe); without atomicity the lost update makes the
+	// same assertion violable.
+	for _, n := range []int{2, 3} {
+		out = append(out, bench("atomic", fmt.Sprintf("counter_safe_%d", n), atomicCounter(n, true),
+			expectAll(ExpectSafe)))
+		out = append(out, bench("atomic", fmt.Sprintf("counter_race_%d", n), atomicCounter(n, false),
+			expectAll(ExpectUnsafe)))
+	}
+
+	// Paired invariant: each thread atomically moves a unit from a to b;
+	// the sum a+b is invariant, checked at the end.
+	out = append(out, bench("atomic", "transfer_safe", atomicTransfer(true),
+		expectAll(ExpectSafe)))
+	out = append(out, bench("atomic", "transfer_race", atomicTransfer(false),
+		expectAll(ExpectUnsafe)))
+
+	// Atomic publication: writer atomically sets both halves of a value;
+	// an atomic reader can never observe them out of sync; a non-atomic
+	// reader can.
+	out = append(out, bench("atomic", "pair_publish_safe", pairPublish(true),
+		expectAll(ExpectSafe)))
+	out = append(out, bench("atomic", "pair_publish_race", pairPublish(false),
+		expectAll(ExpectUnsafe)))
+
+	// Test-and-set built from an atomic section rather than lock().
+	out = append(out, bench("atomic", "tas_mutex_safe", tasMutex(),
+		expectAll(ExpectSafe)))
+
+	return out
+}
+
+func atomicCounter(n int, atomic bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{{Name: "x"}}}
+	for t := 0; t < n; t++ {
+		var body []cprog.Stmt
+		if atomic {
+			body = []cprog.Stmt{cprog.Atomic{Body: []cprog.Stmt{incr("x", 1)}}}
+		} else {
+			body = []cprog.Stmt{incr("x", 1)}
+		}
+		p.Threads = append(p.Threads, &cprog.Thread{Name: fmt.Sprintf("t%d", t+1), Body: body})
+	}
+	p.Post = []cprog.Stmt{assertEq("x", int64(n))}
+	return p
+}
+
+func atomicTransfer(atomic bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{{Name: "a", Init: 4}, {Name: "b", Init: 0}}}
+	move := []cprog.Stmt{
+		cprog.Set("a", cprog.Sub(cprog.V("a"), cprog.C(1))),
+		cprog.Set("b", cprog.Add(cprog.V("b"), cprog.C(1))),
+	}
+	wrap := func(body []cprog.Stmt) []cprog.Stmt {
+		if atomic {
+			return []cprog.Stmt{cprog.Atomic{Body: body}}
+		}
+		return body
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "t1", Body: wrap(move)},
+		{Name: "t2", Body: wrap(move)},
+	}
+	p.Post = []cprog.Stmt{cprog.Assert{Cond: cprog.Eq(
+		cprog.Add(cprog.V("a"), cprog.V("b")), cprog.C(4))}}
+	return p
+}
+
+func pairPublish(atomic bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "lo"}, {Name: "hi"}, {Name: "ok", Init: 1},
+	}}
+	write := []cprog.Stmt{
+		cprog.Set("lo", cprog.C(1)),
+		cprog.Set("hi", cprog.C(1)),
+	}
+	read := []cprog.Stmt{
+		cprog.Set("ok", cprog.Eq(cprog.V("lo"), cprog.V("hi"))),
+	}
+	wrap := func(body []cprog.Stmt) []cprog.Stmt {
+		if atomic {
+			return []cprog.Stmt{cprog.Atomic{Body: body}}
+		}
+		return body
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "writer", Body: wrap(write)},
+		{Name: "reader", Body: wrap(read)},
+	}
+	p.Post = []cprog.Stmt{assertEq("ok", 1)}
+	return p
+}
+
+func tasMutex() *cprog.Program {
+	// Spin-free test-and-set: atomic { old = m; if (old == 0) { m = 1 } };
+	// only the winner enters the critical section and increments x.
+	p := &cprog.Program{Shared: []cprog.SharedDecl{{Name: "m"}, {Name: "x"}}}
+	body := []cprog.Stmt{
+		cprog.Local{Name: "old"},
+		cprog.Atomic{Body: []cprog.Stmt{
+			cprog.Set("old", cprog.V("m")),
+			cprog.If{
+				Cond: cprog.Eq(cprog.V("old"), cprog.C(0)),
+				Then: []cprog.Stmt{cprog.Set("m", cprog.C(1))},
+			},
+		}},
+		cprog.If{
+			Cond: cprog.Eq(cprog.V("old"), cprog.C(0)),
+			Then: []cprog.Stmt{incr("x", 1)},
+		},
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "t1", Body: body},
+		{Name: "t2", Body: body},
+	}
+	// Only one thread can win the TAS, so x is exactly 1.
+	p.Post = []cprog.Stmt{assertEq("x", 1)}
+	return p
+}

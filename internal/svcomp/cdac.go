@@ -1,0 +1,73 @@
+package svcomp
+
+import (
+	"fmt"
+
+	"zpre/internal/cprog"
+)
+
+// CDAC generates the C-DAC subcategory: parallel-computation kernels
+// (partial-sum reductions and a two-stage pipeline).
+func CDAC() []Benchmark {
+	var out []Benchmark
+	for _, n := range []int{2, 3, 4, 5} {
+		out = append(out, bench("C-DAC", fmt.Sprintf("parsum_lock_safe_%d", n), parSum(n, true),
+			expectAll(ExpectSafe)))
+	}
+	out = append(out, bench("C-DAC", "parsum_race_unsafe", parSum(2, false),
+		expectAll(ExpectUnsafe)))
+	out = append(out, bench("C-DAC", "pipeline_safe", pipeline(true),
+		expect(ExpectSafe, ExpectSafe, ExpectUnsafe)))
+	out = append(out, bench("C-DAC", "pipeline_fenced_safe", pipeline(false),
+		expectAll(ExpectSafe)))
+	return out
+}
+
+// parSum: n workers each add their partial result (thread id + 1) to a
+// shared total; the main thread checks the grand total.
+func parSum(n int, locked bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{{Name: "total"}, {Name: "m"}}}
+	want := int64(0)
+	for t := 0; t < n; t++ {
+		part := int64(t + 1)
+		want += part
+		var body []cprog.Stmt
+		if locked {
+			body = lockedIncr("m", "total", part)
+		} else {
+			body = []cprog.Stmt{incr("total", part)}
+		}
+		p.Threads = append(p.Threads, &cprog.Thread{Name: fmt.Sprintf("w%d", t+1), Body: body})
+	}
+	p.Post = []cprog.Stmt{assertEq("total", want)}
+	return p
+}
+
+// pipeline: stage 1 computes and publishes through a flag; stage 2 consumes
+// if the flag is up. The unfenced variant is an MP shape (PSO-unsafe); the
+// fenced variant is safe everywhere. (The bool parameter selects the
+// UNFENCED variant for true, mirroring the benchmark names.)
+func pipeline(unfenced bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "stage1out"}, {Name: "ready"}, {Name: "result", Init: 9},
+	}}
+	producer := []cprog.Stmt{
+		cprog.Set("stage1out", cprog.Add(cprog.C(4), cprog.C(5))),
+	}
+	if !unfenced {
+		producer = append(producer, cprog.Fence{})
+	}
+	producer = append(producer, cprog.Set("ready", cprog.C(1)))
+	consumer := []cprog.Stmt{
+		cprog.If{
+			Cond: cprog.Eq(cprog.V("ready"), cprog.C(1)),
+			Then: []cprog.Stmt{cprog.Set("result", cprog.V("stage1out"))},
+		},
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "stage1", Body: producer},
+		{Name: "stage2", Body: consumer},
+	}
+	p.Post = []cprog.Stmt{assertEq("result", 9)}
+	return p
+}

@@ -1,0 +1,121 @@
+package svcomp
+
+import (
+	"zpre/internal/cprog"
+)
+
+// Divine generates the divine subcategory: data-structure and
+// synchronisation benchmarks (ring buffer, flag barrier, handshake).
+func Divine() []Benchmark {
+	var out []Benchmark
+	out = append(out, bench("divine", "ring_buffer_safe", ringBuffer(true),
+		expect(ExpectSafe, ExpectSafe, ExpectUnsafe)))
+	out = append(out, bench("divine", "ring_buffer_race", ringBuffer(false),
+		expectAll(ExpectUnsafe)))
+	out = append(out, bench("divine", "barrier", barrier(),
+		expectAll(ExpectSafe)))
+	out = append(out, bench("divine", "handshake_safe", handshake(true),
+		expect(ExpectSafe, ExpectSafe, ExpectUnsafe)))
+	out = append(out, bench("divine", "handshake_race", handshake(false),
+		expectAll(ExpectUnsafe)))
+	return out
+}
+
+// ringBuffer: a two-slot ring; the producer writes both slots then publishes
+// the head index; the consumer reads up to the published head. In the safe
+// variant the consumer respects head; the racy variant reads slot 1
+// unconditionally (which may not be written yet).
+func ringBuffer(checkHead bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "slot0"}, {Name: "slot1"}, {Name: "head"}, {Name: "got", Init: 6},
+	}}
+	producer := []cprog.Stmt{
+		cprog.Set("slot0", cprog.C(5)),
+		cprog.Set("slot1", cprog.C(6)),
+		cprog.Set("head", cprog.C(2)),
+	}
+	var consumer []cprog.Stmt
+	if checkHead {
+		consumer = []cprog.Stmt{
+			cprog.If{
+				Cond: cprog.Eq(cprog.V("head"), cprog.C(2)),
+				Then: []cprog.Stmt{cprog.Set("got", cprog.V("slot1"))},
+			},
+		}
+	} else {
+		consumer = []cprog.Stmt{cprog.Set("got", cprog.V("slot1"))}
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "producer", Body: producer},
+		{Name: "consumer", Body: consumer},
+	}
+	p.Post = []cprog.Stmt{assertEq("got", 6)}
+	return p
+}
+
+// barrier: two threads announce arrival and each bumps the counter under a
+// lock; whoever observes both arrivals checks that the counter reached 2.
+// The check itself is guarded by both flags, so it holds in every model
+// (flag writes happen-before the counter reads via the lock's barriers).
+func barrier() *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "m"}, {Name: "count"}, {Name: "done1"}, {Name: "done2"},
+	}}
+	arrive := func(flag string) []cprog.Stmt {
+		body := lockedIncr("m", "count", 1)
+		body = append(body, cprog.Set(flag, cprog.C(1)))
+		return body
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "t1", Body: arrive("done1")},
+		{Name: "t2", Body: arrive("done2")},
+	}
+	p.Post = []cprog.Stmt{
+		cprog.Assert{Cond: cprog.LAnd(
+			cprog.LAnd(cprog.Eq(cprog.V("done1"), cprog.C(1)), cprog.Eq(cprog.V("done2"), cprog.C(1))),
+			cprog.Eq(cprog.V("count"), cprog.C(2)))},
+	}
+	return p
+}
+
+// handshake: requester posts a request value then raises req; responder
+// copies the value into the reply and raises ack; the requester's check is
+// guarded by ack. Safe: the MP chain holds under SC/TSO; PSO can reorder
+// the responder's reply/ack writes. The racy variant reads the reply
+// unguarded.
+func handshake(guarded bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "reqval"}, {Name: "req"}, {Name: "reply"}, {Name: "ack"}, {Name: "seen", Init: 3},
+	}}
+	requester := []cprog.Stmt{
+		cprog.Set("reqval", cprog.C(3)),
+		cprog.Set("req", cprog.C(1)),
+	}
+	responder := []cprog.Stmt{
+		cprog.If{
+			Cond: cprog.Eq(cprog.V("req"), cprog.C(1)),
+			Then: []cprog.Stmt{
+				cprog.Set("reply", cprog.V("reqval")),
+				cprog.Set("ack", cprog.C(1)),
+			},
+		},
+	}
+	var checker []cprog.Stmt
+	if guarded {
+		checker = []cprog.Stmt{
+			cprog.If{
+				Cond: cprog.Eq(cprog.V("ack"), cprog.C(1)),
+				Then: []cprog.Stmt{cprog.Set("seen", cprog.V("reply"))},
+			},
+		}
+	} else {
+		checker = []cprog.Stmt{cprog.Set("seen", cprog.V("reply"))}
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "requester", Body: requester},
+		{Name: "responder", Body: responder},
+		{Name: "checker", Body: checker},
+	}
+	p.Post = []cprog.Stmt{assertEq("seen", 3)}
+	return p
+}

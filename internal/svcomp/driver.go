@@ -1,0 +1,84 @@
+package svcomp
+
+import (
+	"zpre/internal/cprog"
+)
+
+// DriverRaces generates the driver-races subcategory: a device with status
+// and data registers accessed by an interrupt-service thread and a driver
+// thread, with varying locking discipline.
+func DriverRaces() []Benchmark {
+	var out []Benchmark
+	out = append(out, bench("driver-races", "irq_lock_safe", irq(true, true),
+		expectAll(ExpectSafe)))
+	out = append(out, bench("driver-races", "irq_flag_safe", irq(false, true),
+		expect(ExpectSafe, ExpectSafe, ExpectUnsafe)))
+	out = append(out, bench("driver-races", "irq_race_unsafe", irq(false, false),
+		expectAll(ExpectUnsafe)))
+	out = append(out, bench("driver-races", "register_update_safe", registerUpdate(true),
+		expectAll(ExpectSafe)))
+	out = append(out, bench("driver-races", "register_update_race", registerUpdate(false),
+		expectAll(ExpectUnsafe)))
+	return out
+}
+
+// irq: the ISR fills the data register then raises status; the driver
+// consumes data when status is up. locked uses a mutex around both sides;
+// flagOrder (without lock) relies on the write order (MP shape: PSO-unsafe);
+// with neither, the ISR raises status before filling data: racy everywhere.
+func irq(locked, flagOrder bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "status"}, {Name: "data"}, {Name: "m"}, {Name: "consumed", Init: 7},
+	}}
+	var isr, drv []cprog.Stmt
+	fill := []cprog.Stmt{
+		cprog.Set("data", cprog.C(7)),
+		cprog.Set("status", cprog.C(1)),
+	}
+	if !flagOrder {
+		fill = []cprog.Stmt{
+			cprog.Set("status", cprog.C(1)),
+			cprog.Set("data", cprog.C(7)),
+		}
+	}
+	consume := []cprog.Stmt{
+		cprog.If{
+			Cond: cprog.Eq(cprog.V("status"), cprog.C(1)),
+			Then: []cprog.Stmt{cprog.Set("consumed", cprog.V("data"))},
+		},
+	}
+	if locked {
+		isr = append([]cprog.Stmt{cprog.Lock{Mutex: "m"}}, fill...)
+		isr = append(isr, cprog.Unlock{Mutex: "m"})
+		drv = append([]cprog.Stmt{cprog.Lock{Mutex: "m"}}, consume...)
+		drv = append(drv, cprog.Unlock{Mutex: "m"})
+	} else {
+		isr, drv = fill, consume
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "isr", Body: isr},
+		{Name: "driver", Body: drv},
+	}
+	p.Post = []cprog.Stmt{assertEq("consumed", 7)}
+	return p
+}
+
+// registerUpdate: two threads read-modify-write the same control register;
+// with a lock both updates land (reg == 3 finally), without it one bit can
+// be lost.
+func registerUpdate(locked bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{{Name: "reg"}, {Name: "m"}}}
+	setBit := func(bit int64) []cprog.Stmt {
+		upd := cprog.Set("reg", cprog.BinOp{Op: cprog.OpBitOr, L: cprog.V("reg"), R: cprog.C(bit)})
+		if locked {
+			return []cprog.Stmt{cprog.Lock{Mutex: "m"}, upd, cprog.Unlock{Mutex: "m"}}
+		}
+		return []cprog.Stmt{upd}
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "t1", Body: setBit(1)},
+		{Name: "t2", Body: setBit(2)},
+	}
+	p.Post = []cprog.Stmt{assertEq("reg", 3)}
+	return p
+}

@@ -1,0 +1,76 @@
+package svcomp
+
+import (
+	"fmt"
+
+	"zpre/internal/cprog"
+)
+
+// Ext generates the ext subcategory: scaled-up extensions of the pthread
+// patterns (more threads, longer critical sections, wider litmus cores) —
+// the instances that grow the SMT formulas.
+func Ext() []Benchmark {
+	var out []Benchmark
+	for _, n := range []int{3, 4, 5, 6} {
+		out = append(out, bench("ext", fmt.Sprintf("incr_lock_safe_%d", n), incrRace(n, true),
+			expectAll(ExpectSafe)))
+		out = append(out, bench("ext", fmt.Sprintf("incr_race_unsafe_%d", n), incrRace(n, false),
+			expectAll(ExpectUnsafe)))
+	}
+	for _, n := range []int{3, 4} {
+		out = append(out, bench("ext", fmt.Sprintf("sb_threads_%d", n), sbThreads(n),
+			expect(ExpectSafe, ExpectUnsafe, ExpectUnsafe)))
+	}
+	for _, k := range []int{2, 3} {
+		out = append(out, bench("ext", fmt.Sprintf("long_cs_safe_%d", k), longCriticalSection(k),
+			expectAll(ExpectSafe)))
+	}
+	return out
+}
+
+// sbThreads: an SB ring over n threads: thread i writes x_i then reads
+// x_{i+1 mod n}. All-reads-zero needs every W→R pair relaxed: unsafe under
+// TSO/PSO, impossible under SC.
+func sbThreads(n int) *cprog.Program {
+	p := &cprog.Program{}
+	cond := cprog.Expr(cprog.C(1))
+	for i := 0; i < n; i++ {
+		p.Shared = append(p.Shared,
+			cprog.SharedDecl{Name: fmt.Sprintf("x%d", i)},
+			cprog.SharedDecl{Name: fmt.Sprintf("r%d", i)})
+	}
+	for i := 0; i < n; i++ {
+		next := (i + 1) % n
+		p.Threads = append(p.Threads, &cprog.Thread{
+			Name: fmt.Sprintf("t%d", i+1),
+			Body: []cprog.Stmt{
+				cprog.Set(fmt.Sprintf("x%d", i), cprog.C(1)),
+				cprog.Set(fmt.Sprintf("r%d", i), cprog.V(fmt.Sprintf("x%d", next))),
+			},
+		})
+		cond = cprog.LAnd(cond, cprog.Eq(cprog.V(fmt.Sprintf("r%d", i)), cprog.C(0)))
+	}
+	p.Post = []cprog.Stmt{cprog.Assert{Cond: cprog.LNot(cond)}}
+	return p
+}
+
+// longCriticalSection: two threads each perform k dependent updates inside
+// one lock; the invariant (y == 2*x) holds outside critical sections.
+func longCriticalSection(k int) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{{Name: "m"}, {Name: "x"}, {Name: "y"}}}
+	section := []cprog.Stmt{cprog.Lock{Mutex: "m"}}
+	for i := 0; i < k; i++ {
+		section = append(section,
+			incr("x", 1),
+			cprog.Set("y", cprog.Add(cprog.V("y"), cprog.C(2))),
+		)
+	}
+	section = append(section, cprog.Unlock{Mutex: "m"})
+	p.Threads = []*cprog.Thread{
+		{Name: "t1", Body: section},
+		{Name: "t2", Body: section},
+	}
+	p.Post = []cprog.Stmt{cprog.Assert{Cond: cprog.Eq(
+		cprog.V("y"), cprog.Mul(cprog.V("x"), cprog.C(2)))}}
+	return p
+}

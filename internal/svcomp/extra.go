@@ -1,0 +1,702 @@
+package svcomp
+
+import (
+	"fmt"
+
+	"zpre/internal/cprog"
+)
+
+// coherence generates the per-location coherence litmus tests (CoRR, CoWW,
+// CoWR, CoRW). Same-address ordering is preserved by SC, TSO and PSO alike,
+// so all of these are safe under every model — they pin down that the
+// encoder never relaxes same-variable program order and that the
+// write-serialization order is total per location.
+func coherence() []Benchmark {
+	var out []Benchmark
+
+	// CoRR: two program-ordered reads must not observe same-location writes
+	// out of write-serialization order.
+	corr := &cprog.Program{
+		Shared: []cprog.SharedDecl{{Name: "x"}, {Name: "r1"}, {Name: "r2"}},
+		Threads: []*cprog.Thread{
+			{Name: "w", Body: []cprog.Stmt{
+				cprog.Set("x", cprog.C(1)),
+				cprog.Set("x", cprog.C(2)),
+			}},
+			{Name: "r", Body: []cprog.Stmt{
+				cprog.Set("r1", cprog.V("x")),
+				cprog.Set("r2", cprog.V("x")),
+			}},
+		},
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.LNot(cprog.LAnd(
+			cprog.Eq(cprog.V("r1"), cprog.C(2)),
+			cprog.Eq(cprog.V("r2"), cprog.C(1))))}},
+	}
+	out = append(out, bench("wmm", "co_rr", corr, expectAll(ExpectSafe)))
+
+	// CoWW: same-location writes are never reordered; the final value is the
+	// second write's.
+	coww := &cprog.Program{
+		Shared: []cprog.SharedDecl{{Name: "x"}},
+		Threads: []*cprog.Thread{
+			{Name: "w", Body: []cprog.Stmt{
+				cprog.Set("x", cprog.C(1)),
+				cprog.Set("x", cprog.C(2)),
+			}},
+		},
+		Post: []cprog.Stmt{assertEq("x", 2)},
+	}
+	out = append(out, bench("wmm", "co_ww", coww, expectAll(ExpectSafe)))
+
+	// CoWR: a read after a same-location write sees that write or a newer
+	// one, never an older one.
+	cowr := &cprog.Program{
+		Shared: []cprog.SharedDecl{{Name: "x"}, {Name: "r"}},
+		Threads: []*cprog.Thread{
+			{Name: "w", Body: []cprog.Stmt{
+				cprog.Set("x", cprog.C(2)),
+				cprog.Set("r", cprog.V("x")),
+			}},
+			{Name: "o", Body: []cprog.Stmt{
+				cprog.Set("x", cprog.C(1)),
+			}},
+		},
+		// r reads 2 (own write) or 1 (the other write, if newer) — never 0.
+		Post: []cprog.Stmt{assertNe("r", 0)},
+	}
+	out = append(out, bench("wmm", "co_wr", cowr, expectAll(ExpectSafe)))
+
+	// CoRW: a write after a same-location read must not be ordered before
+	// the write the read observed.
+	corw := &cprog.Program{
+		Shared: []cprog.SharedDecl{{Name: "x"}, {Name: "r"}},
+		Threads: []*cprog.Thread{
+			{Name: "a", Body: []cprog.Stmt{
+				cprog.Set("r", cprog.V("x")),
+				cprog.Set("x", cprog.C(2)),
+			}},
+			{Name: "b", Body: []cprog.Stmt{
+				cprog.Set("x", cprog.C(1)),
+			}},
+		},
+		// If a's read saw 1 then b's write precedes a's write, so x ends 2.
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.LOr(
+			cprog.Ne(cprog.V("r"), cprog.C(1)),
+			cprog.Eq(cprog.V("x"), cprog.C(2)))}},
+	}
+	out = append(out, bench("wmm", "co_rw", corw, expectAll(ExpectSafe)))
+
+	return out
+}
+
+// seqlock: a sequence-lock reader/writer pair. The writer bumps the
+// sequence counter around its two data writes; the reader retries... in the
+// bounded rendering, the reader samples once and only trusts an even,
+// unchanged sequence. The protocol needs the writer's W seq → W data → W
+// seq order: intact under SC and TSO (W→W preserved), broken under PSO; a
+// fence around the data writes repairs it.
+func seqlock(fenced bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "seq"}, {Name: "d1"}, {Name: "d2"}, {Name: "ok", Init: 1},
+	}}
+	writer := []cprog.Stmt{cprog.Set("seq", cprog.C(1))}
+	if fenced {
+		writer = append(writer, cprog.Fence{})
+	}
+	writer = append(writer,
+		cprog.Set("d1", cprog.C(7)),
+		cprog.Set("d2", cprog.C(7)),
+	)
+	if fenced {
+		writer = append(writer, cprog.Fence{})
+	}
+	writer = append(writer, cprog.Set("seq", cprog.C(2)))
+
+	reader := []cprog.Stmt{
+		cprog.Local{Name: "s1"},
+		cprog.Local{Name: "v1"},
+		cprog.Local{Name: "v2"},
+		cprog.Local{Name: "s2"},
+		cprog.Set("s1", cprog.V("seq")),
+		cprog.Set("v1", cprog.V("d1")),
+		cprog.Set("v2", cprog.V("d2")),
+		cprog.Set("s2", cprog.V("seq")),
+		// Accept the snapshot only if the sequence was even and unchanged.
+		cprog.If{
+			Cond: cprog.LAnd(
+				cprog.Eq(cprog.V("s1"), cprog.V("s2")),
+				cprog.Eq(cprog.BinOp{Op: cprog.OpBitAnd, L: cprog.V("s1"), R: cprog.C(1)}, cprog.C(0))),
+			Then: []cprog.Stmt{cprog.Set("ok", cprog.Eq(cprog.V("v1"), cprog.V("v2")))},
+		},
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "writer", Body: writer},
+		{Name: "reader", Body: reader},
+	}
+	p.Post = []cprog.Stmt{assertEq("ok", 1)}
+	return p
+}
+
+// doubleCheckedLocking: the classic broken-publication pattern. Each thread
+// checks the flag, initialises under the lock if needed, then uses the
+// value. Safe under SC and TSO; under PSO the unfenced initialisation can
+// publish the flag before the data.
+func doubleCheckedLocking(fenced bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "m"}, {Name: "ready"}, {Name: "obj"}, {Name: "use", Init: 42},
+	}}
+	body := func() []cprog.Stmt {
+		initSeq := []cprog.Stmt{cprog.Set("obj", cprog.C(42))}
+		if fenced {
+			initSeq = append(initSeq, cprog.Fence{})
+		}
+		initSeq = append(initSeq, cprog.Set("ready", cprog.C(1)))
+		return []cprog.Stmt{
+			cprog.If{
+				Cond: cprog.Eq(cprog.V("ready"), cprog.C(0)),
+				Then: []cprog.Stmt{
+					cprog.Lock{Mutex: "m"},
+					cprog.If{
+						Cond: cprog.Eq(cprog.V("ready"), cprog.C(0)),
+						Then: initSeq,
+					},
+					cprog.Unlock{Mutex: "m"},
+				},
+			},
+			cprog.If{
+				Cond: cprog.Eq(cprog.V("ready"), cprog.C(1)),
+				Then: []cprog.Stmt{cprog.Set("use", cprog.V("obj"))},
+			},
+		}
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "t1", Body: body()},
+		{Name: "t2", Body: body()},
+	}
+	p.Post = []cprog.Stmt{assertEq("use", 42)}
+	return p
+}
+
+// ticketLock: mutual exclusion by ticket dispensing. Each thread atomically
+// takes a ticket, waits (assume) for its turn, runs the critical section and
+// advances the serving counter. The atomic sections and the wait make the
+// increments serialise under every model (the atomic window pins the ticket
+// counter; the serving hand-off is a same-variable chain).
+func ticketLock() *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "next"}, {Name: "serving"}, {Name: "x"},
+	}}
+	body := []cprog.Stmt{
+		cprog.Local{Name: "t"},
+		cprog.Atomic{Body: []cprog.Stmt{
+			cprog.Set("t", cprog.V("next")),
+			cprog.Set("next", cprog.Add(cprog.V("next"), cprog.C(1))),
+		}},
+		cprog.Local{Name: "s"},
+		cprog.Set("s", cprog.V("serving")),
+		cprog.Assume{Cond: cprog.Eq(cprog.V("s"), cprog.V("t"))},
+		incr("x", 1),
+		cprog.Fence{},
+		cprog.Set("serving", cprog.Add(cprog.V("t"), cprog.C(1))),
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "t1", Body: body},
+		{Name: "t2", Body: body},
+	}
+	p.Post = []cprog.Stmt{assertEq("x", 2)}
+	return p
+}
+
+// rwFlag: a reader/writer handshake where the writer only mutates when no
+// reader is registered and vice versa (approximated single-shot).
+func rwFlag(locked bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "m"}, {Name: "data", Init: 1}, {Name: "snapshot", Init: 1},
+	}}
+	writer := []cprog.Stmt{
+		cprog.Set("data", cprog.C(2)),
+		cprog.Set("data", cprog.C(3)),
+	}
+	reader := []cprog.Stmt{
+		cprog.Local{Name: "a"},
+		cprog.Local{Name: "b"},
+		cprog.Set("a", cprog.V("data")),
+		cprog.Set("b", cprog.V("data")),
+		// A torn read observes two different intermediate values with the
+		// first larger than the second, which coherence forbids; but with
+		// locking the two samples are equal.
+		cprog.Set("snapshot", cprog.Eq(cprog.V("a"), cprog.V("b"))),
+	}
+	if locked {
+		writer = append(append([]cprog.Stmt{cprog.Lock{Mutex: "m"}}, writer...), cprog.Unlock{Mutex: "m"})
+		reader = append(append([]cprog.Stmt{cprog.Lock{Mutex: "m"}}, reader...), cprog.Unlock{Mutex: "m"})
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "writer", Body: writer},
+		{Name: "reader", Body: reader},
+	}
+	p.Post = []cprog.Stmt{assertEq("snapshot", 1)}
+	return p
+}
+
+// Extra wires the additional families into the corpus (coherence goes to
+// wmm; the synchronisation structures to pthread/atomic).
+func extraWMM() []Benchmark {
+	out := coherence()
+	out = append(out,
+		bench("wmm", "seqlock", seqlock(false),
+			expect(ExpectSafe, ExpectSafe, ExpectUnsafe)),
+		bench("wmm", "seqlock_fenced", seqlock(true),
+			expectAll(ExpectSafe)),
+		bench("wmm", "wrc", wrc(), expectAll(ExpectSafe)),
+	)
+	// Partial fencing: the joint relaxed outcome needs every pair relaxed,
+	// so one fenced pair (j >= 1) already makes the program safe.
+	for k := 2; k <= 4; k++ {
+		for j := 0; j <= k; j += k / 2 {
+			exp := expectAll(ExpectSafe)
+			if j == 0 {
+				exp = expect(ExpectSafe, ExpectUnsafe, ExpectUnsafe)
+			}
+			out = append(out, bench("wmm",
+				fmt.Sprintf("sb_pfence_%d_%d", k, j),
+				storeBufferingPartialFence(k, j), exp))
+		}
+	}
+	for k := 1; k <= 2; k++ {
+		out = append(out, bench("wmm", fmt.Sprintf("sb_rfi_%d", k), sbRFI(k),
+			expectAll(ExpectSafe)))
+	}
+	return out
+}
+
+func extraDivine() []Benchmark {
+	return []Benchmark{
+		bench("divine", "stack_lock_safe", lockStack(true),
+			expectAll(ExpectSafe)),
+		// Unlocked, the push (cell then top) and the guarded pop form an MP
+		// shape: the "race" only materialises once PSO relaxes the pusher's
+		// W→W order.
+		bench("divine", "stack_unfenced", lockStack(false),
+			expect(ExpectSafe, ExpectSafe, ExpectUnsafe)),
+		bench("divine", "two_phase_barrier", twoPhaseBarrier(),
+			expectAll(ExpectSafe)),
+	}
+}
+
+func extraLdv() []Benchmark {
+	return []Benchmark{
+		bench("ldv-races", "refcount_close_safe", openCloseRefcount(true),
+			expectAll(ExpectSafe)),
+		bench("ldv-races", "refcount_close_race", openCloseRefcount(false),
+			expectAll(ExpectUnsafe)),
+	}
+}
+
+func extraDriver() []Benchmark {
+	return []Benchmark{
+		bench("driver-races", "dma_chain", dmaChain(false),
+			expect(ExpectSafe, ExpectSafe, ExpectUnsafe)),
+		bench("driver-races", "dma_chain_fenced", dmaChain(true),
+			expectAll(ExpectSafe)),
+	}
+}
+
+func extraPthread() []Benchmark {
+	return []Benchmark{
+		bench("pthread", "dcl", doubleCheckedLocking(false),
+			expect(ExpectSafe, ExpectSafe, ExpectUnsafe)),
+		bench("pthread", "dcl_fenced", doubleCheckedLocking(true),
+			expectAll(ExpectSafe)),
+		bench("pthread", "rw_lock_safe", rwFlag(true),
+			expectAll(ExpectSafe)),
+		bench("pthread", "rw_race_unsafe", rwFlag(false),
+			expectAll(ExpectUnsafe)),
+	}
+}
+
+func extraAtomic() []Benchmark {
+	return []Benchmark{
+		bench("atomic", "ticket_lock_safe", ticketLock(),
+			expectAll(ExpectSafe)),
+	}
+}
+
+// scaledWMMData adds wider data-carrying SB instances used by the headline
+// timing runs (they dominate wmm solve time at width 16).
+func scaledWMMData() []Benchmark {
+	var out []Benchmark
+	for k := 5; k <= 6; k++ {
+		out = append(out, bench("wmm", fmt.Sprintf("sb_data_%d", k), storeBufferingData(k),
+			expect(ExpectSafe, ExpectUnsafe, ExpectUnsafe)))
+	}
+	return out
+}
+
+// storeBufferingPartialFence: an SB core over k pairs where only the first
+// j pairs are fenced. The relaxed outcome needs every pair relaxed, so the
+// program is safe (under TSO/PSO) iff at least one pair is fenced... no:
+// the assert demands ALL pairs stale simultaneously, so a single fenced
+// pair already forbids the joint outcome. j = 0 is plain SB (unsafe under
+// TSO/PSO); any j >= 1 is safe everywhere.
+func storeBufferingPartialFence(k, j int) *cprog.Program {
+	p := &cprog.Program{}
+	var t1, t2 []cprog.Stmt
+	cond := cprog.Expr(cprog.C(1))
+	for i := 0; i < k; i++ {
+		x, y := fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i)
+		r, s := fmt.Sprintf("r%d", i), fmt.Sprintf("s%d", i)
+		p.Shared = append(p.Shared,
+			cprog.SharedDecl{Name: x}, cprog.SharedDecl{Name: y},
+			cprog.SharedDecl{Name: r}, cprog.SharedDecl{Name: s})
+		t1 = append(t1, cprog.Set(x, cprog.C(1)))
+		t2 = append(t2, cprog.Set(y, cprog.C(1)))
+		if i < j {
+			t1 = append(t1, cprog.Fence{})
+			t2 = append(t2, cprog.Fence{})
+		}
+		t1 = append(t1, cprog.Set(r, cprog.V(y)))
+		t2 = append(t2, cprog.Set(s, cprog.V(x)))
+		cond = cprog.LAnd(cond, cprog.LAnd(
+			cprog.Eq(cprog.V(r), cprog.C(0)),
+			cprog.Eq(cprog.V(s), cprog.C(0))))
+	}
+	p.Threads = []*cprog.Thread{{Name: "t1", Body: t1}, {Name: "t2", Body: t2}}
+	p.Post = []cprog.Stmt{cprog.Assert{Cond: cprog.LNot(cond)}}
+	return p
+}
+
+// wrc: write-to-read causality over three threads — T1 writes x, T2 sees it
+// and raises y, T3 sees y and must then see x. Forbidden under SC, TSO and
+// PSO alike (T2's R→W and T3's R→R orders are never relaxed), so safe in
+// every model.
+func wrc() *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "x"}, {Name: "y"}, {Name: "a"}, {Name: "b"}, {Name: "c"},
+	}}
+	p.Threads = []*cprog.Thread{
+		{Name: "t1", Body: []cprog.Stmt{cprog.Set("x", cprog.C(1))}},
+		{Name: "t2", Body: []cprog.Stmt{
+			cprog.Set("a", cprog.V("x")),
+			cprog.If{
+				Cond: cprog.Eq(cprog.V("a"), cprog.C(1)),
+				Then: []cprog.Stmt{cprog.Set("y", cprog.C(1))},
+			},
+		}},
+		{Name: "t3", Body: []cprog.Stmt{
+			cprog.Set("b", cprog.V("y")),
+			cprog.Set("c", cprog.V("x")),
+		}},
+	}
+	// Forbidden outcome: T3 sees the flag but not the causally earlier x.
+	p.Post = []cprog.Stmt{cprog.Assert{Cond: cprog.LNot(cprog.LAnd(
+		cprog.Eq(cprog.V("b"), cprog.C(1)),
+		cprog.Eq(cprog.V("c"), cprog.C(0))))}}
+	return p
+}
+
+// sbRFI: store buffering with a same-address read inserted between the
+// store and the cross read (the "rfi" shape). In the paper's axiomatic
+// model — a store buffer WITHOUT forwarding — the inserted read chains the
+// orders: Wx < Rx(own, same address preserved) < Ry (R→R preserved), so the
+// SB outcome becomes impossible and the program is safe under ALL models.
+// (Real x86-TSO forwards the buffered store and stays unsafe — the n6
+// distinction documented in internal/interp; this benchmark pins our model
+// to the no-forwarding side.)
+func sbRFI(k int) *cprog.Program {
+	p := &cprog.Program{}
+	var t1, t2 []cprog.Stmt
+	cond := cprog.Expr(cprog.C(1))
+	for i := 0; i < k; i++ {
+		x, y := fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i)
+		r, s := fmt.Sprintf("r%d", i), fmt.Sprintf("s%d", i)
+		own1, own2 := fmt.Sprintf("o%d", i), fmt.Sprintf("q%d", i)
+		p.Shared = append(p.Shared,
+			cprog.SharedDecl{Name: x}, cprog.SharedDecl{Name: y},
+			cprog.SharedDecl{Name: r}, cprog.SharedDecl{Name: s},
+			cprog.SharedDecl{Name: own1}, cprog.SharedDecl{Name: own2})
+		t1 = append(t1,
+			cprog.Set(x, cprog.C(1)),
+			cprog.Set(own1, cprog.V(x)), // same-address read: must see 1
+			cprog.Set(r, cprog.V(y)))
+		t2 = append(t2,
+			cprog.Set(y, cprog.C(1)),
+			cprog.Set(own2, cprog.V(y)),
+			cprog.Set(s, cprog.V(x)))
+		cond = cprog.LAnd(cond, cprog.LAnd(
+			cprog.Eq(cprog.V(r), cprog.C(0)),
+			cprog.Eq(cprog.V(s), cprog.C(0))))
+	}
+	p.Threads = []*cprog.Thread{{Name: "t1", Body: t1}, {Name: "t2", Body: t2}}
+	// Also assert read-own-write: o/q always 1 when the SB outcome occurs.
+	p.Post = []cprog.Stmt{
+		cprog.Assert{Cond: cprog.LNot(cond)},
+		assertEq("o0", 1),
+		assertEq("q0", 1),
+	}
+	return p
+}
+
+// lockStack: a one-cell stack with a top index, push and pop under a lock
+// (or racy). The invariant: after one push and one pop, top is back to 0
+// and the popped value is what was pushed (or the pop saw an empty stack).
+func lockStack(locked bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "m"}, {Name: "top"}, {Name: "cell"}, {Name: "got", Init: 9},
+	}}
+	push := []cprog.Stmt{
+		cprog.Set("cell", cprog.C(9)),
+		cprog.Set("top", cprog.C(1)),
+	}
+	pop := []cprog.Stmt{
+		cprog.If{
+			Cond: cprog.Eq(cprog.V("top"), cprog.C(1)),
+			Then: []cprog.Stmt{
+				cprog.Set("got", cprog.V("cell")),
+				cprog.Set("top", cprog.C(0)),
+			},
+		},
+	}
+	if locked {
+		push = append(append([]cprog.Stmt{cprog.Lock{Mutex: "m"}}, push...), cprog.Unlock{Mutex: "m"})
+		pop = append(append([]cprog.Stmt{cprog.Lock{Mutex: "m"}}, pop...), cprog.Unlock{Mutex: "m"})
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "pusher", Body: push},
+		{Name: "popper", Body: pop},
+	}
+	p.Post = []cprog.Stmt{assertEq("got", 9)}
+	return p
+}
+
+// twoPhaseBarrier: both threads arrive (lock-protected count), then both
+// observe the full count before proceeding to the second phase; the phase-2
+// work of each thread must see phase-1 work of both.
+func twoPhaseBarrier() *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "m"}, {Name: "count"}, {Name: "a1"}, {Name: "b1"}, {Name: "ok", Init: 1},
+	}}
+	side := func(mine, theirs string) []cprog.Stmt {
+		return []cprog.Stmt{
+			// phase 1: publish my work, then arrive.
+			cprog.Set(mine, cprog.C(1)),
+			cprog.Lock{Mutex: "m"},
+			incr("count", 1),
+			cprog.Unlock{Mutex: "m"},
+			// barrier wait (assume both arrived).
+			cprog.Local{Name: "c"},
+			cprog.Lock{Mutex: "m"},
+			cprog.Set("c", cprog.V("count")),
+			cprog.Unlock{Mutex: "m"},
+			cprog.Assume{Cond: cprog.Eq(cprog.V("c"), cprog.C(2))},
+			// phase 2: the other thread's phase-1 work must be visible.
+			cprog.If{
+				Cond: cprog.Ne(cprog.V(theirs), cprog.C(1)),
+				Then: []cprog.Stmt{cprog.Set("ok", cprog.C(0))},
+			},
+		}
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "ta", Body: side("a1", "b1")},
+		{Name: "tb", Body: side("b1", "a1")},
+	}
+	p.Post = []cprog.Stmt{assertEq("ok", 1)}
+	return p
+}
+
+// openCloseRefcount: ldv-style open/close discipline. The user takes a
+// reference only if the resource is still allocated; the closer frees it
+// when no references remain. Locked, the check-then-use is atomic against
+// the free: safe. Unlocked, the closer can free between the user's
+// liveness check and its use: a use-after-free, unsafe everywhere.
+func openCloseRefcount(locked bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "m"}, {Name: "refs"}, {Name: "res", Init: 1}, {Name: "use", Init: 1},
+	}}
+	user := []cprog.Stmt{
+		cprog.If{
+			Cond: cprog.Ne(cprog.V("res"), cprog.C(0)),
+			Then: []cprog.Stmt{
+				incr("refs", 1),
+				cprog.Set("use", cprog.V("res")), // must still be allocated
+				incr("refs", -1),
+			},
+		},
+	}
+	closer := []cprog.Stmt{
+		cprog.If{
+			Cond: cprog.Eq(cprog.V("refs"), cprog.C(0)),
+			Then: []cprog.Stmt{cprog.Set("res", cprog.C(0))}, // free
+		},
+	}
+	if locked {
+		var lu []cprog.Stmt
+		lu = append(lu, cprog.Lock{Mutex: "m"})
+		lu = append(lu, user...)
+		lu = append(lu, cprog.Unlock{Mutex: "m"})
+		user = lu
+		var lc []cprog.Stmt
+		lc = append(lc, cprog.Lock{Mutex: "m"})
+		lc = append(lc, closer...)
+		lc = append(lc, cprog.Unlock{Mutex: "m"})
+		closer = lc
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "user", Body: user},
+		{Name: "closer", Body: closer},
+	}
+	p.Post = []cprog.Stmt{assertEq("use", 1)}
+	return p
+}
+
+// dmaChain: a three-stage register protocol — the controller writes the
+// buffer, then the descriptor, then the doorbell; the device walks the
+// chain in reverse read order. Every W→W link breaks under PSO; the fenced
+// variant holds everywhere.
+func dmaChain(fenced bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "buf"}, {Name: "desc"}, {Name: "bell"}, {Name: "dma", Init: 5},
+	}}
+	ctrl := []cprog.Stmt{cprog.Set("buf", cprog.C(5))}
+	if fenced {
+		ctrl = append(ctrl, cprog.Fence{})
+	}
+	ctrl = append(ctrl, cprog.Set("desc", cprog.C(1)))
+	if fenced {
+		ctrl = append(ctrl, cprog.Fence{})
+	}
+	ctrl = append(ctrl, cprog.Set("bell", cprog.C(1)))
+	dev := []cprog.Stmt{
+		cprog.If{
+			Cond: cprog.Eq(cprog.V("bell"), cprog.C(1)),
+			Then: []cprog.Stmt{
+				cprog.If{
+					Cond: cprog.Eq(cprog.V("desc"), cprog.C(1)),
+					Then: []cprog.Stmt{cprog.Set("dma", cprog.V("buf"))},
+				},
+			},
+		},
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "controller", Body: ctrl},
+		{Name: "device", Body: dev},
+	}
+	p.Post = []cprog.Stmt{assertEq("dma", 5)}
+	return p
+}
+
+// storeBufferingFenceMask emits an SB core over k pairs with fences placed
+// according to a bitmask — two bits per pair (fence in t1, fence in t2).
+// This mirrors how SV-COMP's wmm subcategory was produced (diy-generated
+// litmus variations). The joint relaxed outcome needs EVERY pair relaxed,
+// and a pair stays relaxable under TSO/PSO unless BOTH its sides are
+// fenced, so the program is safe under WMM iff some pair has both fences.
+func storeBufferingFenceMask(k int, mask int) *cprog.Program {
+	p := &cprog.Program{}
+	var t1, t2 []cprog.Stmt
+	cond := cprog.Expr(cprog.C(1))
+	for i := 0; i < k; i++ {
+		x, y := fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i)
+		r, s := fmt.Sprintf("r%d", i), fmt.Sprintf("s%d", i)
+		p.Shared = append(p.Shared,
+			cprog.SharedDecl{Name: x}, cprog.SharedDecl{Name: y},
+			cprog.SharedDecl{Name: r}, cprog.SharedDecl{Name: s})
+		t1 = append(t1, cprog.Set(x, cprog.C(1)))
+		if mask>>(2*i)&1 == 1 {
+			t1 = append(t1, cprog.Fence{})
+		}
+		t1 = append(t1, cprog.Set(r, cprog.V(y)))
+		t2 = append(t2, cprog.Set(y, cprog.C(1)))
+		if mask>>(2*i+1)&1 == 1 {
+			t2 = append(t2, cprog.Fence{})
+		}
+		t2 = append(t2, cprog.Set(s, cprog.V(x)))
+		cond = cprog.LAnd(cond, cprog.LAnd(
+			cprog.Eq(cprog.V(r), cprog.C(0)),
+			cprog.Eq(cprog.V(s), cprog.C(0))))
+	}
+	p.Threads = []*cprog.Thread{{Name: "t1", Body: t1}, {Name: "t2", Body: t2}}
+	p.Post = []cprog.Stmt{cprog.Assert{Cond: cprog.LNot(cond)}}
+	return p
+}
+
+// fenceMaskProtects reports whether some pair has both fences under mask.
+func fenceMaskProtects(k, mask int) bool {
+	for i := 0; i < k; i++ {
+		if mask>>(2*i)&1 == 1 && mask>>(2*i+1)&1 == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// generatedLitmus emits the fence-mask family: all 16 masks at k=2 and a
+// deterministic sample at k=3.
+func generatedLitmus() []Benchmark {
+	var out []Benchmark
+	add := func(k, mask int) {
+		exp := expect(ExpectSafe, ExpectUnsafe, ExpectUnsafe)
+		if fenceMaskProtects(k, mask) {
+			exp = expectAll(ExpectSafe)
+		}
+		out = append(out, bench("wmm",
+			fmt.Sprintf("sb_mask_%d_%02d", k, mask),
+			storeBufferingFenceMask(k, mask), exp))
+	}
+	for mask := 0; mask < 16; mask++ {
+		add(2, mask)
+	}
+	for _, mask := range []int{0, 5, 9, 21, 27, 42, 45, 63} {
+		add(3, mask)
+	}
+	// MP masks: one producer-fence bit per pair.
+	addMP := func(k, mask int) {
+		exp := expect(ExpectSafe, ExpectSafe, ExpectUnsafe)
+		if mask != 0 {
+			exp = expectAll(ExpectSafe)
+		}
+		out = append(out, bench("wmm",
+			fmt.Sprintf("mp_mask_%d_%02d", k, mask),
+			messagePassingFenceMask(k, mask), exp))
+	}
+	for mask := 0; mask < 8; mask++ {
+		addMP(3, mask)
+	}
+	for _, mask := range []int{0, 3, 6, 9, 15} {
+		addMP(4, mask)
+	}
+	return out
+}
+
+// messagePassingFenceMask emits an MP core over k pairs with a producer
+// fence per pair according to a bitmask. Only the producer's W→W order is
+// PSO-fragile (the consumer's R→R is always preserved), so one fence bit
+// per pair decides protection: the program is safe under PSO iff some pair
+// is fenced (the joint outcome needs every pair relaxed); SC and TSO are
+// always safe.
+func messagePassingFenceMask(k, mask int) *cprog.Program {
+	p := &cprog.Program{}
+	var t1, t2 []cprog.Stmt
+	cond := cprog.Expr(cprog.C(1))
+	for i := 0; i < k; i++ {
+		data, flag := fmt.Sprintf("data%d", i), fmt.Sprintf("flag%d", i)
+		f, d := fmt.Sprintf("f%d", i), fmt.Sprintf("d%d", i)
+		p.Shared = append(p.Shared,
+			cprog.SharedDecl{Name: data}, cprog.SharedDecl{Name: flag},
+			cprog.SharedDecl{Name: f}, cprog.SharedDecl{Name: d})
+		t1 = append(t1, cprog.Set(data, cprog.C(1)))
+		if mask>>i&1 == 1 {
+			t1 = append(t1, cprog.Fence{})
+		}
+		t1 = append(t1, cprog.Set(flag, cprog.C(1)))
+		t2 = append(t2,
+			cprog.Set(f, cprog.V(flag)),
+			cprog.Set(d, cprog.V(data)))
+		cond = cprog.LAnd(cond, cprog.LAnd(
+			cprog.Eq(cprog.V(f), cprog.C(1)),
+			cprog.Eq(cprog.V(d), cprog.C(0))))
+	}
+	p.Threads = []*cprog.Thread{{Name: "t1", Body: t1}, {Name: "t2", Body: t2}}
+	p.Post = []cprog.Stmt{cprog.Assert{Cond: cprog.LNot(cond)}}
+	return p
+}

@@ -1,0 +1,93 @@
+package svcomp
+
+import (
+	"zpre/internal/cprog"
+)
+
+// LdvRaces generates the ldv-races subcategory: Linux-driver-style shared
+// state races (module state flag, reference counter, probe/remove).
+func LdvRaces() []Benchmark {
+	var out []Benchmark
+	out = append(out, bench("ldv-races", "module_state_safe", moduleState(true),
+		expectAll(ExpectSafe)))
+	out = append(out, bench("ldv-races", "module_state_race", moduleState(false),
+		expectAll(ExpectUnsafe)))
+	out = append(out, bench("ldv-races", "refcount_safe", refcount(true),
+		expectAll(ExpectSafe)))
+	out = append(out, bench("ldv-races", "refcount_race", refcount(false),
+		expectAll(ExpectUnsafe)))
+	out = append(out, bench("ldv-races", "probe_remove", probeRemove(),
+		expect(ExpectSafe, ExpectSafe, ExpectUnsafe)))
+	return out
+}
+
+// moduleState: an open() path uses the device only when state says ready;
+// remove() tears the device down. With the lock the pair is race-free; the
+// racy variant can observe the torn-down device while state still reads
+// ready.
+func moduleState(locked bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "state", Init: 1}, {Name: "dev", Init: 5}, {Name: "m"}, {Name: "used", Init: 5},
+	}}
+	open := []cprog.Stmt{
+		cprog.If{
+			Cond: cprog.Eq(cprog.V("state"), cprog.C(1)),
+			Then: []cprog.Stmt{cprog.Set("used", cprog.V("dev"))},
+		},
+	}
+	remove := []cprog.Stmt{
+		cprog.Set("dev", cprog.C(0)),
+		cprog.Set("state", cprog.C(0)),
+	}
+	if locked {
+		open = append([]cprog.Stmt{cprog.Lock{Mutex: "m"}}, append(open, cprog.Unlock{Mutex: "m"})...)
+		remove = append([]cprog.Stmt{cprog.Lock{Mutex: "m"}}, append(remove, cprog.Unlock{Mutex: "m"})...)
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "open", Body: open},
+		{Name: "remove", Body: remove},
+	}
+	p.Post = []cprog.Stmt{assertEq("used", 5)}
+	return p
+}
+
+// refcount: get/put on a counter starting at 1; with the lock the final
+// count is exactly 1 again; the racy variant can lose an update.
+func refcount(locked bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{{Name: "cnt", Init: 1}, {Name: "m"}}}
+	get := []cprog.Stmt{incr("cnt", 1)}
+	put := []cprog.Stmt{incr("cnt", -1)}
+	if locked {
+		get = lockedIncr("m", "cnt", 1)
+		put = lockedIncr("m", "cnt", -1)
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "get", Body: get},
+		{Name: "put", Body: put},
+	}
+	p.Post = []cprog.Stmt{assertEq("cnt", 1)}
+	return p
+}
+
+// probeRemove: probe initialises the resource then marks it registered
+// (publication order matters: an MP shape, PSO-unsafe); the worker uses the
+// resource only when registered.
+func probeRemove() *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "res"}, {Name: "registered"}, {Name: "out", Init: 4},
+	}}
+	p.Threads = []*cprog.Thread{
+		{Name: "probe", Body: []cprog.Stmt{
+			cprog.Set("res", cprog.C(4)),
+			cprog.Set("registered", cprog.C(1)),
+		}},
+		{Name: "worker", Body: []cprog.Stmt{
+			cprog.If{
+				Cond: cprog.Eq(cprog.V("registered"), cprog.C(1)),
+				Then: []cprog.Stmt{cprog.Set("out", cprog.V("res"))},
+			},
+		}},
+	}
+	p.Post = []cprog.Stmt{assertEq("out", 4)}
+	return p
+}

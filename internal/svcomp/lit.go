@@ -1,0 +1,131 @@
+package svcomp
+
+import (
+	"zpre/internal/cprog"
+)
+
+// Lit generates the lit subcategory: literature programs — the paper's own
+// Figure 2 example, the naive-flags (Dekker-style) exclusion attempt, and
+// Peterson's algorithm.
+func Lit() []Benchmark {
+	var out []Benchmark
+	out = append(out, bench("lit", "fig2", Fig2(),
+		expect(ExpectSafe, ExpectUnsafe, ExpectUnsafe)))
+	out = append(out, bench("lit", "dekker_flags", dekkerFlags(false),
+		expect(ExpectSafe, ExpectUnsafe, ExpectUnsafe)))
+	out = append(out, bench("lit", "dekker_flags_fenced", dekkerFlags(true),
+		expectAll(ExpectSafe)))
+	out = append(out, bench("lit", "peterson", peterson(false),
+		expect(ExpectSafe, ExpectUnsafe, ExpectUnsafe)))
+	out = append(out, bench("lit", "peterson_fenced", peterson(true),
+		expectAll(ExpectSafe)))
+	return out
+}
+
+// Fig2 is the paper's running example (Figure 2): x := y+1 ∥ y := x+1 with
+// the stale reads m, n. The assertion !(m==0 && n==0) holds under SC (the
+// EOG cycle of §3.3) and is violated under TSO and PSO.
+func Fig2() *cprog.Program {
+	return &cprog.Program{
+		Shared: []cprog.SharedDecl{
+			{Name: "x"}, {Name: "y"}, {Name: "m"}, {Name: "n"},
+		},
+		Threads: []*cprog.Thread{
+			{Name: "t1", Body: []cprog.Stmt{
+				cprog.Set("x", cprog.Add(cprog.V("y"), cprog.C(1))),
+				cprog.Set("m", cprog.V("y")),
+			}},
+			{Name: "t2", Body: []cprog.Stmt{
+				cprog.Set("y", cprog.Add(cprog.V("x"), cprog.C(1))),
+				cprog.Set("n", cprog.V("x")),
+			}},
+		},
+		Post: []cprog.Stmt{
+			cprog.Assert{Cond: cprog.LNot(cprog.LAnd(
+				cprog.Eq(cprog.V("m"), cprog.C(0)),
+				cprog.Eq(cprog.V("n"), cprog.C(0)),
+			))},
+		},
+	}
+}
+
+// dekkerFlags: the naive flags-only entry protocol. Both threads entering
+// requires both flag reads to return 0 — a store-buffering outcome,
+// impossible under SC, reachable under TSO/PSO unless fenced.
+func dekkerFlags(fenced bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "flag1"}, {Name: "flag2"}, {Name: "c1", Init: 1}, {Name: "c2", Init: 1},
+	}}
+	entry := func(mine, theirs, saw string) []cprog.Stmt {
+		body := []cprog.Stmt{cprog.Set(mine, cprog.C(1))}
+		if fenced {
+			body = append(body, cprog.Fence{})
+		}
+		body = append(body, cprog.Set(saw, cprog.V(theirs)))
+		return body
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "t1", Body: entry("flag1", "flag2", "c1")},
+		{Name: "t2", Body: entry("flag2", "flag1", "c2")},
+	}
+	// Mutual exclusion violated iff both saw the other's flag down.
+	p.Post = []cprog.Stmt{
+		cprog.Assert{Cond: cprog.LNot(cprog.LAnd(
+			cprog.Eq(cprog.V("c1"), cprog.C(0)),
+			cprog.Eq(cprog.V("c2"), cprog.C(0)),
+		))},
+	}
+	return p
+}
+
+// peterson: Peterson's mutual exclusion with the busy-wait replaced by an
+// assume (the standard BMC rendering). Each thread increments the shared
+// counter inside its critical section; with working exclusion the
+// increments serialise so cs == 2 at the end. Under TSO/PSO the flag
+// store/load reordering breaks exclusion and the lost update makes cs == 1
+// reachable.
+func peterson(fenced bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "flag1"}, {Name: "flag2"}, {Name: "turn"}, {Name: "cs"},
+	}}
+	side := func(mine, theirs string, myTurn, otherTurn int64) []cprog.Stmt {
+		body := []cprog.Stmt{cprog.Set(mine, cprog.C(1))}
+		if fenced {
+			// PSO can reorder the flag and turn stores; the flag must be
+			// visible before the turn hand-off for exclusion to hold.
+			body = append(body, cprog.Fence{})
+		}
+		body = append(body, cprog.Set("turn", cprog.C(otherTurn)))
+		if fenced {
+			body = append(body, cprog.Fence{})
+		}
+		body = append(body,
+			cprog.Local{Name: "f"},
+			cprog.Local{Name: "t"},
+			cprog.Set("f", cprog.V(theirs)),
+			cprog.Set("t", cprog.V("turn")),
+			// wait until !(flag_other && turn == other): rendered as assume.
+			cprog.Assume{Cond: cprog.LOr(
+				cprog.Eq(cprog.V("f"), cprog.C(0)),
+				cprog.Eq(cprog.V("t"), cprog.C(myTurn)),
+			)},
+			// critical section: cs = cs + 1 (read and write may interleave
+			// with the other thread only if exclusion is broken).
+			incr("cs", 1),
+		)
+		if fenced {
+			// Release fence: without it PSO can make the exit flag store
+			// visible before the critical-section store, re-admitting the
+			// other thread while the increment is still in flight.
+			body = append(body, cprog.Fence{})
+		}
+		body = append(body, cprog.Set(mine, cprog.C(0)))
+		return body
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "t1", Body: side("flag1", "flag2", 1, 2)},
+		{Name: "t2", Body: side("flag2", "flag1", 2, 1)},
+	}
+	p.Post = []cprog.Stmt{assertEq("cs", 2)}
+	return p
+}

@@ -1,0 +1,118 @@
+package svcomp
+
+import (
+	"zpre/internal/cprog"
+)
+
+// Nondet generates the nondet subcategory: programs driven by
+// nondeterministic inputs (havoc), where assumptions carve out the input
+// space.
+func Nondet() []Benchmark {
+	var out []Benchmark
+	out = append(out, bench("nondet", "bounded_input_safe", boundedInput(true),
+		expectAll(ExpectSafe)))
+	out = append(out, bench("nondet", "unbounded_input_unsafe", boundedInput(false),
+		expectAll(ExpectUnsafe)))
+	out = append(out, bench("nondet", "branch_join_safe", branchJoin(),
+		expectAll(ExpectSafe)))
+	out = append(out, bench("nondet", "nondet_sb", nondetSB(),
+		expect(ExpectSafe, ExpectUnsafe, ExpectUnsafe)))
+	out = append(out, bench("nondet", "guess_unsafe", guess(),
+		expectAll(ExpectUnsafe)))
+	return out
+}
+
+// boundedInput: each thread copies a havoced input into a shared cell; the
+// safe variant assumes the input below 4 first.
+func boundedInput(bounded bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{{Name: "x"}, {Name: "y"}}}
+	mk := func(dst string) []cprog.Stmt {
+		body := []cprog.Stmt{
+			cprog.Local{Name: "in"},
+			cprog.Havoc{Name: "in"},
+		}
+		if bounded {
+			body = append(body, cprog.Assume{Cond: cprog.LAnd(
+				cprog.Ge(cprog.V("in"), cprog.C(0)),
+				cprog.Lt(cprog.V("in"), cprog.C(4)))})
+		}
+		body = append(body, cprog.Set(dst, cprog.V("in")))
+		return body
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "t1", Body: mk("x")},
+		{Name: "t2", Body: mk("y")},
+	}
+	p.Post = []cprog.Stmt{
+		cprog.Assert{Cond: cprog.LAnd(
+			cprog.Lt(cprog.V("x"), cprog.C(4)),
+			cprog.Lt(cprog.V("y"), cprog.C(4)))},
+	}
+	return p
+}
+
+// branchJoin: a havoced input steers both threads down different branches
+// that nevertheless reestablish the same invariant (x is even).
+func branchJoin() *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{{Name: "x"}, {Name: "m"}}}
+	mk := func() []cprog.Stmt {
+		return []cprog.Stmt{
+			cprog.Local{Name: "in"},
+			cprog.Havoc{Name: "in"},
+			cprog.Lock{Mutex: "m"},
+			cprog.If{
+				Cond: cprog.Eq(cprog.BinOp{Op: cprog.OpBitAnd, L: cprog.V("in"), R: cprog.C(1)}, cprog.C(0)),
+				Then: []cprog.Stmt{incr("x", 2)},
+				Else: []cprog.Stmt{incr("x", 4)},
+			},
+			cprog.Unlock{Mutex: "m"},
+		}
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "t1", Body: mk()},
+		{Name: "t2", Body: mk()},
+	}
+	p.Post = []cprog.Stmt{
+		cprog.Assert{Cond: cprog.Eq(
+			cprog.BinOp{Op: cprog.OpBitAnd, L: cprog.V("x"), R: cprog.C(1)}, cprog.C(0))},
+	}
+	return p
+}
+
+// nondetSB: a store-buffering core whose stored values are havoced nonzero
+// inputs; the relaxed outcome (both stale reads) survives only under WMM.
+func nondetSB() *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "x"}, {Name: "y"}, {Name: "r"}, {Name: "s"},
+	}}
+	side := func(w, o, dst string) []cprog.Stmt {
+		return []cprog.Stmt{
+			cprog.Local{Name: "in"},
+			cprog.Havoc{Name: "in"},
+			cprog.Assume{Cond: cprog.Ne(cprog.V("in"), cprog.C(0))},
+			cprog.Set(w, cprog.V("in")),
+			cprog.Set(dst, cprog.V(o)),
+		}
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "t1", Body: side("x", "y", "r")},
+		{Name: "t2", Body: side("y", "x", "s")},
+	}
+	p.Post = []cprog.Stmt{
+		cprog.Assert{Cond: cprog.LNot(cprog.LAnd(
+			cprog.Eq(cprog.V("r"), cprog.C(0)),
+			cprog.Eq(cprog.V("s"), cprog.C(0))))},
+	}
+	return p
+}
+
+// guess: the checker thread asserts that no input can hit the magic value —
+// but it can: classic reachable-assertion shape.
+func guess() *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{{Name: "x"}}}
+	p.Threads = []*cprog.Thread{
+		{Name: "source", Body: []cprog.Stmt{cprog.Havoc{Name: "x"}}},
+	}
+	p.Post = []cprog.Stmt{assertNe("x", 3)}
+	return p
+}

@@ -1,0 +1,179 @@
+package svcomp
+
+import (
+	"fmt"
+
+	"zpre/internal/cprog"
+)
+
+// Pthread generates the pthread subcategory: classic shared-counter and
+// synchronisation-idiom programs (increment races, bank accounts, the
+// fib_bench family, lazy initialisation).
+func Pthread() []Benchmark {
+	var out []Benchmark
+
+	// Unprotected x = x+1 in two threads: the lost-update race makes the
+	// final value 1 reachable, so asserting x==2 is unsafe everywhere.
+	out = append(out, bench("pthread", "incr_race_unsafe", incrRace(2, false),
+		expectAll(ExpectUnsafe)))
+	// With a mutex the increments serialise: safe everywhere.
+	out = append(out, bench("pthread", "incr_lock_safe", incrRace(2, true),
+		expectAll(ExpectSafe)))
+	// Asserting only a lower bound on the racy counter is safe: each thread
+	// writes at least once, so x >= 1.
+	out = append(out, bench("pthread", "incr_race_weak_safe", incrRaceWeak(2),
+		expectAll(ExpectSafe)))
+
+	// Bank account: concurrent deposit and withdraw with/without locking.
+	out = append(out, bench("pthread", "account_lock_safe", account(true),
+		expectAll(ExpectSafe)))
+	out = append(out, bench("pthread", "account_race_unsafe", account(false),
+		expectAll(ExpectUnsafe)))
+
+	// fib_bench: i and j race through i+=j / j+=i k times; the maximal
+	// reachable value is fib(2k+1). Asserting it can't be reached is unsafe,
+	// asserting it can't be exceeded is safe. (SV-COMP's
+	// fib_bench_longer-style pair, scaled small to keep 8-bit arithmetic
+	// exact: fib(5)=5, fib(7)=13.)
+	for _, k := range []int{1, 2} {
+		out = append(out, benchMin("pthread", fmt.Sprintf("fib_bench_unsafe_%d", k), fibBench(k, false),
+			expectAll(ExpectUnsafe), k))
+		out = append(out, benchMin("pthread", fmt.Sprintf("fib_bench_safe_%d", k), fibBench(k, true),
+			expectAll(ExpectSafe), k))
+	}
+
+	// Lazy initialisation: writer publishes data then flag; reader checks
+	// flag before consuming. An MP shape: safe under SC and TSO, broken by
+	// PSO's W→W relaxation; the fenced variant is safe everywhere.
+	out = append(out, bench("pthread", "lazy_init", lazyInit(false),
+		expect(ExpectSafe, ExpectSafe, ExpectUnsafe)))
+	out = append(out, bench("pthread", "lazy_init_fenced", lazyInit(true),
+		expectAll(ExpectSafe)))
+
+	// Single-slot queue (hand-off buffer) with flag protocol.
+	out = append(out, bench("pthread", "queue_handoff", queueHandoff(),
+		expect(ExpectSafe, ExpectSafe, ExpectUnsafe)))
+
+	return out
+}
+
+func incrRace(n int, locked bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{{Name: "x"}, {Name: "m"}}}
+	for t := 0; t < n; t++ {
+		var body []cprog.Stmt
+		if locked {
+			body = lockedIncr("m", "x", 1)
+		} else {
+			body = []cprog.Stmt{incr("x", 1)}
+		}
+		p.Threads = append(p.Threads, &cprog.Thread{Name: fmt.Sprintf("t%d", t+1), Body: body})
+	}
+	p.Post = []cprog.Stmt{assertEq("x", int64(n))}
+	return p
+}
+
+func incrRaceWeak(n int) *cprog.Program {
+	p := incrRace(n, false)
+	p.Post = []cprog.Stmt{cprog.Assert{Cond: cprog.Ge(cprog.V("x"), cprog.C(1))}}
+	return p
+}
+
+func account(locked bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{{Name: "balance", Init: 10}, {Name: "m"}}}
+	deposit := []cprog.Stmt{incr("balance", 3)}
+	withdraw := []cprog.Stmt{incr("balance", -2)}
+	if locked {
+		deposit = lockedIncr("m", "balance", 3)
+		withdraw = lockedIncr("m", "balance", -2)
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "deposit", Body: deposit},
+		{Name: "withdraw", Body: withdraw},
+	}
+	p.Post = []cprog.Stmt{assertEq("balance", 11)}
+	return p
+}
+
+func fibBench(k int, safe bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{{Name: "i", Init: 1}, {Name: "j", Init: 1}}}
+	loop := func(dst, src string) []cprog.Stmt {
+		return []cprog.Stmt{
+			cprog.Local{Name: "c"},
+			cprog.While{
+				Cond: cprog.Lt(cprog.V("c"), cprog.C(int64(k))),
+				Body: []cprog.Stmt{
+					cprog.Set(dst, cprog.Add(cprog.V(dst), cprog.V(src))),
+					cprog.Set("c", cprog.Add(cprog.V("c"), cprog.C(1))),
+				},
+			},
+		}
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "t1", Body: loop("i", "j")},
+		{Name: "t2", Body: loop("j", "i")},
+	}
+	// fib indexing: with k interleaved additions per thread the maximum of
+	// i, j is fib(2k+2) (1,1,2,3,5,8,13,...).
+	fib := []int64{1, 1}
+	for len(fib) < 2*k+3 {
+		fib = append(fib, fib[len(fib)-1]+fib[len(fib)-2])
+	}
+	limit := fib[2*k+1]
+	if safe {
+		// Nothing can exceed fib(2k+2).
+		p.Post = []cprog.Stmt{
+			cprog.Assert{Cond: cprog.Le(cprog.V("i"), cprog.C(fib[2*k+2]))},
+			cprog.Assert{Cond: cprog.Le(cprog.V("j"), cprog.C(fib[2*k+2]))},
+		}
+	} else {
+		// fib(2k+1) is reachable by some interleaving: asserting i < limit
+		// is violable.
+		p.Post = []cprog.Stmt{
+			cprog.Assert{Cond: cprog.Lt(cprog.V("i"), cprog.C(limit))},
+		}
+	}
+	return p
+}
+
+func lazyInit(fenced bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{{Name: "data"}, {Name: "init"}, {Name: "seen", Init: 1}}}
+	writer := []cprog.Stmt{cprog.Set("data", cprog.C(42))}
+	if fenced {
+		writer = append(writer, cprog.Fence{})
+	}
+	writer = append(writer, cprog.Set("init", cprog.C(1)))
+	reader := []cprog.Stmt{
+		cprog.If{
+			Cond: cprog.Eq(cprog.V("init"), cprog.C(1)),
+			Then: []cprog.Stmt{cprog.Set("seen", cprog.Eq(cprog.V("data"), cprog.C(42)))},
+		},
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "writer", Body: writer},
+		{Name: "reader", Body: reader},
+	}
+	p.Post = []cprog.Stmt{assertEq("seen", 1)}
+	return p
+}
+
+func queueHandoff() *cprog.Program {
+	// Producer stores an item then raises full; consumer checks full before
+	// reading the slot: message passing through a one-slot queue.
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "slot"}, {Name: "full"}, {Name: "got", Init: 7},
+	}}
+	p.Threads = []*cprog.Thread{
+		{Name: "producer", Body: []cprog.Stmt{
+			cprog.Set("slot", cprog.C(7)),
+			cprog.Set("full", cprog.C(1)),
+		}},
+		{Name: "consumer", Body: []cprog.Stmt{
+			cprog.If{
+				Cond: cprog.Eq(cprog.V("full"), cprog.C(1)),
+				Then: []cprog.Stmt{cprog.Set("got", cprog.V("slot"))},
+			},
+		}},
+	}
+	p.Post = []cprog.Stmt{assertEq("got", 7)}
+	return p
+}

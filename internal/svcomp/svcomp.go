@@ -1,0 +1,154 @@
+// Package svcomp provides the synthetic benchmark corpus standing in for the
+// SV-COMP 2019 ConcurrencySafety category used in the paper's evaluation
+// (§5). The paper's corpus is 1070 C programs across 10 usable
+// subcategories, dominated by the wmm litmus-test family (898 programs); the
+// proprietary-scale corpus is replaced here by parameterised generators that
+// produce the same program patterns — mutex protocols, litmus tests,
+// producer/consumer rings, device-driver races — with the same relative
+// weighting (wmm largest), scaled to stay laptop-runnable.
+//
+// Every benchmark is a plain cprog.Program plus, where the literature pins
+// it down, the expected verdict per memory model, which the test suite
+// checks against the solver.
+package svcomp
+
+import (
+	"fmt"
+	"sort"
+
+	"zpre/internal/cprog"
+	"zpre/internal/memmodel"
+)
+
+// Expectation is a known ground-truth verdict.
+type Expectation int
+
+// Expectations.
+const (
+	// ExpectUnknown: no ground truth recorded; the corpus still counts it.
+	ExpectUnknown Expectation = iota
+	// ExpectSafe: the assertion holds within any unrolling (VC unsat).
+	ExpectSafe
+	// ExpectUnsafe: a violation is reachable at unroll bound >= MinBound.
+	ExpectUnsafe
+)
+
+// Benchmark is one corpus entry.
+type Benchmark struct {
+	Name        string
+	Subcategory string
+	Program     *cprog.Program
+	// Expected maps each memory model to the ground-truth verdict (entries
+	// may be absent = unknown).
+	Expected map[memmodel.Model]Expectation
+	// MinBound is the unroll bound at which an ExpectUnsafe verdict becomes
+	// reachable (1 for loop-free programs).
+	MinBound int
+}
+
+// Subcategories returns the subcategory names in the paper's order.
+func Subcategories() []string {
+	return []string{
+		"pthread", "atomic", "C-DAC", "divine", "driver-races",
+		"ext", "ldv-races", "lit", "nondet", "wmm",
+	}
+}
+
+// All returns the full corpus, deterministically ordered.
+func All() []Benchmark {
+	var out []Benchmark
+	out = append(out, Pthread()...)
+	out = append(out, Atomic()...)
+	out = append(out, CDAC()...)
+	out = append(out, Divine()...)
+	out = append(out, DriverRaces()...)
+	out = append(out, Ext()...)
+	out = append(out, LdvRaces()...)
+	out = append(out, Lit()...)
+	out = append(out, Nondet()...)
+	out = append(out, WMM()...)
+	out = append(out, extraWMM()...)
+	out = append(out, generatedLitmus()...)
+	out = append(out, extraPthread()...)
+	out = append(out, extraAtomic()...)
+	out = append(out, extraDivine()...)
+	out = append(out, extraLdv()...)
+	out = append(out, extraDriver()...)
+	out = append(out, scaledWMMData()...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Subcategory != out[j].Subcategory {
+			return out[i].Subcategory < out[j].Subcategory
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// BySubcategory filters the corpus.
+func BySubcategory(name string) []Benchmark {
+	var out []Benchmark
+	for _, b := range All() {
+		if b.Subcategory == name {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// expectAll builds an expectation table with the same verdict for SC, TSO
+// and PSO.
+func expectAll(e Expectation) map[memmodel.Model]Expectation {
+	return map[memmodel.Model]Expectation{
+		memmodel.SC: e, memmodel.TSO: e, memmodel.PSO: e,
+	}
+}
+
+// expect builds an expectation table from per-model verdicts.
+func expect(sc, tso, pso Expectation) map[memmodel.Model]Expectation {
+	return map[memmodel.Model]Expectation{
+		memmodel.SC: sc, memmodel.TSO: tso, memmodel.PSO: pso,
+	}
+}
+
+// Small builder helpers shared by the generator files.
+
+func bench(sub, name string, p *cprog.Program, exp map[memmodel.Model]Expectation) Benchmark {
+	p.Name = fmt.Sprintf("%s/%s", sub, name)
+	return Benchmark{Name: name, Subcategory: sub, Program: p, Expected: exp, MinBound: 1}
+}
+
+// benchMin is bench for looped programs whose unsafe verdict needs an unroll
+// bound of at least min.
+func benchMin(sub, name string, p *cprog.Program, exp map[memmodel.Model]Expectation, min int) Benchmark {
+	b := bench(sub, name, p, exp)
+	b.MinBound = min
+	return b
+}
+
+// incr returns the statement v = v + k.
+func incr(v string, k int64) cprog.Stmt {
+	return cprog.Set(v, cprog.Add(cprog.V(v), cprog.C(k)))
+}
+
+// lockedIncr returns lock(m); v = v + k; unlock(m).
+func lockedIncr(m, v string, k int64) []cprog.Stmt {
+	return []cprog.Stmt{
+		cprog.Lock{Mutex: m},
+		incr(v, k),
+		cprog.Unlock{Mutex: m},
+	}
+}
+
+// assertEq returns assert(v == k).
+func assertEq(v string, k int64) cprog.Stmt {
+	return cprog.Assert{Cond: cprog.Eq(cprog.V(v), cprog.C(k))}
+}
+
+// assertNe returns assert(v != k).
+func assertNe(v string, k int64) cprog.Stmt {
+	return cprog.Assert{Cond: cprog.Ne(cprog.V(v), cprog.C(k))}
+}
+
+// FormatProgram renders a benchmark's program source (convenience for tools
+// and tests).
+func FormatProgram(b Benchmark) string { return cprog.Format(b.Program) }

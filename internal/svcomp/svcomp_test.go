@@ -1,0 +1,131 @@
+package svcomp_test
+
+import (
+	"errors"
+	"testing"
+
+	"zpre"
+	"zpre/internal/interp"
+	"zpre/internal/memmodel"
+	"zpre/internal/svcomp"
+)
+
+// TestCorpusShape sanity-checks the corpus: every subcategory populated,
+// wmm dominant (as in the paper), every program valid.
+func TestCorpusShape(t *testing.T) {
+	all := svcomp.All()
+	if len(all) < 80 {
+		t.Fatalf("corpus too small: %d programs", len(all))
+	}
+	counts := map[string]int{}
+	for _, b := range all {
+		counts[b.Subcategory]++
+		if err := b.Program.Validate(); err != nil {
+			t.Errorf("%s: invalid program: %v", b.Program.Name, err)
+		}
+	}
+	for _, sub := range svcomp.Subcategories() {
+		if counts[sub] == 0 {
+			t.Errorf("subcategory %s is empty", sub)
+		}
+	}
+	for sub, n := range counts {
+		if sub != "wmm" && n >= counts["wmm"] {
+			t.Errorf("wmm (%d) should dominate %s (%d), as in the paper", counts["wmm"], sub, n)
+		}
+	}
+}
+
+// TestExpectations verifies every recorded ground truth against the solver
+// under all three strategies (the verdict must also be strategy-invariant).
+func TestExpectations(t *testing.T) {
+	for _, b := range svcomp.All() {
+		b := b
+		t.Run(b.Subcategory+"/"+b.Name, func(t *testing.T) {
+			for _, mm := range memmodel.All() {
+				exp, ok := b.Expected[mm]
+				if !ok || exp == svcomp.ExpectUnknown {
+					continue
+				}
+				bound := b.MinBound
+				for _, strat := range []struct {
+					name string
+					s    zpre.Options
+				}{
+					{"baseline", zpre.Options{Model: mm, Strategy: zpre.Baseline, Unroll: bound}},
+					{"zpre", zpre.Options{Model: mm, Strategy: zpre.ZPRE, Unroll: bound, Seed: 7}},
+				} {
+					rep, err := zpre.Verify(b.Program, strat.s)
+					if err != nil {
+						t.Fatalf("%v/%s: %v", mm, strat.name, err)
+					}
+					want := zpre.Safe
+					if exp == svcomp.ExpectUnsafe {
+						want = zpre.Unsafe
+					}
+					if rep.Verdict != want {
+						t.Errorf("%v/%s: got %v, want %v", mm, strat.name, rep.Verdict, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusDifferential cross-checks the solver against the explicit-state
+// interpreter on every corpus program small enough to enumerate. Lock-using
+// programs are checked under SC only (the interpreter's WMM lock semantics
+// are intentionally stronger; see internal/interp).
+func TestCorpusDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("explicit-state enumeration is slow")
+	}
+	const width = 3
+	for _, b := range svcomp.All() {
+		b := b
+		t.Run(b.Subcategory+"/"+b.Name, func(t *testing.T) {
+			models := memmodel.All()
+			if usesLocks(b) {
+				models = []memmodel.Model{memmodel.SC}
+			}
+			for _, mm := range models {
+				want, err := interp.Run(b.Program, b.MinBound, interp.Options{
+					Model: mm, Width: width, MaxStates: 1 << 20,
+				})
+				if errors.Is(err, interp.ErrStateExplosion) {
+					t.Skipf("%v: state explosion", mm)
+				}
+				if err != nil {
+					t.Fatalf("%v: interp: %v", mm, err)
+				}
+				rep, err := zpre.Verify(b.Program, zpre.Options{
+					Model: mm, Strategy: zpre.ZPRE, Unroll: b.MinBound, Width: width, Seed: 3,
+				})
+				if err != nil {
+					t.Fatalf("%v: verify: %v", mm, err)
+				}
+				if (rep.Verdict == zpre.Unsafe) != (want == interp.Unsafe) {
+					t.Errorf("%v: SMT=%v explicit=%v", mm, rep.Verdict, want)
+				}
+			}
+		})
+	}
+}
+
+func usesLocks(b svcomp.Benchmark) bool {
+	// Cheap textual check on the formatted program.
+	for _, th := range b.Program.Threads {
+		_ = th
+	}
+	src := formatted(b)
+	for i := 0; i+4 < len(src); i++ {
+		if src[i:i+5] == "lock(" {
+			return true
+		}
+	}
+	return false
+}
+
+func formatted(b svcomp.Benchmark) string {
+	return svcomp.FormatProgram(b)
+}

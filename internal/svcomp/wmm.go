@@ -1,0 +1,390 @@
+package svcomp
+
+import (
+	"fmt"
+
+	"zpre/internal/cprog"
+)
+
+// WMM generates the litmus-test family, the corpus' largest subcategory (as
+// in the paper, where wmm holds 898 of 1070 programs). Each classic litmus
+// shape is emitted at several scale factors (independent variable pairs
+// chained in the same threads) and in a fenced variant that restores
+// sequential consistency.
+//
+// Ground truths (for the paper's models: TSO relaxes W→R to a different
+// address, PSO additionally W→W):
+//
+//	SB    store buffering    safe SC,  unsafe TSO, unsafe PSO
+//	MP    message passing    safe SC,  safe  TSO, unsafe PSO
+//	LB    load buffering     safe everywhere (R→W never relaxed)
+//	2+2W  double 2W          safe SC,  safe  TSO, unsafe PSO
+//	S     write subsumption  safe SC,  safe  TSO, unsafe PSO
+//	IRIW  independent reads  safe everywhere (R→R never relaxed)
+//
+// All fenced variants are safe everywhere.
+func WMM() []Benchmark {
+	var out []Benchmark
+	for k := 1; k <= 6; k++ {
+		out = append(out,
+			bench("wmm", fmt.Sprintf("sb_%d", k), storeBuffering(k, false),
+				expect(ExpectSafe, ExpectUnsafe, ExpectUnsafe)),
+			bench("wmm", fmt.Sprintf("sb_fenced_%d", k), storeBuffering(k, true),
+				expectAll(ExpectSafe)),
+			bench("wmm", fmt.Sprintf("mp_%d", k), messagePassing(k, false),
+				expect(ExpectSafe, ExpectSafe, ExpectUnsafe)),
+			bench("wmm", fmt.Sprintf("mp_fenced_%d", k), messagePassing(k, true),
+				expectAll(ExpectSafe)),
+			bench("wmm", fmt.Sprintf("lb_%d", k), loadBuffering(k),
+				expectAll(ExpectSafe)),
+			bench("wmm", fmt.Sprintf("2plus2w_%d", k), twoPlusTwoW(k, false),
+				expect(ExpectSafe, ExpectSafe, ExpectUnsafe)),
+			bench("wmm", fmt.Sprintf("2plus2w_fenced_%d", k), twoPlusTwoW(k, true),
+				expectAll(ExpectSafe)),
+		)
+	}
+	for k := 1; k <= 3; k++ {
+		out = append(out,
+			bench("wmm", fmt.Sprintf("s_%d", k), subsumptionS(k, false),
+				expect(ExpectSafe, ExpectSafe, ExpectUnsafe)),
+			bench("wmm", fmt.Sprintf("s_fenced_%d", k), subsumptionS(k, true),
+				expectAll(ExpectSafe)),
+			bench("wmm", fmt.Sprintf("iriw_%d", k), iriw(k),
+				expectAll(ExpectSafe)),
+		)
+	}
+	// Mixed-shape programs: an SB core plus an MP core sharing threads.
+	for k := 1; k <= 3; k++ {
+		out = append(out, bench("wmm", fmt.Sprintf("sb_mp_mix_%d", k), sbMpMix(k),
+			expect(ExpectSafe, ExpectUnsafe, ExpectUnsafe)))
+	}
+	// Data-carrying and loop-based families: litmus shapes embedded in real
+	// program structure (nondeterministic values, accumulating loops) so the
+	// instances require actual search, like the paper's wmm C programs.
+	for k := 1; k <= 4; k++ {
+		out = append(out, bench("wmm", fmt.Sprintf("sb_data_%d", k), storeBufferingData(k),
+			expect(ExpectSafe, ExpectUnsafe, ExpectUnsafe)))
+	}
+	for k := 1; k <= 3; k++ {
+		// The looped families need unroll bound >= k before a violating
+		// execution survives the unwinding assumption.
+		out = append(out,
+			benchMin("wmm", fmt.Sprintf("sb_loop_%d", k), storeBufferingLoop(k, false),
+				expect(ExpectSafe, ExpectUnsafe, ExpectUnsafe), k),
+			benchMin("wmm", fmt.Sprintf("sb_loop_fenced_%d", k), storeBufferingLoop(k, true),
+				expectAll(ExpectSafe), k),
+			benchMin("wmm", fmt.Sprintf("mp_loop_%d", k), messagePassingLoop(k, false),
+				expect(ExpectSafe, ExpectSafe, ExpectUnsafe), k),
+			benchMin("wmm", fmt.Sprintf("mp_loop_fenced_%d", k), messagePassingLoop(k, true),
+				expectAll(ExpectSafe), k),
+		)
+	}
+	return out
+}
+
+// storeBuffering: per pair i, T1: x_i=1; r_i=y_i and T2: y_i=1; s_i=x_i.
+// The forbidden-on-SC outcome is every r_i==0 and s_i==0.
+func storeBuffering(k int, fenced bool) *cprog.Program {
+	p := &cprog.Program{}
+	var t1, t2 []cprog.Stmt
+	cond := cprog.Expr(cprog.C(1))
+	for i := 0; i < k; i++ {
+		x, y := fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i)
+		r, s := fmt.Sprintf("r%d", i), fmt.Sprintf("s%d", i)
+		p.Shared = append(p.Shared,
+			cprog.SharedDecl{Name: x}, cprog.SharedDecl{Name: y},
+			cprog.SharedDecl{Name: r}, cprog.SharedDecl{Name: s})
+		t1 = append(t1, cprog.Set(x, cprog.C(1)))
+		t2 = append(t2, cprog.Set(y, cprog.C(1)))
+		if fenced {
+			t1 = append(t1, cprog.Fence{})
+			t2 = append(t2, cprog.Fence{})
+		}
+		t1 = append(t1, cprog.Set(r, cprog.V(y)))
+		t2 = append(t2, cprog.Set(s, cprog.V(x)))
+		cond = cprog.LAnd(cond, cprog.LAnd(
+			cprog.Eq(cprog.V(r), cprog.C(0)),
+			cprog.Eq(cprog.V(s), cprog.C(0))))
+	}
+	p.Threads = []*cprog.Thread{{Name: "t1", Body: t1}, {Name: "t2", Body: t2}}
+	p.Post = []cprog.Stmt{cprog.Assert{Cond: cprog.LNot(cond)}}
+	return p
+}
+
+// messagePassing: per pair i, T1: data_i=1; flag_i=1 and T2: f_i=flag_i;
+// d_i=data_i. Forbidden outcome: every f_i==1 with d_i==0.
+func messagePassing(k int, fenced bool) *cprog.Program {
+	p := &cprog.Program{}
+	var t1, t2 []cprog.Stmt
+	cond := cprog.Expr(cprog.C(1))
+	for i := 0; i < k; i++ {
+		data, flag := fmt.Sprintf("data%d", i), fmt.Sprintf("flag%d", i)
+		f, d := fmt.Sprintf("f%d", i), fmt.Sprintf("d%d", i)
+		p.Shared = append(p.Shared,
+			cprog.SharedDecl{Name: data}, cprog.SharedDecl{Name: flag},
+			cprog.SharedDecl{Name: f}, cprog.SharedDecl{Name: d})
+		t1 = append(t1, cprog.Set(data, cprog.C(1)))
+		if fenced {
+			t1 = append(t1, cprog.Fence{})
+		}
+		t1 = append(t1, cprog.Set(flag, cprog.C(1)))
+		t2 = append(t2, cprog.Set(f, cprog.V(flag)))
+		if fenced {
+			t2 = append(t2, cprog.Fence{})
+		}
+		t2 = append(t2, cprog.Set(d, cprog.V(data)))
+		cond = cprog.LAnd(cond, cprog.LAnd(
+			cprog.Eq(cprog.V(f), cprog.C(1)),
+			cprog.Eq(cprog.V(d), cprog.C(0))))
+	}
+	p.Threads = []*cprog.Thread{{Name: "t1", Body: t1}, {Name: "t2", Body: t2}}
+	p.Post = []cprog.Stmt{cprog.Assert{Cond: cprog.LNot(cond)}}
+	return p
+}
+
+// loadBuffering: T1: r_i=y_i; x_i=1 and T2: s_i=x_i; y_i=1. The outcome
+// r_i==1 and s_i==1 needs R→W reordering, which none of the models allow.
+func loadBuffering(k int) *cprog.Program {
+	p := &cprog.Program{}
+	var t1, t2 []cprog.Stmt
+	cond := cprog.Expr(cprog.C(1))
+	for i := 0; i < k; i++ {
+		x, y := fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i)
+		r, s := fmt.Sprintf("r%d", i), fmt.Sprintf("s%d", i)
+		p.Shared = append(p.Shared,
+			cprog.SharedDecl{Name: x}, cprog.SharedDecl{Name: y},
+			cprog.SharedDecl{Name: r}, cprog.SharedDecl{Name: s})
+		t1 = append(t1, cprog.Set(r, cprog.V(y)), cprog.Set(x, cprog.C(1)))
+		t2 = append(t2, cprog.Set(s, cprog.V(x)), cprog.Set(y, cprog.C(1)))
+		cond = cprog.LAnd(cond, cprog.LAnd(
+			cprog.Eq(cprog.V(r), cprog.C(1)),
+			cprog.Eq(cprog.V(s), cprog.C(1))))
+	}
+	p.Threads = []*cprog.Thread{{Name: "t1", Body: t1}, {Name: "t2", Body: t2}}
+	p.Post = []cprog.Stmt{cprog.Assert{Cond: cprog.LNot(cond)}}
+	return p
+}
+
+// twoPlusTwoW: T1: x_i=1; y_i=2 and T2: y_i=1; x_i=2. The outcome x_i==1
+// and y_i==1 (both second writes lost) needs W→W reordering: PSO only.
+func twoPlusTwoW(k int, fenced bool) *cprog.Program {
+	p := &cprog.Program{}
+	var t1, t2 []cprog.Stmt
+	cond := cprog.Expr(cprog.C(1))
+	for i := 0; i < k; i++ {
+		x, y := fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i)
+		p.Shared = append(p.Shared, cprog.SharedDecl{Name: x}, cprog.SharedDecl{Name: y})
+		t1 = append(t1, cprog.Set(x, cprog.C(1)))
+		t2 = append(t2, cprog.Set(y, cprog.C(1)))
+		if fenced {
+			t1 = append(t1, cprog.Fence{})
+			t2 = append(t2, cprog.Fence{})
+		}
+		t1 = append(t1, cprog.Set(y, cprog.C(2)))
+		t2 = append(t2, cprog.Set(x, cprog.C(2)))
+		cond = cprog.LAnd(cond, cprog.LAnd(
+			cprog.Eq(cprog.V(x), cprog.C(1)),
+			cprog.Eq(cprog.V(y), cprog.C(1))))
+	}
+	p.Threads = []*cprog.Thread{{Name: "t1", Body: t1}, {Name: "t2", Body: t2}}
+	p.Post = []cprog.Stmt{cprog.Assert{Cond: cprog.LNot(cond)}}
+	return p
+}
+
+// subsumptionS: T1: x_i=2; y_i=1 and T2: r_i=y_i; x_i=1. The outcome
+// r_i==1 with final x_i==2 needs T1's W→W relaxed: PSO only.
+func subsumptionS(k int, fenced bool) *cprog.Program {
+	p := &cprog.Program{}
+	var t1, t2 []cprog.Stmt
+	cond := cprog.Expr(cprog.C(1))
+	for i := 0; i < k; i++ {
+		x, y := fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i)
+		r := fmt.Sprintf("r%d", i)
+		p.Shared = append(p.Shared,
+			cprog.SharedDecl{Name: x}, cprog.SharedDecl{Name: y},
+			cprog.SharedDecl{Name: r})
+		t1 = append(t1, cprog.Set(x, cprog.C(2)))
+		if fenced {
+			t1 = append(t1, cprog.Fence{})
+		}
+		t1 = append(t1, cprog.Set(y, cprog.C(1)))
+		t2 = append(t2, cprog.Set(r, cprog.V(y)), cprog.Set(x, cprog.C(1)))
+		cond = cprog.LAnd(cond, cprog.LAnd(
+			cprog.Eq(cprog.V(r), cprog.C(1)),
+			cprog.Eq(cprog.V(x), cprog.C(2))))
+	}
+	p.Threads = []*cprog.Thread{{Name: "t1", Body: t1}, {Name: "t2", Body: t2}}
+	p.Post = []cprog.Stmt{cprog.Assert{Cond: cprog.LNot(cond)}}
+	return p
+}
+
+// iriw: writers T1: x_i=1, T2: y_i=1; readers T3: a_i=x_i; b_i=y_i and
+// T4: c_i=y_i; d_i=x_i. The outcome a=1,b=0,c=1,d=0 needs R→R reordering
+// or non-multi-copy-atomic stores: forbidden in all three models.
+func iriw(k int) *cprog.Program {
+	p := &cprog.Program{}
+	var t1, t2, t3, t4 []cprog.Stmt
+	cond := cprog.Expr(cprog.C(1))
+	for i := 0; i < k; i++ {
+		x, y := fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i)
+		a, b := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+		c, d := fmt.Sprintf("c%d", i), fmt.Sprintf("d%d", i)
+		p.Shared = append(p.Shared,
+			cprog.SharedDecl{Name: x}, cprog.SharedDecl{Name: y},
+			cprog.SharedDecl{Name: a}, cprog.SharedDecl{Name: b},
+			cprog.SharedDecl{Name: c}, cprog.SharedDecl{Name: d})
+		t1 = append(t1, cprog.Set(x, cprog.C(1)))
+		t2 = append(t2, cprog.Set(y, cprog.C(1)))
+		t3 = append(t3, cprog.Set(a, cprog.V(x)), cprog.Set(b, cprog.V(y)))
+		t4 = append(t4, cprog.Set(c, cprog.V(y)), cprog.Set(d, cprog.V(x)))
+		cond = cprog.LAnd(cond, cprog.LAnd(
+			cprog.LAnd(cprog.Eq(cprog.V(a), cprog.C(1)), cprog.Eq(cprog.V(b), cprog.C(0))),
+			cprog.LAnd(cprog.Eq(cprog.V(c), cprog.C(1)), cprog.Eq(cprog.V(d), cprog.C(0)))))
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "w1", Body: t1}, {Name: "w2", Body: t2},
+		{Name: "r1", Body: t3}, {Name: "r2", Body: t4},
+	}
+	p.Post = []cprog.Stmt{cprog.Assert{Cond: cprog.LNot(cond)}}
+	return p
+}
+
+// sbMpMix interleaves an SB core and an MP core in the same two threads; the
+// SB part makes it unsafe under TSO and PSO, safe under SC.
+func sbMpMix(k int) *cprog.Program {
+	sb := storeBuffering(k, false)
+	mp := messagePassing(k, true)
+	p := &cprog.Program{}
+	p.Shared = append(p.Shared, sb.Shared...)
+	p.Shared = append(p.Shared, mp.Shared...)
+	p.Threads = []*cprog.Thread{
+		{Name: "t1", Body: append(append([]cprog.Stmt{}, sb.Threads[0].Body...), mp.Threads[0].Body...)},
+		{Name: "t2", Body: append(append([]cprog.Stmt{}, sb.Threads[1].Body...), mp.Threads[1].Body...)},
+	}
+	// Both cores' assertions must hold; the fenced MP core is always safe,
+	// the SB core is violable under TSO/PSO.
+	p.Post = append(append([]cprog.Stmt{}, sb.Post...), mp.Post...)
+	return p
+}
+
+// storeBufferingData: an SB core whose written values are nondeterministic
+// nonzero inputs. The relaxed outcome is still "all reads stale", but the
+// free value bits give the SAT search genuine work (the paper's instances
+// are programs, not pure litmus tests).
+func storeBufferingData(k int) *cprog.Program {
+	p := &cprog.Program{}
+	var t1, t2 []cprog.Stmt
+	cond := cprog.Expr(cprog.C(1))
+	for i := 0; i < k; i++ {
+		x, y := fmt.Sprintf("x%d", i), fmt.Sprintf("y%d", i)
+		r, s := fmt.Sprintf("r%d", i), fmt.Sprintf("s%d", i)
+		a, b := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+		p.Shared = append(p.Shared,
+			cprog.SharedDecl{Name: x}, cprog.SharedDecl{Name: y},
+			cprog.SharedDecl{Name: r}, cprog.SharedDecl{Name: s})
+		t1 = append(t1,
+			cprog.Local{Name: a},
+			cprog.Havoc{Name: a},
+			cprog.Assume{Cond: cprog.Ne(cprog.V(a), cprog.C(0))},
+			cprog.Set(x, cprog.V(a)),
+			cprog.Set(r, cprog.V(y)))
+		t2 = append(t2,
+			cprog.Local{Name: b},
+			cprog.Havoc{Name: b},
+			cprog.Assume{Cond: cprog.Ne(cprog.V(b), cprog.C(0))},
+			cprog.Set(y, cprog.V(b)),
+			cprog.Set(s, cprog.V(x)))
+		cond = cprog.LAnd(cond, cprog.LAnd(
+			cprog.Eq(cprog.V(r), cprog.C(0)),
+			cprog.Eq(cprog.V(s), cprog.C(0))))
+	}
+	p.Threads = []*cprog.Thread{{Name: "t1", Body: t1}, {Name: "t2", Body: t2}}
+	p.Post = []cprog.Stmt{cprog.Assert{Cond: cprog.LNot(cond)}}
+	return p
+}
+
+// storeBufferingLoop: the SB shape iterated in a loop with saw-something
+// detector flags: t1 repeats { x = c+1; if (y != 0) t = 1 }, t2 mirrors it
+// with u. Both flags zero requires every cross read stale — the SB cycle per
+// iteration under SC, reachable under TSO/PSO. The detector must neither
+// read the written variable (x = x+1 would chain iterations through the
+// preserved same-address W→R order) nor read its own flag (t = t+y would
+// chain through W→W plus same-address W→R under TSO); either would make
+// k >= 2 safe under WMM. The fenced variant pins the W→R pair each
+// iteration and is safe everywhere.
+func storeBufferingLoop(k int, fenced bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "x"}, {Name: "y"}, {Name: "t"}, {Name: "u"},
+	}}
+	side := func(mine, other, flag string) []cprog.Stmt {
+		inner := []cprog.Stmt{cprog.Set(mine, cprog.Add(cprog.V("c"), cprog.C(1)))}
+		if fenced {
+			inner = append(inner, cprog.Fence{})
+		}
+		inner = append(inner,
+			cprog.If{
+				Cond: cprog.Ne(cprog.V(other), cprog.C(0)),
+				Then: []cprog.Stmt{cprog.Set(flag, cprog.C(1))},
+			},
+			cprog.Set("c", cprog.Add(cprog.V("c"), cprog.C(1))),
+		)
+		return []cprog.Stmt{
+			cprog.Local{Name: "c"},
+			cprog.While{Cond: cprog.Lt(cprog.V("c"), cprog.C(int64(k))), Body: inner},
+		}
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "t1", Body: side("x", "y", "t")},
+		{Name: "t2", Body: side("y", "x", "u")},
+	}
+	p.Post = []cprog.Stmt{cprog.Assert{Cond: cprog.LNot(cprog.LAnd(
+		cprog.Eq(cprog.V("t"), cprog.C(0)),
+		cprog.Eq(cprog.V("u"), cprog.C(0))))}}
+	return p
+}
+
+// messagePassingLoop: producer repeats { data = data+1; flag = flag+1 },
+// consumer repeats { rf = flag; rd = data; if (rd < rf) bad = 1 }. Under SC
+// and TSO the data counter can never lag the flag counter at the consumer
+// (the MP chain per iteration); PSO reorders the two producer writes. The
+// fenced variant is safe everywhere.
+func messagePassingLoop(k int, fenced bool) *cprog.Program {
+	p := &cprog.Program{Shared: []cprog.SharedDecl{
+		{Name: "data"}, {Name: "flag"}, {Name: "bad"},
+	}}
+	producer := func() []cprog.Stmt {
+		inner := []cprog.Stmt{incr("data", 1)}
+		if fenced {
+			inner = append(inner, cprog.Fence{})
+		}
+		inner = append(inner, incr("flag", 1),
+			cprog.Set("c", cprog.Add(cprog.V("c"), cprog.C(1))))
+		return []cprog.Stmt{
+			cprog.Local{Name: "c"},
+			cprog.While{Cond: cprog.Lt(cprog.V("c"), cprog.C(int64(k))), Body: inner},
+		}
+	}
+	consumer := func() []cprog.Stmt {
+		inner := []cprog.Stmt{
+			cprog.Local{Name: "rf"},
+			cprog.Local{Name: "rd"},
+			cprog.Set("rf", cprog.V("flag")),
+			cprog.Set("rd", cprog.V("data")),
+			cprog.If{
+				Cond: cprog.Lt(cprog.V("rd"), cprog.V("rf")),
+				Then: []cprog.Stmt{cprog.Set("bad", cprog.C(1))},
+			},
+			cprog.Set("c", cprog.Add(cprog.V("c"), cprog.C(1))),
+		}
+		return []cprog.Stmt{
+			cprog.Local{Name: "c"},
+			cprog.While{Cond: cprog.Lt(cprog.V("c"), cprog.C(int64(k))), Body: inner},
+		}
+	}
+	p.Threads = []*cprog.Thread{
+		{Name: "producer", Body: producer()},
+		{Name: "consumer", Body: consumer()},
+	}
+	p.Post = []cprog.Stmt{assertEq("bad", 0)}
+	return p
+}

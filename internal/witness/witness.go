@@ -1,0 +1,103 @@
+// Package witness turns a satisfying assignment of a verification condition
+// into a human-readable counterexample: a concrete interleaving of the
+// program's memory accesses. A valid symbolic execution's EOG is acyclic
+// (§3.3 of the paper), so any topological order of the model's EOG — program
+// order plus the rf/ws edges the solver chose — is a real schedule that
+// violates the assertion.
+package witness
+
+import (
+	"fmt"
+	"strings"
+
+	"zpre/internal/encode"
+	"zpre/internal/eog"
+)
+
+// Step is one memory access of the counterexample schedule.
+type Step struct {
+	Thread  int // 0 = main
+	IsWrite bool
+	Var     string
+	Value   uint64
+	Index   int // intra-thread event index
+}
+
+// String renders a step like "t1 W x = 1".
+func (s Step) String() string {
+	kind := "R"
+	if s.IsWrite {
+		kind = "W"
+	}
+	return fmt.Sprintf("t%d %s %s = %d", s.Thread, kind, s.Var, s.Value)
+}
+
+// Extract linearises the model of a solved-Sat verification condition into
+// a schedule. Events whose guards are false in the model (untaken branches)
+// are omitted. It returns an error if the model's EOG is cyclic, which
+// would indicate a solver bug (the ordering theory guarantees acyclicity).
+func Extract(vc *encode.VC) ([]Step, error) {
+	g := eog.WithModel(vc, eog.FromVC(vc))
+	order := g.TopoOrder()
+	if order == nil {
+		return nil, fmt.Errorf("witness: model event order graph is cyclic")
+	}
+	byID := map[int]*encode.Event{}
+	for _, ev := range vc.Events {
+		byID[int(ev.ID)] = ev
+	}
+	var steps []Step
+	for _, id := range order {
+		ev, ok := byID[id]
+		if !ok {
+			continue // create/join dummies
+		}
+		if !vc.Builder.Value(ev.Guard) {
+			continue
+		}
+		steps = append(steps, Step{
+			Thread:  ev.Thread,
+			IsWrite: ev.IsWrite,
+			Var:     ev.Var,
+			Value:   vc.Builder.BVValue(ev.Val),
+			Index:   ev.Index,
+		})
+	}
+	return steps, nil
+}
+
+// Format renders a schedule, one step per line, indented by prefix.
+func Format(steps []Step, prefix string) string {
+	var b strings.Builder
+	for _, s := range steps {
+		b.WriteString(prefix)
+		b.WriteString(s.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Validate checks a schedule's memory semantics: every read step must
+// return the value of the most recent preceding write to the same variable
+// in the schedule. This independently validates the read-from and ordering
+// choices of the solver's model — a wrong rf edge or a mis-ordered
+// linearisation surfaces as a value mismatch.
+func Validate(steps []Step) error {
+	last := map[string]uint64{}
+	written := map[string]bool{}
+	for i, s := range steps {
+		if s.IsWrite {
+			last[s.Var] = s.Value
+			written[s.Var] = true
+			continue
+		}
+		if !written[s.Var] {
+			return fmt.Errorf("witness: step %d reads %s before any write", i, s.Var)
+		}
+		if s.Value != last[s.Var] {
+			return fmt.Errorf("witness: step %d reads %s = %d but the last write stored %d",
+				i, s.Var, s.Value, last[s.Var])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+// Package zpre is a reproduction of "Interference Relation-Guided SMT
+// Solving for Multi-Threaded Program Verification" (Fan, Liu, He; PPoPP
+// 2022): a bounded model checker for multi-threaded programs under SC, TSO
+// and PSO memory models, built on a from-scratch DPLL(T) engine whose
+// decision order can be guided by the interference relation (read-from and
+// write-serialization variables) of the encoded program.
+//
+// The package is a thin facade over the internal packages:
+//
+//	cprog    — the concurrent program language, parser and unroller
+//	memmodel — SC/TSO/PSO program-order rules
+//	encode   — the partial-order verification-condition encoder
+//	smt/sat  — the DPLL(T) engine (CDCL core + ordering theory)
+//	core     — the paper's interference decision-order strategies
+//
+// Typical use:
+//
+//	prog, _ := zpre.ParseProgram("example", src)
+//	rep, _ := zpre.Verify(prog, zpre.Options{
+//	    Model:    zpre.TSO,
+//	    Strategy: zpre.ZPRE,
+//	    Unroll:   3,
+//	})
+//	fmt.Println(rep.Verdict) // Safe (unsat) or Unsafe (sat)
+package zpre
+
+import (
+	"fmt"
+	"time"
+
+	"zpre/internal/core"
+	"zpre/internal/cprog"
+	"zpre/internal/encode"
+	"zpre/internal/memmodel"
+	"zpre/internal/sat"
+	"zpre/internal/smt"
+	"zpre/internal/witness"
+)
+
+// Re-exported memory models.
+const (
+	SC  = memmodel.SC
+	TSO = memmodel.TSO
+	PSO = memmodel.PSO
+)
+
+// Re-exported strategies (Table 3's three configurations).
+const (
+	Baseline  = core.Baseline // stock VSIDS order — the paper's "Z3"
+	ZPREMinus = core.ZPREMinus
+	ZPRE      = core.ZPRE
+)
+
+// Verdict is the verification outcome at the given unrolling bound.
+type Verdict int
+
+// Verdicts.
+const (
+	// Unknown means the solver budget was exhausted.
+	Unknown Verdict = iota
+	// Safe means the VC is unsatisfiable: no assertion violation is
+	// reachable within the unrolling bound.
+	Safe
+	// Unsafe means the VC is satisfiable: a violating execution exists.
+	Unsafe
+)
+
+// String renders the verdict in SV-COMP vocabulary.
+func (v Verdict) String() string {
+	switch v {
+	case Safe:
+		return "true"
+	case Unsafe:
+		return "false"
+	}
+	return "unknown"
+}
+
+// Options configures a Verify call.
+type Options struct {
+	// Model is the memory model (SC, TSO or PSO). Default SC.
+	Model memmodel.Model
+	// Strategy selects the decision order (Baseline, ZPREMinus, ZPRE).
+	Strategy core.Strategy
+	// Unroll is the loop unrolling bound (default 1).
+	Unroll int
+	// Width is the program integer bit width (default 8).
+	Width int
+	// Timeout bounds the solving wall-clock time (0 = none).
+	Timeout time.Duration
+	// MaxConflicts bounds the search (0 = none).
+	MaxConflicts uint64
+	// Seed drives the random polarity of interference decisions.
+	Seed int64
+	// Polarity overrides the interference decision polarity (default
+	// random, as in the paper).
+	Polarity core.PolarityMode
+	// DisableNumWrites drops the #write ranking from ZPRE (ablation).
+	DisableNumWrites bool
+	// EagerOrderPropagation turns on eager reachability propagation in the
+	// ordering theory (ablation; off in the paper's setting).
+	EagerOrderPropagation bool
+}
+
+// Report is the result of a Verify call.
+type Report struct {
+	Verdict Verdict
+	// Status is the raw SMT status (Sat = Unsafe, Unsat = Safe).
+	Status sat.Status
+	// SolverStats carries decisions/propagations/conflicts (Table 2).
+	SolverStats sat.Stats
+	// EncodeStats summarises the encoded VC (events, rf/ws variables, ...).
+	EncodeStats encode.Stats
+	// SolveTime is the backend solving time (what the paper measures).
+	SolveTime time.Duration
+	// EncodeTime is the frontend encoding time.
+	EncodeTime time.Duration
+	// ProofChecked is true when a Safe verdict's refutation was validated
+	// by the independent proof checker (VerifyWithProof only).
+	ProofChecked bool
+}
+
+// ParseProgram parses the textual program form (see internal/cprog).
+func ParseProgram(name, src string) (*cprog.Program, error) {
+	return cprog.Parse(name, src)
+}
+
+// Verify encodes the program at the configured unrolling bound and memory
+// model and solves the verification condition with the selected strategy.
+func Verify(p *cprog.Program, opts Options) (Report, error) {
+	if opts.Unroll <= 0 {
+		opts.Unroll = 1
+	}
+	unrolled := cprog.Unroll(p, opts.Unroll, cprog.UnwindAssume)
+
+	encStart := time.Now()
+	vc, err := encode.Program(unrolled, encode.Options{Model: opts.Model, Width: opts.Width})
+	if err != nil {
+		return Report{}, err
+	}
+	encodeTime := time.Since(encStart)
+
+	rep, err := SolveVC(vc, opts)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.EncodeTime = encodeTime
+	return rep, nil
+}
+
+// SolveVC runs the backend on an already-encoded verification condition.
+// This is the seam the paper's evaluation measures: the same SMT instance is
+// solved with different decision strategies.
+func SolveVC(vc *encode.VC, opts Options) (Report, error) {
+	infos := core.Classify(vc.Builder.NamedVars())
+	dec := core.NewDecider(opts.Strategy, infos, core.Config{
+		Seed:             opts.Seed,
+		Polarity:         opts.Polarity,
+		DisableNumWrites: opts.DisableNumWrites,
+	})
+	var decider sat.Decider
+	if dec != nil {
+		decider = dec
+	}
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	res, err := vc.Builder.Solve(smt.Options{
+		Decider:               decider,
+		Deadline:              deadline,
+		MaxConflicts:          opts.MaxConflicts,
+		EagerOrderPropagation: opts.EagerOrderPropagation,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	verdict := Unknown
+	switch res.Status {
+	case sat.Sat:
+		verdict = Unsafe
+	case sat.Unsat:
+		verdict = Safe
+	}
+	return Report{
+		Verdict:     verdict,
+		Status:      res.Status,
+		SolverStats: res.Stats,
+		EncodeStats: vc.Stats,
+		SolveTime:   res.Elapsed,
+	}, nil
+}
+
+// FindMinimalBound searches unroll bounds 1..maxBound for the smallest
+// bound at which the program is unsafe (the paper's k*: "the minimal
+// unrolling bound that violates the given property", §5). It returns that
+// bound and the corresponding report. If no bound up to maxBound violates,
+// it returns 0 and the report of the last (safe or unknown) bound.
+func FindMinimalBound(p *cprog.Program, opts Options, maxBound int) (int, Report, error) {
+	var last Report
+	for k := 1; k <= maxBound; k++ {
+		opts.Unroll = k
+		rep, err := Verify(p, opts)
+		if err != nil {
+			return 0, Report{}, err
+		}
+		last = rep
+		if rep.Verdict == Unsafe {
+			return k, rep, nil
+		}
+		if !p.HasLoops() {
+			break // higher bounds encode the identical instance
+		}
+	}
+	return 0, last, nil
+}
+
+// AssertReport is the per-assertion outcome of VerifyEach.
+type AssertReport struct {
+	// Index is the assertion's ordinal in encoding order.
+	Index int
+	// Thread is the thread the assertion appears in (0 = main's post block).
+	Thread int
+	// Verdict for this assertion alone.
+	Verdict Verdict
+	// SolveTime for this assertion's incremental query.
+	SolveTime time.Duration
+}
+
+// VerifyEach checks every assertion of the program separately: the VC is
+// encoded once with selector-guarded violations and each property is solved
+// as an incremental assumption query on the same solver, so learnt clauses
+// and variable activities carry over between properties.
+func VerifyEach(p *cprog.Program, opts Options) ([]AssertReport, error) {
+	if opts.Unroll <= 0 {
+		opts.Unroll = 1
+	}
+	unrolled := cprog.Unroll(p, opts.Unroll, cprog.UnwindAssume)
+	vc, err := encode.Program(unrolled, encode.Options{
+		Model:             opts.Model,
+		Width:             opts.Width,
+		SelectableAsserts: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	infos := core.Classify(vc.Builder.NamedVars())
+	dec := core.NewDecider(opts.Strategy, infos, core.Config{
+		Seed:             opts.Seed,
+		Polarity:         opts.Polarity,
+		DisableNumWrites: opts.DisableNumWrites,
+	})
+	var decider sat.Decider
+	if dec != nil {
+		decider = dec
+	}
+	var out []AssertReport
+	for i, sel := range vc.Selectors {
+		sopts := smt.Options{Decider: decider, MaxConflicts: opts.MaxConflicts}
+		if opts.Timeout > 0 {
+			sopts.Deadline = time.Now().Add(opts.Timeout)
+		}
+		res, err := vc.Builder.SolveAssuming(sopts, sel)
+		if err != nil {
+			return nil, err
+		}
+		verdict := Unknown
+		switch res.Status {
+		case sat.Sat:
+			verdict = Unsafe
+		case sat.Unsat:
+			verdict = Safe
+		}
+		out = append(out, AssertReport{
+			Index:     i,
+			Thread:    vc.AssertThreads[i],
+			Verdict:   verdict,
+			SolveTime: res.Elapsed,
+		})
+	}
+	return out, nil
+}
+
+// VerifyWithProof runs Verify in checked mode: a Safe (unsat) verdict's
+// inference trace is validated by the independent proof checker
+// (internal/proof), and an Unsafe (sat) verdict's model is linearised into
+// a witness schedule whose memory semantics are validated
+// (internal/witness). A rejection in either direction is returned as an
+// error — the solver may not vouch for itself.
+func VerifyWithProof(p *cprog.Program, opts Options) (Report, error) {
+	if opts.Unroll <= 0 {
+		opts.Unroll = 1
+	}
+	unrolled := cprog.Unroll(p, opts.Unroll, cprog.UnwindAssume)
+	vc, err := encode.Program(unrolled, encode.Options{
+		Model:     opts.Model,
+		Width:     opts.Width,
+		WithProof: true,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	rep, err := SolveVC(vc, opts)
+	if err != nil {
+		return Report{}, err
+	}
+	switch rep.Verdict {
+	case Safe:
+		if err := vc.Builder.CheckProof(vc.Proof); err != nil {
+			return Report{}, fmt.Errorf("unsat verdict failed proof checking: %w", err)
+		}
+		rep.ProofChecked = true
+	case Unsafe:
+		steps, err := witness.Extract(vc)
+		if err != nil {
+			return Report{}, fmt.Errorf("sat verdict yielded no witness: %w", err)
+		}
+		if err := witness.Validate(steps); err != nil {
+			return Report{}, fmt.Errorf("sat verdict failed witness validation: %w", err)
+		}
+		rep.ProofChecked = true
+	}
+	return rep, nil
+}
