@@ -7,7 +7,11 @@
 //
 //	evaluate [-models sc,tso,pso] [-bounds 1,2,3] [-timeout 10s]
 //	         [-sub wmm,pthread] [-table all|1|2|3] [-figure all|6..11]
-//	         [-out results/] [-width 8] [-seed 1] [-progress]
+//	         [-out results/] [-width 8] [-seed 1] [-progress] [-prune]
+//
+// With -prune, the static lockset/MHP analysis drops provably-infeasible
+// rf/ws interference candidates during encoding and a per-benchmark
+// pruning-effectiveness report (formula size before/after) is printed.
 package main
 
 import (
@@ -37,6 +41,7 @@ func main() {
 		progress   = flag.Bool("progress", false, "print per-task progress")
 		parallel   = flag.Int("parallel", 1, "worker goroutines (1 = faithful per-task timing)")
 		checked    = flag.Bool("checked", false, "independently validate every verdict (proofs + witnesses)")
+		prune      = flag.Bool("prune", false, "statically prune rf/ws candidates and report the formula-size effect")
 		jsonOut    = flag.String("json", "", "write the full result set as JSON to this file")
 	)
 	flag.Parse()
@@ -47,6 +52,7 @@ func main() {
 		Seed:          *seed,
 		Parallel:      *parallel,
 		CheckVerdicts: *checked,
+		StaticPrune:   *prune,
 	}
 	for _, name := range strings.Split(*modelsFlag, ",") {
 		mm, ok := memmodel.Parse(strings.TrimSpace(name))
@@ -104,6 +110,10 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+
+	if *prune {
+		fmt.Println(harness.FormatPruneReport(res.PruneReport()))
 	}
 
 	wantTable := func(n string) bool { return *tableFlag == "all" || *tableFlag == n }

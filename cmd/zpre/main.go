@@ -1,14 +1,20 @@
 // Command zpre verifies a multi-threaded program file: it unrolls loops,
 // encodes the verification condition under the chosen memory model and
-// solves it with the chosen decision strategy (baseline / zpre- / zpre).
+// solves it with the chosen decision strategy (baseline / zpre- / zpre /
+// zpre+static).
 //
 // Usage:
 //
-//	zpre [-model sc|tso|pso] [-strategy baseline|zpre-|zpre] [-unroll k]
-//	     [-width 8] [-timeout 30s] [-stats] [-dump-smt out.smt2]
-//	     [-dump-eog out.dot] program.cp
+//	zpre [-model sc|tso|pso] [-strategy baseline|zpre-|zpre|zpre+static]
+//	     [-unroll k] [-width 8] [-timeout 30s] [-prune] [-stats]
+//	     [-dump-smt out.smt2] [-dump-eog out.dot] program.cp
+//	zpre analyze [-unroll k] program.cp
 //
-// Exit status: 0 = safe (unsat), 1 = unsafe (sat), 2 = unknown/error.
+// The analyze subcommand runs only the static lockset/MHP race analysis and
+// prints per-variable diagnostics (no SMT solving).
+//
+// Exit status: 0 = safe (unsat), 1 = unsafe (sat), 2 = unknown/error. For
+// analyze: 0 = no potential races, 1 = potential race reported, 2 = error.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"time"
 
 	"zpre"
+	"zpre/internal/analysis"
 	"zpre/internal/core"
 	"zpre/internal/cprog"
 	"zpre/internal/encode"
@@ -29,14 +36,18 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		os.Exit(runAnalyze(os.Args[2:]))
+	}
 	var (
 		modelFlag = flag.String("model", "sc", "memory model: sc, tso, pso")
-		stratFlag = flag.String("strategy", "zpre", "decision strategy: baseline, zpre-, zpre")
+		stratFlag = flag.String("strategy", "zpre", "decision strategy: baseline, zpre-, zpre, zpre+static")
 		unroll    = flag.Int("unroll", 1, "loop unrolling bound")
 		width     = flag.Int("width", 8, "program integer bit width")
 		timeout   = flag.Duration("timeout", 30*time.Second, "solve timeout")
 		seed      = flag.Int64("seed", 1, "random-polarity seed")
 		stats     = flag.Bool("stats", false, "print encoding and solver statistics")
+		prune     = flag.Bool("prune", false, "statically prune provably redundant rf/ws candidates")
 		dumpSMT   = flag.String("dump-smt", "", "write the VC as SMT-LIB v2.6 to this file")
 		dumpEOG   = flag.String("dump-eog", "", "write the event order graph as Graphviz DOT")
 		witness   = flag.Bool("witness", false, "on UNSAFE, print a violating interleaving")
@@ -90,12 +101,13 @@ func main() {
 	}
 
 	verifyOpts := zpre.Options{
-		Model:    model,
-		Strategy: strat,
-		Unroll:   *unroll,
-		Width:    *width,
-		Timeout:  *timeout,
-		Seed:     *seed,
+		Model:       model,
+		Strategy:    strat,
+		Unroll:      *unroll,
+		Width:       *width,
+		Timeout:     *timeout,
+		Seed:        *seed,
+		StaticPrune: *prune,
 	}
 	if *each {
 		reps, err := zpre.VerifyEach(prog, verifyOpts)
@@ -144,6 +156,10 @@ func main() {
 			rep.EncodeStats.Threads, rep.EncodeStats.Events, rep.EncodeStats.Reads,
 			rep.EncodeStats.Writes, rep.EncodeStats.RFVars, rep.EncodeStats.WSVars,
 			rep.EncodeStats.POEdges, rep.EncodeStats.Clauses, rep.EncodeStats.Variables)
+		if *prune {
+			fmt.Printf("pruning: %d rf candidates, %d ws pairs dropped by the static analysis\n",
+				rep.EncodeStats.RFPruned, rep.EncodeStats.WSPruned)
+		}
 		fmt.Printf("solver: %d decisions, %d propagations (%d theory), %d conflicts (%d theory), %d restarts\n",
 			rep.SolverStats.Decisions, rep.SolverStats.Propagations, rep.SolverStats.TheoryProps,
 			rep.SolverStats.Conflicts, rep.SolverStats.TheoryConfl, rep.SolverStats.Restarts)
@@ -177,6 +193,41 @@ func printWitness(prog *cprog.Program, model memmodel.Model, unroll, width int, 
 	}
 	fmt.Println("witness interleaving (thread, access, value):")
 	fmt.Print(witness.Format(steps, "  "))
+}
+
+// runAnalyze implements the analyze subcommand: static race diagnostics
+// with no solving. Returns the process exit code.
+func runAnalyze(args []string) int {
+	fs := flag.NewFlagSet("zpre analyze", flag.ExitOnError)
+	unroll := fs.Int("unroll", 1, "loop unrolling bound")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: zpre analyze [-unroll k] program.cp")
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zpre: %v\n", err)
+		return 2
+	}
+	prog, err := cprog.Parse(fs.Arg(0), string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zpre: %v\n", err)
+		return 2
+	}
+	unrolled := cprog.Unroll(prog, *unroll, cprog.UnwindAssume)
+	res, err := analysis.Analyze(unrolled)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zpre: %v\n", err)
+		return 2
+	}
+	fmt.Printf("%s (unroll=%d):\n%s", prog.Name, *unroll, analysis.FormatReport(res.Races()))
+	if len(res.RacyVars()) > 0 {
+		return 1
+	}
+	return 0
 }
 
 func verdictText(v zpre.Verdict) string {

@@ -1,0 +1,22 @@
+// The same counter with both increments inside a critical section on `m`:
+// every cross-thread pair of accesses to `counter` holds the common mutex,
+// so the static analysis reports it race-free (exit status 0) and the
+// -prune encoder drops the interference candidates the lock rules out.
+shared counter;
+shared m;
+
+thread t1 {
+    lock(m);
+    counter = counter + 1;
+    unlock(m);
+}
+
+thread t2 {
+    lock(m);
+    counter = counter + 1;
+    unlock(m);
+}
+
+main {
+    assert(counter == 2);
+}

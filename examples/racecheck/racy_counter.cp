@@ -1,0 +1,17 @@
+// A classic lost-update race: two threads increment the shared counter with
+// no synchronisation. `racecheck racy_counter.cp` flags `counter` as
+// potentially racy (exit status 1); the lock-protected variant next to this
+// file is reported race-free.
+shared counter;
+
+thread t1 {
+    counter = counter + 1;
+}
+
+thread t2 {
+    counter = counter + 1;
+}
+
+main {
+    assert(counter == 2);
+}

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"zpre/internal/cprog"
+)
+
+func incr(v string) cprog.Stmt { return cprog.Set(v, cprog.Add(cprog.V(v), cprog.C(1))) }
+
+// unprotectedCounter: two threads increment c with no lock — racy.
+func unprotectedCounter() *cprog.Program {
+	return &cprog.Program{
+		Shared: []cprog.SharedDecl{{Name: "c"}},
+		Threads: []*cprog.Thread{
+			{Name: "t1", Body: []cprog.Stmt{incr("c")}},
+			{Name: "t2", Body: []cprog.Stmt{incr("c")}},
+		},
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.Eq(cprog.V("c"), cprog.C(2))}},
+	}
+}
+
+// lockedCounter: same program with both increments under mutex m — race-free.
+func lockedCounter() *cprog.Program {
+	body := []cprog.Stmt{
+		cprog.Lock{Mutex: "m"},
+		incr("c"),
+		cprog.Unlock{Mutex: "m"},
+	}
+	return &cprog.Program{
+		Shared: []cprog.SharedDecl{{Name: "c"}, {Name: "m"}},
+		Threads: []*cprog.Thread{
+			{Name: "t1", Body: body},
+			{Name: "t2", Body: body},
+		},
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.Eq(cprog.V("c"), cprog.C(2))}},
+	}
+}
+
+func mustAnalyze(t *testing.T, p *cprog.Program) *Result {
+	t.Helper()
+	res, err := Analyze(p)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return res
+}
+
+func report(t *testing.T, res *Result, v string) VarReport {
+	t.Helper()
+	for _, rep := range res.Races() {
+		if rep.Var == v {
+			return rep
+		}
+	}
+	t.Fatalf("no report for %q", v)
+	return VarReport{}
+}
+
+func TestUnprotectedCounterRacy(t *testing.T) {
+	res := mustAnalyze(t, unprotectedCounter())
+	rep := report(t, res, "c")
+	if !rep.Racy {
+		t.Fatalf("c should be racy: %+v", rep)
+	}
+	if rep.NumRacyPairs == 0 || len(rep.Pairs) == 0 {
+		t.Fatalf("expected racy pairs, got %+v", rep)
+	}
+	out := FormatReport(res.Races())
+	if !strings.Contains(out, "POTENTIALLY RACY") || !strings.Contains(out, "c") {
+		t.Fatalf("report should flag c:\n%s", out)
+	}
+}
+
+func TestLockedCounterRaceFree(t *testing.T) {
+	res := mustAnalyze(t, lockedCounter())
+	rep := report(t, res, "c")
+	if rep.Racy {
+		t.Fatalf("c should be race-free: %+v", rep)
+	}
+	if len(rep.CommonMutexes) != 1 || rep.CommonMutexes[0] != "m" {
+		t.Fatalf("expected common mutex {m}, got %v", rep.CommonMutexes)
+	}
+	if mrep := report(t, res, "m"); mrep.Racy || !mrep.IsMutex {
+		t.Fatalf("m should be a race-free mutex: %+v", mrep)
+	}
+	if out := FormatReport(res.Races()); strings.Contains(out, "RACY") {
+		t.Fatalf("locked counter must report no races:\n%s", out)
+	}
+	// Both thread increments carry the lockset and a Balanced, Unconditional
+	// acquisition token.
+	for _, ti := range []int{1, 2} {
+		var seen bool
+		for i := range res.Threads[ti] {
+			a := &res.Threads[ti][i]
+			if a.Var != "c" {
+				continue
+			}
+			seen = true
+			if len(a.Locks) != 1 || a.Locks[0] != "m" {
+				t.Fatalf("thread %d access %v: lockset %v", ti, a, a.Locks)
+			}
+			tok := res.Tokens[a.Tokens[0]]
+			if !tok.Balanced || !tok.Unconditional {
+				t.Fatalf("token %+v should be balanced and unconditional", tok)
+			}
+		}
+		if !seen {
+			t.Fatalf("thread %d: no access to c", ti)
+		}
+	}
+}
+
+func TestLocksetBranches(t *testing.T) {
+	// Lock taken in only one branch: after the If the must-lockset is empty,
+	// and the conditional acquisition is neither unconditional nor balanced
+	// at top level.
+	p := &cprog.Program{
+		Shared: []cprog.SharedDecl{{Name: "c"}, {Name: "m"}},
+		Threads: []*cprog.Thread{
+			{Name: "t1", Body: []cprog.Stmt{
+				cprog.If{
+					Cond: cprog.Eq(cprog.V("c"), cprog.C(0)),
+					Then: []cprog.Stmt{cprog.Lock{Mutex: "m"}},
+				},
+				incr("c"), // lockset must be empty here
+			}},
+			{Name: "t2", Body: []cprog.Stmt{
+				cprog.Lock{Mutex: "m"},
+				incr("c"),
+				cprog.Unlock{Mutex: "m"},
+			}},
+		},
+	}
+	res := mustAnalyze(t, p)
+	var t1c *Access
+	for i := range res.Threads[1] {
+		a := &res.Threads[1][i]
+		if a.Var == "c" && a.IsWrite {
+			t1c = a
+		}
+	}
+	if t1c == nil {
+		t.Fatal("t1 write to c not found")
+	}
+	if len(t1c.Locks) != 0 {
+		t.Fatalf("must-lockset after one-armed lock should be empty, got %v", t1c.Locks)
+	}
+	if !report(t, res, "c").Racy {
+		t.Fatal("c should be racy (t1's increment is unprotected)")
+	}
+	// The branch-local acquisition is conditional.
+	for _, tok := range res.Tokens {
+		if tok.Thread == 1 && tok.Unconditional {
+			t.Fatalf("t1's acquisition is under a branch: %+v", tok)
+		}
+	}
+}
+
+func TestLockBothBranchesKept(t *testing.T) {
+	// Lock held on both paths of a branch stays in the must-lockset.
+	mkBody := func() []cprog.Stmt {
+		return []cprog.Stmt{
+			cprog.Lock{Mutex: "m"},
+			cprog.If{
+				Cond: cprog.Eq(cprog.V("c"), cprog.C(0)),
+				Then: []cprog.Stmt{incr("c")},
+				Else: []cprog.Stmt{incr("c")},
+			},
+			cprog.Unlock{Mutex: "m"},
+		}
+	}
+	p := &cprog.Program{
+		Shared: []cprog.SharedDecl{{Name: "c"}, {Name: "m"}},
+		Threads: []*cprog.Thread{
+			{Name: "t1", Body: mkBody()},
+			{Name: "t2", Body: mkBody()},
+		},
+	}
+	res := mustAnalyze(t, p)
+	if rep := report(t, res, "c"); rep.Racy {
+		t.Fatalf("c is protected on every path: %+v", rep)
+	}
+	for ti := 1; ti <= 2; ti++ {
+		for i := range res.Threads[ti] {
+			a := &res.Threads[ti][i]
+			if a.Var == "c" && len(a.Locks) != 1 {
+				t.Fatalf("access %v should hold m, lockset %v", a, a.Locks)
+			}
+		}
+	}
+}
+
+func TestReadOnlyAndConfined(t *testing.T) {
+	p := &cprog.Program{
+		Shared: []cprog.SharedDecl{{Name: "ro", Init: 7}, {Name: "own"}},
+		Threads: []*cprog.Thread{
+			{Name: "t1", Body: []cprog.Stmt{
+				cprog.Set("own", cprog.V("ro")), // reads ro, writes own
+				incr("own"),
+			}},
+			{Name: "t2", Body: []cprog.Stmt{
+				cprog.Local{Name: "x", Init: cprog.V("ro")},
+			}},
+		},
+	}
+	res := mustAnalyze(t, p)
+	if rep := report(t, res, "ro"); rep.Racy || !rep.ReadOnly {
+		t.Fatalf("ro should be read-only race-free: %+v", rep)
+	}
+	if rep := report(t, res, "own"); rep.Racy || !rep.Confined {
+		t.Fatalf("own should be confined race-free: %+v", rep)
+	}
+}
+
+func TestAtomicSections(t *testing.T) {
+	// Increments wrapped in atomic sections on both sides are serialized.
+	mk := func() []cprog.Stmt {
+		return []cprog.Stmt{cprog.Atomic{Body: []cprog.Stmt{incr("c")}}}
+	}
+	p := &cprog.Program{
+		Shared: []cprog.SharedDecl{{Name: "c"}},
+		Threads: []*cprog.Thread{
+			{Name: "t1", Body: mk()},
+			{Name: "t2", Body: mk()},
+		},
+	}
+	res := mustAnalyze(t, p)
+	if rep := report(t, res, "c"); rep.Racy {
+		t.Fatalf("atomic increments should not race: %+v", rep)
+	}
+	// One atomic side against one plain side still races.
+	p.Threads[1].Body = []cprog.Stmt{incr("c")}
+	res = mustAnalyze(t, p)
+	if rep := report(t, res, "c"); !rep.Racy {
+		t.Fatalf("atomic vs plain increment should race: %+v", rep)
+	}
+}
+
+func TestMHPAndScores(t *testing.T) {
+	res := mustAnalyze(t, unprotectedCounter())
+	// Main's init write never runs in parallel with anything.
+	initW := res.Access(0, 0)
+	t1r := res.Access(1, 0)
+	t2w := res.Access(2, 1)
+	if initW == nil || t1r == nil || t2w == nil {
+		t.Fatalf("missing accesses: %v %v %v", initW, t1r, t2w)
+	}
+	if res.MayHappenInParallel(initW, t1r) {
+		t.Fatal("main init vs thread access must not be MHP")
+	}
+	if !res.MayHappenInParallel(t1r, t2w) {
+		t.Fatal("cross-thread unprotected accesses must be MHP")
+	}
+	if got := res.PairScore(1, 0, 2, 1); got != 2 {
+		t.Fatalf("racy pair score = %d, want 2", got)
+	}
+	if got := res.PairScore(0, 0, 1, 0); got != 1 {
+		t.Fatalf("racy-var score = %d, want 1", got)
+	}
+
+	locked := mustAnalyze(t, lockedCounter())
+	// In the locked variant every c-pair is protected: score 0.
+	for ti := 1; ti <= 2; ti++ {
+		for i := range locked.Threads[ti] {
+			a := &locked.Threads[ti][i]
+			if a.Var != "c" {
+				continue
+			}
+			for j := range locked.Threads[3-ti] {
+				b := &locked.Threads[3-ti][j]
+				if b.Var != "c" {
+					continue
+				}
+				if got := locked.PairScore(a.Thread, a.Index, b.Thread, b.Index); got != 0 {
+					t.Fatalf("locked pair %v/%v score = %d, want 0", a, b, got)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyzeRejectsLoops(t *testing.T) {
+	p := &cprog.Program{
+		Shared: []cprog.SharedDecl{{Name: "c"}},
+		Threads: []*cprog.Thread{{Name: "t1", Body: []cprog.Stmt{
+			cprog.While{Cond: cprog.Eq(cprog.V("c"), cprog.C(0)), Body: []cprog.Stmt{incr("c")}},
+		}}},
+	}
+	if _, err := Analyze(p); err == nil {
+		t.Fatal("Analyze should reject programs with loops")
+	}
+}

@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MayHappenInParallel reports whether two accesses can execute concurrently:
+// they are in different non-main threads (main's initialising writes precede
+// thread creation, its post block follows the join, so thread 0 is ordered
+// against everything) and their must-locksets share no mutex. This is a
+// may-analysis: true means "not proven ordered or mutually exclusive".
+func (r *Result) MayHappenInParallel(a, b *Access) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Thread == b.Thread {
+		return false // program order (possibly relaxed, but never parallel)
+	}
+	if a.Thread == 0 || b.Thread == 0 {
+		return false // create/join structure orders main against threads
+	}
+	return len(r.CommonLocks(a, b)) == 0
+}
+
+// CommonLocks returns the mutexes held by both accesses (must-locksets), the
+// classic lockset race criterion.
+func (r *Result) CommonLocks(a, b *Access) []string {
+	var out []string
+	for _, m := range a.Locks {
+		for _, n := range b.Locks {
+			if m == n {
+				out = append(out, m)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// serialized reports that a same-variable access pair, though possibly
+// parallel, cannot overlap on this variable: both sit inside atomic sections
+// and the encoder's atomic windows exclude each from the other's span for
+// every variable the window touches.
+func (r *Result) serialized(a, b *Access) bool {
+	return a.Atomic != 0 && b.Atomic != 0
+}
+
+// RacyPair reports whether two accesses to the same variable form a data
+// race candidate: at least one write, not both synchronisation accesses,
+// possibly parallel, and not serialized by atomic sections.
+func (r *Result) RacyPair(a, b *Access) bool {
+	if a == nil || b == nil || a.Var != b.Var {
+		return false
+	}
+	if !a.IsWrite && !b.IsWrite {
+		return false
+	}
+	if a.Sync && b.Sync {
+		return false // lock/unlock accesses to the mutex word never race
+	}
+	if !r.MayHappenInParallel(a, b) {
+		return false
+	}
+	return !r.serialized(a, b)
+}
+
+// RacePair is one reported conflicting access pair.
+type RacePair struct {
+	A, B *Access
+}
+
+// VarReport is the race classification of one shared variable.
+type VarReport struct {
+	Var string
+	// Racy: at least one unprotected cross-thread conflicting pair exists.
+	Racy bool
+	// IsMutex: the variable is used as a lock/unlock operand.
+	IsMutex bool
+	// ReadOnly: no thread writes it (only main's initialising write).
+	ReadOnly bool
+	// Confined: at most one non-main thread accesses it.
+	Confined bool
+	// CommonMutexes: mutexes held across every cross-thread conflicting
+	// pair (the witness of lock-based race freedom; empty if none).
+	CommonMutexes []string
+	// Pairs samples the racy pairs (capped for readability).
+	Pairs []RacePair
+	// NumRacyPairs is the uncapped racy-pair count.
+	NumRacyPairs int
+	// Accesses is the total access count (all threads).
+	Accesses int
+	// Threads lists the names of threads touching the variable.
+	Threads []string
+}
+
+const maxReportedPairs = 4
+
+// Races classifies every shared variable. The result is cached; reports come
+// back sorted racy-first, then by name.
+func (r *Result) Races() []VarReport {
+	if r.reports != nil {
+		return r.reports
+	}
+	byVar := map[string][]*Access{}
+	for ti := range r.Threads {
+		for i := range r.Threads[ti] {
+			a := &r.Threads[ti][i]
+			byVar[a.Var] = append(byVar[a.Var], a)
+		}
+	}
+	names := make([]string, 0, len(byVar))
+	for v := range byVar {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+
+	r.racyVars = map[string]bool{}
+	var reports []VarReport
+	for _, v := range names {
+		accs := byVar[v]
+		rep := VarReport{
+			Var:      v,
+			IsMutex:  r.Mutexes[v],
+			ReadOnly: true,
+			Accesses: len(accs),
+		}
+		threadSet := map[int]bool{}
+		for _, a := range accs {
+			threadSet[a.Thread] = true
+			if a.IsWrite && a.Thread != 0 {
+				rep.ReadOnly = false
+			}
+		}
+		nonMain := 0
+		for ti := range threadSet {
+			rep.Threads = append(rep.Threads, r.threadNames[ti])
+			if ti != 0 {
+				nonMain++
+			}
+		}
+		sort.Strings(rep.Threads)
+		rep.Confined = nonMain <= 1
+
+		// Pairwise check over cross-thread conflicting accesses.
+		first := true
+		for i := 0; i < len(accs); i++ {
+			for j := i + 1; j < len(accs); j++ {
+				a, b := accs[i], accs[j]
+				if a.Thread == b.Thread || a.Thread == 0 || b.Thread == 0 {
+					continue
+				}
+				if !a.IsWrite && !b.IsWrite {
+					continue
+				}
+				if a.Sync && b.Sync {
+					continue
+				}
+				if r.RacyPair(a, b) {
+					rep.Racy = true
+					rep.NumRacyPairs++
+					if len(rep.Pairs) < maxReportedPairs {
+						rep.Pairs = append(rep.Pairs, RacePair{A: a, B: b})
+					}
+					continue
+				}
+				// Protected pair: intersect the common-lock witness.
+				common := r.CommonLocks(a, b)
+				if first {
+					rep.CommonMutexes = common
+					first = false
+				} else {
+					rep.CommonMutexes = intersectStrings(rep.CommonMutexes, common)
+				}
+			}
+		}
+		if rep.Racy {
+			rep.CommonMutexes = nil
+			r.racyVars[v] = true
+		}
+		reports = append(reports, rep)
+	}
+	sort.SliceStable(reports, func(i, j int) bool {
+		if reports[i].Racy != reports[j].Racy {
+			return reports[i].Racy
+		}
+		return reports[i].Var < reports[j].Var
+	})
+	r.reports = reports
+	return reports
+}
+
+// RacyVars returns the names of variables classified potentially racy.
+func (r *Result) RacyVars() []string {
+	var out []string
+	for _, rep := range r.Races() {
+		if rep.Racy {
+			out = append(out, rep.Var)
+		}
+	}
+	return out
+}
+
+// PairScore is the static conflict score of an event pair, used to seed the
+// interference decision order (higher = decide earlier): 2 when the exact
+// pair is an unprotected cross-thread conflict, 1 when the variable it
+// touches is racy somewhere else, 0 otherwise.
+func (r *Result) PairScore(t1, i1, t2, i2 int) int {
+	a, b := r.Access(t1, i1), r.Access(t2, i2)
+	if a == nil || b == nil {
+		return 0
+	}
+	if r.RacyPair(a, b) {
+		return 2
+	}
+	r.Races() // ensure racyVars is built
+	if r.racyVars[a.Var] {
+		return 1
+	}
+	return 0
+}
+
+// FormatReport renders the per-variable race diagnostics.
+func FormatReport(reports []VarReport) string {
+	var b strings.Builder
+	racy := 0
+	for _, rep := range reports {
+		if rep.Racy {
+			racy++
+		}
+	}
+	fmt.Fprintf(&b, "static race analysis: %d shared variables, %d potentially racy\n",
+		len(reports), racy)
+	for _, rep := range reports {
+		switch {
+		case rep.Racy:
+			fmt.Fprintf(&b, "  %-12s POTENTIALLY RACY (%d unprotected pairs, threads: %s)\n",
+				rep.Var, rep.NumRacyPairs, strings.Join(rep.Threads, ", "))
+			for _, p := range rep.Pairs {
+				fmt.Fprintf(&b, "    %s  [%s]  <%s>\n", p.A, lockText(p.A), p.A.Context)
+				fmt.Fprintf(&b, "    %s  [%s]  <%s>\n", p.B, lockText(p.B), p.B.Context)
+			}
+			if rep.NumRacyPairs > len(rep.Pairs) {
+				fmt.Fprintf(&b, "    ... and %d more pairs\n", rep.NumRacyPairs-len(rep.Pairs))
+			}
+		case rep.IsMutex:
+			fmt.Fprintf(&b, "  %-12s race-free: mutex (synchronisation variable)\n", rep.Var)
+		case rep.ReadOnly:
+			fmt.Fprintf(&b, "  %-12s race-free: read-only after initialisation\n", rep.Var)
+		case rep.Confined:
+			fmt.Fprintf(&b, "  %-12s race-free: confined to %s\n",
+				rep.Var, strings.Join(rep.Threads, ", "))
+		case len(rep.CommonMutexes) > 0:
+			fmt.Fprintf(&b, "  %-12s race-free: every cross-thread pair holds {%s}\n",
+				rep.Var, strings.Join(rep.CommonMutexes, ", "))
+		default:
+			fmt.Fprintf(&b, "  %-12s race-free: cross-thread pairs serialized by atomic sections\n",
+				rep.Var)
+		}
+	}
+	return b.String()
+}
+
+func lockText(a *Access) string {
+	if len(a.Locks) == 0 {
+		return "no locks"
+	}
+	return "locks: " + strings.Join(a.Locks, ", ")
+}
+
+func intersectStrings(a, b []string) []string {
+	var out []string
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -81,8 +81,10 @@ type VarInfo struct {
 	Name  string
 	Class Class
 
-	// RF fields (valid for RF classes): identifiers of the read and write
-	// events as encoded in the variable name.
+	// Event-pair fields (valid for RF and WS classes): the two event
+	// coordinates encoded in the variable name. For RF variables the first
+	// pair is the read and the second the write; for WS variables they are
+	// the two writes in encoding order.
 	ReadThread, ReadIdx, WriteThread, WriteIdx int
 
 	// NumWrites is #write(v): how many candidate writes the read event of an
@@ -120,11 +122,15 @@ func ParseName(name string) VarInfo {
 		if len(parts) != 5 {
 			return vi
 		}
-		for i := 1; i < 5; i++ {
-			if _, err := strconv.Atoi(parts[i]); err != nil {
+		nums := make([]int, 4)
+		for i := 0; i < 4; i++ {
+			n, err := strconv.Atoi(parts[i+1])
+			if err != nil {
 				return vi
 			}
+			nums[i] = n
 		}
+		vi.ReadThread, vi.ReadIdx, vi.WriteThread, vi.WriteIdx = nums[0], nums[1], nums[2], nums[3]
 		vi.Class = ClassWS
 	case strings.HasPrefix(name, "ord_"):
 		vi.Class = ClassOrd
@@ -194,6 +200,12 @@ const (
 	// ZPREBranch combines ZPRE's interference order with the branch
 	// heuristic as a tie-breaking tail.
 	ZPREBranch
+	// ZPREStatic extends ZPRE with static conflict scores from the
+	// lockset/MHP pre-analysis (internal/analysis): within each class,
+	// variables over potentially racy event pairs are decided first, with
+	// the paper's #write ranking as the remaining tie-break. Requires
+	// Config.Score; without it the order degenerates to ZPRE.
+	ZPREStatic
 )
 
 // String renders the strategy.
@@ -209,6 +221,8 @@ func (s Strategy) String() string {
 		return "branch"
 	case ZPREBranch:
 		return "zpre+branch"
+	case ZPREStatic:
+		return "zpre+static"
 	}
 	return "unknown"
 }
@@ -226,6 +240,8 @@ func ParseStrategy(name string) (Strategy, bool) {
 		return BranchFirst, true
 	case "zpre+branch", "zprebranch":
 		return ZPREBranch, true
+	case "zpre+static", "zprestatic", "static":
+		return ZPREStatic, true
 	}
 	return Baseline, false
 }
@@ -261,6 +277,11 @@ type Config struct {
 	Polarity PolarityMode
 	// DisableNumWrites drops the #write ranking from ZPRE (ablation).
 	DisableNumWrites bool
+	// Score assigns a static conflict score to an interference variable
+	// (higher = decided earlier within its class). Consumed by ZPREStatic;
+	// typically analysis.Result.PairScore over the event coordinates. Nil
+	// means all scores are zero.
+	Score func(VarInfo) int
 }
 
 // NewDecider builds the decision strategy for the given classified variables.
@@ -279,7 +300,7 @@ func NewDecider(strategy Strategy, infos []VarInfo, cfg Config) *Decider {
 			guards = append(guards, vi)
 		}
 	}
-	if strategy == ZPRE || strategy == ZPREBranch {
+	if strategy == ZPRE || strategy == ZPREBranch || strategy == ZPREStatic {
 		ranked := make([]VarInfo, len(itf))
 		copy(ranked, itf)
 		if cfg.DisableNumWrites {
@@ -287,16 +308,46 @@ func NewDecider(strategy Strategy, infos []VarInfo, cfg Config) *Decider {
 				ranked[i].NumWrites = 0
 			}
 		}
-		sort.SliceStable(ranked, func(i, j int) bool {
-			if PriorTo(ranked[i], ranked[j]) {
-				return true
+		if strategy == ZPREStatic {
+			score := func(VarInfo) int { return 0 }
+			if cfg.Score != nil {
+				score = cfg.Score
 			}
-			if PriorTo(ranked[j], ranked[i]) {
-				return false
+			scores := make([]int, len(ranked))
+			for i := range ranked {
+				scores[i] = score(ranked[i])
 			}
-			return false // equal priority: keep stable (variable) order
-		})
-		itf = ranked
+			idx := make([]int, len(ranked))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.SliceStable(idx, func(a, b int) bool {
+				vi, vj := ranked[idx[a]], ranked[idx[b]]
+				if ri, rj := classRank(vi.Class), classRank(vj.Class); ri != rj {
+					return ri < rj
+				}
+				if si, sj := scores[idx[a]], scores[idx[b]]; si != sj {
+					return si > sj // racy pairs first
+				}
+				return vi.NumWrites > vj.NumWrites
+			})
+			out := make([]VarInfo, len(ranked))
+			for i, j := range idx {
+				out[i] = ranked[j]
+			}
+			itf = out
+		} else {
+			sort.SliceStable(ranked, func(i, j int) bool {
+				if PriorTo(ranked[i], ranked[j]) {
+					return true
+				}
+				if PriorTo(ranked[j], ranked[i]) {
+					return false
+				}
+				return false // equal priority: keep stable (variable) order
+			})
+			itf = ranked
+		}
 	}
 	var picked []VarInfo
 	switch strategy {
@@ -316,6 +367,20 @@ func NewDecider(strategy Strategy, infos []VarInfo, cfg Config) *Decider {
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		polarity: cfg.Polarity,
 	}
+}
+
+// classRank orders the interference classes for ZPREStatic: external RF,
+// then internal RF, then WS — the same class precedence PriorTo encodes.
+func classRank(c Class) int {
+	switch c {
+	case ClassRFExternal:
+		return 0
+	case ClassRFInternal:
+		return 1
+	case ClassWS:
+		return 2
+	}
+	return 3
 }
 
 // Next implements sat.Decider: the first unassigned interference variable in

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"zpre/internal/sat"
+)
+
+func TestParseNameWSFields(t *testing.T) {
+	vi := ParseName("ws_1_4_2_7")
+	if vi.Class != ClassWS {
+		t.Fatalf("class = %v", vi.Class)
+	}
+	if vi.ReadThread != 1 || vi.ReadIdx != 4 || vi.WriteThread != 2 || vi.WriteIdx != 7 {
+		t.Fatalf("ws event-pair fields wrong: %+v", vi)
+	}
+}
+
+func TestParseStrategyStatic(t *testing.T) {
+	for _, name := range []string{"zpre+static", "zprestatic", "static"} {
+		s, ok := ParseStrategy(name)
+		if !ok || s != ZPREStatic {
+			t.Fatalf("ParseStrategy(%q) = %v, %v", name, s, ok)
+		}
+	}
+	if ZPREStatic.String() != "zpre+static" {
+		t.Fatalf("String() = %q", ZPREStatic.String())
+	}
+}
+
+func TestZPREStaticScoreOrdering(t *testing.T) {
+	// Two external rf variables with equal #write; the scored one must come
+	// first. A ws variable over the scored pair must precede its peers too.
+	named := map[string]sat.Var{
+		"rf_1_0_2_0": 0, // boring pair
+		"rf_1_1_2_1": 1, // racy pair (scored 2)
+		"ws_1_0_2_0": 2,
+		"ws_1_1_2_1": 3, // racy pair (scored 2)
+	}
+	infos := Classify(named)
+	score := func(vi VarInfo) int {
+		if vi.ReadThread == 1 && vi.ReadIdx == 1 && vi.WriteThread == 2 && vi.WriteIdx == 1 {
+			return 2
+		}
+		return 0
+	}
+	d := NewDecider(ZPREStatic, infos, Config{Score: score})
+	order := d.Order()
+	if len(order) != 4 {
+		t.Fatalf("order size = %d", len(order))
+	}
+	// rf before ws (class rank); within each class, scored first.
+	want := []sat.Var{1, 0, 3, 2}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestZPREStaticNilScoreDegeneratesToZPRE(t *testing.T) {
+	infos := buildInfos(rand.New(rand.NewSource(7)), 40)
+	a := NewDecider(ZPRE, infos, Config{}).Order()
+	b := NewDecider(ZPREStatic, infos, Config{}).Order()
+	if len(a) != len(b) {
+		t.Fatalf("order sizes differ: %d vs %d", len(a), len(b))
+	}
+	// Same class precedence and #write ranking; spot-check the multiset.
+	seen := map[sat.Var]bool{}
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		if !seen[v] {
+			t.Fatalf("zpre+static ordered unknown var %v", v)
+		}
+	}
+}
+
+func TestZPREStaticClassPrecedence(t *testing.T) {
+	// Even a maximal score cannot lift a ws variable above an rf variable.
+	named := map[string]sat.Var{
+		"rf_1_0_2_0": 0,
+		"ws_1_1_2_1": 1,
+	}
+	infos := Classify(named)
+	score := func(vi VarInfo) int {
+		if vi.Class == ClassWS {
+			return 100
+		}
+		return 0
+	}
+	order := NewDecider(ZPREStatic, infos, Config{Score: score}).Order()
+	if order[0] != 0 || order[1] != 1 {
+		t.Fatalf("class precedence violated: %v", order)
+	}
+}

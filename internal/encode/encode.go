@@ -15,6 +15,7 @@ package encode
 import (
 	"fmt"
 
+	"zpre/internal/analysis"
 	"zpre/internal/cprog"
 	"zpre/internal/memmodel"
 	"zpre/internal/proof"
@@ -39,6 +40,15 @@ type Options struct {
 	// WithProof records the solver's inference trace (VC.Proof); after an
 	// unsat (safe) verdict, Builder.CheckProof validates it independently.
 	WithProof bool
+	// StaticPrune drops interference candidates the static pre-analysis
+	// (internal/analysis) proves redundant: rf edges from shadowed writes
+	// (overwritten before the read can observe them — by fixed program
+	// order, by a same-atomic-section successor, or by a same-critical-
+	// section successor when the read holds the same mutex) and ws pairs
+	// whose order is already fixed by program-order reachability. The
+	// pruned VC is equisatisfiable with the full one; Stats.RFPruned and
+	// Stats.WSPruned count the dropped candidates.
+	StaticPrune bool
 }
 
 // Event is one global memory access in SSA form.
@@ -61,6 +71,8 @@ type Stats struct {
 	Writes    int
 	RFVars    int
 	WSVars    int
+	RFPruned  int
+	WSPruned  int
 	POEdges   int
 	Asserts   int
 	Assumes   int
@@ -84,6 +96,13 @@ type VC struct {
 	// Proof is the recorded inference trace (WithProof mode), checkable
 	// with Builder.CheckProof after an unsat result.
 	Proof *proof.Trace
+	// Static is the static interference analysis of the encoded program
+	// (locksets, may-happen-in-parallel, race classification). It is
+	// computed on every encode — decision strategies use its conflict
+	// scores even without pruning — but set to nil if its per-event
+	// coordinates fail to align with the encoder's, in which case
+	// lockset-based pruning is also disabled.
+	Static *analysis.Result
 }
 
 // window is a span of events that must not be interleaved by other threads'
@@ -95,11 +114,19 @@ type window struct {
 	vars   map[string]bool
 }
 
+// contains reports whether ev (an event of the window's thread) lies within
+// the window's span in the thread's access sequence.
+func (w *window) contains(ev *Event) bool {
+	return ev.Thread == w.thread && ev.seqPos >= w.first.seqPos && ev.seqPos <= w.last.seqPos
+}
+
 type encoder struct {
 	bd   *smt.Builder
 	opts Options
 
 	events []*Event
+	static *analysis.Result // nil when misaligned with the event space
+	prune  bool
 
 	// Per thread: the access sequence (with fences) and aligned events.
 	seqs      [][]memmodel.Access
@@ -178,12 +205,22 @@ func Program(p *cprog.Program, opts Options) (*VC, error) {
 	}
 	postEvents := e.events[firstPostEvent:]
 
+	// Static interference pre-analysis. Always computed — the decision
+	// strategies consume its conflict scores even without pruning — but
+	// trusted only when its per-event coordinates align with the encoder's
+	// (a defensive guard against the two walks drifting apart; alignment is
+	// also asserted corpus-wide by the test suite).
+	if static, serr := analysis.Analyze(p); serr == nil && alignedWithEvents(static, e.events) {
+		e.static = static
+	}
+	e.prune = opts.StaticPrune
+
 	// Program order per thread under the memory model.
 	reach := e.emitProgramOrder(initEvents, threadEvents, postEvents)
 
 	// Interference relations.
 	e.emitReadFrom(reach)
-	e.emitWriteSerialization()
+	e.emitWriteSerialization(reach)
 	e.emitAtomicWindows()
 
 	// Assumptions and the error condition.
@@ -216,7 +253,24 @@ func Program(p *cprog.Program, opts Options) (*VC, error) {
 		Selectors:     selectors,
 		AssertThreads: e.assertThreads,
 		Proof:         trace,
+		Static:        e.static,
 	}, nil
+}
+
+// alignedWithEvents verifies that the static analysis enumerated exactly the
+// encoder's events: same per-thread counts and, at every (thread, index)
+// coordinate, the same variable and access kind.
+func alignedWithEvents(static *analysis.Result, events []*Event) bool {
+	if static.NumAccesses() != len(events) {
+		return false
+	}
+	for _, ev := range events {
+		a := static.Access(ev.Thread, ev.Index)
+		if a == nil || a.Var != ev.Var || a.IsWrite != ev.IsWrite {
+			return false
+		}
+	}
+	return true
 }
 
 func (e *encoder) addEvent(ts *threadState, name string, isWrite bool, val smt.BV) *Event {

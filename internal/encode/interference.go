@@ -4,21 +4,28 @@ import (
 	"fmt"
 	"sort"
 
+	"zpre/internal/analysis"
 	"zpre/internal/memmodel"
 	"zpre/internal/smt"
 )
 
-// reachability answers "is a guaranteed before b?" over the fixed
-// program-order edges (including create/join), by BFS with memoisation per
-// source.
+// reachability answers "is a guaranteed at-or-before b?" over the fixed
+// program-order edges (including create/join), by BFS with a packed-bitset
+// memo per source (64 events per word instead of one bool per event).
+//
+// Reflexivity convention: reaches(a, a) is true — an event trivially
+// happens "no later than" itself. Callers that need strict precedence must
+// exclude equal ids themselves (the fixed-edge graph is acyclic, so for
+// a ≠ b the relation is strict).
 type reachability struct {
-	n    int
-	adj  [][]int32
-	memo map[int32][]bool
+	n     int
+	words int
+	adj   [][]int32
+	memo  map[int32][]uint64
 }
 
 func newReachability(n int) *reachability {
-	return &reachability{n: n, adj: make([][]int32, n), memo: map[int32][]bool{}}
+	return &reachability{n: n, words: (n + 63) / 64, adj: make([][]int32, n), memo: map[int32][]uint64{}}
 }
 
 func (r *reachability) addEdge(a, b smt.EventID) {
@@ -28,21 +35,22 @@ func (r *reachability) addEdge(a, b smt.EventID) {
 func (r *reachability) reaches(a, b smt.EventID) bool {
 	set, ok := r.memo[int32(a)]
 	if !ok {
-		set = make([]bool, r.n)
+		set = make([]uint64, r.words)
+		set[uint32(a)>>6] |= 1 << (uint32(a) & 63) // reflexive
 		queue := []int32{int32(a)}
 		for len(queue) > 0 {
 			u := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
 			for _, v := range r.adj[u] {
-				if !set[v] {
-					set[v] = true
+				if set[uint32(v)>>6]&(1<<(uint32(v)&63)) == 0 {
+					set[uint32(v)>>6] |= 1 << (uint32(v) & 63)
 					queue = append(queue, v)
 				}
 			}
 		}
 		r.memo[int32(a)] = set
 	}
-	return set[b]
+	return set[uint32(b)>>6]&(1<<(uint32(b)&63)) != 0
 }
 
 // emitProgramOrder computes Φ_po: per-thread preserved program order under
@@ -120,6 +128,10 @@ func (e *encoder) emitReadFrom(reach *reachability) {
 				if reach.reaches(r.ID, w.ID) {
 					continue
 				}
+				if e.prune && e.rfPrunable(r, w, writes, reach) {
+					e.stats.RFPruned++
+					continue
+				}
 				cands = append(cands, w)
 			}
 			rfVars := make([]smt.Bool, len(cands))
@@ -165,10 +177,120 @@ func (e *encoder) emitReadFrom(reach *reachability) {
 	}
 }
 
+// rfPrunable reports that the rf candidate (r, w) can be dropped without
+// changing satisfiability: some intervening "shadow" write w2 to the same
+// variable is guaranteed to overwrite w before r can observe it, in every
+// execution where r reads at all. Three criteria are checked, in increasing
+// reliance on the static analysis; each is justified by a contradiction
+// against the encoding's own fr axioms, fixed program-order edges, atomic
+// windows and lock fences — see the "Static interference analysis" section
+// of DESIGN.md for the full soundness arguments.
+func (e *encoder) rfPrunable(r, w *Event, writes []*Event, reach *reachability) bool {
+	truth := e.bd.True()
+
+	// (1) Fixed shadow: an unconditional write w2 with w →po w2 →po r over
+	// fixed edges. Any model with rf(r,w) must order r before w2 (fr axiom)
+	// while the fixed edges order w2 before r — a cycle.
+	for _, w2 := range writes {
+		if w2 == w || w2.Guard != truth {
+			continue
+		}
+		if reach.reaches(w.ID, w2.ID) && reach.reaches(w2.ID, r.ID) {
+			return true
+		}
+	}
+
+	// (2) Atomic-window shadow: w and an unconditional later write w2 sit in
+	// the same atomic window of w's thread, with the window's span covering
+	// both. A cross-thread read is excluded from the window, so it is either
+	// before the window (before w — contradicts rf's Before(w,r)) or after it
+	// (after w2 — contradicts the fr-forced Before(r,w2)).
+	if r.Thread != w.Thread {
+		for wi := range e.windows {
+			wd := &e.windows[wi]
+			if wd.thread != w.Thread || !wd.contains(w) {
+				continue
+			}
+			if !reach.reaches(wd.first.ID, w.ID) { // reflexive: covers w == first
+				continue
+			}
+			for _, w2 := range writes {
+				if w2 == w || w2.Thread != w.Thread || w2.Guard != truth {
+					continue
+				}
+				if !wd.contains(w2) || !reach.reaches(w.ID, w2.ID) {
+					continue
+				}
+				if reach.reaches(w2.ID, wd.last.ID) { // reflexive: covers w2 == last
+					return true
+				}
+			}
+		}
+	}
+
+	// (3) Lockset shadow: w is followed (same critical section, same
+	// acquisition token, no unlock in between on any path) by an
+	// unconditional write w2, and r holds the same mutex through a balanced,
+	// unconditional acquisition. Mutual exclusion — itself entailed by the
+	// lock encoding's test-and-set windows, fences and fr axioms — orders
+	// the two critical sections, and either order contradicts rf(r,w).
+	if e.static != nil && r.Thread != w.Thread {
+		ar := e.static.Access(r.Thread, r.Index)
+		aw := e.static.Access(w.Thread, w.Index)
+		if ar != nil && aw != nil {
+			for _, tid := range aw.Tokens {
+				tok := e.static.Tokens[tid]
+				if !tok.Balanced || !tok.Unconditional || !holdsSolid(e.static, ar, tok.Mutex) {
+					continue
+				}
+				for _, w2 := range writes {
+					if w2 == w || w2.Thread != w.Thread || w2.Guard != truth {
+						continue
+					}
+					a2 := e.static.Access(w2.Thread, w2.Index)
+					if a2 == nil || !hasToken(a2, tid) {
+						continue
+					}
+					if reach.reaches(w.ID, w2.ID) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// holdsSolid reports that the access holds the mutex through a balanced,
+// unconditional acquisition (it is inside a critical section on mutex in
+// every execution where its thread runs).
+func holdsSolid(res *analysis.Result, a *analysis.Access, mutex string) bool {
+	for _, tid := range a.Tokens {
+		tok := res.Tokens[tid]
+		if tok.Mutex == mutex && tok.Balanced && tok.Unconditional {
+			return true
+		}
+	}
+	return false
+}
+
+func hasToken(a *analysis.Access, tid int) bool {
+	for _, t := range a.Tokens {
+		if t == tid {
+			return true
+		}
+	}
+	return false
+}
+
 // emitWriteSerialization computes Φ_ws: a total order over same-variable
 // writes, one named Boolean per pair, each polarity forcing one direction
-// (the paper's ws_{i,k} encoding).
-func (e *encoder) emitWriteSerialization() {
+// (the paper's ws_{i,k} encoding). With pruning enabled, pairs whose order
+// is already fixed by program-order reachability are elided: the EOG's
+// fixed edges decide the corresponding clk atom at level 0, so the named
+// Boolean and its biconditional clauses are pure overhead (and decision
+// noise for the interference strategies).
+func (e *encoder) emitWriteSerialization(reach *reachability) {
 	writesByVar := map[string][]*Event{}
 	for _, ev := range e.events {
 		if ev.IsWrite {
@@ -185,6 +307,10 @@ func (e *encoder) emitWriteSerialization() {
 		for i := 0; i < len(writes); i++ {
 			for j := i + 1; j < len(writes); j++ {
 				wi, wj := writes[i], writes[j]
+				if e.prune && (reach.reaches(wi.ID, wj.ID) || reach.reaches(wj.ID, wi.ID)) {
+					e.stats.WSPruned++
+					continue
+				}
 				ws := e.bd.NamedBool(fmt.Sprintf("ws_%d_%d_%d_%d", wi.Thread, wi.Index, wj.Thread, wj.Index))
 				e.stats.WSVars++
 				atom := e.bd.Before(wi.ID, wj.ID)

@@ -1,0 +1,91 @@
+package encode
+
+import (
+	"testing"
+
+	"zpre/internal/smt"
+)
+
+func TestReachabilityBasic(t *testing.T) {
+	// 0 → 1 → 2, 3 isolated.
+	r := newReachability(4)
+	r.addEdge(0, 1)
+	r.addEdge(1, 2)
+
+	cases := []struct {
+		a, b smt.EventID
+		want bool
+	}{
+		{0, 1, true},
+		{0, 2, true}, // transitive
+		{1, 2, true},
+		{2, 0, false},
+		{2, 1, false},
+		{0, 3, false},
+		{3, 0, false},
+		// Reflexivity convention: every event reaches itself.
+		{0, 0, true},
+		{3, 3, true},
+	}
+	for _, c := range cases {
+		if got := r.reaches(c.a, c.b); got != c.want {
+			t.Errorf("reaches(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestReachabilityMemoised(t *testing.T) {
+	r := newReachability(3)
+	r.addEdge(0, 1)
+	if !r.reaches(0, 1) {
+		t.Fatal("0 should reach 1")
+	}
+	// Edges added after the memo is built are not seen for that source —
+	// document the build-then-query contract.
+	r.addEdge(1, 2)
+	if r.reaches(0, 2) {
+		t.Fatal("memoised source must not see later edges")
+	}
+	if !r.reaches(1, 2) {
+		t.Fatal("fresh source sees the new edge")
+	}
+}
+
+func TestReachabilityBitsetLarge(t *testing.T) {
+	// A chain spanning several 64-bit words exercises the packed bitset.
+	const n = 200
+	r := newReachability(n)
+	for i := 0; i < n-1; i++ {
+		r.addEdge(smt.EventID(i), smt.EventID(i+1))
+	}
+	for i := 0; i < n; i += 37 {
+		for j := 0; j < n; j += 41 {
+			want := j >= i // chain order, reflexive at i == j
+			if got := r.reaches(smt.EventID(i), smt.EventID(j)); got != want {
+				t.Fatalf("reaches(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	if got := r.reaches(smt.EventID(n-1), smt.EventID(0)); got {
+		t.Fatal("end of chain must not reach the start")
+	}
+}
+
+func TestReachabilityDiamondAndCycleFree(t *testing.T) {
+	// Diamond 0→{1,2}→3 plus a side branch.
+	r := newReachability(5)
+	r.addEdge(0, 1)
+	r.addEdge(0, 2)
+	r.addEdge(1, 3)
+	r.addEdge(2, 3)
+	r.addEdge(2, 4)
+	if !r.reaches(0, 3) || !r.reaches(0, 4) {
+		t.Fatal("diamond joins must be reachable")
+	}
+	if r.reaches(1, 2) || r.reaches(2, 1) {
+		t.Fatal("siblings must not reach each other")
+	}
+	if r.reaches(3, 4) || r.reaches(4, 3) {
+		t.Fatal("independent sinks must not reach each other")
+	}
+}

@@ -44,7 +44,11 @@ type RunResult struct {
 	Solve    time.Duration
 	Encode   time.Duration
 	Stats    sat.Stats
-	Err      error
+	// VC holds the encoder's formula-size counters (rf/ws variables, clauses,
+	// and — under Config.StaticPrune — how many candidates the static
+	// analysis dropped).
+	VC  encode.Stats
+	Err error
 	// Checked: the verdict passed independent validation (CheckVerdicts
 	// mode). CheckSkipped: the proof exceeded the checking cap.
 	Checked      bool
@@ -84,6 +88,10 @@ type Config struct {
 	CheckVerdicts bool
 	// CheckLearntCap bounds proof checking (default 4000 learnt clauses).
 	CheckLearntCap int
+	// StaticPrune drops rf/ws interference candidates the static lockset/MHP
+	// analysis proves infeasible before they reach the solver. The encoding
+	// stays equisatisfiable; RunResult.VC records how many were dropped.
+	StaticPrune bool
 	// Parallel is the number of worker goroutines solving tasks. Default 1:
 	// sequential runs give the cleanest per-task wall-clock timings (the
 	// quantity the paper reports). Set to runtime.NumCPU() (or use
@@ -229,18 +237,26 @@ func RunOne(task Task, strat core.Strategy, cfg Config) RunResult {
 	encStart := time.Now()
 	unrolled := cprog.Unroll(task.Bench.Program, task.Bound, cprog.UnwindAssume)
 	vc, err := encode.Program(unrolled, encode.Options{
-		Model:     task.Model,
-		Width:     cfg.Width,
-		WithProof: cfg.CheckVerdicts,
+		Model:       task.Model,
+		Width:       cfg.Width,
+		WithProof:   cfg.CheckVerdicts,
+		StaticPrune: cfg.StaticPrune,
 	})
 	out.Encode = time.Since(encStart)
 	if err != nil {
 		out.Err = err
 		return out
 	}
+	out.VC = vc.Stats
 
 	infos := core.Classify(vc.Builder.NamedVars())
-	dec := core.NewDecider(strat, infos, core.Config{Seed: cfg.Seed})
+	deciderCfg := core.Config{Seed: cfg.Seed}
+	if st := vc.Static; st != nil {
+		deciderCfg.Score = func(vi core.VarInfo) int {
+			return st.PairScore(vi.ReadThread, vi.ReadIdx, vi.WriteThread, vi.WriteIdx)
+		}
+	}
+	dec := core.NewDecider(strat, infos, deciderCfg)
 	var decider sat.Decider
 	if dec != nil {
 		decider = dec

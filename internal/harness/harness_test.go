@@ -252,6 +252,94 @@ func TestTimeoutAsymmetries(t *testing.T) {
 	}
 }
 
+// TestStaticPruneHarness: a pruned sweep keeps every verdict, drops a
+// nonzero number of candidates somewhere in the corpus slice, and the
+// before/after accounting in the report matches the unpruned encoding.
+func TestStaticPruneHarness(t *testing.T) {
+	cfg := Config{
+		Models:        []memmodel.Model{memmodel.SC, memmodel.PSO},
+		Strategies:    []core.Strategy{core.ZPRE, core.ZPREStatic},
+		Bounds:        []int{1},
+		Timeout:       10 * time.Second,
+		Width:         8,
+		Subcategories: []string{"lit"},
+	}
+	base := Run(cfg)
+	cfg.StaticPrune = true
+	pruned := Run(cfg)
+	if len(base.Runs) != len(pruned.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(base.Runs), len(pruned.Runs))
+	}
+	totalDropped := 0
+	for i := range base.Runs {
+		b, p := base.Runs[i], pruned.Runs[i]
+		if b.Err != nil || p.Err != nil {
+			t.Fatalf("%s: errs %v / %v", b.Task.ID(), b.Err, p.Err)
+		}
+		if b.Status != p.Status {
+			t.Fatalf("%s/%v: verdict changed by pruning: %v vs %v",
+				b.Task.ID(), b.Strategy, b.Status, p.Status)
+		}
+		if b.VC.RFPruned != 0 || b.VC.WSPruned != 0 {
+			t.Fatalf("%s: pruned counters nonzero without StaticPrune: %+v", b.Task.ID(), b.VC)
+		}
+		// The unpruned candidate set is exactly kept + dropped.
+		if b.VC.RFVars != p.VC.RFVars+p.VC.RFPruned {
+			t.Fatalf("%s: rf accounting: base %d != %d kept + %d dropped",
+				b.Task.ID(), b.VC.RFVars, p.VC.RFVars, p.VC.RFPruned)
+		}
+		if b.VC.WSVars != p.VC.WSVars+p.VC.WSPruned {
+			t.Fatalf("%s: ws accounting: base %d != %d kept + %d dropped",
+				b.Task.ID(), b.VC.WSVars, p.VC.WSVars, p.VC.WSPruned)
+		}
+		totalDropped += p.VC.RFPruned + p.VC.WSPruned
+	}
+	if totalDropped == 0 {
+		t.Fatal("static pruning dropped nothing across the lit corpus")
+	}
+
+	rows := pruned.PruneReport()
+	if len(rows) == 0 {
+		t.Fatal("empty prune report")
+	}
+	rf, ws := 0, 0
+	for _, r := range rows {
+		if r.RFAfter > r.RFBefore || r.WSAfter > r.WSBefore {
+			t.Fatalf("row %s/%s: after exceeds before: %+v", r.Subcategory, r.Benchmark, r)
+		}
+		rf += r.RFPruned()
+		ws += r.WSPruned()
+	}
+	// Each task contributes once to the report even though two strategies
+	// ran it, so the report total is half the per-run total.
+	if 2*(rf+ws) != totalDropped {
+		t.Fatalf("report drops %d (×2 strategies = %d) != run total %d", rf+ws, 2*(rf+ws), totalDropped)
+	}
+	out := FormatPruneReport(rows)
+	if !strings.Contains(out, "total") || !strings.Contains(out, "rf before") {
+		t.Fatalf("prune report format:\n%s", out)
+	}
+
+	var buf strings.Builder
+	if err := pruned.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc JSONResults
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("invalid json: %v", err)
+	}
+	if !doc.StaticPrune {
+		t.Fatal("static_prune flag missing from JSON header")
+	}
+	jsonDropped := 0
+	for _, r := range doc.Runs {
+		jsonDropped += r.RFPruned + r.WSPruned
+	}
+	if jsonDropped != totalDropped {
+		t.Fatalf("json pruned total %d != run total %d", jsonDropped, totalDropped)
+	}
+}
+
 func TestWriteJSON(t *testing.T) {
 	cfg := smallConfig()
 	cfg.CheckVerdicts = true

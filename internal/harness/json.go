@@ -24,6 +24,10 @@ type JSONRun struct {
 	Conflicts    uint64  `json:"conflicts"`
 	TheoryConfl  uint64  `json:"theory_conflicts"`
 	Restarts     uint64  `json:"restarts"`
+	RFVars       int     `json:"rf_vars"`
+	WSVars       int     `json:"ws_vars"`
+	RFPruned     int     `json:"rf_pruned,omitempty"`
+	WSPruned     int     `json:"ws_pruned,omitempty"`
 	Checked      bool    `json:"checked,omitempty"`
 	CheckSkipped bool    `json:"check_skipped,omitempty"`
 	Error        string  `json:"error,omitempty"`
@@ -31,12 +35,13 @@ type JSONRun struct {
 
 // JSONResults is the top-level export document.
 type JSONResults struct {
-	Models     []string  `json:"models"`
-	Strategies []string  `json:"strategies"`
-	Bounds     []int     `json:"bounds"`
-	TimeoutSec float64   `json:"timeout_sec"`
-	Width      int       `json:"width"`
-	Runs       []JSONRun `json:"runs"`
+	Models      []string  `json:"models"`
+	Strategies  []string  `json:"strategies"`
+	Bounds      []int     `json:"bounds"`
+	TimeoutSec  float64   `json:"timeout_sec"`
+	Width       int       `json:"width"`
+	StaticPrune bool      `json:"static_prune,omitempty"`
+	Runs        []JSONRun `json:"runs"`
 }
 
 // WriteJSON serialises the full result set for external analysis
@@ -44,9 +49,10 @@ type JSONResults struct {
 // tracking, etc.).
 func (r *Results) WriteJSON(w io.Writer) error {
 	doc := JSONResults{
-		TimeoutSec: r.Config.Timeout.Seconds(),
-		Width:      r.Config.Width,
-		Bounds:     r.Config.Bounds,
+		TimeoutSec:  r.Config.Timeout.Seconds(),
+		Width:       r.Config.Width,
+		StaticPrune: r.Config.StaticPrune,
+		Bounds:      r.Config.Bounds,
 	}
 	for _, m := range r.Config.Models {
 		doc.Models = append(doc.Models, m.String())
@@ -71,6 +77,10 @@ func (r *Results) WriteJSON(w io.Writer) error {
 			Conflicts:    run.Stats.Conflicts,
 			TheoryConfl:  run.Stats.TheoryConfl,
 			Restarts:     run.Stats.Restarts,
+			RFVars:       run.VC.RFVars,
+			WSVars:       run.VC.WSVars,
+			RFPruned:     run.VC.RFPruned,
+			WSPruned:     run.VC.WSPruned,
 			Checked:      run.Checked,
 			CheckSkipped: run.CheckSkipped,
 		}

@@ -435,6 +435,105 @@ func (r *Results) TimeoutAsymmetries(mm memmodel.Model) []Asymmetry {
 	return out
 }
 
+// PruneRow summarises static-pruning effectiveness for one benchmark:
+// rf/ws interference-candidate counts before and after the lockset/MHP
+// prune, accumulated over the benchmark's tasks (models × bounds). "Before"
+// is what the encoder would have emitted without Config.StaticPrune
+// (kept + dropped); "after" is what actually reached the solver.
+type PruneRow struct {
+	Subcategory string
+	Benchmark   string
+	Tasks       int
+	RFBefore    int
+	RFAfter     int
+	WSBefore    int
+	WSAfter     int
+}
+
+// RFPruned returns the rf candidates dropped across the row's tasks.
+func (r PruneRow) RFPruned() int { return r.RFBefore - r.RFAfter }
+
+// WSPruned returns the ws pairs dropped across the row's tasks.
+func (r PruneRow) WSPruned() int { return r.WSBefore - r.WSAfter }
+
+func pct(dropped, before int) float64 {
+	if before == 0 {
+		return 0
+	}
+	return 100 * float64(dropped) / float64(before)
+}
+
+// PruneReport aggregates the formula-size effect of static pruning per
+// benchmark. The encoding is strategy-independent, so each task contributes
+// its counters once even when several strategies ran it. Rows are sorted by
+// fraction of candidates dropped, heaviest reduction first, so the
+// benchmarks where the lockset analysis pays off lead the report.
+func (r *Results) PruneReport() []PruneRow {
+	rows := map[string]*PruneRow{}
+	seenTask := map[string]bool{}
+	for _, run := range r.Runs {
+		id := run.Task.ID()
+		if seenTask[id] || run.VC.Events == 0 {
+			continue
+		}
+		seenTask[id] = true
+		key := run.Task.Bench.Subcategory + "/" + run.Task.Bench.Name
+		row := rows[key]
+		if row == nil {
+			row = &PruneRow{Subcategory: run.Task.Bench.Subcategory, Benchmark: run.Task.Bench.Name}
+			rows[key] = row
+		}
+		row.Tasks++
+		row.RFBefore += run.VC.RFVars + run.VC.RFPruned
+		row.RFAfter += run.VC.RFVars
+		row.WSBefore += run.VC.WSVars + run.VC.WSPruned
+		row.WSAfter += run.VC.WSVars
+	}
+	out := make([]PruneRow, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		pa := pct(a.RFPruned()+a.WSPruned(), a.RFBefore+a.WSBefore)
+		pb := pct(b.RFPruned()+b.WSPruned(), b.RFBefore+b.WSBefore)
+		if pa != pb {
+			return pa > pb
+		}
+		if a.Subcategory != b.Subcategory {
+			return a.Subcategory < b.Subcategory
+		}
+		return a.Benchmark < b.Benchmark
+	})
+	return out
+}
+
+// FormatPruneReport renders the pruning-effectiveness table with a totals
+// line.
+func FormatPruneReport(rows []PruneRow) string {
+	var b strings.Builder
+	b.WriteString("Static pruning effectiveness (rf/ws interference candidates before -> after):\n")
+	fmt.Fprintf(&b, "%-14s %-24s %5s %9s %9s %7s %9s %9s %7s\n",
+		"subcategory", "benchmark", "tasks", "rf before", "rf after", "rf%", "ws before", "ws after", "ws%")
+	var tot PruneRow
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-24s %5d %9d %9d %6.1f%% %9d %9d %6.1f%%\n",
+			r.Subcategory, r.Benchmark, r.Tasks,
+			r.RFBefore, r.RFAfter, pct(r.RFPruned(), r.RFBefore),
+			r.WSBefore, r.WSAfter, pct(r.WSPruned(), r.WSBefore))
+		tot.Tasks += r.Tasks
+		tot.RFBefore += r.RFBefore
+		tot.RFAfter += r.RFAfter
+		tot.WSBefore += r.WSBefore
+		tot.WSAfter += r.WSAfter
+	}
+	fmt.Fprintf(&b, "%-14s %-24s %5d %9d %9d %6.1f%% %9d %9d %6.1f%%\n",
+		"total", "", tot.Tasks,
+		tot.RFBefore, tot.RFAfter, pct(tot.RFPruned(), tot.RFBefore),
+		tot.WSBefore, tot.WSAfter, pct(tot.WSPruned(), tot.WSBefore))
+	return b.String()
+}
+
 // FormatAsymmetries renders the timeout-asymmetry list.
 func FormatAsymmetries(rows []Asymmetry, mm memmodel.Model) string {
 	var b strings.Builder

@@ -1,0 +1,259 @@
+package zpre
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"zpre/internal/analysis"
+	"zpre/internal/cprog"
+	"zpre/internal/interp"
+	"zpre/internal/memmodel"
+	"zpre/internal/svcomp"
+)
+
+// TestStaticPruneDifferentialCorpus verifies every bundled benchmark under
+// all three memory models twice — pruning off (plain ZPRE) and pruning on
+// with the static-seeded decision order — and demands identical verdicts.
+// Where the corpus records a ground truth, the pruned verdict must also
+// match it. This is the end-to-end soundness check for the lockset/MHP
+// prune: dropping candidates must never flip sat/unsat.
+func TestStaticPruneDifferentialCorpus(t *testing.T) {
+	benches := svcomp.All()
+	if testing.Short() {
+		benches = nil
+		for _, sub := range []string{"lit", "pthread"} {
+			benches = append(benches, svcomp.BySubcategory(sub)...)
+		}
+	}
+	const budget = 200_000 // conflicts; deterministic, generous for MinBound
+	compared, totalDropped, lockBenchesPruned := 0, 0, 0
+	for _, b := range benches {
+		usesLocks := benchUsesLocks(b)
+		prunedSomething := false
+		for _, mm := range memmodel.All() {
+			base, err := Verify(b.Program, Options{
+				Model: mm, Strategy: ZPRE, Unroll: b.MinBound, Seed: 5,
+				MaxConflicts: budget,
+			})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", b.Name, mm, err)
+			}
+			pruned, err := Verify(b.Program, Options{
+				Model: mm, Strategy: ZPREStatic, Unroll: b.MinBound, Seed: 5,
+				MaxConflicts: budget, StaticPrune: true,
+			})
+			if err != nil {
+				t.Fatalf("%s/%v (pruned): %v", b.Name, mm, err)
+			}
+			drops := pruned.EncodeStats.RFPruned + pruned.EncodeStats.WSPruned
+			totalDropped += drops
+			if drops > 0 {
+				prunedSomething = true
+			}
+			if base.Verdict == Unknown || pruned.Verdict == Unknown {
+				continue // budget exhausted on one side; nothing to compare
+			}
+			if base.Verdict != pruned.Verdict {
+				t.Errorf("%s/%s/%v: pruning flipped the verdict: %v -> %v",
+					b.Subcategory, b.Name, mm, base.Verdict, pruned.Verdict)
+			}
+			if exp, ok := b.Expected[mm]; ok && exp != svcomp.ExpectUnknown {
+				want := Safe
+				if exp == svcomp.ExpectUnsafe {
+					want = Unsafe
+				}
+				if pruned.Verdict != want {
+					t.Errorf("%s/%s/%v: pruned verdict %v contradicts ground truth %v",
+						b.Subcategory, b.Name, mm, pruned.Verdict, want)
+				}
+			}
+			compared++
+		}
+		if usesLocks && prunedSomething {
+			lockBenchesPruned++
+		}
+	}
+	if compared == 0 {
+		t.Fatal("no verdict comparisons ran")
+	}
+	if totalDropped == 0 {
+		t.Fatal("pruning dropped no candidates anywhere in the corpus")
+	}
+	if lockBenchesPruned == 0 {
+		t.Fatal("no lock-using benchmark had candidates pruned")
+	}
+	t.Logf("compared %d verdicts; %d candidates dropped; %d lock benchmarks pruned",
+		compared, totalDropped, lockBenchesPruned)
+}
+
+// benchUsesLocks reports whether the benchmark acquires any mutex (detected
+// by the static analysis itself on the unrolled program).
+func benchUsesLocks(b svcomp.Benchmark) bool {
+	res, err := analysis.Analyze(cprog.Unroll(b.Program, b.MinBound, cprog.UnwindAssume))
+	if err != nil {
+		return false
+	}
+	return len(res.Mutexes) > 0
+}
+
+// TestStaticPruneLockedExamples pins down the acceptance example: the
+// lock-protected counter stays Safe under every memory model with pruning
+// on, and the prune actually fires (both rf and ws candidates dropped). The
+// racy variant stays Unsafe with pruning on.
+func TestStaticPruneLockedExamples(t *testing.T) {
+	locked := lockedCounterProgram()
+	racy := racyCounterProgram()
+	for _, mm := range memmodel.All() {
+		rep, err := Verify(locked, Options{Model: mm, Strategy: ZPREStatic, StaticPrune: true, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Verdict != Safe {
+			t.Fatalf("locked counter under %v: %v, want Safe", mm, rep.Verdict)
+		}
+		if rep.EncodeStats.RFPruned == 0 || rep.EncodeStats.WSPruned == 0 {
+			t.Fatalf("locked counter under %v: rf pruned %d, ws pruned %d — expected both > 0",
+				mm, rep.EncodeStats.RFPruned, rep.EncodeStats.WSPruned)
+		}
+		rep, err = Verify(racy, Options{Model: mm, Strategy: ZPREStatic, StaticPrune: true, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Verdict != Unsafe {
+			t.Fatalf("racy counter under %v: %v, want Unsafe", mm, rep.Verdict)
+		}
+	}
+}
+
+func lockedCounterProgram() *cprog.Program {
+	inc := func() []cprog.Stmt {
+		return []cprog.Stmt{
+			cprog.Lock{Mutex: "m"},
+			cprog.Set("counter", cprog.Add(cprog.V("counter"), cprog.C(1))),
+			cprog.Unlock{Mutex: "m"},
+		}
+	}
+	return &cprog.Program{
+		Name:   "locked_counter",
+		Shared: []cprog.SharedDecl{{Name: "counter"}, {Name: "m"}},
+		Threads: []*cprog.Thread{
+			{Name: "t1", Body: inc()},
+			{Name: "t2", Body: inc()},
+		},
+		Post: []cprog.Stmt{
+			cprog.Assert{Cond: cprog.BinOp{Op: cprog.OpEq, L: cprog.V("counter"), R: cprog.C(2)}},
+		},
+	}
+}
+
+func racyCounterProgram() *cprog.Program {
+	inc := []cprog.Stmt{cprog.Set("counter", cprog.Add(cprog.V("counter"), cprog.C(1)))}
+	return &cprog.Program{
+		Name:   "racy_counter",
+		Shared: []cprog.SharedDecl{{Name: "counter"}},
+		Threads: []*cprog.Thread{
+			{Name: "t1", Body: inc},
+			{Name: "t2", Body: inc},
+		},
+		Post: []cprog.Stmt{
+			cprog.Assert{Cond: cprog.BinOp{Op: cprog.OpEq, L: cprog.V("counter"), R: cprog.C(2)}},
+		},
+	}
+}
+
+// randLockProgram generates a small random program whose threads guard some
+// accesses with critical sections on one of two mutexes — the shapes the
+// lockset prune targets. Checked under SC only (the interpreter's WMM lock
+// semantics are intentionally stronger; see internal/interp).
+func randLockProgram(rng *rand.Rand, id int) *cprog.Program {
+	shared := []cprog.SharedDecl{
+		{Name: "g0", Init: int64(rng.Intn(2))},
+		{Name: "g1", Init: int64(rng.Intn(2))},
+		{Name: "m0"}, {Name: "m1"},
+	}
+	vars := []string{"g0", "g1"}
+	randVar := func() string { return vars[rng.Intn(len(vars))] }
+	randExpr := func() cprog.Expr {
+		switch rng.Intn(4) {
+		case 0:
+			return cprog.C(int64(rng.Intn(4)))
+		case 1:
+			return cprog.V(randVar())
+		default:
+			return cprog.BinOp{Op: cprog.OpAdd, L: cprog.V(randVar()), R: cprog.C(int64(rng.Intn(3)))}
+		}
+	}
+	randStmt := func() cprog.Stmt {
+		if rng.Intn(6) == 0 {
+			return cprog.Assert{Cond: cprog.BinOp{Op: cprog.OpNe, L: cprog.V(randVar()), R: cprog.C(int64(5 + rng.Intn(3)))}}
+		}
+		return cprog.Set(randVar(), randExpr())
+	}
+	p := &cprog.Program{Name: fmt.Sprintf("randlock%d", id), Shared: shared}
+	for ti := 0; ti < 2; ti++ {
+		th := &cprog.Thread{Name: fmt.Sprintf("t%d", ti+1)}
+		for s := 0; s < 2+rng.Intn(2); s++ {
+			if rng.Intn(2) == 0 {
+				mu := fmt.Sprintf("m%d", rng.Intn(2))
+				th.Body = append(th.Body, cprog.Lock{Mutex: mu})
+				for k := 0; k < 1+rng.Intn(2); k++ {
+					th.Body = append(th.Body, randStmt())
+				}
+				th.Body = append(th.Body, cprog.Unlock{Mutex: mu})
+			} else {
+				th.Body = append(th.Body, randStmt())
+			}
+		}
+		p.Threads = append(p.Threads, th)
+	}
+	p.Post = []cprog.Stmt{
+		cprog.Assert{Cond: cprog.BinOp{Op: cprog.OpNe,
+			L: cprog.Add(cprog.V("g0"), cprog.V("g1")),
+			R: cprog.C(int64(rng.Intn(6)))}},
+	}
+	return p
+}
+
+// TestStaticPruneDifferentialRandomLocks fuzzes lock-heavy programs and
+// cross-checks the pruned solver against the explicit-state interpreter
+// under SC.
+func TestStaticPruneDifferentialRandomLocks(t *testing.T) {
+	const width = 3
+	n := 60
+	if testing.Short() {
+		n = 15
+	}
+	rng := rand.New(rand.NewSource(20220807))
+	checked, dropped := 0, 0
+	for i := 0; i < n; i++ {
+		p := randLockProgram(rng, i)
+		want, err := interp.Run(p, 1, interp.Options{Model: memmodel.SC, Width: width, MaxStates: 1 << 21})
+		if errors.Is(err, interp.ErrStateExplosion) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: interp: %v", p.Name, err)
+		}
+		rep, err := Verify(p, Options{
+			Model: SC, Strategy: ZPREStatic, Width: width, Seed: int64(i), StaticPrune: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: verify: %v", p.Name, err)
+		}
+		if (rep.Verdict == Unsafe) != (want == interp.Unsafe) {
+			t.Errorf("%s: pruned SMT says unsafe=%v, explicit-state says unsafe=%v\nprogram:\n%s",
+				p.Name, rep.Verdict == Unsafe, want == interp.Unsafe, cprog.Format(p))
+		}
+		dropped += rep.EncodeStats.RFPruned + rep.EncodeStats.WSPruned
+		checked++
+	}
+	if checked < n/2 {
+		t.Fatalf("too few random lock programs enumerable: %d", checked)
+	}
+	if dropped == 0 {
+		t.Fatal("no candidates pruned across random lock programs")
+	}
+	t.Logf("checked %d random lock programs; %d candidates dropped", checked, dropped)
+}

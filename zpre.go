@@ -44,11 +44,15 @@ const (
 	PSO = memmodel.PSO
 )
 
-// Re-exported strategies (Table 3's three configurations).
+// Re-exported strategies (Table 3's three configurations, plus the
+// static-analysis-seeded extension).
 const (
 	Baseline  = core.Baseline // stock VSIDS order — the paper's "Z3"
 	ZPREMinus = core.ZPREMinus
 	ZPRE      = core.ZPRE
+	// ZPREStatic ranks interference variables by the static conflict score
+	// of their event pair (racy pairs first) before the #write tie-break.
+	ZPREStatic = core.ZPREStatic
 )
 
 // Verdict is the verification outcome at the given unrolling bound.
@@ -100,6 +104,11 @@ type Options struct {
 	// EagerOrderPropagation turns on eager reachability propagation in the
 	// ordering theory (ablation; off in the paper's setting).
 	EagerOrderPropagation bool
+	// StaticPrune drops interference candidates the static lockset/MHP
+	// pre-analysis proves redundant before solving (see
+	// encode.Options.StaticPrune). The pruned VC is equisatisfiable;
+	// Report.EncodeStats.RFPruned/WSPruned count the dropped candidates.
+	StaticPrune bool
 }
 
 // Report is the result of a Verify call.
@@ -134,7 +143,11 @@ func Verify(p *cprog.Program, opts Options) (Report, error) {
 	unrolled := cprog.Unroll(p, opts.Unroll, cprog.UnwindAssume)
 
 	encStart := time.Now()
-	vc, err := encode.Program(unrolled, encode.Options{Model: opts.Model, Width: opts.Width})
+	vc, err := encode.Program(unrolled, encode.Options{
+		Model:       opts.Model,
+		Width:       opts.Width,
+		StaticPrune: opts.StaticPrune,
+	})
 	if err != nil {
 		return Report{}, err
 	}
@@ -153,11 +166,7 @@ func Verify(p *cprog.Program, opts Options) (Report, error) {
 // solved with different decision strategies.
 func SolveVC(vc *encode.VC, opts Options) (Report, error) {
 	infos := core.Classify(vc.Builder.NamedVars())
-	dec := core.NewDecider(opts.Strategy, infos, core.Config{
-		Seed:             opts.Seed,
-		Polarity:         opts.Polarity,
-		DisableNumWrites: opts.DisableNumWrites,
-	})
+	dec := core.NewDecider(opts.Strategy, infos, deciderConfig(vc, opts))
 	var decider sat.Decider
 	if dec != nil {
 		decider = dec
@@ -189,6 +198,23 @@ func SolveVC(vc *encode.VC, opts Options) (Report, error) {
 		EncodeStats: vc.Stats,
 		SolveTime:   res.Elapsed,
 	}, nil
+}
+
+// deciderConfig builds the strategy configuration for a solve, attaching
+// the static conflict scorer when the VC carries an aligned pre-analysis
+// (consumed by the ZPREStatic strategy; ignored by the others).
+func deciderConfig(vc *encode.VC, opts Options) core.Config {
+	cfg := core.Config{
+		Seed:             opts.Seed,
+		Polarity:         opts.Polarity,
+		DisableNumWrites: opts.DisableNumWrites,
+	}
+	if st := vc.Static; st != nil {
+		cfg.Score = func(vi core.VarInfo) int {
+			return st.PairScore(vi.ReadThread, vi.ReadIdx, vi.WriteThread, vi.WriteIdx)
+		}
+	}
+	return cfg
 }
 
 // FindMinimalBound searches unroll bounds 1..maxBound for the smallest
@@ -240,16 +266,13 @@ func VerifyEach(p *cprog.Program, opts Options) ([]AssertReport, error) {
 		Model:             opts.Model,
 		Width:             opts.Width,
 		SelectableAsserts: true,
+		StaticPrune:       opts.StaticPrune,
 	})
 	if err != nil {
 		return nil, err
 	}
 	infos := core.Classify(vc.Builder.NamedVars())
-	dec := core.NewDecider(opts.Strategy, infos, core.Config{
-		Seed:             opts.Seed,
-		Polarity:         opts.Polarity,
-		DisableNumWrites: opts.DisableNumWrites,
-	})
+	dec := core.NewDecider(opts.Strategy, infos, deciderConfig(vc, opts))
 	var decider sat.Decider
 	if dec != nil {
 		decider = dec
@@ -293,9 +316,10 @@ func VerifyWithProof(p *cprog.Program, opts Options) (Report, error) {
 	}
 	unrolled := cprog.Unroll(p, opts.Unroll, cprog.UnwindAssume)
 	vc, err := encode.Program(unrolled, encode.Options{
-		Model:     opts.Model,
-		Width:     opts.Width,
-		WithProof: true,
+		Model:       opts.Model,
+		Width:       opts.Width,
+		WithProof:   true,
+		StaticPrune: opts.StaticPrune,
 	})
 	if err != nil {
 		return Report{}, err
