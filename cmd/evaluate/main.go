@@ -7,16 +7,24 @@
 //
 //	evaluate [-models sc,tso,pso] [-bounds 1,2,3] [-timeout 10s]
 //	         [-sub wmm,pthread] [-table all|1|2|3] [-figure all|6..11]
-//	         [-out results/] [-width 8] [-seed 1] [-progress] [-prune]
+//	         [-out results/] [-width 8] [-seed 1] [-progress] [-live]
+//	         [-prune] [-trace dir/] [-trace-sample n]
+//	         [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -prune, the static lockset/MHP analysis drops provably-infeasible
 // rf/ws interference candidates during encoding and a per-benchmark
 // pruning-effectiveness report (formula size before/after) is printed.
+//
+// With -trace, every run writes a structured JSONL search trace into the
+// given directory (one file per task/strategy; analyse with tracereport).
+// -live renders a single self-updating status line on stderr driven by the
+// shared metrics registry: runs done, solves in flight, conflict rate.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -25,7 +33,46 @@ import (
 
 	"zpre/internal/harness"
 	"zpre/internal/memmodel"
+	"zpre/internal/profiling"
+	"zpre/internal/telemetry"
 )
+
+// stopProfiles flushes any active pprof profiles. Exit paths go through
+// exit() so the profile files are complete.
+var stopProfiles = func() {}
+
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
+
+// liveProgress redraws a single status line on w until done is closed:
+// run completion, solves in flight, and the solver conflict/decision
+// counters aggregated across all workers by the metrics registry.
+func liveProgress(w io.Writer, reg *telemetry.Registry, done <-chan struct{}) {
+	start := time.Now()
+	var lastConfl uint64
+	lastT := start
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			fmt.Fprint(w, "\r\x1b[K")
+			return
+		case <-tick.C:
+			now := time.Now()
+			confl := reg.Counter("solver_conflicts").Value()
+			rate := float64(confl-lastConfl) / now.Sub(lastT).Seconds()
+			lastConfl, lastT = confl, now
+			fmt.Fprintf(w, "\r\x1b[K[%7s] %d/%d runs, %d solving, %d conflicts (%.0f/s), %d decisions",
+				time.Since(start).Round(time.Second),
+				reg.Counter("runs_done").Value(), reg.Gauge("runs_total").Value(),
+				reg.Gauge("solves_running").Value(), confl, rate,
+				reg.Counter("solver_decisions").Value())
+		}
+	}
+}
 
 func main() {
 	var (
@@ -43,9 +90,23 @@ func main() {
 		checked    = flag.Bool("checked", false, "independently validate every verdict (proofs + witnesses)")
 		prune      = flag.Bool("prune", false, "statically prune rf/ws candidates and report the formula-size effect")
 		jsonOut    = flag.String("json", "", "write the full result set as JSON to this file")
+		traceDir   = flag.String("trace", "", "write per-run JSONL search traces into this directory")
+		traceN     = flag.Int("trace-sample", 1, "record only every Nth high-volume trace event")
+		live       = flag.Bool("live", false, "render a self-updating metrics line on stderr")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	if *cpuProf != "" || *memProf != "" {
+		stop, err := profiling.Start(*cpuProf, *memProf)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		stopProfiles = stop
+	}
+
+	metrics := telemetry.NewRegistry()
 	cfg := harness.Config{
 		Timeout:       *timeout,
 		Width:         *width,
@@ -53,6 +114,9 @@ func main() {
 		Parallel:      *parallel,
 		CheckVerdicts: *checked,
 		StaticPrune:   *prune,
+		TraceDir:      *traceDir,
+		TraceEvery:    *traceN,
+		Metrics:       metrics,
 	}
 	for _, name := range strings.Split(*modelsFlag, ",") {
 		mm, ok := memmodel.Parse(strings.TrimSpace(name))
@@ -76,8 +140,25 @@ func main() {
 	}
 
 	start := time.Now()
+	var liveDone chan struct{}
+	var liveStopped chan struct{}
+	if *live {
+		liveDone = make(chan struct{})
+		liveStopped = make(chan struct{})
+		go func() {
+			defer close(liveStopped)
+			liveProgress(os.Stderr, metrics, liveDone)
+		}()
+	}
 	res := harness.Run(cfg)
+	if *live {
+		close(liveDone)
+		<-liveStopped
+	}
 	fmt.Printf("evaluation: %d runs in %v\n\n", len(res.Runs), time.Since(start).Round(time.Millisecond))
+	if *traceDir != "" {
+		fmt.Fprintf(os.Stderr, "wrote per-run traces to %s\n", *traceDir)
+	}
 	if *checked {
 		nChecked, nSkipped, nFailed := 0, 0, 0
 		for _, r := range res.Runs {
@@ -94,7 +175,7 @@ func main() {
 		fmt.Printf("verdict validation: %d checked, %d skipped (proof too large), %d FAILED\n\n",
 			nChecked, nSkipped, nFailed)
 		if nFailed > 0 {
-			os.Exit(1)
+			exit(1)
 		}
 	}
 
@@ -151,6 +232,7 @@ func main() {
 		fmt.Println(harness.FormatSubcategories(rows,
 			fmt.Sprintf("Figure %s. per-subcategory time, %s: baseline vs ZPRE", n, figSubcats[n])))
 	}
+	stopProfiles()
 }
 
 func hasModel(models []memmodel.Model, mm memmodel.Model) bool {
@@ -176,5 +258,5 @@ func writeOut(dir, name, content string) {
 
 func fatalf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "evaluate: "+format+"\n", args...)
-	os.Exit(1)
+	exit(1)
 }

@@ -7,7 +7,9 @@
 //
 //	zpre [-model sc|tso|pso] [-strategy baseline|zpre-|zpre|zpre+static]
 //	     [-unroll k] [-width 8] [-timeout 30s] [-prune] [-stats]
-//	     [-dump-smt out.smt2] [-dump-eog out.dot] program.cp
+//	     [-trace out.jsonl] [-trace-sample n] [-cpuprofile cpu.out]
+//	     [-memprofile mem.out] [-dump-smt out.smt2] [-dump-eog out.dot]
+//	     program.cp
 //	zpre analyze [-unroll k] program.cp
 //
 // The analyze subcommand runs only the static lockset/MHP race analysis and
@@ -30,10 +32,21 @@ import (
 	"zpre/internal/encode"
 	"zpre/internal/eog"
 	"zpre/internal/memmodel"
+	"zpre/internal/profiling"
 	"zpre/internal/smt"
 	"zpre/internal/smtlib"
+	"zpre/internal/telemetry"
 	"zpre/internal/witness"
 )
+
+// stopProfiles flushes any active pprof profiles. Every exit path must go
+// through exit() so the profile files are complete.
+var stopProfiles = func() {}
+
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "analyze" {
@@ -53,12 +66,24 @@ func main() {
 		witness   = flag.Bool("witness", false, "on UNSAFE, print a violating interleaving")
 		checkPf   = flag.Bool("proof", false, "record and independently check the refutation proof on SAFE")
 		each      = flag.Bool("each", false, "check every assertion separately (incremental per-property queries)")
+		traceOut  = flag.String("trace", "", "write the structured search trace (JSONL) to this file")
+		traceN    = flag.Int("trace-sample", 1, "record only every Nth high-volume trace event")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: zpre [flags] program.cp")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *cpuProf != "" || *memProf != "" {
+		stop, err := profiling.Start(*cpuProf, *memProf)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		stopProfiles = stop
 	}
 
 	model, ok := memmodel.Parse(*modelFlag)
@@ -108,6 +133,19 @@ func main() {
 		Timeout:     *timeout,
 		Seed:        *seed,
 		StaticPrune: *prune,
+		TimePhases:  *stats,
+	}
+	var sink telemetry.Sink
+	if *traceOut != "" {
+		if *each {
+			fatalf("-trace is not supported with -each (one trace covers one solve)")
+		}
+		sink, err = telemetry.NewFileSink(*traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		verifyOpts.TraceSink = sink
+		verifyOpts.TraceEvery = *traceN
 	}
 	if *each {
 		reps, err := zpre.VerifyEach(prog, verifyOpts)
@@ -128,7 +166,7 @@ func main() {
 				code = 2
 			}
 		}
-		os.Exit(code)
+		exit(code)
 	}
 
 	var rep zpre.Report
@@ -139,6 +177,12 @@ func main() {
 	}
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if sink != nil {
+		if cerr := sink.Close(); cerr != nil {
+			fatalf("trace: %v", cerr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
 	}
 	if rep.ProofChecked {
 		fmt.Fprintln(os.Stderr, "refutation proof independently checked: OK")
@@ -163,14 +207,22 @@ func main() {
 		fmt.Printf("solver: %d decisions, %d propagations (%d theory), %d conflicts (%d theory), %d restarts\n",
 			rep.SolverStats.Decisions, rep.SolverStats.Propagations, rep.SolverStats.TheoryProps,
 			rep.SolverStats.Conflicts, rep.SolverStats.TheoryConfl, rep.SolverStats.Restarts)
+		fmt.Printf("theory: %d asserts, %d conflicts, %d path queries, %d propagations\n",
+			rep.OrderStats.Asserts, rep.OrderStats.Conflicts,
+			rep.OrderStats.PathQueries, rep.OrderStats.Propagations)
+		if t := rep.SearchTimings; t.BCP+t.Theory+t.Analyze+t.Reduce > 0 {
+			fmt.Printf("phases: bcp %v, theory %v, analyze %v, reduce %v\n",
+				t.BCP.Round(time.Microsecond), t.Theory.Round(time.Microsecond),
+				t.Analyze.Round(time.Microsecond), t.Reduce.Round(time.Microsecond))
+		}
 	}
 	switch rep.Verdict {
 	case zpre.Safe:
-		os.Exit(0)
+		exit(0)
 	case zpre.Unsafe:
-		os.Exit(1)
+		exit(1)
 	default:
-		os.Exit(2)
+		exit(2)
 	}
 }
 
@@ -242,5 +294,5 @@ func verdictText(v zpre.Verdict) string {
 
 func fatalf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "zpre: "+format+"\n", args...)
-	os.Exit(2)
+	exit(2)
 }

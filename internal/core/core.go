@@ -163,6 +163,16 @@ func Classify(named map[string]sat.Var) []VarInfo {
 	return infos
 }
 
+// ClassNames maps each classified variable to its class string — the form
+// the telemetry layer stamps on decision trace events.
+func ClassNames(infos []VarInfo) map[sat.Var]string {
+	out := make(map[sat.Var]string, len(infos))
+	for _, vi := range infos {
+		out[vi.Var] = vi.Class.String()
+	}
+	return out
+}
+
 // PriorTo is the paper's prior_to(v1, v2) algorithm (§4.1): it returns true
 // when v1 must be decided before v2. Both arguments are expected to be
 // interference variables; for other inputs it returns false.

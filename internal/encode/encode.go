@@ -14,6 +14,7 @@ package encode
 
 import (
 	"fmt"
+	"time"
 
 	"zpre/internal/analysis"
 	"zpre/internal/cprog"
@@ -78,6 +79,10 @@ type Stats struct {
 	Assumes   int
 	Clauses   int
 	Variables int
+	// StaticTime is the time spent in the static interference pre-analysis
+	// (the "static-prune" phase of the telemetry span set; nonzero even
+	// without pruning, since the analysis always runs for its scores).
+	StaticTime time.Duration
 }
 
 // VC is an encoded verification condition ready to solve.
@@ -210,9 +215,11 @@ func Program(p *cprog.Program, opts Options) (*VC, error) {
 	// trusted only when its per-event coordinates align with the encoder's
 	// (a defensive guard against the two walks drifting apart; alignment is
 	// also asserted corpus-wide by the test suite).
+	staticStart := time.Now()
 	if static, serr := analysis.Analyze(p); serr == nil && alignedWithEvents(static, e.events) {
 		e.static = static
 	}
+	e.stats.StaticTime = time.Since(staticStart)
 	e.prune = opts.StaticPrune
 
 	// Program order per thread under the memory model.

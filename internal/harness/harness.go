@@ -10,7 +10,10 @@ package harness
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -18,9 +21,11 @@ import (
 	"zpre/internal/cprog"
 	"zpre/internal/encode"
 	"zpre/internal/memmodel"
+	"zpre/internal/order"
 	"zpre/internal/sat"
 	"zpre/internal/smt"
 	"zpre/internal/svcomp"
+	"zpre/internal/telemetry"
 	"zpre/internal/witness"
 )
 
@@ -43,7 +48,15 @@ type RunResult struct {
 	Status   sat.Status
 	Solve    time.Duration
 	Encode   time.Duration
-	Stats    sat.Stats
+	// Unroll is the loop-unrolling time (the remaining frontend phase; the
+	// static-analysis share of Encode is VC.StaticTime).
+	Unroll time.Duration
+	// Timings splits Solve across BCP / theory / analyze / reduce
+	// (collected under Config.TimePhases or when tracing is on).
+	Timings sat.SearchTimings
+	// OrderStats are the ordering theory's work counters for this run.
+	OrderStats order.Stats
+	Stats      sat.Stats
 	// VC holds the encoder's formula-size counters (rf/ws variables, clauses,
 	// and — under Config.StaticPrune — how many candidates the static
 	// analysis dropped).
@@ -100,6 +113,35 @@ type Config struct {
 	Parallel int
 	// Progress, when non-nil, receives one line per completed task.
 	Progress io.Writer
+	// TraceDir, when set, writes one structured JSONL search trace per run
+	// into this directory (created if missing). Every run gets a private
+	// sink, so parallel workers never interleave events; file names come
+	// from TraceFileName.
+	TraceDir string
+	// TraceEvery subsamples high-volume trace events (every Nth
+	// decision/conflict; 0 or 1 = all). Counts stay exact in the summary.
+	TraceEvery int
+	// TimePhases splits each run's solve time across BCP / theory /
+	// analyze / reduce (RunResult.Timings, exported in the JSON). Implied
+	// by TraceDir.
+	TimePhases bool
+	// Metrics, when non-nil, receives live aggregate counters across all
+	// workers (runs_done, solves_running, solver_conflicts, ...) for
+	// progress displays; see internal/telemetry.Registry.
+	Metrics *telemetry.Registry
+}
+
+// TraceFileName is the per-run trace file name under Config.TraceDir.
+func TraceFileName(t Task, s core.Strategy) string {
+	id := fmt.Sprintf("%s_%s_%s_k%d_%s", t.Bench.Subcategory, t.Bench.Name, t.Model, t.Bound, s)
+	id = strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '@', ' ':
+			return '_'
+		}
+		return r
+	}, id)
+	return id + ".trace.jsonl"
 }
 
 func (c *Config) fill() {
@@ -171,6 +213,17 @@ func Run(cfg Config) *Results {
 	if workers <= 0 {
 		workers = 1
 	}
+	var mkdirErr error
+	if cfg.TraceDir != "" {
+		if mkdirErr = os.MkdirAll(cfg.TraceDir, 0o755); mkdirErr != nil {
+			cfg.TraceDir = ""
+		}
+	}
+	var runsDone *telemetry.Counter
+	if cfg.Metrics != nil {
+		cfg.Metrics.Gauge("runs_total").Set(int64(len(tasks) * len(cfg.Strategies)))
+		runsDone = cfg.Metrics.Counter("runs_done")
+	}
 
 	type job struct {
 		taskIdx  int
@@ -178,11 +231,22 @@ func Run(cfg Config) *Results {
 	}
 	nStrat := len(cfg.Strategies)
 	res.Runs = make([]RunResult, len(tasks)*nStrat)
+	if mkdirErr != nil {
+		// Surface the trace-dir failure on every run rather than silently
+		// dropping traces.
+		for i := range res.Runs {
+			res.Runs[i].Err = mkdirErr
+		}
+		return res
+	}
 
 	if workers == 1 {
 		for i, task := range tasks {
 			for si, strat := range cfg.Strategies {
 				res.Runs[i*nStrat+si] = RunOne(task, strat, cfg)
+				if runsDone != nil {
+					runsDone.Inc()
+				}
 			}
 			if cfg.Progress != nil {
 				fmt.Fprintf(cfg.Progress, "[%d/%d] %s\n", i+1, len(tasks), task.ID())
@@ -202,6 +266,9 @@ func Run(cfg Config) *Results {
 			for j := range jobs {
 				r := RunOne(tasks[j.taskIdx], cfg.Strategies[j.stratIdx], cfg)
 				res.Runs[j.taskIdx*nStrat+j.stratIdx] = r
+				if runsDone != nil {
+					runsDone.Inc()
+				}
 				if cfg.Progress != nil {
 					mu.Lock()
 					done++
@@ -234,8 +301,10 @@ func RunOne(task Task, strat core.Strategy, cfg Config) RunResult {
 	cfg.fill()
 	out := RunResult{Task: task, Strategy: strat}
 
-	encStart := time.Now()
+	unrollStart := time.Now()
 	unrolled := cprog.Unroll(task.Bench.Program, task.Bound, cprog.UnwindAssume)
+	out.Unroll = time.Since(unrollStart)
+	encStart := time.Now()
 	vc, err := encode.Program(unrolled, encode.Options{
 		Model:       task.Model,
 		Width:       cfg.Width,
@@ -261,22 +330,100 @@ func RunOne(task Task, strat core.Strategy, cfg Config) RunResult {
 	if dec != nil {
 		decider = dec
 	}
-	opts := smt.Options{Decider: decider, MaxConflicts: cfg.MaxConflicts}
+
+	// Observability: a private trace sink per run (workers never share
+	// one), live metrics aggregated across workers via atomic counters.
+	var tracer *telemetry.SolverTracer
+	var sink *telemetry.JSONLSink
+	if cfg.TraceDir != "" {
+		sink, err = telemetry.NewFileSink(filepath.Join(cfg.TraceDir, TraceFileName(task, strat)))
+		if err != nil {
+			out.Err = err
+			return out
+		}
+		tracer = telemetry.NewSolverTracer(sink, telemetry.TracerOptions{
+			Classes:  core.ClassNames(infos),
+			Task:     task.ID(),
+			Strategy: strat.String(),
+			Model:    task.Model.String(),
+			Every:    cfg.TraceEvery,
+		})
+		tracer.Span("unroll", out.Unroll)
+		tracer.Span("encode", out.Encode)
+		tracer.Span("static", vc.Stats.StaticTime)
+	}
+	var metrics *telemetry.MetricsTracer
+	if cfg.Metrics != nil {
+		metrics = telemetry.NewMetricsTracer(cfg.Metrics)
+	}
+	var satTracer sat.Tracer
+	if tracer != nil || metrics != nil {
+		satTracer = telemetry.Combine(traceOrNil(tracer), metricsOrNil(metrics))
+	}
+
+	opts := smt.Options{
+		Decider:      decider,
+		MaxConflicts: cfg.MaxConflicts,
+		Tracer:       satTracer,
+		TimePhases:   cfg.TimePhases || tracer != nil,
+	}
 	if cfg.Timeout > 0 {
 		opts.Deadline = time.Now().Add(cfg.Timeout)
 	}
+	if cfg.Metrics != nil {
+		running := cfg.Metrics.Gauge("solves_running")
+		running.Add(1)
+		defer running.Add(-1)
+	}
 	r, err := vc.Builder.Solve(opts)
+	if metrics != nil {
+		metrics.Flush()
+	}
 	if err != nil {
+		if tracer != nil {
+			sink.Close()
+		}
 		out.Err = err
 		return out
 	}
 	out.Status = r.Status
 	out.Solve = r.Elapsed
 	out.Stats = r.Stats
+	out.Timings = r.Timings
+	out.OrderStats = r.OrderStats
+	if tracer != nil {
+		tracer.Span("solve", r.Elapsed)
+		tracer.Span("solve.bcp", r.Timings.BCP)
+		tracer.Span("solve.theory", r.Timings.Theory)
+		tracer.Span("solve.analyze", r.Timings.Analyze)
+		tracer.Span("solve.reduce", r.Timings.Reduce)
+		if cerr := tracer.Close(r.StatsDelta); cerr != nil && out.Err == nil {
+			out.Err = cerr
+		}
+		if cerr := sink.Close(); cerr != nil && out.Err == nil {
+			out.Err = cerr
+		}
+	}
 	if cfg.CheckVerdicts {
 		checkVerdict(&out, vc, cfg)
 	}
 	return out
+}
+
+// traceOrNil avoids a typed-nil sat.Tracer interface from a nil *SolverTracer.
+func traceOrNil(t *telemetry.SolverTracer) sat.Tracer {
+	if t == nil {
+		return nil
+	}
+	return t
+}
+
+// metricsOrNil avoids a typed-nil sat.Tracer interface from a nil *MetricsTracer.
+func metricsOrNil(m *telemetry.MetricsTracer) sat.Tracer {
+	if m == nil {
+		return nil
+	}
+	return m
 }
 
 // checkVerdict validates the run's answer independently of the solver.

@@ -9,28 +9,44 @@ import (
 // JSONRun is the serialisable form of one run (stable field names for
 // downstream analysis scripts).
 type JSONRun struct {
-	Task         string  `json:"task"`
-	Subcategory  string  `json:"subcategory"`
-	Benchmark    string  `json:"benchmark"`
-	Model        string  `json:"model"`
-	Bound        int     `json:"bound"`
-	Strategy     string  `json:"strategy"`
-	Status       string  `json:"status"`
-	SolveSec     float64 `json:"solve_sec"`
-	EncodeSec    float64 `json:"encode_sec"`
-	Decisions    uint64  `json:"decisions"`
-	Propagations uint64  `json:"propagations"`
-	TheoryProps  uint64  `json:"theory_propagations"`
-	Conflicts    uint64  `json:"conflicts"`
-	TheoryConfl  uint64  `json:"theory_conflicts"`
-	Restarts     uint64  `json:"restarts"`
-	RFVars       int     `json:"rf_vars"`
-	WSVars       int     `json:"ws_vars"`
-	RFPruned     int     `json:"rf_pruned,omitempty"`
-	WSPruned     int     `json:"ws_pruned,omitempty"`
-	Checked      bool    `json:"checked,omitempty"`
-	CheckSkipped bool    `json:"check_skipped,omitempty"`
-	Error        string  `json:"error,omitempty"`
+	Task        string  `json:"task"`
+	Subcategory string  `json:"subcategory"`
+	Benchmark   string  `json:"benchmark"`
+	Model       string  `json:"model"`
+	Bound       int     `json:"bound"`
+	Strategy    string  `json:"strategy"`
+	Status      string  `json:"status"`
+	SolveSec    float64 `json:"solve_sec"`
+	EncodeSec   float64 `json:"encode_sec"`
+	UnrollSec   float64 `json:"unroll_sec,omitempty"`
+	StaticSec   float64 `json:"static_sec,omitempty"`
+	// In-solve phase split (Config.TimePhases or tracing enabled).
+	BCPSec     float64 `json:"bcp_sec,omitempty"`
+	TheorySec  float64 `json:"theory_sec,omitempty"`
+	AnalyzeSec float64 `json:"analyze_sec,omitempty"`
+	ReduceSec  float64 `json:"reduce_sec,omitempty"`
+	// The full sat.Stats counter set.
+	Decisions     uint64 `json:"decisions"`
+	Propagations  uint64 `json:"propagations"`
+	TheoryProps   uint64 `json:"theory_propagations"`
+	Conflicts     uint64 `json:"conflicts"`
+	TheoryConfl   uint64 `json:"theory_conflicts"`
+	Restarts      uint64 `json:"restarts"`
+	LearntClauses uint64 `json:"learnt_clauses"`
+	DeletedCls    uint64 `json:"deleted_clauses"`
+	MaxTrail      int    `json:"max_trail"`
+	// Ordering-theory work counters.
+	OrderAsserts     uint64 `json:"order_asserts,omitempty"`
+	OrderConflicts   uint64 `json:"order_conflicts,omitempty"`
+	OrderPathQueries uint64 `json:"order_path_queries,omitempty"`
+	OrderProps       uint64 `json:"order_propagations,omitempty"`
+	RFVars           int    `json:"rf_vars"`
+	WSVars           int    `json:"ws_vars"`
+	RFPruned         int    `json:"rf_pruned,omitempty"`
+	WSPruned         int    `json:"ws_pruned,omitempty"`
+	Checked          bool   `json:"checked,omitempty"`
+	CheckSkipped     bool   `json:"check_skipped,omitempty"`
+	Error            string `json:"error,omitempty"`
 }
 
 // JSONResults is the top-level export document.
@@ -62,27 +78,40 @@ func (r *Results) WriteJSON(w io.Writer) error {
 	}
 	for _, run := range r.Runs {
 		jr := JSONRun{
-			Task:         run.Task.ID(),
-			Subcategory:  run.Task.Bench.Subcategory,
-			Benchmark:    run.Task.Bench.Name,
-			Model:        run.Task.Model.String(),
-			Bound:        run.Task.Bound,
-			Strategy:     run.Strategy.String(),
-			Status:       run.Status.String(),
-			SolveSec:     durSec(run.Solve),
-			EncodeSec:    durSec(run.Encode),
-			Decisions:    run.Stats.Decisions,
-			Propagations: run.Stats.Propagations,
-			TheoryProps:  run.Stats.TheoryProps,
-			Conflicts:    run.Stats.Conflicts,
-			TheoryConfl:  run.Stats.TheoryConfl,
-			Restarts:     run.Stats.Restarts,
-			RFVars:       run.VC.RFVars,
-			WSVars:       run.VC.WSVars,
-			RFPruned:     run.VC.RFPruned,
-			WSPruned:     run.VC.WSPruned,
-			Checked:      run.Checked,
-			CheckSkipped: run.CheckSkipped,
+			Task:             run.Task.ID(),
+			Subcategory:      run.Task.Bench.Subcategory,
+			Benchmark:        run.Task.Bench.Name,
+			Model:            run.Task.Model.String(),
+			Bound:            run.Task.Bound,
+			Strategy:         run.Strategy.String(),
+			Status:           run.Status.String(),
+			SolveSec:         durSec(run.Solve),
+			EncodeSec:        durSec(run.Encode),
+			UnrollSec:        durSec(run.Unroll),
+			StaticSec:        durSec(run.VC.StaticTime),
+			BCPSec:           durSec(run.Timings.BCP),
+			TheorySec:        durSec(run.Timings.Theory),
+			AnalyzeSec:       durSec(run.Timings.Analyze),
+			ReduceSec:        durSec(run.Timings.Reduce),
+			Decisions:        run.Stats.Decisions,
+			Propagations:     run.Stats.Propagations,
+			TheoryProps:      run.Stats.TheoryProps,
+			Conflicts:        run.Stats.Conflicts,
+			TheoryConfl:      run.Stats.TheoryConfl,
+			Restarts:         run.Stats.Restarts,
+			LearntClauses:    run.Stats.LearntClauses,
+			DeletedCls:       run.Stats.DeletedCls,
+			MaxTrail:         run.Stats.MaxTrail,
+			OrderAsserts:     run.OrderStats.Asserts,
+			OrderConflicts:   run.OrderStats.Conflicts,
+			OrderPathQueries: run.OrderStats.PathQueries,
+			OrderProps:       run.OrderStats.Propagations,
+			RFVars:           run.VC.RFVars,
+			WSVars:           run.VC.WSVars,
+			RFPruned:         run.VC.RFPruned,
+			WSPruned:         run.VC.WSPruned,
+			Checked:          run.Checked,
+			CheckSkipped:     run.CheckSkipped,
 		}
 		if run.Err != nil {
 			jr.Error = run.Err.Error()

@@ -51,7 +51,26 @@ type Theory struct {
 	dirty map[int32]struct{} // nodes touched since last Propagate (eager mode)
 
 	scratch []sat.Lit
+
+	stats Stats
 }
+
+// Stats are cumulative theory-side counters: how much ordering work the
+// DPLL(T) loop asked for (search telemetry; see internal/telemetry).
+type Stats struct {
+	// Asserts counts atom assertions that reached the theory (edge inserts
+	// attempted).
+	Asserts uint64
+	// Conflicts counts assertions rejected because they closed a cycle.
+	Conflicts uint64
+	// PathQueries counts reachability searches (the theory's unit of work).
+	PathQueries uint64
+	// Propagations counts implications emitted by eager propagation.
+	Propagations uint64
+}
+
+// Stats returns the cumulative theory counters.
+func (t *Theory) Stats() Stats { return t.stats }
 
 // New creates an ordering theory over events 0..n-1.
 func New(n int) *Theory {
@@ -155,12 +174,14 @@ func (t *Theory) Assert(l sat.Lit) []sat.Lit {
 	if !ok {
 		return nil
 	}
+	t.stats.Asserts++
 	from, to := at.a, at.b
 	if l.IsNeg() {
 		from, to = to, from
 	}
 	// A cycle exists iff `to` already reaches `from`.
 	if t.findPath(to, from) {
+		t.stats.Conflicts++
 		confl := t.scratch[:0]
 		confl = append(confl, l.Neg())
 		confl = t.appendPathLits(confl, to, from)
@@ -191,6 +212,7 @@ func (t *Theory) PopToCount(n int) {
 // findPath runs a DFS from src looking for dst over all current edges,
 // recording parent pointers for explanation extraction.
 func (t *Theory) findPath(src, dst int32) bool {
+	t.stats.PathQueries++
 	t.stamp++
 	if t.stamp == 0 { // wrapped; reset marks
 		for i := range t.mark {
@@ -269,6 +291,7 @@ func (t *Theory) Propagate() []sat.TheoryImplication {
 		}
 	}
 	t.dirty = map[int32]struct{}{}
+	t.stats.Propagations += uint64(len(imps))
 	return imps
 }
 

@@ -1,0 +1,53 @@
+// Package profiling wires Go's runtime profilers to command-line flags.
+// Both zpre and evaluate expose -cpuprofile/-memprofile; the heavy solver
+// loops make the CPU profile the first stop for any performance question,
+// and the heap profile catches encoding blow-ups on large bounds.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (if cpu != "") and arranges a heap profile
+// write (if mem != ""). The returned stop function must run before the
+// process exits — call it from every exit path, not just the happy one —
+// otherwise the profile files are empty or missing.
+func Start(cpu, mem string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	var stopped bool
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mem profile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialise a settled heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mem profile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

@@ -39,6 +39,22 @@ type Stats struct {
 	MaxTrail      int
 }
 
+// Delta returns the counter increments from since to s (MaxTrail, a
+// high-water mark rather than a counter, carries over from s).
+func (s Stats) Delta(since Stats) Stats {
+	return Stats{
+		Decisions:     s.Decisions - since.Decisions,
+		Propagations:  s.Propagations - since.Propagations,
+		TheoryProps:   s.TheoryProps - since.TheoryProps,
+		Conflicts:     s.Conflicts - since.Conflicts,
+		TheoryConfl:   s.TheoryConfl - since.TheoryConfl,
+		Restarts:      s.Restarts - since.Restarts,
+		LearntClauses: s.LearntClauses - since.LearntClauses,
+		DeletedCls:    s.DeletedCls - since.DeletedCls,
+		MaxTrail:      s.MaxTrail,
+	}
+}
+
 // Add accumulates other into s.
 func (s *Stats) Add(other Stats) {
 	s.Decisions += other.Decisions

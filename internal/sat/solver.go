@@ -27,6 +27,12 @@ type Solver struct {
 	// Proof, when set, records the inference trace (set it before adding
 	// clauses; see ProofRecorder).
 	Proof ProofRecorder
+	// Tracer, when set, observes the search (decisions, propagations,
+	// conflicts, restarts, reductions). Nil costs one branch per event.
+	Tracer Tracer
+	// Timings, when set, accumulates per-phase solve time (BCP vs theory
+	// vs analyze vs reduce). Nil skips all clock reads.
+	Timings *SearchTimings
 
 	clauses []*Clause
 	learnts []*Clause
@@ -338,6 +344,9 @@ func (s *Solver) propagateBool() *Clause {
 				return c
 			}
 			s.stats.Propagations++
+			if s.Tracer != nil {
+				s.Tracer.Propagation(first)
+			}
 			s.uncheckedEnqueue(first, c)
 		}
 		s.watches[p] = ws[:j]
@@ -358,6 +367,9 @@ func (s *Solver) theoryStep() (*Clause, bool) {
 		if s.Theory.Relevant(p.Var()) {
 			if confl := s.Theory.Assert(p); confl != nil {
 				s.stats.TheoryConfl++
+				if s.Tracer != nil {
+					s.Tracer.TheoryConflict(len(confl))
+				}
 				if s.Proof != nil {
 					s.Proof.TheoryLemma(confl)
 				}
@@ -376,6 +388,9 @@ func (s *Solver) theoryStep() (*Clause, bool) {
 		case LFalse:
 			// The explanation clause is fully falsified: a theory conflict.
 			s.stats.TheoryConfl++
+			if s.Tracer != nil {
+				s.Tracer.TheoryConflict(len(imp.Reason))
+			}
 			if s.Proof != nil {
 				s.Proof.TheoryLemma(imp.Reason)
 			}
@@ -406,6 +421,9 @@ func (s *Solver) theoryStep() (*Clause, bool) {
 		s.stats.LearntClauses++
 		s.claBump(reason)
 		s.stats.TheoryProps++
+		if s.Tracer != nil {
+			s.Tracer.TheoryPropagation(imp.Lit)
+		}
 		s.uncheckedEnqueue(imp.Lit, reason)
 		progressed = true
 	}
@@ -415,10 +433,10 @@ func (s *Solver) theoryStep() (*Clause, bool) {
 // propagateAll interleaves Boolean and theory propagation to fixpoint.
 func (s *Solver) propagateAll() *Clause {
 	for {
-		if confl := s.propagateBool(); confl != nil {
+		if confl := s.timedPropagateBool(); confl != nil {
 			return confl
 		}
-		confl, progressed := s.theoryStep()
+		confl, progressed := s.timedTheoryStep()
 		if confl != nil {
 			return confl
 		}
@@ -426,6 +444,39 @@ func (s *Solver) propagateAll() *Clause {
 			return nil
 		}
 	}
+}
+
+// timedPropagateBool is propagateBool with optional phase timing.
+func (s *Solver) timedPropagateBool() *Clause {
+	if s.Timings == nil {
+		return s.propagateBool()
+	}
+	t0 := time.Now()
+	confl := s.propagateBool()
+	s.Timings.BCP += time.Since(t0)
+	return confl
+}
+
+// timedTheoryStep is theoryStep with optional phase timing.
+func (s *Solver) timedTheoryStep() (*Clause, bool) {
+	if s.Timings == nil {
+		return s.theoryStep()
+	}
+	t0 := time.Now()
+	confl, progressed := s.theoryStep()
+	s.Timings.Theory += time.Since(t0)
+	return confl, progressed
+}
+
+// timedAnalyze is analyze with optional phase timing.
+func (s *Solver) timedAnalyze(confl *Clause) ([]Lit, int) {
+	if s.Timings == nil {
+		return s.analyze(confl)
+	}
+	t0 := time.Now()
+	learnt, bt := s.analyze(confl)
+	s.Timings.Analyze += time.Since(t0)
+	return learnt, bt
 }
 
 func (s *Solver) varBump(v Var) {
@@ -517,6 +568,9 @@ func (s *Solver) SolveWithAssumptions(assumps ...Lit) Status {
 		}
 		restart++
 		s.stats.Restarts++
+		if s.Tracer != nil {
+			s.Tracer.Restart(s.stats.Restarts)
+		}
 	}
 }
 
@@ -575,9 +629,19 @@ func (s *Solver) budgetExhausted(confBudget uint64) bool {
 // search runs up to maxConfl conflicts; Unknown means "restart or give up".
 func (s *Solver) search(maxConfl int, confBudget *uint64) Status {
 	var conflicts int
+	var steps uint32
 	for {
+		// Deadline poll at a bounded loop interval: every iteration is a
+		// conflict or a decision, so long conflict-free (restart-starved)
+		// runs still honor the wall clock without a per-iteration syscall.
+		steps++
+		if steps&1023 == 0 && !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+			s.cancelUntil(0)
+			return Unknown
+		}
 		confl := s.propagateAll()
 		if confl != nil {
+			theoryConfl := confl == &s.tempConfl
 			s.stats.Conflicts++
 			conflicts++
 			if s.MaxConflicts > 0 && *confBudget > 0 {
@@ -587,19 +651,28 @@ func (s *Solver) search(maxConfl int, confBudget *uint64) Status {
 			if ml := s.maxClauseLevel(confl); ml < s.decisionLevel() {
 				s.cancelUntil(ml)
 			}
-			if s.decisionLevel() == 0 {
+			conflLevel := s.decisionLevel()
+			if conflLevel == 0 {
 				s.ok = false
 				if s.Proof != nil {
 					s.Proof.Learnt(nil)
 				}
+				if s.Tracer != nil {
+					s.Tracer.Conflict(ConflictInfo{Backjump: -1, Theory: theoryConfl})
+				}
 				return Unsat
 			}
-			learnt, bt := s.analyze(confl)
+			learnt, bt := s.timedAnalyze(confl)
 			if s.Proof != nil {
 				s.Proof.Learnt(learnt)
 			}
 			s.cancelUntil(bt)
 			if len(learnt) == 1 {
+				if s.Tracer != nil {
+					s.Tracer.Conflict(ConflictInfo{
+						LearntSize: 1, LBD: 1, Level: conflLevel, Backjump: bt, Theory: theoryConfl,
+					})
+				}
 				s.uncheckedEnqueue(learnt[0], nil)
 			} else {
 				c := &Clause{Lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
@@ -607,6 +680,11 @@ func (s *Solver) search(maxConfl int, confBudget *uint64) Status {
 				s.attach(c)
 				s.claBump(c)
 				s.stats.LearntClauses++
+				if s.Tracer != nil {
+					s.Tracer.Conflict(ConflictInfo{
+						LearntSize: len(learnt), LBD: c.lbd, Level: conflLevel, Backjump: bt, Theory: theoryConfl,
+					})
+				}
 				s.uncheckedEnqueue(learnt[0], c)
 			}
 			s.varDecayActivity()
@@ -622,10 +700,11 @@ func (s *Solver) search(maxConfl int, confBudget *uint64) Status {
 			}
 		} else {
 			if float64(len(s.learnts)) > s.maxLearnts+float64(len(s.trail)) {
-				s.reduceDB()
+				s.timedReduceDB()
 			}
 			// Enqueue pending assumptions first, one decision level each.
 			next := LitUndef
+			src := SourceAssumption
 			for s.decisionLevel() < len(s.assumptions) {
 				p := s.assumptions[s.decisionLevel()]
 				switch s.valueLitInternal(p) {
@@ -643,14 +722,19 @@ func (s *Solver) search(maxConfl int, confBudget *uint64) Status {
 			}
 			if next == LitUndef && s.Decider != nil {
 				next = s.Decider.Next(func(v Var) LBool { return s.assigns[v] })
+				src = SourceDecider
 			}
 			if next == LitUndef {
 				next = s.pickBranchLit()
+				src = SourceVSIDS
 			}
 			if next == LitUndef {
 				if s.Theory != nil {
 					if confl := s.Theory.FinalCheck(); confl != nil {
 						s.stats.TheoryConfl++
+						if s.Tracer != nil {
+							s.Tracer.TheoryConflict(len(confl))
+						}
 						if s.Proof != nil {
 							s.Proof.TheoryLemma(confl)
 						}
@@ -662,19 +746,28 @@ func (s *Solver) search(maxConfl int, confBudget *uint64) Status {
 						if ml := s.maxClauseLevel(c); ml < s.decisionLevel() {
 							s.cancelUntil(ml)
 						}
-						if s.decisionLevel() == 0 {
+						conflLevel := s.decisionLevel()
+						if conflLevel == 0 {
 							s.ok = false
 							if s.Proof != nil {
 								s.Proof.Learnt(nil)
 							}
+							if s.Tracer != nil {
+								s.Tracer.Conflict(ConflictInfo{Backjump: -1, Theory: true})
+							}
 							return Unsat
 						}
-						learnt, bt := s.analyze(c)
+						learnt, bt := s.timedAnalyze(c)
 						if s.Proof != nil {
 							s.Proof.Learnt(learnt)
 						}
 						s.cancelUntil(bt)
 						if len(learnt) == 1 {
+							if s.Tracer != nil {
+								s.Tracer.Conflict(ConflictInfo{
+									LearntSize: 1, LBD: 1, Level: conflLevel, Backjump: bt, Theory: true,
+								})
+							}
 							s.uncheckedEnqueue(learnt[0], nil)
 						} else {
 							lc := &Clause{Lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
@@ -682,6 +775,11 @@ func (s *Solver) search(maxConfl int, confBudget *uint64) Status {
 							s.attach(lc)
 							s.claBump(lc)
 							s.stats.LearntClauses++
+							if s.Tracer != nil {
+								s.Tracer.Conflict(ConflictInfo{
+									LearntSize: len(learnt), LBD: lc.lbd, Level: conflLevel, Backjump: bt, Theory: true,
+								})
+							}
 							s.uncheckedEnqueue(learnt[0], lc)
 						}
 						continue
@@ -694,6 +792,9 @@ func (s *Solver) search(maxConfl int, confBudget *uint64) Status {
 			}
 			s.stats.Decisions++
 			s.newDecisionLevel()
+			if s.Tracer != nil {
+				s.Tracer.Decision(next, s.decisionLevel(), src)
+			}
 			s.uncheckedEnqueue(next, nil)
 		}
 	}
@@ -711,6 +812,22 @@ func (s *Solver) computeLBD(lits []Lit) int32 {
 func (s *Solver) locked(c *Clause) bool {
 	v := c.Lits[0].Var()
 	return s.reason[v] == c && s.valueLitInternal(c.Lits[0]) == LTrue
+}
+
+// timedReduceDB is reduceDB with optional phase timing and trace event.
+func (s *Solver) timedReduceDB() {
+	var t0 time.Time
+	if s.Timings != nil {
+		t0 = time.Now()
+	}
+	before := len(s.learnts)
+	s.reduceDB()
+	if s.Timings != nil {
+		s.Timings.Reduce += time.Since(t0)
+	}
+	if s.Tracer != nil {
+		s.Tracer.ReduceDB(len(s.learnts), before-len(s.learnts))
+	}
 }
 
 // reduceDB removes roughly half of the learnt clauses, preferring inactive,

@@ -1,0 +1,92 @@
+package sat
+
+import "time"
+
+// DecisionSource says which mechanism chose a decision literal.
+type DecisionSource uint8
+
+// Decision sources.
+const (
+	// SourceVSIDS is the solver's built-in activity order.
+	SourceVSIDS DecisionSource = iota
+	// SourceDecider is the plugged-in decision strategy (Solver.Decider).
+	SourceDecider
+	// SourceAssumption is an assumption literal enqueued as a decision.
+	SourceAssumption
+)
+
+// String renders the decision source.
+func (s DecisionSource) String() string {
+	switch s {
+	case SourceDecider:
+		return "decider"
+	case SourceAssumption:
+		return "assumption"
+	}
+	return "vsids"
+}
+
+// ConflictInfo describes one conflict as seen by conflict analysis.
+type ConflictInfo struct {
+	// LearntSize is the length of the learnt clause (0 when the conflict
+	// proved top-level unsatisfiability and no clause was learnt).
+	LearntSize int
+	// LBD is the learnt clause's literal block distance (glue).
+	LBD int32
+	// Level is the decision level the conflict occurred at.
+	Level int
+	// Backjump is the level the solver backtracked to (-1 for top-level
+	// unsat).
+	Backjump int
+	// Theory marks conflicts raised by the theory solver rather than by
+	// Boolean propagation.
+	Theory bool
+}
+
+// Tracer observes the search. Every callback fires exactly as often as the
+// matching Stats counter is incremented, so an event stream can be replayed
+// into the end-of-run counters and cross-checked (see internal/telemetry and
+// cmd/tracereport). A nil Solver.Tracer costs one predictable branch per
+// event site; implementations must be cheap — they run inside the search
+// loop.
+type Tracer interface {
+	// Decision fires on every decision (including assumption levels).
+	Decision(l Lit, level int, src DecisionSource)
+	// Propagation fires on every Boolean unit propagation. This is the
+	// hottest callback; implementations should only count or batch here.
+	Propagation(l Lit)
+	// TheoryPropagation fires when the theory solver implies a literal.
+	TheoryPropagation(l Lit)
+	// Conflict fires once per conflict, after analysis (Boolean and theory
+	// conflicts alike; Theory distinguishes them).
+	Conflict(info ConflictInfo)
+	// TheoryConflict fires when the theory reports an inconsistency, with
+	// the conflict clause size. The subsequent analysis also fires Conflict.
+	TheoryConflict(size int)
+	// Restart fires on every restart with the cumulative restart count.
+	Restart(n uint64)
+	// ReduceDB fires after a learnt-clause database reduction.
+	ReduceDB(kept, deleted int)
+}
+
+// SearchTimings splits solve time across the phases of the CDCL(T) loop.
+// Attach a SearchTimings to Solver.Timings to collect them; the nil default
+// skips all clock reads.
+type SearchTimings struct {
+	// BCP is time spent in Boolean unit propagation.
+	BCP time.Duration
+	// Theory is time spent asserting to and propagating from the theory.
+	Theory time.Duration
+	// Analyze is time spent in conflict analysis and clause learning.
+	Analyze time.Duration
+	// Reduce is time spent reducing the learnt clause database.
+	Reduce time.Duration
+}
+
+// Add accumulates other into t.
+func (t *SearchTimings) Add(other SearchTimings) {
+	t.BCP += other.BCP
+	t.Theory += other.Theory
+	t.Analyze += other.Analyze
+	t.Reduce += other.Reduce
+}

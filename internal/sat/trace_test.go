@@ -1,0 +1,138 @@
+package sat
+
+import (
+	"testing"
+	"time"
+)
+
+// countingTracer tallies every callback; the totals must match Stats
+// exactly (the exactness invariant the telemetry layer builds on).
+type countingTracer struct {
+	decisions, props, theoryProps uint64
+	conflicts, theoryConfl        uint64
+	restarts, reductions          uint64
+	learnt                        uint64
+}
+
+func (c *countingTracer) Decision(l Lit, level int, src DecisionSource) { c.decisions++ }
+func (c *countingTracer) Propagation(l Lit)                             { c.props++ }
+func (c *countingTracer) TheoryPropagation(l Lit)                       { c.theoryProps++ }
+func (c *countingTracer) Conflict(info ConflictInfo) {
+	c.conflicts++
+	if info.Theory {
+		c.theoryConfl++
+	}
+	c.learnt += uint64(info.LearntSize)
+}
+func (c *countingTracer) TheoryConflict(size int) {}
+func (c *countingTracer) Restart(n uint64)        { c.restarts++ }
+func (c *countingTracer) ReduceDB(kept, deleted int) {
+	c.reductions++
+}
+
+// TestTracerCountsMatchStats solves a conflict-heavy instance with a
+// counting tracer attached and checks every event stream against the
+// solver's own counters. Any drift means an event site was added or
+// removed without its Stats twin.
+func TestTracerCountsMatchStats(t *testing.T) {
+	s := New()
+	tr := &countingTracer{}
+	s.Tracer = tr
+	// Propagations fired during AddClause (unit clauses) are counted in
+	// Stats too, so attach the tracer before loading — the two streams
+	// must agree from the first event.
+	pigeonhole(s, 6)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("php(6) = %v, want Unsat", got)
+	}
+	st := s.Stats()
+	if st.Conflicts == 0 || st.Decisions == 0 {
+		t.Fatalf("degenerate instance: %+v", st)
+	}
+	if tr.decisions != st.Decisions {
+		t.Errorf("decisions: tracer %d, stats %d", tr.decisions, st.Decisions)
+	}
+	if tr.props != st.Propagations {
+		t.Errorf("propagations: tracer %d, stats %d", tr.props, st.Propagations)
+	}
+	if tr.theoryProps != st.TheoryProps {
+		t.Errorf("theory propagations: tracer %d, stats %d", tr.theoryProps, st.TheoryProps)
+	}
+	if tr.conflicts != st.Conflicts {
+		t.Errorf("conflicts: tracer %d, stats %d", tr.conflicts, st.Conflicts)
+	}
+	if tr.theoryConfl != st.TheoryConfl {
+		t.Errorf("theory conflicts: tracer %d, stats %d", tr.theoryConfl, st.TheoryConfl)
+	}
+	if tr.restarts != st.Restarts {
+		t.Errorf("restarts: tracer %d, stats %d", tr.restarts, st.Restarts)
+	}
+}
+
+// TestTimingsAccumulate checks the phase-split plumbing: with a Timings
+// sink attached the solve distributes its wall time over the phases.
+func TestTimingsAccumulate(t *testing.T) {
+	s := New()
+	var tm SearchTimings
+	s.Timings = &tm
+	pigeonhole(s, 6)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("php(6) = %v, want Unsat", got)
+	}
+	if tm.BCP == 0 {
+		t.Error("BCP time not recorded")
+	}
+	if tm.Analyze == 0 {
+		t.Error("analyze time not recorded")
+	}
+}
+
+// TestDeadlineConflictFreeRun is the regression test for the search-loop
+// deadline poll: a huge clause-free instance never conflicts and never
+// restarts, so the old per-conflict deadline check was unreachable and an
+// expired deadline still solved to completion.
+func TestDeadlineConflictFreeRun(t *testing.T) {
+	s := New()
+	for i := 0; i < 3000; i++ {
+		s.NewVar()
+	}
+	s.Deadline = time.Now().Add(-time.Second)
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("expired deadline on a conflict-free run = %v, want Unknown", got)
+	}
+
+	// Control: the same instance without a deadline completes.
+	s2 := New()
+	for i := 0; i < 3000; i++ {
+		s2.NewVar()
+	}
+	if got := s2.Solve(); got != Sat {
+		t.Fatalf("control solve = %v, want Sat", got)
+	}
+}
+
+// BenchmarkSolveNilTracer is the tracing-disabled baseline: the Tracer
+// field is nil, so every event site costs one predictable branch.
+func BenchmarkSolveNilTracer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		pigeonhole(s, 6)
+		if s.Solve() != Unsat {
+			b.Fatal("unexpected status")
+		}
+	}
+}
+
+// BenchmarkSolveCountingTracer measures the same solve with a minimal
+// tracer attached — the upper bound any in-process consumer pays before
+// serialisation costs.
+func BenchmarkSolveCountingTracer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		s.Tracer = &countingTracer{}
+		pigeonhole(s, 6)
+		if s.Solve() != Unsat {
+			b.Fatal("unexpected status")
+		}
+	}
+}

@@ -219,6 +219,12 @@ type Options struct {
 	// EagerOrderPropagation switches the ordering theory to eager
 	// reachability propagation (ablation knob; off in the paper's setting).
 	EagerOrderPropagation bool
+	// Tracer, when non-nil, observes the search (see internal/telemetry for
+	// the structured-trace implementation). Nil tracing is free.
+	Tracer sat.Tracer
+	// TimePhases splits solve time across BCP / theory / analyze / reduce
+	// into Result.Timings (small constant overhead per propagation round).
+	TimePhases bool
 }
 
 // Result reports the outcome of a Solve call.
@@ -226,6 +232,13 @@ type Result struct {
 	Status  sat.Status
 	Stats   sat.Stats
 	Elapsed time.Duration
+	// StatsDelta holds only this call's counter increments (Stats is
+	// cumulative across incremental Solve calls on one builder).
+	StatsDelta sat.Stats
+	// Timings is the in-solve phase split (TimePhases mode; this call only).
+	Timings sat.SearchTimings
+	// OrderStats are the ordering theory's cumulative work counters.
+	OrderStats order.Stats
 }
 
 // ErrInconsistentPO is returned when the unconditional program order is
@@ -267,12 +280,31 @@ func (bd *Builder) SolveAssuming(opts Options, assumps ...Bool) (Result, error) 
 	bd.solver.Decider = opts.Decider
 	bd.solver.Deadline = opts.Deadline
 	bd.solver.MaxConflicts = opts.MaxConflicts
+	bd.solver.Tracer = opts.Tracer
+	var timings *sat.SearchTimings
+	if opts.TimePhases {
+		timings = &sat.SearchTimings{}
+	}
+	bd.solver.Timings = timings
+	before := bd.solver.Stats()
 	lits := make([]sat.Lit, len(assumps))
 	for i, a := range assumps {
 		lits[i] = a.lit
 	}
 	st := bd.solver.SolveWithAssumptions(lits...)
-	return Result{Status: st, Stats: bd.solver.Stats(), Elapsed: time.Since(start)}, nil
+	bd.solver.Tracer = nil
+	bd.solver.Timings = nil
+	res := Result{
+		Status:     st,
+		Stats:      bd.solver.Stats(),
+		Elapsed:    time.Since(start),
+		OrderStats: bd.theory.Stats(),
+	}
+	res.StatsDelta = res.Stats.Delta(before)
+	if timings != nil {
+		res.Timings = *timings
+	}
+	return res, nil
 }
 
 // Value returns the model value of a Boolean term (valid after Sat).

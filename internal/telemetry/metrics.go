@@ -1,0 +1,343 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"zpre/internal/sat"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (may go up and down).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with bitlen(v) == i, i.e. [2^(i-1), 2^i).
+const histBuckets = 64
+
+// Histogram is a lock-free power-of-two histogram.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)%histBuckets].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is a point-in-time histogram reading.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets map[int]uint64 // bit-length → count, zero buckets omitted
+}
+
+// Mean returns the average observation (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Registry is a names-to-metrics table. Metric creation takes a lock;
+// updates on the returned handles are lock-free atomics, so hot paths
+// should hold on to the handle rather than re-looking it up.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a consistent-enough point-in-time reading of every metric
+// (individual values are atomic; the set is read under the registry lock).
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot reads every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	snap := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Count:   h.count.Load(),
+			Sum:     h.sum.Load(),
+			Buckets: map[int]uint64{},
+		}
+		for i := range h.buckets {
+			if n := h.buckets[i].Load(); n > 0 {
+				hs.Buckets[i] = n
+			}
+		}
+		snap.Histograms[name] = hs
+	}
+	return snap
+}
+
+// Format renders the snapshot as sorted "name value" lines.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s %d\n", n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(&b, "%s count=%d sum=%d mean=%.1f\n", n, h.Count, h.Sum, h.Mean())
+	}
+	return b.String()
+}
+
+// MetricsTracer implements sat.Tracer by incrementing registry counters, so
+// a live progress display can watch search rates across concurrent workers.
+// Conflicts, decisions and restarts increment one shared atomic each;
+// propagations are batched locally and flushed every flushEvery events (and
+// on Flush) to keep the hot path off the shared cache line.
+type MetricsTracer struct {
+	decisions *Counter
+	conflicts *Counter
+	restarts  *Counter
+	props     *Counter
+
+	localProps uint64
+}
+
+const flushEvery = 4096
+
+// NewMetricsTracer binds a tracer to reg under the standard metric names
+// (solver_decisions, solver_conflicts, solver_restarts,
+// solver_propagations).
+func NewMetricsTracer(reg *Registry) *MetricsTracer {
+	return &MetricsTracer{
+		decisions: reg.Counter("solver_decisions"),
+		conflicts: reg.Counter("solver_conflicts"),
+		restarts:  reg.Counter("solver_restarts"),
+		props:     reg.Counter("solver_propagations"),
+	}
+}
+
+// Decision implements sat.Tracer.
+func (m *MetricsTracer) Decision(_ sat.Lit, _ int, _ sat.DecisionSource) { m.decisions.Inc() }
+
+// Propagation implements sat.Tracer.
+func (m *MetricsTracer) Propagation(sat.Lit) {
+	m.localProps++
+	if m.localProps >= flushEvery {
+		m.props.Add(m.localProps)
+		m.localProps = 0
+	}
+}
+
+// TheoryPropagation implements sat.Tracer.
+func (m *MetricsTracer) TheoryPropagation(sat.Lit) {}
+
+// Conflict implements sat.Tracer.
+func (m *MetricsTracer) Conflict(sat.ConflictInfo) { m.conflicts.Inc() }
+
+// TheoryConflict implements sat.Tracer.
+func (m *MetricsTracer) TheoryConflict(int) {}
+
+// Restart implements sat.Tracer.
+func (m *MetricsTracer) Restart(uint64) { m.restarts.Inc() }
+
+// ReduceDB implements sat.Tracer.
+func (m *MetricsTracer) ReduceDB(int, int) {}
+
+// Flush pushes locally batched counts to the registry.
+func (m *MetricsTracer) Flush() {
+	if m.localProps > 0 {
+		m.props.Add(m.localProps)
+		m.localProps = 0
+	}
+}
+
+// MultiTracer fans solver callbacks out to several tracers.
+type MultiTracer []sat.Tracer
+
+// Decision implements sat.Tracer.
+func (m MultiTracer) Decision(l sat.Lit, level int, src sat.DecisionSource) {
+	for _, t := range m {
+		t.Decision(l, level, src)
+	}
+}
+
+// Propagation implements sat.Tracer.
+func (m MultiTracer) Propagation(l sat.Lit) {
+	for _, t := range m {
+		t.Propagation(l)
+	}
+}
+
+// TheoryPropagation implements sat.Tracer.
+func (m MultiTracer) TheoryPropagation(l sat.Lit) {
+	for _, t := range m {
+		t.TheoryPropagation(l)
+	}
+}
+
+// Conflict implements sat.Tracer.
+func (m MultiTracer) Conflict(info sat.ConflictInfo) {
+	for _, t := range m {
+		t.Conflict(info)
+	}
+}
+
+// TheoryConflict implements sat.Tracer.
+func (m MultiTracer) TheoryConflict(size int) {
+	for _, t := range m {
+		t.TheoryConflict(size)
+	}
+}
+
+// Restart implements sat.Tracer.
+func (m MultiTracer) Restart(n uint64) {
+	for _, t := range m {
+		t.Restart(n)
+	}
+}
+
+// ReduceDB implements sat.Tracer.
+func (m MultiTracer) ReduceDB(kept, deleted int) {
+	for _, t := range m {
+		t.ReduceDB(kept, deleted)
+	}
+}
+
+// Combine returns a tracer that drives every non-nil argument: nil when all
+// are nil, the single tracer when exactly one is non-nil, a MultiTracer
+// otherwise.
+func Combine(tracers ...sat.Tracer) sat.Tracer {
+	var live MultiTracer
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

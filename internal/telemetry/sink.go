@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Sink receives trace events. Implementations are NOT required to be
+// goroutine-safe: each solver run writes to its own sink (the parallel
+// harness gives every run a private file), which is what keeps concurrent
+// traces from interleaving.
+type Sink interface {
+	Emit(ev *Event) error
+	Close() error
+}
+
+// JSONLSink serialises events as JSON Lines through a buffered writer.
+type JSONLSink struct {
+	w   *bufio.Writer
+	c   io.Closer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps w. If w is also an io.Closer, Close closes it after
+// flushing.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	s := &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// NewFileSink creates (truncates) path and returns a JSONL sink over it.
+func NewFileSink(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewJSONLSink(f), nil
+}
+
+// Emit writes one event as a JSON line. The first error sticks.
+func (s *JSONLSink) Emit(ev *Event) error {
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.enc.Encode(ev)
+	return s.err
+}
+
+// Close flushes the buffer and closes the underlying writer if closable.
+func (s *JSONLSink) Close() error {
+	ferr := s.w.Flush()
+	if s.err == nil {
+		s.err = ferr
+	}
+	if s.c != nil {
+		if cerr := s.c.Close(); s.err == nil {
+			s.err = cerr
+		}
+	}
+	return s.err
+}
+
+// MemorySink collects events in memory (tests and in-process analysis).
+type MemorySink struct {
+	Events []Event
+}
+
+// Emit appends a copy of the event.
+func (s *MemorySink) Emit(ev *Event) error {
+	s.Events = append(s.Events, *ev)
+	return nil
+}
+
+// Close is a no-op.
+func (s *MemorySink) Close() error { return nil }
+
+// ReadTrace parses a JSONL event stream back into events.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadTraceFile is ReadTrace over a file path.
+func ReadTraceFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

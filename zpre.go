@@ -32,8 +32,10 @@ import (
 	"zpre/internal/cprog"
 	"zpre/internal/encode"
 	"zpre/internal/memmodel"
+	"zpre/internal/order"
 	"zpre/internal/sat"
 	"zpre/internal/smt"
+	"zpre/internal/telemetry"
 	"zpre/internal/witness"
 )
 
@@ -109,6 +111,19 @@ type Options struct {
 	// encode.Options.StaticPrune). The pruned VC is equisatisfiable;
 	// Report.EncodeStats.RFPruned/WSPruned count the dropped candidates.
 	StaticPrune bool
+	// TraceSink, when non-nil, receives the structured search trace
+	// (decisions with variable class, conflicts with LBD, restarts, ...;
+	// see internal/telemetry). The caller owns the sink's lifetime.
+	TraceSink telemetry.Sink
+	// TraceEvery subsamples high-volume trace events: every Nth
+	// decision/conflict is recorded (0 or 1 = all; counts stay exact).
+	TraceEvery int
+	// TraceTask labels the trace's meta record. Verify defaults it to the
+	// program name.
+	TraceTask string
+	// TimePhases splits solve time across BCP/theory/analyze/reduce into
+	// Report.SearchTimings.
+	TimePhases bool
 }
 
 // Report is the result of a Verify call.
@@ -124,6 +139,11 @@ type Report struct {
 	SolveTime time.Duration
 	// EncodeTime is the frontend encoding time.
 	EncodeTime time.Duration
+	// SearchTimings is the in-solve phase split (Options.TimePhases).
+	SearchTimings sat.SearchTimings
+	// OrderStats are the ordering theory's work counters (cycle checks,
+	// theory conflicts, eager propagations).
+	OrderStats order.Stats
 	// ProofChecked is true when a Safe verdict's refutation was validated
 	// by the independent proof checker (VerifyWithProof only).
 	ProofChecked bool
@@ -140,6 +160,9 @@ func Verify(p *cprog.Program, opts Options) (Report, error) {
 	if opts.Unroll <= 0 {
 		opts.Unroll = 1
 	}
+	if opts.TraceTask == "" {
+		opts.TraceTask = p.Name
+	}
 	unrolled := cprog.Unroll(p, opts.Unroll, cprog.UnwindAssume)
 
 	encStart := time.Now()
@@ -153,7 +176,7 @@ func Verify(p *cprog.Program, opts Options) (Report, error) {
 	}
 	encodeTime := time.Since(encStart)
 
-	rep, err := SolveVC(vc, opts)
+	rep, err := solveVC(vc, opts, encodeTime)
 	if err != nil {
 		return Report{}, err
 	}
@@ -165,6 +188,12 @@ func Verify(p *cprog.Program, opts Options) (Report, error) {
 // This is the seam the paper's evaluation measures: the same SMT instance is
 // solved with different decision strategies.
 func SolveVC(vc *encode.VC, opts Options) (Report, error) {
+	return solveVC(vc, opts, 0)
+}
+
+// solveVC is SolveVC with the caller's encode duration, so a trace opened
+// here records the full parse→encode→static→solve span set.
+func solveVC(vc *encode.VC, opts Options, encodeTime time.Duration) (Report, error) {
 	infos := core.Classify(vc.Builder.NamedVars())
 	dec := core.NewDecider(opts.Strategy, infos, deciderConfig(vc, opts))
 	var decider sat.Decider
@@ -175,14 +204,42 @@ func SolveVC(vc *encode.VC, opts Options) (Report, error) {
 	if opts.Timeout > 0 {
 		deadline = time.Now().Add(opts.Timeout)
 	}
+	var tracer *telemetry.SolverTracer
+	var satTracer sat.Tracer
+	if opts.TraceSink != nil {
+		tracer = telemetry.NewSolverTracer(opts.TraceSink, telemetry.TracerOptions{
+			Classes:  core.ClassNames(infos),
+			Task:     opts.TraceTask,
+			Strategy: opts.Strategy.String(),
+			Model:    opts.Model.String(),
+			Every:    opts.TraceEvery,
+		})
+		if encodeTime > 0 {
+			tracer.Span("encode", encodeTime)
+		}
+		tracer.Span("static", vc.Stats.StaticTime)
+		satTracer = tracer
+	}
 	res, err := vc.Builder.Solve(smt.Options{
 		Decider:               decider,
 		Deadline:              deadline,
 		MaxConflicts:          opts.MaxConflicts,
 		EagerOrderPropagation: opts.EagerOrderPropagation,
+		Tracer:                satTracer,
+		TimePhases:            opts.TimePhases || tracer != nil,
 	})
 	if err != nil {
 		return Report{}, err
+	}
+	if tracer != nil {
+		tracer.Span("solve", res.Elapsed)
+		tracer.Span("solve.bcp", res.Timings.BCP)
+		tracer.Span("solve.theory", res.Timings.Theory)
+		tracer.Span("solve.analyze", res.Timings.Analyze)
+		tracer.Span("solve.reduce", res.Timings.Reduce)
+		if err := tracer.Close(res.StatsDelta); err != nil {
+			return Report{}, fmt.Errorf("zpre: trace sink: %w", err)
+		}
 	}
 	verdict := Unknown
 	switch res.Status {
@@ -192,11 +249,13 @@ func SolveVC(vc *encode.VC, opts Options) (Report, error) {
 		verdict = Safe
 	}
 	return Report{
-		Verdict:     verdict,
-		Status:      res.Status,
-		SolverStats: res.Stats,
-		EncodeStats: vc.Stats,
-		SolveTime:   res.Elapsed,
+		Verdict:       verdict,
+		Status:        res.Status,
+		SolverStats:   res.Stats,
+		EncodeStats:   vc.Stats,
+		SolveTime:     res.Elapsed,
+		SearchTimings: res.Timings,
+		OrderStats:    res.OrderStats,
 	}, nil
 }
 
