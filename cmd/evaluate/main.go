@@ -19,18 +19,30 @@
 // given directory (one file per task/strategy; analyse with tracereport).
 // -live renders a single self-updating status line on stderr driven by the
 // shared metrics registry: runs done, solves in flight, conflict rate.
+//
+// Resilience: SIGINT/SIGTERM cancel the sweep cooperatively — in-flight
+// solves stop at their next poll, partial results are flushed (tables, JSON,
+// -checkpoint file), and a second signal kills the process immediately.
+// -checkpoint periodically atomic-writes the results recorded so far;
+// -resume skips the (task, strategy) pairs a prior export already completed.
+// -max-decisions/-max-mem-mb set per-task budgets; -inject plants
+// deterministic faults (see internal/faultinject) for harness testing.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"zpre/internal/faultinject"
 	"zpre/internal/harness"
 	"zpre/internal/memmodel"
 	"zpre/internal/profiling"
@@ -65,11 +77,24 @@ func liveProgress(w io.Writer, reg *telemetry.Registry, done <-chan struct{}) {
 			confl := reg.Counter("solver_conflicts").Value()
 			rate := float64(confl-lastConfl) / now.Sub(lastT).Seconds()
 			lastConfl, lastT = confl, now
-			fmt.Fprintf(w, "\r\x1b[K[%7s] %d/%d runs, %d solving, %d conflicts (%.0f/s), %d decisions",
+			line := fmt.Sprintf("\r\x1b[K[%7s] %d/%d runs, %d solving, %d conflicts (%.0f/s), %d decisions",
 				time.Since(start).Round(time.Second),
 				reg.Counter("runs_done").Value(), reg.Gauge("runs_total").Value(),
 				reg.Gauge("solves_running").Value(), confl, rate,
 				reg.Counter("solver_decisions").Value())
+			for _, f := range []struct{ metric, label string }{
+				{"tasks_panicked", "panicked"},
+				{"tasks_memout", "memout"},
+				{"tasks_cancelled", "cancelled"},
+				{"tasks_errored", "errored"},
+				{"runs_resumed", "resumed"},
+				{"checkpoints_written", "ckpt"},
+			} {
+				if n := reg.Counter(f.metric).Value(); n > 0 {
+					line += fmt.Sprintf(", %d %s", n, f.label)
+				}
+			}
+			fmt.Fprint(w, line)
 		}
 	}
 }
@@ -95,7 +120,21 @@ func main() {
 		live       = flag.Bool("live", false, "render a self-updating metrics line on stderr")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		maxDec     = flag.Uint64("max-decisions", 0, "per-task decision budget (0 = none)")
+		maxMemMB   = flag.Int64("max-mem-mb", 0, "per-task approximate solver memory cap in MiB; exceeding it classifies as memout (0 = none)")
+		ckptPath   = flag.String("checkpoint", "", "periodically atomic-write partial results (JSON) to this file")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint cadence in completed runs (default 16)")
+		resumePath = flag.String("resume", "", "skip (task, strategy) pairs already completed in this JSON export")
 	)
+	var faults []faultinject.Fault
+	flag.Func("inject", "inject a fault: kind:match[:after[:sleep]] with kind panic|stall|corrupt (repeatable)", func(spec string) error {
+		f, err := faultinject.Parse(spec)
+		if err != nil {
+			return err
+		}
+		faults = append(faults, f)
+		return nil
+	})
 	flag.Parse()
 
 	if *cpuProf != "" || *memProf != "" {
@@ -106,17 +145,38 @@ func main() {
 		stopProfiles = stop
 	}
 
+	// First SIGINT/SIGTERM cancels the sweep cooperatively (workers drain,
+	// partial results flush); a second signal restores default handling and
+	// kills the process.
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSignals()
+
 	metrics := telemetry.NewRegistry()
 	cfg := harness.Config{
-		Timeout:       *timeout,
-		Width:         *width,
-		Seed:          *seed,
-		Parallel:      *parallel,
-		CheckVerdicts: *checked,
-		StaticPrune:   *prune,
-		TraceDir:      *traceDir,
-		TraceEvery:    *traceN,
-		Metrics:       metrics,
+		Timeout:         *timeout,
+		Width:           *width,
+		Seed:            *seed,
+		Parallel:        *parallel,
+		CheckVerdicts:   *checked,
+		StaticPrune:     *prune,
+		TraceDir:        *traceDir,
+		TraceEvery:      *traceN,
+		Metrics:         metrics,
+		Context:         ctx,
+		MaxDecisions:    *maxDec,
+		MaxMemoryBytes:  *maxMemMB << 20,
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
+	}
+	if len(faults) > 0 {
+		cfg.Faults = faultinject.New(faults...)
+	}
+	if *resumePath != "" {
+		prev, err := harness.LoadCheckpoint(*resumePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Resume = prev
 	}
 	for _, name := range strings.Split(*modelsFlag, ",") {
 		mm, ok := memmodel.Parse(strings.TrimSpace(name))
@@ -156,6 +216,17 @@ func main() {
 		<-liveStopped
 	}
 	fmt.Printf("evaluation: %d runs in %v\n\n", len(res.Runs), time.Since(start).Round(time.Millisecond))
+	if failures := res.Failures(); failures.Total() > 0 {
+		fmt.Println(harness.FormatFailureSummary(failures, 10))
+	}
+	if ctx.Err() != nil {
+		// After the drain a second signal would have killed us; say where
+		// the partial results went and how to pick the sweep back up.
+		fmt.Fprintln(os.Stderr, "evaluate: interrupted — partial results below")
+		if *ckptPath != "" {
+			fmt.Fprintf(os.Stderr, "evaluate: re-run with -resume %s to finish the remaining pairs\n", *ckptPath)
+		}
+	}
 	if *traceDir != "" {
 		fmt.Fprintf(os.Stderr, "wrote per-run traces to %s\n", *traceDir)
 	}

@@ -20,9 +20,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"zpre"
@@ -33,6 +36,7 @@ import (
 	"zpre/internal/eog"
 	"zpre/internal/memmodel"
 	"zpre/internal/profiling"
+	"zpre/internal/sat"
 	"zpre/internal/smt"
 	"zpre/internal/smtlib"
 	"zpre/internal/telemetry"
@@ -58,6 +62,8 @@ func main() {
 		unroll    = flag.Int("unroll", 1, "loop unrolling bound")
 		width     = flag.Int("width", 8, "program integer bit width")
 		timeout   = flag.Duration("timeout", 30*time.Second, "solve timeout")
+		maxDec    = flag.Uint64("max-decisions", 0, "decision budget per solve (0 = none)")
+		maxMemMB  = flag.Int64("max-mem-mb", 0, "approximate solver memory cap in MiB; exceeding it returns UNKNOWN (memout) (0 = none)")
 		seed      = flag.Int64("seed", 1, "random-polarity seed")
 		stats     = flag.Bool("stats", false, "print encoding and solver statistics")
 		prune     = flag.Bool("prune", false, "statically prune provably redundant rf/ws candidates")
@@ -125,15 +131,24 @@ func main() {
 		}
 	}
 
+	// SIGINT/SIGTERM cancel the solve cooperatively: the search stops at its
+	// next poll and the verdict comes back UNKNOWN (cancelled) instead of
+	// the process dying mid-solve.
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSignals()
+
 	verifyOpts := zpre.Options{
-		Model:       model,
-		Strategy:    strat,
-		Unroll:      *unroll,
-		Width:       *width,
-		Timeout:     *timeout,
-		Seed:        *seed,
-		StaticPrune: *prune,
-		TimePhases:  *stats,
+		Model:          model,
+		Strategy:       strat,
+		Unroll:         *unroll,
+		Width:          *width,
+		Timeout:        *timeout,
+		MaxDecisions:   *maxDec,
+		MaxMemoryBytes: *maxMemMB << 20,
+		Context:        ctx,
+		Seed:           *seed,
+		StaticPrune:    *prune,
+		TimePhases:     *stats,
 	}
 	var sink telemetry.Sink
 	if *traceOut != "" {
@@ -193,7 +208,7 @@ func main() {
 	}
 
 	fmt.Printf("%s: %s (model=%s strategy=%s unroll=%d, solve %v)\n",
-		prog.Name, verdictText(rep.Verdict), model, strat, *unroll,
+		prog.Name, verdictStopText(rep.Verdict, rep.Stop), model, strat, *unroll,
 		rep.SolveTime.Round(time.Microsecond))
 	if *stats {
 		fmt.Printf("encoding: %d threads, %d events (%d reads, %d writes), %d rf vars, %d ws vars, %d po edges, %d clauses, %d variables\n",
@@ -290,6 +305,15 @@ func verdictText(v zpre.Verdict) string {
 		return "UNSAFE (assertion violation reachable)"
 	}
 	return "UNKNOWN (budget exhausted)"
+}
+
+// verdictStopText refines an UNKNOWN with the solver's stop reason
+// (deadline, decision-budget, memout, cancelled).
+func verdictStopText(v zpre.Verdict, stop sat.StopReason) string {
+	if v == zpre.Unknown && stop != sat.StopNone {
+		return "UNKNOWN (" + stop.String() + ")"
+	}
+	return verdictText(v)
 }
 
 func fatalf(format string, args ...interface{}) {

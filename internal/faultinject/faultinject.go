@@ -1,0 +1,327 @@
+// Package faultinject deterministically injects failures into the DPLL(T)
+// search so the evaluation harness can prove — in ordinary tests, with no
+// build tags — that every failure mode is contained, classified and counted.
+//
+// Faults attach at the two seams the solver already exposes:
+//
+//   - the sat.Tracer seam: a wrapping tracer counts Decision events and, at
+//     the Nth one, panics (KindPanic) or sleeps (KindStall). Because the
+//     tracer runs inside the search loop, a panic here is indistinguishable
+//     from an invariant violation in the solver itself, and a stall is
+//     indistinguishable from a pathological instance.
+//   - the theory seam: a wrapping sat.Theory suppresses conflict verdicts
+//     from Assert/FinalCheck (KindCorrupt), modelling an unsound theory
+//     solver. The harness's verdict checking must flag the resulting wrong
+//     answer as an error rather than trusting it.
+//
+// A Set is safe for concurrent use by parallel harness workers: each run gets
+// its own wrapper (per-run event counters) while fire counts aggregate
+// atomically on the shared faults.
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"zpre/internal/sat"
+)
+
+// Kind is the failure mode a Fault injects.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// KindPanic panics out of the search loop at the Nth decision.
+	KindPanic Kind = iota
+	// KindStall sleeps inside the search loop at the Nth decision.
+	KindStall
+	// KindCorrupt suppresses theory conflict verdicts from the Nth one on,
+	// making the theory unsound.
+	KindCorrupt
+)
+
+// String renders the kind (the same spelling Parse accepts).
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindStall:
+		return "stall"
+	case KindCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// Fault describes one injected failure.
+type Fault struct {
+	// Kind is the failure mode.
+	Kind Kind
+	// Match selects runs by substring of the run label (task/strategy). The
+	// empty string matches every run.
+	Match string
+	// After is the 1-based index of the triggering event within a run: the
+	// Nth decision for panic/stall, the Nth theory conflict for corrupt.
+	// Zero means the first.
+	After uint64
+	// Sleep is the stall duration (KindStall only).
+	Sleep time.Duration
+}
+
+// String renders the fault in the spec syntax Parse accepts.
+func (f Fault) String() string {
+	s := fmt.Sprintf("%s:%s:%d", f.Kind, f.Match, f.at())
+	if f.Kind == KindStall {
+		s += ":" + f.Sleep.String()
+	}
+	return s
+}
+
+func (f Fault) at() uint64 {
+	if f.After == 0 {
+		return 1
+	}
+	return f.After
+}
+
+// Parse reads a fault spec of the form
+//
+//	kind:match[:after[:sleep]]
+//
+// where kind is panic|stall|corrupt, match is a run-label substring (empty =
+// all runs), after is the 1-based triggering event index (default 1) and
+// sleep is a Go duration (stall only, default 2s).
+func Parse(spec string) (Fault, error) {
+	parts := strings.SplitN(spec, ":", 4)
+	var f Fault
+	switch parts[0] {
+	case "panic":
+		f.Kind = KindPanic
+	case "stall":
+		f.Kind = KindStall
+		f.Sleep = 2 * time.Second
+	case "corrupt":
+		f.Kind = KindCorrupt
+	default:
+		return Fault{}, fmt.Errorf("faultinject: unknown kind %q in %q (want panic|stall|corrupt)", parts[0], spec)
+	}
+	if len(parts) > 1 {
+		f.Match = parts[1]
+	}
+	if len(parts) > 2 && parts[2] != "" {
+		n, err := strconv.ParseUint(parts[2], 10, 64)
+		if err != nil {
+			return Fault{}, fmt.Errorf("faultinject: bad event index %q in %q: %v", parts[2], spec, err)
+		}
+		f.After = n
+	}
+	if len(parts) > 3 && parts[3] != "" {
+		if f.Kind != KindStall {
+			return Fault{}, fmt.Errorf("faultinject: sleep only applies to stall faults: %q", spec)
+		}
+		d, err := time.ParseDuration(parts[3])
+		if err != nil {
+			return Fault{}, fmt.Errorf("faultinject: bad sleep %q in %q: %v", parts[3], spec, err)
+		}
+		f.Sleep = d
+	}
+	return f, nil
+}
+
+// Panic is the value an injected KindPanic panics with, so tests (and the
+// harness classifier) can tell an injected panic from a genuine one.
+type Panic struct {
+	// Label is the run label the fault fired in.
+	Label string
+	// Fault is the fault that fired.
+	Fault Fault
+}
+
+// String renders the injected panic value.
+func (p *Panic) String() string {
+	return fmt.Sprintf("injected fault %s in run %q", p.Fault, p.Label)
+}
+
+type armedFault struct {
+	Fault
+	fired atomic.Uint64
+}
+
+// Set holds armed faults shared across the runs of a sweep.
+type Set struct {
+	faults []*armedFault
+}
+
+// New arms the given faults.
+func New(faults ...Fault) *Set {
+	s := &Set{}
+	for _, f := range faults {
+		s.faults = append(s.faults, &armedFault{Fault: f})
+	}
+	return s
+}
+
+// Len reports the number of armed faults (0 for a nil Set).
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.faults)
+}
+
+// Fired reports how many times fault i has fired.
+func (s *Set) Fired(i int) uint64 { return s.faults[i].fired.Load() }
+
+// TotalFired reports how many times any fault has fired (0 for a nil Set).
+func (s *Set) TotalFired() uint64 {
+	if s == nil {
+		return 0
+	}
+	var n uint64
+	for _, f := range s.faults {
+		n += f.fired.Load()
+	}
+	return n
+}
+
+func (s *Set) matching(label string, kinds ...Kind) []*armedFault {
+	if s == nil {
+		return nil
+	}
+	var out []*armedFault
+	for _, f := range s.faults {
+		if f.Match != "" && !strings.Contains(label, f.Match) {
+			continue
+		}
+		for _, k := range kinds {
+			if f.Kind == k {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Tracer wraps base with the panic/stall faults matching label. It returns
+// base unchanged (possibly nil) when no fault matches, so un-faulted runs pay
+// nothing.
+func (s *Set) Tracer(label string, base sat.Tracer) sat.Tracer {
+	faults := s.matching(label, KindPanic, KindStall)
+	if len(faults) == 0 {
+		return base
+	}
+	return &tracer{base: base, label: label, faults: faults}
+}
+
+// tracer counts Decision events for one run and fires matching faults at
+// their triggering index. All other callbacks delegate.
+type tracer struct {
+	base      sat.Tracer
+	label     string
+	faults    []*armedFault
+	decisions uint64
+}
+
+func (t *tracer) Decision(l sat.Lit, level int, src sat.DecisionSource) {
+	t.decisions++
+	for _, f := range t.faults {
+		if t.decisions != f.at() {
+			continue
+		}
+		f.fired.Add(1)
+		switch f.Kind {
+		case KindPanic:
+			panic(&Panic{Label: t.label, Fault: f.Fault})
+		case KindStall:
+			time.Sleep(f.Sleep)
+		}
+	}
+	if t.base != nil {
+		t.base.Decision(l, level, src)
+	}
+}
+
+func (t *tracer) Propagation(l sat.Lit) {
+	if t.base != nil {
+		t.base.Propagation(l)
+	}
+}
+
+func (t *tracer) TheoryPropagation(l sat.Lit) {
+	if t.base != nil {
+		t.base.TheoryPropagation(l)
+	}
+}
+
+func (t *tracer) Conflict(info sat.ConflictInfo) {
+	if t.base != nil {
+		t.base.Conflict(info)
+	}
+}
+
+func (t *tracer) TheoryConflict(size int) {
+	if t.base != nil {
+		t.base.TheoryConflict(size)
+	}
+}
+
+func (t *tracer) Restart(n uint64) {
+	if t.base != nil {
+		t.base.Restart(n)
+	}
+}
+
+func (t *tracer) ReduceDB(kept, deleted int) {
+	if t.base != nil {
+		t.base.ReduceDB(kept, deleted)
+	}
+}
+
+// Theory wraps base with the corrupt faults matching label. It returns base
+// unchanged when no fault matches.
+func (s *Set) Theory(label string, base sat.Theory) sat.Theory {
+	faults := s.matching(label, KindCorrupt)
+	if len(faults) == 0 {
+		return base
+	}
+	return &theory{base: base, faults: faults}
+}
+
+// theory suppresses conflict verdicts from the wrapped theory once the
+// triggering conflict index is reached, making it unsound for the rest of
+// the run.
+type theory struct {
+	base      sat.Theory
+	faults    []*armedFault
+	conflicts uint64
+}
+
+func (t *theory) suppress(conflict []sat.Lit) []sat.Lit {
+	if conflict == nil {
+		return nil
+	}
+	t.conflicts++
+	for _, f := range t.faults {
+		if t.conflicts >= f.at() {
+			f.fired.Add(1)
+			return nil
+		}
+	}
+	return conflict
+}
+
+func (t *theory) Relevant(v sat.Var) bool { return t.base.Relevant(v) }
+
+func (t *theory) Assert(l sat.Lit) []sat.Lit { return t.suppress(t.base.Assert(l)) }
+
+func (t *theory) AssertedCount() int { return t.base.AssertedCount() }
+
+func (t *theory) PopToCount(n int) { t.base.PopToCount(n) }
+
+func (t *theory) Propagate() []sat.TheoryImplication { return t.base.Propagate() }
+
+func (t *theory) FinalCheck() []sat.Lit { return t.suppress(t.base.FinalCheck()) }

@@ -1,0 +1,138 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"zpre/internal/sat"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Fault
+	}{
+		{"panic", Fault{Kind: KindPanic}},
+		{"panic:fib", Fault{Kind: KindPanic, Match: "fib"}},
+		{"panic:fib:3", Fault{Kind: KindPanic, Match: "fib", After: 3}},
+		{"stall::5:100ms", Fault{Kind: KindStall, After: 5, Sleep: 100 * time.Millisecond}},
+		{"stall:x", Fault{Kind: KindStall, Match: "x", Sleep: 2 * time.Second}},
+		{"corrupt::2", Fault{Kind: KindCorrupt, After: 2}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+	for _, bad := range []string{"explode", "panic:x:notanumber", "panic:x:1:5s", "stall:x:1:zzz"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestTracerPanicAtNthDecision(t *testing.T) {
+	set := New(Fault{Kind: KindPanic, Match: "target", After: 3})
+	tr := set.Tracer("task/target", nil)
+	if tr == nil {
+		t.Fatal("matching fault returned nil tracer")
+	}
+	if got := set.Tracer("task/other", nil); got != nil {
+		t.Fatalf("non-matching label got a wrapper: %v", got)
+	}
+	fire := func() (p *Panic) {
+		defer func() {
+			if r := recover(); r != nil {
+				p = r.(*Panic)
+			}
+		}()
+		for i := 0; i < 10; i++ {
+			tr.Decision(sat.LitUndef, i, sat.SourceVSIDS)
+		}
+		return nil
+	}
+	p := fire()
+	if p == nil {
+		t.Fatal("fault never fired")
+	}
+	if p.Label != "task/target" || p.Fault.Kind != KindPanic {
+		t.Fatalf("panic payload = %+v", p)
+	}
+	if set.Fired(0) != 1 {
+		t.Fatalf("fired count = %d", set.Fired(0))
+	}
+	if set.TotalFired() != 1 {
+		t.Fatalf("total fired = %d", set.TotalFired())
+	}
+}
+
+func TestTracerStall(t *testing.T) {
+	set := New(Fault{Kind: KindStall, After: 1, Sleep: 50 * time.Millisecond})
+	tr := set.Tracer("any", nil)
+	start := time.Now()
+	tr.Decision(sat.LitUndef, 0, sat.SourceVSIDS)
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("stall slept only %v", d)
+	}
+	tr.Decision(sat.LitUndef, 1, sat.SourceVSIDS)
+	if set.Fired(0) != 1 {
+		t.Fatalf("stall fired %d times, want 1", set.Fired(0))
+	}
+}
+
+type fakeTheory struct {
+	conflict []sat.Lit
+}
+
+func (f *fakeTheory) Relevant(sat.Var) bool              { return true }
+func (f *fakeTheory) Assert(sat.Lit) []sat.Lit           { return f.conflict }
+func (f *fakeTheory) AssertedCount() int                 { return 0 }
+func (f *fakeTheory) PopToCount(int)                     {}
+func (f *fakeTheory) Propagate() []sat.TheoryImplication { return nil }
+func (f *fakeTheory) FinalCheck() []sat.Lit              { return f.conflict }
+
+func TestTheoryCorruption(t *testing.T) {
+	set := New(Fault{Kind: KindCorrupt, After: 2})
+	base := &fakeTheory{conflict: []sat.Lit{sat.MkLit(1, false)}}
+	th := set.Theory("run", base)
+	if th == sat.Theory(base) {
+		t.Fatal("matching corrupt fault did not wrap the theory")
+	}
+	// First conflict passes through, second and later are suppressed.
+	if got := th.Assert(sat.MkLit(2, false)); got == nil {
+		t.Fatal("first conflict was suppressed")
+	}
+	if got := th.Assert(sat.MkLit(2, false)); got != nil {
+		t.Fatalf("second conflict not suppressed: %v", got)
+	}
+	if got := th.FinalCheck(); got != nil {
+		t.Fatalf("final-check conflict not suppressed: %v", got)
+	}
+	if set.Fired(0) != 2 {
+		t.Fatalf("fired = %d, want 2", set.Fired(0))
+	}
+	// Consistent verdicts are never touched.
+	base.conflict = nil
+	if got := th.Assert(sat.MkLit(3, false)); got != nil {
+		t.Fatalf("nil verdict corrupted: %v", got)
+	}
+}
+
+func TestNilSet(t *testing.T) {
+	var set *Set
+	if set.Len() != 0 || set.TotalFired() != 0 {
+		t.Fatal("nil set has faults")
+	}
+	if got := set.Tracer("x", nil); got != nil {
+		t.Fatalf("nil set wrapped tracer: %v", got)
+	}
+	base := &fakeTheory{}
+	if got := set.Theory("x", base); got != sat.Theory(base) {
+		t.Fatal("nil set wrapped theory")
+	}
+}

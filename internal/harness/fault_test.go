@@ -1,0 +1,445 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"zpre/internal/core"
+	"zpre/internal/faultinject"
+	"zpre/internal/memmodel"
+	"zpre/internal/sat"
+	"zpre/internal/telemetry"
+)
+
+// fibTask returns the fib_bench_safe_2 task at bound 2: the conflict-rich
+// instance the budget and fault tests rely on (tiny lit instances can solve
+// without ever reaching a budget poll or making a decision).
+func fibTask(t *testing.T, cfg Config) Task {
+	t.Helper()
+	for _, task := range Tasks(cfg) {
+		if task.Bench.Name == "fib_bench_safe_2" {
+			return task
+		}
+	}
+	t.Fatal("missing fib_bench_safe_2")
+	return Task{}
+}
+
+func fibConfig() Config {
+	return Config{
+		Models:        []memmodel.Model{memmodel.SC},
+		Strategies:    []core.Strategy{core.Baseline},
+		Bounds:        []int{2},
+		Width:         8,
+		Timeout:       time.Minute,
+		Subcategories: []string{"pthread"},
+	}
+}
+
+// TestInjectedPanicIsContained: a panic injected into the search loop of
+// matching runs fails those runs — classified, counted, exported — while the
+// rest of the parallel sweep completes untouched. Every peterson run makes
+// >= 7 decisions, so the fault (first decision) fires deterministically.
+func TestInjectedPanicIsContained(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Parallel = 4
+	cfg.Metrics = telemetry.NewRegistry()
+	set := faultinject.New(faultinject.Fault{Kind: faultinject.KindPanic, Match: "peterson"})
+	cfg.Faults = set
+
+	res := Run(cfg)
+	if want := len(Tasks(cfg)) * len(cfg.Strategies); len(res.Runs) != want {
+		t.Fatalf("runs = %d, want %d", len(res.Runs), want)
+	}
+	panicked := 0
+	for _, r := range res.Runs {
+		if strings.Contains(r.Task.ID(), "peterson") {
+			panicked++
+			if got := r.Failure(); got != sat.FailPanic {
+				t.Fatalf("%s/%v: failure %v, want panic (err=%v)", r.Task.ID(), r.Strategy, got, r.Err)
+			}
+			if r.Status != sat.Unknown {
+				t.Fatalf("%s/%v: status %v after panic", r.Task.ID(), r.Strategy, r.Status)
+			}
+			if !r.Completed {
+				t.Fatalf("%s/%v: panicked run must be terminal (not re-run on resume)", r.Task.ID(), r.Strategy)
+			}
+			var se *sat.StatusError
+			if !errors.As(r.Err, &se) || se.Kind != sat.FailPanic {
+				t.Fatalf("%s/%v: err %v is not a panic StatusError", r.Task.ID(), r.Strategy, r.Err)
+			}
+			if !strings.Contains(r.Err.Error(), "injected fault") {
+				t.Fatalf("%s/%v: panic payload lost: %v", r.Task.ID(), r.Strategy, r.Err)
+			}
+			continue
+		}
+		if r.Err != nil || !r.Solved() {
+			t.Fatalf("%s/%v: non-matching run disturbed: status=%v err=%v",
+				r.Task.ID(), r.Strategy, r.Status, r.Err)
+		}
+	}
+	// peterson + peterson_fenced × 2 models × 3 strategies.
+	if panicked != 12 {
+		t.Fatalf("panicked runs = %d, want 12", panicked)
+	}
+	if got := set.TotalFired(); got != uint64(panicked) {
+		t.Fatalf("fault fired %d times, want %d", got, panicked)
+	}
+	if got := cfg.Metrics.Counter("tasks_panicked").Value(); got != uint64(panicked) {
+		t.Fatalf("tasks_panicked = %d, want %d", got, panicked)
+	}
+	if got := cfg.Metrics.Counter("runs_done").Value(); got != uint64(len(res.Runs)) {
+		t.Fatalf("runs_done = %d, want %d (every outcome is terminal)", got, len(res.Runs))
+	}
+
+	// The failure summary and Table 3 report the panics as errors, not
+	// timeouts.
+	sum := res.Failures()
+	if sum.Counts[sat.FailPanic] != panicked || sum.Total() != panicked {
+		t.Fatalf("failure summary: %+v", sum.Counts)
+	}
+	if out := FormatFailureSummary(sum, 3); !strings.Contains(out, "panic") || !strings.Contains(out, "... and") {
+		t.Fatalf("failure summary format:\n%s", out)
+	}
+	errRuns := 0
+	for _, row := range res.Table3() {
+		for _, p := range row.Per {
+			errRuns += p.Errors
+			if p.Timeouts != 0 {
+				t.Fatalf("%v/%v: panics miscounted as timeouts", row.Model, p.Strategy)
+			}
+		}
+	}
+	if errRuns != panicked {
+		t.Fatalf("table3 errors = %d, want %d", errRuns, panicked)
+	}
+	if out := FormatTable3(res.Table3()); !strings.Contains(out, "ERR") {
+		t.Fatalf("table3 lacks the errors column:\n%s", out)
+	}
+
+	// JSON export carries the classification.
+	var buf strings.Builder
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc JSONResults
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, jr := range doc.Runs {
+		wantFail := ""
+		if strings.Contains(jr.Task, "peterson") {
+			wantFail = "panic"
+		}
+		if jr.Failure != wantFail {
+			t.Fatalf("json %s/%s: failure %q, want %q", jr.Task, jr.Strategy, jr.Failure, wantFail)
+		}
+		if !jr.Completed {
+			t.Fatalf("json %s/%s: not completed", jr.Task, jr.Strategy)
+		}
+	}
+}
+
+// TestInjectedStallClassifiesAsTimeout: a stall in the search loop longer
+// than the deadline yields a graceful Unknown(deadline), not a hang or an
+// error.
+func TestInjectedStallClassifiesAsTimeout(t *testing.T) {
+	cfg := fibConfig()
+	cfg.Timeout = 100 * time.Millisecond
+	set := faultinject.New(faultinject.Fault{
+		Kind:  faultinject.KindStall,
+		Match: "fib_bench_safe_2",
+		Sleep: 300 * time.Millisecond,
+	})
+	cfg.Faults = set
+
+	r := RunOne(fibTask(t, cfg), core.Baseline, cfg)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Status != sat.Unknown || r.Stop != sat.StopDeadline {
+		t.Fatalf("status=%v stop=%v, want unknown/%v", r.Status, r.Stop, sat.StopDeadline)
+	}
+	if got := r.Failure(); got != sat.FailTimeout {
+		t.Fatalf("failure %v, want timeout", got)
+	}
+	if !r.Completed {
+		t.Fatal("timed-out run must be terminal")
+	}
+	if set.Fired(0) == 0 {
+		t.Fatal("stall fault never fired")
+	}
+}
+
+// cancelOnFirstWrite is a Progress writer that cancels the sweep's context
+// as soon as the first result line is printed, so exactly one run completes
+// before cancellation in a sequential sweep.
+type cancelOnFirstWrite struct {
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+func (w *cancelOnFirstWrite) Write(p []byte) (int, error) {
+	w.once.Do(w.cancel)
+	return len(p), nil
+}
+
+// TestCancellationMidSweep: cancelling the context after the first run marks
+// every remaining run cancelled (and only those incomplete), with the
+// counter matching.
+func TestCancellationMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := smallConfig()
+	cfg.Context = ctx
+	cfg.Progress = &cancelOnFirstWrite{cancel: cancel}
+	cfg.Metrics = telemetry.NewRegistry()
+
+	res := Run(cfg)
+	completed, cancelled := 0, 0
+	for _, r := range res.Runs {
+		switch {
+		case r.Failure() == sat.FailCancelled:
+			cancelled++
+			if r.Completed {
+				t.Fatalf("%s/%v: cancelled run marked completed", r.Task.ID(), r.Strategy)
+			}
+			if r.Stop != sat.StopCancelled {
+				t.Fatalf("%s/%v: stop=%v, want %v", r.Task.ID(), r.Strategy, r.Stop, sat.StopCancelled)
+			}
+		case r.Solved():
+			completed++
+			if !r.Completed {
+				t.Fatalf("%s/%v: solved run not completed", r.Task.ID(), r.Strategy)
+			}
+		default:
+			t.Fatalf("%s/%v: unexpected outcome status=%v err=%v", r.Task.ID(), r.Strategy, r.Status, r.Err)
+		}
+	}
+	if completed != 1 || cancelled != len(res.Runs)-1 {
+		t.Fatalf("completed=%d cancelled=%d of %d", completed, cancelled, len(res.Runs))
+	}
+	if got := cfg.Metrics.Counter("tasks_cancelled").Value(); got != uint64(cancelled) {
+		t.Fatalf("tasks_cancelled = %d, want %d", got, cancelled)
+	}
+	if got := cfg.Metrics.Counter("runs_done").Value(); got != uint64(completed) {
+		t.Fatalf("runs_done = %d, want %d (cancelled runs are not done)", got, completed)
+	}
+}
+
+// TestCancellationMidSolve: cancelling while the solver is inside the search
+// loop stops it at the next budget poll. An injected 200ms stall at the
+// first decision guarantees the solve is still in flight when the 50ms
+// cancellation lands, making the test deterministic regardless of machine
+// speed.
+func TestCancellationMidSolve(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	time.AfterFunc(50*time.Millisecond, cancel)
+
+	cfg := fibConfig()
+	cfg.Context = ctx
+	cfg.Faults = faultinject.New(faultinject.Fault{
+		Kind:  faultinject.KindStall,
+		Match: "fib_bench_safe_2",
+		Sleep: 200 * time.Millisecond,
+	})
+
+	r := RunOne(fibTask(t, cfg), core.Baseline, cfg)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Status != sat.Unknown || r.Stop != sat.StopCancelled {
+		t.Fatalf("status=%v stop=%v, want unknown/%v", r.Status, r.Stop, sat.StopCancelled)
+	}
+	if r.Failure() != sat.FailCancelled || r.Completed {
+		t.Fatalf("failure=%v completed=%v, want cancelled/incomplete", r.Failure(), r.Completed)
+	}
+}
+
+// TestMemoutClassified: a tiny memory cap makes conflict-bearing runs stop
+// with a graceful memout, classified and counted; propagation-only runs
+// still solve.
+func TestMemoutClassified(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxMemoryBytes = 1
+	cfg.Metrics = telemetry.NewRegistry()
+
+	res := Run(cfg)
+	memouts := 0
+	for _, r := range res.Runs {
+		if r.Err != nil {
+			t.Fatalf("%s/%v: %v", r.Task.ID(), r.Strategy, r.Err)
+		}
+		if r.Failure() == sat.FailMemout {
+			memouts++
+			if r.Stop != sat.StopMemout {
+				t.Fatalf("%s/%v: stop=%v", r.Task.ID(), r.Strategy, r.Stop)
+			}
+			if !r.Completed {
+				t.Fatalf("%s/%v: memout must be terminal", r.Task.ID(), r.Strategy)
+			}
+		}
+	}
+	if memouts == 0 {
+		t.Fatal("no run hit the 1-byte memory cap")
+	}
+	if got := cfg.Metrics.Counter("tasks_memout").Value(); got != uint64(memouts) {
+		t.Fatalf("tasks_memout = %d, want %d", got, memouts)
+	}
+}
+
+// TestCheckpointResume: a checkpointed sweep restored with -resume semantics
+// re-executes nothing — every run is restored with its stats, and the solver
+// never starts.
+func TestCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "results.json")
+	cfg := smallConfig()
+	cfg.CheckpointPath = ckpt
+	cfg.CheckpointEvery = 4
+	cfg.Metrics = telemetry.NewRegistry()
+
+	first := Run(cfg)
+	for _, r := range first.Runs {
+		if r.Err != nil || !r.Solved() {
+			t.Fatalf("%s/%v: status=%v err=%v", r.Task.ID(), r.Strategy, r.Status, r.Err)
+		}
+	}
+	if got := cfg.Metrics.Counter("checkpoints_written").Value(); got < 2 {
+		t.Fatalf("checkpoints_written = %d, want periodic + final", got)
+	}
+
+	doc, err := LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != len(first.Runs) {
+		t.Fatalf("checkpoint holds %d runs, want %d", len(doc.Runs), len(first.Runs))
+	}
+
+	resumed := smallConfig()
+	resumed.Resume = doc
+	resumed.Metrics = telemetry.NewRegistry()
+	second := Run(resumed)
+	if len(second.Runs) != len(first.Runs) {
+		t.Fatalf("resumed runs %d != %d", len(second.Runs), len(first.Runs))
+	}
+	for i := range second.Runs {
+		a, b := first.Runs[i], second.Runs[i]
+		if !b.Resumed {
+			t.Fatalf("%s/%v: executed despite checkpoint", b.Task.ID(), b.Strategy)
+		}
+		if a.Status != b.Status || a.Stats.Decisions != b.Stats.Decisions ||
+			a.Stats.Conflicts != b.Stats.Conflicts {
+			t.Fatalf("%s/%v: restored run diverges: %v/%d vs %v/%d",
+				a.Task.ID(), a.Strategy, a.Status, a.Stats.Decisions, b.Status, b.Stats.Decisions)
+		}
+	}
+	if got := resumed.Metrics.Counter("runs_resumed").Value(); got != uint64(len(second.Runs)) {
+		t.Fatalf("runs_resumed = %d, want %d", got, len(second.Runs))
+	}
+	// The decisive proof that nothing re-ran: the solver made zero decisions
+	// in the resumed sweep.
+	if got := resumed.Metrics.Counter("solver_decisions").Value(); got != 0 {
+		t.Fatalf("solver_decisions = %d after a fully resumed sweep", got)
+	}
+}
+
+// TestCorruptedTheoryFlaggedByChecking: an unsound theory (conflict verdicts
+// suppressed) flips peterson@sc from unsat to a wrong sat — and verdict
+// checking catches it: the bogus model's event order graph is cyclic, so
+// witness validation fails instead of the harness trusting the answer.
+func TestCorruptedTheoryFlaggedByChecking(t *testing.T) {
+	cfg := Config{
+		Models:        []memmodel.Model{memmodel.SC},
+		Strategies:    []core.Strategy{core.Baseline},
+		Bounds:        []int{1},
+		Width:         8,
+		Timeout:       5 * time.Second,
+		Subcategories: []string{"lit"},
+		CheckVerdicts: true,
+	}
+	set := faultinject.New(faultinject.Fault{Kind: faultinject.KindCorrupt, Match: "peterson@sc"})
+	cfg.Faults = set
+
+	var hit *Task
+	for _, task := range Tasks(cfg) {
+		if task.Bench.Name == "peterson" {
+			hit = &task
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatal("missing peterson")
+	}
+	r := RunOne(*hit, core.Baseline, cfg)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Status != sat.Sat {
+		t.Fatalf("status %v: the corrupted theory should have produced a wrong sat", r.Status)
+	}
+	if set.Fired(0) == 0 {
+		t.Fatal("corrupt fault never fired")
+	}
+	if r.Checked || r.CheckErr == nil {
+		t.Fatalf("wrong verdict not flagged: checked=%v checkerr=%v", r.Checked, r.CheckErr)
+	}
+}
+
+// TestResumeRerunsCancelled: after an interrupted sweep, resume restores the
+// completed pairs and executes exactly the cancelled ones — the
+// SIGINT-then-resume workflow.
+func TestResumeRerunsCancelled(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "partial.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := smallConfig()
+	cfg.Context = ctx
+	cfg.Progress = &cancelOnFirstWrite{cancel: cancel}
+	cfg.CheckpointPath = ckpt
+
+	interrupted := Run(cfg)
+	doc, err := LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completedInCkpt := 0
+	for _, jr := range doc.Runs {
+		if jr.Completed {
+			completedInCkpt++
+		}
+	}
+	if completedInCkpt != 1 {
+		t.Fatalf("checkpoint completed runs = %d, want 1", completedInCkpt)
+	}
+
+	resumed := smallConfig()
+	resumed.Resume = doc
+	resumed.Metrics = telemetry.NewRegistry()
+	second := Run(resumed)
+	restoredCount := 0
+	for i, r := range second.Runs {
+		if r.Err != nil || !r.Solved() {
+			t.Fatalf("%s/%v: status=%v err=%v after resume", r.Task.ID(), r.Strategy, r.Status, r.Err)
+		}
+		if r.Resumed {
+			restoredCount++
+			if interrupted.Runs[i].Status != r.Status {
+				t.Fatalf("%s/%v: restored verdict changed", r.Task.ID(), r.Strategy)
+			}
+		}
+	}
+	if restoredCount != 1 {
+		t.Fatalf("restored %d runs, want exactly the 1 completed before SIGINT", restoredCount)
+	}
+	if got := resumed.Metrics.Counter("runs_resumed").Value(); got != 1 {
+		t.Fatalf("runs_resumed = %d, want 1", got)
+	}
+}

@@ -8,11 +8,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"zpre/internal/core"
 	"zpre/internal/cprog"
 	"zpre/internal/encode"
+	"zpre/internal/faultinject"
 	"zpre/internal/memmodel"
 	"zpre/internal/order"
 	"zpre/internal/sat"
@@ -62,6 +65,15 @@ type RunResult struct {
 	// analysis dropped).
 	VC  encode.Stats
 	Err error
+	// Stop records why the solver returned Unknown (deadline, budgets,
+	// memout, cancellation); StopNone for a verdict.
+	Stop sat.StopReason
+	// Completed marks a terminal outcome: a verdict, a timeout/memout, a
+	// contained panic or any other error. Only cancelled runs (SIGINT or a
+	// cancelled context) are incomplete — they are what `-resume` re-runs.
+	Completed bool
+	// Resumed marks a run restored from a checkpoint rather than executed.
+	Resumed bool
 	// Checked: the verdict passed independent validation (CheckVerdicts
 	// mode). CheckSkipped: the proof exceeded the checking cap.
 	Checked      bool
@@ -72,6 +84,23 @@ type RunResult struct {
 
 // Solved reports whether the run finished within budget.
 func (r RunResult) Solved() bool { return r.Err == nil && r.Status != sat.Unknown }
+
+// Failure classifies an unsolved run: the error's class when one is set
+// (panic, error, ...), otherwise the solver's stop reason (timeout, memout,
+// cancelled; an Unknown with no recorded reason counts as timeout).
+// FailNone for solved runs.
+func (r RunResult) Failure() sat.FailureKind {
+	if r.Err != nil {
+		return sat.Classify(r.Err)
+	}
+	if r.Status == sat.Unknown {
+		if k := r.Stop.Failure(); k != sat.FailNone {
+			return k
+		}
+		return sat.FailTimeout
+	}
+	return sat.FailNone
+}
 
 // Config controls an evaluation run.
 type Config struct {
@@ -87,6 +116,18 @@ type Config struct {
 	// MaxConflicts optionally caps the search instead of/in addition to the
 	// wall clock (deterministic budgets for tests).
 	MaxConflicts uint64
+	// MaxDecisions optionally caps decisions per solve (deterministic
+	// budget; Unknown(decision-budget) classifies as timeout).
+	MaxDecisions uint64
+	// MaxMemoryBytes caps the solver's approximate allocation accounting
+	// (clause DB + trail); exceeding it yields a graceful Unknown(memout)
+	// instead of an OOM kill.
+	MaxMemoryBytes int64
+	// Context, when non-nil, cancels the sweep cooperatively: in-flight
+	// solves stop at the next budget poll, queued runs are marked cancelled,
+	// and Run returns the partial results (plus a final checkpoint when
+	// CheckpointPath is set).
+	Context context.Context
 	// Width is the program integer bit width (default 8).
 	Width int
 	// Seed drives random polarities.
@@ -129,6 +170,21 @@ type Config struct {
 	// workers (runs_done, solves_running, solver_conflicts, ...) for
 	// progress displays; see internal/telemetry.Registry.
 	Metrics *telemetry.Registry
+	// CheckpointPath, when set, periodically atomic-writes (tmp+rename) the
+	// results recorded so far as a JSON export, and writes a final
+	// checkpoint when the sweep ends or is cancelled.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in completed runs
+	// (default 16).
+	CheckpointEvery int
+	// Resume, when non-nil, is a prior (possibly partial) JSON export —
+	// see LoadCheckpoint. Completed (task, strategy) pairs found in it are
+	// restored instead of re-run; cancelled and missing pairs execute.
+	Resume *JSONResults
+	// Faults injects deterministic failures (panics, stalls, corrupted
+	// theory verdicts) into matching runs; see internal/faultinject. Used
+	// by the resilience tests and `evaluate -inject`.
+	Faults *faultinject.Set
 }
 
 // TraceFileName is the per-run trace file name under Config.TraceDir.
@@ -162,6 +218,9 @@ func (c *Config) fill() {
 	}
 	if c.CheckLearntCap == 0 {
 		c.CheckLearntCap = 4000
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 16
 	}
 }
 
@@ -199,12 +258,103 @@ type Results struct {
 	Runs   []RunResult
 }
 
+// recorder serialises result writes from the workers: it fills res.Runs,
+// maintains the failure-class metrics and drives the checkpoint cadence.
+// A single mutex covers result slots, progress output and checkpoint writes,
+// so a checkpoint never observes a half-written slot.
+type recorder struct {
+	mu        sync.Mutex
+	res       *Results
+	cfg       *Config
+	done      []bool
+	recorded  int
+	sinceCkpt int
+}
+
+func newRecorder(res *Results, cfg *Config) *recorder {
+	return &recorder{res: res, cfg: cfg, done: make([]bool, len(res.Runs))}
+}
+
+// record stores one finished (or restored, or cancelled) run.
+func (rc *recorder) record(idx int, r RunResult) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.res.Runs[idx] = r
+	rc.done[idx] = true
+	rc.recorded++
+	if m := rc.cfg.Metrics; m != nil {
+		if r.Completed {
+			m.Counter("runs_done").Inc()
+		}
+		if r.Resumed {
+			m.Counter("runs_resumed").Inc()
+		}
+		switch r.Failure() {
+		case sat.FailPanic:
+			m.Counter("tasks_panicked").Inc()
+		case sat.FailCancelled:
+			m.Counter("tasks_cancelled").Inc()
+		case sat.FailMemout:
+			m.Counter("tasks_memout").Inc()
+		case sat.FailError:
+			m.Counter("tasks_errored").Inc()
+		}
+	}
+	if rc.cfg.Progress != nil {
+		note := ""
+		switch {
+		case r.Resumed:
+			note = " (resumed)"
+		case r.Failure() == sat.FailCancelled:
+			note = " (cancelled)"
+		case r.Failure() != sat.FailNone:
+			note = " (" + r.Failure().String() + ")"
+		}
+		fmt.Fprintf(rc.cfg.Progress, "[%d/%d] %s %s%s\n",
+			rc.recorded, len(rc.res.Runs), r.Task.ID(), r.Strategy, note)
+	}
+	if rc.cfg.CheckpointPath != "" && !r.Resumed {
+		rc.sinceCkpt++
+		if rc.sinceCkpt >= rc.cfg.CheckpointEvery {
+			rc.checkpointLocked()
+		}
+	}
+}
+
+// flush forces a final checkpoint covering everything recorded so far.
+func (rc *recorder) flush() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.cfg.CheckpointPath != "" && rc.sinceCkpt > 0 {
+		rc.checkpointLocked()
+	}
+}
+
+func (rc *recorder) checkpointLocked() {
+	rc.sinceCkpt = 0
+	if err := SaveCheckpoint(rc.cfg.CheckpointPath, rc.res, rc.done); err != nil {
+		if rc.cfg.Progress != nil {
+			fmt.Fprintf(rc.cfg.Progress, "checkpoint write failed: %v\n", err)
+		}
+		return
+	}
+	if rc.cfg.Metrics != nil {
+		rc.cfg.Metrics.Counter("checkpoints_written").Inc()
+	}
+}
+
 // Run executes the full evaluation: every task is encoded once per strategy
 // (deterministic encoding yields the identical instance, mirroring the
 // paper's shared SMT files) and solved; solving time excludes encoding, as
 // the paper measures backend time only. With cfg.Parallel > 1, tasks are
 // distributed over a worker pool; results come back in deterministic order
 // regardless of completion order.
+//
+// Failures never abort the sweep: panics are contained per run, budget and
+// memory exhaustion classify the single task, and cancelling cfg.Context
+// drains the workers and returns partial results (checkpointed when
+// cfg.CheckpointPath is set). Runs found completed in cfg.Resume are
+// restored instead of executed.
 func Run(cfg Config) *Results {
 	cfg.fill()
 	res := &Results{Config: cfg}
@@ -219,10 +369,8 @@ func Run(cfg Config) *Results {
 			cfg.TraceDir = ""
 		}
 	}
-	var runsDone *telemetry.Counter
 	if cfg.Metrics != nil {
 		cfg.Metrics.Gauge("runs_total").Set(int64(len(tasks) * len(cfg.Strategies)))
-		runsDone = cfg.Metrics.Counter("runs_done")
 	}
 
 	type job struct {
@@ -240,16 +388,19 @@ func Run(cfg Config) *Results {
 		return res
 	}
 
+	rec := newRecorder(res, &cfg)
+	defer rec.flush()
+	resume := resumeIndex(cfg.Resume)
+
 	if workers == 1 {
 		for i, task := range tasks {
 			for si, strat := range cfg.Strategies {
-				res.Runs[i*nStrat+si] = RunOne(task, strat, cfg)
-				if runsDone != nil {
-					runsDone.Inc()
+				idx := i*nStrat + si
+				if jr, ok := resume[resumeKey(task.ID(), strat.String())]; ok {
+					rec.record(idx, resumedResult(task, strat, jr))
+					continue
 				}
-			}
-			if cfg.Progress != nil {
-				fmt.Fprintf(cfg.Progress, "[%d/%d] %s\n", i+1, len(tasks), task.ID())
+				rec.record(idx, RunOne(task, strat, cfg))
 			}
 		}
 		return res
@@ -257,29 +408,22 @@ func Run(cfg Config) *Results {
 
 	jobs := make(chan job)
 	var wg sync.WaitGroup
-	var done int64
-	var mu sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				r := RunOne(tasks[j.taskIdx], cfg.Strategies[j.stratIdx], cfg)
-				res.Runs[j.taskIdx*nStrat+j.stratIdx] = r
-				if runsDone != nil {
-					runsDone.Inc()
-				}
-				if cfg.Progress != nil {
-					mu.Lock()
-					done++
-					fmt.Fprintf(cfg.Progress, "[%d/%d] %s\n", done, len(res.Runs), r.Task.ID())
-					mu.Unlock()
-				}
+				idx := j.taskIdx*nStrat + j.stratIdx
+				rec.record(idx, RunOne(tasks[j.taskIdx], cfg.Strategies[j.stratIdx], cfg))
 			}
 		}()
 	}
-	for ti := range tasks {
-		for si := range cfg.Strategies {
+	for ti, task := range tasks {
+		for si, strat := range cfg.Strategies {
+			if jr, ok := resume[resumeKey(task.ID(), strat.String())]; ok {
+				rec.record(ti*nStrat+si, resumedResult(task, strat, jr))
+				continue
+			}
 			jobs <- job{taskIdx: ti, stratIdx: si}
 		}
 	}
@@ -296,10 +440,34 @@ func RunParallel(cfg Config) *Results {
 	return Run(cfg)
 }
 
-// RunOne encodes and solves a single task with one strategy.
-func RunOne(task Task, strat core.Strategy, cfg Config) RunResult {
+// RunOne encodes and solves a single task with one strategy. Panics anywhere
+// in the pipeline (unrolling, encoding, search, verdict checking) are
+// contained and classified as FailPanic on the returned result, so one
+// pathological instance fails one run, not the process.
+func RunOne(task Task, strat core.Strategy, cfg Config) (out RunResult) {
 	cfg.fill()
-	out := RunResult{Task: task, Strategy: strat}
+	out = RunResult{Task: task, Strategy: strat}
+	var sink *telemetry.JSONLSink
+	defer func() {
+		if r := recover(); r != nil {
+			out.Status = sat.Unknown
+			out.Err = &sat.StatusError{
+				Kind: sat.FailPanic,
+				Err:  fmt.Errorf("panic: %v\n%s", r, debug.Stack()),
+			}
+			if sink != nil {
+				sink.Close() // best effort: the trace ends mid-stream
+			}
+		}
+		// Every outcome is terminal except cancellation: a cancelled run is
+		// the one class `-resume` re-executes.
+		out.Completed = out.Failure() != sat.FailCancelled
+	}()
+	if cfg.Context != nil && cfg.Context.Err() != nil {
+		out.Status = sat.Unknown
+		out.Stop = sat.StopCancelled
+		return out
+	}
 
 	unrollStart := time.Now()
 	unrolled := cprog.Unroll(task.Bench.Program, task.Bound, cprog.UnwindAssume)
@@ -334,7 +502,6 @@ func RunOne(task Task, strat core.Strategy, cfg Config) RunResult {
 	// Observability: a private trace sink per run (workers never share
 	// one), live metrics aggregated across workers via atomic counters.
 	var tracer *telemetry.SolverTracer
-	var sink *telemetry.JSONLSink
 	if cfg.TraceDir != "" {
 		sink, err = telemetry.NewFileSink(filepath.Join(cfg.TraceDir, TraceFileName(task, strat)))
 		if err != nil {
@@ -362,10 +529,20 @@ func RunOne(task Task, strat core.Strategy, cfg Config) RunResult {
 	}
 
 	opts := smt.Options{
-		Decider:      decider,
-		MaxConflicts: cfg.MaxConflicts,
-		Tracer:       satTracer,
-		TimePhases:   cfg.TimePhases || tracer != nil,
+		Decider:        decider,
+		MaxConflicts:   cfg.MaxConflicts,
+		MaxDecisions:   cfg.MaxDecisions,
+		MaxMemoryBytes: cfg.MaxMemoryBytes,
+		Context:        cfg.Context,
+		Tracer:         satTracer,
+		TimePhases:     cfg.TimePhases || tracer != nil,
+	}
+	if cfg.Faults != nil {
+		label := task.ID() + "/" + strat.String()
+		opts.Tracer = cfg.Faults.Tracer(label, opts.Tracer)
+		opts.WrapTheory = func(th sat.Theory) sat.Theory {
+			return cfg.Faults.Theory(label, th)
+		}
 	}
 	if cfg.Timeout > 0 {
 		opts.Deadline = time.Now().Add(cfg.Timeout)
@@ -387,6 +564,7 @@ func RunOne(task Task, strat core.Strategy, cfg Config) RunResult {
 		return out
 	}
 	out.Status = r.Status
+	out.Stop = r.Stop
 	out.Solve = r.Elapsed
 	out.Stats = r.Stats
 	out.Timings = r.Timings

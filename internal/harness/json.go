@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"io"
 	"time"
+
+	"zpre/internal/sat"
 )
 
 // JSONRun is the serialisable form of one run (stable field names for
@@ -46,7 +48,18 @@ type JSONRun struct {
 	WSPruned         int    `json:"ws_pruned,omitempty"`
 	Checked          bool   `json:"checked,omitempty"`
 	CheckSkipped     bool   `json:"check_skipped,omitempty"`
-	Error            string `json:"error,omitempty"`
+	// Completed marks a terminal outcome; false only for cancelled runs,
+	// which `-resume` re-executes.
+	Completed bool `json:"completed"`
+	// Failure classifies an unsolved run: timeout, memout, cancelled,
+	// panic or error (empty for solved runs).
+	Failure string `json:"failure,omitempty"`
+	// StopReason is the solver-level reason an Unknown was returned
+	// (deadline, conflict-budget, decision-budget, memout, cancelled).
+	StopReason string `json:"stop_reason,omitempty"`
+	// Resumed marks a run restored from a checkpoint, not executed.
+	Resumed bool   `json:"resumed,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // JSONResults is the top-level export document.
@@ -77,52 +90,63 @@ func (r *Results) WriteJSON(w io.Writer) error {
 		doc.Strategies = append(doc.Strategies, s.String())
 	}
 	for _, run := range r.Runs {
-		jr := JSONRun{
-			Task:             run.Task.ID(),
-			Subcategory:      run.Task.Bench.Subcategory,
-			Benchmark:        run.Task.Bench.Name,
-			Model:            run.Task.Model.String(),
-			Bound:            run.Task.Bound,
-			Strategy:         run.Strategy.String(),
-			Status:           run.Status.String(),
-			SolveSec:         durSec(run.Solve),
-			EncodeSec:        durSec(run.Encode),
-			UnrollSec:        durSec(run.Unroll),
-			StaticSec:        durSec(run.VC.StaticTime),
-			BCPSec:           durSec(run.Timings.BCP),
-			TheorySec:        durSec(run.Timings.Theory),
-			AnalyzeSec:       durSec(run.Timings.Analyze),
-			ReduceSec:        durSec(run.Timings.Reduce),
-			Decisions:        run.Stats.Decisions,
-			Propagations:     run.Stats.Propagations,
-			TheoryProps:      run.Stats.TheoryProps,
-			Conflicts:        run.Stats.Conflicts,
-			TheoryConfl:      run.Stats.TheoryConfl,
-			Restarts:         run.Stats.Restarts,
-			LearntClauses:    run.Stats.LearntClauses,
-			DeletedCls:       run.Stats.DeletedCls,
-			MaxTrail:         run.Stats.MaxTrail,
-			OrderAsserts:     run.OrderStats.Asserts,
-			OrderConflicts:   run.OrderStats.Conflicts,
-			OrderPathQueries: run.OrderStats.PathQueries,
-			OrderProps:       run.OrderStats.Propagations,
-			RFVars:           run.VC.RFVars,
-			WSVars:           run.VC.WSVars,
-			RFPruned:         run.VC.RFPruned,
-			WSPruned:         run.VC.WSPruned,
-			Checked:          run.Checked,
-			CheckSkipped:     run.CheckSkipped,
-		}
-		if run.Err != nil {
-			jr.Error = run.Err.Error()
-		} else if run.CheckErr != nil {
-			jr.Error = "validation: " + run.CheckErr.Error()
-		}
-		doc.Runs = append(doc.Runs, jr)
+		doc.Runs = append(doc.Runs, jsonRun(run))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
+}
+
+// jsonRun converts one run into its export form.
+func jsonRun(run RunResult) JSONRun {
+	jr := JSONRun{
+		Task:             run.Task.ID(),
+		Subcategory:      run.Task.Bench.Subcategory,
+		Benchmark:        run.Task.Bench.Name,
+		Model:            run.Task.Model.String(),
+		Bound:            run.Task.Bound,
+		Strategy:         run.Strategy.String(),
+		Status:           run.Status.String(),
+		SolveSec:         durSec(run.Solve),
+		EncodeSec:        durSec(run.Encode),
+		UnrollSec:        durSec(run.Unroll),
+		StaticSec:        durSec(run.VC.StaticTime),
+		BCPSec:           durSec(run.Timings.BCP),
+		TheorySec:        durSec(run.Timings.Theory),
+		AnalyzeSec:       durSec(run.Timings.Analyze),
+		ReduceSec:        durSec(run.Timings.Reduce),
+		Decisions:        run.Stats.Decisions,
+		Propagations:     run.Stats.Propagations,
+		TheoryProps:      run.Stats.TheoryProps,
+		Conflicts:        run.Stats.Conflicts,
+		TheoryConfl:      run.Stats.TheoryConfl,
+		Restarts:         run.Stats.Restarts,
+		LearntClauses:    run.Stats.LearntClauses,
+		DeletedCls:       run.Stats.DeletedCls,
+		MaxTrail:         run.Stats.MaxTrail,
+		OrderAsserts:     run.OrderStats.Asserts,
+		OrderConflicts:   run.OrderStats.Conflicts,
+		OrderPathQueries: run.OrderStats.PathQueries,
+		OrderProps:       run.OrderStats.Propagations,
+		RFVars:           run.VC.RFVars,
+		WSVars:           run.VC.WSVars,
+		RFPruned:         run.VC.RFPruned,
+		WSPruned:         run.VC.WSPruned,
+		Checked:          run.Checked,
+		CheckSkipped:     run.CheckSkipped,
+		Completed:        run.Completed,
+		Failure:          run.Failure().String(),
+		Resumed:          run.Resumed,
+	}
+	if run.Stop != sat.StopNone {
+		jr.StopReason = run.Stop.String()
+	}
+	if run.Err != nil {
+		jr.Error = run.Err.Error()
+	} else if run.CheckErr != nil {
+		jr.Error = "validation: " + run.CheckErr.Error()
+	}
+	return jr
 }
 
 func durSec(d time.Duration) float64 { return d.Seconds() }

@@ -148,10 +148,14 @@ func FormatTable2(rows []Table2Row) string {
 	return b.String()
 }
 
-// StrategySummary is the per-strategy part of a Table 3 row.
+// StrategySummary is the per-strategy part of a Table 3 row. Unsolved runs
+// split by cause: Timeouts counts budget/deadline/memout exhaustion, Errors
+// counts everything else (panics, encode failures, cancellations) — the two
+// were previously folded together, hiding harness failures as timeouts.
 type StrategySummary struct {
 	Strategy core.Strategy
 	Timeouts int
+	Errors   int
 	CPUTime  time.Duration
 	Speedup  float64 // vs baseline over the all-solved task set
 }
@@ -174,6 +178,7 @@ func (r *Results) Table3() []Table3Row {
 		row := Table3Row{Model: mm}
 		times := map[core.Strategy]time.Duration{}
 		timeouts := map[core.Strategy]int{}
+		errors := map[core.Strategy]int{}
 		for _, per := range r.byTask() {
 			any := false
 			for _, run := range per {
@@ -193,7 +198,12 @@ func (r *Results) Table3() []Table3Row {
 				if !ok || !run.Solved() {
 					allSolved = false
 					if ok {
-						timeouts[strat]++
+						switch run.Failure() {
+						case sat.FailTimeout, sat.FailMemout:
+							timeouts[strat]++
+						default:
+							errors[strat]++
+						}
 					}
 					continue
 				}
@@ -216,6 +226,7 @@ func (r *Results) Table3() []Table3Row {
 			row.Per = append(row.Per, StrategySummary{
 				Strategy: strat,
 				Timeouts: timeouts[strat],
+				Errors:   errors[strat],
 				CPUTime:  times[strat],
 				Speedup:  speedup(times[core.Baseline], times[strat]),
 			})
@@ -232,16 +243,77 @@ func FormatTable3(rows []Table3Row) string {
 	fmt.Fprintf(&b, "%-5s %9s %9s %6s %6s |", "MM", "SMTFiles", "AllSolved", "True", "False")
 	if len(rows) > 0 {
 		for _, p := range rows[0].Per {
-			fmt.Fprintf(&b, " %-28s |", p.Strategy.String()+" (TO, time, speedup)")
+			fmt.Fprintf(&b, " %-32s |", p.Strategy.String()+" (TO, ERR, time, speedup)")
 		}
 	}
-	b.WriteString("\n" + strings.Repeat("-", 135) + "\n")
+	b.WriteString("\n" + strings.Repeat("-", 147) + "\n")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-5s %9d %9d %6d %6d |", r.Model, r.SMTFiles, r.AllSolved, r.True, r.False)
 		for _, p := range r.Per {
-			fmt.Fprintf(&b, " %3d %12.3fs %8.2fx |", p.Timeouts, p.CPUTime.Seconds(), p.Speedup)
+			fmt.Fprintf(&b, " %3d %3d %12.3fs %8.2fx |", p.Timeouts, p.Errors, p.CPUTime.Seconds(), p.Speedup)
 		}
 		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FailureSummary counts unsolved runs by failure class across the whole
+// sweep, with the failing runs listed per class.
+type FailureSummary struct {
+	// Counts maps each failure kind that occurred to its run count.
+	Counts map[sat.FailureKind]int
+	// Runs maps each failure kind to the (task, strategy) labels it hit.
+	Runs map[sat.FailureKind][]string
+}
+
+// Failures scans the result set for unsolved runs and groups them by class.
+func (r *Results) Failures() FailureSummary {
+	sum := FailureSummary{
+		Counts: map[sat.FailureKind]int{},
+		Runs:   map[sat.FailureKind][]string{},
+	}
+	for _, run := range r.Runs {
+		k := run.Failure()
+		if k == sat.FailNone {
+			continue
+		}
+		sum.Counts[k]++
+		sum.Runs[k] = append(sum.Runs[k], run.Task.ID()+"/"+run.Strategy.String())
+	}
+	return sum
+}
+
+// Total returns the number of failed runs across all classes.
+func (s FailureSummary) Total() int {
+	n := 0
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// FormatFailureSummary renders the failure breakdown; the maxList worst
+// offenders are listed per class (0 = counts only).
+func FormatFailureSummary(s FailureSummary, maxList int) string {
+	var b strings.Builder
+	if s.Total() == 0 {
+		b.WriteString("Failures: none\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "Failures: %d run(s) produced no verdict\n", s.Total())
+	for k := sat.FailTimeout; k <= sat.FailError; k++ {
+		n := s.Counts[k]
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-10s %d\n", k.String(), n)
+		for i, id := range s.Runs[k] {
+			if maxList > 0 && i >= maxList {
+				fmt.Fprintf(&b, "    ... and %d more\n", n-maxList)
+				break
+			}
+			fmt.Fprintf(&b, "    %s\n", id)
+		}
 	}
 	return b.String()
 }

@@ -126,6 +126,19 @@ type machine struct {
 	postIdx        int              // thread index of the post (join) thread, -1 if none
 	havoc          []uint64
 	max            int
+	// err is the first evaluation failure (unresolved local, unknown
+	// operator). Expression evaluation happens deep inside the step
+	// machinery where an error return would thread through every layer, so
+	// it latches here and explore surfaces it: a malformed corpus program
+	// fails its one task instead of panicking the process.
+	err error
+}
+
+// fail latches the first evaluation error.
+func (m *machine) fail(format string, args ...any) {
+	if m.err == nil {
+		m.err = fmt.Errorf(format, args...)
+	}
 }
 
 // Run explores all interleavings of the program (unrolled at the given
@@ -312,6 +325,9 @@ func (m *machine) successors(s *state) ([]*state, error) {
 			}
 		}
 	}
+	if m.err != nil {
+		return nil, m.err
+	}
 	return out, nil
 }
 
@@ -467,7 +483,8 @@ func (m *machine) evalRaw(s *state, t int, e cprog.Expr) uint64 {
 	case cprog.Ref:
 		slot, ok := m.slotOf[t][x.Name]
 		if !ok {
-			panic(fmt.Sprintf("interp: unresolved local %q in thread %d", x.Name, t))
+			m.fail("interp: unresolved local %q in thread %d", x.Name, t)
+			return 0
 		}
 		return s.locals[t][slot]
 	case cprog.UnOp:
@@ -480,6 +497,8 @@ func (m *machine) evalRaw(s *state, t int, e cprog.Expr) uint64 {
 		case cprog.OpLNot:
 			return b2u(v == 0)
 		}
+		m.fail("interp: unknown unary operator %d in thread %d", x.Op, t)
+		return 0
 	case cprog.BinOp:
 		l := m.eval(s, t, x.L)
 		r := m.eval(s, t, x.R)
@@ -523,6 +542,9 @@ func (m *machine) evalRaw(s *state, t int, e cprog.Expr) uint64 {
 		case cprog.OpLOr:
 			return b2u(l != 0 || r != 0)
 		}
+		m.fail("interp: unknown binary operator %d in thread %d", x.Op, t)
+		return 0
 	}
-	panic(fmt.Sprintf("interp: unknown expression %T", e))
+	m.fail("interp: unknown expression %T in thread %d", e, t)
+	return 0
 }

@@ -1,0 +1,47 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"zpre/internal/cprog"
+	"zpre/internal/memmodel"
+)
+
+// An invalid operator code passes cprog.Validate (which checks declarations
+// and node types, not opcode ranges), so it can reach evaluation from a
+// malformed corpus program. The interpreter must fail the run with an error,
+// not panic the process.
+func TestMalformedUnaryOpReturnsError(t *testing.T) {
+	p := &cprog.Program{
+		Name:   "bad-unop",
+		Shared: []cprog.SharedDecl{{Name: "x"}},
+		Threads: []*cprog.Thread{{Name: "t1", Body: []cprog.Stmt{
+			cprog.Set("x", cprog.UnOp{Op: 99, X: cprog.C(1)}),
+		}}},
+	}
+	_, err := Run(p, 1, Options{Model: memmodel.SC, Width: 4})
+	if err == nil {
+		t.Fatal("malformed unary op: no error")
+	}
+	if !strings.Contains(err.Error(), "unknown unary operator") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestMalformedBinaryOpReturnsError(t *testing.T) {
+	p := &cprog.Program{
+		Name:   "bad-binop",
+		Shared: []cprog.SharedDecl{{Name: "x"}},
+		Threads: []*cprog.Thread{{Name: "t1", Body: []cprog.Stmt{
+			cprog.Set("x", cprog.BinOp{Op: 99, L: cprog.C(1), R: cprog.C(2)}),
+		}}},
+	}
+	_, err := Run(p, 1, Options{Model: memmodel.SC, Width: 4})
+	if err == nil {
+		t.Fatal("malformed binary op: no error")
+	}
+	if !strings.Contains(err.Error(), "unknown binary operator") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

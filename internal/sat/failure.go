@@ -1,0 +1,133 @@
+package sat
+
+import (
+	"errors"
+	"fmt"
+)
+
+// StopReason records why a Solve call returned Unknown (or StopNone when the
+// search produced a verdict). It separates the deliberate budgets (conflicts,
+// decisions) from the wall clock, the memory cap and cooperative
+// cancellation, so long evaluation campaigns can report *why* a task failed
+// instead of folding every Unknown into "timeout".
+type StopReason uint8
+
+// Stop reasons.
+const (
+	// StopNone: the search ran to a Sat/Unsat verdict.
+	StopNone StopReason = iota
+	// StopConflicts: the MaxConflicts budget was exhausted.
+	StopConflicts
+	// StopDecisions: the MaxDecisions budget was exhausted.
+	StopDecisions
+	// StopDeadline: the wall-clock Deadline passed.
+	StopDeadline
+	// StopMemout: the approximate memory accounting exceeded MaxMemoryBytes.
+	StopMemout
+	// StopCancelled: the Stop channel was closed (cooperative cancellation).
+	StopCancelled
+)
+
+// String renders the stop reason.
+func (r StopReason) String() string {
+	switch r {
+	case StopConflicts:
+		return "conflict-budget"
+	case StopDecisions:
+		return "decision-budget"
+	case StopDeadline:
+		return "deadline"
+	case StopMemout:
+		return "memout"
+	case StopCancelled:
+		return "cancelled"
+	}
+	return "none"
+}
+
+// Failure maps the stop reason onto the evaluation failure taxonomy: budget
+// and deadline exhaustion all classify as timeout (a bounded search that ran
+// out of its allotment), memout and cancellation keep their own class.
+func (r StopReason) Failure() FailureKind {
+	switch r {
+	case StopConflicts, StopDecisions, StopDeadline:
+		return FailTimeout
+	case StopMemout:
+		return FailMemout
+	case StopCancelled:
+		return FailCancelled
+	}
+	return FailNone
+}
+
+// FailureKind classifies why a verification run produced no verdict. It is
+// the vocabulary the evaluation harness uses in tables, JSON exports and
+// metrics (tasks_panicked, tasks_memout, ...).
+type FailureKind uint8
+
+// Failure kinds.
+const (
+	// FailNone: the run produced a verdict.
+	FailNone FailureKind = iota
+	// FailTimeout: a wall-clock or conflict/decision budget ran out.
+	FailTimeout
+	// FailMemout: the solver hit its memory cap and gave up gracefully.
+	FailMemout
+	// FailCancelled: the run was cancelled (SIGINT/SIGTERM or context).
+	FailCancelled
+	// FailPanic: the run panicked and was contained by the harness.
+	FailPanic
+	// FailError: any other error (encode failure, I/O, ...).
+	FailError
+)
+
+// String renders the failure kind ("" for FailNone, so it can be written
+// straight into an omitempty JSON field).
+func (k FailureKind) String() string {
+	switch k {
+	case FailTimeout:
+		return "timeout"
+	case FailMemout:
+		return "memout"
+	case FailCancelled:
+		return "cancelled"
+	case FailPanic:
+		return "panic"
+	case FailError:
+		return "error"
+	}
+	return ""
+}
+
+// StatusError is an error carrying a failure classification. The harness
+// wraps contained panics (and any other classified failure) in a StatusError
+// so downstream aggregation can count failure causes without string
+// matching.
+type StatusError struct {
+	Kind FailureKind
+	Err  error
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	if e.Err == nil {
+		return e.Kind.String()
+	}
+	return fmt.Sprintf("%s: %v", e.Kind, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *StatusError) Unwrap() error { return e.Err }
+
+// Classify extracts the failure kind of an error: the StatusError kind when
+// one is in the chain, FailNone for nil, FailError otherwise.
+func Classify(err error) FailureKind {
+	if err == nil {
+		return FailNone
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Kind
+	}
+	return FailError
+}

@@ -22,8 +22,20 @@ type Solver struct {
 	Decider Decider
 	// MaxConflicts aborts the search (Unknown) after this many conflicts.
 	MaxConflicts uint64
+	// MaxDecisions aborts the search (Unknown) after this many decisions in
+	// one Solve call (deterministic per-task budget).
+	MaxDecisions uint64
+	// MaxMemoryBytes aborts the search (Unknown, LastStop = StopMemout) when
+	// the solver's approximate live allocation — clause database, per-variable
+	// bookkeeping, trail — exceeds this cap, instead of OOMing the process.
+	MaxMemoryBytes int64
 	// Deadline aborts the search (Unknown) when the wall clock passes it.
 	Deadline time.Time
+	// Stop, when non-nil, cancels the search cooperatively: the search loop
+	// polls the channel at a bounded interval and aborts with Unknown
+	// (LastStop = StopCancelled) once it is closed. Derive it from a
+	// context.Context's Done() to plumb standard cancellation through.
+	Stop <-chan struct{}
 	// Proof, when set, records the inference trace (set it before adding
 	// clauses; see ProofRecorder).
 	Proof ProofRecorder
@@ -65,6 +77,10 @@ type Solver struct {
 
 	ok    bool
 	stats Stats
+
+	stopped       StopReason // why the last Solve returned Unknown
+	decisionLimit uint64     // stats.Decisions value at which MaxDecisions trips
+	clauseBytes   int64      // approximate live clause-database bytes
 
 	assumptions []Lit
 	conflCore   []Lit
@@ -164,6 +180,22 @@ func (s *Solver) valueLitInternal(l Lit) LBool {
 // Stats returns the cumulative search counters.
 func (s *Solver) Stats() Stats { return s.stats }
 
+// LastStop reports why the most recent Solve call stopped: StopNone after a
+// verdict, otherwise the budget/deadline/memout/cancellation that aborted it.
+func (s *Solver) LastStop() StopReason { return s.stopped }
+
+// approxClauseBytes estimates the heap footprint of one clause of n literals:
+// the Clause header, the literal slice and the two watcher entries.
+func approxClauseBytes(n int) int64 { return int64(80 + 4*n) }
+
+// MemApprox returns the solver's approximate live allocation in bytes: the
+// clause database (problem + learnt), the per-variable bookkeeping arrays and
+// the trail. It deliberately over-counts a little rather than chasing exact
+// allocator numbers; MaxMemoryBytes compares against this figure.
+func (s *Solver) MemApprox() int64 {
+	return s.clauseBytes + int64(len(s.assigns))*128 + int64(cap(s.trail))*8
+}
+
 // Okay reports whether the clause set is still possibly satisfiable (false
 // once a top-level conflict has been derived).
 func (s *Solver) Okay() bool { return s.ok }
@@ -226,6 +258,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	}
 	c := &Clause{Lits: out}
 	s.clauses = append(s.clauses, c)
+	s.clauseBytes += approxClauseBytes(len(out))
 	s.attach(c)
 	return true
 }
@@ -417,6 +450,7 @@ func (s *Solver) theoryStep() (*Clause, bool) {
 		}
 		reason.Lits[1], reason.Lits[maxI] = reason.Lits[maxI], reason.Lits[1]
 		s.learnts = append(s.learnts, reason)
+		s.clauseBytes += approxClauseBytes(len(reason.Lits))
 		s.attach(reason)
 		s.stats.LearntClauses++
 		s.claBump(reason)
@@ -550,6 +584,11 @@ func (s *Solver) SolveWithAssumptions(assumps ...Lit) Status {
 	s.assumptions = append(s.assumptions[:0], assumps...)
 	s.conflCore = nil
 	s.model = nil
+	s.stopped = StopNone
+	s.decisionLimit = 0
+	if s.MaxDecisions > 0 {
+		s.decisionLimit = s.stats.Decisions + s.MaxDecisions
+	}
 	confBudget := s.MaxConflicts
 	restart := 0
 	for {
@@ -562,7 +601,7 @@ func (s *Solver) SolveWithAssumptions(assumps ...Lit) Status {
 			s.cancelUntil(0)
 			return st
 		}
-		if s.budgetExhausted(confBudget) {
+		if s.checkStop(confBudget) {
 			s.cancelUntil(0)
 			return Unknown
 		}
@@ -616,11 +655,37 @@ func (s *Solver) analyzeFinal(p Lit) []Lit {
 	return out
 }
 
-func (s *Solver) budgetExhausted(confBudget uint64) bool {
+// checkStop tests every abort condition, recording the first that holds in
+// s.stopped: conflict/decision budgets, the wall-clock deadline, cooperative
+// cancellation and the memory cap. It is called per conflict and at the
+// search loop's bounded poll interval — every check is a few comparisons, a
+// clock read and a non-blocking channel poll.
+func (s *Solver) checkStop(confBudget uint64) bool {
+	if s.stopped != StopNone {
+		return true
+	}
 	if s.MaxConflicts > 0 && confBudget == 0 {
+		s.stopped = StopConflicts
+		return true
+	}
+	if s.MaxDecisions > 0 && s.stats.Decisions >= s.decisionLimit {
+		s.stopped = StopDecisions
 		return true
 	}
 	if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+		s.stopped = StopDeadline
+		return true
+	}
+	if s.Stop != nil {
+		select {
+		case <-s.Stop:
+			s.stopped = StopCancelled
+			return true
+		default:
+		}
+	}
+	if s.MaxMemoryBytes > 0 && s.MemApprox() > s.MaxMemoryBytes {
+		s.stopped = StopMemout
 		return true
 	}
 	return false
@@ -631,11 +696,12 @@ func (s *Solver) search(maxConfl int, confBudget *uint64) Status {
 	var conflicts int
 	var steps uint32
 	for {
-		// Deadline poll at a bounded loop interval: every iteration is a
-		// conflict or a decision, so long conflict-free (restart-starved)
-		// runs still honor the wall clock without a per-iteration syscall.
+		// Stop poll at a bounded loop interval: every iteration is a conflict
+		// or a decision, so long conflict-free (restart-starved) runs still
+		// honor the wall clock, cancellation channel and memory cap without a
+		// per-iteration syscall.
 		steps++
-		if steps&1023 == 0 && !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+		if steps&1023 == 0 && s.checkStop(*confBudget) {
 			s.cancelUntil(0)
 			return Unknown
 		}
@@ -677,6 +743,7 @@ func (s *Solver) search(maxConfl int, confBudget *uint64) Status {
 			} else {
 				c := &Clause{Lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
 				s.learnts = append(s.learnts, c)
+				s.clauseBytes += approxClauseBytes(len(learnt))
 				s.attach(c)
 				s.claBump(c)
 				s.stats.LearntClauses++
@@ -694,7 +761,7 @@ func (s *Solver) search(maxConfl int, confBudget *uint64) Status {
 				s.learntAdjust = 1000
 				s.maxLearnts = s.maxLearnts*1.1 + 2000
 			}
-			if conflicts >= maxConfl || s.budgetExhausted(*confBudget) {
+			if conflicts >= maxConfl || s.checkStop(*confBudget) {
 				s.cancelUntil(0)
 				return Unknown
 			}
@@ -772,6 +839,7 @@ func (s *Solver) search(maxConfl int, confBudget *uint64) Status {
 						} else {
 							lc := &Clause{Lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
 							s.learnts = append(s.learnts, lc)
+							s.clauseBytes += approxClauseBytes(len(learnt))
 							s.attach(lc)
 							s.claBump(lc)
 							s.stats.LearntClauses++
@@ -789,6 +857,13 @@ func (s *Solver) search(maxConfl int, confBudget *uint64) Status {
 			}
 			if s.assigns[next.Var()] != LUndef {
 				panic("sat: decision on assigned variable")
+			}
+			// Deterministic decision budget: checked at the decision site so a
+			// MaxDecisions cap is exact, not rounded to the poll interval.
+			if s.MaxDecisions > 0 && s.stats.Decisions >= s.decisionLimit {
+				s.stopped = StopDecisions
+				s.cancelUntil(0)
+				return Unknown
 			}
 			s.stats.Decisions++
 			s.newDecisionLevel()
@@ -848,6 +923,7 @@ func (s *Solver) reduceDB() {
 			keep = append(keep, c)
 		} else {
 			c.deleted = true
+			s.clauseBytes -= approxClauseBytes(len(c.Lits))
 			s.stats.DeletedCls++
 			if s.Proof != nil {
 				s.Proof.Deleted(c.Lits)

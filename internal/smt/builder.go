@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -213,9 +214,24 @@ type Options struct {
 	Decider sat.Decider
 	// Deadline aborts with StatusUnknown when the wall clock passes it.
 	Deadline time.Time
+	// Context, when non-nil, cancels the search cooperatively: the solver
+	// polls ctx.Done() at a bounded interval and aborts with StatusUnknown
+	// (Result.Stop = sat.StopCancelled) once the context is cancelled.
+	Context context.Context
 	// MaxConflicts aborts with StatusUnknown after this many conflicts (0 =
 	// unlimited).
 	MaxConflicts uint64
+	// MaxDecisions aborts with StatusUnknown after this many decisions (0 =
+	// unlimited; a deterministic per-call budget).
+	MaxDecisions uint64
+	// MaxMemoryBytes makes the solver return Unknown (Result.Stop =
+	// sat.StopMemout) instead of growing its clause database and trail past
+	// this approximate byte cap (0 = unlimited).
+	MaxMemoryBytes int64
+	// WrapTheory, when non-nil, wraps the ordering theory before it is
+	// installed for this call. This is the fault-injection seam (see
+	// internal/faultinject); production paths leave it nil.
+	WrapTheory func(sat.Theory) sat.Theory
 	// EagerOrderPropagation switches the ordering theory to eager
 	// reachability propagation (ablation knob; off in the paper's setting).
 	EagerOrderPropagation bool
@@ -239,6 +255,9 @@ type Result struct {
 	Timings sat.SearchTimings
 	// OrderStats are the ordering theory's cumulative work counters.
 	OrderStats order.Stats
+	// Stop records why an Unknown status was returned (budget, deadline,
+	// memout, cancellation); sat.StopNone after a verdict.
+	Stop sat.StopReason
 }
 
 // ErrInconsistentPO is returned when the unconditional program order is
@@ -276,10 +295,19 @@ func (bd *Builder) SolveAssuming(opts Options, assumps ...Bool) (Result, error) 
 		bd.theory = th
 	}
 	bd.theory.SetEagerPropagation(opts.EagerOrderPropagation)
-	bd.solver.Theory = bd.theory
+	var theory sat.Theory = bd.theory
+	if opts.WrapTheory != nil {
+		theory = opts.WrapTheory(theory)
+	}
+	bd.solver.Theory = theory
 	bd.solver.Decider = opts.Decider
 	bd.solver.Deadline = opts.Deadline
+	if opts.Context != nil {
+		bd.solver.Stop = opts.Context.Done()
+	}
 	bd.solver.MaxConflicts = opts.MaxConflicts
+	bd.solver.MaxDecisions = opts.MaxDecisions
+	bd.solver.MaxMemoryBytes = opts.MaxMemoryBytes
 	bd.solver.Tracer = opts.Tracer
 	var timings *sat.SearchTimings
 	if opts.TimePhases {
@@ -294,11 +322,13 @@ func (bd *Builder) SolveAssuming(opts Options, assumps ...Bool) (Result, error) 
 	st := bd.solver.SolveWithAssumptions(lits...)
 	bd.solver.Tracer = nil
 	bd.solver.Timings = nil
+	bd.solver.Stop = nil
 	res := Result{
 		Status:     st,
 		Stats:      bd.solver.Stats(),
 		Elapsed:    time.Since(start),
 		OrderStats: bd.theory.Stats(),
+		Stop:       bd.solver.LastStop(),
 	}
 	res.StatsDelta = res.Stats.Delta(before)
 	if timings != nil {

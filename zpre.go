@@ -25,6 +25,7 @@
 package zpre
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -96,6 +97,15 @@ type Options struct {
 	Timeout time.Duration
 	// MaxConflicts bounds the search (0 = none).
 	MaxConflicts uint64
+	// MaxDecisions bounds the decisions per solve (0 = none).
+	MaxDecisions uint64
+	// MaxMemoryBytes caps the solver's approximate allocation accounting;
+	// exceeding it yields a graceful Unknown instead of an OOM (0 = none).
+	MaxMemoryBytes int64
+	// Context, when non-nil, cancels the solve cooperatively (e.g. from a
+	// SIGINT handler); the verdict comes back Unknown with
+	// Report.Stop == sat.StopCancelled.
+	Context context.Context
 	// Seed drives the random polarity of interference decisions.
 	Seed int64
 	// Polarity overrides the interference decision polarity (default
@@ -131,6 +141,9 @@ type Report struct {
 	Verdict Verdict
 	// Status is the raw SMT status (Sat = Unsafe, Unsat = Safe).
 	Status sat.Status
+	// Stop says why an Unknown verdict stopped (deadline, conflict or
+	// decision budget, memout, cancelled); sat.StopNone for a verdict.
+	Stop sat.StopReason
 	// SolverStats carries decisions/propagations/conflicts (Table 2).
 	SolverStats sat.Stats
 	// EncodeStats summarises the encoded VC (events, rf/ws variables, ...).
@@ -224,6 +237,9 @@ func solveVC(vc *encode.VC, opts Options, encodeTime time.Duration) (Report, err
 		Decider:               decider,
 		Deadline:              deadline,
 		MaxConflicts:          opts.MaxConflicts,
+		MaxDecisions:          opts.MaxDecisions,
+		MaxMemoryBytes:        opts.MaxMemoryBytes,
+		Context:               opts.Context,
 		EagerOrderPropagation: opts.EagerOrderPropagation,
 		Tracer:                satTracer,
 		TimePhases:            opts.TimePhases || tracer != nil,
@@ -251,6 +267,7 @@ func solveVC(vc *encode.VC, opts Options, encodeTime time.Duration) (Report, err
 	return Report{
 		Verdict:       verdict,
 		Status:        res.Status,
+		Stop:          res.Stop,
 		SolverStats:   res.Stats,
 		EncodeStats:   vc.Stats,
 		SolveTime:     res.Elapsed,
@@ -338,7 +355,13 @@ func VerifyEach(p *cprog.Program, opts Options) ([]AssertReport, error) {
 	}
 	var out []AssertReport
 	for i, sel := range vc.Selectors {
-		sopts := smt.Options{Decider: decider, MaxConflicts: opts.MaxConflicts}
+		sopts := smt.Options{
+			Decider:        decider,
+			MaxConflicts:   opts.MaxConflicts,
+			MaxDecisions:   opts.MaxDecisions,
+			MaxMemoryBytes: opts.MaxMemoryBytes,
+			Context:        opts.Context,
+		}
 		if opts.Timeout > 0 {
 			sopts.Deadline = time.Now().Add(opts.Timeout)
 		}
