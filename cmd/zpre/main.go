@@ -7,10 +7,15 @@
 //
 //	zpre [-model sc|tso|pso] [-strategy baseline|zpre-|zpre|zpre+static]
 //	     [-unroll k] [-width 8] [-timeout 30s] [-prune] [-stats]
-//	     [-trace out.jsonl] [-trace-sample n] [-cpuprofile cpu.out]
-//	     [-memprofile mem.out] [-dump-smt out.smt2] [-dump-eog out.dot]
-//	     program.cp
+//	     [-incremental] [-trace out.jsonl] [-trace-sample n]
+//	     [-cpuprofile cpu.out] [-memprofile mem.out]
+//	     [-dump-smt out.smt2] [-dump-eog out.dot] program.cp
 //	zpre analyze [-unroll k] program.cp
+//
+// With -incremental, bounds 1..k are swept on one live solver (the encoding
+// grows by deltas under per-bound activation literals, learned clauses
+// carry over) and a verdict is printed per bound; the exit status comes
+// from the final bound.
 //
 // The analyze subcommand runs only the static lockset/MHP race analysis and
 // prints per-variable diagnostics (no SMT solving).
@@ -34,6 +39,7 @@ import (
 	"zpre/internal/cprog"
 	"zpre/internal/encode"
 	"zpre/internal/eog"
+	"zpre/internal/incremental"
 	"zpre/internal/memmodel"
 	"zpre/internal/profiling"
 	"zpre/internal/sat"
@@ -72,6 +78,7 @@ func main() {
 		witness   = flag.Bool("witness", false, "on UNSAFE, print a violating interleaving")
 		checkPf   = flag.Bool("proof", false, "record and independently check the refutation proof on SAFE")
 		each      = flag.Bool("each", false, "check every assertion separately (incremental per-property queries)")
+		increm    = flag.Bool("incremental", false, "sweep bounds 1..unroll on one live solver, printing a per-bound verdict")
 		traceOut  = flag.String("trace", "", "write the structured search trace (JSONL) to this file")
 		traceN    = flag.Int("trace-sample", 1, "record only every Nth high-volume trace event")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -162,6 +169,13 @@ func main() {
 		verifyOpts.TraceSink = sink
 		verifyOpts.TraceEvery = *traceN
 	}
+	if *increm {
+		if *each || *checkPf || *traceOut != "" || *prune {
+			fatalf("-incremental is not compatible with -each, -proof, -trace or -prune")
+		}
+		exit(runIncrementalSweep(prog, model, strat, ctx, *unroll, *width, *timeout, *maxDec, *maxMemMB<<20, *seed, *stats, *witness))
+	}
+
 	if *each {
 		reps, err := zpre.VerifyEach(prog, verifyOpts)
 		if err != nil {
@@ -239,6 +253,74 @@ func main() {
 	default:
 		exit(2)
 	}
+}
+
+// runIncrementalSweep verifies bounds 1..maxBound on one live solver,
+// printing a line per bound. Returns the process exit code, derived from
+// the final bound's verdict.
+func runIncrementalSweep(prog *cprog.Program, model memmodel.Model, strat core.Strategy, ctx context.Context, maxBound, width int, timeout time.Duration, maxDec uint64, maxMem, seed int64, stats, showWitness bool) int {
+	sweep, err := incremental.New(prog, incremental.Options{
+		Model:          model,
+		Strategy:       strat,
+		Width:          width,
+		Timeout:        timeout,
+		MaxDecisions:   maxDec,
+		MaxMemoryBytes: maxMem,
+		Context:        ctx,
+		Seed:           seed,
+		TimePhases:     stats,
+		CheckWitness:   showWitness,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zpre: incremental: %v\n", err)
+		return 2
+	}
+	last := incremental.Unknown
+	for k := 1; k <= maxBound; k++ {
+		br, err := sweep.Next()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zpre: incremental k=%d: %v\n", k, err)
+			return 2
+		}
+		verdict := "UNKNOWN"
+		switch br.Verdict {
+		case incremental.Safe:
+			verdict = "SAFE"
+		case incremental.Unsafe:
+			verdict = "UNSAFE"
+		}
+		if br.Verdict == incremental.Unknown && br.Stop != sat.StopNone {
+			verdict += " (" + br.Stop.String() + ")"
+		}
+		fmt.Printf("%s k=%d: %s (encode %v, solve %v, cumulative %v; +%d decisions, +%d conflicts; totals %d/%d)\n",
+			prog.Name, k, verdict,
+			br.Encode.Round(time.Microsecond), br.Solve.Round(time.Microsecond),
+			(br.Encode + br.Solve).Round(time.Microsecond),
+			br.Stats.Decisions, br.Stats.Conflicts,
+			br.Cumulative.Decisions, br.Cumulative.Conflicts)
+		if stats {
+			es := br.EncodeStats
+			fmt.Printf("  encoding now: %d events, %d rf vars, %d ws vars, %d po edges, %d clauses, %d variables\n",
+				es.Events, es.RFVars, es.WSVars, es.POEdges, es.Clauses, es.Variables)
+		}
+		if showWitness && br.Verdict == incremental.Unsafe {
+			steps, werr := witness.Extract(sweep.VC())
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "zpre: witness: %v\n", werr)
+			} else {
+				fmt.Println("witness interleaving (thread, access, value):")
+				fmt.Print(witness.Format(steps, "  "))
+			}
+		}
+		last = br.Verdict
+	}
+	switch last {
+	case incremental.Safe:
+		return 0
+	case incremental.Unsafe:
+		return 1
+	}
+	return 2
 }
 
 // printWitness re-solves the instance (the Verify-owned builder is not

@@ -1,0 +1,163 @@
+package zpre
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"zpre/internal/core"
+	"zpre/internal/cprog"
+	"zpre/internal/incremental"
+	"zpre/internal/memmodel"
+)
+
+// fuzzSrc is a forgiving byte cursor: decoding stops cleanly when the
+// input runs out, so every prefix of a crashing input is itself decodable
+// and the fuzzer's minimizer stays effective.
+type fuzzSrc struct {
+	data []byte
+	i    int
+}
+
+func (s *fuzzSrc) next() (byte, bool) {
+	if s.i >= len(s.data) {
+		return 0, false
+	}
+	b := s.data[s.i]
+	s.i++
+	return b, true
+}
+
+// decodeFuzzProgram maps a byte stream onto a small two-thread program in
+// the corpus's idiom: shared counters, bounded while loops over a local
+// counter, asserts/assumes over small constants. The same bytes always
+// produce the same program.
+func decodeFuzzProgram(data []byte) *cprog.Program {
+	s := &fuzzSrc{data: data}
+	p := &cprog.Program{Name: "fuzz"}
+	names := []string{"g0", "g1"}
+	for _, n := range names {
+		p.Shared = append(p.Shared, cprog.SharedDecl{Name: n})
+	}
+	g := func(b byte) string { return names[int(b>>5)%len(names)] }
+	val := func(b byte) cprog.Expr { return cprog.C(int64(b>>6) % 4) }
+
+	var stmt func(depth int, counter string) (cprog.Stmt, bool)
+	stmt = func(depth int, counter string) (cprog.Stmt, bool) {
+		op, ok := s.next()
+		if !ok {
+			return nil, false
+		}
+		arg, _ := s.next()
+		kind := int(op % 8)
+		if depth > 0 && kind == 7 {
+			kind = 0 // never nest loops: keeps bound-2 sweeps fast
+		}
+		switch kind {
+		case 0:
+			return cprog.Assign{Lhs: g(arg), Rhs: cprog.Add(cprog.V(g(arg)), val(arg))}, true
+		case 1:
+			return cprog.Assign{Lhs: g(arg), Rhs: val(arg)}, true
+		case 2:
+			return cprog.Assume{Cond: cprog.Le(cprog.V(g(arg)), cprog.C(6))}, true
+		case 3:
+			return cprog.Assert{Cond: cprog.Le(cprog.V(g(arg)), cprog.C(5))}, true
+		case 4:
+			return cprog.Havoc{Name: g(arg)}, true
+		case 5:
+			return cprog.Fence{}, true
+		case 6:
+			inner, ok := stmt(depth+1, counter)
+			if !ok {
+				inner = cprog.Fence{}
+			}
+			return cprog.If{
+				Cond: cprog.Lt(cprog.V(g(arg)), cprog.C(2)),
+				Then: []cprog.Stmt{inner},
+			}, true
+		default:
+			inner, ok := stmt(depth+1, counter)
+			if !ok {
+				inner = cprog.Assign{Lhs: g(arg), Rhs: val(arg)}
+			}
+			body := []cprog.Stmt{
+				inner,
+				cprog.Assign{Lhs: counter, Rhs: cprog.Add(cprog.V(counter), cprog.C(1))},
+			}
+			return cprog.While{
+				Cond: cprog.Lt(cprog.V(counter), cprog.C(int64(1+int(arg%2)))),
+				Body: body,
+			}, true
+		}
+	}
+	for ti := 0; ti < 2; ti++ {
+		counter := "c"
+		body := []cprog.Stmt{cprog.Local{Name: counter, Init: cprog.C(0)}}
+		for len(body) < 5 {
+			st, ok := stmt(0, counter)
+			if !ok {
+				break
+			}
+			body = append(body, st)
+		}
+		p.Threads = append(p.Threads, &cprog.Thread{
+			Name: fmt.Sprintf("t%d", ti),
+			Body: body,
+		})
+	}
+	p.Post = []cprog.Stmt{cprog.Assert{
+		Cond: cprog.Le(cprog.Add(cprog.V("g0"), cprog.V("g1")), cprog.C(12)),
+	}}
+	return p
+}
+
+// FuzzIncrementalVsFresh decodes random byte streams into small concurrent
+// programs and requires the incremental unroll sweep to agree with the
+// fresh per-bound pipeline at bounds 1 and 2, under a byte-chosen memory
+// model. Any divergence is a delta-encoding bug by construction.
+func FuzzIncrementalVsFresh(f *testing.F) {
+	f.Add([]byte("\x00\x00\x20\x08\x40\x07\x41\x03\x00"))
+	f.Add([]byte("\x01\x07\x01\x04\x20\x03\x60\x00\x80\x05\x00"))
+	f.Add([]byte("\x02\x0f\x81\x06\x20\x04\x40\x07\xc1\x02\x00\x01\x20"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip()
+		}
+		model := []memmodel.Model{memmodel.SC, memmodel.TSO, memmodel.PSO}[int(data[0])%3]
+		p := decodeFuzzProgram(data[1:])
+		if err := p.Validate(); err != nil {
+			t.Skipf("decoder produced invalid program: %v", err)
+		}
+		sweep, err := incremental.New(p, incremental.Options{
+			Model:    model,
+			Strategy: core.ZPRE,
+			Width:    3,
+			Timeout:  20 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("incremental setup: %v\n%s", err, cprog.Format(p))
+		}
+		for k := 1; k <= 2; k++ {
+			br, err := sweep.Next()
+			if err != nil {
+				t.Fatalf("incremental k%d: %v\n%s", k, err, cprog.Format(p))
+			}
+			rep, err := Verify(p, Options{
+				Model:   model,
+				Unroll:  k,
+				Width:   3,
+				Timeout: 20 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("fresh k%d: %v\n%s", k, err, cprog.Format(p))
+			}
+			if rep.Verdict == Unknown || br.Verdict == incremental.Unknown {
+				t.Skipf("inconclusive at k%d (fresh=%v incremental=%v)", k, rep.Verdict, br.Verdict)
+			}
+			if (rep.Verdict == Unsafe) != (br.Verdict == incremental.Unsafe) {
+				t.Fatalf("k%d@%s: fresh=%v incremental=%v\n%s",
+					k, model, rep.Verdict, br.Verdict, cprog.Format(p))
+			}
+		}
+	})
+}

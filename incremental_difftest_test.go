@@ -1,0 +1,248 @@
+package zpre
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"zpre/internal/core"
+	"zpre/internal/cprog"
+	"zpre/internal/incremental"
+	"zpre/internal/interp"
+	"zpre/internal/memmodel"
+	"zpre/internal/svcomp"
+)
+
+// incBounds picks the bounds to sweep for a benchmark program: loop-free
+// programs are encoding-identical at every bound, so bound 1 suffices (the
+// harness deduplicates the same way).
+func incBounds(p *cprog.Program, max int) []int {
+	if !p.HasLoops() {
+		return []int{1}
+	}
+	out := make([]int, 0, max)
+	for k := 1; k <= max; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestIncrementalMatchesFreshCorpus is the tentpole's correctness gate: the
+// whole svcomp corpus, under all three memory models, must get the same
+// verdict from the incremental sweep as from the fresh per-bound pipeline,
+// bound for bound. Sat verdicts additionally validate a replayed witness on
+// the incremental side; the fresh side's Unsat proofs are checked by the
+// existing corpus tests.
+func TestIncrementalMatchesFreshCorpus(t *testing.T) {
+	models := []memmodel.Model{memmodel.SC, memmodel.TSO, memmodel.PSO}
+	maxBound := 3
+	if testing.Short() {
+		maxBound = 2
+	}
+	checks := 0
+	for _, b := range svcomp.All() {
+		for _, model := range models {
+			bounds := incBounds(b.Program, maxBound)
+			sweep, err := incremental.New(b.Program, incremental.Options{
+				Model:        model,
+				Strategy:     core.ZPRE,
+				Timeout:      30 * time.Second,
+				CheckWitness: true,
+			})
+			if err != nil {
+				t.Fatalf("%s@%s: incremental setup: %v", b.Name, model, err)
+			}
+			for _, k := range bounds {
+				br, err := sweep.Next()
+				if err != nil {
+					t.Fatalf("%s@%s/k%d: incremental solve: %v", b.Name, model, k, err)
+				}
+				if br.Bound != k {
+					t.Fatalf("%s@%s: sweep at bound %d, want %d", b.Name, model, br.Bound, k)
+				}
+				rep, err := Verify(b.Program, Options{
+					Model:    model,
+					Strategy: core.ZPRE,
+					Unroll:   k,
+					Timeout:  30 * time.Second,
+				})
+				if err != nil {
+					t.Fatalf("%s@%s/k%d: fresh solve: %v", b.Name, model, k, err)
+				}
+				if rep.Verdict == Unknown || br.Verdict == incremental.Unknown {
+					t.Fatalf("%s@%s/k%d: inconclusive (fresh=%v incremental=%v)",
+						b.Name, model, k, rep.Verdict, br.Verdict)
+				}
+				if (rep.Verdict == Unsafe) != (br.Verdict == incremental.Unsafe) {
+					t.Errorf("%s@%s/k%d: fresh=%v incremental=%v",
+						b.Name, model, k, rep.Verdict, br.Verdict)
+				}
+				if br.Verdict == incremental.Unsafe && !br.WitnessChecked {
+					t.Errorf("%s@%s/k%d: incremental witness failed: %v",
+						b.Name, model, k, br.WitnessErr)
+				}
+				checks++
+			}
+		}
+	}
+	if checks < 100 {
+		t.Fatalf("only %d corpus comparisons ran; corpus shrank?", checks)
+	}
+}
+
+// randLoopProgram generates a random program that may contain while loops,
+// for cross-checking the incremental path against both the fresh encoder
+// and the interpreter oracle. It extends difftest_test.go's randProgram with
+// bounded loops over a local counter (the corpus's loop idiom), so the
+// frontier machinery (splicing, exit variables, per-bound conditions) gets
+// exercised with surrounding statements in every position.
+func randLoopProgram(rng *rand.Rand, id int) *cprog.Program {
+	p := &cprog.Program{Name: "randloop"}
+	nShared := 2 + rng.Intn(2)
+	names := []string{"g0", "g1", "g2"}[:nShared]
+	for _, n := range names {
+		p.Shared = append(p.Shared, cprog.SharedDecl{Name: n, Init: int64(rng.Intn(2))})
+	}
+	g := func() string { return names[rng.Intn(len(names))] }
+	val := func() cprog.Expr { return cprog.C(int64(rng.Intn(4))) }
+
+	stmt := func(loopDepth int) cprog.Stmt {
+		switch rng.Intn(7) {
+		case 0:
+			return cprog.Assign{Lhs: g(), Rhs: cprog.Add(cprog.V(g()), val())}
+		case 1:
+			return cprog.Assign{Lhs: g(), Rhs: val()}
+		case 2:
+			return cprog.Assume{Cond: cprog.Le(cprog.V(g()), cprog.C(6))}
+		case 3:
+			return cprog.Assert{Cond: cprog.Le(cprog.V(g()), cprog.C(5))}
+		case 4:
+			return cprog.Havoc{Name: g()}
+		case 5:
+			return cprog.Fence{}
+		default:
+			return cprog.If{
+				Cond: cprog.Lt(cprog.V(g()), cprog.C(2)),
+				Then: []cprog.Stmt{cprog.Assign{Lhs: g(), Rhs: val()}},
+			}
+		}
+	}
+	body := func(n, loopDepth int, counter string) []cprog.Stmt {
+		var out []cprog.Stmt
+		for i := 0; i < n; i++ {
+			// Roughly one in three statements is a loop (never nested more
+			// than once, to keep the interpreter's state space small).
+			if loopDepth == 0 && rng.Intn(3) == 0 {
+				inner := []cprog.Stmt{stmt(1)}
+				if rng.Intn(2) == 0 {
+					inner = append(inner, stmt(1))
+				}
+				inner = append(inner, cprog.Assign{Lhs: counter, Rhs: cprog.Add(cprog.V(counter), cprog.C(1))})
+				out = append(out, cprog.While{
+					Cond: cprog.Lt(cprog.V(counter), cprog.C(int64(1+rng.Intn(3)))),
+					Body: inner,
+				})
+			} else {
+				out = append(out, stmt(loopDepth))
+			}
+		}
+		return out
+	}
+	for ti := 0; ti < 2; ti++ {
+		counter := "c"
+		decl := []cprog.Stmt{cprog.Local{Name: counter, Init: cprog.C(0)}}
+		p.Threads = append(p.Threads, &cprog.Thread{
+			Name: fmt.Sprintf("t%d", ti),
+			Body: append(decl, body(1+rng.Intn(3), 0, counter)...),
+		})
+	}
+	p.Post = []cprog.Stmt{cprog.Assert{Cond: cprog.Le(cprog.Add(cprog.V(names[0]), cprog.V(names[1])), cprog.C(12))}}
+	return p
+}
+
+// TestIncrementalDifferentialRandomPrograms cross-checks the incremental
+// path against the fresh encoder AND the interpreter oracle on random
+// loop-bearing programs, at every bound up to 3, under all three models.
+func TestIncrementalDifferentialRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(20220212))
+	models := []memmodel.Model{memmodel.SC, memmodel.TSO, memmodel.PSO}
+	n := 40
+	maxBound := 3
+	if testing.Short() {
+		n = 12
+		maxBound = 2
+	}
+	checks := 0
+	for i := 0; i < n; i++ {
+		p := randLoopProgram(rng, i)
+		for _, model := range models {
+			sweep, err := incremental.New(p, incremental.Options{
+				Model:        model,
+				Strategy:     core.ZPRE,
+				Width:        3,
+				Timeout:      30 * time.Second,
+				CheckWitness: true,
+			})
+			if err != nil {
+				t.Fatalf("program %d@%s: incremental setup: %v", i, model, err)
+			}
+			for k := 1; k <= maxBound; k++ {
+				br, err := sweep.Next()
+				if err != nil {
+					t.Fatalf("program %d@%s/k%d: incremental: %v\n%s", i, model, k, err, cprog.Format(p))
+				}
+				rep, err := Verify(p, Options{
+					Model:   model,
+					Unroll:  k,
+					Width:   3,
+					Timeout: 30 * time.Second,
+				})
+				if err != nil {
+					t.Fatalf("program %d@%s/k%d: fresh: %v\n%s", i, model, k, err, cprog.Format(p))
+				}
+				if rep.Verdict == Unknown || br.Verdict == incremental.Unknown {
+					t.Fatalf("program %d@%s/k%d: inconclusive (fresh=%v incremental=%v)\n%s",
+						i, model, k, rep.Verdict, br.Verdict, cprog.Format(p))
+				}
+				if (rep.Verdict == Unsafe) != (br.Verdict == incremental.Unsafe) {
+					t.Fatalf("program %d@%s/k%d: fresh=%v incremental=%v\n%s",
+						i, model, k, rep.Verdict, br.Verdict, cprog.Format(p))
+				}
+				if br.Verdict == incremental.Unsafe && !br.WitnessChecked {
+					t.Errorf("program %d@%s/k%d: witness failed: %v\n%s",
+						i, model, k, br.WitnessErr, cprog.Format(p))
+				}
+				// Interpreter oracle at the same unrolling.
+				ores, err := interp.Run(p, k, interp.Options{
+					Model:     model,
+					Width:     3,
+					MaxStates: 1 << 21,
+				})
+				if errors.Is(err, interp.ErrStateExplosion) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("program %d@%s/k%d: interp: %v\n%s", i, model, k, err, cprog.Format(p))
+				}
+				oracle := incremental.Safe
+				if ores == interp.Unsafe {
+					oracle = incremental.Unsafe
+				}
+				if br.Verdict != oracle {
+					t.Fatalf("program %d@%s/k%d: incremental=%v oracle=%v\n%s",
+						i, model, k, br.Verdict, oracle, cprog.Format(p))
+				}
+				checks++
+			}
+		}
+	}
+	min := 100
+	if testing.Short() {
+		min = 60
+	}
+	if checks < min {
+		t.Fatalf("only %d oracle comparisons ran", checks)
+	}
+}

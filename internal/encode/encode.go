@@ -14,6 +14,7 @@ package encode
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"zpre/internal/analysis"
@@ -41,6 +42,12 @@ type Options struct {
 	// WithProof records the solver's inference trace (VC.Proof); after an
 	// unsat (safe) verdict, Builder.CheckProof validates it independently.
 	WithProof bool
+	// Unwind selects the loop-frontier semantics of the incremental encoder
+	// (NewIncremental): UnwindAssume (default) cuts off executions needing
+	// more iterations, UnwindAssert reports them as violations. It mirrors
+	// the mode passed to cprog.Unroll on the fresh path and is ignored by
+	// Program, which requires pre-unrolled input.
+	Unwind cprog.UnrollMode
 	// StaticPrune drops interference candidates the static pre-analysis
 	// (internal/analysis) proves redundant: rf edges from shadowed writes
 	// (overwritten before the read can observe them — by fixed program
@@ -142,6 +149,20 @@ type encoder struct {
 	assertThreads []int
 	windows       []window
 
+	// Per thread: the next memory-event index (rf/ws name coordinate) and
+	// the insertion cursor into the access sequence. The fresh path keeps
+	// the cursor at the end (plain appends); the incremental path moves it
+	// to a loop frontier to splice new iterations in program order.
+	eventIndex []int
+	cursor     []int
+
+	// onWhile, when set, handles While statements instead of failing (the
+	// incremental encoder's frontier machinery). onSplice is notified after
+	// an access is spliced at a position other than the end, so frontier
+	// cursors tracking later positions can shift right.
+	onWhile  func(ts *threadState, st cprog.While, shared map[string]bool) error
+	onSplice func(tid, pos int)
+
 	atomicCounter int
 	guardCounter  int
 	stats         Stats
@@ -149,11 +170,10 @@ type encoder struct {
 
 // threadState is the symbolic execution state of one thread.
 type threadState struct {
-	id         int
-	guard      smt.Bool
-	locals     map[string]smt.BV
-	eventIndex int
-	atomicID   int
+	id       int
+	guard    smt.Bool
+	locals   map[string]smt.BV
+	atomicID int
 }
 
 // Program encodes a loop-free program. Programs containing loops must be
@@ -175,10 +195,12 @@ func Program(p *cprog.Program, opts Options) (*VC, error) {
 		bd, trace = smt.NewBuilderWithProof()
 	}
 	e := &encoder{
-		bd:        bd,
-		opts:      opts,
-		seqs:      make([][]memmodel.Access, nThreads),
-		seqEvents: make([][]*Event, nThreads),
+		bd:         bd,
+		opts:       opts,
+		seqs:       make([][]memmodel.Access, nThreads),
+		seqEvents:  make([][]*Event, nThreads),
+		eventIndex: make([]int, nThreads),
+		cursor:     make([]int, nThreads),
 	}
 
 	// Main thread prologue: one initialising write per shared variable,
@@ -280,25 +302,50 @@ func alignedWithEvents(static *analysis.Result, events []*Event) bool {
 	return true
 }
 
+// insertAccess splices an access (with its aligned event; nil for fences)
+// into the thread's sequence at the thread's insertion cursor and returns
+// the position. When the cursor is mid-sequence (a loop frontier), the
+// displaced accesses shift right, as do their events' seqPos.
+func (e *encoder) insertAccess(tid int, acc memmodel.Access, ev *Event) int {
+	pos := e.cursor[tid]
+	seq := append(e.seqs[tid], memmodel.Access{})
+	copy(seq[pos+1:], seq[pos:])
+	seq[pos] = acc
+	e.seqs[tid] = seq
+	sev := append(e.seqEvents[tid], nil)
+	copy(sev[pos+1:], sev[pos:])
+	sev[pos] = ev
+	e.seqEvents[tid] = sev
+	for _, d := range sev[pos+1:] {
+		if d != nil {
+			d.seqPos++
+		}
+	}
+	e.cursor[tid] = pos + 1
+	if e.onSplice != nil {
+		e.onSplice(tid, pos)
+	}
+	return pos
+}
+
 func (e *encoder) addEvent(ts *threadState, name string, isWrite bool, val smt.BV) *Event {
+	idx := e.eventIndex[ts.id]
 	ev := &Event{
-		ID:      e.bd.NewEvent(fmt.Sprintf("t%d_%d", ts.id, ts.eventIndex)),
+		ID:      e.bd.NewEvent(fmt.Sprintf("t%d_%d", ts.id, idx)),
 		Thread:  ts.id,
-		Index:   ts.eventIndex,
+		Index:   idx,
 		Var:     name,
 		IsWrite: isWrite,
 		Guard:   ts.guard,
 		Val:     val,
-		seqPos:  len(e.seqs[ts.id]),
 	}
-	ts.eventIndex++
+	e.eventIndex[ts.id] = idx + 1
 	e.events = append(e.events, ev)
-	e.seqs[ts.id] = append(e.seqs[ts.id], memmodel.Access{
+	ev.seqPos = e.insertAccess(ts.id, memmodel.Access{
 		Var:     name,
 		IsWrite: isWrite,
 		Atomic:  ts.atomicID,
-	})
-	e.seqEvents[ts.id] = append(e.seqEvents[ts.id], ev)
+	}, ev)
 	if isWrite {
 		e.stats.Writes++
 	} else {
@@ -312,13 +359,12 @@ func (e *encoder) addWrite(ts *threadState, name string, val smt.BV) *Event {
 }
 
 func (e *encoder) addRead(ts *threadState, name string) *Event {
-	val := e.bd.NamedBV(fmt.Sprintf("v%d_%d_%s", ts.id, ts.eventIndex, name), e.opts.Width)
+	val := e.bd.NamedBV(fmt.Sprintf("v%d_%d_%s", ts.id, e.eventIndex[ts.id], name), e.opts.Width)
 	return e.addEvent(ts, name, false, val)
 }
 
 func (e *encoder) addFence(ts *threadState) {
-	e.seqs[ts.id] = append(e.seqs[ts.id], memmodel.Access{IsFence: true})
-	e.seqEvents[ts.id] = append(e.seqEvents[ts.id], nil)
+	e.insertAccess(ts.id, memmodel.Access{IsFence: true}, nil)
 }
 
 // execStmts symbolically executes a statement list.
@@ -404,6 +450,9 @@ func (e *encoder) execStmt(ts *threadState, s cprog.Stmt, shared map[string]bool
 		ts.guard = savedGuard
 		ts.locals = mergeLocals(e.bd, c, thenLocals, elseLocals, e.opts.Width)
 	case cprog.While:
+		if e.onWhile != nil {
+			return e.onWhile(ts, st, shared)
+		}
 		return fmt.Errorf("encode: while reached (program not unrolled)")
 	case cprog.Lock:
 		// Blocking acquire: atomic { assume(m == 0); m = 1; } followed by an
@@ -435,13 +484,13 @@ func (e *encoder) execStmt(ts *threadState, s cprog.Stmt, shared map[string]bool
 		save := ts.atomicID
 		e.atomicCounter++
 		ts.atomicID = e.atomicCounter
-		firstIdx := len(e.seqEvents[ts.id])
+		firstIdx := e.cursor[ts.id]
 		if err := e.execStmts(ts, st.Body, shared); err != nil {
 			return err
 		}
 		ts.atomicID = save
 		var evs []*Event
-		for _, ev := range e.seqEvents[ts.id][firstIdx:] {
+		for _, ev := range e.seqEvents[ts.id][firstIdx:e.cursor[ts.id]] {
 			if ev != nil {
 				evs = append(evs, ev)
 			}
@@ -473,19 +522,31 @@ func copyLocals(m map[string]smt.BV) map[string]smt.BV {
 }
 
 func mergeLocals(bd *smt.Builder, cond smt.Bool, then, els map[string]smt.BV, width int) map[string]smt.BV {
-	out := make(map[string]smt.BV, len(then))
+	// Sorted key iteration: the merge allocates circuit gates, so map order
+	// would make variable numbering (and hence golden files and incremental
+	// delta encodings) nondeterministic across runs.
+	keys := make([]string, 0, len(then)+len(els))
+	for k := range then {
+		keys = append(keys, k)
+	}
+	for k := range els {
+		if _, ok := then[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make(map[string]smt.BV, len(keys))
 	zero := bd.BVConst(0, width)
-	for k, tv := range then {
-		ev, ok := els[k]
-		if !ok {
+	for _, k := range keys {
+		tv, tok := then[k]
+		ev, eok := els[k]
+		if !tok {
+			tv = zero // declared only in the else-branch
+		}
+		if !eok {
 			ev = zero // declared only in the then-branch
 		}
 		out[k] = bd.BVIte(cond, tv, ev)
-	}
-	for k, ev := range els {
-		if _, ok := then[k]; !ok {
-			out[k] = bd.BVIte(cond, zero, ev)
-		}
 	}
 	return out
 }

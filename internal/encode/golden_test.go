@@ -1,0 +1,99 @@
+package encode
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"zpre/internal/memmodel"
+	"zpre/internal/svcomp"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// deltaSummary renders the per-bound growth of mp_loop_2's incremental
+// encoding: cumulative formula-size counters after each Extend, plus the
+// named Boolean variables that bound introduced (sorted). Any change to the
+// delta encoder's emission order, the frontier splice, or the sorted-map
+// naming discipline shows up as a diff against the committed golden file.
+func deltaSummary(t *testing.T, model memmodel.Model, maxBound int) string {
+	t.Helper()
+	var bench *svcomp.Benchmark
+	for _, b := range svcomp.All() {
+		if b.Name == "mp_loop_2" {
+			bb := b
+			bench = &bb
+			break
+		}
+	}
+	if bench == nil {
+		t.Fatal("benchmark mp_loop_2 missing from the corpus")
+	}
+	inc, err := NewIncremental(bench.Program, Options{Model: model, Width: 8})
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "mp_loop_2 @%s width=8 incremental delta encoding\n", model)
+	seen := map[string]bool{}
+	for k := 1; k <= maxBound; k++ {
+		if _, err := inc.Extend(); err != nil {
+			t.Fatalf("Extend to bound %d: %v", k, err)
+		}
+		st := inc.VC().Stats
+		fmt.Fprintf(&sb, "k=%d events=%d reads=%d writes=%d rf=%d ws=%d po=%d asserts=%d assumes=%d clauses=%d vars=%d\n",
+			k, st.Events, st.Reads, st.Writes, st.RFVars, st.WSVars,
+			st.POEdges, st.Asserts, st.Assumes, st.Clauses, st.Variables)
+		var fresh []string
+		for name := range inc.VC().Builder.NamedVars() {
+			if !seen[name] {
+				seen[name] = true
+				fresh = append(fresh, name)
+			}
+		}
+		sort.Strings(fresh)
+		for _, name := range fresh {
+			fmt.Fprintf(&sb, "  + %s\n", name)
+		}
+	}
+	return sb.String()
+}
+
+// TestIncrementalDeltaEncodingGolden pins mp_loop_2's per-bound delta
+// encoding against committed golden files for SC and PSO. The test is a
+// tripwire for nondeterminism: the encoder iterates several maps, and any
+// unsorted iteration leaks into variable naming or clause counts here.
+// Regenerate with: go test ./internal/encode -run Golden -update
+func TestIncrementalDeltaEncodingGolden(t *testing.T) {
+	for _, model := range []memmodel.Model{memmodel.SC, memmodel.PSO} {
+		t.Run(model.String(), func(t *testing.T) {
+			got := deltaSummary(t, model, 4)
+			// A second build must reproduce the first byte for byte, or the
+			// golden file would be flaky by construction.
+			if again := deltaSummary(t, model, 4); again != got {
+				t.Fatalf("delta encoding is nondeterministic across builds:\n--- first\n%s--- second\n%s", got, again)
+			}
+			path := filepath.Join("testdata", fmt.Sprintf("mp_loop_2_%s.golden", model))
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("delta encoding diverged from %s:\n--- got\n%s--- want\n%s", path, got, want)
+			}
+		})
+	}
+}

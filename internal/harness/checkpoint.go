@@ -106,6 +106,10 @@ func resumedResult(task Task, strat core.Strategy, jr JSONRun) RunResult {
 		Completed:    true,
 		Resumed:      true,
 	}
+	out.Incremental = jr.Incremental
+	out.CumulativeSolve = secDur(jr.CumulativeSolveSec)
+	out.Cumulative.Decisions = jr.CumDecisions
+	out.Cumulative.Conflicts = jr.CumConflicts
 	out.Timings.BCP = secDur(jr.BCPSec)
 	out.Timings.Theory = secDur(jr.TheorySec)
 	out.Timings.Analyze = secDur(jr.AnalyzeSec)

@@ -80,6 +80,14 @@ type RunResult struct {
 	CheckSkipped bool
 	// CheckErr is a validation failure (a solver bug if it ever happens).
 	CheckErr error
+	// Incremental marks a run solved as one bound of an unroll sweep on a
+	// live solver (Config.Incremental) rather than as a fresh instance.
+	// Stats then hold only this bound's counter increments.
+	Incremental bool
+	// CumulativeSolve is the sweep's accumulated solve time through this
+	// bound; Cumulative the solver counters since the sweep began.
+	CumulativeSolve time.Duration
+	Cumulative      sat.Stats
 }
 
 // Solved reports whether the run finished within budget.
@@ -185,6 +193,15 @@ type Config struct {
 	// theory verdicts) into matching runs; see internal/faultinject. Used
 	// by the resilience tests and `evaluate -inject`.
 	Faults *faultinject.Set
+	// Incremental solves each (benchmark, model, strategy) group's bounds
+	// as one unroll sweep on a single live solver (internal/incremental):
+	// the encoding grows by deltas under per-bound activation literals and
+	// learned clauses carry over between bounds. Verdicts are identical to
+	// fresh mode; per-run Stats hold the bound's counter increments, with
+	// sweep totals in RunResult.Cumulative. Unsat verdicts cannot be
+	// proof-checked incrementally (CheckVerdicts marks them CheckSkipped);
+	// TraceDir is not supported in this mode.
+	Incremental bool
 }
 
 // TraceFileName is the per-run trace file name under Config.TraceDir.
@@ -391,6 +408,11 @@ func Run(cfg Config) *Results {
 	rec := newRecorder(res, &cfg)
 	defer rec.flush()
 	resume := resumeIndex(cfg.Resume)
+
+	if cfg.Incremental {
+		runIncrementalSweeps(cfg, tasks, rec, resume, workers)
+		return res
+	}
 
 	if workers == 1 {
 		for i, task := range tasks {

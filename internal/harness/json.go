@@ -60,6 +60,13 @@ type JSONRun struct {
 	// Resumed marks a run restored from a checkpoint, not executed.
 	Resumed bool   `json:"resumed,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// Incremental marks one bound of a live-solver unroll sweep; the
+	// cumulative fields are the sweep totals through this bound (the plain
+	// counters hold the bound's increments).
+	Incremental        bool    `json:"incremental,omitempty"`
+	CumulativeSolveSec float64 `json:"cumulative_solve_sec,omitempty"`
+	CumDecisions       uint64  `json:"cumulative_decisions,omitempty"`
+	CumConflicts       uint64  `json:"cumulative_conflicts,omitempty"`
 }
 
 // JSONResults is the top-level export document.
@@ -137,6 +144,12 @@ func jsonRun(run RunResult) JSONRun {
 		Completed:        run.Completed,
 		Failure:          run.Failure().String(),
 		Resumed:          run.Resumed,
+	}
+	if run.Incremental {
+		jr.Incremental = true
+		jr.CumulativeSolveSec = durSec(run.CumulativeSolve)
+		jr.CumDecisions = run.Cumulative.Decisions
+		jr.CumConflicts = run.Cumulative.Conflicts
 	}
 	if run.Stop != sat.StopNone {
 		jr.StopReason = run.Stop.String()

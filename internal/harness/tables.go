@@ -606,6 +606,74 @@ func FormatPruneReport(rows []PruneRow) string {
 	return b.String()
 }
 
+// IncrementalRow is one bound of an incremental sweep in the summary
+// table: the bound's own solve time and counter increments next to the
+// sweep's running totals, so the cost of re-using one live solver across
+// bounds can be read off against fresh per-bound numbers.
+type IncrementalRow struct {
+	TaskID          string
+	Model           memmodel.Model
+	Strategy        core.Strategy
+	Bound           int
+	Solve           time.Duration
+	CumulativeSolve time.Duration
+	Decisions       uint64
+	Conflicts       uint64
+	CumDecisions    uint64
+	CumConflicts    uint64
+}
+
+// IncrementalSweeps extracts the per-bound rows of every incremental sweep,
+// grouped by (task, strategy) and sorted for stable output. Empty when the
+// evaluation did not run with Config.Incremental.
+func (r *Results) IncrementalSweeps() []IncrementalRow {
+	var out []IncrementalRow
+	for _, run := range r.Runs {
+		if !run.Incremental {
+			continue
+		}
+		out = append(out, IncrementalRow{
+			TaskID:          run.Task.ID(),
+			Model:           run.Task.Model,
+			Strategy:        run.Strategy,
+			Bound:           run.Task.Bound,
+			Solve:           run.Solve,
+			CumulativeSolve: run.CumulativeSolve,
+			Decisions:       run.Stats.Decisions,
+			Conflicts:       run.Stats.Conflicts,
+			CumDecisions:    run.Cumulative.Decisions,
+			CumConflicts:    run.Cumulative.Conflicts,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Strategy != b.Strategy {
+			return a.Strategy < b.Strategy
+		}
+		if a.TaskID != b.TaskID {
+			return a.TaskID < b.TaskID
+		}
+		return a.Bound < b.Bound
+	})
+	return out
+}
+
+// FormatIncremental renders the sweep summary: per-bound vs cumulative
+// solve time and search counters for every incremental run.
+func FormatIncremental(rows []IncrementalRow) string {
+	var b strings.Builder
+	b.WriteString("Incremental sweeps: per-bound deltas vs sweep cumulative\n")
+	fmt.Fprintf(&b, "%-44s %-10s %2s %11s %11s %9s %9s %9s %9s\n",
+		"task", "strategy", "k", "solve", "cum solve", "dec", "cum dec", "confl", "cum confl")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-44s %-10s %2d %10.4fs %10.4fs %9d %9d %9d %9d\n",
+			r.TaskID, r.Strategy, r.Bound,
+			r.Solve.Seconds(), r.CumulativeSolve.Seconds(),
+			r.Decisions, r.CumDecisions, r.Conflicts, r.CumConflicts)
+	}
+	return b.String()
+}
+
 // FormatAsymmetries renders the timeout-asymmetry list.
 func FormatAsymmetries(rows []Asymmetry, mm memmodel.Model) string {
 	var b strings.Builder

@@ -1,0 +1,150 @@
+package incremental
+
+import (
+	"testing"
+	"time"
+
+	"zpre/internal/core"
+	"zpre/internal/cprog"
+	"zpre/internal/encode"
+	"zpre/internal/memmodel"
+	"zpre/internal/sat"
+	"zpre/internal/smt"
+	"zpre/internal/svcomp"
+)
+
+const sweepMaxBound = 6
+
+// loopBenchmarks returns the corpus benchmarks that actually have loops —
+// the only programs where an unroll sweep visits more than one distinct
+// encoding.
+func loopBenchmarks() []svcomp.Benchmark {
+	var out []svcomp.Benchmark
+	for _, b := range svcomp.All() {
+		if b.Program.HasLoops() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// freshSolve runs the conventional pipeline at one bound: unroll, encode
+// from scratch, solve on a brand-new solver.
+func freshSolve(tb testing.TB, p *cprog.Program, model memmodel.Model, bound int) (sat.Status, sat.Stats, time.Duration) {
+	tb.Helper()
+	unrolled := cprog.Unroll(p, bound, cprog.UnwindAssume)
+	vc, err := encode.Program(unrolled, encode.Options{Model: model, Width: 8})
+	if err != nil {
+		tb.Fatalf("fresh encode k=%d: %v", bound, err)
+	}
+	infos := core.Classify(vc.Builder.NamedVars())
+	dec := core.NewDecider(core.ZPRE, infos, core.Config{Seed: 1})
+	var decider sat.Decider
+	if dec != nil {
+		decider = dec
+	}
+	res, err := vc.Builder.Solve(smt.Options{Decider: decider})
+	if err != nil {
+		tb.Fatalf("fresh solve k=%d: %v", bound, err)
+	}
+	return res.Status, res.Stats, res.Elapsed
+}
+
+// TestIncrementalLessSearchWorkThanFresh is the tentpole's efficiency gate:
+// across the loop benchmarks, sweeping bounds 1..6 on one live solver must
+// do strictly less total search work (decisions + conflicts) than six fresh
+// solves on at least one benchmark, per memory model — that is the point of
+// retaining learned clauses, activities and phases. Verdicts must agree
+// bound for bound on every benchmark regardless.
+func TestIncrementalLessSearchWorkThanFresh(t *testing.T) {
+	benches := loopBenchmarks()
+	if len(benches) == 0 {
+		t.Fatal("corpus has no loop benchmarks")
+	}
+	models := []memmodel.Model{memmodel.SC, memmodel.TSO, memmodel.PSO}
+	if testing.Short() {
+		models = models[:1]
+	}
+	for _, model := range models {
+		wins := 0
+		for _, b := range benches {
+			var freshWork uint64
+			s, err := New(b.Program, Options{
+				Model:    model,
+				Strategy: core.ZPRE,
+				Seed:     1,
+				Timeout:  60 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("%s@%s: %v", b.Name, model, err)
+			}
+			var incWork uint64
+			for k := 1; k <= sweepMaxBound; k++ {
+				br, err := s.Next()
+				if err != nil {
+					t.Fatalf("%s@%s/k%d: %v", b.Name, model, k, err)
+				}
+				status, stats, _ := freshSolve(t, b.Program, model, k)
+				if br.Status != status {
+					t.Fatalf("%s@%s/k%d: incremental=%v fresh=%v",
+						b.Name, model, k, br.Status, status)
+				}
+				freshWork += stats.Decisions + stats.Conflicts
+				incWork = br.Cumulative.Decisions + br.Cumulative.Conflicts
+			}
+			t.Logf("%s@%s: incremental %d vs fresh %d decisions+conflicts",
+				b.Name, model, incWork, freshWork)
+			if incWork < freshWork {
+				wins++
+			}
+		}
+		if wins == 0 {
+			t.Errorf("%s: incremental never did less search work than six fresh solves", model)
+		}
+	}
+}
+
+// BenchmarkSweepFreshVsIncremental reports the wall-clock of six fresh
+// solves vs one incremental sweep to bound 6 on the fib benchmark, the
+// corpus's search-heaviest loop program, plus the search-work ratio.
+func BenchmarkSweepFreshVsIncremental(b *testing.B) {
+	var bench svcomp.Benchmark
+	for _, cand := range svcomp.All() {
+		if cand.Name == "fib_bench_safe_2" {
+			bench = cand
+		}
+	}
+	if bench.Program == nil {
+		b.Fatal("fib_bench_safe_2 missing from corpus")
+	}
+	for i := 0; i < b.N; i++ {
+		var freshTime time.Duration
+		var freshWork uint64
+		for k := 1; k <= sweepMaxBound; k++ {
+			_, stats, d := freshSolve(b, bench.Program, memmodel.SC, k)
+			freshTime += d
+			freshWork += stats.Decisions + stats.Conflicts
+		}
+		incStart := time.Now()
+		results, err := Run(bench.Program, Options{
+			Model:    memmodel.SC,
+			Strategy: core.ZPRE,
+			Seed:     1,
+		}, sweepMaxBound)
+		if err != nil {
+			b.Fatal(err)
+		}
+		incTime := time.Since(incStart)
+		last := results[len(results)-1]
+		incWork := last.Cumulative.Decisions + last.Cumulative.Conflicts
+		if i == b.N-1 {
+			b.ReportMetric(freshTime.Seconds(), "fresh_s")
+			b.ReportMetric(incTime.Seconds(), "incremental_s")
+			b.ReportMetric(float64(freshWork), "fresh_work")
+			b.ReportMetric(float64(incWork), "incremental_work")
+			if incWork > 0 {
+				b.ReportMetric(float64(freshWork)/float64(incWork), "work_ratio")
+			}
+		}
+	}
+}

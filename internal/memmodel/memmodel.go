@@ -58,6 +58,11 @@ type Access struct {
 	IsWrite bool
 	// IsFence marks a full memory fence pseudo-access.
 	IsFence bool
+	// Marker marks a position-only pseudo-access: it orders nothing and is
+	// not a barrier, but occupies a sequence slot. The incremental encoder
+	// uses markers as stable splice anchors at loop frontiers, so that later
+	// unroll iterations can be inserted at an unambiguous position.
+	Marker bool
 	// Atomic groups events of one atomic section: non-zero equal ids keep
 	// their mutual program order under every model.
 	Atomic int
@@ -66,6 +71,9 @@ type Access struct {
 // Preserved reports whether the program order between earlier access a and
 // later access b is preserved under the model, assuming no fence in between.
 func (m Model) Preserved(a, b Access) bool {
+	if a.Marker || b.Marker {
+		return false // markers are position-only, never ordered
+	}
 	if a.IsFence || b.IsFence {
 		return true
 	}
@@ -112,11 +120,11 @@ func OrderedMatrix(m Model, seq []Access) [][]bool {
 		}
 	}
 	for i := 0; i < n; i++ {
-		if seq[i].IsFence {
+		if seq[i].IsFence || seq[i].Marker {
 			continue
 		}
 		for j := i + 1; j < n; j++ {
-			if seq[j].IsFence {
+			if seq[j].IsFence || seq[j].Marker {
 				continue
 			}
 			if fenceAfter[i] < j { // a fence strictly between i and j

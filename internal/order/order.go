@@ -36,6 +36,7 @@ type Theory struct {
 	adj [][]edge // adjacency lists; fixed edges first, asserted edges appended
 
 	atoms       map[sat.Var]atom
+	atomOrder   []sat.Var   // registration order (deterministic iteration)
 	atomsByNode [][]sat.Var // node -> atoms touching it (for eager propagation)
 
 	trail []int32 // stack of "from" nodes of asserted edges, for popping
@@ -87,8 +88,26 @@ func New(n int) *Theory {
 	return t
 }
 
-// NumEvents returns the number of events the theory was created with.
+// NumEvents returns the number of events the theory currently covers.
 func (t *Theory) NumEvents() int { return t.n }
+
+// GrowTo extends the event space to n events (no-op when n <= NumEvents).
+// Existing edges, atoms and asserted state are preserved; the new nodes start
+// with no incident edges. This is the incremental-unrolling seam: the next
+// bound's events are appended, new fixed edges and atoms registered, and the
+// same theory instance (with the solver's learnt state) keeps solving.
+func (t *Theory) GrowTo(n int) {
+	if n <= t.n {
+		return
+	}
+	grow := n - t.n
+	t.adj = append(t.adj, make([][]edge, grow)...)
+	t.atomsByNode = append(t.atomsByNode, make([][]sat.Var, grow)...)
+	t.mark = append(t.mark, make([]int32, grow)...)
+	t.parentNode = append(t.parentNode, make([]int32, grow)...)
+	t.parentLit = append(t.parentLit, make([]sat.Lit, grow)...)
+	t.n = n
+}
 
 // SetEagerPropagation toggles eager theory propagation: after each batch of
 // edge insertions, atoms incident to touched nodes whose value is forced by
@@ -98,7 +117,10 @@ func (t *Theory) NumEvents() int { return t.n }
 func (t *Theory) SetEagerPropagation(on bool) { t.eager = on }
 
 // AddFixedEdge installs an unconditional a-before-b edge (program order,
-// create/join order). Fixed edges must be added before solving starts.
+// create/join order). Fixed edges are normally added before solving starts;
+// the incremental path may also add them between Solve calls (while the
+// solver sits at decision level 0), after which the caller must re-derive
+// fixed implications and re-check acyclicity (see Acyclic).
 func (t *Theory) AddFixedEdge(a, b int32) {
 	t.checkNode(a)
 	t.checkNode(b)
@@ -137,12 +159,47 @@ func (t *Theory) FixedAcyclic() bool {
 	return true
 }
 
+// Acyclic reports whether the full current graph — fixed edges plus the
+// edges of currently asserted atoms — is acyclic. The incremental path calls
+// it after adding fixed edges between solves: a root-level asserted atom that
+// contradicts a newly fixed order closes a cycle the per-assert check can
+// never see again (the atom is already on the trail), so the caller must
+// treat a cyclic result as a root-level unsatisfiability.
+func (t *Theory) Acyclic() bool {
+	state := make([]int8, t.n) // 0 unvisited, 1 on stack, 2 done
+	var visit func(u int32) bool
+	visit = func(u int32) bool {
+		state[u] = 1
+		for _, e := range t.adj[u] {
+			switch state[e.to] {
+			case 1:
+				return false
+			case 0:
+				if !visit(e.to) {
+					return false
+				}
+			}
+		}
+		state[u] = 2
+		return true
+	}
+	for u := int32(0); u < int32(t.n); u++ {
+		if state[u] == 0 && !visit(u) {
+			return false
+		}
+	}
+	return true
+}
+
 // RegisterAtom declares that SAT variable v means clk(a) < clk(b).
 func (t *Theory) RegisterAtom(v sat.Var, a, b int32) {
 	t.checkNode(a)
 	t.checkNode(b)
 	if a == b {
 		panic("order: atom over a single event")
+	}
+	if _, seen := t.atoms[v]; !seen {
+		t.atomOrder = append(t.atomOrder, v)
 	}
 	t.atoms[v] = atom{a, b}
 	t.atomsByNode[a] = append(t.atomsByNode[a], v)
@@ -307,10 +364,13 @@ type FixedImplication struct {
 // FixedImplications resolves, before solving, every atom already decided by
 // the fixed-edge subgraph. The caller must install each returned literal as a
 // unit clause; the theory cannot explain fixed-only implications mid-search
-// (explanations would be empty), so they must be level-0 facts.
+// (explanations would be empty), so they must be level-0 facts. The result is
+// in atom-registration order, so repeated calls are deterministic and the
+// incremental path can diff against previously emitted units.
 func (t *Theory) FixedImplications() []FixedImplication {
 	var out []FixedImplication
-	for v, at := range t.atoms {
+	for _, v := range t.atomOrder {
+		at := t.atoms[v]
 		if t.findFixedPath(at.a, at.b) {
 			out = append(out, FixedImplication{Lit: sat.PosLit(v)})
 		} else if t.findFixedPath(at.b, at.a) {

@@ -1,0 +1,161 @@
+package sat
+
+import (
+	"testing"
+)
+
+// The fuzzer decodes one byte stream into clause additions and assumption
+// solves over a small variable pool, so the whole space is brute-forceable.
+//
+// Layout: byte 0 picks the variable count (2..8). Then repeatedly: an op
+// byte whose low bits select "add clause" (with 1-3 literals) or "solve
+// under assumptions" (0-3 of them); each literal is one byte — variable
+// from the low bits, sign from bit 4.
+
+// decodeLit maps one byte to a literal over n variables.
+func decodeLit(b byte, n int) Lit {
+	v := Var(int(b) % n)
+	if b&0x10 != 0 {
+		return NegLit(v)
+	}
+	return PosLit(v)
+}
+
+// bruteSat reports whether clauses ∧ assumps is satisfiable over n
+// variables by enumerating all 2^n assignments (n <= 8).
+func bruteSat(n int, clauses [][]Lit, assumps []Lit) bool {
+	holds := func(l Lit, mask int) bool {
+		set := mask>>(int(l.Var()))&1 == 1
+		return set != l.IsNeg()
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for _, a := range assumps {
+			if !holds(a, mask) {
+				ok = false
+				break
+			}
+		}
+		for _, c := range clauses {
+			if !ok {
+				break
+			}
+			sat := false
+			for _, l := range c {
+				if holds(l, mask) {
+					sat = true
+					break
+				}
+			}
+			ok = sat
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzSolverAssumptions drives one reused solver through a random
+// clause/assumption sequence and checks every verdict against a brute-force
+// oracle: Sat models must satisfy the clauses and assumptions, Unsat cores
+// must be subsets of the assumptions that are genuinely inconsistent with
+// the formula, and the solver must stay usable after every
+// assumption-failure — the contract the incremental unroll sweep leans on.
+func FuzzSolverAssumptions(f *testing.F) {
+	f.Add([]byte("\x03\x00\x01\x02\x03\x12\x13\x07\x01"))
+	f.Add([]byte("\x05\x02\x00\x11\x04\x13\x01\x23\x10\x01\x00\x07\x12"))
+	f.Add([]byte("\x00\x00\x10\x01\x00\x00\x13\x00\x03\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			t.Skip()
+		}
+		n := 2 + int(data[0])%7
+		data = data[1:]
+		s := New()
+		for i := 0; i < n; i++ {
+			s.NewVar()
+		}
+		var clauses [][]Lit
+		solves := 0
+		for len(data) > 0 && solves < 8 {
+			op := data[0]
+			data = data[1:]
+			if op%4 != 3 {
+				nl := 1 + int(op%3)
+				if len(data) < nl {
+					break
+				}
+				lits := make([]Lit, nl)
+				for i := range lits {
+					lits[i] = decodeLit(data[i], n)
+				}
+				data = data[nl:]
+				clauses = append(clauses, lits)
+				s.AddClause(lits...)
+				continue
+			}
+			na := int(op>>4) % 4
+			if len(data) < na {
+				break
+			}
+			assumps := make([]Lit, na)
+			for i := range assumps {
+				assumps[i] = decodeLit(data[i], n)
+			}
+			data = data[na:]
+			solves++
+
+			status := s.SolveWithAssumptions(assumps...)
+			want := bruteSat(n, clauses, assumps)
+			switch status {
+			case Sat:
+				if !want {
+					t.Fatalf("solver sat, oracle unsat: n=%d clauses=%v assumps=%v", n, clauses, assumps)
+				}
+				for _, a := range assumps {
+					if s.ValueLit(a) != LTrue {
+						t.Fatalf("assumption %v not true in model", a)
+					}
+				}
+				for _, c := range clauses {
+					ok := false
+					for _, l := range c {
+						if s.ValueLit(l) == LTrue {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						t.Fatalf("model falsifies clause %v", c)
+					}
+				}
+			case Unsat:
+				if want {
+					t.Fatalf("solver unsat, oracle sat: n=%d clauses=%v assumps=%v", n, clauses, assumps)
+				}
+				core := s.ConflictCore()
+				inAssumps := map[Lit]bool{}
+				for _, a := range assumps {
+					inAssumps[a] = true
+				}
+				for _, l := range core {
+					if !inAssumps[l] {
+						t.Fatalf("core literal %v is not an assumption (core=%v assumps=%v)", l, core, assumps)
+					}
+				}
+				if bruteSat(n, clauses, core) {
+					t.Fatalf("conflict core %v is satisfiable with the formula", core)
+				}
+				// Reusability: the same solver must answer the core-only
+				// query unsat and keep accepting work afterwards.
+				if s.SolveWithAssumptions(core...) != Unsat {
+					t.Fatalf("re-solving under core %v did not stay unsat", core)
+				}
+				solves++
+			default:
+				t.Fatalf("budget-free solve returned %v", status)
+			}
+		}
+	})
+}

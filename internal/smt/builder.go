@@ -34,6 +34,16 @@ type Builder struct {
 
 	theory *order.Theory // built lazily on the first Solve, then reused
 
+	// Incremental synchronisation state: how much of the event/edge/atom
+	// tables has been pushed into the theory, which fixed-implication units
+	// are already installed, and whether a post-solve fixed edge closed a
+	// cycle with a root-asserted atom (root-level unsat).
+	pushedEvents int
+	pushedFixed  int
+	pushedAtoms  int
+	fixedUnits   map[sat.Var]bool
+	rootUnsat    bool
+
 	asserted int // number of top-level assertions (for reporting)
 }
 
@@ -264,6 +274,55 @@ type Result struct {
 // cyclic, which indicates an encoder bug rather than an unsatisfiable VC.
 var ErrInconsistentPO = errors.New("smt: fixed program order contains a cycle")
 
+// syncTheory builds the ordering theory on first use and, on later calls,
+// pushes any events, fixed edges and ordering atoms declared since the last
+// solve (the incremental-unrolling seam). Fixed-implication units are
+// re-derived after every growth step — a new fixed edge can decide an old
+// atom — and only not-yet-installed units are added to the solver.
+func (bd *Builder) syncTheory() error {
+	if bd.theory == nil {
+		bd.theory = order.New(0)
+		bd.fixedUnits = make(map[sat.Var]bool)
+	}
+	th := bd.theory
+	if bd.pushedEvents == len(bd.eventNames) &&
+		bd.pushedFixed == len(bd.fixedEdges) &&
+		bd.pushedAtoms == len(bd.atomList) {
+		return nil
+	}
+	th.GrowTo(len(bd.eventNames))
+	grewFixed := bd.pushedFixed != len(bd.fixedEdges)
+	for _, e := range bd.fixedEdges[bd.pushedFixed:] {
+		th.AddFixedEdge(e[0], e[1])
+	}
+	if !th.FixedAcyclic() {
+		return ErrInconsistentPO
+	}
+	for _, a := range bd.atomList[bd.pushedAtoms:] {
+		th.RegisterAtom(a.v, a.a, a.b)
+	}
+	// Atoms already decided by fixed program order become level-0 facts.
+	for _, fi := range th.FixedImplications() {
+		if bd.fixedUnits[fi.Lit.Var()] {
+			continue
+		}
+		bd.fixedUnits[fi.Lit.Var()] = true
+		bd.solver.AddClause(fi.Lit)
+	}
+	// The per-assert cycle check never revisits atoms already on the trail,
+	// so a fixed edge added between solves can silently close a cycle with
+	// a root-asserted atom. Detect that here: the grown formula is then
+	// unsatisfiable at level 0 (only reachable when the fresh encoding at
+	// this bound is itself unsat).
+	if grewFixed && !th.Acyclic() {
+		bd.rootUnsat = true
+	}
+	bd.pushedEvents = len(bd.eventNames)
+	bd.pushedFixed = len(bd.fixedEdges)
+	bd.pushedAtoms = len(bd.atomList)
+	return nil
+}
+
 // Solve builds the ordering theory, installs hooks and runs the search.
 // After a Sat result, model values can be read with Value/BVValue. The
 // builder stays usable: further Solve/SolveAssuming calls reuse the solver
@@ -277,22 +336,19 @@ func (bd *Builder) Solve(opts Options) (Result, error) {
 // under the assumptions unless they are empty.
 func (bd *Builder) SolveAssuming(opts Options, assumps ...Bool) (Result, error) {
 	start := time.Now()
-	if bd.theory == nil {
-		th := order.New(len(bd.eventNames))
-		for _, e := range bd.fixedEdges {
-			th.AddFixedEdge(e[0], e[1])
-		}
-		if !th.FixedAcyclic() {
-			return Result{}, ErrInconsistentPO
-		}
-		for _, a := range bd.atomList {
-			th.RegisterAtom(a.v, a.a, a.b)
-		}
-		// Atoms already decided by fixed program order become level-0 facts.
-		for _, fi := range th.FixedImplications() {
-			bd.solver.AddClause(fi.Lit)
-		}
-		bd.theory = th
+	if err := bd.syncTheory(); err != nil {
+		return Result{}, err
+	}
+	if bd.rootUnsat {
+		// A fixed edge added after a solve contradicted a root-asserted
+		// ordering atom (see syncTheory): the formula is unsatisfiable at
+		// level 0, with or without assumptions.
+		return Result{
+			Status:     sat.Unsat,
+			Stats:      bd.solver.Stats(),
+			Elapsed:    time.Since(start),
+			OrderStats: bd.theory.Stats(),
+		}, nil
 	}
 	bd.theory.SetEagerPropagation(opts.EagerOrderPropagation)
 	var theory sat.Theory = bd.theory
