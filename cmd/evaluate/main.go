@@ -8,12 +8,18 @@
 //	evaluate [-models sc,tso,pso] [-bounds 1,2,3] [-timeout 10s]
 //	         [-sub wmm,pthread] [-table all|1|2|3] [-figure all|6..11]
 //	         [-out results/] [-width 8] [-seed 1] [-progress] [-live]
-//	         [-prune] [-trace dir/] [-trace-sample n]
+//	         [-prune] [-dataflow] [-trace dir/] [-trace-sample n]
 //	         [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -prune, the static lockset/MHP analysis drops provably-infeasible
 // rf/ws interference candidates during encoding and a per-benchmark
 // pruning-effectiveness report (formula size before/after) is printed.
+//
+// With -dataflow, a constant/interval value-flow analysis simplifies each
+// program before encoding, drops rf candidates whose write value cannot
+// match any read-feasible value, and fixes the happens-before order of
+// single-candidate reads; the pruning report gains val-rf/folded/fixhb
+// columns.
 //
 // With -trace, every run writes a structured JSONL search trace into the
 // given directory (one file per task/strategy; analyse with tracereport).
@@ -120,6 +126,7 @@ func main() {
 		parallel   = flag.Int("parallel", 1, "worker goroutines (1 = faithful per-task timing)")
 		checked    = flag.Bool("checked", false, "independently validate every verdict (proofs + witnesses)")
 		prune      = flag.Bool("prune", false, "statically prune rf/ws candidates and report the formula-size effect")
+		dfFlag     = flag.Bool("dataflow", false, "value-flow dataflow: fold constants, prune value-infeasible rf edges, fix forced hb edges")
 		jsonOut    = flag.String("json", "", "write the full result set as JSON to this file")
 		traceDir   = flag.String("trace", "", "write per-run JSONL search traces into this directory")
 		traceN     = flag.Int("trace-sample", 1, "record only every Nth high-volume trace event")
@@ -166,6 +173,7 @@ func main() {
 		Parallel:        *parallel,
 		CheckVerdicts:   *checked,
 		StaticPrune:     *prune,
+		Dataflow:        *dfFlag,
 		TraceDir:        *traceDir,
 		TraceEvery:      *traceN,
 		Metrics:         metrics,
@@ -279,8 +287,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
 
-	if *prune {
+	if *prune || *dfFlag {
 		fmt.Println(harness.FormatPruneReport(res.PruneReport()))
+	}
+	if *dfFlag {
+		vp, fa, hb := 0, 0, 0
+		for _, r := range res.PruneReport() {
+			vp += r.ValuePruned
+			fa += r.FoldedAssigns
+			hb += r.FixedHB
+		}
+		fmt.Printf("dataflow: %d rf candidates value-pruned, %d assignments folded, %d hb edges fixed\n\n", vp, fa, hb)
 	}
 
 	if *increm {

@@ -1,0 +1,173 @@
+// Command mapiterlint is a `go vet -vettool` that runs the repo's
+// map-iteration determinism check (internal/lint) over a package:
+//
+//	go build -o bin/mapiterlint ./cmd/mapiterlint
+//	go vet -vettool=bin/mapiterlint ./internal/encode/ ./internal/analysis/ ./internal/dataflow/
+//
+// The go command drives vet tools through an undocumented but stable
+// protocol (the one golang.org/x/tools/go/analysis/unitchecker speaks; that
+// module is deliberately not a dependency here, so the protocol is
+// reimplemented on the standard library):
+//
+//   - `tool -V=full` must print a one-line version stamp ending in a
+//     buildID, which cmd/go hashes into its action cache key;
+//   - `tool -flags` must print the tool's analyzer flags as a JSON array
+//     (empty here — the check has no options);
+//   - `tool [flags] <dir>/vet.cfg` runs the check proper: the cfg file is a
+//     JSON description of one package (file list, import map, export-data
+//     locations), the tool typechecks the package against the compiler's
+//     export data and reports diagnostics on stderr, exiting 2 if any.
+//
+// With VetxOnly (dependency packages, vetted only for facts), the tool
+// writes an empty facts file and reports nothing, like unitchecker does for
+// analyzers without facts.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"zpre/internal/lint"
+)
+
+// config mirrors cmd/go's vetConfig (the fields this tool needs; unknown
+// fields are ignored by encoding/json).
+type config struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	GoVersion   string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	versionFlag := flag.String("V", "", "print version and exit (go vet passes -V=full)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit")
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON instead of text")
+	flag.Parse()
+
+	switch {
+	case *versionFlag != "":
+		printVersion()
+		return
+	case *flagsFlag:
+		// No analyzer options: an empty flag set.
+		fmt.Println("[]")
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mapiterlint [-json] vet.cfg  (normally invoked by go vet -vettool)")
+		os.Exit(1)
+	}
+	findings, err := run(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mapiterlint: %v\n", err)
+		os.Exit(1)
+	}
+	if len(findings) == 0 {
+		return
+	}
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		enc.Encode(findings)
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+	}
+	os.Exit(2)
+}
+
+// printVersion emits the one-line stamp cmd/go's toolID requires:
+// `name version devel ... buildID=<content-id>`. The content ID is a hash
+// of this executable, so rebuilding the tool invalidates go's vet cache.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			io.Copy(h, f)
+			f.Close()
+			sum := h.Sum(nil)
+			id = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	fmt.Printf("mapiterlint version devel buildID=%s/%s\n", id, id)
+}
+
+func run(cfgPath string) ([]lint.Finding, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// cmd/go caches the vetx (facts) output; the check has no facts, so an
+	// empty file is the correct artifact either way.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// Export data for every dependency comes from the build's .a files;
+	// import paths in source are first mapped to canonical package paths.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+	if _, err := tconf.Check(cfg.ImportPath, fset, files, info); err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+	return lint.CheckMapRange(fset, files, info), nil
+}

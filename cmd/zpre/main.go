@@ -6,7 +6,7 @@
 // Usage:
 //
 //	zpre [-model sc|tso|pso] [-strategy baseline|zpre-|zpre|zpre+static]
-//	     [-unroll k] [-width 8] [-timeout 30s] [-prune] [-stats]
+//	     [-unroll k] [-width 8] [-timeout 30s] [-prune] [-dataflow] [-stats]
 //	     [-incremental] [-trace out.jsonl] [-trace-sample n]
 //	     [-cpuprofile cpu.out] [-memprofile mem.out]
 //	     [-dump-smt out.smt2] [-dump-eog out.dot] program.cp
@@ -73,6 +73,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random-polarity seed")
 		stats     = flag.Bool("stats", false, "print encoding and solver statistics")
 		prune     = flag.Bool("prune", false, "statically prune provably redundant rf/ws candidates")
+		dfFlag    = flag.Bool("dataflow", false, "value-flow dataflow: fold constants, prune value-infeasible rf edges, fix forced hb edges")
 		dumpSMT   = flag.String("dump-smt", "", "write the VC as SMT-LIB v2.6 to this file")
 		dumpEOG   = flag.String("dump-eog", "", "write the event order graph as Graphviz DOT")
 		witness   = flag.Bool("witness", false, "on UNSAFE, print a violating interleaving")
@@ -155,6 +156,7 @@ func main() {
 		Context:        ctx,
 		Seed:           *seed,
 		StaticPrune:    *prune,
+		Dataflow:       *dfFlag,
 		TimePhases:     *stats,
 	}
 	var sink telemetry.Sink
@@ -173,7 +175,7 @@ func main() {
 		if *each || *checkPf || *traceOut != "" || *prune {
 			fatalf("-incremental is not compatible with -each, -proof, -trace or -prune")
 		}
-		exit(runIncrementalSweep(prog, model, strat, ctx, *unroll, *width, *timeout, *maxDec, *maxMemMB<<20, *seed, *stats, *witness))
+		exit(runIncrementalSweep(prog, model, strat, ctx, *unroll, *width, *timeout, *maxDec, *maxMemMB<<20, *seed, *stats, *witness, *dfFlag))
 	}
 
 	if *each {
@@ -233,6 +235,11 @@ func main() {
 			fmt.Printf("pruning: %d rf candidates, %d ws pairs dropped by the static analysis\n",
 				rep.EncodeStats.RFPruned, rep.EncodeStats.WSPruned)
 		}
+		if *dfFlag {
+			fmt.Printf("dataflow: %d rf candidates value-pruned, %d assignments folded, %d hb edges fixed (analysis %v)\n",
+				rep.EncodeStats.ValuePruned, rep.EncodeStats.FoldedAssigns,
+				rep.EncodeStats.FixedHB, rep.EncodeStats.DataflowTime.Round(time.Microsecond))
+		}
 		fmt.Printf("solver: %d decisions, %d propagations (%d theory), %d conflicts (%d theory), %d restarts\n",
 			rep.SolverStats.Decisions, rep.SolverStats.Propagations, rep.SolverStats.TheoryProps,
 			rep.SolverStats.Conflicts, rep.SolverStats.TheoryConfl, rep.SolverStats.Restarts)
@@ -258,7 +265,7 @@ func main() {
 // runIncrementalSweep verifies bounds 1..maxBound on one live solver,
 // printing a line per bound. Returns the process exit code, derived from
 // the final bound's verdict.
-func runIncrementalSweep(prog *cprog.Program, model memmodel.Model, strat core.Strategy, ctx context.Context, maxBound, width int, timeout time.Duration, maxDec uint64, maxMem, seed int64, stats, showWitness bool) int {
+func runIncrementalSweep(prog *cprog.Program, model memmodel.Model, strat core.Strategy, ctx context.Context, maxBound, width int, timeout time.Duration, maxDec uint64, maxMem, seed int64, stats, showWitness, dataflow bool) int {
 	sweep, err := incremental.New(prog, incremental.Options{
 		Model:          model,
 		Strategy:       strat,
@@ -270,6 +277,7 @@ func runIncrementalSweep(prog *cprog.Program, model memmodel.Model, strat core.S
 		Seed:           seed,
 		TimePhases:     stats,
 		CheckWitness:   showWitness,
+		Dataflow:       dataflow,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "zpre: incremental: %v\n", err)
@@ -302,6 +310,10 @@ func runIncrementalSweep(prog *cprog.Program, model memmodel.Model, strat core.S
 			es := br.EncodeStats
 			fmt.Printf("  encoding now: %d events, %d rf vars, %d ws vars, %d po edges, %d clauses, %d variables\n",
 				es.Events, es.RFVars, es.WSVars, es.POEdges, es.Clauses, es.Variables)
+			if dataflow {
+				fmt.Printf("  dataflow: %d rf candidates value-pruned, %d assignments folded\n",
+					es.ValuePruned, es.FoldedAssigns)
+			}
 		}
 		if showWitness && br.Verdict == incremental.Unsafe {
 			steps, werr := witness.Extract(sweep.VC())

@@ -151,6 +151,7 @@ func TestLocksetBranches(t *testing.T) {
 		t.Fatal("c should be racy (t1's increment is unprotected)")
 	}
 	// The branch-local acquisition is conditional.
+	//mapiter:ok order-independent assertion over all tokens
 	for _, tok := range res.Tokens {
 		if tok.Thread == 1 && tok.Unconditional {
 			t.Fatalf("t1's acquisition is under a branch: %+v", tok)

@@ -111,7 +111,7 @@ func (r *Result) Races() []VarReport {
 		}
 	}
 	names := make([]string, 0, len(byVar))
-	for v := range byVar {
+	for v := range byVar { //mapiter:ok keys sorted below
 		names = append(names, v)
 	}
 	sort.Strings(names)
@@ -134,7 +134,7 @@ func (r *Result) Races() []VarReport {
 			}
 		}
 		nonMain := 0
-		for ti := range threadSet {
+		for ti := range threadSet { //mapiter:ok names sorted below
 			rep.Threads = append(rep.Threads, r.threadNames[ti])
 			if ti != 0 {
 				nonMain++

@@ -1,0 +1,267 @@
+package dataflow
+
+import (
+	"sort"
+
+	"zpre/internal/cprog"
+)
+
+// Facts is the result of the cross-thread value analysis: for every shared
+// variable, a signed width-bit interval covering every value the variable
+// can ever hold — its initial value and every value any thread may store,
+// at any loop bound.
+//
+// The fixpoint is bound-independent: it is computed over the looping source
+// program (While bodies iterate to an inner post-fixpoint with widening),
+// so a fact proved here stays valid as the incremental sweep unrolls
+// further. That is the monotonicity the delta encoder relies on.
+type Facts struct {
+	Width  int
+	ranges map[string]Interval
+}
+
+// Range is the sound over-approximation of every value the shared variable
+// can hold. Unknown variables get Top.
+func (f *Facts) Range(name string) Interval {
+	if f == nil {
+		return Top(8)
+	}
+	if iv, ok := f.ranges[name]; ok {
+		return iv
+	}
+	return Top(f.Width)
+}
+
+// Vars lists the analysed shared variables, sorted.
+func (f *Facts) Vars() []string {
+	if f == nil {
+		return nil
+	}
+	vars := make([]string, 0, len(f.ranges))
+	for v := range f.ranges { //mapiter:ok keys sorted below
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return vars
+}
+
+// absEnv maps thread-local names to intervals. Shared variables never
+// appear here; they are looked up in the global ranges.
+type absEnv map[string]Interval
+
+func (e absEnv) clone() absEnv {
+	c := make(absEnv, len(e))
+	for k, v := range e { //mapiter:ok map-to-map copy
+		c[k] = v
+	}
+	return c
+}
+
+// joinInto widens e towards the join with o, in place, mirroring the
+// encoder's branch merge: a name missing on one side defaults to the
+// singleton {0} (the encoder's zero bit-vector default).
+func (e absEnv) joinInto(o absEnv) {
+	zero := Interval{}
+	for k, v := range o { //mapiter:ok join is commutative; result is a map
+		if cur, ok := e[k]; ok {
+			e[k] = Join(cur, v)
+		} else {
+			e[k] = Join(zero, v)
+		}
+	}
+	for k, v := range e { //mapiter:ok join is commutative; result is a map
+		if _, ok := o[k]; !ok {
+			e[k] = Join(v, zero)
+		}
+	}
+}
+
+func (e absEnv) equal(o absEnv) bool {
+	if len(e) != len(o) {
+		return false
+	}
+	for k, v := range e { //mapiter:ok order-independent equality test
+		if o[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// analyzer runs the whole-program fixpoint.
+type analyzer struct {
+	width   int
+	shared  map[string]bool
+	ranges  map[string]Interval
+	grows   map[string]int // per-variable growth count, for widening
+	changed bool
+}
+
+// widenAfter is the number of range growths a shared variable tolerates
+// before its range widens to Top. Cross-thread feedback (thread A's writes
+// feed thread B's reads feed A again) converges within a few rounds or not
+// at all, so the cutoff is small.
+const widenAfter = 3
+
+// Analyze computes shared-variable value ranges for the program at the
+// given bit width. The program may contain loops; their bodies are
+// iterated to an inner post-fixpoint, so the returned facts hold for every
+// unrolling depth.
+//
+// Soundness: a variable's range always contains its initial value, and is
+// closed under every store any thread can perform given that all shared
+// reads yield values inside the ranges (Lock stores 1, Unlock stores 0,
+// Havoc stores Top). By induction over any interleaving, every value ever
+// stored — and hence ever read — lies inside the final ranges.
+func Analyze(p *cprog.Program, width int) *Facts {
+	a := &analyzer{
+		width:  width,
+		shared: make(map[string]bool, len(p.Shared)),
+		ranges: make(map[string]Interval, len(p.Shared)),
+		grows:  make(map[string]int),
+	}
+	for _, s := range p.Shared {
+		a.shared[s.Name] = true
+		a.ranges[s.Name] = FromConst(s.Init, width)
+	}
+	// Iterate whole-program rounds until no shared range grows. Widening
+	// bounds the number of growths per variable, so this terminates.
+	for round := 0; ; round++ {
+		a.changed = false
+		for _, th := range p.Threads {
+			a.walkStmts(th.Body, absEnv{})
+		}
+		a.walkStmts(p.Post, absEnv{})
+		if !a.changed {
+			break
+		}
+	}
+	return &Facts{Width: width, ranges: a.ranges}
+}
+
+// record folds a stored value into a shared variable's range, widening
+// after repeated growth.
+func (a *analyzer) record(name string, v Interval) {
+	cur, ok := a.ranges[name]
+	if !ok {
+		cur = Empty()
+	}
+	next := Join(cur, v)
+	if next == cur {
+		return
+	}
+	a.grows[name]++
+	if a.grows[name] > widenAfter {
+		next = Widen(cur, next, a.width)
+		if a.grows[name] > 2*widenAfter {
+			next = Top(a.width)
+		}
+	}
+	a.ranges[name] = next
+	a.changed = true
+}
+
+// eval abstracts an expression under the local environment, with shared
+// reads drawn from the current global ranges.
+func (a *analyzer) eval(env absEnv, x cprog.Expr) Interval {
+	switch ex := x.(type) {
+	case cprog.Const:
+		return FromConst(ex.Value, a.width)
+	case cprog.Ref:
+		if a.shared[ex.Name] {
+			if iv, ok := a.ranges[ex.Name]; ok {
+				return iv
+			}
+			return Top(a.width)
+		}
+		if iv, ok := env[ex.Name]; ok {
+			return iv
+		}
+		// Undeclared local: the encoder defaults it to zero.
+		return Interval{}
+	case cprog.UnOp:
+		return UnInterval(ex.Op, a.eval(env, ex.X), a.width)
+	case cprog.BinOp:
+		return BinInterval(ex.Op, a.eval(env, ex.L), a.eval(env, ex.R), a.width)
+	}
+	return Top(a.width)
+}
+
+// walkStmts interprets a statement list abstractly, mutating env and
+// recording shared stores. Returns the environment after the list.
+func (a *analyzer) walkStmts(stmts []cprog.Stmt, env absEnv) absEnv {
+	for _, st := range stmts {
+		env = a.walkStmt(st, env)
+	}
+	return env
+}
+
+func (a *analyzer) walkStmt(st cprog.Stmt, env absEnv) absEnv {
+	switch s := st.(type) {
+	case cprog.Local:
+		if s.Init != nil {
+			env[s.Name] = a.eval(env, s.Init)
+		} else {
+			env[s.Name] = Interval{}
+		}
+	case cprog.Assign:
+		v := a.eval(env, s.Rhs)
+		if a.shared[s.Lhs] {
+			a.record(s.Lhs, v)
+		} else {
+			env[s.Lhs] = v
+		}
+	case cprog.Havoc:
+		if a.shared[s.Name] {
+			a.record(s.Name, Top(a.width))
+		} else {
+			env[s.Name] = Top(a.width)
+		}
+	case cprog.Lock:
+		// The test-and-set acquire stores 1 into the mutex word.
+		a.record(s.Mutex, FromConst(1, a.width))
+	case cprog.Unlock:
+		a.record(s.Mutex, FromConst(0, a.width))
+	case cprog.If:
+		a.eval(env, s.Cond) // reads feed nothing, but keep symmetry cheap
+		thenEnv := a.walkStmts(s.Then, env.clone())
+		elseEnv := a.walkStmts(s.Else, env.clone())
+		thenEnv.joinInto(elseEnv)
+		return thenEnv
+	case cprog.While:
+		// Inner fixpoint: the loop environment covers entry (zero
+		// iterations) and every further iteration; widening after a few
+		// rounds forces termination. Shared stores inside the body are
+		// recorded every round, so ranges reach their own fixpoint too.
+		loopEnv := env
+		for iter := 0; ; iter++ {
+			out := a.walkStmts(s.Body, loopEnv.clone())
+			merged := loopEnv.clone()
+			merged.joinInto(out)
+			if merged.equal(loopEnv) {
+				break
+			}
+			if iter >= widenAfter {
+				for k, v := range merged { //mapiter:ok per-key widening, result is a map
+					if old, ok := loopEnv[k]; ok && v != old {
+						merged[k] = Widen(old, v, a.width)
+					}
+				}
+			}
+			if iter >= 2*widenAfter {
+				for k := range merged { //mapiter:ok per-key overwrite, result is a map
+					merged[k] = Top(a.width)
+				}
+			}
+			loopEnv = merged
+		}
+		return loopEnv
+	case cprog.Atomic:
+		return a.walkStmts(s.Body, env)
+	case cprog.Assume, cprog.Assert, cprog.Fence:
+		// Assumes could refine, but refinement here would be unsound for
+		// the cross-thread ranges (another thread may observe the store
+		// before the assume filters the execution). Skip.
+	}
+	return env
+}

@@ -1,0 +1,398 @@
+package dataflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"zpre/internal/cprog"
+)
+
+const testWidth = 8
+
+// TestFoldMatchesInterpSemantics cross-checks FoldBin/FoldUn against a
+// direct transliteration of interp's evalRaw on random masked values.
+func TestFoldMatchesInterpSemantics(t *testing.T) {
+	mask := Mask(testWidth)
+	toS := func(v uint64) int64 { return ToSigned(v, testWidth) }
+	b2 := func(b bool) uint64 { return b2u(b) }
+	ref := func(op cprog.Op, l, r uint64) (uint64, bool) {
+		switch op {
+		case cprog.OpAdd:
+			return (l + r) & mask, true
+		case cprog.OpSub:
+			return (l - r) & mask, true
+		case cprog.OpMul:
+			return (l * r) & mask, true
+		case cprog.OpBitAnd:
+			return l & r, true
+		case cprog.OpBitOr:
+			return l | r, true
+		case cprog.OpBitXor:
+			return l ^ r, true
+		case cprog.OpShl:
+			if r >= testWidth {
+				return 0, true
+			}
+			return (l << r) & mask, true
+		case cprog.OpShr:
+			if r >= testWidth {
+				return 0, true
+			}
+			return l >> r, true
+		case cprog.OpEq:
+			return b2(l == r), true
+		case cprog.OpNe:
+			return b2(l != r), true
+		case cprog.OpLt:
+			return b2(toS(l) < toS(r)), true
+		case cprog.OpLe:
+			return b2(toS(l) <= toS(r)), true
+		case cprog.OpGt:
+			return b2(toS(l) > toS(r)), true
+		case cprog.OpGe:
+			return b2(toS(l) >= toS(r)), true
+		case cprog.OpLAnd:
+			return b2(l != 0 && r != 0), true
+		case cprog.OpLOr:
+			return b2(l != 0 || r != 0), true
+		}
+		return 0, false
+	}
+	rng := rand.New(rand.NewSource(5))
+	ops := []cprog.Op{
+		cprog.OpAdd, cprog.OpSub, cprog.OpMul, cprog.OpBitAnd, cprog.OpBitOr,
+		cprog.OpBitXor, cprog.OpShl, cprog.OpShr, cprog.OpEq, cprog.OpNe,
+		cprog.OpLt, cprog.OpLe, cprog.OpGt, cprog.OpGe, cprog.OpLAnd, cprog.OpLOr,
+	}
+	for i := 0; i < 5000; i++ {
+		op := ops[rng.Intn(len(ops))]
+		l := rng.Uint64() & mask
+		r := rng.Uint64() & mask
+		want, _ := ref(op, l, r)
+		got, ok := FoldBin(op, l, r, testWidth)
+		if !ok || got != want {
+			t.Fatalf("FoldBin(%v, %d, %d) = %d, want %d", op, l, r, got, want)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		v := rng.Uint64() & mask
+		for _, op := range []cprog.Op{cprog.OpNeg, cprog.OpBitNot, cprog.OpLNot} {
+			var want uint64
+			switch op {
+			case cprog.OpNeg:
+				want = (-v) & mask
+			case cprog.OpBitNot:
+				want = (^v) & mask
+			case cprog.OpLNot:
+				want = b2(v == 0)
+			}
+			got, ok := FoldUn(op, v, testWidth)
+			if !ok || got != want {
+				t.Fatalf("FoldUn(%v, %d) = %d, want %d", op, v, got, want)
+			}
+		}
+	}
+}
+
+// TestIntervalSoundness samples subintervals and concrete points and checks
+// that every abstract binary/unary result contains the concrete result.
+func TestIntervalSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ops := []cprog.Op{
+		cprog.OpAdd, cprog.OpSub, cprog.OpMul, cprog.OpBitAnd, cprog.OpBitOr,
+		cprog.OpBitXor, cprog.OpShl, cprog.OpShr, cprog.OpEq, cprog.OpNe,
+		cprog.OpLt, cprog.OpLe, cprog.OpGt, cprog.OpGe, cprog.OpLAnd, cprog.OpLOr,
+	}
+	randIv := func() Interval {
+		a := MinSigned(testWidth) + rng.Int63n(1<<testWidth)
+		b := MinSigned(testWidth) + rng.Int63n(1<<testWidth)
+		if a > b {
+			a, b = b, a
+		}
+		return Interval{Lo: a, Hi: b}
+	}
+	pick := func(iv Interval) uint64 {
+		v := iv.Lo + rng.Int63n(iv.Hi-iv.Lo+1)
+		return uint64(v) & Mask(testWidth)
+	}
+	for i := 0; i < 20000; i++ {
+		op := ops[rng.Intn(len(ops))]
+		a, b := randIv(), randIv()
+		out := BinInterval(op, a, b, testWidth)
+		l, r := pick(a), pick(b)
+		cv, ok := FoldBin(op, l, r, testWidth)
+		if !ok {
+			continue
+		}
+		if !out.Contains(ToSigned(cv, testWidth)) {
+			t.Fatalf("%v: %s op %s = %s does not contain concrete %d (from %d, %d)",
+				op, a, b, out, ToSigned(cv, testWidth), l, r)
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		a := randIv()
+		for _, op := range []cprog.Op{cprog.OpNeg, cprog.OpBitNot, cprog.OpLNot} {
+			out := UnInterval(op, a, testWidth)
+			v := pick(a)
+			cv, _ := FoldUn(op, v, testWidth)
+			if !out.Contains(ToSigned(cv, testWidth)) {
+				t.Fatalf("%v: op %s = %s does not contain concrete %d (from %d)",
+					op, a, out, ToSigned(cv, testWidth), v)
+			}
+		}
+	}
+}
+
+func TestIntervalLattice(t *testing.T) {
+	a := Interval{Lo: -3, Hi: 5}
+	b := Interval{Lo: 4, Hi: 9}
+	if j := Join(a, b); j != (Interval{Lo: -3, Hi: 9}) {
+		t.Errorf("Join = %s", j)
+	}
+	if m := Meet(a, b); m != (Interval{Lo: 4, Hi: 5}) {
+		t.Errorf("Meet = %s", m)
+	}
+	if !a.Disjoint(Interval{Lo: 6, Hi: 7}) {
+		t.Error("Disjoint missed a gap")
+	}
+	if a.Disjoint(b) {
+		t.Error("Disjoint on overlapping intervals")
+	}
+	if Meet(a, Interval{Lo: 6, Hi: 7}) != Empty() || !Meet(a, Interval{Lo: 6, Hi: 7}).IsEmpty() {
+		t.Error("Meet of disjoint intervals should be empty")
+	}
+	if !Empty().Disjoint(a) || !a.Disjoint(Empty()) {
+		t.Error("Empty must be disjoint from everything")
+	}
+	w := Widen(Interval{Lo: 0, Hi: 2}, Interval{Lo: 0, Hi: 3}, testWidth)
+	if w.Hi != MaxSigned(testWidth) || w.Lo != 0 {
+		t.Errorf("Widen = %s", w)
+	}
+}
+
+// TestAnalyzeRanges checks the cross-thread fixpoint on a two-thread
+// program with a bounded loop, a mutex, and a havoc.
+func TestAnalyzeRanges(t *testing.T) {
+	p := &cprog.Program{
+		Name: "ranges",
+		Shared: []cprog.SharedDecl{
+			{Name: "x", Init: 0}, {Name: "flag", Init: 0},
+			{Name: "m", Init: 0}, {Name: "h", Init: 2},
+		},
+		Threads: []*cprog.Thread{
+			{Name: "t0", Body: []cprog.Stmt{
+				cprog.Lock{Mutex: "m"},
+				cprog.Assign{Lhs: "x", Rhs: cprog.C(3)},
+				cprog.Unlock{Mutex: "m"},
+				cprog.Assign{Lhs: "flag", Rhs: cprog.C(1)},
+			}},
+			{Name: "t1", Body: []cprog.Stmt{
+				cprog.Havoc{Name: "h"},
+				cprog.Assign{Lhs: "x", Rhs: cprog.Add(cprog.V("x"), cprog.C(1))},
+			}},
+		},
+	}
+	f := Analyze(p, testWidth)
+	if got := f.Range("flag"); got != (Interval{Lo: 0, Hi: 1}) {
+		t.Errorf("flag range = %s, want [0,1]", got)
+	}
+	if got := f.Range("m"); got != (Interval{Lo: 0, Hi: 1}) {
+		t.Errorf("m range = %s, want [0,1]", got)
+	}
+	if got := f.Range("h"); !got.IsTop(testWidth) {
+		t.Errorf("h range = %s, want top", got)
+	}
+	// x: init 0, store 3, store x+1 where x feeds back — the increment
+	// cycle widens to top (wrap-around makes every value reachable), but
+	// the result must still cover the concrete stores.
+	if got := f.Range("x"); !got.Contains(0) || !got.Contains(3) {
+		t.Errorf("x range = %s, want to contain 0 and 3", got)
+	}
+}
+
+// TestAnalyzeLoopTermination makes sure self-incrementing loops reach a
+// fixpoint via widening rather than diverging.
+func TestAnalyzeLoopTermination(t *testing.T) {
+	p := &cprog.Program{
+		Name:   "loop",
+		Shared: []cprog.SharedDecl{{Name: "g", Init: 0}},
+		Threads: []*cprog.Thread{
+			{Name: "t0", Body: []cprog.Stmt{
+				cprog.Local{Name: "c", Init: cprog.C(0)},
+				cprog.While{
+					Cond: cprog.Lt(cprog.V("c"), cprog.C(100)),
+					Body: []cprog.Stmt{
+						cprog.Assign{Lhs: "g", Rhs: cprog.Add(cprog.V("g"), cprog.C(1))},
+						cprog.Assign{Lhs: "c", Rhs: cprog.Add(cprog.V("c"), cprog.C(1))},
+					},
+				},
+			}},
+		},
+	}
+	// The analysis ignores loop trip counts, so g widens to top — the
+	// test's payload is that the fixpoint terminates at all.
+	f := Analyze(p, testWidth)
+	if got := f.Range("g"); !got.Contains(0) {
+		t.Errorf("g range = %s, want to contain 0", got)
+	}
+}
+
+// TestSimplifyFoldsAndPreservesDecls exercises constant folding, copy
+// propagation, dead-branch inlining, and the zero-fill declaration
+// preservation for locals of untaken branches.
+func TestSimplifyFoldsAndPreservesDecls(t *testing.T) {
+	p := &cprog.Program{
+		Name:   "fold",
+		Shared: []cprog.SharedDecl{{Name: "g", Init: 0}},
+		Threads: []*cprog.Thread{
+			{Name: "t0", Body: []cprog.Stmt{
+				cprog.Local{Name: "a", Init: cprog.C(2)},
+				cprog.Local{Name: "b", Init: cprog.Ref{Name: "a"}},
+				cprog.If{
+					Cond: cprog.Eq(cprog.V("a"), cprog.V("b")), // folds to 1
+					Then: []cprog.Stmt{cprog.Assign{Lhs: "g", Rhs: cprog.Add(cprog.V("a"), cprog.C(1))}},
+					Else: []cprog.Stmt{
+						cprog.Local{Name: "z", Init: cprog.C(9)},
+						cprog.Assign{Lhs: "g", Rhs: cprog.V("z")},
+					},
+				},
+				cprog.Assign{Lhs: "g", Rhs: cprog.V("z")}, // z zero-fills
+			}},
+		},
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.Le(cprog.V("g"), cprog.C(9))}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("input invalid: %v", err)
+	}
+	out, st := Simplify(p, testWidth)
+	if err := out.Validate(); err != nil {
+		t.Fatalf("simplified program invalid: %v\n%s", err, cprog.Format(out))
+	}
+	if st.FoldedGuards == 0 {
+		t.Errorf("expected the a==b guard to fold: %+v", st)
+	}
+	if st.FoldedAssigns == 0 {
+		t.Errorf("expected copy-propagated assignments to fold: %+v", st)
+	}
+	// The taken branch's assignment must fold g = a+1 to g = 3.
+	found := false
+	var scan func(list []cprog.Stmt)
+	scan = func(list []cprog.Stmt) {
+		for _, s := range list {
+			if as, ok := s.(cprog.Assign); ok && as.Lhs == "g" {
+				if c, ok := as.Rhs.(cprog.Const); ok && c.Value == 3 {
+					found = true
+				}
+			}
+			if iff, ok := s.(cprog.If); ok {
+				scan(iff.Then)
+				scan(iff.Else)
+			}
+		}
+	}
+	scan(out.Threads[0].Body)
+	if !found {
+		t.Errorf("g = a+1 did not fold to g = 3:\n%s", cprog.Format(out))
+	}
+}
+
+// TestSimplifyDeadWriteElimination drops stores to shared variables that
+// no thread ever reads, but keeps mutexes and read variables.
+func TestSimplifyDeadWriteElimination(t *testing.T) {
+	p := &cprog.Program{
+		Name: "dead",
+		Shared: []cprog.SharedDecl{
+			{Name: "sink", Init: 0}, {Name: "live", Init: 0}, {Name: "m", Init: 0},
+		},
+		Threads: []*cprog.Thread{
+			{Name: "t0", Body: []cprog.Stmt{
+				cprog.Assign{Lhs: "sink", Rhs: cprog.C(4)},
+				cprog.Havoc{Name: "sink"},
+				cprog.Lock{Mutex: "m"},
+				cprog.Assign{Lhs: "live", Rhs: cprog.C(1)},
+				cprog.Unlock{Mutex: "m"},
+				// RHS reads a shared var: the store must survive even
+				// though sink is dead, or the read event disappears.
+				cprog.Assign{Lhs: "sink", Rhs: cprog.V("live")},
+			}},
+		},
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.Le(cprog.V("live"), cprog.C(1))}},
+	}
+	out, st := Simplify(p, testWidth)
+	if err := out.Validate(); err != nil {
+		t.Fatalf("simplified program invalid: %v", err)
+	}
+	if st.DeadWrites != 2 {
+		t.Errorf("DeadWrites = %d, want 2 (const store + havoc):\n%s", st.DeadWrites, cprog.Format(out))
+	}
+	var sinkStores int
+	for _, s := range out.Threads[0].Body {
+		if as, ok := s.(cprog.Assign); ok && as.Lhs == "sink" {
+			sinkStores++
+		}
+	}
+	if sinkStores != 1 {
+		t.Errorf("sink stores remaining = %d, want 1 (the shared-reading one)", sinkStores)
+	}
+}
+
+// TestSimplifyKeepsFalseAssumes: assume(false) and assert(false) change
+// satisfiability and must never be dropped.
+func TestSimplifyKeepsFalseAssumes(t *testing.T) {
+	p := &cprog.Program{
+		Name:   "falsy",
+		Shared: []cprog.SharedDecl{{Name: "g", Init: 0}},
+		Threads: []*cprog.Thread{
+			{Name: "t0", Body: []cprog.Stmt{
+				cprog.Assume{Cond: cprog.C(0)},
+				cprog.Assume{Cond: cprog.C(1)},
+				cprog.Assert{Cond: cprog.Eq(cprog.C(2), cprog.C(2))},
+			}},
+		},
+	}
+	out, st := Simplify(p, testWidth)
+	var assumes, asserts int
+	for _, s := range out.Threads[0].Body {
+		switch s.(type) {
+		case cprog.Assume:
+			assumes++
+		case cprog.Assert:
+			asserts++
+		}
+	}
+	if assumes != 1 {
+		t.Errorf("assumes = %d, want 1 (only the false one)", assumes)
+	}
+	if asserts != 0 {
+		t.Errorf("asserts = %d, want 0 (always true)", asserts)
+	}
+	if st.DroppedStmts != 2 {
+		t.Errorf("DroppedStmts = %d, want 2", st.DroppedStmts)
+	}
+}
+
+// TestSimplifyLeavesAtomicAlone: atomic bodies must come out structurally
+// untouched.
+func TestSimplifyLeavesAtomicAlone(t *testing.T) {
+	body := []cprog.Stmt{
+		cprog.Assign{Lhs: "g", Rhs: cprog.Add(cprog.C(1), cprog.C(1))},
+	}
+	p := &cprog.Program{
+		Name:   "atomic",
+		Shared: []cprog.SharedDecl{{Name: "g", Init: 0}},
+		Threads: []*cprog.Thread{
+			{Name: "t0", Body: []cprog.Stmt{cprog.Atomic{Body: body}}},
+		},
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.Le(cprog.V("g"), cprog.C(2))}},
+	}
+	out, _ := Simplify(p, testWidth)
+	at, ok := out.Threads[0].Body[0].(cprog.Atomic)
+	if !ok {
+		t.Fatalf("atomic section vanished:\n%s", cprog.Format(out))
+	}
+	if as, ok := at.Body[0].(cprog.Assign); !ok {
+		t.Fatal("atomic body changed shape")
+	} else if _, isConst := as.Rhs.(cprog.Const); isConst {
+		t.Error("atomic body was rewritten; 1+1 must stay unfolded")
+	}
+}

@@ -1,0 +1,375 @@
+// Package dataflow implements a per-thread abstract interpretation over
+// cprog programs: a constant/copy-propagation simplifier (Simplify) and an
+// interval analysis with sound cross-thread widening (Analyze). Both reuse
+// the exact width-masked wrap-around semantics of internal/interp, so every
+// fold and every interval is faithful to the encoder's bit-vector circuits.
+//
+// The encoder consumes the results as a value-infeasibility oracle: a read
+// whose feasible interval is disjoint from a candidate write's value
+// interval can never observe that write, so the rf edge is dropped before
+// the SAT search ever sees it.
+package dataflow
+
+import (
+	"fmt"
+
+	"zpre/internal/cprog"
+)
+
+// Interval is a signed width-bit interval [Lo, Hi] (both inclusive), with
+// Lo and Hi interpreted as sign-extended width-bit values. Lo > Hi denotes
+// the empty interval (no value is feasible). The zero value is the
+// singleton {0}, matching the encoder's default for uninitialised locals.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// MinSigned and MaxSigned bound the signed width-bit value range.
+func MinSigned(width int) int64 { return -(int64(1) << uint(width-1)) }
+func MaxSigned(width int) int64 { return int64(1)<<uint(width-1) - 1 }
+
+// Top is the full signed range for the width: no information.
+func Top(width int) Interval { return Interval{Lo: MinSigned(width), Hi: MaxSigned(width)} }
+
+// Empty is the canonical empty interval.
+func Empty() Interval { return Interval{Lo: 1, Hi: 0} }
+
+// ToSigned sign-extends a masked width-bit value, mirroring interp.
+func ToSigned(v uint64, width int) int64 {
+	v &= Mask(width)
+	sign := uint64(1) << uint(width-1)
+	if v&sign != 0 {
+		return int64(v) - int64(1)<<uint(width)
+	}
+	return int64(v)
+}
+
+// Mask is the width-bit value mask.
+func Mask(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(width) - 1
+}
+
+// Single is the singleton interval holding the signed interpretation of a
+// masked width-bit value.
+func Single(v uint64, width int) Interval {
+	s := ToSigned(v, width)
+	return Interval{Lo: s, Hi: s}
+}
+
+// FromConst is the singleton for a cprog constant, masked to width bits.
+func FromConst(v int64, width int) Interval {
+	return Single(uint64(v), width)
+}
+
+func (i Interval) IsEmpty() bool { return i.Lo > i.Hi }
+
+func (i Interval) IsTop(width int) bool {
+	return i.Lo <= MinSigned(width) && i.Hi >= MaxSigned(width)
+}
+
+// Const reports whether the interval is a singleton and returns its masked
+// width-bit representation.
+func (i Interval) Const(width int) (uint64, bool) {
+	if i.Lo != i.Hi {
+		return 0, false
+	}
+	return uint64(i.Lo) & Mask(width), true
+}
+
+func (i Interval) Contains(v int64) bool { return i.Lo <= v && v <= i.Hi }
+
+// Disjoint reports that no value lies in both intervals. An empty interval
+// is disjoint from everything.
+func (i Interval) Disjoint(o Interval) bool {
+	return i.IsEmpty() || o.IsEmpty() || i.Hi < o.Lo || o.Hi < i.Lo
+}
+
+// Join is the interval union (convex hull).
+func Join(a, b Interval) Interval {
+	if a.IsEmpty() {
+		return b
+	}
+	if b.IsEmpty() {
+		return a
+	}
+	return Interval{Lo: min64(a.Lo, b.Lo), Hi: max64(a.Hi, b.Hi)}
+}
+
+// Meet is the interval intersection.
+func Meet(a, b Interval) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Empty()
+	}
+	r := Interval{Lo: max64(a.Lo, b.Lo), Hi: min64(a.Hi, b.Hi)}
+	if r.IsEmpty() {
+		return Empty()
+	}
+	return r
+}
+
+// Widen jumps an endpoint that grew since old straight to the width bound,
+// guaranteeing fixpoint termination in a constant number of steps.
+func Widen(old, grown Interval, width int) Interval {
+	if old.IsEmpty() {
+		return grown
+	}
+	if grown.IsEmpty() {
+		return old
+	}
+	w := grown
+	if grown.Lo < old.Lo {
+		w.Lo = MinSigned(width)
+	}
+	if grown.Hi > old.Hi {
+		w.Hi = MaxSigned(width)
+	}
+	return w
+}
+
+func (i Interval) String() string {
+	if i.IsEmpty() {
+		return "[]"
+	}
+	if i.Lo == i.Hi {
+		return fmt.Sprintf("[%d]", i.Lo)
+	}
+	return fmt.Sprintf("[%d,%d]", i.Lo, i.Hi)
+}
+
+// FoldUn evaluates a unary operator on a masked width-bit value with
+// interp's exact semantics. ok is false for unrecognised operators.
+func FoldUn(op cprog.Op, v uint64, width int) (uint64, bool) {
+	m := Mask(width)
+	v &= m
+	switch op {
+	case cprog.OpNeg:
+		return (-v) & m, true
+	case cprog.OpBitNot:
+		return (^v) & m, true
+	case cprog.OpLNot:
+		return b2u(v == 0), true
+	}
+	return 0, false
+}
+
+// FoldBin evaluates a binary operator on masked width-bit values with
+// interp's exact semantics. ok is false for unrecognised operators.
+func FoldBin(op cprog.Op, l, r uint64, width int) (uint64, bool) {
+	m := Mask(width)
+	l &= m
+	r &= m
+	switch op {
+	case cprog.OpAdd:
+		return (l + r) & m, true
+	case cprog.OpSub:
+		return (l - r) & m, true
+	case cprog.OpMul:
+		return (l * r) & m, true
+	case cprog.OpBitAnd:
+		return l & r, true
+	case cprog.OpBitOr:
+		return l | r, true
+	case cprog.OpBitXor:
+		return l ^ r, true
+	case cprog.OpShl:
+		if r >= uint64(width) {
+			return 0, true
+		}
+		return (l << r) & m, true
+	case cprog.OpShr:
+		if r >= uint64(width) {
+			return 0, true
+		}
+		return l >> r, true
+	case cprog.OpEq:
+		return b2u(l == r), true
+	case cprog.OpNe:
+		return b2u(l != r), true
+	case cprog.OpLt:
+		return b2u(ToSigned(l, width) < ToSigned(r, width)), true
+	case cprog.OpLe:
+		return b2u(ToSigned(l, width) <= ToSigned(r, width)), true
+	case cprog.OpGt:
+		return b2u(ToSigned(l, width) > ToSigned(r, width)), true
+	case cprog.OpGe:
+		return b2u(ToSigned(l, width) >= ToSigned(r, width)), true
+	case cprog.OpLAnd:
+		return b2u(l != 0 && r != 0), true
+	case cprog.OpLOr:
+		return b2u(l != 0 || r != 0), true
+	}
+	return 0, false
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// precisionWidth caps the widths for which non-singleton interval
+// arithmetic is attempted: beyond it the int64 endpoint arithmetic below
+// could itself overflow, so everything degrades soundly to Top.
+const precisionWidth = 31
+
+// UnInterval over-approximates a unary operator on signed width-bit
+// intervals. Every result is sound wrt FoldUn: for any concrete v in a,
+// FoldUn(op, v) (signed) lies in the result.
+func UnInterval(op cprog.Op, a Interval, width int) Interval {
+	if a.IsEmpty() {
+		return Empty()
+	}
+	if c, ok := a.Const(width); ok {
+		if v, ok := FoldUn(op, c, width); ok {
+			return Single(v, width)
+		}
+		return Top(width)
+	}
+	if width > precisionWidth {
+		return Top(width)
+	}
+	switch op {
+	case cprog.OpNeg:
+		// -x wraps only at MinSigned; the fit check catches that case.
+		return fit(Interval{Lo: -a.Hi, Hi: -a.Lo}, width)
+	case cprog.OpBitNot:
+		// ^x == -x-1 and never leaves the signed range.
+		return Interval{Lo: -a.Hi - 1, Hi: -a.Lo - 1}
+	case cprog.OpLNot:
+		if !a.Contains(0) {
+			return Interval{Lo: 0, Hi: 0}
+		}
+		return Interval{Lo: 0, Hi: 1}
+	}
+	return Top(width)
+}
+
+// BinInterval over-approximates a binary operator on signed width-bit
+// intervals, sound wrt FoldBin in the same sense as UnInterval.
+func BinInterval(op cprog.Op, a, b Interval, width int) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Empty()
+	}
+	if ca, ok := a.Const(width); ok {
+		if cb, ok := b.Const(width); ok {
+			if v, ok := FoldBin(op, ca, cb, width); ok {
+				return Single(v, width)
+			}
+			return Top(width)
+		}
+	}
+	if width > precisionWidth {
+		return Top(width)
+	}
+	switch op {
+	case cprog.OpAdd:
+		return fit(Interval{Lo: a.Lo + b.Lo, Hi: a.Hi + b.Hi}, width)
+	case cprog.OpSub:
+		return fit(Interval{Lo: a.Lo - b.Hi, Hi: a.Hi - b.Lo}, width)
+	case cprog.OpMul:
+		lo, hi := a.Lo*b.Lo, a.Lo*b.Lo
+		for _, v := range []int64{a.Lo * b.Hi, a.Hi * b.Lo, a.Hi * b.Hi} {
+			lo, hi = min64(lo, v), max64(hi, v)
+		}
+		return fit(Interval{Lo: lo, Hi: hi}, width)
+	case cprog.OpEq:
+		return cmpInterval(a, b, func(l, r int64) bool { return l == r })
+	case cprog.OpNe:
+		return cmpInterval(a, b, func(l, r int64) bool { return l != r })
+	case cprog.OpLt:
+		return cmpOrd(a, b, a.Hi < b.Lo, a.Lo >= b.Hi)
+	case cprog.OpLe:
+		return cmpOrd(a, b, a.Hi <= b.Lo, a.Lo > b.Hi)
+	case cprog.OpGt:
+		return cmpOrd(a, b, a.Lo > b.Hi, a.Hi <= b.Lo)
+	case cprog.OpGe:
+		return cmpOrd(a, b, a.Lo >= b.Hi, a.Hi < b.Lo)
+	case cprog.OpLAnd:
+		if !a.Contains(0) && !b.Contains(0) {
+			return Interval{Lo: 1, Hi: 1}
+		}
+		if isZero(a) || isZero(b) {
+			return Interval{Lo: 0, Hi: 0}
+		}
+		return Interval{Lo: 0, Hi: 1}
+	case cprog.OpLOr:
+		if !a.Contains(0) || !b.Contains(0) {
+			return Interval{Lo: 1, Hi: 1}
+		}
+		if isZero(a) && isZero(b) {
+			return Interval{Lo: 0, Hi: 0}
+		}
+		return Interval{Lo: 0, Hi: 1}
+	case cprog.OpShr:
+		// Logical shift of a non-negative value by a known non-negative
+		// amount shrinks it towards zero.
+		if a.Lo >= 0 && b.Lo >= 0 {
+			if b.Lo >= int64(width) {
+				return Interval{Lo: 0, Hi: 0}
+			}
+			return Interval{Lo: 0, Hi: a.Hi >> uint(b.Lo)}
+		}
+	}
+	return Top(width)
+}
+
+// cmpInterval resolves an equality-class comparison to a 0/1 interval,
+// using eq over singletons and overlap otherwise.
+func cmpInterval(a, b Interval, eq func(l, r int64) bool) Interval {
+	if a.Lo == a.Hi && b.Lo == b.Hi {
+		if eq(a.Lo, b.Lo) {
+			return Interval{Lo: 1, Hi: 1}
+		}
+		return Interval{Lo: 0, Hi: 0}
+	}
+	if a.Disjoint(b) {
+		// Equality can never hold across disjoint ranges.
+		if eq(0, 0) { // eq is ==
+			return Interval{Lo: 0, Hi: 0}
+		}
+		return Interval{Lo: 1, Hi: 1} // eq is !=
+	}
+	return Interval{Lo: 0, Hi: 1}
+}
+
+// cmpOrd resolves an ordering comparison: alwaysTrue / alwaysFalse are the
+// definite cases over the two intervals.
+func cmpOrd(a, b Interval, alwaysTrue, alwaysFalse bool) Interval {
+	switch {
+	case alwaysTrue:
+		return Interval{Lo: 1, Hi: 1}
+	case alwaysFalse:
+		return Interval{Lo: 0, Hi: 0}
+	}
+	return Interval{Lo: 0, Hi: 1}
+}
+
+func isZero(i Interval) bool { return i.Lo == 0 && i.Hi == 0 }
+
+// fit keeps an exactly-computed result interval if it lies inside the
+// signed width-bit range; wrap-around would otherwise split it, so the
+// result degrades to Top.
+func fit(i Interval, width int) Interval {
+	if i.Lo >= MinSigned(width) && i.Hi <= MaxSigned(width) {
+		return i
+	}
+	return Top(width)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,521 @@
+package dataflow
+
+import (
+	"zpre/internal/cprog"
+)
+
+// SimplifyStats counts the rewrites Simplify performed. FoldedAssigns is
+// the headline number threaded through the harness tables.
+type SimplifyStats struct {
+	FoldedAssigns int // assignments/initialisers whose RHS folded to a literal
+	FoldedGuards  int // if/while/assume/assert conditions folded to a literal
+	DeadWrites    int // stores to shared variables no thread ever reads
+	DroppedStmts  int // statements removed outright (dead branches, true assumes)
+}
+
+// Simplify returns a semantically equivalent program with constants
+// folded, copies propagated, constant branches inlined, trivially-true
+// assumes/asserts dropped, and dead shared writes removed. The rewrite is
+// verdict-preserving for the partial-order encoding:
+//
+//   - Folding uses FoldBin/FoldUn, the exact width-masked semantics the
+//     encoder's bit-vector circuits implement, so every folded expression
+//     denotes the same value in every execution.
+//   - A branch is inlined only when its condition folds to a literal, in
+//     which case the encoder would have emitted the same events under a
+//     guard that is constantly true (or an empty event set).
+//   - Constant-false assumes and asserts are kept: they change
+//     satisfiability and must reach the encoder.
+//   - Dead-write elimination removes a store only if the variable is never
+//     referenced by any thread or the postcondition, is never a mutex, and
+//     the store's RHS reads no shared variable (so no read event is lost).
+//     Such a write can only serialise against other writes to the same
+//     dead variable; dropping all of them removes an isolated, always
+//     satisfiable ws sub-problem.
+//   - Atomic bodies are never rewritten: shrinking an atomic section would
+//     weaken its mutual-exclusion window.
+//
+// The input program is not mutated.
+func Simplify(p *cprog.Program, width int) (*cprog.Program, SimplifyStats) {
+	s := &simplifier{width: width, shared: map[string]bool{}}
+	for _, sh := range p.Shared {
+		s.shared[sh.Name] = true
+	}
+	s.collectUses(p)
+
+	out := &cprog.Program{Name: p.Name, Shared: append([]cprog.SharedDecl(nil), p.Shared...)}
+	for _, th := range p.Threads {
+		s.scope = map[string]bool{}
+		out.Threads = append(out.Threads, &cprog.Thread{
+			Name: th.Name,
+			Body: s.stmts(th.Body, env{}),
+		})
+	}
+	s.scope = map[string]bool{}
+	out.Post = s.stmts(p.Post, env{})
+	return out, s.stats
+}
+
+// val is the copy/constant lattice for one local: a known literal, an
+// alias of another (root) local, or unknown.
+type val struct {
+	isConst bool
+	c       uint64 // masked width-bit literal
+	alias   string // non-empty: this local currently equals that local
+}
+
+type env map[string]val
+
+func (e env) clone() env {
+	c := make(env, len(e))
+	for k, v := range e { //mapiter:ok map-to-map copy
+		c[k] = v
+	}
+	return c
+}
+
+// merge keeps only facts that agree on both branches; everything else
+// becomes unknown. Locals assigned on only one side also become unknown —
+// the encoder zero-fills missing branch locals, so agreeing with the other
+// side cannot be assumed.
+func (e env) merge(o env) env {
+	m := env{}
+	for k, v := range e { //mapiter:ok intersection into a map
+		if ov, ok := o[k]; ok && v == ov {
+			m[k] = v
+		}
+	}
+	return m
+}
+
+// kill drops every alias fact pointing at the reassigned local.
+func (e env) kill(name string) {
+	delete(e, name)
+	for k, v := range e { //mapiter:ok order-independent deletion
+		if v.alias == name {
+			delete(e, k)
+		}
+	}
+}
+
+type simplifier struct {
+	width  int
+	shared map[string]bool
+	// used marks shared variables that some thread reads (any Ref in any
+	// expression) or locks; writes to unmarked shared variables are dead.
+	used map[string]bool
+	// scope tracks locals declared so far in the current thread, so a
+	// dropped branch's declarations can be preserved when still needed.
+	scope map[string]bool
+	stats SimplifyStats
+}
+
+// collectUses scans the whole program for shared-variable reads and mutex
+// operations. Havoc and Assign targets are writes, not uses.
+func (s *simplifier) collectUses(p *cprog.Program) {
+	s.used = map[string]bool{}
+	var expr func(x cprog.Expr)
+	expr = func(x cprog.Expr) {
+		switch ex := x.(type) {
+		case cprog.Ref:
+			if s.shared[ex.Name] {
+				s.used[ex.Name] = true
+			}
+		case cprog.UnOp:
+			expr(ex.X)
+		case cprog.BinOp:
+			expr(ex.L)
+			expr(ex.R)
+		}
+	}
+	var walk func(stmts []cprog.Stmt)
+	walk = func(stmts []cprog.Stmt) {
+		for _, st := range stmts {
+			switch t := st.(type) {
+			case cprog.Local:
+				if t.Init != nil {
+					expr(t.Init)
+				}
+			case cprog.Assign:
+				expr(t.Rhs)
+			case cprog.Assume:
+				expr(t.Cond)
+			case cprog.Assert:
+				expr(t.Cond)
+			case cprog.If:
+				expr(t.Cond)
+				walk(t.Then)
+				walk(t.Else)
+			case cprog.While:
+				expr(t.Cond)
+				walk(t.Body)
+			case cprog.Lock:
+				s.used[t.Mutex] = true
+			case cprog.Unlock:
+				s.used[t.Mutex] = true
+			case cprog.Atomic:
+				walk(t.Body)
+			}
+		}
+	}
+	for _, th := range p.Threads {
+		walk(th.Body)
+	}
+	walk(p.Post)
+}
+
+// resolve follows alias chains to a root name with no further alias fact.
+func (s *simplifier) resolve(e env, name string) string {
+	for {
+		v, ok := e[name]
+		if !ok || v.alias == "" {
+			return name
+		}
+		name = v.alias
+	}
+}
+
+// expr rewrites an expression under the environment: constants fold,
+// constant locals inline, aliased locals canonicalise to their root (which
+// lets x==y fold to 1 when both alias the same local).
+func (s *simplifier) expr(e env, x cprog.Expr) cprog.Expr {
+	switch ex := x.(type) {
+	case cprog.Const:
+		return ex
+	case cprog.Ref:
+		if s.shared[ex.Name] {
+			return ex
+		}
+		root := s.resolve(e, ex.Name)
+		if v, ok := e[root]; ok && v.isConst {
+			return cprog.C(ToSigned(v.c, s.width))
+		}
+		if root != ex.Name {
+			return cprog.Ref{Name: root}
+		}
+		return ex
+	case cprog.UnOp:
+		xx := s.expr(e, ex.X)
+		if c, ok := constOf(xx); ok {
+			if v, ok := FoldUn(ex.Op, c, s.width); ok {
+				return cprog.C(ToSigned(v, s.width))
+			}
+		}
+		return cprog.UnOp{Op: ex.Op, X: xx}
+	case cprog.BinOp:
+		l := s.expr(e, ex.L)
+		r := s.expr(e, ex.R)
+		if cl, ok := constOf(l); ok {
+			if cr, ok := constOf(r); ok {
+				if v, ok := FoldBin(ex.Op, cl, cr, s.width); ok {
+					return cprog.C(ToSigned(v, s.width))
+				}
+			}
+		}
+		// Same-root locals compare equal: x==x folds even when the value
+		// is unknown (copy propagation's payoff).
+		if lr, lok := l.(cprog.Ref); lok && !s.shared[lr.Name] {
+			if rr, rok := r.(cprog.Ref); rok && lr.Name == rr.Name {
+				switch ex.Op {
+				case cprog.OpEq, cprog.OpLe, cprog.OpGe:
+					return cprog.C(1)
+				case cprog.OpNe, cprog.OpLt, cprog.OpGt:
+					return cprog.C(0)
+				case cprog.OpSub, cprog.OpBitXor:
+					return cprog.C(0)
+				case cprog.OpBitAnd, cprog.OpBitOr:
+					return lr
+				}
+			}
+		}
+		return cprog.BinOp{Op: ex.Op, L: l, R: r}
+	}
+	return x
+}
+
+func constOf(x cprog.Expr) (uint64, bool) {
+	if c, ok := x.(cprog.Const); ok {
+		return uint64(c.Value), true
+	}
+	return 0, false
+}
+
+// bind updates the environment for a local assignment whose rewritten RHS
+// is known.
+func (s *simplifier) bind(e env, name string, rhs cprog.Expr) {
+	e.kill(name)
+	switch r := rhs.(type) {
+	case cprog.Const:
+		e[name] = val{isConst: true, c: uint64(r.Value) & Mask(s.width)}
+	case cprog.Ref:
+		if !s.shared[r.Name] && r.Name != name {
+			e[name] = val{alias: r.Name}
+		}
+	}
+}
+
+// stmts rewrites a statement list under the running environment.
+func (s *simplifier) stmts(list []cprog.Stmt, e env) []cprog.Stmt {
+	var out []cprog.Stmt
+	for _, st := range list {
+		out = s.stmt(st, e, out)
+	}
+	return out
+}
+
+func (s *simplifier) stmt(st cprog.Stmt, e env, out []cprog.Stmt) []cprog.Stmt {
+	switch t := st.(type) {
+	case cprog.Local:
+		s.scope[t.Name] = true
+		init := t.Init
+		if init != nil {
+			folded := s.expr(e, init)
+			if !sameExpr(folded, init) {
+				s.stats.FoldedAssigns++
+			}
+			init = folded
+		}
+		s.bind(e, t.Name, initOrZero(init))
+		return append(out, cprog.Local{Name: t.Name, Init: init})
+
+	case cprog.Assign:
+		rhs := s.expr(e, t.Rhs)
+		if !sameExpr(rhs, t.Rhs) {
+			s.stats.FoldedAssigns++
+		}
+		if s.shared[t.Lhs] {
+			if !s.used[t.Lhs] && !refsShared(rhs, s.shared) {
+				s.stats.DeadWrites++
+				return out
+			}
+			return append(out, cprog.Assign{Lhs: t.Lhs, Rhs: rhs})
+		}
+		s.bind(e, t.Lhs, rhs)
+		return append(out, cprog.Assign{Lhs: t.Lhs, Rhs: rhs})
+
+	case cprog.Havoc:
+		if s.shared[t.Name] && !s.used[t.Name] {
+			s.stats.DeadWrites++
+			return out
+		}
+		if !s.shared[t.Name] {
+			e.kill(t.Name)
+		}
+		return append(out, t)
+
+	case cprog.Assume:
+		cond := s.expr(e, t.Cond)
+		if c, ok := constOf(cond); ok {
+			s.stats.FoldedGuards++
+			if c&Mask(s.width) != 0 {
+				// assume(true) constrains nothing.
+				s.stats.DroppedStmts++
+				return out
+			}
+			// assume(false) kills the execution; it must survive.
+			return append(out, cprog.Assume{Cond: cprog.C(0)})
+		}
+		return append(out, cprog.Assume{Cond: cond})
+
+	case cprog.Assert:
+		cond := s.expr(e, t.Cond)
+		if c, ok := constOf(cond); ok {
+			s.stats.FoldedGuards++
+			if c&Mask(s.width) != 0 {
+				// assert(true) can never fail.
+				s.stats.DroppedStmts++
+				return out
+			}
+			return append(out, cprog.Assert{Cond: cprog.C(0)})
+		}
+		return append(out, cprog.Assert{Cond: cond})
+
+	case cprog.If:
+		cond := s.expr(e, t.Cond)
+		if c, ok := constOf(cond); ok {
+			s.stats.FoldedGuards++
+			s.stats.DroppedStmts++
+			branch, dropped := t.Then, t.Else
+			if c&Mask(s.width) == 0 {
+				branch, dropped = t.Else, t.Then
+			}
+			// The encoder's branch merge zero-fills locals declared only
+			// on the untaken side; keep those declarations alive so later
+			// references stay valid.
+			out = s.preserveDecls(dropped, e, out)
+			for _, inner := range branch {
+				out = s.stmt(inner, e, out)
+			}
+			return out
+		}
+		thenEnv := e.clone()
+		elseEnv := e.clone()
+		thenOut := s.stmts(t.Then, thenEnv)
+		elseOut := s.stmts(t.Else, elseEnv)
+		merged := thenEnv.merge(elseEnv)
+		for k := range e { //mapiter:ok clears the map
+			delete(e, k)
+		}
+		for k, v := range merged { //mapiter:ok map-to-map copy
+			e[k] = v
+		}
+		return append(out, cprog.If{Cond: cond, Then: thenOut, Else: elseOut})
+
+	case cprog.While:
+		cond := s.expr(e, t.Cond)
+		if c, ok := constOf(cond); ok && c&Mask(s.width) == 0 {
+			// while(false) never runs; its locals zero-fill like an
+			// untaken branch's.
+			s.stats.FoldedGuards++
+			s.stats.DroppedStmts++
+			return s.preserveDecls(t.Body, e, out)
+		}
+		// The body may run any number of times: locals it writes are
+		// unknown afterwards, and facts used inside must survive the
+		// back edge, so rewrite the body under an environment cleared of
+		// anything the body itself invalidates.
+		bodyEnv := e.clone()
+		killAssigned(t.Body, bodyEnv)
+		inner := bodyEnv.clone()
+		body := s.stmts(t.Body, inner)
+		killAssigned(t.Body, e)
+		return append(out, cprog.While{Cond: s.exprUnder(bodyEnv, t.Cond), Body: body})
+
+	case cprog.Lock, cprog.Unlock, cprog.Fence:
+		return append(out, st)
+
+	case cprog.Atomic:
+		// Never rewrite inside an atomic section; but its stores still
+		// invalidate local facts, and its declarations enter scope.
+		killAssigned(t.Body, e)
+		markDecls(t.Body, s.scope)
+		return append(out, t)
+	}
+	return append(out, st)
+}
+
+// preserveDecls emits zero-initialised declarations for locals a dropped
+// statement list would have introduced, unless already in scope: the
+// encoder's merge semantics give exactly zero to locals declared only on
+// an untaken branch.
+func (s *simplifier) preserveDecls(dropped []cprog.Stmt, e env, out []cprog.Stmt) []cprog.Stmt {
+	decls := map[string]bool{}
+	markDecls(dropped, decls)
+	var names []string
+	collectDeclOrder(dropped, decls, &names)
+	for _, name := range names {
+		if s.scope[name] {
+			continue
+		}
+		s.scope[name] = true
+		e.kill(name)
+		e[name] = val{isConst: true}
+		out = append(out, cprog.Local{Name: name, Init: cprog.C(0)})
+	}
+	return out
+}
+
+// markDecls records every local declared anywhere in the list.
+func markDecls(list []cprog.Stmt, into map[string]bool) {
+	for _, st := range list {
+		switch t := st.(type) {
+		case cprog.Local:
+			into[t.Name] = true
+		case cprog.If:
+			markDecls(t.Then, into)
+			markDecls(t.Else, into)
+		case cprog.While:
+			markDecls(t.Body, into)
+		case cprog.Atomic:
+			markDecls(t.Body, into)
+		}
+	}
+}
+
+// collectDeclOrder lists decls in first-syntactic-occurrence order.
+func collectDeclOrder(list []cprog.Stmt, want map[string]bool, names *[]string) {
+	for _, st := range list {
+		switch t := st.(type) {
+		case cprog.Local:
+			if want[t.Name] {
+				want[t.Name] = false
+				*names = append(*names, t.Name)
+			}
+		case cprog.If:
+			collectDeclOrder(t.Then, want, names)
+			collectDeclOrder(t.Else, want, names)
+		case cprog.While:
+			collectDeclOrder(t.Body, want, names)
+		case cprog.Atomic:
+			collectDeclOrder(t.Body, want, names)
+		}
+	}
+}
+
+// exprUnder rewrites the loop condition under the loop-invariant
+// environment (facts not killed by the body).
+func (s *simplifier) exprUnder(e env, x cprog.Expr) cprog.Expr {
+	return s.expr(e, x)
+}
+
+// killAssigned invalidates environment facts for every local a statement
+// list can write.
+func killAssigned(list []cprog.Stmt, e env) {
+	for _, st := range list {
+		switch t := st.(type) {
+		case cprog.Local:
+			e.kill(t.Name)
+		case cprog.Assign:
+			e.kill(t.Lhs)
+		case cprog.Havoc:
+			e.kill(t.Name)
+		case cprog.If:
+			killAssigned(t.Then, e)
+			killAssigned(t.Else, e)
+		case cprog.While:
+			killAssigned(t.Body, e)
+		case cprog.Atomic:
+			killAssigned(t.Body, e)
+		}
+	}
+}
+
+// refsShared reports whether the expression reads any shared variable.
+func refsShared(x cprog.Expr, shared map[string]bool) bool {
+	switch ex := x.(type) {
+	case cprog.Ref:
+		return shared[ex.Name]
+	case cprog.UnOp:
+		return refsShared(ex.X, shared)
+	case cprog.BinOp:
+		return refsShared(ex.L, shared) || refsShared(ex.R, shared)
+	}
+	return false
+}
+
+func initOrZero(x cprog.Expr) cprog.Expr {
+	if x == nil {
+		return cprog.C(0)
+	}
+	return x
+}
+
+// sameExpr is structural equality, used only to decide whether a rewrite
+// counts as a fold for the stats.
+func sameExpr(a, b cprog.Expr) bool {
+	switch av := a.(type) {
+	case cprog.Const:
+		bv, ok := b.(cprog.Const)
+		return ok && av.Value == bv.Value
+	case cprog.Ref:
+		bv, ok := b.(cprog.Ref)
+		return ok && av.Name == bv.Name
+	case cprog.UnOp:
+		bv, ok := b.(cprog.UnOp)
+		return ok && av.Op == bv.Op && sameExpr(av.X, bv.X)
+	case cprog.BinOp:
+		bv, ok := b.(cprog.BinOp)
+		return ok && av.Op == bv.Op && sameExpr(av.L, bv.L) && sameExpr(av.R, bv.R)
+	}
+	return false
+}

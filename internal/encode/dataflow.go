@@ -1,0 +1,363 @@
+package encode
+
+import (
+	"zpre/internal/cprog"
+	"zpre/internal/dataflow"
+	"zpre/internal/smt"
+)
+
+// This file hosts the value-flow side of the encoder (Options.Dataflow):
+// an abstract shadow of the symbolic execution that attaches a sound value
+// interval to every write event and a feasible-observation interval to
+// every read event, the value-infeasibility rf prune, and the derivation
+// of fixed happens-before edges from single-candidate reads.
+//
+// Soundness contract (see DESIGN.md §13 for the full argument): in every
+// satisfying assignment of the VC,
+//
+//   - a write event whose guard holds stores a value inside *absVal, and
+//   - a read event whose guard holds observes a value inside *feas,
+//
+// given that all shared reads range over dataflow.Analyze's fixpoint
+// intervals. A candidate rf edge with absVal ∩ feas = ∅ therefore cannot
+// be true in any model and is equisatisfiable to drop.
+
+// newThreadState builds a thread state, with the abstract local
+// environment attached in Dataflow mode.
+func (e *encoder) newThreadState(id int) *threadState {
+	ts := &threadState{id: id, guard: e.bd.True(), locals: map[string]smt.BV{}}
+	if e.flow != nil {
+		ts.abs = map[string]dataflow.Interval{}
+	}
+	return ts
+}
+
+func copyAbs(m map[string]dataflow.Interval) map[string]dataflow.Interval {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]dataflow.Interval, len(m))
+	for k, v := range m { //mapiter:ok map-to-map copy
+		out[k] = v
+	}
+	return out
+}
+
+// mergeAbs joins the two branch environments, mirroring mergeLocals: a
+// local missing on one side merges against the singleton {0} (the
+// encoder's zero fill). No gates are allocated here, so iteration order
+// does not need sorting.
+func mergeAbs(then, els map[string]dataflow.Interval, width int) map[string]dataflow.Interval {
+	if then == nil && els == nil {
+		return nil
+	}
+	zero := dataflow.Interval{}
+	out := make(map[string]dataflow.Interval, len(then)+len(els))
+	for k, tv := range then { //mapiter:ok result is a map; no gates allocated
+		ev, ok := els[k]
+		if !ok {
+			ev = zero
+		}
+		out[k] = dataflow.Join(tv, ev)
+	}
+	for k, ev := range els { //mapiter:ok result is a map; no gates allocated
+		if _, ok := then[k]; !ok {
+			out[k] = dataflow.Join(zero, ev)
+		}
+	}
+	return out
+}
+
+// absExpr abstracts an expression over the thread's interval environment.
+// Shared reads range over the cross-thread fixpoint, not the refined
+// per-event intervals: refinements are guard-conditional facts about one
+// event, while absExpr must hold for the value actually read.
+func (e *encoder) absExpr(ts *threadState, x cprog.Expr, shared map[string]bool) dataflow.Interval {
+	w := e.opts.Width
+	switch ex := x.(type) {
+	case cprog.Const:
+		return dataflow.FromConst(ex.Value, w)
+	case cprog.Ref:
+		if shared[ex.Name] {
+			return e.flow.Range(ex.Name)
+		}
+		if iv, ok := ts.abs[ex.Name]; ok {
+			return iv
+		}
+		return dataflow.Interval{} // undeclared local: zero-filled
+	case cprog.UnOp:
+		return dataflow.UnInterval(ex.Op, e.absExpr(ts, ex.X, shared), w)
+	case cprog.BinOp:
+		return dataflow.BinInterval(ex.Op,
+			e.absExpr(ts, ex.L, shared), e.absExpr(ts, ex.R, shared), w)
+	}
+	return dataflow.Top(w)
+}
+
+// noteLocal records the abstract value of a local assignment.
+func (e *encoder) noteLocal(ts *threadState, name string, rhs cprog.Expr, shared map[string]bool) {
+	if e.flow == nil {
+		return
+	}
+	ts.abs[name] = e.absExpr(ts, rhs, shared)
+}
+
+func (e *encoder) noteLocalConst(ts *threadState, name string, v uint64) {
+	if e.flow == nil {
+		return
+	}
+	ts.abs[name] = dataflow.Single(v, e.opts.Width)
+}
+
+func (e *encoder) noteLocalTop(ts *threadState, name string) {
+	if e.flow == nil {
+		return
+	}
+	ts.abs[name] = dataflow.Top(e.opts.Width)
+}
+
+// noteWrite attaches the abstract stored value to a shared write event.
+func (e *encoder) noteWrite(w *Event, ts *threadState, rhs cprog.Expr, shared map[string]bool) {
+	if e.flow == nil {
+		return
+	}
+	iv := e.absExpr(ts, rhs, shared)
+	w.absVal = &iv
+}
+
+func (e *encoder) noteWriteConst(w *Event, v uint64) {
+	if e.flow == nil {
+		return
+	}
+	iv := dataflow.Single(v, e.opts.Width)
+	w.absVal = &iv
+}
+
+// refineRead intersects a read's feasible interval with a constraint the
+// encoding asserts under the read's own guard.
+func (e *encoder) refineRead(r *Event, with dataflow.Interval) {
+	if e.flow == nil || r.feas == nil {
+		return
+	}
+	iv := dataflow.Meet(*r.feas, with)
+	r.feas = &iv
+}
+
+// refineFromAssume narrows read intervals using a syntactic assume
+// pattern: a comparison between exactly one shared read and an otherwise
+// shared-free expression whose interval is known. The assume is asserted
+// as guard → cond, and every read event the condition spawned carries that
+// same guard, so the constraint conditions exactly the events in newEvents.
+func (e *encoder) refineFromAssume(cond cprog.Expr, newEvents []*Event, shared map[string]bool) {
+	if e.flow == nil {
+		return
+	}
+	name, allowed, ok := assumePattern(cond, shared, e.opts.Width, e.flow)
+	if !ok {
+		return
+	}
+	// The pattern guarantees one shared reference syntactically, hence
+	// exactly one read event of that variable among the new events.
+	var target *Event
+	for _, ev := range newEvents {
+		if !ev.IsWrite && ev.Var == name {
+			if target != nil {
+				return
+			}
+			target = ev
+		}
+	}
+	if target != nil {
+		e.refineRead(target, allowed)
+	}
+}
+
+// assumePattern recognises cond shapes of the form cmp(x, k) / cmp(k, x) /
+// x / !x, where x is the sole shared reference in cond and k is a
+// shared-free expression with a known constant value. It returns the
+// interval of x-values satisfying the condition.
+func assumePattern(cond cprog.Expr, shared map[string]bool, width int, flow *dataflow.Facts) (string, dataflow.Interval, bool) {
+	switch c := cond.(type) {
+	case cprog.Ref:
+		// assume(x): x != 0.
+		if shared[c.Name] {
+			return c.Name, excludeValue(dataflow.Top(width), 0), true
+		}
+	case cprog.UnOp:
+		// assume(!x): x == 0.
+		if c.Op == cprog.OpLNot {
+			if r, ok := c.X.(cprog.Ref); ok && shared[r.Name] {
+				return r.Name, dataflow.Interval{}, true
+			}
+		}
+	case cprog.BinOp:
+		ref, refLeft := soleSharedRef(c, shared)
+		if ref == "" {
+			return "", dataflow.Interval{}, false
+		}
+		other := c.R
+		if !refLeft {
+			other = c.L
+		}
+		k, ok := constExprValue(other, width)
+		if !ok {
+			return "", dataflow.Interval{}, false
+		}
+		op := c.Op
+		if !refLeft {
+			op = flipCmp(op)
+		}
+		iv, ok := cmpAllowed(op, k, width)
+		return ref, iv, ok
+	}
+	return "", dataflow.Interval{}, false
+}
+
+// soleSharedRef returns the name when exactly one side of the comparison
+// is a bare shared Ref and the other side contains no shared reference.
+func soleSharedRef(c cprog.BinOp, shared map[string]bool) (string, bool) {
+	lRef, lOK := c.L.(cprog.Ref)
+	rRef, rOK := c.R.(cprog.Ref)
+	lShared := lOK && shared[lRef.Name]
+	rShared := rOK && shared[rRef.Name]
+	switch {
+	case lShared && !hasSharedRef(c.R, shared):
+		return lRef.Name, true
+	case rShared && !hasSharedRef(c.L, shared):
+		return rRef.Name, false
+	}
+	return "", false
+}
+
+func hasSharedRef(x cprog.Expr, shared map[string]bool) bool {
+	switch ex := x.(type) {
+	case cprog.Ref:
+		return shared[ex.Name]
+	case cprog.UnOp:
+		return hasSharedRef(ex.X, shared)
+	case cprog.BinOp:
+		return hasSharedRef(ex.L, shared) || hasSharedRef(ex.R, shared)
+	}
+	return false
+}
+
+// constExprValue folds a shared-free expression to a signed constant.
+func constExprValue(x cprog.Expr, width int) (int64, bool) {
+	switch ex := x.(type) {
+	case cprog.Const:
+		return dataflow.ToSigned(uint64(ex.Value), width), true
+	case cprog.UnOp:
+		v, ok := constExprValue(ex.X, width)
+		if !ok {
+			return 0, false
+		}
+		f, ok := dataflow.FoldUn(ex.Op, uint64(v), width)
+		return dataflow.ToSigned(f, width), ok
+	case cprog.BinOp:
+		l, ok := constExprValue(ex.L, width)
+		if !ok {
+			return 0, false
+		}
+		r, ok := constExprValue(ex.R, width)
+		if !ok {
+			return 0, false
+		}
+		f, ok := dataflow.FoldBin(ex.Op, uint64(l), uint64(r), width)
+		return dataflow.ToSigned(f, width), ok
+	}
+	return 0, false
+}
+
+// flipCmp mirrors a comparison so the shared reference reads as the left
+// operand: k < x becomes x > k, and so on.
+func flipCmp(op cprog.Op) cprog.Op {
+	switch op {
+	case cprog.OpLt:
+		return cprog.OpGt
+	case cprog.OpLe:
+		return cprog.OpGe
+	case cprog.OpGt:
+		return cprog.OpLt
+	case cprog.OpGe:
+		return cprog.OpLe
+	}
+	return op // Eq and Ne are symmetric
+}
+
+// cmpAllowed is the interval of signed x satisfying x op k.
+func cmpAllowed(op cprog.Op, k int64, width int) (dataflow.Interval, bool) {
+	top := dataflow.Top(width)
+	switch op {
+	case cprog.OpEq:
+		return dataflow.Interval{Lo: k, Hi: k}, true
+	case cprog.OpNe:
+		return excludeValue(top, k), true
+	case cprog.OpLt:
+		return dataflow.Meet(top, dataflow.Interval{Lo: top.Lo, Hi: k - 1}), true
+	case cprog.OpLe:
+		return dataflow.Meet(top, dataflow.Interval{Lo: top.Lo, Hi: k}), true
+	case cprog.OpGt:
+		return dataflow.Meet(top, dataflow.Interval{Lo: k + 1, Hi: top.Hi}), true
+	case cprog.OpGe:
+		return dataflow.Meet(top, dataflow.Interval{Lo: k, Hi: top.Hi}), true
+	}
+	return dataflow.Interval{}, false
+}
+
+// excludeValue trims v off an interval when it sits on an endpoint; the
+// convex domain cannot express interior holes.
+func excludeValue(iv dataflow.Interval, v int64) dataflow.Interval {
+	switch {
+	case iv.Lo == v:
+		return dataflow.Interval{Lo: v + 1, Hi: iv.Hi}
+	case iv.Hi == v:
+		return dataflow.Interval{Lo: iv.Lo, Hi: v - 1}
+	}
+	return iv
+}
+
+// valueInfeasible reports that the read can never observe the write: the
+// write's stored-value interval misses every value the read's guard
+// admits. Dropping the rf candidate is then equisatisfiable.
+func (e *encoder) valueInfeasible(r, w *Event) bool {
+	if r.feas == nil || w.absVal == nil {
+		return false
+	}
+	return r.feas.Disjoint(*w.absVal)
+}
+
+// noteSingleCandidate records a fixed happens-before edge candidate: the
+// read's guard is constantly true and exactly one rf candidate survived,
+// so rf_some forces that edge's ordering in every model. The edges are
+// applied by emitFixedHB once all candidate sets are final.
+func (e *encoder) noteSingleCandidate(r, w *Event) {
+	if e.flow == nil {
+		return
+	}
+	truth := e.bd.True()
+	if r.Guard != truth {
+		return
+	}
+	e.pendingHB = append(e.pendingHB, fixedEdge{w: w.ID, r: r.ID})
+}
+
+// emitFixedHB turns the recorded single-candidate edges into fixed
+// ordering-theory edges. An edge already implied by program order is
+// skipped (it adds nothing), as is any edge that would close a cycle in
+// the fixed-edge graph (the ordering theory rejects cyclic fixed graphs
+// outright, and a cycle here only means the formula is unsatisfiable for
+// other reasons the solver will find itself).
+func (e *encoder) emitFixedHB(reach *reachability) {
+	for _, fe := range e.pendingHB {
+		if reach.reaches(fe.w, fe.r) {
+			continue // already ordered by po
+		}
+		if reach.reaches(fe.r, fe.w) {
+			continue // would close a fixed cycle
+		}
+		e.bd.OrderFixed(fe.w, fe.r)
+		reach.addEdgeInvalidating(fe.w, fe.r)
+		e.stats.FixedHB++
+	}
+	e.pendingHB = nil
+}

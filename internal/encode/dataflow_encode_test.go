@@ -1,0 +1,136 @@
+package encode
+
+import (
+	"testing"
+
+	"zpre/internal/cprog"
+	"zpre/internal/memmodel"
+	"zpre/internal/smt"
+)
+
+// dfEncode encodes with the value-flow pass enabled.
+func dfEncode(t *testing.T, p *cprog.Program, mm memmodel.Model) *VC {
+	t.Helper()
+	vc, err := Program(p, Options{Model: mm, Width: 8, Dataflow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vc
+}
+
+// TestDataflowValuePrunesInfeasibleRF: a read that an assume restricts to
+// {1} cannot read from the init write of 0 — the candidate is dropped and
+// the verdict is unchanged.
+func TestDataflowValuePrunesInfeasibleRF(t *testing.T) {
+	p := &cprog.Program{
+		Name:   "valprune",
+		Shared: []cprog.SharedDecl{{Name: "x"}},
+		Threads: []*cprog.Thread{
+			{Name: "t1", Body: []cprog.Stmt{cprog.Set("x", cprog.C(1))}},
+			{Name: "t2", Body: []cprog.Stmt{
+				cprog.Assume{Cond: cprog.Eq(cprog.V("x"), cprog.C(1))},
+			}},
+		},
+	}
+	plain := mustEncode(t, p, memmodel.SC)
+	df := dfEncode(t, p, memmodel.SC)
+	if df.Stats.ValuePruned == 0 {
+		t.Fatalf("value oracle pruned nothing: %+v", df.Stats)
+	}
+	if df.Stats.RFVars+df.Stats.ValuePruned != plain.Stats.RFVars {
+		t.Fatalf("rf accounting: plain %d != %d kept + %d value-pruned",
+			plain.Stats.RFVars, df.Stats.RFVars, df.Stats.ValuePruned)
+	}
+	// No assertions: the VC is unsat (safe) with and without the prune.
+	for _, vc := range []*VC{plain, df} {
+		res, err := vc.Builder.Solve(smt.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status.String() != "unsat" {
+			t.Fatalf("assume-only program must stay unsat, got %v", res.Status)
+		}
+	}
+}
+
+// TestDataflowFixedHBFromSingleCandidate: when value pruning leaves a
+// cross-thread read exactly one rf candidate under an unconditional guard,
+// the w -> r ordering becomes a fixed happens-before edge asserted as a
+// theory fact instead of a free Boolean.
+func TestDataflowFixedHBFromSingleCandidate(t *testing.T) {
+	p := &cprog.Program{
+		Name:   "fixedhb",
+		Shared: []cprog.SharedDecl{{Name: "x"}, {Name: "y"}},
+		Threads: []*cprog.Thread{
+			{Name: "t1", Body: []cprog.Stmt{
+				cprog.Set("x", cprog.C(1)),
+			}},
+			{Name: "t2", Body: []cprog.Stmt{
+				cprog.Assume{Cond: cprog.Eq(cprog.V("x"), cprog.C(1))},
+				cprog.Set("y", cprog.C(2)),
+			}},
+		},
+		Post: []cprog.Stmt{
+			cprog.Assert{Cond: cprog.Le(cprog.V("y"), cprog.C(2))},
+		},
+	}
+	df := dfEncode(t, p, memmodel.SC)
+	if df.Stats.FixedHB == 0 {
+		t.Fatalf("no fixed hb edge from the single-candidate read: %+v", df.Stats)
+	}
+	// The fixed edge must not change the verdict: the assertion holds.
+	res, err := df.Builder.Solve(smt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status.String() != "unsat" {
+		t.Fatalf("verdict = %v, want unsat (safe)", res.Status)
+	}
+	plain := mustEncode(t, p, memmodel.SC)
+	pres, err := plain.Builder.Solve(smt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Status != res.Status {
+		t.Fatalf("plain=%v dataflow=%v", pres.Status, res.Status)
+	}
+}
+
+// TestDataflowSimplifyFoldsIntoStats: constant folding before event
+// generation is visible in the encoder stats and shrinks the event count.
+func TestDataflowSimplifyFoldsIntoStats(t *testing.T) {
+	p := &cprog.Program{
+		Name:   "folds",
+		Shared: []cprog.SharedDecl{{Name: "g"}},
+		Threads: []*cprog.Thread{
+			{Name: "t1", Body: []cprog.Stmt{
+				cprog.Local{Name: "a", Init: cprog.C(2)},
+				cprog.Local{Name: "b", Init: cprog.Add(cprog.V("a"), cprog.C(3))},
+				cprog.If{
+					Cond: cprog.Eq(cprog.V("b"), cprog.C(5)),
+					Then: []cprog.Stmt{cprog.Set("g", cprog.C(1))},
+					Else: []cprog.Stmt{cprog.Set("g", cprog.C(7))},
+				},
+			}},
+		},
+		Post: []cprog.Stmt{cprog.Assert{Cond: cprog.Le(cprog.V("g"), cprog.C(1))}},
+	}
+	plain := mustEncode(t, p, memmodel.SC)
+	df := dfEncode(t, p, memmodel.SC)
+	if df.Stats.FoldedAssigns == 0 {
+		t.Fatalf("nothing folded: %+v", df.Stats)
+	}
+	if df.Stats.Events >= plain.Stats.Events {
+		t.Fatalf("dataflow events %d, plain %d — folding the constant branch should shrink the encoding",
+			df.Stats.Events, plain.Stats.Events)
+	}
+	for _, vc := range []*VC{plain, df} {
+		res, err := vc.Builder.Solve(smt.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status.String() != "unsat" {
+			t.Fatalf("verdict = %v, want unsat", res.Status)
+		}
+	}
+}

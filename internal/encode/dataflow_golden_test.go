@@ -1,0 +1,111 @@
+package encode
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"zpre/internal/cprog"
+	"zpre/internal/dataflow"
+	"zpre/internal/memmodel"
+	"zpre/internal/svcomp"
+)
+
+// simplifySummary renders a corpus benchmark's encoding before and after
+// the value-flow simplification at one unroll bound: the unrolled program
+// text pre/post Simplify, the analyzer's shared-variable ranges, and the
+// formula-size stats of both encodings. Any change to the folding rules,
+// the interval analysis or the value-prune oracle shows up as a diff.
+func simplifySummary(t *testing.T, benchName string, model memmodel.Model, bound int) string {
+	t.Helper()
+	var bench *svcomp.Benchmark
+	for _, b := range svcomp.All() {
+		if b.Name == benchName {
+			bb := b
+			bench = &bb
+			break
+		}
+	}
+	if bench == nil {
+		t.Fatalf("benchmark %s missing from the corpus", benchName)
+	}
+	unrolled := cprog.Unroll(bench.Program, bound, cprog.UnwindAssume)
+	simplified, sstats := dataflow.Simplify(unrolled, 8)
+	facts := dataflow.Analyze(simplified, 8)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s @%s width=8 k=%d value-flow simplification\n", benchName, model, bound)
+	fmt.Fprintf(&sb, "folded: %d assigns, %d guards; dead writes: %d; dropped stmts: %d\n",
+		sstats.FoldedAssigns, sstats.FoldedGuards, sstats.DeadWrites, sstats.DroppedStmts)
+	sb.WriteString("ranges:\n")
+	for _, name := range facts.Vars() {
+		fmt.Fprintf(&sb, "  %s in %s\n", name, facts.Range(name))
+	}
+	sb.WriteString("--- pre-simplification program\n")
+	sb.WriteString(cprog.Format(unrolled))
+	sb.WriteString("--- post-simplification program\n")
+	sb.WriteString(cprog.Format(simplified))
+
+	plain, err := Program(unrolled, Options{Model: model, Width: 8})
+	if err != nil {
+		t.Fatalf("plain encode: %v", err)
+	}
+	df, err := Program(unrolled, Options{Model: model, Width: 8, Dataflow: true})
+	if err != nil {
+		t.Fatalf("dataflow encode: %v", err)
+	}
+	sb.WriteString("--- encoding stats\n")
+	for _, e := range []struct {
+		label string
+		st    Stats
+	}{{"plain", plain.Stats}, {"dataflow", df.Stats}} {
+		fmt.Fprintf(&sb, "%-8s events=%d reads=%d writes=%d rf=%d ws=%d po=%d clauses=%d vars=%d value_pruned=%d folded=%d fixed_hb=%d\n",
+			e.label, e.st.Events, e.st.Reads, e.st.Writes, e.st.RFVars, e.st.WSVars,
+			e.st.POEdges, e.st.Clauses, e.st.Variables,
+			e.st.ValuePruned, e.st.FoldedAssigns, e.st.FixedHB)
+	}
+	return sb.String()
+}
+
+// TestDataflowSimplificationGolden pins the pre/post-simplification
+// encodings of two corpus benchmarks against committed golden files: a
+// loop benchmark (mp_loop_2, where unrolling exposes foldable guard
+// structure) and a lock benchmark (incr_lock_safe, where the TAS read
+// refinement value-prunes rf candidates).
+// Regenerate with: go test ./internal/encode -run Golden -update
+func TestDataflowSimplificationGolden(t *testing.T) {
+	cases := []struct {
+		bench string
+		model memmodel.Model
+		bound int
+	}{
+		{"mp_loop_2", memmodel.SC, 2},
+		{"incr_lock_safe", memmodel.SC, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.bench, func(t *testing.T) {
+			got := simplifySummary(t, tc.bench, tc.model, tc.bound)
+			if again := simplifySummary(t, tc.bench, tc.model, tc.bound); again != got {
+				t.Fatalf("simplification output is nondeterministic across builds:\n--- first\n%s--- second\n%s", got, again)
+			}
+			path := filepath.Join("testdata", fmt.Sprintf("%s_dataflow_%s.golden", tc.bench, tc.model))
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("simplification diverged from %s:\n--- got\n%s--- want\n%s", path, got, want)
+			}
+		})
+	}
+}

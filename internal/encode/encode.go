@@ -19,6 +19,7 @@ import (
 
 	"zpre/internal/analysis"
 	"zpre/internal/cprog"
+	"zpre/internal/dataflow"
 	"zpre/internal/memmodel"
 	"zpre/internal/proof"
 	"zpre/internal/smt"
@@ -48,6 +49,17 @@ type Options struct {
 	// the mode passed to cprog.Unroll on the fresh path and is ignored by
 	// Program, which requires pre-unrolled input.
 	Unwind cprog.UnrollMode
+	// Dataflow enables the value-flow pre-analysis (internal/dataflow):
+	// the program is simplified before event generation (constant folding,
+	// copy propagation, dead-write elimination — skipped under
+	// SelectableAsserts, which needs a stable assertion indexing), shared
+	// variables get sound value intervals from a cross-thread fixpoint, rf
+	// candidates whose write interval is disjoint from the read's feasible
+	// interval are dropped (Stats.ValuePruned), and single-candidate reads
+	// under a constant-true guard contribute fixed happens-before edges to
+	// the ordering theory (Stats.FixedHB). The resulting VC is
+	// equisatisfiable with the plain one.
+	Dataflow bool
 	// StaticPrune drops interference candidates the static pre-analysis
 	// (internal/analysis) proves redundant: rf edges from shadowed writes
 	// (overwritten before the read can observe them — by fixed program
@@ -69,6 +81,13 @@ type Event struct {
 	Guard   smt.Bool
 	Val     smt.BV
 	seqPos  int // position in the thread's access sequence (incl. fences)
+
+	// Value-flow facts (Dataflow mode, nil otherwise): for a write, a sound
+	// interval for the stored value; for a read, the interval of values it
+	// can feasibly observe when its guard holds (refined by lock semantics
+	// and matched assumes). Used by the value-infeasibility rf prune.
+	absVal *dataflow.Interval
+	feas   *dataflow.Interval
 }
 
 // Stats summarises the encoded VC.
@@ -86,6 +105,16 @@ type Stats struct {
 	Assumes   int
 	Clauses   int
 	Variables int
+	// Dataflow-mode counters: rf candidates dropped because the write's
+	// value interval cannot meet the read's feasible interval; constant
+	// folds/copy propagations applied by the pre-encoding simplifier; and
+	// fixed happens-before edges derived from single-candidate reads.
+	ValuePruned   int
+	FoldedAssigns int
+	FixedHB       int
+	// DataflowTime is the time spent simplifying and computing the value
+	// fixpoint (zero unless Dataflow is enabled).
+	DataflowTime time.Duration
 	// StaticTime is the time spent in the static interference pre-analysis
 	// (the "static-prune" phase of the telemetry span set; nonzero even
 	// without pruning, since the analysis always runs for its scores).
@@ -166,6 +195,16 @@ type encoder struct {
 	atomicCounter int
 	guardCounter  int
 	stats         Stats
+
+	// flow holds the value-flow facts (Dataflow mode, nil otherwise) and
+	// pendingHB the fixed happens-before edges derived during rf emission,
+	// applied by emitFixedHB after all candidate sets are final.
+	flow      *dataflow.Facts
+	pendingHB []fixedEdge
+}
+
+type fixedEdge struct {
+	w, r smt.EventID
 }
 
 // threadState is the symbolic execution state of one thread.
@@ -174,6 +213,10 @@ type threadState struct {
 	guard    smt.Bool
 	locals   map[string]smt.BV
 	atomicID int
+	// abs mirrors locals in the interval domain (Dataflow mode, nil
+	// otherwise): a sound interval for each local's value whenever the
+	// thread state's guard holds.
+	abs map[string]dataflow.Interval
 }
 
 // Program encodes a loop-free program. Programs containing loops must be
@@ -188,6 +231,20 @@ func Program(p *cprog.Program, opts Options) (*VC, error) {
 	if opts.Width == 0 {
 		opts.Width = 8
 	}
+	var flow *dataflow.Facts
+	var flowStats dataflow.SimplifyStats
+	var flowTime time.Duration
+	if opts.Dataflow {
+		dfStart := time.Now()
+		if !opts.SelectableAsserts {
+			// Simplification may drop always-true asserts, which would
+			// break the per-assert indexing SelectableAsserts exposes;
+			// the interval analysis and rf pruning below stay on.
+			p, flowStats = dataflow.Simplify(p, opts.Width)
+		}
+		flow = dataflow.Analyze(p, opts.Width)
+		flowTime = time.Since(dfStart)
+	}
 	nThreads := len(p.Threads) + 1
 	bd := smt.NewBuilder()
 	var trace *proof.Trace
@@ -201,15 +258,19 @@ func Program(p *cprog.Program, opts Options) (*VC, error) {
 		seqEvents:  make([][]*Event, nThreads),
 		eventIndex: make([]int, nThreads),
 		cursor:     make([]int, nThreads),
+		flow:       flow,
 	}
+	e.stats.FoldedAssigns = flowStats.FoldedAssigns + flowStats.FoldedGuards
+	e.stats.DataflowTime = flowTime
 
 	// Main thread prologue: one initialising write per shared variable,
 	// then a fence (create/join preserve order across them; paper §3.1).
 	shared := map[string]bool{}
-	main := &threadState{id: 0, guard: e.bd.True(), locals: map[string]smt.BV{}}
+	main := e.newThreadState(0)
 	for _, d := range p.Shared {
 		shared[d.Name] = true
-		e.addWrite(main, d.Name, e.bd.BVConst(uint64(d.Init), opts.Width))
+		w := e.addWrite(main, d.Name, e.bd.BVConst(uint64(d.Init), opts.Width))
+		e.noteWriteConst(w, uint64(d.Init))
 	}
 	e.addFence(main)
 	initEvents := append([]*Event(nil), e.events...)
@@ -217,7 +278,7 @@ func Program(p *cprog.Program, opts Options) (*VC, error) {
 	// Threads.
 	firstThreadEvent := len(e.events)
 	for ti, t := range p.Threads {
-		ts := &threadState{id: ti + 1, guard: e.bd.True(), locals: map[string]smt.BV{}}
+		ts := e.newThreadState(ti + 1)
 		if err := e.execStmts(ts, t.Body, shared); err != nil {
 			return nil, err
 		}
@@ -251,6 +312,7 @@ func Program(p *cprog.Program, opts Options) (*VC, error) {
 	e.emitReadFrom(reach)
 	e.emitWriteSerialization(reach)
 	e.emitAtomicWindows()
+	e.emitFixedHB(reach)
 
 	// Assumptions and the error condition.
 	for _, a := range e.assumes {
@@ -360,7 +422,12 @@ func (e *encoder) addWrite(ts *threadState, name string, val smt.BV) *Event {
 
 func (e *encoder) addRead(ts *threadState, name string) *Event {
 	val := e.bd.NamedBV(fmt.Sprintf("v%d_%d_%s", ts.id, e.eventIndex[ts.id], name), e.opts.Width)
-	return e.addEvent(ts, name, false, val)
+	ev := e.addEvent(ts, name, false, val)
+	if e.flow != nil {
+		iv := e.flow.Range(name)
+		ev.feas = &iv
+	}
+	return ev
 }
 
 func (e *encoder) addFence(ts *threadState) {
@@ -386,8 +453,10 @@ func (e *encoder) execStmt(ts *threadState, s cprog.Stmt, shared map[string]bool
 				return err
 			}
 			ts.locals[st.Name] = v
+			e.noteLocal(ts, st.Name, st.Init, shared)
 		} else {
 			ts.locals[st.Name] = e.bd.BVConst(0, e.opts.Width)
+			e.noteLocalConst(ts, st.Name, 0)
 		}
 	case cprog.Assign:
 		v, err := e.evalExpr(ts, st.Rhs, shared)
@@ -395,9 +464,11 @@ func (e *encoder) execStmt(ts *threadState, s cprog.Stmt, shared map[string]bool
 			return err
 		}
 		if shared[st.Lhs] {
-			e.addWrite(ts, st.Lhs, v)
+			w := e.addWrite(ts, st.Lhs, v)
+			e.noteWrite(w, ts, st.Rhs, shared)
 		} else {
 			ts.locals[st.Lhs] = v
+			e.noteLocal(ts, st.Lhs, st.Rhs, shared)
 		}
 	case cprog.Havoc:
 		v := e.bd.NewBV(e.opts.Width)
@@ -405,13 +476,16 @@ func (e *encoder) execStmt(ts *threadState, s cprog.Stmt, shared map[string]bool
 			e.addWrite(ts, st.Name, v)
 		} else {
 			ts.locals[st.Name] = v
+			e.noteLocalTop(ts, st.Name)
 		}
 	case cprog.Assume:
+		before := len(e.events)
 		c, err := e.evalCond(ts, st.Cond, shared)
 		if err != nil {
 			return err
 		}
 		e.assumes = append(e.assumes, e.bd.Implies(ts.guard, c))
+		e.refineFromAssume(st.Cond, e.events[before:], shared)
 	case cprog.Assert:
 		c, err := e.evalCond(ts, st.Cond, shared)
 		if err != nil {
@@ -430,25 +504,31 @@ func (e *encoder) execStmt(ts *threadState, s cprog.Stmt, shared map[string]bool
 		e.bd.NameVar(c, fmt.Sprintf("guard_%d_%d", ts.id, e.guardCounter))
 		saved := ts.locals
 		savedGuard := ts.guard
+		savedAbs := ts.abs
 
 		thenLocals := copyLocals(saved)
 		ts.locals = thenLocals
+		ts.abs = copyAbs(savedAbs)
 		ts.guard = e.bd.And(savedGuard, c)
 		if err := e.execStmts(ts, st.Then, shared); err != nil {
 			return err
 		}
 		thenLocals = ts.locals
+		thenAbs := ts.abs
 
 		elseLocals := copyLocals(saved)
 		ts.locals = elseLocals
+		ts.abs = copyAbs(savedAbs)
 		ts.guard = e.bd.And(savedGuard, e.bd.Not(c))
 		if err := e.execStmts(ts, st.Else, shared); err != nil {
 			return err
 		}
 		elseLocals = ts.locals
+		elseAbs := ts.abs
 
 		ts.guard = savedGuard
 		ts.locals = mergeLocals(e.bd, c, thenLocals, elseLocals, e.opts.Width)
+		ts.abs = mergeAbs(thenAbs, elseAbs, e.opts.Width)
 	case cprog.While:
 		if e.onWhile != nil {
 			return e.onWhile(ts, st, shared)
@@ -464,7 +544,12 @@ func (e *encoder) execStmt(ts *threadState, s cprog.Stmt, shared map[string]bool
 		ts.atomicID = e.atomicCounter
 		r := e.addRead(ts, st.Mutex)
 		e.assumes = append(e.assumes, e.bd.Implies(ts.guard, e.bd.BVIsZero(r.Val)))
+		// The test-and-set only proceeds when it observed 0: the read's
+		// feasible interval collapses to the singleton {0}, which prunes
+		// rf candidates from other threads' lock writes.
+		e.refineRead(r, dataflow.Interval{})
 		w := e.addWrite(ts, st.Mutex, e.bd.BVConst(1, e.opts.Width))
+		e.noteWriteConst(w, 1)
 		ts.atomicID = save
 		e.addFence(ts)
 		e.windows = append(e.windows, window{
@@ -476,7 +561,8 @@ func (e *encoder) execStmt(ts *threadState, s cprog.Stmt, shared map[string]bool
 	case cprog.Unlock:
 		// Release fence before the unlocking store (full-barrier semantics).
 		e.addFence(ts)
-		e.addWrite(ts, st.Mutex, e.bd.BVConst(0, e.opts.Width))
+		w := e.addWrite(ts, st.Mutex, e.bd.BVConst(0, e.opts.Width))
+		e.noteWriteConst(w, 0)
 		e.addFence(ts)
 	case cprog.Fence:
 		e.addFence(ts)
@@ -515,7 +601,7 @@ func (e *encoder) execStmt(ts *threadState, s cprog.Stmt, shared map[string]bool
 
 func copyLocals(m map[string]smt.BV) map[string]smt.BV {
 	out := make(map[string]smt.BV, len(m))
-	for k, v := range m {
+	for k, v := range m { //mapiter:ok map-to-map copy
 		out[k] = v
 	}
 	return out
@@ -526,10 +612,10 @@ func mergeLocals(bd *smt.Builder, cond smt.Bool, then, els map[string]smt.BV, wi
 	// would make variable numbering (and hence golden files and incremental
 	// delta encodings) nondeterministic across runs.
 	keys := make([]string, 0, len(then)+len(els))
-	for k := range then {
+	for k := range then { //mapiter:ok keys sorted below
 		keys = append(keys, k)
 	}
-	for k := range els {
+	for k := range els { //mapiter:ok keys sorted below
 		if _, ok := then[k]; !ok {
 			keys = append(keys, k)
 		}

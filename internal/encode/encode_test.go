@@ -49,7 +49,7 @@ func TestEventExtraction(t *testing.T) {
 	for _, ev := range vc.Events {
 		perThread[ev.Thread] = append(perThread[ev.Thread], ev.Index)
 	}
-	for tid, idxs := range perThread {
+	for tid, idxs := range perThread { //mapiter:ok order-independent assertion
 		for i, idx := range idxs {
 			if idx != i {
 				t.Fatalf("thread %d: index %d at position %d", tid, idx, i)

@@ -50,7 +50,7 @@ func deltaSummary(t *testing.T, model memmodel.Model, maxBound int) string {
 			k, st.Events, st.Reads, st.Writes, st.RFVars, st.WSVars,
 			st.POEdges, st.Asserts, st.Assumes, st.Clauses, st.Variables)
 		var fresh []string
-		for name := range inc.VC().Builder.NamedVars() {
+		for name := range inc.VC().Builder.NamedVars() { //mapiter:ok names sorted below
 			if !seen[name] {
 				seen[name] = true
 				fresh = append(fresh, name)

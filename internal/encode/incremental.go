@@ -38,8 +38,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"zpre/internal/cprog"
+	"zpre/internal/dataflow"
 	"zpre/internal/memmodel"
 	"zpre/internal/smt"
 )
@@ -78,6 +80,8 @@ type frontier struct {
 	insertPos int
 	curGuard  smt.Bool
 	curLocals map[string]smt.BV
+	// curAbs mirrors curLocals in the interval domain (Dataflow mode).
+	curAbs map[string]dataflow.Interval
 	// nextCond is the loop condition for the next (not yet unrolled)
 	// iteration; its shared reads are already emitted at the frontier, so
 	// they are reused verbatim when the iteration materialises — exactly
@@ -146,6 +150,19 @@ func NewIncremental(p *cprog.Program, opts Options) (*Incremental, error) {
 		opts.Width = 8
 	}
 	opts.StaticPrune = false
+	var flow *dataflow.Facts
+	var flowStats dataflow.SimplifyStats
+	var flowTime time.Duration
+	if opts.Dataflow {
+		// Simplification and the value fixpoint both run on the looping
+		// source program, so every fact is bound-independent: a candidate
+		// pruned at bound k stays prunable at every later bound, keeping
+		// the delta encoding monotone.
+		dfStart := time.Now()
+		p, flowStats = dataflow.Simplify(p, opts.Width)
+		flow = dataflow.Analyze(p, opts.Width)
+		flowTime = time.Since(dfStart)
+	}
 	nThreads := len(p.Threads) + 1
 	e := &encoder{
 		bd:         smt.NewBuilder(),
@@ -154,7 +171,10 @@ func NewIncremental(p *cprog.Program, opts Options) (*Incremental, error) {
 		seqEvents:  make([][]*Event, nThreads),
 		eventIndex: make([]int, nThreads),
 		cursor:     make([]int, nThreads),
+		flow:       flow,
 	}
+	e.stats.FoldedAssigns = flowStats.FoldedAssigns + flowStats.FoldedGuards
+	e.stats.DataflowTime = flowTime
 	inc := &Incremental{
 		e:           e,
 		prog:        p,
@@ -208,15 +228,16 @@ func (inc *Incremental) extend() (BoundAssumptions, error) {
 		p := inc.prog
 		// Main thread prologue: initialising writes, then a fence — the
 		// same walk as the fresh encoder's.
-		main := &threadState{id: 0, guard: e.bd.True(), locals: map[string]smt.BV{}}
+		main := e.newThreadState(0)
 		for _, d := range p.Shared {
 			inc.shared[d.Name] = true
-			e.addWrite(main, d.Name, e.bd.BVConst(uint64(d.Init), e.opts.Width))
+			w := e.addWrite(main, d.Name, e.bd.BVConst(uint64(d.Init), e.opts.Width))
+			e.noteWriteConst(w, uint64(d.Init))
 		}
 		e.addFence(main)
 		inc.initCount = len(e.events)
 		for ti, t := range p.Threads {
-			ts := &threadState{id: ti + 1, guard: e.bd.True(), locals: map[string]smt.BV{}}
+			ts := e.newThreadState(ti + 1)
 			if err := e.execStmts(ts, t.Body, inc.shared); err != nil {
 				return BoundAssumptions{}, err
 			}
@@ -278,6 +299,7 @@ func (inc *Incremental) handleWhile(ts *threadState, st cprog.While, shared map[
 		insertPos: pos,
 		curGuard:  ts.guard,
 		curLocals: copyLocals(ts.locals),
+		curAbs:    copyAbs(ts.abs),
 		base:      copyLocals(ts.locals),
 		nextCond:  c,
 	}
@@ -291,14 +313,14 @@ func (inc *Incremental) handleWhile(ts *threadState, st cprog.While, shared map[
 	// sets (stable: every iteration executes the same body, so the key set
 	// does not change after iteration one). Sorted for determinism.
 	keySet := map[string]bool{}
-	for k := range f.base {
+	for k := range f.base { //mapiter:ok builds a set
 		keySet[k] = true
 	}
-	for k := range f.iters[0].locals {
+	for k := range f.iters[0].locals { //mapiter:ok builds a set
 		keySet[k] = true
 	}
 	f.exitKeys = make([]string, 0, len(keySet))
-	for k := range keySet {
+	for k := range keySet { //mapiter:ok keys sorted below
 		f.exitKeys = append(f.exitKeys, k)
 	}
 	sort.Strings(f.exitKeys)
@@ -307,6 +329,14 @@ func (inc *Incremental) handleWhile(ts *threadState, st cprog.While, shared map[
 		f.exitVars[k] = e.bd.NamedBV(fmt.Sprintf("exit_%d_%d_%s", f.thread, f.id, k), e.opts.Width)
 	}
 	ts.locals = copyLocals(f.exitVars)
+	if ts.abs != nil {
+		// Exit values merge over a bound-dependent set of iterations; the
+		// only bound-independent interval is Top.
+		ts.abs = make(map[string]dataflow.Interval, len(f.exitKeys))
+		for _, k := range f.exitKeys {
+			ts.abs[k] = dataflow.Top(e.opts.Width)
+		}
+	}
 	e.cursor[ts.id] = f.insertPos + 1 // downstream continues after the marker
 	return nil
 }
@@ -320,6 +350,7 @@ func (inc *Incremental) extendFrontier(f *frontier) error {
 		id:     f.thread,
 		guard:  e.bd.And(f.curGuard, f.nextCond),
 		locals: copyLocals(f.curLocals),
+		abs:    copyAbs(f.curAbs),
 	}
 	e.cursor[f.thread] = f.insertPos
 	cond := f.nextCond
@@ -329,6 +360,7 @@ func (inc *Incremental) extendFrontier(f *frontier) error {
 	f.iters = append(f.iters, iteration{cond: cond, locals: ts.locals})
 	f.curGuard = ts.guard
 	f.curLocals = ts.locals
+	f.curAbs = ts.abs
 	next, err := e.evalCond(ts, f.stmt.Cond, f.shared)
 	if err != nil {
 		return err
@@ -369,7 +401,7 @@ func (inc *Incremental) emitDelta() {
 		orderFixed(inc.create, inc.join)
 	}
 	threads := make([]int, 0, len(inc.dirty))
-	for t := range inc.dirty {
+	for t := range inc.dirty { //mapiter:ok keys sorted below
 		threads = append(threads, t)
 	}
 	sort.Ints(threads)
@@ -410,7 +442,7 @@ func (inc *Incremental) emitDelta() {
 		}
 	}
 	wvars := make([]string, 0, len(newWrites))
-	for v := range newWrites {
+	for v := range newWrites { //mapiter:ok keys sorted below
 		wvars = append(wvars, v)
 	}
 	sort.Strings(wvars)
@@ -460,6 +492,10 @@ func (inc *Incremental) emitDelta() {
 				if reach.reaches(rs.ev.ID, w.ID) {
 					continue
 				}
+				if e.flow != nil && e.valueInfeasible(rs.ev, w) {
+					e.stats.ValuePruned++
+					continue
+				}
 				inc.addRFCand(rs, w, reach)
 			}
 		}
@@ -473,6 +509,10 @@ func (inc *Incremental) emitDelta() {
 		inc.readsByVar[ev.Var] = append(inc.readsByVar[ev.Var], rs)
 		for _, w := range inc.writesByVar[ev.Var] {
 			if reach.reaches(ev.ID, w.ID) {
+				continue
+			}
+			if e.flow != nil && e.valueInfeasible(ev, w) {
+				e.stats.ValuePruned++
 				continue
 			}
 			inc.addRFCand(rs, w, reach)
@@ -552,7 +592,7 @@ func (inc *Incremental) finishBound() BoundAssumptions {
 	// so the clause cannot be asserted permanently — each bound gets its
 	// own instance over the candidates visible at that bound.
 	rvars := make([]string, 0, len(inc.readsByVar))
-	for v := range inc.readsByVar {
+	for v := range inc.readsByVar { //mapiter:ok keys sorted below
 		rvars = append(rvars, v)
 	}
 	sort.Strings(rvars)

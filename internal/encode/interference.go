@@ -32,6 +32,14 @@ func (r *reachability) addEdge(a, b smt.EventID) {
 	r.adj[a] = append(r.adj[a], int32(b))
 }
 
+// addEdgeInvalidating adds an edge after memoised queries have been made
+// and drops the memo: stale sets under-approximate the new reachability,
+// which is fatal for the cycle check guarding fixed happens-before edges.
+func (r *reachability) addEdgeInvalidating(a, b smt.EventID) {
+	r.addEdge(a, b)
+	r.memo = map[int32][]uint64{}
+}
+
 func (r *reachability) reaches(a, b smt.EventID) bool {
 	set, ok := r.memo[int32(a)]
 	if !ok {
@@ -114,7 +122,7 @@ func (e *encoder) emitReadFrom(reach *reachability) {
 		}
 	}
 	vars := make([]string, 0, len(readsByVar))
-	for v := range readsByVar {
+	for v := range readsByVar { //mapiter:ok keys sorted below
 		vars = append(vars, v)
 	}
 	sort.Strings(vars) // deterministic encoding order
@@ -132,7 +140,14 @@ func (e *encoder) emitReadFrom(reach *reachability) {
 					e.stats.RFPruned++
 					continue
 				}
+				if e.flow != nil && e.valueInfeasible(r, w) {
+					e.stats.ValuePruned++
+					continue
+				}
 				cands = append(cands, w)
+			}
+			if len(cands) == 1 {
+				e.noteSingleCandidate(r, cands[0])
 			}
 			rfVars := make([]smt.Bool, len(cands))
 			some := make([]smt.Bool, 0, len(cands)+1)
@@ -298,7 +313,7 @@ func (e *encoder) emitWriteSerialization(reach *reachability) {
 		}
 	}
 	vars := make([]string, 0, len(writesByVar))
-	for v := range writesByVar {
+	for v := range writesByVar { //mapiter:ok keys sorted below
 		vars = append(vars, v)
 	}
 	sort.Strings(vars)

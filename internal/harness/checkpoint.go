@@ -21,6 +21,7 @@ func SaveCheckpoint(path string, res *Results, done []bool) error {
 		TimeoutSec:  res.Config.Timeout.Seconds(),
 		Width:       res.Config.Width,
 		StaticPrune: res.Config.StaticPrune,
+		Dataflow:    res.Config.Dataflow,
 		Bounds:      res.Config.Bounds,
 	}
 	for _, m := range res.Config.Models {
@@ -131,6 +132,9 @@ func resumedResult(task Task, strat core.Strategy, jr JSONRun) RunResult {
 	out.VC.WSVars = jr.WSVars
 	out.VC.RFPruned = jr.RFPruned
 	out.VC.WSPruned = jr.WSPruned
+	out.VC.ValuePruned = jr.ValuePruned
+	out.VC.FoldedAssigns = jr.FoldedAssigns
+	out.VC.FixedHB = jr.FixedHB
 	if jr.Error != "" {
 		kind := parseFailureKind(jr.Failure)
 		if kind == sat.FailNone || kind == sat.FailTimeout {

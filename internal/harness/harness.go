@@ -154,6 +154,11 @@ type Config struct {
 	// analysis proves infeasible before they reach the solver. The encoding
 	// stays equisatisfiable; RunResult.VC records how many were dropped.
 	StaticPrune bool
+	// Dataflow enables the value-flow pre-analysis: pre-encoding
+	// simplification, value-infeasible rf pruning and fixed happens-before
+	// derivation (see encode.Options.Dataflow). Equisatisfiable;
+	// RunResult.VC.ValuePruned/FoldedAssigns/FixedHB count its effects.
+	Dataflow bool
 	// Parallel is the number of worker goroutines solving tasks. Default 1:
 	// sequential runs give the cleanest per-task wall-clock timings (the
 	// quantity the paper reports). Set to runtime.NumCPU() (or use
@@ -316,6 +321,11 @@ func (rc *recorder) record(idx int, r RunResult) {
 		case sat.FailError:
 			m.Counter("tasks_errored").Inc()
 		}
+		if !r.Incremental {
+			// Incremental bounds carry cumulative stats; their sweeps are
+			// counted once, at the end of runSweepGroup.
+			addDataflowCounters(m, r.VC)
+		}
 	}
 	if rc.cfg.Progress != nil {
 		note := ""
@@ -335,6 +345,22 @@ func (rc *recorder) record(idx int, r RunResult) {
 		if rc.sinceCkpt >= rc.cfg.CheckpointEvery {
 			rc.checkpointLocked()
 		}
+	}
+}
+
+// addDataflowCounters folds one run's value-flow encoder stats into the
+// registry. Fresh runs add theirs in record(); incremental sweeps add only
+// the final bound's cumulative stats (runSweepGroup), so nothing is counted
+// twice.
+func addDataflowCounters(m *telemetry.Registry, vc encode.Stats) {
+	if vc.ValuePruned > 0 {
+		m.Counter("dataflow_value_pruned").Add(uint64(vc.ValuePruned))
+	}
+	if vc.FoldedAssigns > 0 {
+		m.Counter("dataflow_folded_assigns").Add(uint64(vc.FoldedAssigns))
+	}
+	if vc.FixedHB > 0 {
+		m.Counter("dataflow_fixed_hb").Add(uint64(vc.FixedHB))
 	}
 }
 
@@ -500,6 +526,7 @@ func RunOne(task Task, strat core.Strategy, cfg Config) (out RunResult) {
 		Width:       cfg.Width,
 		WithProof:   cfg.CheckVerdicts,
 		StaticPrune: cfg.StaticPrune,
+		Dataflow:    cfg.Dataflow,
 	})
 	out.Encode = time.Since(encStart)
 	if err != nil {
@@ -540,6 +567,7 @@ func RunOne(task Task, strat core.Strategy, cfg Config) (out RunResult) {
 		tracer.Span("unroll", out.Unroll)
 		tracer.Span("encode", out.Encode)
 		tracer.Span("static", vc.Stats.StaticTime)
+		tracer.Span("dataflow", vc.Stats.DataflowTime)
 	}
 	var metrics *telemetry.MetricsTracer
 	if cfg.Metrics != nil {

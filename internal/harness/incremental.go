@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"zpre/internal/core"
+	"zpre/internal/encode"
 	"zpre/internal/incremental"
 	"zpre/internal/sat"
 )
@@ -105,6 +106,7 @@ func newSweep(task Task, strat core.Strategy, cfg Config) (*incremental.Sweep, e
 		Seed:           cfg.Seed,
 		TimePhases:     cfg.TimePhases,
 		CheckWitness:   cfg.CheckVerdicts,
+		Dataflow:       cfg.Dataflow,
 	})
 }
 
@@ -157,6 +159,7 @@ func runSweepGroup(g sweepGroup, si int, cfg Config, rec *recorder, resume map[s
 	strat := cfg.Strategies[si]
 	sweep, setupErr := newSweep(g.tasks[0].task, strat, cfg)
 	var cumSolve time.Duration
+	var lastVC encode.Stats
 	cancelled := false
 	for _, gt := range g.tasks {
 		task := gt.task
@@ -168,6 +171,7 @@ func runSweepGroup(g sweepGroup, si int, cfg Config, rec *recorder, resume map[s
 			if r.CumulativeSolve == 0 {
 				r.CumulativeSolve = cumSolve
 			}
+			lastVC = r.VC
 			rec.record(idx, r)
 			if sweep != nil && !advanceTo(sweep, task.Bound) {
 				sweep = nil
@@ -191,7 +195,16 @@ func runSweepGroup(g sweepGroup, si int, cfg Config, rec *recorder, resume map[s
 			sweep = replaySweep(task, strat, cfg, task.Bound)
 			setupErr = nil
 		}
+		if out.Err == nil {
+			lastVC = out.VC
+		}
 		rec.record(idx, out)
+	}
+	// Each bound's VC stats are cumulative for the whole sweep, so only the
+	// deepest completed bound is folded into the metrics — counting every
+	// bound would multiply the sweep's prune counts by the bound count.
+	if m := cfg.Metrics; m != nil {
+		addDataflowCounters(m, lastVC)
 	}
 }
 

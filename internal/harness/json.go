@@ -46,8 +46,14 @@ type JSONRun struct {
 	WSVars           int    `json:"ws_vars"`
 	RFPruned         int    `json:"rf_pruned,omitempty"`
 	WSPruned         int    `json:"ws_pruned,omitempty"`
-	Checked          bool   `json:"checked,omitempty"`
-	CheckSkipped     bool   `json:"check_skipped,omitempty"`
+	// Value-flow dataflow counters (Config.Dataflow): rf candidates dropped
+	// by the interval oracle, assignments folded before event generation,
+	// and happens-before edges fixed from single-candidate rf.
+	ValuePruned   int  `json:"value_pruned,omitempty"`
+	FoldedAssigns int  `json:"folded_assigns,omitempty"`
+	FixedHB       int  `json:"fixed_hb,omitempty"`
+	Checked       bool `json:"checked,omitempty"`
+	CheckSkipped  bool `json:"check_skipped,omitempty"`
 	// Completed marks a terminal outcome; false only for cancelled runs,
 	// which `-resume` re-executes.
 	Completed bool `json:"completed"`
@@ -77,6 +83,7 @@ type JSONResults struct {
 	TimeoutSec  float64   `json:"timeout_sec"`
 	Width       int       `json:"width"`
 	StaticPrune bool      `json:"static_prune,omitempty"`
+	Dataflow    bool      `json:"dataflow,omitempty"`
 	Runs        []JSONRun `json:"runs"`
 }
 
@@ -88,6 +95,7 @@ func (r *Results) WriteJSON(w io.Writer) error {
 		TimeoutSec:  r.Config.Timeout.Seconds(),
 		Width:       r.Config.Width,
 		StaticPrune: r.Config.StaticPrune,
+		Dataflow:    r.Config.Dataflow,
 		Bounds:      r.Config.Bounds,
 	}
 	for _, m := range r.Config.Models {
@@ -139,6 +147,9 @@ func jsonRun(run RunResult) JSONRun {
 		WSVars:           run.VC.WSVars,
 		RFPruned:         run.VC.RFPruned,
 		WSPruned:         run.VC.WSPruned,
+		ValuePruned:      run.VC.ValuePruned,
+		FoldedAssigns:    run.VC.FoldedAssigns,
+		FixedHB:          run.VC.FixedHB,
 		Checked:          run.Checked,
 		CheckSkipped:     run.CheckSkipped,
 		Completed:        run.Completed,

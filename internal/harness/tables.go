@@ -520,6 +520,12 @@ type PruneRow struct {
 	RFAfter     int
 	WSBefore    int
 	WSAfter     int
+	// Value-flow dataflow effects (Config.Dataflow): rf candidates dropped
+	// by the interval oracle, assignments/guards folded away before event
+	// generation, and happens-before edges fixed from single-candidate rf.
+	ValuePruned   int
+	FoldedAssigns int
+	FixedHB       int
 }
 
 // RFPruned returns the rf candidates dropped across the row's tasks.
@@ -537,15 +543,34 @@ func pct(dropped, before int) float64 {
 
 // PruneReport aggregates the formula-size effect of static pruning per
 // benchmark. The encoding is strategy-independent, so each task contributes
-// its counters once even when several strategies ran it. Rows are sorted by
-// fraction of candidates dropped, heaviest reduction first, so the
-// benchmarks where the lockset analysis pays off lead the report.
+// its counters once even when several strategies ran it. Incremental sweeps
+// carry *cumulative* encoder counters at every bound — summing each bound's
+// run would count bound 1's prunes once per deeper bound — so only the
+// deepest bound with stats contributes per (benchmark, model) sweep. Rows
+// are sorted by fraction of candidates dropped, heaviest reduction first,
+// so the benchmarks where the lockset analysis pays off lead the report.
 func (r *Results) PruneReport() []PruneRow {
+	// Deepest bound per incremental sweep that actually has encoder stats
+	// (a bound that failed to encode reports zero events and is skipped).
+	sweepMax := map[string]int{}
+	sweepKey := func(run RunResult) string {
+		return run.Task.Bench.Subcategory + "/" + run.Task.Bench.Name + "/" + run.Task.Model.String()
+	}
+	for _, run := range r.Runs {
+		if run.Incremental && run.VC.Events > 0 {
+			if k := sweepKey(run); run.Task.Bound > sweepMax[k] {
+				sweepMax[k] = run.Task.Bound
+			}
+		}
+	}
 	rows := map[string]*PruneRow{}
 	seenTask := map[string]bool{}
 	for _, run := range r.Runs {
 		id := run.Task.ID()
 		if seenTask[id] || run.VC.Events == 0 {
+			continue
+		}
+		if run.Incremental && run.Task.Bound != sweepMax[sweepKey(run)] {
 			continue
 		}
 		seenTask[id] = true
@@ -556,10 +581,15 @@ func (r *Results) PruneReport() []PruneRow {
 			rows[key] = row
 		}
 		row.Tasks++
-		row.RFBefore += run.VC.RFVars + run.VC.RFPruned
+		// "Before" counts every candidate any pruning layer dropped, so rf%
+		// reflects the combined lockset + value-flow reduction.
+		row.RFBefore += run.VC.RFVars + run.VC.RFPruned + run.VC.ValuePruned
 		row.RFAfter += run.VC.RFVars
 		row.WSBefore += run.VC.WSVars + run.VC.WSPruned
 		row.WSAfter += run.VC.WSVars
+		row.ValuePruned += run.VC.ValuePruned
+		row.FoldedAssigns += run.VC.FoldedAssigns
+		row.FixedHB += run.VC.FixedHB
 	}
 	out := make([]PruneRow, 0, len(rows))
 	for _, row := range rows {
@@ -585,24 +615,30 @@ func (r *Results) PruneReport() []PruneRow {
 func FormatPruneReport(rows []PruneRow) string {
 	var b strings.Builder
 	b.WriteString("Static pruning effectiveness (rf/ws interference candidates before -> after):\n")
-	fmt.Fprintf(&b, "%-14s %-24s %5s %9s %9s %7s %9s %9s %7s\n",
-		"subcategory", "benchmark", "tasks", "rf before", "rf after", "rf%", "ws before", "ws after", "ws%")
+	fmt.Fprintf(&b, "%-14s %-24s %5s %9s %9s %7s %9s %9s %7s %8s %7s %7s\n",
+		"subcategory", "benchmark", "tasks", "rf before", "rf after", "rf%", "ws before", "ws after", "ws%",
+		"val-rf", "folded", "fixhb")
 	var tot PruneRow
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-14s %-24s %5d %9d %9d %6.1f%% %9d %9d %6.1f%%\n",
+		fmt.Fprintf(&b, "%-14s %-24s %5d %9d %9d %6.1f%% %9d %9d %6.1f%% %8d %7d %7d\n",
 			r.Subcategory, r.Benchmark, r.Tasks,
 			r.RFBefore, r.RFAfter, pct(r.RFPruned(), r.RFBefore),
-			r.WSBefore, r.WSAfter, pct(r.WSPruned(), r.WSBefore))
+			r.WSBefore, r.WSAfter, pct(r.WSPruned(), r.WSBefore),
+			r.ValuePruned, r.FoldedAssigns, r.FixedHB)
 		tot.Tasks += r.Tasks
 		tot.RFBefore += r.RFBefore
 		tot.RFAfter += r.RFAfter
 		tot.WSBefore += r.WSBefore
 		tot.WSAfter += r.WSAfter
+		tot.ValuePruned += r.ValuePruned
+		tot.FoldedAssigns += r.FoldedAssigns
+		tot.FixedHB += r.FixedHB
 	}
-	fmt.Fprintf(&b, "%-14s %-24s %5d %9d %9d %6.1f%% %9d %9d %6.1f%%\n",
+	fmt.Fprintf(&b, "%-14s %-24s %5d %9d %9d %6.1f%% %9d %9d %6.1f%% %8d %7d %7d\n",
 		"total", "", tot.Tasks,
 		tot.RFBefore, tot.RFAfter, pct(tot.RFPruned(), tot.RFBefore),
-		tot.WSBefore, tot.WSAfter, pct(tot.WSPruned(), tot.WSBefore))
+		tot.WSBefore, tot.WSAfter, pct(tot.WSPruned(), tot.WSBefore),
+		tot.ValuePruned, tot.FoldedAssigns, tot.FixedHB)
 	return b.String()
 }
 

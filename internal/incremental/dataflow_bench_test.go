@@ -1,0 +1,82 @@
+package incremental
+
+import (
+	"testing"
+
+	"zpre/internal/core"
+	"zpre/internal/cprog"
+	"zpre/internal/encode"
+	"zpre/internal/memmodel"
+	"zpre/internal/sat"
+	"zpre/internal/smt"
+	"zpre/internal/svcomp"
+)
+
+// dataflowSolve runs the conventional pipeline at one bound with the
+// value-flow pass enabled: simplify + analyze, encode, solve fresh.
+func dataflowSolve(tb testing.TB, p *cprog.Program, model memmodel.Model, bound int) (sat.Status, sat.Stats, encode.Stats) {
+	tb.Helper()
+	unrolled := cprog.Unroll(p, bound, cprog.UnwindAssume)
+	vc, err := encode.Program(unrolled, encode.Options{Model: model, Width: 8, Dataflow: true})
+	if err != nil {
+		tb.Fatalf("dataflow encode k=%d: %v", bound, err)
+	}
+	infos := core.Classify(vc.Builder.NamedVars())
+	dec := core.NewDecider(core.ZPRE, infos, core.Config{Seed: 1})
+	var decider sat.Decider
+	if dec != nil {
+		decider = dec
+	}
+	res, err := vc.Builder.Solve(smt.Options{Decider: decider})
+	if err != nil {
+		tb.Fatalf("dataflow solve k=%d: %v", bound, err)
+	}
+	return res.Status, res.Stats, vc.Stats
+}
+
+// TestDataflowLessSearchWorkThanPlain is the value-flow pass's efficiency
+// gate, mirroring TestIncrementalLessSearchWorkThanFresh: summed over
+// bounds 1..6, at least one corpus benchmark per memory model must need at
+// least 20% fewer decisions + conflicts with the dataflow encoding than
+// without it — the point of pruning value-infeasible rf candidates and
+// fixing forced hb edges is that the solver stops exploring them. Verdicts
+// must agree bound for bound on every benchmark regardless.
+func TestDataflowLessSearchWorkThanPlain(t *testing.T) {
+	benches := svcomp.All()
+	models := []memmodel.Model{memmodel.SC, memmodel.TSO, memmodel.PSO}
+	if testing.Short() {
+		models = models[:1]
+	}
+	for _, model := range models {
+		wins := 0
+		for _, b := range benches {
+			maxBound := sweepMaxBound
+			if !b.Program.HasLoops() {
+				maxBound = 1
+			}
+			var plainWork, dfWork uint64
+			pruned := 0
+			for k := 1; k <= maxBound; k++ {
+				status, stats, _ := freshSolve(t, b.Program, model, k)
+				dfStatus, dfStats, dfVC := dataflowSolve(t, b.Program, model, k)
+				if status != dfStatus {
+					t.Fatalf("%s@%s/k%d: plain=%v dataflow=%v",
+						b.Name, model, k, status, dfStatus)
+				}
+				plainWork += stats.Decisions + stats.Conflicts
+				dfWork += dfStats.Decisions + dfStats.Conflicts
+				pruned += dfVC.ValuePruned + dfVC.FixedHB
+			}
+			t.Logf("%s@%s: dataflow %d vs plain %d decisions+conflicts (%d pruned/fixed)",
+				b.Name, model, dfWork, plainWork, pruned)
+			// A win: the pass actually pruned something and cut the summed
+			// search work by at least 20%.
+			if pruned > 0 && plainWork > 0 && dfWork*5 <= plainWork*4 {
+				wins++
+			}
+		}
+		if wins == 0 {
+			t.Errorf("%s: dataflow never cut search work by >=20%% on any benchmark", model)
+		}
+	}
+}

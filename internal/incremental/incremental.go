@@ -81,6 +81,10 @@ type Options struct {
 	// incrementally: the recorded trace is only valid under the bound's
 	// assumptions; the differential tests check proofs on the fresh path.)
 	CheckWitness bool
+	// Dataflow enables the value-flow pre-analysis on the sweep's source
+	// program (see encode.Options.Dataflow); its facts are bound-
+	// independent, so pruning composes with the delta encoding.
+	Dataflow bool
 }
 
 // BoundResult is the outcome of one bound of a sweep.
@@ -121,9 +125,10 @@ func New(p *cprog.Program, opts Options) (*Sweep, error) {
 		opts.Width = 8
 	}
 	inc, err := encode.NewIncremental(p, encode.Options{
-		Model:  opts.Model,
-		Width:  opts.Width,
-		Unwind: opts.Unwind,
+		Model:    opts.Model,
+		Width:    opts.Width,
+		Unwind:   opts.Unwind,
+		Dataflow: opts.Dataflow,
 	})
 	if err != nil {
 		return nil, err

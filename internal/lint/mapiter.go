@@ -1,0 +1,102 @@
+// Package lint holds the repo's custom static checks. The one check so far,
+// CheckMapRange, flags `for range` loops over map-typed values: the encoder
+// and the analyses promise deterministic output (variable naming, golden
+// files, reproducible evaluations), and Go's randomised map iteration order
+// is the classic way that promise silently breaks. Loops whose order
+// provably cannot leak into output are annotated at the loop with a
+// `//mapiter:ok <reason>` comment, which suppresses the diagnostic.
+//
+// The check runs standalone (unit tests) and as a `go vet -vettool`
+// via cmd/mapiterlint.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Finding is one diagnostic: a map-ordered range loop without a
+// justification comment.
+type Finding struct {
+	Pos     token.Position
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s", f.Pos, f.Message)
+}
+
+// okDirective is the annotation that marks a map-range loop as reviewed:
+// placed on the line of the `for`, or on the line directly above it.
+const okDirective = "mapiter:ok"
+
+// CheckMapRange reports every `for ... range m` where m is map-typed and
+// the loop is not annotated with //mapiter:ok. info must carry Types for
+// the files' expressions (a completed types.Check over the same fset).
+func CheckMapRange(fset *token.FileSet, files []*ast.File, info *types.Info) []Finding {
+	var out []Finding
+	for _, file := range files {
+		okLines := directiveLines(fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			pos := fset.Position(rs.For)
+			if okLines[pos.Line] || okLines[pos.Line-1] {
+				return true
+			}
+			out = append(out, Finding{
+				Pos: pos,
+				Message: fmt.Sprintf(
+					"non-deterministic iteration over map %s: sort the keys first, or annotate the loop with //mapiter:ok <reason> if the order cannot reach any output",
+					types.ExprString(rs.X)),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// directiveLines collects the line numbers carrying a mapiter:ok comment
+// (any comment group whose text mentions the directive marks every line
+// the group spans).
+func directiveLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		has := false
+		for _, c := range cg.List {
+			if containsDirective(c.Text) {
+				has = true
+				break
+			}
+		}
+		if !has {
+			continue
+		}
+		start := fset.Position(cg.Pos()).Line
+		end := fset.Position(cg.End()).Line
+		for l := start; l <= end; l++ {
+			lines[l] = true
+		}
+	}
+	return lines
+}
+
+func containsDirective(text string) bool {
+	for i := 0; i+len(okDirective) <= len(text); i++ {
+		if text[i:i+len(okDirective)] == okDirective {
+			return true
+		}
+	}
+	return false
+}

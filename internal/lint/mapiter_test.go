@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// check typechecks one self-contained source snippet and runs the map-range
+// check over it.
+func check(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+	conf := types.Config{}
+	if _, err := conf.Check("x", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return CheckMapRange(fset, []*ast.File{file}, info)
+}
+
+func TestFlagsBareMapRange(t *testing.T) {
+	got := check(t, `package x
+func f(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`)
+	if len(got) != 1 {
+		t.Fatalf("findings = %v, want exactly one", got)
+	}
+	if got[0].Pos.Line != 4 {
+		t.Fatalf("line = %d, want 4", got[0].Pos.Line)
+	}
+	if !strings.Contains(got[0].Message, "non-deterministic") {
+		t.Fatalf("message: %s", got[0].Message)
+	}
+}
+
+func TestNamedMapTypeStillFlagged(t *testing.T) {
+	got := check(t, `package x
+type set map[int]bool
+func f(s set) {
+	for k := range s {
+		_ = k
+	}
+}
+`)
+	if len(got) != 1 {
+		t.Fatalf("findings = %v, want one (named map types count)", got)
+	}
+}
+
+func TestDirectiveSuppresses(t *testing.T) {
+	got := check(t, `package x
+func f(m map[string]int) int {
+	s := 0
+	//mapiter:ok order-independent sum
+	for _, v := range m {
+		s += v
+	}
+	for _, v := range m { //mapiter:ok same-line form
+		s += v
+	}
+	return s
+}
+`)
+	if len(got) != 0 {
+		t.Fatalf("findings = %v, want none (both loops annotated)", got)
+	}
+}
+
+func TestDirectiveDoesNotLeakToOtherLoops(t *testing.T) {
+	got := check(t, `package x
+func f(m map[string]int) int {
+	s := 0
+	//mapiter:ok first loop only
+	for _, v := range m {
+		s += v
+	}
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`)
+	if len(got) != 1 {
+		t.Fatalf("findings = %v, want one (second loop unannotated)", got)
+	}
+}
+
+func TestSliceAndChannelRangesIgnored(t *testing.T) {
+	got := check(t, `package x
+func f(xs []int, ch chan int, s string) int {
+	n := 0
+	for _, v := range xs {
+		n += v
+	}
+	for v := range ch {
+		n += v
+	}
+	for range s {
+		n++
+	}
+	for i := range 10 {
+		n += i
+	}
+	return n
+}
+`)
+	if len(got) != 0 {
+		t.Fatalf("findings = %v, want none for non-map ranges", got)
+	}
+}

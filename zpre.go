@@ -121,6 +121,12 @@ type Options struct {
 	// encode.Options.StaticPrune). The pruned VC is equisatisfiable;
 	// Report.EncodeStats.RFPruned/WSPruned count the dropped candidates.
 	StaticPrune bool
+	// Dataflow enables the value-flow pre-analysis (see
+	// encode.Options.Dataflow): pre-encoding constant/copy simplification,
+	// value-infeasible rf candidate pruning and fixed happens-before
+	// derivation. Equisatisfiable; Report.EncodeStats.ValuePruned/
+	// FoldedAssigns/FixedHB count its effects.
+	Dataflow bool
 	// TraceSink, when non-nil, receives the structured search trace
 	// (decisions with variable class, conflicts with LBD, restarts, ...;
 	// see internal/telemetry). The caller owns the sink's lifetime.
@@ -183,6 +189,7 @@ func Verify(p *cprog.Program, opts Options) (Report, error) {
 		Model:       opts.Model,
 		Width:       opts.Width,
 		StaticPrune: opts.StaticPrune,
+		Dataflow:    opts.Dataflow,
 	})
 	if err != nil {
 		return Report{}, err
@@ -343,6 +350,7 @@ func VerifyEach(p *cprog.Program, opts Options) ([]AssertReport, error) {
 		Width:             opts.Width,
 		SelectableAsserts: true,
 		StaticPrune:       opts.StaticPrune,
+		Dataflow:          opts.Dataflow,
 	})
 	if err != nil {
 		return nil, err
@@ -402,6 +410,7 @@ func VerifyWithProof(p *cprog.Program, opts Options) (Report, error) {
 		Width:       opts.Width,
 		WithProof:   true,
 		StaticPrune: opts.StaticPrune,
+		Dataflow:    opts.Dataflow,
 	})
 	if err != nil {
 		return Report{}, err
