@@ -8,7 +8,7 @@
 //	evaluate [-models sc,tso,pso] [-bounds 1,2,3] [-timeout 10s]
 //	         [-sub wmm,pthread] [-table all|1|2|3] [-figure all|6..11]
 //	         [-out results/] [-width 8] [-seed 1] [-progress] [-live]
-//	         [-prune] [-dataflow] [-trace dir/] [-trace-sample n]
+//	         [-prune] [-dataflow] [-rg] [-trace dir/] [-trace-sample n]
 //	         [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -prune, the static lockset/MHP analysis drops provably-infeasible
@@ -20,6 +20,12 @@
 // match any read-feasible value, and fixes the happens-before order of
 // single-candidate reads; the pruning report gains val-rf/folded/fixhb
 // columns.
+//
+// With -rg, the rely-guarantee proof-outline engine runs once per
+// (benchmark, model) pair: proved pairs report unsat at every bound without
+// touching the SMT backend, unproven pairs have the engine's stabilized
+// invariant ranges injected into their encodings (equisatisfiable). A
+// summary line counts proved pairs and injected constraints.
 //
 // With -trace, every run writes a structured JSONL search trace into the
 // given directory (one file per task/strategy; analyse with tracereport).
@@ -127,6 +133,7 @@ func main() {
 		checked    = flag.Bool("checked", false, "independently validate every verdict (proofs + witnesses)")
 		prune      = flag.Bool("prune", false, "statically prune rf/ws candidates and report the formula-size effect")
 		dfFlag     = flag.Bool("dataflow", false, "value-flow dataflow: fold constants, prune value-infeasible rf edges, fix forced hb edges")
+		rgFlag     = flag.Bool("rg", false, "rely-guarantee proof outlines: discharge provable (benchmark, model) pairs without solving, inject stabilized invariants elsewhere")
 		jsonOut    = flag.String("json", "", "write the full result set as JSON to this file")
 		traceDir   = flag.String("trace", "", "write per-run JSONL search traces into this directory")
 		traceN     = flag.Int("trace-sample", 1, "record only every Nth high-volume trace event")
@@ -174,6 +181,7 @@ func main() {
 		CheckVerdicts:   *checked,
 		StaticPrune:     *prune,
 		Dataflow:        *dfFlag,
+		RG:              *rgFlag,
 		TraceDir:        *traceDir,
 		TraceEvery:      *traceN,
 		Metrics:         metrics,
@@ -298,6 +306,20 @@ func main() {
 			hb += r.FixedHB
 		}
 		fmt.Printf("dataflow: %d rf candidates value-pruned, %d assignments folded, %d hb edges fixed\n\n", vp, fa, hb)
+	}
+
+	if *rgFlag {
+		proved, inv := 0, 0
+		provedPairs := map[string]bool{}
+		for _, r := range res.Runs {
+			if r.RGProved {
+				proved++
+				provedPairs[r.Task.Bench.Subcategory+"/"+r.Task.Bench.Name+"@"+r.Task.Model.String()] = true
+			}
+			inv += r.VC.RGInvariants
+		}
+		fmt.Printf("rely-guarantee: %d (benchmark, model) pairs proved at every bound (%d runs discharged without solving), %d invariant constraints injected elsewhere\n\n",
+			len(provedPairs), proved, inv)
 	}
 
 	if *increm {

@@ -9,12 +9,18 @@
 //
 // Usage:
 //
-//	racecheck [-unroll k] [-q] [-dataflow] [-width 8] program.cp [more.cp ...]
+//	racecheck [-unroll k] [-q] [-dataflow] [-rg] [-model sc] [-width 8] program.cp [more.cp ...]
 //
 // With -dataflow, the constant/interval value-flow analysis also runs and
 // the report gains each shared variable's inferred value range plus the
 // number of statements the simplifier would fold away — cheap static
 // evidence of how much the -dataflow encoding mode can prune.
+//
+// With -rg, the rely-guarantee proof-outline engine runs under -model and
+// the report gains the full proof outline: the rely transition pool, each
+// thread's statement-by-statement stabilized preconditions, the assertion
+// verdicts and (when unproven) the interference-stabilized variable ranges
+// the -rg encoding mode would inject.
 //
 // Exit status: 1 if any potential race is reported, 0 if all variables are
 // race-free, 2 on error.
@@ -29,6 +35,8 @@ import (
 	"zpre/internal/analysis"
 	"zpre/internal/cprog"
 	"zpre/internal/dataflow"
+	"zpre/internal/memmodel"
+	"zpre/internal/rg"
 )
 
 func main() {
@@ -36,7 +44,9 @@ func main() {
 		unroll = flag.Int("unroll", 1, "loop unrolling bound")
 		quiet  = flag.Bool("q", false, "print only racy variables (suppress race-free detail)")
 		df     = flag.Bool("dataflow", false, "also print inferred shared-variable value ranges and foldable statements")
-		width  = flag.Int("width", 8, "program integer bit width for -dataflow")
+		rgF    = flag.Bool("rg", false, "also print the rely-guarantee proof outline (stabilized preconditions, rely transitions, assertion verdicts)")
+		model  = flag.String("model", "sc", "memory model for -rg: sc, tso, pso")
+		width  = flag.Int("width", 8, "program integer bit width for -dataflow and -rg")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -84,11 +94,39 @@ func main() {
 			fmt.Printf("  simplifier would fold %d assignments, %d guards; drop %d dead writes\n",
 				fstats.FoldedAssigns, fstats.FoldedGuards, fstats.DeadWrites)
 		}
+		if *rgF {
+			mm, ok := memmodel.Parse(*model)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "racecheck: unknown memory model %q\n", *model)
+				os.Exit(2)
+			}
+			res, err := rg.Prove(prog, rg.Options{Model: mm, Width: *width})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "racecheck: %s: rg: %v\n", path, err)
+				os.Exit(2)
+			}
+			fmt.Println("rely-guarantee proof outline:")
+			fmt.Print(indent(rg.FormatOutline(res), "  "))
+			if !res.Proved && res.Ranges != nil {
+				fmt.Printf("  stabilized ranges (any bound): %s\n", rg.RangesSummary(res))
+			}
+		}
 		if len(res.RacyVars()) > 0 {
 			exit = 1
 		}
 	}
 	os.Exit(exit)
+}
+
+// indent prefixes every non-empty line of s.
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = prefix + l
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 func onlyRacy(reports []analysis.VarReport) []analysis.VarReport {

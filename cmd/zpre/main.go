@@ -6,7 +6,7 @@
 // Usage:
 //
 //	zpre [-model sc|tso|pso] [-strategy baseline|zpre-|zpre|zpre+static]
-//	     [-unroll k] [-width 8] [-timeout 30s] [-prune] [-dataflow] [-stats]
+//	     [-unroll k] [-width 8] [-timeout 30s] [-prune] [-dataflow] [-rg] [-stats]
 //	     [-incremental] [-trace out.jsonl] [-trace-sample n]
 //	     [-cpuprofile cpu.out] [-memprofile mem.out]
 //	     [-dump-smt out.smt2] [-dump-eog out.dot] program.cp
@@ -16,6 +16,13 @@
 // grows by deltas under per-bound activation literals, learned clauses
 // carry over) and a verdict is printed per bound; the exit status comes
 // from the final bound.
+//
+// With -rg, the rely-guarantee proof-outline engine (internal/rg) runs
+// first: if it discharges every assertion at its interference fixpoint the
+// program is reported safe at EVERY unroll bound and no SMT instance is
+// built; otherwise its stabilized invariant ranges are injected into the
+// encoding as guarded per-read constraints (equisatisfiable). Composes with
+// -incremental; incompatible with -each and -proof.
 //
 // The analyze subcommand runs only the static lockset/MHP race analysis and
 // prints per-variable diagnostics (no SMT solving).
@@ -37,11 +44,13 @@ import (
 	"zpre/internal/analysis"
 	"zpre/internal/core"
 	"zpre/internal/cprog"
+	"zpre/internal/dataflow"
 	"zpre/internal/encode"
 	"zpre/internal/eog"
 	"zpre/internal/incremental"
 	"zpre/internal/memmodel"
 	"zpre/internal/profiling"
+	"zpre/internal/rg"
 	"zpre/internal/sat"
 	"zpre/internal/smt"
 	"zpre/internal/smtlib"
@@ -74,6 +83,7 @@ func main() {
 		stats     = flag.Bool("stats", false, "print encoding and solver statistics")
 		prune     = flag.Bool("prune", false, "statically prune provably redundant rf/ws candidates")
 		dfFlag    = flag.Bool("dataflow", false, "value-flow dataflow: fold constants, prune value-infeasible rf edges, fix forced hb edges")
+		rgFlag    = flag.Bool("rg", false, "rely-guarantee proof outlines: prove assertions at every unroll bound, or inject interference-stabilized invariants into the encoding")
 		dumpSMT   = flag.String("dump-smt", "", "write the VC as SMT-LIB v2.6 to this file")
 		dumpEOG   = flag.String("dump-eog", "", "write the event order graph as Graphviz DOT")
 		witness   = flag.Bool("witness", false, "on UNSAFE, print a violating interleaving")
@@ -157,7 +167,13 @@ func main() {
 		Seed:           *seed,
 		StaticPrune:    *prune,
 		Dataflow:       *dfFlag,
+		RG:             *rgFlag,
 		TimePhases:     *stats,
+	}
+	if *rgFlag && (*each || *checkPf) {
+		// VerifyEach needs the full per-assert instance and a proof only
+		// exists when the SMT backend actually ran.
+		fatalf("-rg is not compatible with -each or -proof")
 	}
 	var sink telemetry.Sink
 	if *traceOut != "" {
@@ -175,7 +191,24 @@ func main() {
 		if *each || *checkPf || *traceOut != "" || *prune {
 			fatalf("-incremental is not compatible with -each, -proof, -trace or -prune")
 		}
-		exit(runIncrementalSweep(prog, model, strat, ctx, *unroll, *width, *timeout, *maxDec, *maxMemMB<<20, *seed, *stats, *witness, *dfFlag))
+		var rgRanges map[string]dataflow.Interval
+		if *rgFlag {
+			res, err := rg.Prove(prog, rg.Options{Model: model, Width: *width})
+			if err != nil {
+				fatalf("rg: %v", err)
+			}
+			if res.Proved {
+				fmt.Printf("%s: SAFE at every bound (rely-guarantee proof, %d fixpoint rounds; no SMT instance solved)\n",
+					prog.Name, res.StabilizeIters)
+				exit(0)
+			}
+			if *stats {
+				fmt.Printf("rely-guarantee: unproven after %d fixpoint rounds; injecting stabilized invariants\n",
+					res.StabilizeIters)
+			}
+			rgRanges = res.Ranges
+		}
+		exit(runIncrementalSweep(prog, model, strat, ctx, *unroll, *width, *timeout, *maxDec, *maxMemMB<<20, *seed, *stats, *witness, *dfFlag, rgRanges))
 	}
 
 	if *each {
@@ -240,6 +273,15 @@ func main() {
 				rep.EncodeStats.ValuePruned, rep.EncodeStats.FoldedAssigns,
 				rep.EncodeStats.FixedHB, rep.EncodeStats.DataflowTime.Round(time.Microsecond))
 		}
+		if *rgFlag {
+			if rep.RGProved {
+				fmt.Printf("rely-guarantee: proved at every bound in %d fixpoint rounds (no SMT instance)\n",
+					rep.RGStabilizeIters)
+			} else {
+				fmt.Printf("rely-guarantee: unproven after %d fixpoint rounds; %d invariant constraints injected\n",
+					rep.RGStabilizeIters, rep.EncodeStats.RGInvariants)
+			}
+		}
 		fmt.Printf("solver: %d decisions, %d propagations (%d theory), %d conflicts (%d theory), %d restarts\n",
 			rep.SolverStats.Decisions, rep.SolverStats.Propagations, rep.SolverStats.TheoryProps,
 			rep.SolverStats.Conflicts, rep.SolverStats.TheoryConfl, rep.SolverStats.Restarts)
@@ -253,7 +295,7 @@ func main() {
 		}
 	}
 	switch rep.Verdict {
-	case zpre.Safe:
+	case zpre.Safe, zpre.UnboundedSafe:
 		exit(0)
 	case zpre.Unsafe:
 		exit(1)
@@ -265,7 +307,7 @@ func main() {
 // runIncrementalSweep verifies bounds 1..maxBound on one live solver,
 // printing a line per bound. Returns the process exit code, derived from
 // the final bound's verdict.
-func runIncrementalSweep(prog *cprog.Program, model memmodel.Model, strat core.Strategy, ctx context.Context, maxBound, width int, timeout time.Duration, maxDec uint64, maxMem, seed int64, stats, showWitness, dataflow bool) int {
+func runIncrementalSweep(prog *cprog.Program, model memmodel.Model, strat core.Strategy, ctx context.Context, maxBound, width int, timeout time.Duration, maxDec uint64, maxMem, seed int64, stats, showWitness, dataflow bool, rgRanges map[string]dataflow.Interval) int {
 	sweep, err := incremental.New(prog, incremental.Options{
 		Model:          model,
 		Strategy:       strat,
@@ -278,6 +320,7 @@ func runIncrementalSweep(prog *cprog.Program, model memmodel.Model, strat core.S
 		TimePhases:     stats,
 		CheckWitness:   showWitness,
 		Dataflow:       dataflow,
+		RGRanges:       rgRanges,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "zpre: incremental: %v\n", err)
@@ -395,6 +438,8 @@ func verdictText(v zpre.Verdict) string {
 	switch v {
 	case zpre.Safe:
 		return "SAFE (verification condition unsat)"
+	case zpre.UnboundedSafe:
+		return "SAFE at every bound (rely-guarantee proof; no SMT instance solved)"
 	case zpre.Unsafe:
 		return "UNSAFE (assertion violation reachable)"
 	}

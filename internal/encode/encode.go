@@ -60,6 +60,18 @@ type Options struct {
 	// the ordering theory (Stats.FixedHB). The resulting VC is
 	// equisatisfiable with the plain one.
 	Dataflow bool
+	// RGRanges injects interference-stabilized invariants from the
+	// rely-guarantee proof-outline engine (internal/rg): Ranges[v] is a
+	// sound bound on every value variable v holds at any point of any
+	// execution under the model (initial value joined with every write
+	// image at the interference fixpoint). For each read of v the encoder
+	// asserts guard → lo ≤ val ≤ hi (signed). The constraint is guarded by
+	// the read's path guard, so infeasible-path read variables stay
+	// unconstrained and the VC remains equisatisfiable with the plain one;
+	// Stats.RGInvariants counts the emitted constraints. In Dataflow mode
+	// the range also meets into the read's feasible interval, sharpening
+	// the value-infeasibility rf prune.
+	RGRanges map[string]dataflow.Interval
 	// StaticPrune drops interference candidates the static pre-analysis
 	// (internal/analysis) proves redundant: rf edges from shadowed writes
 	// (overwritten before the read can observe them — by fixed program
@@ -112,6 +124,9 @@ type Stats struct {
 	ValuePruned   int
 	FoldedAssigns int
 	FixedHB       int
+	// RGInvariants counts per-read range constraints injected from the
+	// rely-guarantee invariants (Options.RGRanges).
+	RGInvariants int
 	// DataflowTime is the time spent simplifying and computing the value
 	// fixpoint (zero unless Dataflow is enabled).
 	DataflowTime time.Duration
@@ -426,6 +441,23 @@ func (e *encoder) addRead(ts *threadState, name string) *Event {
 	if e.flow != nil {
 		iv := e.flow.Range(name)
 		ev.feas = &iv
+	}
+	if iv, ok := e.opts.RGRanges[name]; ok && !iv.IsEmpty() && !iv.IsTop(e.opts.Width) {
+		w := e.opts.Width
+		var rng smt.Bool
+		if c, ok := iv.Const(w); ok {
+			rng = e.bd.BVEq(val, e.bd.BVConst(c, w))
+		} else {
+			lo := e.bd.BVConst(uint64(iv.Lo)&dataflow.Mask(w), w)
+			hi := e.bd.BVConst(uint64(iv.Hi)&dataflow.Mask(w), w)
+			rng = e.bd.And(e.bd.BVSle(lo, val), e.bd.BVSle(val, hi))
+		}
+		e.assumes = append(e.assumes, e.bd.Implies(ev.Guard, rng))
+		e.stats.RGInvariants++
+		if ev.feas != nil {
+			m := dataflow.Meet(*ev.feas, iv)
+			ev.feas = &m
+		}
 	}
 	return ev
 }

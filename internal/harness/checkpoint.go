@@ -135,6 +135,9 @@ func resumedResult(task Task, strat core.Strategy, jr JSONRun) RunResult {
 	out.VC.ValuePruned = jr.ValuePruned
 	out.VC.FoldedAssigns = jr.FoldedAssigns
 	out.VC.FixedHB = jr.FixedHB
+	out.VC.RGInvariants = jr.RGInvariants
+	out.RGProved = jr.RGProved
+	out.RGStabilizeIters = jr.RGStabilizeIters
 	if jr.Error != "" {
 		kind := parseFailureKind(jr.Failure)
 		if kind == sat.FailNone || kind == sat.FailTimeout {

@@ -21,10 +21,12 @@ import (
 
 	"zpre/internal/core"
 	"zpre/internal/cprog"
+	"zpre/internal/dataflow"
 	"zpre/internal/encode"
 	"zpre/internal/faultinject"
 	"zpre/internal/memmodel"
 	"zpre/internal/order"
+	"zpre/internal/rg"
 	"zpre/internal/sat"
 	"zpre/internal/smt"
 	"zpre/internal/svcomp"
@@ -88,6 +90,13 @@ type RunResult struct {
 	// bound; Cumulative the solver counters since the sweep began.
 	CumulativeSolve time.Duration
 	Cumulative      sat.Stats
+	// RGProved marks a task discharged by the rely-guarantee engine
+	// (Config.RG): the program is safe at every bound, the verdict is unsat
+	// and the SMT backend never ran (zero decisions, zero events).
+	RGProved bool
+	// RGStabilizeIters is the engine's outer fixpoint round count for this
+	// task's (benchmark, model) pair (Config.RG only).
+	RGStabilizeIters int
 }
 
 // Solved reports whether the run finished within budget.
@@ -198,6 +207,16 @@ type Config struct {
 	// theory verdicts) into matching runs; see internal/faultinject. Used
 	// by the resilience tests and `evaluate -inject`.
 	Faults *faultinject.Set
+	// RG runs the rely-guarantee proof-outline engine (internal/rg) once
+	// per (benchmark, model) pair before solving. Tasks of a proved pair
+	// report unsat with RunResult.RGProved and never touch the SMT backend
+	// (at any bound — the proof is unbounded). Unproven pairs have the
+	// engine's interference-stabilized variable ranges injected as guarded
+	// per-read invariant constraints (RunResult.VC.RGInvariants); the
+	// instance stays equisatisfiable. Composes with Incremental: a proved
+	// group skips its whole sweep, an unproven group asserts each
+	// invariant once when its read is created.
+	RG bool
 	// Incremental solves each (benchmark, model, strategy) group's bounds
 	// as one unroll sweep on a single live solver (internal/incremental):
 	// the encoding grows by deltas under per-bound activation literals and
@@ -207,6 +226,34 @@ type Config struct {
 	// proof-checked incrementally (CheckVerdicts marks them CheckSkipped);
 	// TraceDir is not supported in this mode.
 	Incremental bool
+
+	// rgMemo caches the rely-guarantee result per (benchmark, model) so the
+	// many (bound, strategy) runs of one pair share a single analysis. Set
+	// by fill(); shared across workers via the pointer.
+	rgMemo *rgMemo
+}
+
+// rgMemo is the per-sweep rely-guarantee result cache.
+type rgMemo struct {
+	mu sync.Mutex
+	m  map[string]*rg.Result
+}
+
+// get returns the (cached) engine result for one (benchmark, model) pair. A
+// program the engine rejects outright counts as unproven with no ranges.
+func (c *rgMemo) get(b svcomp.Benchmark, model memmodel.Model, width int) *rg.Result {
+	key := b.Subcategory + "/" + b.Name + "@" + model.String()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.m[key]; ok {
+		return r
+	}
+	r, err := rg.Prove(b.Program, rg.Options{Model: model, Width: width})
+	if err != nil {
+		r = &rg.Result{}
+	}
+	c.m[key] = r
+	return r
 }
 
 // TraceFileName is the per-run trace file name under Config.TraceDir.
@@ -243,6 +290,9 @@ func (c *Config) fill() {
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 16
+	}
+	if c.RG && c.rgMemo == nil {
+		c.rgMemo = &rgMemo{m: map[string]*rg.Result{}}
 	}
 }
 
@@ -321,6 +371,9 @@ func (rc *recorder) record(idx int, r RunResult) {
 		case sat.FailError:
 			m.Counter("tasks_errored").Inc()
 		}
+		if r.RGProved {
+			m.Counter("rg_proved").Inc()
+		}
 		if !r.Incremental {
 			// Incremental bounds carry cumulative stats; their sweeps are
 			// counted once, at the end of runSweepGroup.
@@ -361,6 +414,9 @@ func addDataflowCounters(m *telemetry.Registry, vc encode.Stats) {
 	}
 	if vc.FixedHB > 0 {
 		m.Counter("dataflow_fixed_hb").Add(uint64(vc.FixedHB))
+	}
+	if vc.RGInvariants > 0 {
+		m.Counter("rg_invariants").Add(uint64(vc.RGInvariants))
 	}
 }
 
@@ -517,6 +573,22 @@ func RunOne(task Task, strat core.Strategy, cfg Config) (out RunResult) {
 		return out
 	}
 
+	var rgRanges map[string]dataflow.Interval
+	if cfg.RG {
+		res := cfg.rgMemo.get(task.Bench, task.Model, cfg.Width)
+		out.RGStabilizeIters = res.StabilizeIters
+		if res.Proved {
+			// Safe at every bound: nothing to encode or solve. No proof
+			// trace exists for the checker, so CheckVerdicts marks the run
+			// skipped rather than checked.
+			out.Status = sat.Unsat
+			out.RGProved = true
+			out.CheckSkipped = cfg.CheckVerdicts
+			return out
+		}
+		rgRanges = res.Ranges
+	}
+
 	unrollStart := time.Now()
 	unrolled := cprog.Unroll(task.Bench.Program, task.Bound, cprog.UnwindAssume)
 	out.Unroll = time.Since(unrollStart)
@@ -527,6 +599,7 @@ func RunOne(task Task, strat core.Strategy, cfg Config) (out RunResult) {
 		WithProof:   cfg.CheckVerdicts,
 		StaticPrune: cfg.StaticPrune,
 		Dataflow:    cfg.Dataflow,
+		RGRanges:    rgRanges,
 	})
 	out.Encode = time.Since(encStart)
 	if err != nil {

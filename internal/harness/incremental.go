@@ -94,7 +94,7 @@ func runIncrementalSweeps(cfg Config, tasks []Task, rec *recorder, resume map[st
 // newSweep builds the live sweep for a group. The per-bound solver budgets
 // come straight from the config; tracing hooks are installed per bound.
 func newSweep(task Task, strat core.Strategy, cfg Config) (*incremental.Sweep, error) {
-	return incremental.New(task.Bench.Program, incremental.Options{
+	opts := incremental.Options{
 		Model:          task.Model,
 		Strategy:       strat,
 		Width:          cfg.Width,
@@ -107,7 +107,16 @@ func newSweep(task Task, strat core.Strategy, cfg Config) (*incremental.Sweep, e
 		TimePhases:     cfg.TimePhases,
 		CheckWitness:   cfg.CheckVerdicts,
 		Dataflow:       cfg.Dataflow,
-	})
+	}
+	if cfg.RG {
+		// Only unproven pairs reach a sweep (runSweepGroup short-circuits
+		// proved ones); their bound-independent invariant ranges are
+		// asserted once per read creation, base and delta alike.
+		if res := cfg.rgMemo.get(task.Bench, task.Model, cfg.Width); !res.Proved {
+			opts.RGRanges = res.Ranges
+		}
+	}
+	return incremental.New(task.Bench.Program, opts)
 }
 
 // replaySweep rebuilds a fresh sweep and replays the encoding through the
@@ -157,6 +166,30 @@ func advanceTo(s *incremental.Sweep, bound int) (ok bool) {
 // bounds incomplete, exactly like fresh mode.
 func runSweepGroup(g sweepGroup, si int, cfg Config, rec *recorder, resume map[string]JSONRun, nStrat int) {
 	strat := cfg.Strategies[si]
+	if cfg.RG {
+		first := g.tasks[0].task
+		if res := cfg.rgMemo.get(first.Bench, first.Model, cfg.Width); res.Proved {
+			// The engine proved the pair at every bound: the whole sweep is
+			// discharged without building a solver.
+			for _, gt := range g.tasks {
+				idx := gt.idx*nStrat + si
+				if jr, ok := resume[resumeKey(gt.task.ID(), strat.String())]; ok {
+					r := resumedResult(gt.task, strat, jr)
+					r.Incremental = true
+					rec.record(idx, r)
+					continue
+				}
+				rec.record(idx, RunResult{
+					Task: gt.task, Strategy: strat, Incremental: true,
+					Status: sat.Unsat, RGProved: true,
+					RGStabilizeIters: res.StabilizeIters,
+					CheckSkipped:     cfg.CheckVerdicts,
+					Completed:        true,
+				})
+			}
+			return
+		}
+	}
 	sweep, setupErr := newSweep(g.tasks[0].task, strat, cfg)
 	var cumSolve time.Duration
 	var lastVC encode.Stats
@@ -222,6 +255,9 @@ func runSweepBound(sweep *incremental.Sweep, task Task, strat core.Strategy, cfg
 		}
 		out.Completed = out.Failure() != sat.FailCancelled
 	}()
+	if cfg.RG {
+		out.RGStabilizeIters = cfg.rgMemo.get(task.Bench, task.Model, cfg.Width).StabilizeIters
+	}
 	if sweep == nil {
 		if setupErr == nil {
 			setupErr = fmt.Errorf("incremental sweep unavailable after an earlier failure")

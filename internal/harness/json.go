@@ -49,11 +49,18 @@ type JSONRun struct {
 	// Value-flow dataflow counters (Config.Dataflow): rf candidates dropped
 	// by the interval oracle, assignments folded before event generation,
 	// and happens-before edges fixed from single-candidate rf.
-	ValuePruned   int  `json:"value_pruned,omitempty"`
-	FoldedAssigns int  `json:"folded_assigns,omitempty"`
-	FixedHB       int  `json:"fixed_hb,omitempty"`
-	Checked       bool `json:"checked,omitempty"`
-	CheckSkipped  bool `json:"check_skipped,omitempty"`
+	ValuePruned   int `json:"value_pruned,omitempty"`
+	FoldedAssigns int `json:"folded_assigns,omitempty"`
+	FixedHB       int `json:"fixed_hb,omitempty"`
+	// Rely-guarantee fields (Config.RG): a task the proof-outline engine
+	// discharged at every bound (unsat with zero decisions), the number of
+	// injected per-read invariant constraints, and the engine's outer
+	// fixpoint round count.
+	RGProved         bool `json:"rg_proved,omitempty"`
+	RGInvariants     int  `json:"rg_invariants,omitempty"`
+	RGStabilizeIters int  `json:"rg_stabilize_iters,omitempty"`
+	Checked          bool `json:"checked,omitempty"`
+	CheckSkipped     bool `json:"check_skipped,omitempty"`
 	// Completed marks a terminal outcome; false only for cancelled runs,
 	// which `-resume` re-executes.
 	Completed bool `json:"completed"`
@@ -84,6 +91,7 @@ type JSONResults struct {
 	Width       int       `json:"width"`
 	StaticPrune bool      `json:"static_prune,omitempty"`
 	Dataflow    bool      `json:"dataflow,omitempty"`
+	RG          bool      `json:"rg,omitempty"`
 	Runs        []JSONRun `json:"runs"`
 }
 
@@ -96,6 +104,7 @@ func (r *Results) WriteJSON(w io.Writer) error {
 		Width:       r.Config.Width,
 		StaticPrune: r.Config.StaticPrune,
 		Dataflow:    r.Config.Dataflow,
+		RG:          r.Config.RG,
 		Bounds:      r.Config.Bounds,
 	}
 	for _, m := range r.Config.Models {
@@ -150,6 +159,9 @@ func jsonRun(run RunResult) JSONRun {
 		ValuePruned:      run.VC.ValuePruned,
 		FoldedAssigns:    run.VC.FoldedAssigns,
 		FixedHB:          run.VC.FixedHB,
+		RGProved:         run.RGProved,
+		RGInvariants:     run.VC.RGInvariants,
+		RGStabilizeIters: run.RGStabilizeIters,
 		Checked:          run.Checked,
 		CheckSkipped:     run.CheckSkipped,
 		Completed:        run.Completed,

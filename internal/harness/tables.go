@@ -526,6 +526,9 @@ type PruneRow struct {
 	ValuePruned   int
 	FoldedAssigns int
 	FixedHB       int
+	// RGInvariants counts the per-read invariant constraints injected from
+	// the rely-guarantee engine's stabilized ranges (Config.RG).
+	RGInvariants int
 }
 
 // RFPruned returns the rf candidates dropped across the row's tasks.
@@ -590,6 +593,7 @@ func (r *Results) PruneReport() []PruneRow {
 		row.ValuePruned += run.VC.ValuePruned
 		row.FoldedAssigns += run.VC.FoldedAssigns
 		row.FixedHB += run.VC.FixedHB
+		row.RGInvariants += run.VC.RGInvariants
 	}
 	out := make([]PruneRow, 0, len(rows))
 	for _, row := range rows {
@@ -615,16 +619,16 @@ func (r *Results) PruneReport() []PruneRow {
 func FormatPruneReport(rows []PruneRow) string {
 	var b strings.Builder
 	b.WriteString("Static pruning effectiveness (rf/ws interference candidates before -> after):\n")
-	fmt.Fprintf(&b, "%-14s %-24s %5s %9s %9s %7s %9s %9s %7s %8s %7s %7s\n",
+	fmt.Fprintf(&b, "%-14s %-24s %5s %9s %9s %7s %9s %9s %7s %8s %7s %7s %7s\n",
 		"subcategory", "benchmark", "tasks", "rf before", "rf after", "rf%", "ws before", "ws after", "ws%",
-		"val-rf", "folded", "fixhb")
+		"val-rf", "folded", "fixhb", "rginv")
 	var tot PruneRow
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-14s %-24s %5d %9d %9d %6.1f%% %9d %9d %6.1f%% %8d %7d %7d\n",
+		fmt.Fprintf(&b, "%-14s %-24s %5d %9d %9d %6.1f%% %9d %9d %6.1f%% %8d %7d %7d %7d\n",
 			r.Subcategory, r.Benchmark, r.Tasks,
 			r.RFBefore, r.RFAfter, pct(r.RFPruned(), r.RFBefore),
 			r.WSBefore, r.WSAfter, pct(r.WSPruned(), r.WSBefore),
-			r.ValuePruned, r.FoldedAssigns, r.FixedHB)
+			r.ValuePruned, r.FoldedAssigns, r.FixedHB, r.RGInvariants)
 		tot.Tasks += r.Tasks
 		tot.RFBefore += r.RFBefore
 		tot.RFAfter += r.RFAfter
@@ -633,12 +637,13 @@ func FormatPruneReport(rows []PruneRow) string {
 		tot.ValuePruned += r.ValuePruned
 		tot.FoldedAssigns += r.FoldedAssigns
 		tot.FixedHB += r.FixedHB
+		tot.RGInvariants += r.RGInvariants
 	}
-	fmt.Fprintf(&b, "%-14s %-24s %5d %9d %9d %6.1f%% %9d %9d %6.1f%% %8d %7d %7d\n",
+	fmt.Fprintf(&b, "%-14s %-24s %5d %9d %9d %6.1f%% %9d %9d %6.1f%% %8d %7d %7d %7d\n",
 		"total", "", tot.Tasks,
 		tot.RFBefore, tot.RFAfter, pct(tot.RFPruned(), tot.RFBefore),
 		tot.WSBefore, tot.WSAfter, pct(tot.WSPruned(), tot.WSBefore),
-		tot.ValuePruned, tot.FoldedAssigns, tot.FixedHB)
+		tot.ValuePruned, tot.FoldedAssigns, tot.FixedHB, tot.RGInvariants)
 	return b.String()
 }
 

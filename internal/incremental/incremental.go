@@ -14,6 +14,7 @@ import (
 
 	"zpre/internal/core"
 	"zpre/internal/cprog"
+	"zpre/internal/dataflow"
 	"zpre/internal/encode"
 	"zpre/internal/memmodel"
 	"zpre/internal/order"
@@ -85,6 +86,12 @@ type Options struct {
 	// program (see encode.Options.Dataflow); its facts are bound-
 	// independent, so pruning composes with the delta encoding.
 	Dataflow bool
+	// RGRanges injects rely-guarantee invariant ranges as guarded per-read
+	// constraints (see encode.Options.RGRanges). The ranges hold at every
+	// unrolling bound, so each constraint is asserted once when its read is
+	// created — base-bound reads at the base encoding, delta reads with
+	// their delta — and composes with the activation-literal sweep.
+	RGRanges map[string]dataflow.Interval
 }
 
 // BoundResult is the outcome of one bound of a sweep.
@@ -129,6 +136,7 @@ func New(p *cprog.Program, opts Options) (*Sweep, error) {
 		Width:    opts.Width,
 		Unwind:   opts.Unwind,
 		Dataflow: opts.Dataflow,
+		RGRanges: opts.RGRanges,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,219 @@
+package rg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"zpre/internal/cprog"
+)
+
+// outlineLine is one statement of the final-round proof outline: the
+// stabilized precondition (per-variable hull plus disjunct count) at the
+// statement.
+type outlineLine struct {
+	path string
+	stmt string
+	pre  string
+}
+
+type outlineData struct {
+	model   string
+	name    string
+	width   int
+	rounds  int
+	proved  bool
+	asserts []string // "key: proved|UNPROVED"
+	rely    []string // rendered transitions, per thread
+	scopes  []string // scope names in order
+	lines   map[string][]outlineLine
+}
+
+func (e *engine) noteOutline(sc *scope, path string, s cprog.Stmt, S stateSet) {
+	line := outlineLine{path: path, stmt: renderStmt(s), pre: renderSet(S, sc, e.pi)}
+	// Loop bodies are revisited during the inner fixpoint; keep only the
+	// last (stable) precondition per statement, in first-visit order.
+	lines := e.outlines[sc.name]
+	for i := range lines {
+		if lines[i].path == path {
+			lines[i] = line
+			return
+		}
+	}
+	e.outlines[sc.name] = append(lines, line)
+}
+
+// renderSet renders the per-variable hull of a state set plus its disjunct
+// count; only non-top variables are shown.
+func renderSet(S stateSet, sc *scope, pi *progInfo) string {
+	if len(S) == 0 {
+		return "unreachable"
+	}
+	var parts []string
+	for v := 0; v < len(sc.names); v++ {
+		h := hullOf(S, v)
+		if h.IsTop(pi.width) {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%s", sc.names[v], h))
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "top")
+	}
+	return fmt.Sprintf("{%s} ×%d", strings.Join(parts, " "), len(S))
+}
+
+func (e *engine) buildOutline(trans [][]*transition, res *Result) *outlineData {
+	od := &outlineData{
+		model:  e.model.String(),
+		name:   e.prog.Name,
+		width:  e.pi.width,
+		rounds: res.StabilizeIters,
+		proved: res.Proved,
+		lines:  map[string][]outlineLine{},
+	}
+	unproved := map[string]bool{}
+	for _, k := range res.Unproved {
+		unproved[k] = true
+	}
+	for _, k := range e.assertOrder {
+		status := "proved"
+		if unproved[k] {
+			status = "UNPROVED"
+		}
+		od.asserts = append(od.asserts, fmt.Sprintf("%s: %s", k, status))
+	}
+	for t, ts := range trans {
+		for _, tr := range ts {
+			od.rely = append(od.rely, renderTrans(tr, t, e.pi))
+		}
+	}
+	od.scopes = append([]string(nil), e.scOrder...)
+	for k, v := range e.outlines { //mapiter:ok copied into map keyed identically
+		od.lines[k] = v
+	}
+	return od
+}
+
+func renderTrans(t *transition, thread int, pi *progInfo) string {
+	var w []string
+	for _, wr := range t.writes {
+		w = append(w, fmt.Sprintf("%s:=%s", pi.shared[wr.v], wr.img))
+	}
+	var g []string
+	for _, ge := range t.guard {
+		g = append(g, fmt.Sprintf("%s∈%s", pi.shared[ge.v], ge.rng))
+	}
+	s := fmt.Sprintf("%s: t%d writes %s", t.key, thread, strings.Join(w, ","))
+	if len(g) > 0 {
+		s += " when " + strings.Join(g, "∧")
+	}
+	if len(t.held) > 0 {
+		s += " holding " + strings.Join(t.held, ",")
+	}
+	if t.composite {
+		s += " (composite)"
+	}
+	return s
+}
+
+// FormatOutline renders the final proof outline deterministically: the rely
+// transition pool, each scope's statement-by-statement stabilized
+// preconditions, the assertion verdicts and the fixpoint iteration count.
+func FormatOutline(res *Result) string {
+	od := res.outline
+	if od == nil {
+		return fmt.Sprintf("no outline (bailed=%v)\n", res.Bailed)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s model %s width %d\n", od.name, od.model, od.width)
+	fmt.Fprintf(&b, "fixpoint rounds %d proved %v\n", od.rounds, od.proved)
+	b.WriteString("rely transitions:\n")
+	if len(od.rely) == 0 {
+		b.WriteString("  (none)\n")
+	}
+	for _, r := range od.rely {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	for _, sc := range od.scopes {
+		lines := od.lines[sc]
+		fmt.Fprintf(&b, "outline %s:\n", sc)
+		if len(lines) == 0 {
+			b.WriteString("  (empty)\n")
+		}
+		for _, l := range lines {
+			fmt.Fprintf(&b, "  [%s] %s  pre %s\n", l.path, l.stmt, l.pre)
+		}
+	}
+	b.WriteString("asserts:\n")
+	if len(od.asserts) == 0 {
+		b.WriteString("  (none)\n")
+	}
+	for _, a := range od.asserts {
+		fmt.Fprintf(&b, "  %s\n", a)
+	}
+	return b.String()
+}
+
+// RangesSummary renders the invariant ranges deterministically (diagnostic
+// output for cmd/racecheck).
+func RangesSummary(res *Result) string {
+	if res.Ranges == nil {
+		return "(no invariants)"
+	}
+	names := make([]string, 0, len(res.Ranges))
+	for n := range res.Ranges { //mapiter:ok keys sorted below
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var parts []string
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s∈%s", n, res.Ranges[n]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func renderStmt(s cprog.Stmt) string {
+	switch st := s.(type) {
+	case cprog.Assign:
+		return fmt.Sprintf("%s = %s", st.Lhs, renderExpr(st.Rhs))
+	case cprog.Local:
+		if st.Init != nil {
+			return fmt.Sprintf("local %s = %s", st.Name, renderExpr(st.Init))
+		}
+		return fmt.Sprintf("local %s", st.Name)
+	case cprog.Assume:
+		return fmt.Sprintf("assume(%s)", renderExpr(st.Cond))
+	case cprog.Assert:
+		return fmt.Sprintf("assert(%s)", renderExpr(st.Cond))
+	case cprog.If:
+		return fmt.Sprintf("if (%s)", renderExpr(st.Cond))
+	case cprog.While:
+		return fmt.Sprintf("while (%s)", renderExpr(st.Cond))
+	case cprog.Lock:
+		return fmt.Sprintf("lock(%s)", st.Mutex)
+	case cprog.Unlock:
+		return fmt.Sprintf("unlock(%s)", st.Mutex)
+	case cprog.Fence:
+		return "fence"
+	case cprog.Atomic:
+		return "atomic"
+	case cprog.Havoc:
+		return fmt.Sprintf("havoc %s", st.Name)
+	}
+	return "?"
+}
+
+func renderExpr(e cprog.Expr) string {
+	switch x := e.(type) {
+	case cprog.Const:
+		return fmt.Sprintf("%d", x.Value)
+	case cprog.Ref:
+		return x.Name
+	case cprog.BinOp:
+		return fmt.Sprintf("(%s %s %s)", renderExpr(x.L), x.Op, renderExpr(x.R))
+	case cprog.UnOp:
+		return fmt.Sprintf("%s%s", x.Op, renderExpr(x.X))
+	}
+	return "?"
+}

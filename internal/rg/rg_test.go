@@ -1,0 +1,69 @@
+package rg
+
+import (
+	"fmt"
+	"testing"
+
+	"zpre/internal/memmodel"
+	"zpre/internal/svcomp"
+)
+
+var allModels = []memmodel.Model{memmodel.SC, memmodel.TSO, memmodel.PSO}
+
+// TestSoundOnCorpus is the core soundness gate: the engine must never prove
+// a benchmark whose ground truth under the model is unsafe.
+func TestSoundOnCorpus(t *testing.T) {
+	proved := 0
+	pairs := 0
+	byModel := map[memmodel.Model]int{}
+	for _, b := range svcomp.All() {
+		for _, m := range allModels {
+			pairs++
+			res, err := Prove(b.Program, Options{Model: m})
+			if err != nil {
+				t.Fatalf("%s %v: %v", b.Program.Name, m, err)
+			}
+			if res.Proved {
+				proved++
+				byModel[m]++
+				if b.Expected[m] == svcomp.ExpectUnsafe {
+					t.Errorf("UNSOUND: proved %s under %v but ground truth is unsafe", b.Program.Name, m)
+				}
+			}
+		}
+	}
+	t.Logf("proved %d/%d (bench,model) pairs: SC=%d TSO=%d PSO=%d",
+		proved, pairs, byModel[memmodel.SC], byModel[memmodel.TSO], byModel[memmodel.PSO])
+}
+
+// TestProofRateReport logs which safe benchmarks are proved per model (for
+// threshold calibration; the enforced gate lives in the root package tests).
+func TestProofRateReport(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("verbose-only report")
+	}
+	for _, b := range svcomp.All() {
+		var line string
+		for _, m := range allModels {
+			res, err := Prove(b.Program, Options{Model: m})
+			if err != nil {
+				t.Fatalf("%s: %v", b.Program.Name, err)
+			}
+			mark := "-"
+			if res.Proved {
+				mark = "P"
+			} else if res.Bailed {
+				mark = "b"
+			}
+			exp := "?"
+			switch b.Expected[m] {
+			case svcomp.ExpectSafe:
+				exp = "S"
+			case svcomp.ExpectUnsafe:
+				exp = "U"
+			}
+			line += fmt.Sprintf(" %v:%s/%s", m, mark, exp)
+		}
+		t.Logf("%-40s%s", b.Program.Name, line)
+	}
+}

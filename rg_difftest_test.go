@@ -1,0 +1,184 @@
+package zpre
+
+import (
+	"testing"
+	"time"
+
+	"zpre/internal/core"
+	"zpre/internal/incremental"
+	"zpre/internal/memmodel"
+	"zpre/internal/rg"
+	"zpre/internal/svcomp"
+)
+
+// TestRGProofRateGate enforces the headline claim of the rely-guarantee
+// engine: at the default engine settings it proves at least 25% of the
+// safe (benchmark, model) pairs in the corpus unbounded-safe, and every
+// such proof discharges the pair with zero SAT decisions — the backend
+// never runs. It also re-checks soundness end to end: a pair whose ground
+// truth is unsafe must never come back UnboundedSafe.
+func TestRGProofRateGate(t *testing.T) {
+	models := []memmodel.Model{memmodel.SC, memmodel.TSO, memmodel.PSO}
+	safePairs, proved := 0, 0
+	for _, b := range svcomp.All() {
+		for _, model := range models {
+			rep, err := Verify(b.Program, Options{
+				Model:   model,
+				Unroll:  1,
+				Timeout: 30 * time.Second,
+				RG:      true,
+			})
+			if err != nil {
+				t.Fatalf("%s@%s: %v", b.Name, model, err)
+			}
+			if rep.Verdict == UnboundedSafe {
+				if !rep.RGProved {
+					t.Errorf("%s@%s: UnboundedSafe without RGProved", b.Name, model)
+				}
+				if rep.SolverStats.Decisions != 0 || rep.SolverStats.Conflicts != 0 {
+					t.Errorf("%s@%s: UnboundedSafe but the solver ran (%d decisions, %d conflicts)",
+						b.Name, model, rep.SolverStats.Decisions, rep.SolverStats.Conflicts)
+				}
+				if rep.RGStabilizeIters <= 0 {
+					t.Errorf("%s@%s: UnboundedSafe with %d fixpoint rounds", b.Name, model, rep.RGStabilizeIters)
+				}
+				if b.Expected[model] == svcomp.ExpectUnsafe {
+					t.Errorf("UNSOUND: %s@%s proved unbounded-safe but ground truth is unsafe", b.Name, model)
+				}
+			}
+			if b.Expected[model] == svcomp.ExpectSafe {
+				safePairs++
+				if rep.Verdict == UnboundedSafe {
+					proved++
+				}
+			}
+		}
+	}
+	rate := float64(proved) / float64(safePairs)
+	t.Logf("rg proved %d/%d safe (benchmark,model) pairs unbounded-safe (%.1f%%)",
+		proved, safePairs, 100*rate)
+	if rate < 0.25 {
+		t.Fatalf("proof rate %.1f%% below the 25%% gate (%d/%d)", 100*rate, proved, safePairs)
+	}
+}
+
+// TestRGDifferential is the injection correctness and usefulness gate:
+// across the corpus, all three models, fresh pipeline and incremental
+// sweep,
+//
+//   - on pairs the engine proves, the plain pipeline must agree the
+//     program is safe at every bound (the unbounded-safe short-circuit
+//     only ever replaces Safe);
+//   - on unproven pairs, the verdict with injected invariants must equal
+//     the plain verdict at every bound (injection is equisatisfiable);
+//   - injected invariants must not make search harder: summed over all
+//     unproven solves, decisions+conflicts with -dataflow -rg must not
+//     exceed the -dataflow-only baseline. (The comparison is aggregate,
+//     not per-solve: added unit constraints can reshuffle VSIDS branch
+//     order on an individual instance, but across the corpus they may
+//     only prune.)
+func TestRGDifferential(t *testing.T) {
+	models := []memmodel.Model{memmodel.SC, memmodel.TSO, memmodel.PSO}
+	maxBound := 4
+	if testing.Short() {
+		maxBound = 2
+	}
+	var baseWork, rgWork uint64
+	checks, provedPairs := 0, 0
+	for _, b := range svcomp.All() {
+		for _, model := range models {
+			res, err := rg.Prove(b.Program, rg.Options{Model: model})
+			if err != nil {
+				t.Fatalf("%s@%s: rg: %v", b.Name, model, err)
+			}
+			bounds := incBounds(b.Program, maxBound)
+
+			// Incremental sweep with injected ranges for unproven pairs;
+			// proved pairs skip the sweep entirely (the harness does the
+			// same), so the fresh plain run below is their cross-check.
+			var sweep *incremental.Sweep
+			if !res.Proved {
+				sweep, err = incremental.New(b.Program, incremental.Options{
+					Model:    model,
+					Strategy: core.ZPRE,
+					Timeout:  30 * time.Second,
+					Dataflow: true,
+					RGRanges: res.Ranges,
+				})
+				if err != nil {
+					t.Fatalf("%s@%s: incremental setup: %v", b.Name, model, err)
+				}
+			} else {
+				provedPairs++
+			}
+
+			for _, k := range bounds {
+				base, err := Verify(b.Program, Options{
+					Model:    model,
+					Strategy: core.ZPRE,
+					Unroll:   k,
+					Timeout:  30 * time.Second,
+					Dataflow: true,
+				})
+				if err != nil {
+					t.Fatalf("%s@%s/k%d: baseline solve: %v", b.Name, model, k, err)
+				}
+				if base.Verdict == Unknown {
+					t.Fatalf("%s@%s/k%d: baseline inconclusive", b.Name, model, k)
+				}
+				if res.Proved {
+					if base.Verdict == Unsafe {
+						t.Errorf("UNSOUND: %s@%s/k%d: rg proved but plain dataflow solve is Unsafe",
+							b.Name, model, k)
+					}
+					checks++
+					continue
+				}
+				withRG, err := Verify(b.Program, Options{
+					Model:    model,
+					Strategy: core.ZPRE,
+					Unroll:   k,
+					Timeout:  30 * time.Second,
+					Dataflow: true,
+					RG:       true,
+					RGResult: res,
+				})
+				if err != nil {
+					t.Fatalf("%s@%s/k%d: rg solve: %v", b.Name, model, k, err)
+				}
+				if withRG.Verdict == Unknown {
+					t.Fatalf("%s@%s/k%d: rg solve inconclusive", b.Name, model, k)
+				}
+				if base.Verdict != withRG.Verdict {
+					t.Errorf("%s@%s/k%d: dataflow=%v dataflow+rg=%v",
+						b.Name, model, k, base.Verdict, withRG.Verdict)
+				}
+				baseWork += base.SolverStats.Decisions + base.SolverStats.Conflicts
+				rgWork += withRG.SolverStats.Decisions + withRG.SolverStats.Conflicts
+
+				br, err := sweep.Next()
+				if err != nil {
+					t.Fatalf("%s@%s/k%d: incremental rg: %v", b.Name, model, k, err)
+				}
+				if (base.Verdict == Unsafe) != (br.Verdict == incremental.Unsafe) ||
+					br.Verdict == incremental.Unknown {
+					t.Errorf("%s@%s/k%d: fresh=%v incremental+rg=%v",
+						b.Name, model, k, base.Verdict, br.Verdict)
+				}
+				checks++
+			}
+		}
+	}
+	t.Logf("%d comparisons (%d pairs rg-proved); search work: baseline=%d rg=%d",
+		checks, provedPairs, baseWork, rgWork)
+	if checks < 100 {
+		t.Fatalf("only %d corpus comparisons ran; corpus shrank?", checks)
+	}
+	if provedPairs == 0 {
+		t.Fatal("rg proved nothing on the corpus")
+	}
+	if rgWork > baseWork {
+		t.Errorf("injected invariants made search harder in aggregate: baseline=%d rg=%d",
+			baseWork, rgWork)
+	}
+}

@@ -1,0 +1,95 @@
+package zpre
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"zpre/internal/cprog"
+	"zpre/internal/interp"
+	"zpre/internal/memmodel"
+	"zpre/internal/rg"
+)
+
+// FuzzRGVsBMC decodes random byte streams into small concurrent programs
+// (loop-free and bounded-loop, same decoder as the other fuzzers) and
+// cross-checks the rely-guarantee proof-outline engine against the BMC
+// pipeline and the explicit-state oracle:
+//
+//   - the -rg pipeline's verdict must match the plain pipeline's at every
+//     bound (invariant injection is equisatisfiable, and an unbounded-safe
+//     short-circuit may only ever replace a Safe verdict);
+//   - when the engine proves the program, no bound may be unsafe — checked
+//     against both the SMT backend and the interleaving interpreter.
+//
+// Any divergence is an engine soundness bug or an injection bug by
+// construction.
+func FuzzRGVsBMC(f *testing.F) {
+	f.Add([]byte("\x00\x00\x20\x08\x40\x07\x41\x03\x00"))
+	f.Add([]byte("\x01\x07\x01\x04\x20\x03\x60\x00\x80\x05\x00"))
+	f.Add([]byte("\x02\x0f\x81\x06\x20\x04\x40\x07\xc1\x02\x00\x01\x20"))
+	f.Add([]byte("\x00\x01\x20\x03\x40\x01\x60\x03\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip()
+		}
+		model := []memmodel.Model{memmodel.SC, memmodel.TSO, memmodel.PSO}[int(data[0])%3]
+		p := decodeFuzzProgram(data[1:])
+		if err := p.Validate(); err != nil {
+			t.Skipf("decoder produced invalid program: %v", err)
+		}
+		res, err := rg.Prove(p, rg.Options{Model: model, Width: 3})
+		if err != nil {
+			t.Fatalf("rg: %v\n%s", err, cprog.Format(p))
+		}
+		for k := 1; k <= 2; k++ {
+			plain, err := Verify(p, Options{
+				Model:   model,
+				Unroll:  k,
+				Width:   3,
+				Timeout: 20 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("plain k%d: %v\n%s", k, err, cprog.Format(p))
+			}
+			withRG, err := Verify(p, Options{
+				Model:    model,
+				Unroll:   k,
+				Width:    3,
+				Timeout:  20 * time.Second,
+				RG:       true,
+				RGResult: res,
+			})
+			if err != nil {
+				t.Fatalf("rg k%d: %v\n%s", k, err, cprog.Format(p))
+			}
+			if plain.Verdict == Unknown || withRG.Verdict == Unknown {
+				t.Skipf("inconclusive at k%d (plain=%v rg=%v)", k, plain.Verdict, withRG.Verdict)
+			}
+			rgSafe := withRG.Verdict == Safe || withRG.Verdict == UnboundedSafe
+			if (plain.Verdict == Safe) != rgSafe {
+				t.Fatalf("k%d@%s: plain=%v rg=%v\n%s",
+					k, model, plain.Verdict, withRG.Verdict, cprog.Format(p))
+			}
+			if res.Proved && plain.Verdict == Unsafe {
+				t.Fatalf("k%d@%s: rg proved but BMC found a violation\n%s",
+					k, model, cprog.Format(p))
+			}
+			ores, err := interp.Run(p, k, interp.Options{
+				Model:     model,
+				Width:     3,
+				MaxStates: 1 << 20,
+			})
+			if errors.Is(err, interp.ErrStateExplosion) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("interp k%d: %v\n%s", k, err, cprog.Format(p))
+			}
+			if res.Proved && ores == interp.Unsafe {
+				t.Fatalf("k%d@%s: rg proved but the oracle found a violation\n%s",
+					k, model, cprog.Format(p))
+			}
+		}
+	})
+}

@@ -31,9 +31,11 @@ import (
 
 	"zpre/internal/core"
 	"zpre/internal/cprog"
+	"zpre/internal/dataflow"
 	"zpre/internal/encode"
 	"zpre/internal/memmodel"
 	"zpre/internal/order"
+	"zpre/internal/rg"
 	"zpre/internal/sat"
 	"zpre/internal/smt"
 	"zpre/internal/telemetry"
@@ -70,12 +72,17 @@ const (
 	Safe
 	// Unsafe means the VC is satisfiable: a violating execution exists.
 	Unsafe
+	// UnboundedSafe means the rely-guarantee proof-outline engine
+	// (Options.RG) discharged every assertion at its interference fixpoint:
+	// the program is safe at EVERY unrolling bound, not just the requested
+	// one, and no SMT instance was encoded or solved.
+	UnboundedSafe
 )
 
 // String renders the verdict in SV-COMP vocabulary.
 func (v Verdict) String() string {
 	switch v {
-	case Safe:
+	case Safe, UnboundedSafe:
 		return "true"
 	case Unsafe:
 		return "false"
@@ -127,6 +134,20 @@ type Options struct {
 	// derivation. Equisatisfiable; Report.EncodeStats.ValuePruned/
 	// FoldedAssigns/FixedHB count its effects.
 	Dataflow bool
+	// RG runs the rely-guarantee proof-outline engine (internal/rg) before
+	// encoding. If it proves every assertion at its interference fixpoint,
+	// Verify returns UnboundedSafe without encoding or solving (zero
+	// decisions). Otherwise the engine's interference-stabilized variable
+	// ranges are injected into the encoder as guarded per-read invariants
+	// (equisatisfiable; Report.EncodeStats.RGInvariants counts them).
+	// Ignored by VerifyEach and VerifyWithProof, whose per-assert indexing
+	// and proof traces require the full SMT instance.
+	RG bool
+	// RGResult supplies a precomputed rely-guarantee result for this
+	// (program, model, width), skipping the analysis inside Verify; callers
+	// running many bounds of one program (the harness, the incremental
+	// sweep) compute it once and share it. Only consulted when RG is true.
+	RGResult *rg.Result
 	// TraceSink, when non-nil, receives the structured search trace
 	// (decisions with variable class, conflicts with LBD, restarts, ...;
 	// see internal/telemetry). The caller owns the sink's lifetime.
@@ -166,6 +187,13 @@ type Report struct {
 	// ProofChecked is true when a Safe verdict's refutation was validated
 	// by the independent proof checker (VerifyWithProof only).
 	ProofChecked bool
+	// RGProved is true when the verdict is UnboundedSafe: the
+	// rely-guarantee engine proved the program at every bound and the SMT
+	// backend never ran.
+	RGProved bool
+	// RGStabilizeIters is the engine's outer fixpoint round count
+	// (Options.RG only; zero otherwise).
+	RGStabilizeIters int
 }
 
 // ParseProgram parses the textual program form (see internal/cprog).
@@ -182,6 +210,24 @@ func Verify(p *cprog.Program, opts Options) (Report, error) {
 	if opts.TraceTask == "" {
 		opts.TraceTask = p.Name
 	}
+	var rgRanges map[string]dataflow.Interval
+	var rgIters int
+	if opts.RG {
+		res, err := resolveRG(p, opts)
+		if err != nil {
+			return Report{}, err
+		}
+		rgIters = res.StabilizeIters
+		if res.Proved {
+			return Report{
+				Verdict:          UnboundedSafe,
+				Status:           sat.Unsat,
+				RGProved:         true,
+				RGStabilizeIters: res.StabilizeIters,
+			}, nil
+		}
+		rgRanges = res.Ranges
+	}
 	unrolled := cprog.Unroll(p, opts.Unroll, cprog.UnwindAssume)
 
 	encStart := time.Now()
@@ -190,6 +236,7 @@ func Verify(p *cprog.Program, opts Options) (Report, error) {
 		Width:       opts.Width,
 		StaticPrune: opts.StaticPrune,
 		Dataflow:    opts.Dataflow,
+		RGRanges:    rgRanges,
 	})
 	if err != nil {
 		return Report{}, err
@@ -201,7 +248,17 @@ func Verify(p *cprog.Program, opts Options) (Report, error) {
 		return Report{}, err
 	}
 	rep.EncodeTime = encodeTime
+	rep.RGStabilizeIters = rgIters
 	return rep, nil
+}
+
+// resolveRG returns the caller's precomputed rely-guarantee result or runs
+// the engine for this (program, model, width).
+func resolveRG(p *cprog.Program, opts Options) (*rg.Result, error) {
+	if opts.RGResult != nil {
+		return opts.RGResult, nil
+	}
+	return rg.Prove(p, rg.Options{Model: opts.Model, Width: opts.Width})
 }
 
 // SolveVC runs the backend on an already-encoded verification condition.
@@ -316,6 +373,9 @@ func FindMinimalBound(p *cprog.Program, opts Options, maxBound int) (int, Report
 		last = rep
 		if rep.Verdict == Unsafe {
 			return k, rep, nil
+		}
+		if rep.Verdict == UnboundedSafe {
+			break // every bound is safe; higher bounds can't violate
 		}
 		if !p.HasLoops() {
 			break // higher bounds encode the identical instance
