@@ -1,0 +1,75 @@
+// Command benchdiff compares two evaluation JSON exports (written by
+// `evaluate -json`) and exits non-zero on performance regressions, turning
+// the repo's committed baseline (BENCH_pr7.json) into an enforced CI gate.
+//
+// Usage:
+//
+//	benchdiff [-work-tol 0.05] [-work-min 50] [-wall-tol 0] [-wall-min 0.05]
+//	          baseline.json new.json
+//
+// Gate rules, per common (task, strategy) pair:
+//
+//   - a verdict change (sat↔unsat, or a solved verdict degrading to
+//     unknown) always fails — correctness before speed;
+//   - search work (decisions+conflicts, the paper's machine-independent
+//     measure) fails when it grows by more than -work-tol fractionally AND
+//     by at least -work-min absolutely (the floor keeps tiny instances'
+//     jitter out of CI);
+//   - wall clock gates the same way via -wall-tol/-wall-min, but is OFF by
+//     default (-wall-tol 0): wall time is machine-dependent, search work is
+//     not;
+//   - a pair present in the baseline but missing from the new file fails
+//     (the corpus silently shrank). New pairs are informational only.
+//
+// Exit status: 0 = no regressions, 1 = regressions found, 2 = usage or
+// file error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zpre/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	workTol := fs.Float64("work-tol", 0.05, "fractional decisions+conflicts growth tolerated per run")
+	workMin := fs.Uint64("work-min", 50, "absolute decisions+conflicts growth floor below which work never regresses")
+	wallTol := fs.Float64("wall-tol", 0, "fractional solve wall-clock growth tolerated per run (0 = wall clock not gated)")
+	wallMin := fs.Float64("wall-min", 0.05, "absolute solve wall-clock growth floor in seconds")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json new.json")
+		fs.Usage()
+		return 2
+	}
+	base, err := obs.ReadBenchFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	cur, err := obs.ReadBenchFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	rep := obs.Diff(base, cur, obs.DiffOptions{
+		WorkTol:    *workTol,
+		WorkMin:    *workMin,
+		WallTol:    *wallTol,
+		WallMinSec: *wallMin,
+	})
+	fmt.Print(rep.Format())
+	if rep.Failed() {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchdiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	same := filepath.Join(dir, "same.json")
+	regressed := filepath.Join(dir, "regressed.json")
+	write(t, base, `{"runs":[
+		{"task":"lit/a@sc/k1","strategy":"zpre","status":"unsat","decisions":1000,"conflicts":200,"solve_sec":0.1},
+		{"task":"lit/b@sc/k1","strategy":"zpre","status":"sat","decisions":400,"conflicts":50,"solve_sec":0.05}]}`)
+	write(t, same, `{"runs":[
+		{"task":"lit/a@sc/k1","strategy":"zpre","status":"unsat","decisions":1000,"conflicts":200,"solve_sec":0.1},
+		{"task":"lit/b@sc/k1","strategy":"zpre","status":"sat","decisions":400,"conflicts":50,"solve_sec":0.05}]}`)
+	// Synthetic decisions+conflicts regression on lit/a: +50%.
+	write(t, regressed, `{"runs":[
+		{"task":"lit/a@sc/k1","strategy":"zpre","status":"unsat","decisions":1500,"conflicts":300,"solve_sec":0.1},
+		{"task":"lit/b@sc/k1","strategy":"zpre","status":"sat","decisions":400,"conflicts":50,"solve_sec":0.05}]}`)
+
+	if code := run([]string{base, same}); code != 0 {
+		t.Errorf("identical files: exit %d, want 0", code)
+	}
+	if code := run([]string{base, regressed}); code != 1 {
+		t.Errorf("work regression: exit %d, want 1", code)
+	}
+	// A loose tolerance lets the same growth pass.
+	if code := run([]string{"-work-tol", "0.6", base, regressed}); code != 0 {
+		t.Errorf("work regression within tolerance: exit %d, want 0", code)
+	}
+	if code := run([]string{base}); code != 2 {
+		t.Errorf("missing arg: exit %d, want 2", code)
+	}
+	if code := run([]string{base, filepath.Join(dir, "nope.json")}); code != 2 {
+		t.Errorf("unreadable file: exit %d, want 2", code)
+	}
+}

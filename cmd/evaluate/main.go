@@ -32,6 +32,17 @@
 // -live renders a single self-updating status line on stderr driven by the
 // shared metrics registry: runs done, solves in flight, conflict rate.
 //
+// Observability (see internal/obs): -serve ADDR exposes the metrics
+// registry as Prometheus text on /metrics, a live per-run status board on
+// /runs and a /healthz probe for the duration of the evaluation (bind
+// failures degrade gracefully). -chrometrace FILE exports every run's
+// hierarchical span trace (rg prove, unroll, encode with static/dataflow
+// children, solve with the BCP/theory/analyze/reduce split) as one Chrome
+// trace-event JSON file loadable in Perfetto. -log FILE emits structured
+// slog JSON run records keyed by the stable run id
+// (sub/bench@model/k<bound>/strategy), the join key shared by spans, trace
+// meta records and /runs.
+//
 // Resilience: SIGINT/SIGTERM cancel the sweep cooperatively — in-flight
 // solves stop at their next poll, partial results are flushed (tables, JSON,
 // -checkpoint file), and a second signal kills the process immediately.
@@ -63,6 +74,7 @@ import (
 	"zpre/internal/faultinject"
 	"zpre/internal/harness"
 	"zpre/internal/memmodel"
+	"zpre/internal/obs"
 	"zpre/internal/profiling"
 	"zpre/internal/telemetry"
 )
@@ -146,6 +158,9 @@ func main() {
 		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint cadence in completed runs (default 16)")
 		resumePath = flag.String("resume", "", "skip (task, strategy) pairs already completed in this JSON export")
 		increm     = flag.Bool("incremental", false, "solve each (benchmark, model, strategy) as one unroll sweep on a live solver, retaining learned clauses between bounds")
+		serveAddr  = flag.String("serve", "", "serve /metrics (Prometheus text), /runs (live status JSON) and /healthz on this address for the duration of the run (e.g. :9090)")
+		chromeOut  = flag.String("chrometrace", "", "write one Chrome trace-event JSON file covering every run (load in Perfetto or chrome://tracing)")
+		logOut     = flag.String("log", "", "write structured JSON run logs (slog, one line per run event) to this file, or '-' for stderr")
 	)
 	var faults []faultinject.Fault
 	flag.Func("inject", "inject a fault: kind:match[:after[:sleep]] with kind panic|stall|corrupt (repeatable)", func(spec string) error {
@@ -195,6 +210,33 @@ func main() {
 	if *increm && *traceDir != "" {
 		fatalf("-trace is not supported with -incremental (one live solver spans many bounds)")
 	}
+	if *chromeOut != "" {
+		cfg.Chrome = obs.NewCollector()
+	}
+	var logFile *os.File
+	if *logOut == "-" {
+		cfg.Logger = obs.NewRunLogger(os.Stderr)
+	} else if *logOut != "" {
+		f, err := os.Create(*logOut)
+		if err != nil {
+			fatalf("-log: %v", err)
+		}
+		logFile = f
+		cfg.Logger = obs.NewRunLogger(f)
+	}
+	var obsSrv *obs.Server
+	if *serveAddr != "" {
+		cfg.Board = obs.NewRunBoard()
+		srv, err := obs.Serve(*serveAddr, metrics, cfg.Board)
+		if err != nil {
+			// The HTTP surface is pure observability: losing it never costs
+			// the evaluation.
+			fmt.Fprintf(os.Stderr, "evaluate: -serve %s: %v (continuing without the HTTP surface)\n", *serveAddr, err)
+		} else {
+			obsSrv = srv
+			fmt.Fprintf(os.Stderr, "evaluate: serving /metrics, /runs, /healthz on %s\n", srv.Addr())
+		}
+	}
 	if len(faults) > 0 {
 		cfg.Faults = faultinject.New(faults...)
 	}
@@ -241,6 +283,19 @@ func main() {
 	if *live {
 		close(liveDone)
 		<-liveStopped
+	}
+	if obsSrv != nil {
+		obsSrv.Close()
+	}
+	if cfg.Chrome != nil {
+		if err := obs.WriteChromeFile(*chromeOut, cfg.Chrome.Traces()); err != nil {
+			fmt.Fprintf(os.Stderr, "evaluate: -chrometrace: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open in Perfetto)\n", *chromeOut)
+		}
+	}
+	if logFile != nil {
+		defer logFile.Close()
 	}
 	fmt.Printf("evaluation: %d runs in %v\n\n", len(res.Runs), time.Since(start).Round(time.Millisecond))
 	if failures := res.Failures(); failures.Total() > 0 {

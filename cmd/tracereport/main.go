@@ -7,7 +7,13 @@
 //
 // Usage:
 //
-//	tracereport [-buckets 20] [-check-only] trace.jsonl [more.jsonl ...]
+//	tracereport [-buckets 20] [-check-only] [-spans] trace.jsonl [more.jsonl ...]
+//
+// -spans is the span-summary mode: it prints only the phase timing spans.
+// Version-2 traces (meta record carries "ver"; span records carry sid/par/
+// start_ns) render as the hierarchical span tree the harness recorded;
+// legacy PR-2 traces (no version field, flat span records) render as the
+// original flat list — old traces in results/ stay readable.
 //
 // Exit status: 0 = all traces consistent, 1 = a cross-check mismatch or an
 // unreadable/corrupt trace, 2 = usage error.
@@ -29,11 +35,12 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("tracereport", flag.ContinueOnError)
 	buckets := fs.Int("buckets", 20, "resolution of the fraction/timeline series")
 	checkOnly := fs.Bool("check-only", false, "only run the stats cross-check, no report")
+	spansOnly := fs.Bool("spans", false, "span-summary mode: print only the phase span tree (or flat legacy spans)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tracereport [-buckets n] [-check-only] trace.jsonl ...")
+		fmt.Fprintln(os.Stderr, "usage: tracereport [-buckets n] [-check-only] [-spans] trace.jsonl ...")
 		fs.Usage()
 		return 2
 	}
@@ -43,7 +50,7 @@ func run(args []string) int {
 		if i > 0 && !*checkOnly {
 			fmt.Println()
 		}
-		if err := report(path, *buckets, *checkOnly); err != nil {
+		if err := report(path, *buckets, *checkOnly, *spansOnly); err != nil {
 			fmt.Fprintf(os.Stderr, "tracereport: %s: %v\n", path, err)
 			failed++
 		}
@@ -55,7 +62,7 @@ func run(args []string) int {
 	return 0
 }
 
-func report(path string, buckets int, checkOnly bool) error {
+func report(path string, buckets int, checkOnly, spansOnly bool) error {
 	events, err := telemetry.ReadTraceFile(path)
 	if err != nil {
 		return err
@@ -63,6 +70,12 @@ func report(path string, buckets int, checkOnly bool) error {
 	rep, err := telemetry.AnalyzeTrace(events, buckets)
 	if err != nil {
 		return err
+	}
+	if spansOnly {
+		fmt.Printf("== %s (%d events)\n", path, len(events))
+		fmt.Print(rep.FormatHeader())
+		fmt.Print(rep.FormatSpans())
+		return nil
 	}
 	checkErr := rep.CrossCheck()
 	if !checkOnly {

@@ -49,6 +49,7 @@ import (
 	"zpre/internal/eog"
 	"zpre/internal/incremental"
 	"zpre/internal/memmodel"
+	"zpre/internal/obs"
 	"zpre/internal/profiling"
 	"zpre/internal/rg"
 	"zpre/internal/sat"
@@ -91,6 +92,7 @@ func main() {
 		each      = flag.Bool("each", false, "check every assertion separately (incremental per-property queries)")
 		increm    = flag.Bool("incremental", false, "sweep bounds 1..unroll on one live solver, printing a per-bound verdict")
 		traceOut  = flag.String("trace", "", "write the structured search trace (JSONL) to this file")
+		chromeOut = flag.String("chrometrace", "", "write this verification's span trace as Chrome trace-event JSON (load in Perfetto)")
 		traceN    = flag.Int("trace-sample", 1, "record only every Nth high-volume trace event")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -175,6 +177,17 @@ func main() {
 		// exists when the SMT backend actually ran.
 		fatalf("-rg is not compatible with -each or -proof")
 	}
+	var chromeTr *obs.Trace
+	if *chromeOut != "" {
+		if *each || *increm {
+			fatalf("-chrometrace is not supported with -each or -incremental")
+		}
+		chromeTr = obs.NewTrace(obs.RunID{
+			Subcategory: "cli", Benchmark: prog.Name,
+			Model: model.String(), Strategy: strat.String(), Bound: *unroll,
+		}.String())
+		verifyOpts.Spans = chromeTr
+	}
 	var sink telemetry.Sink
 	if *traceOut != "" {
 		if *each {
@@ -247,6 +260,12 @@ func main() {
 			fatalf("trace: %v", cerr)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
+	}
+	if chromeTr != nil {
+		if cerr := obs.WriteChromeFile(*chromeOut, []*obs.Trace{chromeTr}); cerr != nil {
+			fatalf("chrometrace: %v", cerr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (open in Perfetto)\n", *chromeOut)
 	}
 	if rep.ProofChecked {
 		fmt.Fprintln(os.Stderr, "refutation proof independently checked: OK")

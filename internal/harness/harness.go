@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -25,6 +26,7 @@ import (
 	"zpre/internal/encode"
 	"zpre/internal/faultinject"
 	"zpre/internal/memmodel"
+	"zpre/internal/obs"
 	"zpre/internal/order"
 	"zpre/internal/rg"
 	"zpre/internal/sat"
@@ -44,6 +46,13 @@ type Task struct {
 // ID renders a unique task identifier.
 func (t Task) ID() string {
 	return fmt.Sprintf("%s/%s@%s/k%d", t.Bench.Subcategory, t.Bench.Name, t.Model, t.Bound)
+}
+
+// RunID renders the stable run identifier of one (task, strategy) run —
+// "sub/bench@model/k<bound>/strategy". It is the join key attached to span
+// traces, trace meta records, slog lines and the /runs surface.
+func RunID(t Task, s core.Strategy) string {
+	return t.ID() + "/" + s.String()
 }
 
 // RunResult is the outcome of solving one task with one strategy.
@@ -226,6 +235,19 @@ type Config struct {
 	// proof-checked incrementally (CheckVerdicts marks them CheckSkipped);
 	// TraceDir is not supported in this mode.
 	Incremental bool
+	// Chrome, when non-nil, collects one hierarchical span trace per run
+	// (rg prove, unroll, encode with static/dataflow children, solve with
+	// the BCP/theory/analyze/reduce split). Export the collection with
+	// obs.WriteChrome for a Perfetto-loadable flame view of the whole
+	// evaluation.
+	Chrome *obs.Collector
+	// Board, when non-nil, receives live run-state transitions
+	// (queued → running at a bound → done with verdict and stop reason)
+	// for the /runs HTTP surface.
+	Board *obs.RunBoard
+	// Logger, when non-nil, receives structured slog records for run
+	// lifecycle events, each carrying the stable run id.
+	Logger *slog.Logger
 
 	// rgMemo caches the rely-guarantee result per (benchmark, model) so the
 	// many (bound, strategy) runs of one pair share a single analysis. Set
@@ -237,6 +259,9 @@ type Config struct {
 type rgMemo struct {
 	mu sync.Mutex
 	m  map[string]*rg.Result
+	// hist, when non-nil, receives the engine's prove latency per cache
+	// miss (the "rg_prove_us" registry histogram).
+	hist *telemetry.Histogram
 }
 
 // get returns the (cached) engine result for one (benchmark, model) pair. A
@@ -248,9 +273,13 @@ func (c *rgMemo) get(b svcomp.Benchmark, model memmodel.Model, width int) *rg.Re
 	if r, ok := c.m[key]; ok {
 		return r
 	}
+	start := time.Now()
 	r, err := rg.Prove(b.Program, rg.Options{Model: model, Width: width})
 	if err != nil {
 		r = &rg.Result{}
+	}
+	if c.hist != nil {
+		c.hist.ObserveDuration(time.Since(start))
 	}
 	c.m[key] = r
 	return r
@@ -293,6 +322,9 @@ func (c *Config) fill() {
 	}
 	if c.RG && c.rgMemo == nil {
 		c.rgMemo = &rgMemo{m: map[string]*rg.Result{}}
+		if c.Metrics != nil {
+			c.rgMemo.hist = c.Metrics.Histogram("rg_prove_us")
+		}
 	}
 }
 
@@ -354,6 +386,39 @@ func (rc *recorder) record(idx int, r RunResult) {
 	rc.res.Runs[idx] = r
 	rc.done[idx] = true
 	rc.recorded++
+	id := RunID(r.Task, r.Strategy)
+	rc.cfg.Board.Done(id, r.Status.String(), r.Stop.String())
+	if lg := obs.ForRun(rc.cfg.Logger, id); lg != nil {
+		attrs := []any{
+			"status", r.Status.String(),
+			"solve_sec", r.Solve.Seconds(),
+			"decisions", r.Stats.Decisions,
+			"conflicts", r.Stats.Conflicts,
+		}
+		if r.Resumed {
+			attrs = append(attrs, "resumed", true)
+		}
+		if r.RGProved {
+			attrs = append(attrs, "rg_proved", true)
+		}
+		if f := r.Failure(); f != sat.FailNone {
+			attrs = append(attrs, "failure", f.String())
+		}
+		if r.Err != nil {
+			attrs = append(attrs, "error", r.Err.Error())
+		}
+		lg.Info("run done", attrs...)
+	}
+	if m := rc.cfg.Metrics; m != nil && !r.Resumed && !r.RGProved && r.Err == nil {
+		// Per-phase latency and per-run search-work distributions. Labels
+		// use bounded dimensions only (phase names), never run ids — the
+		// run id joins signals through the board, logs and traces instead.
+		phaseHist(m, "unroll").ObserveDuration(r.Unroll)
+		phaseHist(m, "encode").ObserveDuration(r.Encode)
+		phaseHist(m, "solve").ObserveDuration(r.Solve)
+		m.Histogram("run_decisions").Observe(r.Stats.Decisions)
+		m.Histogram("run_conflicts").Observe(r.Stats.Conflicts)
+	}
 	if m := rc.cfg.Metrics; m != nil {
 		if r.Completed {
 			m.Counter("runs_done").Inc()
@@ -399,6 +464,12 @@ func (rc *recorder) record(idx int, r RunResult) {
 			rc.checkpointLocked()
 		}
 	}
+}
+
+// phaseHist returns the registry's per-phase latency histogram
+// (phase_latency_us labeled by phase).
+func phaseHist(m *telemetry.Registry, phase string) *telemetry.Histogram {
+	return m.Histogram(obs.Labels("phase_latency_us", map[string]string{"phase": phase}))
 }
 
 // addDataflowCounters folds one run's value-flow encoder stats into the
@@ -470,6 +541,15 @@ func Run(cfg Config) *Results {
 	}
 	if cfg.Metrics != nil {
 		cfg.Metrics.Gauge("runs_total").Set(int64(len(tasks) * len(cfg.Strategies)))
+	}
+	if cfg.Board != nil {
+		// Register every run up front so /runs shows the whole evaluation
+		// from the first scrape, queued runs included.
+		for _, task := range tasks {
+			for _, strat := range cfg.Strategies {
+				cfg.Board.Queue(RunID(task, strat))
+			}
+		}
 	}
 
 	type job struct {
@@ -551,6 +631,20 @@ func RunParallel(cfg Config) *Results {
 func RunOne(task Task, strat core.Strategy, cfg Config) (out RunResult) {
 	cfg.fill()
 	out = RunResult{Task: task, Strategy: strat}
+	id := RunID(task, strat)
+	cfg.Board.Running(id, task.Bound)
+	if lg := obs.ForRun(cfg.Logger, id); lg != nil {
+		lg.Info("run start", "bound", task.Bound, "strategy", strat.String(), "model", task.Model.String())
+	}
+	// The span trace backs both the Chrome export and the v2 JSONL span
+	// records; when neither consumer is configured it stays nil and every
+	// span call below is a single-branch no-op.
+	var tr *obs.Trace
+	var trRoot int
+	if cfg.Chrome != nil || cfg.TraceDir != "" {
+		tr = obs.NewTrace(id)
+		trRoot = tr.Start("run")
+	}
 	var sink *telemetry.JSONLSink
 	defer func() {
 		if r := recover(); r != nil {
@@ -566,6 +660,8 @@ func RunOne(task Task, strat core.Strategy, cfg Config) (out RunResult) {
 		// Every outcome is terminal except cancellation: a cancelled run is
 		// the one class `-resume` re-executes.
 		out.Completed = out.Failure() != sat.FailCancelled
+		tr.End(trRoot)
+		cfg.Chrome.Add(tr)
 	}()
 	if cfg.Context != nil && cfg.Context.Err() != nil {
 		out.Status = sat.Unknown
@@ -575,7 +671,9 @@ func RunOne(task Task, strat core.Strategy, cfg Config) (out RunResult) {
 
 	var rgRanges map[string]dataflow.Interval
 	if cfg.RG {
+		rgSpan := tr.Start("rg.prove")
 		res := cfg.rgMemo.get(task.Bench, task.Model, cfg.Width)
+		tr.End(rgSpan)
 		out.RGStabilizeIters = res.StabilizeIters
 		if res.Proved {
 			// Safe at every bound: nothing to encode or solve. No proof
@@ -589,9 +687,12 @@ func RunOne(task Task, strat core.Strategy, cfg Config) (out RunResult) {
 		rgRanges = res.Ranges
 	}
 
+	unrollSpan := tr.Start("unroll")
 	unrollStart := time.Now()
 	unrolled := cprog.Unroll(task.Bench.Program, task.Bound, cprog.UnwindAssume)
 	out.Unroll = time.Since(unrollStart)
+	tr.End(unrollSpan)
+	encSpan := tr.Start("encode")
 	encStart := time.Now()
 	vc, err := encode.Program(unrolled, encode.Options{
 		Model:       task.Model,
@@ -602,11 +703,20 @@ func RunOne(task Task, strat core.Strategy, cfg Config) (out RunResult) {
 		RGRanges:    rgRanges,
 	})
 	out.Encode = time.Since(encStart)
+	tr.End(encSpan)
 	if err != nil {
 		out.Err = err
 		return out
 	}
 	out.VC = vc.Stats
+	// The encoder's pre-analysis shares are measured sub-phases: lay them
+	// out as children of the encode span.
+	if cfg.StaticPrune {
+		tr.AddChild(encSpan, "encode.static", vc.Stats.StaticTime)
+	}
+	if cfg.Dataflow {
+		tr.AddChild(encSpan, "encode.dataflow", vc.Stats.DataflowTime)
+	}
 
 	infos := core.Classify(vc.Builder.NamedVars())
 	deciderCfg := core.Config{Seed: cfg.Seed}
@@ -636,11 +746,8 @@ func RunOne(task Task, strat core.Strategy, cfg Config) (out RunResult) {
 			Strategy: strat.String(),
 			Model:    task.Model.String(),
 			Every:    cfg.TraceEvery,
+			RunID:    id,
 		})
-		tracer.Span("unroll", out.Unroll)
-		tracer.Span("encode", out.Encode)
-		tracer.Span("static", vc.Stats.StaticTime)
-		tracer.Span("dataflow", vc.Stats.DataflowTime)
 	}
 	var metrics *telemetry.MetricsTracer
 	if cfg.Metrics != nil {
@@ -658,7 +765,7 @@ func RunOne(task Task, strat core.Strategy, cfg Config) (out RunResult) {
 		MaxMemoryBytes: cfg.MaxMemoryBytes,
 		Context:        cfg.Context,
 		Tracer:         satTracer,
-		TimePhases:     cfg.TimePhases || tracer != nil,
+		TimePhases:     cfg.TimePhases || tracer != nil || tr != nil,
 	}
 	if cfg.Faults != nil {
 		label := task.ID() + "/" + strat.String()
@@ -675,10 +782,12 @@ func RunOne(task Task, strat core.Strategy, cfg Config) (out RunResult) {
 		running.Add(1)
 		defer running.Add(-1)
 	}
+	solveSpan := tr.Start("solve")
 	r, err := vc.Builder.Solve(opts)
 	if metrics != nil {
 		metrics.Flush()
 	}
+	tr.End(solveSpan)
 	if err != nil {
 		if tracer != nil {
 			sink.Close()
@@ -692,21 +801,30 @@ func RunOne(task Task, strat core.Strategy, cfg Config) (out RunResult) {
 	out.Stats = r.Stats
 	out.Timings = r.Timings
 	out.OrderStats = r.OrderStats
+	// The in-solve phase split comes from the solver's own timers, so the
+	// solve span's children sum exactly to sat.SearchTimings.
+	tr.AddChild(solveSpan, "solve.bcp", r.Timings.BCP)
+	tr.AddChild(solveSpan, "solve.theory", r.Timings.Theory)
+	tr.AddChild(solveSpan, "solve.analyze", r.Timings.Analyze)
+	tr.AddChild(solveSpan, "solve.reduce", r.Timings.Reduce)
+	if cfg.CheckVerdicts {
+		checkSpan := tr.Start("check")
+		checkVerdict(&out, vc, cfg)
+		tr.End(checkSpan)
+	}
 	if tracer != nil {
-		tracer.Span("solve", r.Elapsed)
-		tracer.Span("solve.bcp", r.Timings.BCP)
-		tracer.Span("solve.theory", r.Timings.Theory)
-		tracer.Span("solve.analyze", r.Timings.Analyze)
-		tracer.Span("solve.reduce", r.Timings.Reduce)
+		// Close the root now so the JSONL trace carries the complete span
+		// tree (the deferred End is then a no-op).
+		tr.End(trRoot)
+		for _, sp := range tr.Spans() {
+			tracer.SpanAt(sp.Name, sp.ID, sp.Parent, sp.Start, sp.Dur)
+		}
 		if cerr := tracer.Close(r.StatsDelta); cerr != nil && out.Err == nil {
 			out.Err = cerr
 		}
 		if cerr := sink.Close(); cerr != nil && out.Err == nil {
 			out.Err = cerr
 		}
-	}
-	if cfg.CheckVerdicts {
-		checkVerdict(&out, vc, cfg)
 	}
 	return out
 }

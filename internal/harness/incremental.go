@@ -9,6 +9,7 @@ import (
 	"zpre/internal/core"
 	"zpre/internal/encode"
 	"zpre/internal/incremental"
+	"zpre/internal/obs"
 	"zpre/internal/sat"
 )
 
@@ -245,6 +246,18 @@ func runSweepGroup(g sweepGroup, si int, cfg Config, rec *recorder, resume map[s
 // containing panics like RunOne does.
 func runSweepBound(sweep *incremental.Sweep, task Task, strat core.Strategy, cfg Config, setupErr error, cumSolve *time.Duration) (out RunResult) {
 	out = RunResult{Task: task, Strategy: strat, Incremental: true}
+	id := RunID(task, strat)
+	cfg.Board.Running(id, task.Bound)
+	if lg := obs.ForRun(cfg.Logger, id); lg != nil {
+		lg.Info("run start", "bound", task.Bound, "strategy", strat.String(),
+			"model", task.Model.String(), "incremental", true)
+	}
+	var tr *obs.Trace
+	var trRoot int
+	if cfg.Chrome != nil {
+		tr = obs.NewTrace(id)
+		trRoot = tr.Start("run")
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			out.Status = sat.Unknown
@@ -254,6 +267,8 @@ func runSweepBound(sweep *incremental.Sweep, task Task, strat core.Strategy, cfg
 			}
 		}
 		out.Completed = out.Failure() != sat.FailCancelled
+		tr.End(trRoot)
+		cfg.Chrome.Add(tr)
 	}()
 	if cfg.RG {
 		out.RGStabilizeIters = cfg.rgMemo.get(task.Bench, task.Model, cfg.Width).StabilizeIters
@@ -286,6 +301,14 @@ func runSweepBound(sweep *incremental.Sweep, task Task, strat core.Strategy, cfg
 		out.Err = err
 		return out
 	}
+	// The bound's encode/solve split and the solver's in-solve phase timers
+	// are laid out as measured children of the run span.
+	tr.AddChild(trRoot, "encode", br.Encode)
+	solveSpan := tr.AddChild(trRoot, "solve", br.Solve)
+	tr.AddChild(solveSpan, "solve.bcp", br.Timings.BCP)
+	tr.AddChild(solveSpan, "solve.theory", br.Timings.Theory)
+	tr.AddChild(solveSpan, "solve.analyze", br.Timings.Analyze)
+	tr.AddChild(solveSpan, "solve.reduce", br.Timings.Reduce)
 	out.Status = br.Status
 	out.Stop = br.Stop
 	out.Encode = br.Encode

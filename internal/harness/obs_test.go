@@ -1,0 +1,372 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"zpre/internal/core"
+	"zpre/internal/memmodel"
+	"zpre/internal/obs"
+	"zpre/internal/telemetry"
+)
+
+// obsConfig is a one-model, one-strategy corpus slice: small enough that
+// every observability test stays fast, big enough to exercise several runs.
+func obsConfig() Config {
+	return Config{
+		Models:        []memmodel.Model{memmodel.SC},
+		Strategies:    []core.Strategy{core.ZPRE},
+		Bounds:        []int{2},
+		Timeout:       30 * time.Second,
+		Width:         8,
+		Subcategories: []string{"lit"},
+	}
+}
+
+// scrapingProgress is an io.Writer hooked into Config.Progress: on the
+// first completed run it scrapes the live HTTP surface, capturing /metrics
+// and /runs exactly as they look mid-evaluation.
+type scrapingProgress struct {
+	base    string
+	scraped bool
+	metrics string
+	runs    string
+	err     error
+}
+
+func (s *scrapingProgress) Write(p []byte) (int, error) {
+	if !s.scraped {
+		s.scraped = true
+		s.metrics, s.err = s.get("/metrics")
+		if s.err == nil {
+			s.runs, s.err = s.get("/runs")
+		}
+	}
+	return len(p), nil
+}
+
+func (s *scrapingProgress) get(path string) (string, error) {
+	resp, err := http.Get(s.base + path)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// TestServeMetricsAndRunsDuringRun drives the acceptance criterion: the
+// HTTP surface serves Prometheus-parseable /metrics and live /runs JSON
+// while a corpus evaluation is executing.
+func TestServeMetricsAndRunsDuringRun(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	board := obs.NewRunBoard()
+	srv := httptest.NewServer(obs.Handler(reg, board))
+	defer srv.Close()
+
+	scraper := &scrapingProgress{base: srv.URL}
+	cfg := obsConfig()
+	cfg.Metrics = reg
+	cfg.Board = board
+	cfg.Progress = scraper
+	res := Run(cfg)
+	total := len(Tasks(cfg)) * len(cfg.Strategies)
+	if len(res.Runs) != total {
+		t.Fatalf("runs = %d, want %d", len(res.Runs), total)
+	}
+	for _, r := range res.Runs {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", RunID(r.Task, r.Strategy), r.Err)
+		}
+	}
+
+	// Mid-run scrape, taken right after the first run completed.
+	if s := scraper; true {
+		if s.err != nil {
+			t.Fatalf("mid-run scrape: %v", s.err)
+		}
+		if !s.scraped {
+			t.Fatal("progress hook never fired")
+		}
+		for _, want := range []string{"# TYPE runs_total gauge", "runs_total", "runs_done"} {
+			if !strings.Contains(s.metrics, want) {
+				t.Errorf("mid-run /metrics missing %q:\n%s", want, s.metrics)
+			}
+		}
+		var doc struct {
+			Queued  int             `json:"queued"`
+			Running int             `json:"running"`
+			Done    int             `json:"done"`
+			Runs    []obs.RunStatus `json:"runs"`
+		}
+		if err := json.Unmarshal([]byte(s.runs), &doc); err != nil {
+			t.Fatalf("mid-run /runs not JSON: %v\n%s", err, s.runs)
+		}
+		if len(doc.Runs) != total {
+			t.Errorf("mid-run /runs lists %d runs, want %d (all queued up front)", len(doc.Runs), total)
+		}
+		if doc.Done < 1 {
+			t.Errorf("mid-run /runs shows no completed run: %+v", doc)
+		}
+		if doc.Queued+doc.Running+doc.Done != total {
+			t.Errorf("mid-run state counts %d+%d+%d != %d", doc.Queued, doc.Running, doc.Done, total)
+		}
+	}
+
+	// Final scrape: every run done with a verdict, per-phase histograms
+	// populated.
+	final, err := (&scrapingProgress{base: srv.URL}).get("/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`phase_latency_us_bucket{phase="solve",le="+Inf"}`,
+		`phase_latency_us_bucket{phase="encode",le="+Inf"}`,
+		`phase_latency_us_bucket{phase="unroll",le="+Inf"}`,
+		"run_decisions_count",
+		"run_conflicts_sum",
+	} {
+		if !strings.Contains(final, want) {
+			t.Errorf("final /metrics missing %q", want)
+		}
+	}
+	runsBody, err := (&scrapingProgress{base: srv.URL}).get("/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finalDoc struct {
+		Done int             `json:"done"`
+		Runs []obs.RunStatus `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(runsBody), &finalDoc); err != nil {
+		t.Fatal(err)
+	}
+	if finalDoc.Done != total {
+		t.Errorf("final /runs done = %d, want %d", finalDoc.Done, total)
+	}
+	for _, rs := range finalDoc.Runs {
+		if rs.State != obs.StateDone || rs.Status == "" {
+			t.Errorf("run %s: state=%s status=%q, want done with a verdict", rs.ID, rs.State, rs.Status)
+		}
+	}
+}
+
+// pipelinePhases is every span the full pipeline must record when static
+// pruning, dataflow and the rely-guarantee engine are all enabled and the
+// instance reaches the solver.
+var pipelinePhases = []string{
+	"run", "rg.prove", "unroll", "encode", "encode.static", "encode.dataflow",
+	"solve", "solve.bcp", "solve.theory", "solve.analyze", "solve.reduce",
+}
+
+// TestChromeSpanTreeCoversPipeline is the structural acceptance test: the
+// exported Chrome trace parses, and a solver-reaching run's span tree
+// covers every pipeline phase with correct parentage.
+func TestChromeSpanTreeCoversPipeline(t *testing.T) {
+	cfg := obsConfig()
+	cfg.Chrome = obs.NewCollector()
+	cfg.StaticPrune = true
+	cfg.Dataflow = true
+	cfg.RG = true
+	res := Run(cfg)
+
+	// Pick a run the RG engine did not fully discharge — only those reach
+	// encode/solve and carry the full tree.
+	rgProved := map[string]bool{}
+	for _, r := range res.Runs {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", RunID(r.Task, r.Strategy), r.Err)
+		}
+		rgProved[RunID(r.Task, r.Strategy)] = r.RGProved
+	}
+	var full *obs.Trace
+	for _, tr := range cfg.Chrome.Traces() {
+		if !rgProved[tr.Run] {
+			full = tr
+			break
+		}
+	}
+	if full == nil {
+		t.Fatal("every lit run was RG-proved; no solver-reaching trace to check")
+	}
+
+	ids := map[string]obs.Span{}
+	for _, phase := range pipelinePhases {
+		sp, ok := full.Find(phase)
+		if !ok {
+			t.Fatalf("trace %s: span %q missing (spans: %+v)", full.Run, phase, full.Spans())
+		}
+		ids[phase] = sp
+	}
+	wantParent := map[string]string{
+		"rg.prove": "run", "unroll": "run", "encode": "run", "solve": "run",
+		"encode.static": "encode", "encode.dataflow": "encode",
+		"solve.bcp": "solve", "solve.theory": "solve",
+		"solve.analyze": "solve", "solve.reduce": "solve",
+	}
+	if ids["run"].Parent != 0 {
+		t.Errorf("run span parent = %d, want 0 (root)", ids["run"].Parent)
+	}
+	for child, parent := range wantParent {
+		if ids[child].Parent != ids[parent].ID {
+			t.Errorf("span %s parent = %d, want %s (%d)", child, ids[child].Parent, parent, ids[parent].ID)
+		}
+	}
+
+	// The exported Chrome JSON must load-parse: one M metadata event per
+	// trace plus one X event per span.
+	path := filepath.Join(t.TempDir(), "trace.json")
+	traces := cfg.Chrome.Traces()
+	if err := obs.WriteChromeFile(path, traces); err != nil {
+		t.Fatal(err)
+	}
+	wantEvents := len(traces)
+	for _, tr := range traces {
+		wantEvents += len(tr.Spans())
+	}
+	n, err := obs.ReadChromeFile(path)
+	if err != nil {
+		t.Fatalf("exported Chrome trace does not parse: %v", err)
+	}
+	if n != wantEvents {
+		t.Errorf("Chrome trace has %d events, want %d", n, wantEvents)
+	}
+}
+
+// TestSolveSpanChildrenSumToSearchTimings is the exactness cross-check:
+// the solve span's children are injected from sat.SearchTimings, so their
+// durations must sum to it exactly — not approximately.
+func TestSolveSpanChildrenSumToSearchTimings(t *testing.T) {
+	cfg := obsConfig()
+	cfg.Chrome = obs.NewCollector()
+	task := Tasks(cfg)[0]
+	r := RunOne(task, core.ZPRE, cfg)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	traces := cfg.Chrome.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("collected %d traces, want 1", len(traces))
+	}
+	solve, ok := traces[0].Find("solve")
+	if !ok {
+		t.Fatal("no solve span")
+	}
+	var sum time.Duration
+	for _, ch := range traces[0].Children(solve.ID) {
+		sum += ch.Dur
+	}
+	want := r.Timings.BCP + r.Timings.Theory + r.Timings.Analyze + r.Timings.Reduce
+	if sum != want {
+		t.Errorf("solve children sum %v != SearchTimings total %v", sum, want)
+	}
+	if solve.Dur < want {
+		t.Errorf("solve span %v shorter than its phase split %v", solve.Dur, want)
+	}
+}
+
+// TestObsDisabledZeroAlloc is the observability-off overhead gate: with no
+// Chrome collector, board or logger configured, every span/board call in
+// the run path is a nil no-op and must not allocate.
+func TestObsDisabledZeroAlloc(t *testing.T) {
+	var tr *obs.Trace
+	var c *obs.Collector
+	var b *obs.RunBoard
+	allocs := testing.AllocsPerRun(200, func() {
+		id := tr.Start("run")
+		tr.AddChild(id, "solve.bcp", time.Millisecond)
+		tr.End(id)
+		tr.Spans()
+		c.Add(tr)
+		c.Traces()
+		b.Queue("x")
+		b.Running("x", 1)
+		b.Done("x", "unsat", "")
+		if lg := obs.ForRun(nil, "x"); lg != nil {
+			t.Fatal("nil logger must stay nil")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled obs path allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// BenchmarkRunOneObsOff is the observability-disabled baseline for the
+// overhead gate: compare against BenchmarkRunOneObsOn.
+func BenchmarkRunOneObsOff(b *testing.B) {
+	cfg := obsConfig()
+	task := Tasks(cfg)[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r := RunOne(task, core.ZPRE, cfg); r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+}
+
+// BenchmarkRunOneObsOn runs the same task with the full observability
+// stack attached: span trace + Chrome collection, histogram metrics, run
+// board and JSON slog output.
+func BenchmarkRunOneObsOn(b *testing.B) {
+	cfg := obsConfig()
+	cfg.Metrics = telemetry.NewRegistry()
+	cfg.Board = obs.NewRunBoard()
+	cfg.Logger = obs.NewRunLogger(io.Discard)
+	task := Tasks(cfg)[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Chrome = obs.NewCollector()
+		if r := RunOne(task, core.ZPRE, cfg); r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+}
+
+// TestRunLoggerCarriesRunIDs checks the slog satellite end to end: every
+// lifecycle record is JSON with the stable run id attached.
+func TestRunLoggerCarriesRunIDs(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := obsConfig()
+	cfg.Logger = obs.NewRunLogger(&buf)
+	res := Run(cfg)
+	ids := map[string]bool{}
+	for _, r := range res.Runs {
+		ids[RunID(r.Task, r.Strategy)] = false
+	}
+	starts, dones := 0, 0
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		run, _ := rec["run"].(string)
+		if _, ok := ids[run]; !ok {
+			t.Fatalf("log line with unknown run id %q", run)
+		}
+		switch rec["msg"] {
+		case "run start":
+			starts++
+		case "run done":
+			dones++
+			ids[run] = true
+			if _, ok := rec["decisions"]; !ok {
+				t.Errorf("run done line missing decisions: %v", rec)
+			}
+		}
+	}
+	if starts != len(res.Runs) || dones != len(res.Runs) {
+		t.Errorf("starts=%d dones=%d, want %d each", starts, dones, len(res.Runs))
+	}
+	for id, done := range ids {
+		if !done {
+			t.Errorf("run %s never logged done", id)
+		}
+	}
+}

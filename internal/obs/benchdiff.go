@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// BenchRun is one run of an evaluation JSON export, reduced to the fields
+// the regression comparator needs. The field names mirror the harness's
+// stable export schema (harness.JSONRun); decoding ignores the rest, so
+// bench files from any PR-2+ evaluate -json export load cleanly.
+type BenchRun struct {
+	Task      string  `json:"task"`
+	Strategy  string  `json:"strategy"`
+	Status    string  `json:"status"`
+	Decisions uint64  `json:"decisions"`
+	Conflicts uint64  `json:"conflicts"`
+	SolveSec  float64 `json:"solve_sec"`
+	Failure   string  `json:"failure,omitempty"`
+	RGProved  bool    `json:"rg_proved,omitempty"`
+}
+
+// Key is the stable (task, strategy) join key between two bench files.
+func (r BenchRun) Key() string { return r.Task + "/" + r.Strategy }
+
+// Work is the paper's search-work measure: decisions + conflicts.
+func (r BenchRun) Work() uint64 { return r.Decisions + r.Conflicts }
+
+// BenchFile is a loaded evaluation export.
+type BenchFile struct {
+	Runs []BenchRun `json:"runs"`
+}
+
+// ReadBenchFile loads an evaluate -json export (or a checkpoint, which
+// shares the schema).
+func ReadBenchFile(path string) (*BenchFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	if len(f.Runs) == 0 {
+		return nil, fmt.Errorf("benchdiff: %s: no runs (not an evaluation export?)", path)
+	}
+	return &f, nil
+}
+
+// DiffOptions are the regression thresholds. A run regresses on search
+// work when its decisions+conflicts grow by more than WorkTol (fractional)
+// AND by at least WorkMin (absolute floor — tiny instances jitter by a few
+// decisions and must not fail CI). Wall clock gates the same way through
+// WallTol/WallMinSec but is disabled by default (WallTol <= 0): wall time
+// is machine-dependent, search work is not.
+type DiffOptions struct {
+	WorkTol    float64
+	WorkMin    uint64
+	WallTol    float64
+	WallMinSec float64
+}
+
+// FillDefaults applies the default thresholds (5% work tolerance with an
+// absolute floor of 50, wall-clock gating off).
+func (o *DiffOptions) FillDefaults() {
+	if o.WorkTol == 0 {
+		o.WorkTol = 0.05
+	}
+	if o.WorkMin == 0 {
+		o.WorkMin = 50
+	}
+	if o.WallMinSec == 0 {
+		o.WallMinSec = 0.05
+	}
+}
+
+// Regression is one gate violation.
+type Regression struct {
+	Key    string  // task/strategy
+	Metric string  // "work", "wall", "verdict" or "coverage"
+	Base   float64 // baseline value (0 for verdict/coverage)
+	New    float64
+	Detail string // human-readable explanation
+}
+
+// DiffReport is the outcome of comparing a current bench file against a
+// baseline.
+type DiffReport struct {
+	BaseRuns, NewRuns int
+	Common            int
+	// Aggregates over the common keys.
+	BaseWork, NewWork uint64
+	BaseWall, NewWall float64
+	// Regressions that fail the gate, sorted by key.
+	Regressions []Regression
+	// Added keys present only in the new file (informational, never fail).
+	Added []string
+}
+
+// Failed reports whether the comparison should exit non-zero.
+func (r *DiffReport) Failed() bool { return len(r.Regressions) > 0 }
+
+// Diff compares cur against base under the given thresholds. Gate rules:
+//
+//   - a verdict change on a common key (sat↔unsat, or a verdict degrading
+//     to unknown) always regresses — correctness before speed;
+//   - search work (decisions+conflicts) regresses per WorkTol/WorkMin;
+//   - wall clock regresses per WallTol/WallMinSec when WallTol > 0;
+//   - a key present in base but missing from cur is a coverage regression
+//     (the corpus silently shrank).
+func Diff(base, cur *BenchFile, opts DiffOptions) *DiffReport {
+	opts.FillDefaults()
+	rep := &DiffReport{BaseRuns: len(base.Runs), NewRuns: len(cur.Runs)}
+	curByKey := map[string]BenchRun{}
+	for _, r := range cur.Runs {
+		curByKey[r.Key()] = r
+	}
+	baseKeys := map[string]bool{}
+	for _, b := range base.Runs {
+		baseKeys[b.Key()] = true
+		c, ok := curByKey[b.Key()]
+		if !ok {
+			rep.Regressions = append(rep.Regressions, Regression{
+				Key: b.Key(), Metric: "coverage",
+				Detail: "run present in baseline but missing from the new file",
+			})
+			continue
+		}
+		rep.Common++
+		rep.BaseWork += b.Work()
+		rep.NewWork += c.Work()
+		rep.BaseWall += b.SolveSec
+		rep.NewWall += c.SolveSec
+		if v := verdictRegression(b, c); v != "" {
+			rep.Regressions = append(rep.Regressions, Regression{
+				Key: b.Key(), Metric: "verdict", Detail: v,
+			})
+			continue
+		}
+		if regressed(float64(b.Work()), float64(c.Work()), opts.WorkTol, float64(opts.WorkMin)) {
+			rep.Regressions = append(rep.Regressions, Regression{
+				Key: b.Key(), Metric: "work",
+				Base: float64(b.Work()), New: float64(c.Work()),
+				Detail: fmt.Sprintf("decisions+conflicts %d → %d (+%.1f%%)",
+					b.Work(), c.Work(), pctChange(float64(b.Work()), float64(c.Work()))),
+			})
+		}
+		if opts.WallTol > 0 && regressed(b.SolveSec, c.SolveSec, opts.WallTol, opts.WallMinSec) {
+			rep.Regressions = append(rep.Regressions, Regression{
+				Key: b.Key(), Metric: "wall",
+				Base: b.SolveSec, New: c.SolveSec,
+				Detail: fmt.Sprintf("solve %.4fs → %.4fs (+%.1f%%)",
+					b.SolveSec, c.SolveSec, pctChange(b.SolveSec, c.SolveSec)),
+			})
+		}
+	}
+	for _, c := range cur.Runs {
+		if !baseKeys[c.Key()] {
+			rep.Added = append(rep.Added, c.Key())
+		}
+	}
+	sort.Slice(rep.Regressions, func(i, j int) bool {
+		if rep.Regressions[i].Key != rep.Regressions[j].Key {
+			return rep.Regressions[i].Key < rep.Regressions[j].Key
+		}
+		return rep.Regressions[i].Metric < rep.Regressions[j].Metric
+	})
+	sort.Strings(rep.Added)
+	return rep
+}
+
+// verdictRegression explains a verdict change (empty = none). A solved
+// verdict flipping is a soundness alarm; a verdict degrading to unknown is
+// lost power. unknown → solved is an improvement and passes.
+func verdictRegression(b, c BenchRun) string {
+	if b.Status == c.Status {
+		return ""
+	}
+	solved := func(s string) bool { return s == "sat" || s == "unsat" }
+	switch {
+	case solved(b.Status) && solved(c.Status):
+		return fmt.Sprintf("verdict flipped %s → %s (soundness alarm)", b.Status, c.Status)
+	case solved(b.Status) && !solved(c.Status):
+		return fmt.Sprintf("verdict lost: %s → %s (%s)", b.Status, c.Status, c.Failure)
+	}
+	return ""
+}
+
+// regressed applies the two-sided threshold: fractional growth beyond tol
+// AND absolute growth beyond min.
+func regressed(base, cur, tol, min float64) bool {
+	return cur > base*(1+tol) && cur-base >= min
+}
+
+// pctChange returns the percentage growth from base to cur.
+func pctChange(base, cur float64) float64 {
+	if base == 0 {
+		return 100
+	}
+	return (cur - base) / base * 100
+}
+
+// Format renders the report for terminals: the aggregate story first, then
+// every gate violation.
+func (r *DiffReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchdiff: %d baseline runs, %d new runs, %d compared\n",
+		r.BaseRuns, r.NewRuns, r.Common)
+	if r.Common > 0 {
+		fmt.Fprintf(&b, "  search work (decisions+conflicts): %d → %d (%+.1f%%)\n",
+			r.BaseWork, r.NewWork, pctChange(float64(r.BaseWork), float64(r.NewWork)))
+		fmt.Fprintf(&b, "  total solve wall-clock: %.3fs → %.3fs (%+.1f%%; informational unless -wall-tol set)\n",
+			r.BaseWall, r.NewWall, pctChange(r.BaseWall, r.NewWall))
+	}
+	if len(r.Added) > 0 {
+		fmt.Fprintf(&b, "  %d new runs not in the baseline (ok)\n", len(r.Added))
+	}
+	if len(r.Regressions) == 0 {
+		b.WriteString("  no regressions\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %d REGRESSION(S):\n", len(r.Regressions))
+	for _, reg := range r.Regressions {
+		fmt.Fprintf(&b, "    [%s] %s: %s\n", reg.Metric, reg.Key, reg.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"sync"
+)
+
+// Run states as rendered on the /runs surface.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+)
+
+// RunStatus is one run's live state on the /runs surface.
+type RunStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Bound is the unroll bound currently being solved (incremental sweeps
+	// advance it per bound; fresh runs set it once).
+	Bound int `json:"bound,omitempty"`
+	// Status is the final verdict string (sat/unsat/unknown), set on done.
+	Status string `json:"status,omitempty"`
+	// Stop is the solver stop reason for Unknown outcomes (deadline,
+	// memout, cancelled, ...), empty otherwise.
+	Stop string `json:"stop,omitempty"`
+}
+
+// RunBoard tracks the live state of every run in an evaluation for the
+// /runs endpoint: queued → running (with the current bound) → done (with
+// verdict and stop reason). All methods are nil-tolerant, so a nil board
+// disables status tracking at the cost of one branch per transition.
+type RunBoard struct {
+	mu    sync.Mutex
+	runs  map[string]*RunStatus
+	order []string // registration order: the deterministic /runs ordering
+}
+
+// NewRunBoard returns an empty board.
+func NewRunBoard() *RunBoard {
+	return &RunBoard{runs: map[string]*RunStatus{}}
+}
+
+// get returns (creating if needed) the slot for id. Caller holds b.mu.
+func (b *RunBoard) get(id string) *RunStatus {
+	st, ok := b.runs[id]
+	if !ok {
+		st = &RunStatus{ID: id, State: StateQueued}
+		b.runs[id] = st
+		b.order = append(b.order, id)
+	}
+	return st
+}
+
+// Queue registers a run in the queued state.
+func (b *RunBoard) Queue(id string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.get(id)
+}
+
+// Running marks a run as executing at the given unroll bound.
+func (b *RunBoard) Running(id string, bound int) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.get(id)
+	st.State = StateRunning
+	st.Bound = bound
+}
+
+// Done marks a run finished with its verdict and (possibly empty) stop
+// reason.
+func (b *RunBoard) Done(id, status, stop string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.get(id)
+	st.State = StateDone
+	st.Status = status
+	st.Stop = stop
+}
+
+// Counts returns the number of runs per state.
+func (b *RunBoard) Counts() (queued, running, done int) {
+	if b == nil {
+		return 0, 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, id := range b.order {
+		switch b.runs[id].State {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		case StateDone:
+			done++
+		}
+	}
+	return queued, running, done
+}
+
+// Snapshot returns every run's current status in registration order.
+func (b *RunBoard) Snapshot() []RunStatus {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]RunStatus, 0, len(b.order))
+	for _, id := range b.order {
+		out = append(out, *b.runs[id])
+	}
+	return out
+}

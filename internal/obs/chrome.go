@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+)
+
+// chromeEvent is one record of the Chrome trace-event format (the JSON
+// object form Perfetto and chrome://tracing load directly). Complete
+// ("X"-phase) events carry a start timestamp and duration in microseconds;
+// metadata ("M"-phase) events name processes.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeDoc is the top-level trace container.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders traces as one Chrome trace-event JSON document. Each
+// run becomes its own process (pid = 1-based index over the run-id-sorted
+// traces, process_name = run id) with its span tree on a single track, so a
+// whole evaluation loads as a per-run flame view in Perfetto. Output is
+// deterministic: traces are sorted by run id and spans keep creation order.
+func WriteChrome(w io.Writer, traces []*Trace) error {
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	sorted := make([]*Trace, len(traces))
+	copy(sorted, traces)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Run < sorted[j].Run })
+	for i, tr := range sorted {
+		pid := i + 1
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			PID:  pid,
+			TID:  1,
+			Args: map[string]string{"name": tr.Run},
+		})
+		for _, sp := range tr.Spans() {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: sp.Name,
+				Ph:   "X",
+				TS:   float64(sp.Start.Nanoseconds()) / 1e3,
+				Dur:  float64(sp.Dur.Nanoseconds()) / 1e3,
+				PID:  pid,
+				TID:  1,
+				Args: map[string]string{"run": tr.Run},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteChromeFile writes the traces to path (truncating it).
+func WriteChromeFile(path string, traces []*Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChrome(f, traces); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadChromeFile parses a Chrome trace-event JSON file back into raw
+// events. It exists for round-trip tests and the CI load-parse smoke: a
+// file this function accepts is structurally valid for Perfetto.
+func ReadChromeFile(path string) (nEvents int, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return 0, err
+	}
+	return len(doc.TraceEvents), nil
+}

@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewRunLogger returns a JSON-lines slog logger for structured run logging.
+// Every record carries a millisecond timestamp; per-run records additionally
+// carry the stable run id (see ForRun), so the log stream joins against
+// spans, JSONL traces, metric labels and the /runs surface on that key.
+func NewRunLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo}))
+}
+
+// ForRun scopes a logger to one run id. Nil-tolerant: a nil base logger
+// stays nil, which callers treat as logging-off.
+func ForRun(base *slog.Logger, runID string) *slog.Logger {
+	if base == nil {
+		return nil
+	}
+	return base.With("run", runID)
+}

@@ -1,0 +1,51 @@
+// Package obs is the unified observability layer over the evaluation
+// pipeline: hierarchical span tracing with Chrome trace-event export
+// (loadable in Perfetto/chrome://tracing), Prometheus text exposition of
+// the telemetry metrics registry, a live HTTP surface (/metrics, /runs,
+// /healthz), stable run identifiers joining every signal, slog-based run
+// logging, and a bench-file comparator that turns performance regressions
+// into non-zero exit codes.
+//
+// The layer is strictly additive over internal/telemetry: telemetry owns
+// the low-level collection primitives (the sat.Tracer seam, the atomic
+// metrics registry, the JSONL trace schema), obs owns aggregation and
+// exposition. Everything here is nil-tolerant — a nil *Trace, *RunBoard or
+// *slog.Logger disables that signal at the cost of one branch — so the
+// hot path pays nothing when observability is off.
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RunID identifies one evaluation run: a benchmark solved under one memory
+// model at one unroll bound with one decision strategy. Its String form is
+// the stable join key attached to spans, trace meta records, metric labels,
+// slog lines and the /runs surface.
+type RunID struct {
+	Subcategory string
+	Benchmark   string
+	Model       string
+	Strategy    string
+	Bound       int
+}
+
+// String renders the canonical "sub/bench@model/k<bound>/strategy" form.
+// The task prefix (everything before the strategy) matches harness.Task.ID.
+func (id RunID) String() string {
+	return fmt.Sprintf("%s/%s@%s/k%d/%s",
+		id.Subcategory, id.Benchmark, id.Model, id.Bound, id.Strategy)
+}
+
+// FileSafe renders the id with path separators and '@' flattened to '_',
+// usable as a file name (one Chrome trace per run).
+func (id RunID) FileSafe() string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '@', ' ':
+			return '_'
+		}
+		return r
+	}, id.String())
+}

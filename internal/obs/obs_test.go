@@ -1,0 +1,500 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"zpre/internal/telemetry"
+)
+
+func TestRunID(t *testing.T) {
+	id := RunID{Subcategory: "lit", Benchmark: "dekker", Model: "tso", Strategy: "guided", Bound: 3}
+	if got, want := id.String(), "lit/dekker@tso/k3/guided"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got, want := id.FileSafe(), "lit_dekker_tso_k3_guided"; got != want {
+		t.Errorf("FileSafe() = %q, want %q", got, want)
+	}
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("lit/dekker@sc/k2/guided")
+	root := tr.Start("run")
+	a := tr.Start("unroll")
+	tr.End(a)
+	b := tr.Start("solve")
+	tr.AddChild(b, "solve.bcp", 5*time.Millisecond)
+	tr.AddChild(b, "solve.theory", 3*time.Millisecond)
+	tr.End(b)
+	tr.End(root)
+
+	spans := tr.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(spans))
+	}
+	rootSp, ok := tr.Find("run")
+	if !ok || rootSp.Parent != 0 {
+		t.Fatalf("root span missing or not a root: %+v", rootSp)
+	}
+	for _, name := range []string{"unroll", "solve"} {
+		sp, ok := tr.Find(name)
+		if !ok {
+			t.Fatalf("span %q missing", name)
+		}
+		if sp.Parent != root {
+			t.Errorf("span %q parent = %d, want %d", name, sp.Parent, root)
+		}
+	}
+	// AddChild lays sub-phases out sequentially from the parent's start.
+	solveSp, _ := tr.Find("solve")
+	kids := tr.Children(b)
+	if len(kids) != 2 {
+		t.Fatalf("solve children = %d, want 2", len(kids))
+	}
+	if kids[0].Start != solveSp.Start {
+		t.Errorf("first child starts at %v, want parent start %v", kids[0].Start, solveSp.Start)
+	}
+	if kids[1].Start != solveSp.Start+5*time.Millisecond {
+		t.Errorf("second child starts at %v, want %v", kids[1].Start, solveSp.Start+5*time.Millisecond)
+	}
+	if kids[0].Dur != 5*time.Millisecond || kids[1].Dur != 3*time.Millisecond {
+		t.Errorf("child durations = %v, %v", kids[0].Dur, kids[1].Dur)
+	}
+	for _, sp := range spans {
+		if sp.Name == "run" || sp.Name == "solve" || sp.Name == "unroll" {
+			if sp.Dur <= 0 {
+				t.Errorf("span %q has non-positive duration %v", sp.Name, sp.Dur)
+			}
+		}
+	}
+}
+
+func TestTraceEndLIFOAndIdempotent(t *testing.T) {
+	tr := NewTrace("r")
+	outer := tr.Start("outer")
+	inner := tr.Start("inner")
+	// Ending the outer span force-closes the still-open inner one.
+	tr.End(outer)
+	sp, _ := tr.Find("inner")
+	if sp.Dur <= 0 {
+		t.Errorf("inner span not auto-closed: %+v", sp)
+	}
+	// Double-End and unknown ids are no-ops.
+	tr.End(inner)
+	tr.End(inner)
+	tr.End(999)
+	if n := len(tr.Spans()); n != 2 {
+		t.Errorf("got %d spans, want 2", n)
+	}
+}
+
+func TestTraceNilTolerant(t *testing.T) {
+	var tr *Trace
+	if id := tr.Start("x"); id != 0 {
+		t.Errorf("nil Start = %d, want 0", id)
+	}
+	tr.End(1)
+	if id := tr.AddChild(0, "y", time.Second); id != 0 {
+		t.Errorf("nil AddChild = %d, want 0", id)
+	}
+	if tr.Spans() != nil {
+		t.Error("nil Spans() should be nil")
+	}
+	var c *Collector
+	c.Add(NewTrace("r"))
+	if c.Traces() != nil {
+		t.Error("nil Traces() should be nil")
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	t1 := NewTrace("b/run@sc/k1/guided")
+	id := t1.Start("run")
+	t1.AddChild(id, "solve", 2*time.Millisecond)
+	t1.End(id)
+	t2 := NewTrace("a/run@sc/k1/baseline")
+	id2 := t2.Start("run")
+	t2.End(id2)
+
+	c := NewCollector()
+	c.Add(t1)
+	c.Add(t2)
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := WriteChromeFile(path, c.Traces()); err != nil {
+		t.Fatal(err)
+	}
+	// 2 process_name metadata + 2 spans + 1 span = 5 events.
+	n, err := ReadChromeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("got %d events, want 5", n)
+	}
+
+	// Structural checks on the raw document: runs sorted, pids stable,
+	// every X event carries ts/dur in microseconds.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Dur  float64           `json:"dur"`
+			PID  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceEvents[0].Ph != "M" || doc.TraceEvents[0].Args["name"] != "a/run@sc/k1/baseline" {
+		t.Errorf("first event should name the lexically-first run: %+v", doc.TraceEvents[0])
+	}
+	sawSolve := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "solve" {
+			sawSolve = true
+			if ev.Dur != 2000 { // 2ms in µs
+				t.Errorf("solve dur = %v µs, want 2000", ev.Dur)
+			}
+			if ev.PID != 2 {
+				t.Errorf("solve pid = %d, want 2 (second sorted run)", ev.PID)
+			}
+		}
+	}
+	if !sawSolve {
+		t.Error("solve span missing from Chrome export")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if got := Labels("m", nil); got != "m" {
+		t.Errorf("unlabeled = %q", got)
+	}
+	got := Labels("m", map[string]string{"b": "2", "a": "1"})
+	if want := `m{a="1",b="2"}`; got != want {
+		t.Errorf("Labels = %q, want %q", got, want)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("solver_decisions").Add(7)
+	reg.Counter(Labels("runs_total", map[string]string{"model": "sc"})).Add(3)
+	reg.Gauge("workers_busy").Set(2)
+	h := reg.Histogram(Labels("phase_latency_us", map[string]string{"phase": "solve"}))
+	h.Observe(1) // bucket 1 (le 1)
+	h.Observe(3) // bucket 2 (le 3)
+	h.Observe(3)
+
+	var b strings.Builder
+	WritePrometheus(&b, reg.Snapshot())
+	out := b.String()
+
+	wants := []string{
+		"# TYPE runs_total counter",
+		`runs_total{model="sc"} 3`,
+		"# TYPE solver_decisions counter",
+		"solver_decisions 7",
+		"# TYPE workers_busy gauge",
+		"workers_busy 2",
+		"# TYPE phase_latency_us histogram",
+		`phase_latency_us_bucket{phase="solve",le="1"} 1`,
+		`phase_latency_us_bucket{phase="solve",le="3"} 3`,
+		`phase_latency_us_bucket{phase="solve",le="+Inf"} 3`,
+		`phase_latency_us_sum{phase="solve"} 7`,
+		`phase_latency_us_count{phase="solve"} 3`,
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\nfull output:\n%s", want, out)
+		}
+	}
+	// Deterministic: a second render must be byte-identical.
+	var b2 strings.Builder
+	WritePrometheus(&b2, reg.Snapshot())
+	if b2.String() != out {
+		t.Error("exposition is not deterministic across renders")
+	}
+}
+
+func TestRunBoard(t *testing.T) {
+	b := NewRunBoard()
+	b.Queue("r1")
+	b.Queue("r2")
+	b.Queue("r3")
+	b.Running("r1", 2)
+	b.Done("r2", "unsat", "")
+	b.Done("r3", "unknown", "deadline")
+
+	q, r, d := b.Counts()
+	if q != 0 || r != 1 || d != 2 {
+		t.Errorf("Counts = %d/%d/%d, want 0/1/2", q, r, d)
+	}
+	snap := b.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	// Registration order is preserved.
+	if snap[0].ID != "r1" || snap[1].ID != "r2" || snap[2].ID != "r3" {
+		t.Errorf("snapshot order = %s,%s,%s", snap[0].ID, snap[1].ID, snap[2].ID)
+	}
+	if snap[0].State != StateRunning || snap[0].Bound != 2 {
+		t.Errorf("r1 = %+v", snap[0])
+	}
+	if snap[1].Status != "unsat" || snap[2].Stop != "deadline" {
+		t.Errorf("done states wrong: %+v %+v", snap[1], snap[2])
+	}
+
+	// Nil board is a no-op everywhere.
+	var nb *RunBoard
+	nb.Queue("x")
+	nb.Running("x", 1)
+	nb.Done("x", "sat", "")
+	if q, r, d := nb.Counts(); q+r+d != 0 {
+		t.Error("nil board counts should be zero")
+	}
+	if nb.Snapshot() != nil {
+		t.Error("nil board snapshot should be nil")
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("solver_decisions").Add(42)
+	board := NewRunBoard()
+	board.Queue("lit/dekker@sc/k1/guided")
+	board.Running("lit/dekker@sc/k1/guided", 1)
+
+	srv := httptest.NewServer(Handler(reg, board))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(body, "solver_decisions 42") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	body, ct = get("/runs")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/runs content-type = %q", ct)
+	}
+	var doc struct {
+		Queued  int         `json:"queued"`
+		Running int         `json:"running"`
+		Done    int         `json:"done"`
+		Runs    []RunStatus `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/runs is not JSON: %v\n%s", err, body)
+	}
+	if doc.Running != 1 || len(doc.Runs) != 1 || doc.Runs[0].Bound != 1 {
+		t.Errorf("/runs = %+v", doc)
+	}
+
+	body, _ = get("/healthz")
+	if strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %q", body)
+	}
+}
+
+func TestServeAndBindFailure(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", telemetry.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+	// A second bind on the same address must fail eagerly so callers can
+	// degrade gracefully.
+	if _, err := Serve(s.Addr(), nil, nil); err == nil {
+		t.Error("duplicate bind should fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	// Nil-server methods are safe.
+	var nilSrv *Server
+	if nilSrv.Addr() != "" || nilSrv.Close() != nil {
+		t.Error("nil server methods should be no-ops")
+	}
+}
+
+func TestForRunNil(t *testing.T) {
+	if ForRun(nil, "r") != nil {
+		t.Error("ForRun(nil) should stay nil")
+	}
+	var sb strings.Builder
+	lg := ForRun(NewRunLogger(&sb), "lit/dekker@sc/k1/guided")
+	lg.Info("run start", "bound", 1)
+	if !strings.Contains(sb.String(), `"run":"lit/dekker@sc/k1/guided"`) {
+		t.Errorf("log line missing run id: %s", sb.String())
+	}
+}
+
+func benchFile(runs ...BenchRun) *BenchFile { return &BenchFile{Runs: runs} }
+
+func TestBenchDiffClean(t *testing.T) {
+	base := benchFile(
+		BenchRun{Task: "lit/dekker@sc/k2", Strategy: "guided", Status: "unsat", Decisions: 1000, Conflicts: 200, SolveSec: 0.5},
+		BenchRun{Task: "lit/peterson@tso/k2", Strategy: "baseline", Status: "sat", Decisions: 500, Conflicts: 100, SolveSec: 0.2},
+	)
+	rep := Diff(base, base, DiffOptions{})
+	if rep.Failed() {
+		t.Fatalf("self-diff regressed:\n%s", rep.Format())
+	}
+	if rep.Common != 2 || rep.BaseWork != rep.NewWork {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestBenchDiffWorkRegression(t *testing.T) {
+	base := benchFile(
+		BenchRun{Task: "lit/dekker@sc/k2", Strategy: "guided", Status: "unsat", Decisions: 1000, Conflicts: 200, SolveSec: 0.5},
+	)
+	// Synthetic regression: decisions+conflicts grow 50%.
+	cur := benchFile(
+		BenchRun{Task: "lit/dekker@sc/k2", Strategy: "guided", Status: "unsat", Decisions: 1500, Conflicts: 300, SolveSec: 0.5},
+	)
+	rep := Diff(base, cur, DiffOptions{})
+	if !rep.Failed() {
+		t.Fatal("50% work growth must regress")
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Metric != "work" {
+		t.Errorf("regressions = %+v", rep.Regressions)
+	}
+	if !strings.Contains(rep.Format(), "REGRESSION") {
+		t.Errorf("Format() should flag the regression:\n%s", rep.Format())
+	}
+
+	// Below the absolute floor the same fractional growth passes: 10 → 16
+	// is +60% but only +6 work.
+	tiny := Diff(
+		benchFile(BenchRun{Task: "t", Strategy: "s", Status: "unsat", Decisions: 10}),
+		benchFile(BenchRun{Task: "t", Strategy: "s", Status: "unsat", Decisions: 16}),
+		DiffOptions{})
+	if tiny.Failed() {
+		t.Errorf("sub-floor jitter must not regress:\n%s", tiny.Format())
+	}
+}
+
+func TestBenchDiffVerdictAndCoverage(t *testing.T) {
+	base := benchFile(
+		BenchRun{Task: "a", Strategy: "s", Status: "unsat", Decisions: 100},
+		BenchRun{Task: "b", Strategy: "s", Status: "sat", Decisions: 100},
+		BenchRun{Task: "c", Strategy: "s", Status: "unknown", Decisions: 100},
+	)
+	cur := benchFile(
+		// a: verdict flip — soundness alarm.
+		BenchRun{Task: "a", Strategy: "s", Status: "sat", Decisions: 100},
+		// b: missing → coverage regression.
+		// c: unknown → unsat is an improvement, not a regression.
+		BenchRun{Task: "c", Strategy: "s", Status: "unsat", Decisions: 100},
+		// d: new run, informational only.
+		BenchRun{Task: "d", Strategy: "s", Status: "unsat", Decisions: 100},
+	)
+	rep := Diff(base, cur, DiffOptions{})
+	if len(rep.Regressions) != 2 {
+		t.Fatalf("regressions = %+v", rep.Regressions)
+	}
+	if rep.Regressions[0].Key != "a/s" || rep.Regressions[0].Metric != "verdict" {
+		t.Errorf("first regression = %+v", rep.Regressions[0])
+	}
+	if rep.Regressions[1].Key != "b/s" || rep.Regressions[1].Metric != "coverage" {
+		t.Errorf("second regression = %+v", rep.Regressions[1])
+	}
+	if len(rep.Added) != 1 || rep.Added[0] != "d/s" {
+		t.Errorf("added = %v", rep.Added)
+	}
+}
+
+func TestBenchDiffWallGating(t *testing.T) {
+	base := benchFile(BenchRun{Task: "a", Strategy: "s", Status: "unsat", SolveSec: 1.0})
+	cur := benchFile(BenchRun{Task: "a", Strategy: "s", Status: "unsat", SolveSec: 2.0})
+	// Disabled by default.
+	if Diff(base, cur, DiffOptions{}).Failed() {
+		t.Error("wall-clock must not gate by default")
+	}
+	rep := Diff(base, cur, DiffOptions{WallTol: 0.5})
+	if !rep.Failed() || rep.Regressions[0].Metric != "wall" {
+		t.Errorf("wall gating enabled should flag 2x growth: %+v", rep.Regressions)
+	}
+}
+
+func TestReadBenchFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`{"runs":[{"task":"a","strategy":"s","status":"unsat","decisions":5,"conflicts":2,"solve_sec":0.1}]}`), 0o644)
+	f, err := ReadBenchFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Runs[0].Work() != 7 || f.Runs[0].Key() != "a/s" {
+		t.Errorf("run = %+v", f.Runs[0])
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"runs":[]}`), 0o644)
+	if _, err := ReadBenchFile(empty); err == nil {
+		t.Error("empty bench file should error")
+	}
+	if _, err := ReadBenchFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+// BenchmarkNilTraceSpan is the tracing-disabled baseline, mirroring the
+// sat package's BenchmarkSolveNilTracer: a nil *Trace makes every span
+// site a branch-and-return, never an allocation.
+func BenchmarkNilTraceSpan(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := tr.Start("solve")
+		tr.AddChild(id, "solve.bcp", time.Microsecond)
+		tr.End(id)
+	}
+}
+
+// BenchmarkTraceSpan measures the enabled span path: one Start/AddChild/End
+// triple per iteration on a live trace.
+func BenchmarkTraceSpan(b *testing.B) {
+	tr := NewTrace("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := tr.Start("solve")
+		tr.AddChild(id, "solve.bcp", time.Microsecond)
+		tr.End(id)
+	}
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"zpre/internal/telemetry"
+)
+
+// Labels renders a base metric name plus a label set as the flat series
+// name the telemetry registry stores ("base{k1=\"v1\",k2=\"v2\"}"). Keys
+// are sorted, so the same label set always yields the same series. The
+// Prometheus writer splits these back apart at exposition time.
+func Labels(base string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return base
+	}
+	keys := make([]string, 0, len(labels))
+	//mapiter:ok keys are sorted before use
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitSeries splits a registry series name into its base name and the
+// rendered label body (without braces; empty when unlabeled).
+func splitSeries(series string) (base, labelBody string) {
+	if i := strings.IndexByte(series, '{'); i >= 0 && strings.HasSuffix(series, "}") {
+		return series[:i], series[i+1 : len(series)-1]
+	}
+	return series, ""
+}
+
+// promLine writes one sample line, merging extra label text (e.g. an le
+// bound) into the series' own labels.
+func promLine(w io.Writer, base, labelBody, extra string, value interface{}) {
+	labels := labelBody
+	if extra != "" {
+		if labels != "" {
+			labels += ","
+		}
+		labels += extra
+	}
+	if labels != "" {
+		fmt.Fprintf(w, "%s{%s} %v\n", base, labels, value)
+	} else {
+		fmt.Fprintf(w, "%s %v\n", base, value)
+	}
+}
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters, gauges, and the registry's
+// power-of-two histograms expanded into cumulative le-bucketed series with
+// _sum and _count. Output is fully deterministic — series are sorted by
+// name, histogram buckets ascend — so scrapes and golden tests can diff it.
+func WritePrometheus(w io.Writer, snap telemetry.Snapshot) {
+	writeSimple(w, "counter", countersAsValues(snap.Counters))
+	writeSimple(w, "gauge", gaugesAsValues(snap.Gauges))
+
+	names := make([]string, 0, len(snap.Histograms))
+	//mapiter:ok keys are sorted before use
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	typed := map[string]bool{}
+	for _, name := range names {
+		h := snap.Histograms[name]
+		base, labelBody := splitSeries(name)
+		if !typed[base] {
+			fmt.Fprintf(w, "# TYPE %s histogram\n", base)
+			typed[base] = true
+		}
+		// Power-of-two buckets: bucket i counts observations v with
+		// bits.Len64(v) == i, i.e. v ≤ 2^i - 1 cumulatively.
+		idxs := make([]int, 0, len(h.Buckets))
+		//mapiter:ok keys are sorted before use
+		for i := range h.Buckets {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		var cum uint64
+		for _, i := range idxs {
+			cum += h.Buckets[i]
+			le := uint64(1)<<uint(i) - 1
+			promLine(w, base+"_bucket", labelBody, fmt.Sprintf("le=%q", fmt.Sprint(le)), cum)
+		}
+		promLine(w, base+"_bucket", labelBody, `le="+Inf"`, h.Count)
+		promLine(w, base+"_sum", labelBody, "", h.Sum)
+		promLine(w, base+"_count", labelBody, "", h.Count)
+	}
+}
+
+// countersAsValues converts the counter map to the generic form.
+func countersAsValues(m map[string]uint64) map[string]string {
+	out := make(map[string]string, len(m))
+	//mapiter:ok result map is sorted by the consumer
+	for k, v := range m {
+		out[k] = fmt.Sprint(v)
+	}
+	return out
+}
+
+// gaugesAsValues converts the gauge map to the generic form.
+func gaugesAsValues(m map[string]int64) map[string]string {
+	out := make(map[string]string, len(m))
+	//mapiter:ok result map is sorted by the consumer
+	for k, v := range m {
+		out[k] = fmt.Sprint(v)
+	}
+	return out
+}
+
+// writeSimple renders one flat metric family set (counters or gauges) with
+// a TYPE header per base name.
+func writeSimple(w io.Writer, typ string, series map[string]string) {
+	names := make([]string, 0, len(series))
+	//mapiter:ok keys are sorted before use
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	typed := map[string]bool{}
+	for _, name := range names {
+		base, labelBody := splitSeries(name)
+		if !typed[base] {
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, typ)
+			typed[base] = true
+		}
+		promLine(w, base, labelBody, "", series[name])
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"zpre/internal/telemetry"
+)
+
+// Server is the opt-in live HTTP surface of an evaluation:
+//
+//	/metrics — the telemetry registry in Prometheus text format
+//	/runs    — live per-run status JSON (queued/running/done, bound, stop)
+//	/healthz — liveness probe
+//
+// It binds eagerly (so misconfiguration surfaces immediately) but serves
+// on a background goroutine; callers that cannot bind should degrade
+// gracefully — the evaluation itself never depends on the server.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// runsDoc is the /runs response body.
+type runsDoc struct {
+	Queued  int         `json:"queued"`
+	Running int         `json:"running"`
+	Done    int         `json:"done"`
+	Runs    []RunStatus `json:"runs"`
+}
+
+// Handler builds the HTTP surface over a registry and a run board (either
+// may be nil: the corresponding endpoint then serves an empty document).
+// Exposed separately from Serve so httptest can drive it in-process.
+func Handler(reg *telemetry.Registry, board *RunBoard) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			WritePrometheus(w, reg.Snapshot())
+		}
+	})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		doc := runsDoc{Runs: []RunStatus{}}
+		if board != nil {
+			doc.Queued, doc.Running, doc.Done = board.Counts()
+			doc.Runs = board.Snapshot()
+		}
+		enc := json.NewEncoder(w)
+		enc.Encode(doc)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Serve binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the surface
+// until Close. A bind failure is returned immediately so the caller can
+// log it and continue without observability — never abort the evaluation.
+func Serve(addr string, reg *telemetry.Registry, board *RunBoard) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: Handler(reg, board), ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		// Serve returns ErrServerClosed on Close; any other error means the
+		// surface died early, which only costs observability.
+		s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

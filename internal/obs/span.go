@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one closed node of a run's span tree: a named slice of the
+// pipeline (parse, unroll, encode, static, dataflow, rg, solve, a per-bound
+// increment, an in-solve phase) with its offset from the run origin and its
+// duration. IDs are per-trace ordinals starting at 1; Parent 0 means root.
+type Span struct {
+	ID     int
+	Parent int
+	Name   string
+	Start  time.Duration
+	Dur    time.Duration
+}
+
+// Trace collects the span tree of one run. It is safe for concurrent use,
+// though runs are normally traced from a single worker goroutine. All
+// methods are nil-tolerant: calling them on a nil *Trace is a cheap no-op,
+// which is what makes span instrumentation free when tracing is off.
+type Trace struct {
+	// Run is the stable run id this trace belongs to.
+	Run string
+
+	mu     sync.Mutex
+	origin time.Time
+	spans  []Span
+	open   []int                 // stack of open span ids
+	cursor map[int]time.Duration // next synthetic-child offset per parent
+}
+
+// NewTrace starts an empty trace whose clock origin is now.
+func NewTrace(run string) *Trace {
+	return &Trace{Run: run, origin: time.Now(), cursor: map[int]time.Duration{}}
+}
+
+// Start opens a span as a child of the innermost open span (or as a root)
+// and returns its id. Close it with End.
+func (t *Trace) Start(name string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	parent := 0
+	if n := len(t.open); n > 0 {
+		parent = t.open[n-1]
+	}
+	id := len(t.spans) + 1
+	t.spans = append(t.spans, Span{
+		ID:     id,
+		Parent: parent,
+		Name:   name,
+		Start:  time.Since(t.origin),
+	})
+	t.open = append(t.open, id)
+	return id
+}
+
+// End closes the span with the given id, recording its duration. Any spans
+// opened after it and still open are closed with it (LIFO discipline), so a
+// panic-skipped End cannot wedge the stack.
+func (t *Trace) End(id int) {
+	if t == nil || id <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	at := -1
+	for i := len(t.open) - 1; i >= 0; i-- {
+		if t.open[i] == id {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return // already closed (or never opened): nothing to do
+	}
+	now := time.Since(t.origin)
+	for i := len(t.open) - 1; i >= at; i-- {
+		sp := &t.spans[t.open[i]-1]
+		if sp.Dur == 0 {
+			sp.Dur = now - sp.Start
+		}
+	}
+	t.open = t.open[:at]
+}
+
+// AddChild records an already-measured span of the given duration under the
+// named parent id (0 = root). Children added this way are laid out
+// sequentially from the parent's start offset, so a set of measured
+// sub-phase durations (e.g. the solver's BCP/theory/analyze/reduce split)
+// renders as a contiguous breakdown of the parent span. Returns the new id.
+func (t *Trace) AddChild(parent int, name string, dur time.Duration) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var start time.Duration
+	if parent > 0 && parent <= len(t.spans) {
+		if off, ok := t.cursor[parent]; ok {
+			start = off
+		} else {
+			start = t.spans[parent-1].Start
+		}
+		t.cursor[parent] = start + dur
+	} else {
+		parent = 0
+		start = time.Since(t.origin)
+	}
+	id := len(t.spans) + 1
+	t.spans = append(t.spans, Span{
+		ID:     id,
+		Parent: parent,
+		Name:   name,
+		Start:  start,
+		Dur:    dur,
+	})
+	return id
+}
+
+// Spans returns a copy of the recorded spans in creation order. Open spans
+// appear with zero duration.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Find returns the first span with the given name and whether it exists.
+func (t *Trace) Find(name string) (Span, bool) {
+	for _, sp := range t.Spans() {
+		if sp.Name == name {
+			return sp, true
+		}
+	}
+	return Span{}, false
+}
+
+// Children returns the spans whose parent is the given id, in creation
+// order.
+func (t *Trace) Children(parent int) []Span {
+	var out []Span
+	for _, sp := range t.Spans() {
+		if sp.Parent == parent {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Collector gathers the traces of a whole evaluation across parallel
+// workers. Nil-tolerant like Trace.
+type Collector struct {
+	mu     sync.Mutex
+	traces []*Trace
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add records one finished run trace.
+func (c *Collector) Add(t *Trace) {
+	if c == nil || t == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.traces = append(c.traces, t)
+}
+
+// Traces returns the collected traces sorted by run id — a deterministic
+// order regardless of worker completion order.
+func (c *Collector) Traces() []*Trace {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Trace, len(c.traces))
+	copy(out, c.traces)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Run < out[j].Run })
+	return out
+}

@@ -44,6 +44,14 @@ const (
 	KindSummary = "summary"
 )
 
+// TraceVersion is the schema version written into the opening meta event.
+// Version 0 (the field absent) is the legacy PR-2 schema, whose span events
+// are a flat (name, duration) list. Version 2 traces additionally carry a
+// run id in the meta record and hierarchical span events (id, parent, start
+// offset), from which a span tree can be rebuilt. Readers must accept both:
+// old traces in results/ stay readable forever.
+const TraceVersion = 2
+
 // Event is one JSONL trace record. Fields are populated per kind; unused
 // fields are omitted from the serialised form.
 type Event struct {
@@ -53,11 +61,16 @@ type Event struct {
 	// and span events only — the clock is not read on batched kinds).
 	TNS int64 `json:"t,omitempty"`
 
-	// Meta fields.
+	// Meta fields. Version is the trace schema version (0 = legacy PR-2
+	// schema, TraceVersion = current); Run is the stable run id
+	// (subcategory/benchmark@model/k<bound>/strategy) that joins this trace
+	// to metric labels, slog lines and the live /runs surface.
 	Task     string `json:"task,omitempty"`
 	Strategy string `json:"strategy,omitempty"`
 	Model    string `json:"model,omitempty"`
 	Every    int    `json:"sample,omitempty"`
+	Version  int    `json:"ver,omitempty"`
+	Run      string `json:"run,omitempty"`
 
 	// Decision fields. Idx is the 1-based decision ordinal (exact even
 	// under sampling), Class the variable class (rf-external, rf-internal,
@@ -86,9 +99,15 @@ type Event struct {
 	Kept    int `json:"kept,omitempty"`
 	Deleted int `json:"del,omitempty"`
 
-	// Span fields.
-	Name  string `json:"name,omitempty"`
-	DurNS int64  `json:"dur_ns,omitempty"`
+	// Span fields. Legacy (version 0) span events carry only Name and
+	// DurNS. Version 2 span events additionally carry a per-trace span ID,
+	// the parent span's ID (0 = root) and the span's start offset from the
+	// trace origin, so the reader can rebuild the span tree exactly.
+	Name    string `json:"name,omitempty"`
+	DurNS   int64  `json:"dur_ns,omitempty"`
+	SpanID  int    `json:"sid,omitempty"`
+	ParID   int    `json:"par,omitempty"`
+	StartNS int64  `json:"start_ns,omitempty"`
 
 	// Summary fields.
 	Counts *Counts    `json:"counts,omitempty"`

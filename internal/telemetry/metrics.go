@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"zpre/internal/sat"
 )
@@ -53,11 +54,51 @@ func (h *Histogram) Observe(v uint64) {
 	h.sum.Add(v)
 }
 
+// Merge atomically folds other's observations into h. Each bucket (and the
+// count/sum pair) is added with one atomic each, so concurrent Observe calls
+// on either histogram are never lost; a Snapshot taken mid-merge may see a
+// partially merged state, which is the same guarantee Snapshot already gives
+// for concurrent Observe.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range other.buckets {
+		if n := other.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+}
+
+// ObserveDuration records a duration in microseconds, the standard unit for
+// the registry's latency histograms (sub-microsecond observations land in
+// the zero bucket).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d / time.Microsecond))
+}
+
 // HistogramSnapshot is a point-in-time histogram reading.
 type HistogramSnapshot struct {
 	Count   uint64
 	Sum     uint64
 	Buckets map[int]uint64 // bit-length → count, zero buckets omitted
+}
+
+// snapshot reads the histogram's current state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: map[int]uint64{},
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			hs.Buckets[i] = n
+		}
+	}
+	return hs
 }
 
 // Mean returns the average observation (0 when empty).
@@ -138,6 +179,25 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Merge folds every metric of other into r, creating missing metrics on
+// first use. Counters and histograms add; gauges take other's value (a
+// merged gauge is a last-writer snapshot, not a sum). Workers can therefore
+// batch into a private registry and fold it into the shared one at the end
+// of a run without losing concurrent updates on either side.
+func (r *Registry) Merge(other *Registry) {
+	other.mu.RLock()
+	defer other.mu.RUnlock()
+	for name, c := range other.counters {
+		r.Counter(name).Add(c.Value())
+	}
+	for name, g := range other.gauges {
+		r.Gauge(name).Set(g.Value())
+	}
+	for name, h := range other.hists {
+		r.Histogram(name).Merge(h)
+	}
+}
+
 // Snapshot is a consistent-enough point-in-time reading of every metric
 // (individual values are atomic; the set is read under the registry lock).
 type Snapshot struct {
@@ -162,17 +222,7 @@ func (r *Registry) Snapshot() Snapshot {
 		snap.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		hs := HistogramSnapshot{
-			Count:   h.count.Load(),
-			Sum:     h.sum.Load(),
-			Buckets: map[int]uint64{},
-		}
-		for i := range h.buckets {
-			if n := h.buckets[i].Load(); n > 0 {
-				hs.Buckets[i] = n
-			}
-		}
-		snap.Histograms[name] = hs
+		snap.Histograms[name] = h.snapshot()
 	}
 	return snap
 }
@@ -218,6 +268,7 @@ type MetricsTracer struct {
 	conflicts *Counter
 	restarts  *Counter
 	props     *Counter
+	lbd       *Histogram
 
 	localProps uint64
 }
@@ -226,13 +277,15 @@ const flushEvery = 4096
 
 // NewMetricsTracer binds a tracer to reg under the standard metric names
 // (solver_decisions, solver_conflicts, solver_restarts,
-// solver_propagations).
+// solver_propagations) plus the solver_lbd histogram, which collects the
+// learnt-clause LBD distribution across every worker's conflicts.
 func NewMetricsTracer(reg *Registry) *MetricsTracer {
 	return &MetricsTracer{
 		decisions: reg.Counter("solver_decisions"),
 		conflicts: reg.Counter("solver_conflicts"),
 		restarts:  reg.Counter("solver_restarts"),
 		props:     reg.Counter("solver_propagations"),
+		lbd:       reg.Histogram("solver_lbd"),
 	}
 }
 
@@ -252,7 +305,12 @@ func (m *MetricsTracer) Propagation(sat.Lit) {
 func (m *MetricsTracer) TheoryPropagation(sat.Lit) {}
 
 // Conflict implements sat.Tracer.
-func (m *MetricsTracer) Conflict(sat.ConflictInfo) { m.conflicts.Inc() }
+func (m *MetricsTracer) Conflict(info sat.ConflictInfo) {
+	m.conflicts.Inc()
+	if info.LBD > 0 {
+		m.lbd.Observe(uint64(info.LBD))
+	}
+}
 
 // TheoryConflict implements sat.Tracer.
 func (m *MetricsTracer) TheoryConflict(int) {}

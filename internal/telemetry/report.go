@@ -234,6 +234,102 @@ func (r *Report) CrossCheck() error {
 	return nil
 }
 
+// FormatHeader renders the trace identification line from the meta event:
+// task, strategy, model and sampling rate, plus — on version-2 traces — the
+// schema version and the stable run id that joins the trace to metric
+// labels, slog lines and the /runs surface. Empty when the trace has no
+// meta record.
+func (r *Report) FormatHeader() string {
+	if r.Meta == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: task=%s strategy=%s model=%s sample=1/%d",
+		r.Meta.Task, r.Meta.Strategy, r.Meta.Model, max64(1, int64(r.Meta.Every)))
+	if r.Meta.Version > 0 {
+		fmt.Fprintf(&b, " ver=%d", r.Meta.Version)
+	}
+	if r.Meta.Run != "" {
+		fmt.Fprintf(&b, " run=%s", r.Meta.Run)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// FormatSpans renders the trace's phase timings. Version-2 traces carry
+// hierarchical span events (sid, par, start_ns), which render as an
+// indented tree with each span's start offset from the run origin; legacy
+// version-0 spans (sid absent) render as the original flat name+duration
+// list. A mixed trace renders the tree first, then any flat spans.
+func (r *Report) FormatSpans() string {
+	if len(r.Spans) == 0 {
+		return ""
+	}
+	var tree, flat []Event
+	for _, sp := range r.Spans {
+		if sp.SpanID > 0 {
+			tree = append(tree, sp)
+		} else {
+			flat = append(flat, sp)
+		}
+	}
+	var b strings.Builder
+	if len(tree) > 0 {
+		b.WriteString("span tree (start offset, duration):\n")
+		children := map[int][]Event{}
+		known := map[int]bool{}
+		for _, sp := range tree {
+			known[sp.SpanID] = true
+		}
+		for _, sp := range tree {
+			par := sp.ParID
+			// A dangling parent id (truncated trace, or a span whose
+			// parent was sampled away) promotes the span to a root
+			// rather than dropping it.
+			if !known[par] || par == sp.SpanID {
+				par = 0
+			}
+			children[par] = append(children[par], sp)
+		}
+		for _, kids := range children { //mapiter:ok order restored by per-slice sort below
+			sort.Slice(kids, func(i, j int) bool {
+				if kids[i].StartNS != kids[j].StartNS {
+					return kids[i].StartNS < kids[j].StartNS
+				}
+				return kids[i].SpanID < kids[j].SpanID
+			})
+		}
+		// visited guards against parent-id cycles in corrupt traces.
+		visited := map[int]bool{}
+		var render func(id, depth int)
+		render = func(id, depth int) {
+			for _, sp := range children[id] {
+				if visited[sp.SpanID] {
+					continue
+				}
+				visited[sp.SpanID] = true
+				fmt.Fprintf(&b, "  %-30s %10v %12v\n",
+					strings.Repeat("  ", depth)+sp.Name,
+					time.Duration(sp.StartNS).Round(time.Microsecond),
+					time.Duration(sp.DurNS).Round(time.Microsecond))
+				render(sp.SpanID, depth+1)
+			}
+		}
+		render(0, 0)
+	}
+	if len(flat) > 0 {
+		if len(tree) > 0 {
+			b.WriteString("flat phase timings:\n")
+		} else {
+			b.WriteString("phase timings:\n")
+		}
+		for _, sp := range flat {
+			fmt.Fprintf(&b, "  %-14s %v\n", sp.Name, time.Duration(sp.DurNS).Round(time.Microsecond))
+		}
+	}
+	return b.String()
+}
+
 // bar renders a proportional ASCII bar of width w for value v in [0, max].
 func bar(v, max float64, w int) string {
 	if max <= 0 {
@@ -249,20 +345,15 @@ func bar(v, max float64, w int) string {
 // Format renders the report for terminals.
 func (r *Report) Format() string {
 	var b strings.Builder
-	if r.Meta != nil {
-		fmt.Fprintf(&b, "trace: task=%s strategy=%s model=%s sample=1/%d\n",
-			r.Meta.Task, r.Meta.Strategy, r.Meta.Model, max64(1, int64(r.Meta.Every)))
-	}
+	b.WriteString(r.FormatHeader())
 	if r.Summary != nil && r.Summary.Counts != nil {
 		c := r.Summary.Counts
 		fmt.Fprintf(&b, "totals: %d decisions, %d propagations (%d theory), %d conflicts (%d theory), %d restarts, %d reductions\n",
 			c.Decisions, c.Propagations, c.TheoryProps, c.Conflicts, c.TheoryConfl, c.Restarts, c.Reductions)
 	}
 	if len(r.Spans) > 0 {
-		b.WriteString("\nphase timings:\n")
-		for _, sp := range r.Spans {
-			fmt.Fprintf(&b, "  %-14s %v\n", sp.Name, time.Duration(sp.DurNS).Round(time.Microsecond))
-		}
+		b.WriteString("\n")
+		b.WriteString(r.FormatSpans())
 	}
 
 	if r.Summary != nil && r.Summary.Counts != nil && len(r.Summary.Counts.ByClass) > 0 {

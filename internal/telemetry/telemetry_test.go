@@ -229,6 +229,123 @@ func TestRegistryConcurrent(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeParallel merges per-worker private histograms into a
+// shared one while the shared histogram also takes direct observations.
+// Under -race this is the atomicity proof for Histogram.Merge: the merged
+// totals must equal the single-histogram result exactly.
+func TestHistogramMergeParallel(t *testing.T) {
+	const workers, perWorker = 8, 5000
+	shared := &Histogram{}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := &Histogram{}
+			for i := 0; i < perWorker; i++ {
+				local.Observe(uint64(w*perWorker + i))
+				shared.Observe(1) // concurrent direct traffic
+			}
+			shared.Merge(local)
+		}(w)
+	}
+	wg.Wait()
+	want := uint64(2 * workers * perWorker)
+	var control Histogram
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			control.Observe(uint64(w*perWorker + i))
+			control.Observe(1)
+		}
+	}
+	got, ctl := shared.snapshot(), control.snapshot()
+	if got.Count != want || got.Count != ctl.Count || got.Sum != ctl.Sum {
+		t.Fatalf("merged count=%d sum=%d, control count=%d sum=%d (want count %d)",
+			got.Count, got.Sum, ctl.Count, ctl.Sum, want)
+	}
+	for b, n := range ctl.Buckets {
+		if got.Buckets[b] != n {
+			t.Fatalf("bucket %d = %d, control %d", b, got.Buckets[b], n)
+		}
+	}
+}
+
+// TestRegistryMerge folds worker-private registries into a shared registry
+// concurrently (the evaluate -serve aggregation path) and checks counters
+// and histogram totals are exact.
+func TestRegistryMerge(t *testing.T) {
+	shared := NewRegistry()
+	const workers, perWorker = 6, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := NewRegistry()
+			c := local.Counter("runs")
+			h := local.Histogram("latency_us")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(uint64(i))
+			}
+			local.Gauge("depth").Set(3)
+			shared.Merge(local)
+		}()
+	}
+	wg.Wait()
+	if got := shared.Counter("runs").Value(); got != workers*perWorker {
+		t.Fatalf("merged counter = %d, want %d", got, workers*perWorker)
+	}
+	snap := shared.Snapshot()
+	if h := snap.Histograms["latency_us"]; h.Count != workers*perWorker {
+		t.Fatalf("merged histogram count = %d, want %d", h.Count, workers*perWorker)
+	}
+	if g := snap.Gauges["depth"]; g != 3 {
+		t.Fatalf("merged gauge = %d, want 3", g)
+	}
+}
+
+// TestMetricsTracerLBDHistogram checks the conflict path feeds the shared
+// LBD distribution.
+func TestMetricsTracerLBDHistogram(t *testing.T) {
+	reg := NewRegistry()
+	mt := NewMetricsTracer(reg)
+	mt.Conflict(sat.ConflictInfo{LBD: 3})
+	mt.Conflict(sat.ConflictInfo{LBD: 5})
+	mt.Conflict(sat.ConflictInfo{}) // no LBD recorded (e.g. empty learnt)
+	snap := reg.Snapshot()
+	h := snap.Histograms["solver_lbd"]
+	if h.Count != 2 || h.Sum != 8 {
+		t.Fatalf("lbd histogram count=%d sum=%d, want 2/8", h.Count, h.Sum)
+	}
+}
+
+// TestSpanTreeRoundTrip writes version-2 hierarchical span events and
+// checks ids, parents and offsets survive serialisation.
+func TestSpanTreeRoundTrip(t *testing.T) {
+	sink := &MemorySink{}
+	tr := NewSolverTracer(sink, TracerOptions{Task: "t", RunID: "lit/x@sc/k1/zpre"})
+	tr.SpanAt("run", 1, 0, 0, 10*time.Millisecond)
+	tr.SpanAt("encode", 2, 1, time.Millisecond, 2*time.Millisecond)
+	if err := tr.Close(sat.Stats{}); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Events[0].Version != TraceVersion || sink.Events[0].Run != "lit/x@sc/k1/zpre" {
+		t.Fatalf("meta = %+v, want version %d with run id", sink.Events[0], TraceVersion)
+	}
+	rep, err := AnalyzeTrace(sink.Events, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Spans) != 2 {
+		t.Fatalf("spans = %+v", rep.Spans)
+	}
+	enc := rep.Spans[1]
+	if enc.SpanID != 2 || enc.ParID != 1 || enc.StartNS != time.Millisecond.Nanoseconds() {
+		t.Fatalf("encode span = %+v", enc)
+	}
+}
+
 // TestCombine covers the fan-out constructor's nil handling: a nil slot
 // must not panic, a single tracer must pass through, and two tracers must
 // both see every event.
@@ -282,5 +399,25 @@ func TestSpanEvents(t *testing.T) {
 	}
 	if rep.Spans[1].DurNS != (5 * time.Millisecond).Nanoseconds() {
 		t.Fatalf("solve span duration = %d", rep.Spans[1].DurNS)
+	}
+}
+
+// BenchmarkHistogramObserve measures the enabled histogram hot path: one
+// atomic bucket increment plus sum/count updates per observation.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_us")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i) & 1023)
+	}
+}
+
+// BenchmarkRegistryHistogramLookup measures the by-name lookup callers pay
+// when they do not cache the *Histogram handle.
+func BenchmarkRegistryHistogramLookup(b *testing.B) {
+	reg := NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reg.Histogram("bench_us").Observe(1)
 	}
 }

@@ -15,6 +15,10 @@ type TracerOptions struct {
 	Strategy string
 	Task     string
 	Model    string
+	// RunID is the stable run identifier
+	// (subcategory/benchmark@model/k<bound>/strategy) recorded in the meta
+	// event, joining the trace to metric labels, slog lines and /runs.
+	RunID string
 	// Every samples high-volume events: only every Nth decision, conflict
 	// and theory-conflict event is written (0 and 1 both mean "all").
 	// Counts stay exact regardless — the summary record always carries
@@ -61,6 +65,8 @@ func NewSolverTracer(sink Sink, opts TracerOptions) *SolverTracer {
 		Strategy: opts.Strategy,
 		Model:    opts.Model,
 		Every:    int(every),
+		Version:  TraceVersion,
+		Run:      opts.RunID,
 	})
 	return t
 }
@@ -175,7 +181,7 @@ func (t *SolverTracer) ReduceDB(kept, deleted int) {
 }
 
 // Span records a named phase duration (parse, encode, static, solve, or the
-// in-solve split) as a span event.
+// in-solve split) as a flat legacy-style span event (no tree position).
 func (t *SolverTracer) Span(name string, d time.Duration) {
 	t.flushBatches()
 	t.emit(&Event{
@@ -183,6 +189,23 @@ func (t *SolverTracer) Span(name string, d time.Duration) {
 		TNS:   time.Since(t.start).Nanoseconds(),
 		Name:  name,
 		DurNS: d.Nanoseconds(),
+	})
+}
+
+// SpanAt records one node of a hierarchical span tree: id is the span's
+// per-trace ordinal (≥1), parent the enclosing span's id (0 = root), start
+// the offset from the run origin. Version-2 consumers rebuild the tree from
+// these; legacy readers see them as ordinary named spans.
+func (t *SolverTracer) SpanAt(name string, id, parent int, start, d time.Duration) {
+	t.flushBatches()
+	t.emit(&Event{
+		Kind:    KindSpan,
+		TNS:     time.Since(t.start).Nanoseconds(),
+		Name:    name,
+		DurNS:   d.Nanoseconds(),
+		SpanID:  id,
+		ParID:   parent,
+		StartNS: start.Nanoseconds(),
 	})
 }
 

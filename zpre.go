@@ -34,6 +34,7 @@ import (
 	"zpre/internal/dataflow"
 	"zpre/internal/encode"
 	"zpre/internal/memmodel"
+	"zpre/internal/obs"
 	"zpre/internal/order"
 	"zpre/internal/rg"
 	"zpre/internal/sat"
@@ -161,6 +162,11 @@ type Options struct {
 	// TimePhases splits solve time across BCP/theory/analyze/reduce into
 	// Report.SearchTimings.
 	TimePhases bool
+	// Spans, when non-nil, receives this call's hierarchical span trace
+	// (rg prove, unroll, encode with static/dataflow children, solve with
+	// the in-solve phase split) for Chrome trace-event export; see
+	// internal/obs. Implies TimePhases. Ignored by VerifyEach.
+	Spans *obs.Trace
 }
 
 // Report is the result of a Verify call.
@@ -213,7 +219,9 @@ func Verify(p *cprog.Program, opts Options) (Report, error) {
 	var rgRanges map[string]dataflow.Interval
 	var rgIters int
 	if opts.RG {
+		rgSpan := opts.Spans.Start("rg.prove")
 		res, err := resolveRG(p, opts)
+		opts.Spans.End(rgSpan)
 		if err != nil {
 			return Report{}, err
 		}
@@ -228,8 +236,11 @@ func Verify(p *cprog.Program, opts Options) (Report, error) {
 		}
 		rgRanges = res.Ranges
 	}
+	unrollSpan := opts.Spans.Start("unroll")
 	unrolled := cprog.Unroll(p, opts.Unroll, cprog.UnwindAssume)
+	opts.Spans.End(unrollSpan)
 
+	encSpan := opts.Spans.Start("encode")
 	encStart := time.Now()
 	vc, err := encode.Program(unrolled, encode.Options{
 		Model:       opts.Model,
@@ -238,10 +249,17 @@ func Verify(p *cprog.Program, opts Options) (Report, error) {
 		Dataflow:    opts.Dataflow,
 		RGRanges:    rgRanges,
 	})
+	opts.Spans.End(encSpan)
 	if err != nil {
 		return Report{}, err
 	}
 	encodeTime := time.Since(encStart)
+	if opts.StaticPrune {
+		opts.Spans.AddChild(encSpan, "encode.static", vc.Stats.StaticTime)
+	}
+	if opts.Dataflow {
+		opts.Spans.AddChild(encSpan, "encode.dataflow", vc.Stats.DataflowTime)
+	}
 
 	rep, err := solveVC(vc, opts, encodeTime)
 	if err != nil {
@@ -297,6 +315,7 @@ func solveVC(vc *encode.VC, opts Options, encodeTime time.Duration) (Report, err
 		tracer.Span("static", vc.Stats.StaticTime)
 		satTracer = tracer
 	}
+	solveSpan := opts.Spans.Start("solve")
 	res, err := vc.Builder.Solve(smt.Options{
 		Decider:               decider,
 		Deadline:              deadline,
@@ -306,11 +325,16 @@ func solveVC(vc *encode.VC, opts Options, encodeTime time.Duration) (Report, err
 		Context:               opts.Context,
 		EagerOrderPropagation: opts.EagerOrderPropagation,
 		Tracer:                satTracer,
-		TimePhases:            opts.TimePhases || tracer != nil,
+		TimePhases:            opts.TimePhases || tracer != nil || opts.Spans != nil,
 	})
+	opts.Spans.End(solveSpan)
 	if err != nil {
 		return Report{}, err
 	}
+	opts.Spans.AddChild(solveSpan, "solve.bcp", res.Timings.BCP)
+	opts.Spans.AddChild(solveSpan, "solve.theory", res.Timings.Theory)
+	opts.Spans.AddChild(solveSpan, "solve.analyze", res.Timings.Analyze)
+	opts.Spans.AddChild(solveSpan, "solve.reduce", res.Timings.Reduce)
 	if tracer != nil {
 		tracer.Span("solve", res.Elapsed)
 		tracer.Span("solve.bcp", res.Timings.BCP)
