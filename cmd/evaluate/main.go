@@ -76,6 +76,7 @@ import (
 	"zpre/internal/memmodel"
 	"zpre/internal/obs"
 	"zpre/internal/profiling"
+	"zpre/internal/retry"
 	"zpre/internal/telemetry"
 )
 
@@ -241,7 +242,19 @@ func main() {
 		cfg.Faults = faultinject.New(faults...)
 	}
 	if *resumePath != "" {
-		prev, err := harness.LoadCheckpoint(*resumePath)
+		// Transient read failures back off and retry; a corrupt (torn/
+		// truncated) checkpoint warns and starts fresh instead of failing the
+		// run; a missing file still fails loud (mistyped -resume path).
+		var prev *harness.JSONResults
+		err := retry.Do(ctx, retry.Policy{MaxAttempts: 3, Base: 50 * time.Millisecond},
+			func(ctx context.Context, attempt int) error {
+				doc, err := harness.LoadCheckpointLenient(*resumePath, os.Stderr)
+				if err != nil {
+					return err
+				}
+				prev = doc
+				return nil
+			})
 		if err != nil {
 			fatalf("%v", err)
 		}

@@ -1,0 +1,103 @@
+// Command zpred is the persistent verification service: submit programs
+// over HTTP, get verdicts back from a supervised portfolio-solving worker
+// pool that survives crashes, budget blowups and kill -9.
+//
+//	zpred -addr :8080 -journal /var/lib/zpred/journal.jsonl -cache-dir /var/lib/zpred/cache
+//
+// Submit a job and poll it:
+//
+//	curl -s -X POST localhost:8080/jobs -d '{"source":"...", "model":"tso", "unroll":3}'
+//	curl -s localhost:8080/jobs/j000001-ab12cd34
+//
+// The service accepts a job only after its accept record is fsync'd to the
+// journal; on restart, unfinished jobs are replayed automatically (watch
+// /healthz flip from 503 to 200). /metrics serves Prometheus text, /runs the
+// live queue. -inject plants deterministic faults at the service seams
+// (enqueue, cache-get, cache-put, cancel, plus the solver-level panic, stall
+// and corrupt kinds) for smoke-testing the degradation paths.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"zpre/internal/faultinject"
+	"zpre/internal/server"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "zpred: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		workers    = flag.Int("workers", 2, "worker pool size")
+		queueDepth = flag.Int("queue", 64, "accept queue depth (full queue answers 429)")
+		journal    = flag.String("journal", "", "write-ahead job journal path (empty = volatile queue)")
+		cacheDir   = flag.String("cache-dir", "", "verdict memo directory (empty = memory-only)")
+		jobTO      = flag.Duration("job-timeout", 60*time.Second, "per-job deadline across all ladder levels and retries")
+		boundTO    = flag.Duration("bound-timeout", 10*time.Second, "per-attempt solve deadline (clamped to -job-timeout)")
+		maxDec     = flag.Uint64("max-decisions", 0, "per-attempt decision budget (0 = none)")
+		maxMemMB   = flag.Int64("max-mem-mb", 256, "per-attempt solver memory cap in MiB")
+		retries    = flag.Int("retries", 3, "max attempts per ladder level for transient failures")
+		quiet      = flag.Bool("quiet", false, "suppress structured logs")
+	)
+	var faults []faultinject.Fault
+	flag.Func("inject", "inject a fault: kind:match[:after[:sleep]] with kind panic|stall|corrupt|enqueue|cache-get|cache-put|cancel (repeatable)", func(spec string) error {
+		f, err := faultinject.Parse(spec)
+		if err != nil {
+			return err
+		}
+		faults = append(faults, f)
+		return nil
+	})
+	flag.Parse()
+
+	cfg := server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		JournalPath:    *journal,
+		CacheDir:       *cacheDir,
+		JobTimeout:     *jobTO,
+		BoundTimeout:   *boundTO,
+		MaxDecisions:   *maxDec,
+		MaxMemoryBytes: *maxMemMB << 20,
+		RetryAttempts:  *retries,
+	}
+	if len(faults) > 0 {
+		cfg.Faults = faultinject.New(faults...)
+		fmt.Fprintf(os.Stderr, "zpred: fault injection armed (%d faults)\n", len(faults))
+	}
+	if !*quiet {
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := srv.Serve(*addr); err != nil {
+		fatalf("listen %s: %v", *addr, err)
+	}
+	srv.Start()
+	fmt.Printf("zpred listening on %s (workers=%d queue=%d journal=%q)\n",
+		srv.Addr(), cfg.Workers, cfg.QueueDepth, *journal)
+
+	// SIGINT/SIGTERM drain gracefully: stop accepting, cancel running jobs,
+	// compact the journal so unfinished jobs replay next start. SIGKILL is
+	// the crash path the journal's fsync-on-accept covers.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "zpred: draining")
+	if err := srv.Close(); err != nil {
+		fatalf("shutdown: %v", err)
+	}
+}

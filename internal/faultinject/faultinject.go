@@ -41,6 +41,23 @@ const (
 	// KindCorrupt suppresses theory conflict verdicts from the Nth one on,
 	// making the theory unsound.
 	KindCorrupt
+
+	// Server seams (zpred / internal/server). These fire through Set.Fire at
+	// explicit injection points rather than through the solver wrappers; each
+	// proves the service degrades instead of dying.
+
+	// KindEnqueue fails the Nth matching queue submission, as an overloaded
+	// or broken queue would; the server must answer 503, not crash.
+	KindEnqueue
+	// KindCacheGet corrupts the Nth matching verdict-cache read; checksum
+	// validation must turn it into a miss, never a wrong answer.
+	KindCacheGet
+	// KindCachePut fails the Nth matching verdict-cache write; the job must
+	// still complete, only un-memoized.
+	KindCachePut
+	// KindCancel delays the loser-cancellation broadcast of the Nth matching
+	// portfolio race by Sleep; the reaper must still collect every goroutine.
+	KindCancel
 )
 
 // String renders the kind (the same spelling Parse accepts).
@@ -52,6 +69,14 @@ func (k Kind) String() string {
 		return "stall"
 	case KindCorrupt:
 		return "corrupt"
+	case KindEnqueue:
+		return "enqueue"
+	case KindCacheGet:
+		return "cache-get"
+	case KindCachePut:
+		return "cache-put"
+	case KindCancel:
+		return "cancel"
 	}
 	return fmt.Sprintf("kind(%d)", k)
 }
@@ -74,7 +99,7 @@ type Fault struct {
 // String renders the fault in the spec syntax Parse accepts.
 func (f Fault) String() string {
 	s := fmt.Sprintf("%s:%s:%d", f.Kind, f.Match, f.at())
-	if f.Kind == KindStall {
+	if f.Kind == KindStall || f.Kind == KindCancel {
 		s += ":" + f.Sleep.String()
 	}
 	return s
@@ -91,9 +116,10 @@ func (f Fault) at() uint64 {
 //
 //	kind:match[:after[:sleep]]
 //
-// where kind is panic|stall|corrupt, match is a run-label substring (empty =
-// all runs), after is the 1-based triggering event index (default 1) and
-// sleep is a Go duration (stall only, default 2s).
+// where kind is panic|stall|corrupt|enqueue|cache-get|cache-put|cancel,
+// match is a run-label substring (empty = all runs), after is the 1-based
+// triggering event index (default 1) and sleep is a Go duration (stall and
+// cancel only; defaults 2s and 50ms).
 func Parse(spec string) (Fault, error) {
 	parts := strings.SplitN(spec, ":", 4)
 	var f Fault
@@ -105,8 +131,17 @@ func Parse(spec string) (Fault, error) {
 		f.Sleep = 2 * time.Second
 	case "corrupt":
 		f.Kind = KindCorrupt
+	case "enqueue":
+		f.Kind = KindEnqueue
+	case "cache-get":
+		f.Kind = KindCacheGet
+	case "cache-put":
+		f.Kind = KindCachePut
+	case "cancel":
+		f.Kind = KindCancel
+		f.Sleep = 50 * time.Millisecond
 	default:
-		return Fault{}, fmt.Errorf("faultinject: unknown kind %q in %q (want panic|stall|corrupt)", parts[0], spec)
+		return Fault{}, fmt.Errorf("faultinject: unknown kind %q in %q (want panic|stall|corrupt|enqueue|cache-get|cache-put|cancel)", parts[0], spec)
 	}
 	if len(parts) > 1 {
 		f.Match = parts[1]
@@ -119,8 +154,8 @@ func Parse(spec string) (Fault, error) {
 		f.After = n
 	}
 	if len(parts) > 3 && parts[3] != "" {
-		if f.Kind != KindStall {
-			return Fault{}, fmt.Errorf("faultinject: sleep only applies to stall faults: %q", spec)
+		if f.Kind != KindStall && f.Kind != KindCancel {
+			return Fault{}, fmt.Errorf("faultinject: sleep only applies to stall and cancel faults: %q", spec)
 		}
 		d, err := time.ParseDuration(parts[3])
 		if err != nil {
@@ -148,6 +183,10 @@ func (p *Panic) String() string {
 type armedFault struct {
 	Fault
 	fired atomic.Uint64
+	// seen counts server-seam events (Set.Fire) across the whole process
+	// lifetime; solver-seam faults count per run inside their wrappers
+	// instead.
+	seen atomic.Uint64
 }
 
 // Set holds armed faults shared across the runs of a sweep.
@@ -204,6 +243,23 @@ func (s *Set) matching(label string, kinds ...Kind) []*armedFault {
 		}
 	}
 	return out
+}
+
+// Fire counts one occurrence of a server-seam event (queue enqueue, cache
+// get/put, portfolio cancel) for the faults of the given kind matching
+// label, and reports whether one fires at exactly this occurrence: the
+// triggering fault and true at the Nth matching event, a zero Fault and
+// false otherwise. Unlike the solver wrappers (whose event counters are per
+// run), seam counters span the process, so "the 3rd enqueue overall" is
+// expressible. Safe for concurrent use; a nil Set never fires.
+func (s *Set) Fire(kind Kind, label string) (Fault, bool) {
+	for _, f := range s.matching(label, kind) {
+		if f.seen.Add(1) == f.at() {
+			f.fired.Add(1)
+			return f.Fault, true
+		}
+	}
+	return Fault{}, false
 }
 
 // Tracer wraps base with the panic/stall faults matching label. It returns

@@ -136,3 +136,68 @@ func TestNilSet(t *testing.T) {
 		t.Fatal("nil set wrapped theory")
 	}
 }
+
+func TestParseServerSeams(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Fault
+	}{
+		{"enqueue:job-3:2", Fault{Kind: KindEnqueue, Match: "job-3", After: 2}},
+		{"cache-get::1", Fault{Kind: KindCacheGet, After: 1}},
+		{"cache-put:fig2", Fault{Kind: KindCachePut, Match: "fig2"}},
+		{"cancel:peterson:1:80ms", Fault{Kind: KindCancel, Match: "peterson", After: 1, Sleep: 80 * time.Millisecond}},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.spec, err)
+		}
+		if f != c.want {
+			t.Fatalf("Parse(%q) = %+v, want %+v", c.spec, f, c.want)
+		}
+		// Round trip through String (defaulted After renders as 1).
+		rt, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)): %v", c.spec, err)
+		}
+		if rt.Kind != f.Kind || rt.Match != f.Match || rt.Sleep != f.Sleep {
+			t.Fatalf("round trip of %q: %+v vs %+v", c.spec, rt, f)
+		}
+	}
+	if _, err := Parse("enqueue:x:1:5s"); err == nil {
+		t.Fatal("sleep on an enqueue fault must be rejected")
+	}
+}
+
+func TestFireAtNthEvent(t *testing.T) {
+	set := New(
+		Fault{Kind: KindEnqueue, Match: "jobA", After: 2},
+		Fault{Kind: KindCacheGet}, // fires at the very first matching get
+	)
+	// Enqueue seam: only the 2nd matching event fires, and only once.
+	if _, ok := set.Fire(KindEnqueue, "jobA/try0"); ok {
+		t.Fatal("fired at event 1, want event 2")
+	}
+	if f, ok := set.Fire(KindEnqueue, "jobA/try1"); !ok || f.Kind != KindEnqueue {
+		t.Fatalf("event 2 did not fire (fault %+v, ok %v)", f, ok)
+	}
+	if _, ok := set.Fire(KindEnqueue, "jobA/try2"); ok {
+		t.Fatal("fired again after the triggering event")
+	}
+	// Non-matching labels never advance the counter.
+	if _, ok := set.Fire(KindEnqueue, "jobB"); ok {
+		t.Fatal("non-matching label fired")
+	}
+	// Distinct kinds keep distinct counters.
+	if f, ok := set.Fire(KindCacheGet, "anything"); !ok || f.Kind != KindCacheGet {
+		t.Fatal("cache-get fault did not fire at its first event")
+	}
+	if got := set.TotalFired(); got != 2 {
+		t.Fatalf("TotalFired = %d, want 2", got)
+	}
+	// Nil sets never fire.
+	var nilSet *Set
+	if _, ok := nilSet.Fire(KindEnqueue, "x"); ok {
+		t.Fatal("nil set fired")
+	}
+}

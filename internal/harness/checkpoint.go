@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -56,8 +57,18 @@ func SaveCheckpoint(path string, res *Results, done []bool) error {
 	return os.Rename(tmp.Name(), path)
 }
 
+// ErrCorrupt marks a checkpoint file that exists but cannot be decoded — a
+// torn write from a crash mid-save (only possible when the atomic tmp+rename
+// was bypassed, e.g. by copying a file around), manual truncation, or plain
+// garbage. Callers should treat it as "no checkpoint" (log and start fresh)
+// rather than failing the run: errors.Is(err, ErrCorrupt) distinguishes it
+// from I/O errors, which may be transient and are worth retrying.
+var ErrCorrupt = errors.New("corrupt checkpoint")
+
 // LoadCheckpoint reads a JSON export (full or checkpointed) for use as
-// Config.Resume.
+// Config.Resume. A file that cannot be parsed — truncated, torn, or not
+// JSON — returns an error wrapping ErrCorrupt so the caller can recover by
+// starting fresh instead of aborting.
 func LoadCheckpoint(path string) (*JSONResults, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -65,9 +76,26 @@ func LoadCheckpoint(path string) (*JSONResults, error) {
 	}
 	var doc JSONResults
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+		return nil, fmt.Errorf("checkpoint %s: %w: %v", path, ErrCorrupt, err)
 	}
 	return &doc, nil
+}
+
+// LoadCheckpointLenient is LoadCheckpoint for resume paths that must not die
+// on a damaged file: a corrupt (truncated/torn/garbage) checkpoint logs a
+// warning to warn and returns (nil, nil) — start fresh, re-running
+// everything — instead of failing the run. Missing files and other I/O
+// errors are still returned, since a mistyped -resume path should fail loud
+// and a transient read error is worth retrying.
+func LoadCheckpointLenient(path string, warn io.Writer) (*JSONResults, error) {
+	doc, err := LoadCheckpoint(path)
+	if errors.Is(err, ErrCorrupt) {
+		if warn != nil {
+			fmt.Fprintf(warn, "checkpoint %s is corrupt (%v); starting fresh\n", path, err)
+		}
+		return nil, nil
+	}
+	return doc, err
 }
 
 // resumeKey identifies a (task, strategy) pair across sweeps.

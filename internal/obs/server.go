@@ -38,6 +38,17 @@ type runsDoc struct {
 // Exposed separately from Serve so httptest can drive it in-process.
 func Handler(reg *telemetry.Registry, board *RunBoard) http.Handler {
 	mux := http.NewServeMux()
+	Mount(mux, reg, board, nil)
+	return mux
+}
+
+// Mount registers the observability trio — /metrics (Prometheus text),
+// /runs (live status JSON) and /healthz — on an existing mux, so services
+// with their own routes (zpred's /jobs) share one surface. ready, when
+// non-nil, turns /healthz into a readiness probe: a false report answers
+// 503 with the detail string (e.g. "replaying journal"), a true report
+// answers 200 with it.
+func Mount(mux *http.ServeMux, reg *telemetry.Registry, board *RunBoard, ready func() (bool, string)) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if reg != nil {
@@ -56,9 +67,21 @@ func Handler(reg *telemetry.Registry, board *RunBoard) http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		if ready == nil {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		ok, detail := ready()
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, detail)
+			return
+		}
+		if detail == "" {
+			detail = "ok"
+		}
+		fmt.Fprintln(w, detail)
 	})
-	return mux
 }
 
 // Serve binds addr (e.g. ":9090" or "127.0.0.1:0") and serves the surface

@@ -1,0 +1,163 @@
+// Package retry implements bounded retry with exponential backoff and full
+// jitter, the policy AWS popularised for thundering-herd avoidance: the
+// delay before attempt n is drawn uniformly from [0, min(Max, Base·2ⁿ)],
+// so concurrent retriers spread out instead of synchronising on the same
+// backoff schedule.
+//
+// The package is context-aware (a cancelled context aborts the sleep and
+// returns immediately) and distinguishes transient from permanent failures:
+// wrapping an error with Permanent stops the loop without consuming the
+// remaining attempts. It is used by the zpred verification service (the
+// degradation ladder retries transient solver failures between levels) and
+// by evaluate's -resume path (transient checkpoint read failures).
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy bounds a retry loop.
+type Policy struct {
+	// MaxAttempts is the total number of calls, first try included
+	// (default 3; values < 1 are treated as 1).
+	MaxAttempts int
+	// Base is the backoff unit: the cap before attempt n is Base·2ⁿ
+	// (default 100ms).
+	Base time.Duration
+	// Max caps every individual delay (default 5s).
+	Max time.Duration
+	// Jitter maps the computed backoff cap to the actual sleep. The default
+	// is full jitter — uniform in [0, cap). Tests override it for
+	// determinism.
+	Jitter func(cap time.Duration) time.Duration
+	// Sleep replaces the delay primitive (tests). The default honours the
+	// context during the wait.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// jitterRand backs the default full-jitter draw. rand.Rand is not safe for
+// concurrent use, so the draw is mutex-guarded: retry loops sleep orders of
+// magnitude longer than this lock is held.
+var (
+	jitterMu   sync.Mutex
+	jitterRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func fullJitter(cap time.Duration) time.Duration {
+	if cap <= 0 {
+		return 0
+	}
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return time.Duration(jitterRand.Int63n(int64(cap)))
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 3
+	}
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	if p.Jitter == nil {
+		p.Jitter = fullJitter
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	return p
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Backoff returns the jittered delay before retrying after attempt n
+// (0-based): a uniform draw from [0, min(Max, Base·2ⁿ)).
+func (p Policy) Backoff(attempt int) time.Duration {
+	p = p.withDefaults()
+	cap := p.Base
+	for i := 0; i < attempt && cap < p.Max; i++ {
+		cap *= 2
+	}
+	if cap > p.Max {
+		cap = p.Max
+	}
+	return p.Jitter(cap)
+}
+
+// permanentError marks a failure the loop must not retry.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Do returns it immediately instead of retrying.
+// A nil err returns nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err carries the Permanent marker.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// Do calls op until it returns nil, returns a Permanent error, the context
+// is cancelled, or MaxAttempts calls have failed. Between failures it sleeps
+// the jittered exponential backoff. The returned error is op's last error
+// (unwrapped from Permanent); on cancellation mid-backoff the context error
+// is attached so both causes survive errors.Is.
+func Do(ctx context.Context, p Policy, op func(ctx context.Context, attempt int) error) error {
+	p = p.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var last error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if last == nil {
+				return err
+			}
+			return fmt.Errorf("%w (context: %w)", last, err)
+		}
+		err := op(ctx, attempt)
+		if err == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		last = err
+		if attempt == p.MaxAttempts-1 {
+			break
+		}
+		if serr := p.Sleep(ctx, p.Backoff(attempt)); serr != nil {
+			return fmt.Errorf("%w (context: %w)", last, serr)
+		}
+	}
+	return last
+}

@@ -1,0 +1,172 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// instant removes real sleeping from a test policy while recording the
+// delays Do would have waited.
+func instant(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return ctx.Err()
+	}
+}
+
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{
+		MaxAttempts: 5,
+		Base:        10 * time.Millisecond,
+		Max:         80 * time.Millisecond,
+		Jitter:      func(cap time.Duration) time.Duration { return cap }, // deterministic: no jitter
+		Sleep:       instant(&delays),
+	}
+	calls := 0
+	err := Do(context.Background(), p, func(ctx context.Context, attempt int) error {
+		if attempt != calls {
+			t.Fatalf("attempt = %d, want %d", attempt, calls)
+		}
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	// Two failures → two backoffs, doubling from Base.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(delays) != len(want) {
+		t.Fatalf("delays = %v, want %v", delays, want)
+	}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Fatalf("delay[%d] = %v, want %v", i, delays[i], want[i])
+		}
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{
+		MaxAttempts: 3,
+		Jitter:      func(cap time.Duration) time.Duration { return 0 },
+		Sleep:       instant(&delays),
+	}
+	calls := 0
+	wantErr := errors.New("still broken")
+	err := Do(context.Background(), p, func(ctx context.Context, attempt int) error {
+		calls++
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (MaxAttempts)", calls)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("backoffs = %d, want 2 (no sleep after the final failure)", len(delays))
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	calls := 0
+	inner := errors.New("bad request")
+	err := Do(context.Background(), Policy{MaxAttempts: 5, Sleep: instant(new([]time.Duration))},
+		func(ctx context.Context, attempt int) error {
+			calls++
+			return Permanent(inner)
+		})
+	if !errors.Is(err, inner) {
+		t.Fatalf("err = %v, want %v", err, inner)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (permanent failures never retry)", calls)
+	}
+	if IsPermanent(err) {
+		t.Fatalf("Do should unwrap the Permanent marker, got %v", err)
+	}
+}
+
+func TestDoHonoursContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	transient := errors.New("transient")
+	calls := 0
+	err := Do(ctx, Policy{MaxAttempts: 10, Base: time.Millisecond},
+		func(ctx context.Context, attempt int) error {
+			calls++
+			cancel() // cancel while "in flight": the backoff sleep must abort
+			return transient
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+	if !errors.Is(err, transient) {
+		t.Fatalf("err = %v, want the last op error in the chain", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retries after cancellation)", calls)
+	}
+}
+
+func TestDoPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Do(ctx, Policy{}, func(ctx context.Context, attempt int) error {
+		t.Fatal("op must not run under a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBackoffCapsAtMax(t *testing.T) {
+	p := Policy{
+		Base:   10 * time.Millisecond,
+		Max:    35 * time.Millisecond,
+		Jitter: func(cap time.Duration) time.Duration { return cap },
+	}
+	want := []time.Duration{
+		10 * time.Millisecond, // 2^0
+		20 * time.Millisecond, // 2^1
+		35 * time.Millisecond, // 2^2 = 40ms, capped
+		35 * time.Millisecond, // stays capped
+	}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffFullJitterStaysInRange(t *testing.T) {
+	p := Policy{Base: 8 * time.Millisecond, Max: time.Second}
+	for attempt := 0; attempt < 6; attempt++ {
+		cap := 8 * time.Millisecond << attempt
+		if cap > time.Second {
+			cap = time.Second
+		}
+		for i := 0; i < 50; i++ {
+			d := p.Backoff(attempt)
+			if d < 0 || d >= cap {
+				t.Fatalf("Backoff(%d) = %v, want in [0, %v)", attempt, d, cap)
+			}
+		}
+	}
+}
+
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) must be nil")
+	}
+}

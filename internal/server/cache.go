@@ -1,0 +1,185 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"zpre/internal/faultinject"
+	"zpre/internal/telemetry"
+)
+
+// The verdict memo is content-addressed: the key is derived from the program
+// text's hash plus every input that could change the verdict (memory model,
+// unroll bound, width). Entries carry a checksum over their semantic fields;
+// an entry that fails validation — bit rot, a torn write, an injected
+// corruption — is a miss, never a crash and never a wrong answer. Only
+// definitive verdicts are memoized: an unknown is a property of the budget,
+// not the instance.
+
+// CacheKey identifies a verification instance up to verdict equivalence.
+type CacheKey struct {
+	ProgramSHA string
+	Model      string
+	Bound      int
+	Width      int
+}
+
+// String renders the canonical key form the checksum covers.
+func (k CacheKey) String() string {
+	return fmt.Sprintf("v1|%s|%s|k%d|w%d", k.ProgramSHA, k.Model, k.Bound, k.Width)
+}
+
+// file is the on-disk entry name: a hash of the canonical key, so hostile
+// submission names can never traverse paths.
+func (k CacheKey) file() string {
+	sum := sha256.Sum256([]byte(k.String()))
+	return hex.EncodeToString(sum[:])[:32] + ".json"
+}
+
+// CacheEntry is a memoized verdict.
+type CacheEntry struct {
+	// Key is the canonical CacheKey string; a mismatch with the requested
+	// key (a hash collision or a mangled file) invalidates the entry.
+	Key string `json:"key"`
+	// Verdict is "true" or "false" (unknowns are never cached).
+	Verdict string `json:"verdict"`
+	// Winner is the solver configuration that produced the verdict.
+	Winner string `json:"winner,omitempty"`
+	// SolveSec is the original backend solve time.
+	SolveSec float64 `json:"solve_sec,omitempty"`
+	// Sum is the CRC32 of the semantic fields; see checksum.
+	Sum uint32 `json:"sum"`
+}
+
+// checksum covers every field a consumer trusts.
+func (e *CacheEntry) checksum() uint32 {
+	return crc32.ChecksumIEEE([]byte(fmt.Sprintf("%s|%s|%s", e.Key, e.Verdict, e.Winner)))
+}
+
+// valid reports whether the entry is intact and belongs to key.
+func (e *CacheEntry) valid(key CacheKey) bool {
+	return e.Key == key.String() && e.Sum == e.checksum() &&
+		(e.Verdict == "true" || e.Verdict == "false")
+}
+
+// Cache is the two-level memo: an in-process map in front of an optional
+// on-disk directory (one JSON file per key, written atomically). Both levels
+// validate checksums on read.
+type Cache struct {
+	dir     string
+	faults  *faultinject.Set
+	metrics *telemetry.Registry
+
+	mu  sync.Mutex
+	mem map[string]CacheEntry
+}
+
+// NewCache builds a cache. dir == "" keeps it memory-only; faults and
+// metrics may be nil.
+func NewCache(dir string, faults *faultinject.Set, metrics *telemetry.Registry) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Cache{dir: dir, faults: faults, metrics: metrics, mem: map[string]CacheEntry{}}, nil
+}
+
+func (c *Cache) count(name string) {
+	if c.metrics != nil {
+		c.metrics.Counter(name).Inc()
+	}
+}
+
+// Get returns the memoized entry for key, if one exists and validates.
+// Injected cache-get faults corrupt the entry's checksum before validation,
+// proving the corrupt-is-a-miss path.
+func (c *Cache) Get(key CacheKey) (CacheEntry, bool) {
+	if c == nil {
+		return CacheEntry{}, false
+	}
+	ks := key.String()
+	c.mu.Lock()
+	e, ok := c.mem[ks]
+	c.mu.Unlock()
+	if !ok && c.dir != "" {
+		data, err := os.ReadFile(filepath.Join(c.dir, key.file()))
+		if err == nil {
+			ok = json.Unmarshal(data, &e) == nil
+		}
+	}
+	if !ok {
+		c.count("cache_misses")
+		return CacheEntry{}, false
+	}
+	if _, fired := c.faults.Fire(faultinject.KindCacheGet, ks); fired {
+		e.Sum ^= 0xdeadbeef // simulate bit rot on the read path
+	}
+	if !e.valid(key) {
+		// Corrupt entry: drop it everywhere and report a miss. The job
+		// re-solves; the service never crashes and never serves the entry.
+		c.mu.Lock()
+		delete(c.mem, ks)
+		c.mu.Unlock()
+		if c.dir != "" {
+			os.Remove(filepath.Join(c.dir, key.file()))
+		}
+		c.count("cache_corrupt")
+		c.count("cache_misses")
+		return CacheEntry{}, false
+	}
+	c.count("cache_hits")
+	return e, true
+}
+
+// Put memoizes a definitive verdict. Non-definitive entries are ignored.
+// A failed (or fault-injected) disk write costs only the memoization: the
+// entry still lands in memory and the job result is unaffected.
+func (c *Cache) Put(key CacheKey, e CacheEntry) {
+	if c == nil || !(e.Verdict == "true" || e.Verdict == "false") {
+		return
+	}
+	e.Key = key.String()
+	e.Sum = e.checksum()
+	c.mu.Lock()
+	c.mem[e.Key] = e
+	c.mu.Unlock()
+	if c.dir == "" {
+		return
+	}
+	if _, fired := c.faults.Fire(faultinject.KindCachePut, e.Key); fired {
+		c.count("cache_put_failed")
+		return
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		c.count("cache_put_failed")
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "entry*.tmp")
+	if err != nil {
+		c.count("cache_put_failed")
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		c.count("cache_put_failed")
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		c.count("cache_put_failed")
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, key.file())); err != nil {
+		os.Remove(tmp.Name())
+		c.count("cache_put_failed")
+	}
+}

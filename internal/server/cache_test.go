@@ -1,0 +1,141 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"zpre/internal/faultinject"
+	"zpre/internal/telemetry"
+)
+
+func testKey() CacheKey {
+	return CacheKey{ProgramSHA: "abc123", Model: "tso", Bound: 3, Width: 8}
+}
+
+func TestCacheHit(t *testing.T) {
+	c, err := NewCache(t.TempDir(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+	c.Put(key, CacheEntry{Verdict: "false", Winner: "zpre", SolveSec: 0.5})
+	e, ok := c.Get(key)
+	if !ok || e.Verdict != "false" || e.Winner != "zpre" {
+		t.Fatalf("get = %+v, %v", e, ok)
+	}
+	// A different bound is a different instance.
+	other := key
+	other.Bound = 4
+	if _, ok := c.Get(other); ok {
+		t.Fatal("bound-4 key hit the bound-3 entry")
+	}
+}
+
+func TestCacheDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	c1, _ := NewCache(dir, nil, nil)
+	key := testKey()
+	c1.Put(key, CacheEntry{Verdict: "true"})
+	// A fresh cache over the same dir (a restarted server) hits on disk.
+	c2, _ := NewCache(dir, nil, nil)
+	e, ok := c2.Get(key)
+	if !ok || e.Verdict != "true" {
+		t.Fatalf("disk get = %+v, %v", e, ok)
+	}
+}
+
+func TestCacheNeverStoresUnknown(t *testing.T) {
+	c, _ := NewCache("", nil, nil)
+	key := testKey()
+	c.Put(key, CacheEntry{Verdict: "unknown"})
+	if _, ok := c.Get(key); ok {
+		t.Fatal("unknown verdict was cached")
+	}
+}
+
+// A corrupt on-disk entry must read as a miss and be deleted — never a crash,
+// never a wrong answer.
+func TestCacheCorruptDiskEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	c, _ := NewCache(dir, nil, reg)
+	key := testKey()
+	c.Put(key, CacheEntry{Verdict: "true"})
+
+	// Corrupt the verdict on disk without fixing the checksum.
+	path := filepath.Join(dir, key.file())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e CacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatal(err)
+	}
+	e.Verdict = "false"
+	data, _ = json.Marshal(e)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh cache (no memory copy) must reject the mangled entry.
+	c2, _ := NewCache(dir, nil, reg)
+	if _, ok := c2.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if got := reg.Counter("cache_corrupt").Value(); got != 1 {
+		t.Fatalf("cache_corrupt = %d, want 1", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry not deleted: %v", err)
+	}
+}
+
+func TestCacheGetFaultInjection(t *testing.T) {
+	f, err := faultinject.Parse("cache-get::1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	c, _ := NewCache("", faultinject.New(f), reg)
+	key := testKey()
+	c.Put(key, CacheEntry{Verdict: "true"})
+	// First get: the injected corruption makes it a miss.
+	if _, ok := c.Get(key); ok {
+		t.Fatal("injected corruption still hit")
+	}
+	if got := reg.Counter("cache_corrupt").Value(); got != 1 {
+		t.Fatalf("cache_corrupt = %d, want 1", got)
+	}
+	// The fault fires once; after re-population the cache works again.
+	c.Put(key, CacheEntry{Verdict: "true"})
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("cache did not recover after the injected fault")
+	}
+}
+
+func TestCachePutFaultCostsOnlyDisk(t *testing.T) {
+	f, err := faultinject.Parse("cache-put::1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	c, _ := NewCache(dir, faultinject.New(f), reg)
+	key := testKey()
+	c.Put(key, CacheEntry{Verdict: "true"})
+	if got := reg.Counter("cache_put_failed").Value(); got != 1 {
+		t.Fatalf("cache_put_failed = %d, want 1", got)
+	}
+	// The memory level still serves the entry.
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("memory level lost the entry after a disk put failure")
+	}
+	// But a fresh cache over the dir misses: the disk write was dropped.
+	c2, _ := NewCache(dir, nil, nil)
+	if _, ok := c2.Get(key); ok {
+		t.Fatal("disk has an entry despite the injected put failure")
+	}
+}

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"zpre"
+	"zpre/internal/faultinject"
+	"zpre/internal/memmodel"
+)
+
+// chaosSpec deals out a varied corpus: the Figure-2 template with differing
+// constants (distinct content hashes), models and unroll bounds. A slice of
+// the jobs carries fault-triggering names.
+func chaosSpec(i int) JobSpec {
+	models := []string{"sc", "tso", "pso"}
+	name := fmt.Sprintf("chaos-%03d", i)
+	switch i % 11 {
+	case 3:
+		name = fmt.Sprintf("chaos-panic-%03d", i)
+	case 7:
+		name = fmt.Sprintf("chaos-stall-%03d", i)
+	}
+	return JobSpec{
+		Name: name,
+		Source: fmt.Sprintf(`shared x; shared y; shared m; shared n;
+thread t1 { x = y + %d; m = y; }
+thread t2 { y = x + %d; n = x; }
+main { assert(!(m == 0 && n == 0)); }`, i%5+1, i%3+1),
+		Model:  models[i%3],
+		Unroll: i%2 + 1,
+	}
+}
+
+// oneShot is the reference answer: a single zpre.Verify call with no
+// service, no faults, no portfolio.
+func oneShot(t *testing.T, spec JobSpec) string {
+	t.Helper()
+	prog, err := zpre.ParseProgram(spec.Name, spec.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _ := memmodel.Parse(spec.Model)
+	rep, err := zpre.Verify(prog, zpre.Options{
+		Model:    model,
+		Strategy: zpre.ZPRE,
+		Unroll:   spec.Unroll,
+		Width:    8,
+		Timeout:  30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("one-shot %s: %v", spec.Name, err)
+	}
+	return rep.Verdict.String()
+}
+
+// TestChaosUnderFaults is the acceptance gate: a big job corpus with fault
+// injection armed at every seam (solver panics, stalls, cache corruption on
+// both paths, delayed portfolio cancellation, enqueue failures) plus random
+// user cancellations. The service must finish every job with zero crashes
+// and zero goroutine leaks, and every definitive full-bound verdict must
+// equal the one-shot zpre answer.
+func TestChaosUnderFaults(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 40
+	}
+	before := runtime.NumGoroutine()
+
+	var faults []faultinject.Fault
+	for _, spec := range []string{
+		"panic:chaos-panic:2", // every racer of the matching jobs panics
+		"stall:chaos-stall:1:2ms",
+		"cache-get::4",
+		"cache-put::6",
+		"cancel::3:2ms",
+		"enqueue::11",
+	} {
+		f, err := faultinject.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults = append(faults, f)
+	}
+
+	s := newTestServer(t, func(c *Config) {
+		c.Workers = 4
+		c.QueueDepth = n + 8
+		c.JobTimeout = 60 * time.Second
+		c.BoundTimeout = 20 * time.Second
+		c.RetryBase = 5 * time.Millisecond
+		c.Faults = faultinject.New(faults...)
+	})
+	s.Start()
+
+	rng := rand.New(rand.NewSource(1))
+	type submission struct {
+		id        string
+		spec      JobSpec
+		cancelled bool
+	}
+	var subs []submission
+	for i := 0; i < n; i++ {
+		spec := chaosSpec(i)
+		job, status, err := s.Submit(spec)
+		if err != nil && status == http.StatusServiceUnavailable {
+			// The injected enqueue failure: the client's retry succeeds.
+			job, status, err = s.Submit(spec)
+		}
+		if err != nil {
+			t.Fatalf("submit %d: status %d: %v", i, status, err)
+		}
+		sub := submission{id: job.ID, spec: spec}
+		if rng.Intn(10) == 0 {
+			s.Cancel(job.ID)
+			sub.cancelled = true
+		}
+		subs = append(subs, sub)
+	}
+
+	expected := map[string]string{}
+	for _, sub := range subs {
+		res := waitJobDone(t, s, sub.id)
+		if res == nil {
+			t.Fatalf("job %s finished without a result", sub.id)
+		}
+		if !res.Definitive() {
+			// Honest unknowns must say why.
+			if !sub.cancelled && res.Stop == "" && res.Failure == "" {
+				t.Errorf("job %s: unknown with no stop reason or failure (%+v)", sub.id, res)
+			}
+			continue
+		}
+		if res.Bound != sub.spec.Unroll {
+			continue // a bounded-rung degradation answered a weaker question
+		}
+		key := sub.spec.sourceSHA() + "|" + sub.spec.Model + "|" + fmt.Sprint(sub.spec.Unroll)
+		want, ok := expected[key]
+		if !ok {
+			want = oneShot(t, sub.spec)
+			expected[key] = want
+		}
+		if res.Verdict != want {
+			t.Errorf("job %s (%s %s k%d): verdict %s, want %s (level %s winner %s cached %v)",
+				sub.id, sub.spec.Name, sub.spec.Model, sub.spec.Unroll,
+				res.Verdict, want, res.Level, res.Winner, res.Cached)
+		}
+	}
+
+	if got := s.reg.Counter("jobs_completed").Value(); got == 0 {
+		t.Fatal("no jobs completed")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	checkGoroutines(t, before)
+}

@@ -1,0 +1,201 @@
+// Package server implements zpred, the persistent verification service: a
+// bounded, supervised worker pool solving submitted programs with portfolio
+// racing (several solver configurations on one instance, first answer wins,
+// losers cancelled and reaped), a crash-safe write-ahead job journal so an
+// accepted queue survives SIGKILL, a content-addressed verdict memo with
+// checksum validation, retry with exponential backoff + full jitter for
+// transient solver failures, and a degradation ladder — portfolio → single
+// safest configuration → bounded-only verdict with an honest stop reason —
+// so the service answers rather than errors.
+//
+// Robustness discipline, in one place:
+//
+//   - a crashed or budget-exceeded worker is replaced, never kills the
+//     process (panic isolation at the racer, the job and the worker loop);
+//   - every deadline nests: job timeout > per-attempt (per-bound) timeout >
+//     the solver's internal poll interval;
+//   - the journal is append-only JSONL with a per-record checksum and an
+//     atomic tmp+rename compaction, so a torn tail is cut, not fatal;
+//   - a corrupt cache entry is a miss, not a crash, and never a wrong
+//     answer;
+//   - a full queue answers 429 with Retry-After (backpressure), a draining
+//     server answers 503.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"zpre/internal/cprog"
+	"zpre/internal/memmodel"
+)
+
+// Job states as rendered on /jobs.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+)
+
+// Limits on submissions: a malformed or hostile request must be rejected at
+// the door, not crash a worker.
+const (
+	// MaxSourceBytes bounds the submitted program text.
+	MaxSourceBytes = 1 << 16
+	// MaxUnroll bounds the requested unrolling depth.
+	MaxUnroll = 16
+	// MaxWidth bounds the program integer bit width.
+	MaxWidth = 16
+)
+
+// JobSpec is a verification job submission (the POST /jobs body).
+type JobSpec struct {
+	// Name labels the job (defaults to the program's parsed name).
+	Name string `json:"name,omitempty"`
+	// Source is the program text (see internal/cprog). Required.
+	Source string `json:"source"`
+	// Model is the memory model: sc (default), tso or pso.
+	Model string `json:"model,omitempty"`
+	// Unroll is the loop unrolling bound (default 1, max MaxUnroll).
+	Unroll int `json:"unroll,omitempty"`
+	// Width is the program integer bit width (default 8, max MaxWidth).
+	Width int `json:"width,omitempty"`
+	// Mode selects "portfolio" (default: race solver configurations) or
+	// "single" (one safest configuration; the ladder then starts there).
+	Mode string `json:"mode,omitempty"`
+}
+
+// normalize fills defaults and validates the spec, returning the parsed
+// program and model. It is the submission gate: anything rejected here gets
+// a 400, anything accepted is safe to hand to a worker.
+func (spec *JobSpec) normalize() (*cprog.Program, memmodel.Model, error) {
+	if spec.Source == "" {
+		return nil, 0, fmt.Errorf("missing program source")
+	}
+	if len(spec.Source) > MaxSourceBytes {
+		return nil, 0, fmt.Errorf("program source exceeds %d bytes", MaxSourceBytes)
+	}
+	if spec.Model == "" {
+		spec.Model = "sc"
+	}
+	model, ok := memmodel.Parse(spec.Model)
+	if !ok {
+		return nil, 0, fmt.Errorf("unknown memory model %q", spec.Model)
+	}
+	if spec.Unroll == 0 {
+		spec.Unroll = 1
+	}
+	if spec.Unroll < 1 || spec.Unroll > MaxUnroll {
+		return nil, 0, fmt.Errorf("unroll bound %d out of range [1, %d]", spec.Unroll, MaxUnroll)
+	}
+	if spec.Width == 0 {
+		spec.Width = 8
+	}
+	if spec.Width < 1 || spec.Width > MaxWidth {
+		return nil, 0, fmt.Errorf("width %d out of range [1, %d]", spec.Width, MaxWidth)
+	}
+	switch spec.Mode {
+	case "":
+		spec.Mode = "portfolio"
+	case "portfolio", "single":
+	default:
+		return nil, 0, fmt.Errorf("unknown mode %q (want portfolio or single)", spec.Mode)
+	}
+	name := spec.Name
+	if name == "" {
+		name = "job"
+	}
+	prog, err := cprog.Parse(name, spec.Source)
+	if err != nil {
+		return nil, 0, fmt.Errorf("parse: %v", err)
+	}
+	if spec.Name == "" {
+		spec.Name = prog.Name
+	}
+	return prog, model, nil
+}
+
+// sourceSHA is the content address of the program text (the cache key's
+// program component).
+func (spec *JobSpec) sourceSHA() string {
+	sum := sha256.Sum256([]byte(spec.Source))
+	return hex.EncodeToString(sum[:])
+}
+
+// JobResult is a finished job's outcome. Every field is honest: a degraded
+// or budget-stopped answer says so instead of masquerading as a verdict.
+type JobResult struct {
+	// Verdict in SV-COMP vocabulary: "true" (safe at Bound), "false"
+	// (violation reachable) or "unknown".
+	Verdict string `json:"verdict"`
+	// Stop is the solver stop reason behind an "unknown" verdict (deadline,
+	// decision-budget, memout, cancelled), empty for a real verdict.
+	Stop string `json:"stop,omitempty"`
+	// Failure classifies a run that kept failing (panic, error), empty
+	// otherwise.
+	Failure string `json:"failure,omitempty"`
+	// Level is the degradation-ladder level that produced the answer:
+	// "portfolio", "single" or "bounded".
+	Level string `json:"level,omitempty"`
+	// Degraded is true when Level is below the job's requested starting
+	// level (the service fell back).
+	Degraded bool `json:"degraded,omitempty"`
+	// Winner is the solver configuration that answered first.
+	Winner string `json:"winner,omitempty"`
+	// Bound is the unroll bound actually solved. It equals the requested
+	// bound except at the "bounded" ladder level, which retreats to 1.
+	Bound int `json:"bound,omitempty"`
+	// Attempts counts solver attempts across all levels; Retries counts the
+	// backoff retries among them.
+	Attempts int `json:"attempts,omitempty"`
+	Retries  int `json:"retries,omitempty"`
+	// Cached marks an answer served from the verdict memo without solving.
+	Cached bool `json:"cached,omitempty"`
+	// Replayed marks a job re-run from the journal after a restart.
+	Replayed bool `json:"replayed,omitempty"`
+	// SolveSec is the winning attempt's backend solve time.
+	SolveSec float64 `json:"solve_sec,omitempty"`
+	// Decisions/Conflicts are the winning attempt's search counters.
+	Decisions uint64 `json:"decisions,omitempty"`
+	Conflicts uint64 `json:"conflicts,omitempty"`
+}
+
+// Definitive reports whether the result carries a real verdict (safe or
+// unsafe) rather than an unknown.
+func (r *JobResult) Definitive() bool {
+	return r != nil && (r.Verdict == "true" || r.Verdict == "false")
+}
+
+// Job is one tracked submission. Spec and the parsed program are immutable
+// after acceptance; the mutable state (State, Result, cancel) is guarded by
+// the server mutex.
+type Job struct {
+	ID   string  `json:"id"`
+	Seq  uint64  `json:"-"`
+	Spec JobSpec `json:"spec"`
+
+	State  string     `json:"state"`
+	Result *JobResult `json:"result,omitempty"`
+
+	// Accepted is when the journal accepted the job (informational).
+	Accepted time.Time `json:"accepted,omitempty"`
+
+	// prog/model are the validated submission (re-derived on journal
+	// replay).
+	prog  *cprog.Program
+	model memmodel.Model
+	// cancel aborts the job's context (set while running); cancelled marks
+	// a DELETE before or during execution.
+	cancel    func()
+	cancelled bool
+	// replayed marks a job restored from the journal.
+	replayed bool
+}
+
+// jobID derives the stable job identifier from its sequence number and
+// content address: readable, unique, and reconstructible from the journal.
+func jobID(seq uint64, spec *JobSpec) string {
+	return fmt.Sprintf("j%06d-%s", seq, spec.sourceSHA()[:8])
+}

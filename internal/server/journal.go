@@ -1,0 +1,252 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The journal is zpred's write-ahead log: a job is accepted only after its
+// accept record is on disk (fsync'd), so kill -9 at any point loses no
+// accepted job — restart replays every accept without a matching done or
+// cancel. The format is append-only JSONL where each line wraps its record
+// with a CRC32 checksum:
+//
+//	{"rec":{"op":"accept","id":"j000001-ab12cd34","seq":1,"spec":{...}},"sum":3735928559}
+//
+// A torn final line (the only kind a crash mid-append can produce) fails its
+// checksum or its parse and is cut; everything before it is intact. On clean
+// shutdown the journal is compacted with the PR-3 checkpoint idiom — the
+// snapshot is written to a temp file in the same directory and renamed over
+// the journal — so compaction is atomic too.
+
+// Journal ops.
+const (
+	opAccept = "accept"
+	opDone   = "done"
+	opCancel = "cancel"
+)
+
+// Record is one journal entry.
+type Record struct {
+	Op   string   `json:"op"`
+	ID   string   `json:"id"`
+	Seq  uint64   `json:"seq,omitempty"`
+	Spec *JobSpec `json:"spec,omitempty"`
+	// Result is set on done records so completed verdicts survive restarts.
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// journalLine is the on-disk envelope: the raw record plus its checksum.
+type journalLine struct {
+	Rec json.RawMessage `json:"rec"`
+	Sum uint32          `json:"sum"`
+}
+
+// Journal is the append handle. Append is safe for concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	// NoSync skips the per-append fsync (tests; production keeps it on so
+	// "accepted" means "on disk").
+	NoSync bool
+}
+
+// LoadJournal reads every intact record from path, stopping at the first
+// torn or checksum-failing line (the crash-truncated tail). A missing file
+// is an empty journal. The second result counts the lines dropped.
+func LoadJournal(path string) ([]Record, int, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	var recs []Record
+	dropped := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*MaxSourceBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var env journalLine
+		if err := json.Unmarshal(line, &env); err != nil {
+			dropped++
+			break // torn tail: nothing after it is trustworthy
+		}
+		if crc32.ChecksumIEEE(env.Rec) != env.Sum {
+			dropped++
+			break
+		}
+		var rec Record
+		if err := json.Unmarshal(env.Rec, &rec); err != nil {
+			dropped++
+			break
+		}
+		recs = append(recs, rec)
+	}
+	// A scanner error (e.g. an over-long garbage line) also just ends the
+	// readable prefix.
+	if sc.Err() != nil {
+		dropped++
+	}
+	for sc.Scan() {
+		dropped++ // count the rest of the unreachable tail, best effort
+	}
+	return recs, dropped, nil
+}
+
+// OpenJournal loads the intact prefix of path and opens it for appending.
+// When the load dropped a torn tail, the file is first compacted to the
+// intact records so the journal never accumulates garbage mid-file.
+func OpenJournal(path string) (*Journal, []Record, error) {
+	recs, dropped, err := LoadJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{path: path}
+	if dropped > 0 {
+		if err := j.Compact(recs); err != nil {
+			return nil, nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	j.f = f
+	return j, recs, nil
+}
+
+// Append writes one record and (unless NoSync) fsyncs, so the record
+// survives kill -9 the moment Append returns.
+func (j *Journal) Append(rec Record) error {
+	if j == nil {
+		return nil
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(journalLine{Rec: raw, Sum: crc32.ChecksumIEEE(raw)})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("journal %s: closed", j.path)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if j.NoSync {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+// Compact atomically replaces the journal with the given records: the
+// snapshot is written to a temp file in the journal's directory, synced, and
+// renamed over the journal (the checkpoint idiom), then the append handle is
+// reopened on the new file.
+func (j *Journal) Compact(recs []Record) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), filepath.Base(j.path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(tmp)
+	for _, rec := range recs {
+		raw, err := json.Marshal(rec)
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+		line, err := json.Marshal(journalLine{Rec: raw, Sum: crc32.ChecksumIEEE(raw)})
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if !j.NoSync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if j.f != nil {
+		j.f.Close()
+		f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			j.f = nil
+			return err
+		}
+		j.f = f
+	}
+	return nil
+}
+
+// Close closes the append handle. Further Appends fail.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// snapshotRecords renders the jobs' current state as a compact journal:
+// accept (+ done or cancel) per job, in sequence order. Used by Compact on
+// clean shutdown so a restart replays exactly the unfinished jobs.
+func snapshotRecords(jobs []*Job) []Record {
+	var recs []Record
+	for _, job := range jobs {
+		spec := job.Spec
+		recs = append(recs, Record{Op: opAccept, ID: job.ID, Seq: job.Seq, Spec: &spec})
+		switch {
+		case job.State == StateDone && job.Result != nil:
+			recs = append(recs, Record{Op: opDone, ID: job.ID, Result: job.Result})
+		case job.cancelled:
+			recs = append(recs, Record{Op: opCancel, ID: job.ID})
+		}
+	}
+	return recs
+}

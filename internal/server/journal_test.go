@@ -1,0 +1,184 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testSpec(name string) JobSpec {
+	return JobSpec{
+		Name: name,
+		Source: `shared x; shared y; shared m; shared n;
+thread t1 { x = y + 1; m = y; }
+thread t2 { y = x + 1; n = x; }
+main { assert(!(m == 0 && n == 0)); }`,
+		Model: "sc",
+	}
+}
+
+func journalRecords(t *testing.T, n int) ([]Record, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j := &Journal{path: path, NoSync: true}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.f = f
+	var recs []Record
+	for i := 0; i < n; i++ {
+		spec := testSpec("job")
+		rec := Record{Op: opAccept, ID: jobID(uint64(i+1), &spec), Seq: uint64(i + 1), Spec: &spec}
+		if err := j.Append(rec); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return recs, path
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	want, path := journalRecords(t, 3)
+	got, dropped, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || got[i].Op != want[i].Op || got[i].Seq != want[i].Seq {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJournalMissingFileIsEmpty(t *testing.T) {
+	recs, dropped, err := LoadJournal(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || dropped != 0 || len(recs) != 0 {
+		t.Fatalf("missing journal: recs=%d dropped=%d err=%v", len(recs), dropped, err)
+	}
+}
+
+// TestJournalTornTailAtEveryPrefix is the kill -9 model: whatever byte the
+// crash cut the file at, loading must keep the intact record prefix and
+// never error.
+func TestJournalTornTailAtEveryPrefix(t *testing.T) {
+	_, path := journalRecords(t, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One full line ~ len/3; count intact newlines to know the expected
+	// record count for a given cut.
+	for cut := 0; cut < len(data); cut++ {
+		torn := filepath.Join(t.TempDir(), "torn.jsonl")
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		wantRecs := 0
+		for _, b := range data[:cut] {
+			if b == '\n' {
+				wantRecs++
+			}
+		}
+		if data[cut] == '\n' {
+			// The cut removed only the newline: the final unterminated line
+			// is complete JSON and still loads.
+			wantRecs++
+		}
+		recs, _, err := LoadJournal(torn)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs) != wantRecs {
+			t.Fatalf("cut %d: loaded %d records, want %d", cut, len(recs), wantRecs)
+		}
+	}
+}
+
+// A corrupted middle line must cut the journal there: records after the
+// corruption can depend on lost state and are not trustworthy.
+func TestJournalChecksumFailureCutsTail(t *testing.T) {
+	_, path := journalRecords(t, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the second line's record payload.
+	first := 0
+	for i, b := range data {
+		if b == '\n' {
+			first = i
+			break
+		}
+	}
+	data[first+10] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, dropped, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("loaded %d records, want 1 (intact prefix)", len(recs))
+	}
+	if dropped == 0 {
+		t.Fatal("dropped = 0, want > 0")
+	}
+	// OpenJournal must compact the garbage away so the next append starts
+	// from a clean file.
+	j, recs2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(recs2) != 1 {
+		t.Fatalf("reopened with %d records, want 1", len(recs2))
+	}
+	recs3, dropped3, err := LoadJournal(path)
+	if err != nil || dropped3 != 0 || len(recs3) != 1 {
+		t.Fatalf("after compaction: recs=%d dropped=%d err=%v", len(recs3), dropped3, err)
+	}
+}
+
+func TestJournalCompactSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.NoSync = true
+	spec1, spec2 := testSpec("a"), testSpec("b")
+	done := &Job{ID: "j1", Seq: 1, Spec: spec1, State: StateDone,
+		Result: &JobResult{Verdict: "true", Level: "portfolio"}}
+	pending := &Job{ID: "j2", Seq: 2, Spec: spec2, State: StateQueued}
+	if err := j.Compact(snapshotRecords([]*Job{done, pending})); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, dropped, err := LoadJournal(path)
+	if err != nil || dropped != 0 {
+		t.Fatalf("load: dropped=%d err=%v", dropped, err)
+	}
+	// done job: accept + done; pending job: accept only.
+	if len(recs) != 3 {
+		t.Fatalf("compacted to %d records, want 3", len(recs))
+	}
+	if recs[1].Op != opDone || recs[1].Result == nil || recs[1].Result.Verdict != "true" {
+		t.Fatalf("done record = %+v", recs[1])
+	}
+	if recs[2].Op != opAccept || recs[2].ID != "j2" {
+		t.Fatalf("pending record = %+v", recs[2])
+	}
+}

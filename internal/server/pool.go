@@ -1,0 +1,425 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"zpre/internal/obs"
+	"zpre/internal/retry"
+	"zpre/internal/sat"
+)
+
+// The worker pool is supervised: each worker runs jobs inside a recover; a
+// panic that escapes a job (or the pool's own plumbing) finishes the current
+// job with an honest FailPanic result and respawns the worker. The process
+// never dies because a job did. The pool's defer ordering matters — the
+// respawn's wg.Add(1) runs before the dying worker's wg.Done() (LIFO
+// defers), so Close's wg.Wait() can never observe a transient zero.
+
+// lowDecisionBudget caps the "bounded" ladder level's search so the
+// last-resort attempt stays cheap even when the configured budget is
+// generous (or unlimited).
+const lowDecisionBudget = 200_000
+
+// startWorkers launches the pool.
+func (s *Server) startWorkers() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+}
+
+// worker is one supervised pool member: it drains the queue until the queue
+// closes, containing any escaped panic by finishing the job and respawning
+// itself.
+func (s *Server) worker(i int) {
+	var current *Job
+	defer s.wg.Done()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		s.reg.Counter("worker_restarts").Inc()
+		if lg := obs.ForRun(s.logger, fmt.Sprintf("worker%d", i)); lg != nil {
+			lg.Error("worker panic; respawning", "panic", fmt.Sprint(r))
+		}
+		if current != nil {
+			s.finish(current, &JobResult{
+				Verdict: "unknown",
+				Failure: sat.FailPanic.String(),
+				Level:   "worker",
+			})
+		}
+		s.mu.Lock()
+		closing := s.closing
+		s.mu.Unlock()
+		if !closing {
+			// wg.Add before this defer's wg.Done fires (defers are LIFO), so
+			// the pool count never dips to zero while a respawn is pending.
+			s.wg.Add(1)
+			go s.worker(i)
+		}
+	}()
+	for job := range s.queue {
+		current = job
+		if hook := s.workerHook; hook != nil {
+			// Test seam: runs outside runJob's own recover so supervisor
+			// tests can crash the worker itself, not just a job.
+			hook(job)
+		}
+		s.runJob(job)
+		current = nil
+	}
+}
+
+// runJob executes one job end to end: cache probe, degradation ladder,
+// journal the outcome. Its recover is the per-job isolation layer — a panic
+// here costs one job, not the worker.
+func (s *Server) runJob(job *Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.reg.Counter("jobs_panicked").Inc()
+			s.finish(job, &JobResult{
+				Verdict: "unknown",
+				Failure: sat.FailPanic.String(),
+				Stop:    fmt.Sprintf("panic: %.120s", fmt.Sprint(r)),
+			})
+			if lg := obs.ForRun(s.logger, job.ID); lg != nil {
+				lg.Error("job panic contained", "panic", fmt.Sprint(r),
+					"stack", string(debug.Stack()))
+			}
+		}
+	}()
+
+	s.mu.Lock()
+	if job.State != StateQueued || job.cancelled {
+		s.mu.Unlock()
+		return
+	}
+	if s.closing {
+		// Drain-time dequeue: leave the job queued (and un-journaled-done) so
+		// the next start replays it.
+		s.mu.Unlock()
+		return
+	}
+	job.State = StateRunning
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	job.cancel = cancel
+	s.mu.Unlock()
+	defer cancel()
+
+	s.reg.Gauge("queue_depth").Set(int64(len(s.queue)))
+	s.board.Running(job.ID, job.Spec.Unroll)
+	if lg := obs.ForRun(s.logger, job.ID); lg != nil {
+		lg.Info("job start", "name", job.Spec.Name, "model", job.Spec.Model,
+			"unroll", job.Spec.Unroll, "mode", job.Spec.Mode, "replayed", job.replayed)
+	}
+
+	key := CacheKey{
+		ProgramSHA: job.Spec.sourceSHA(),
+		Model:      job.Spec.Model,
+		Bound:      job.Spec.Unroll,
+		Width:      job.Spec.Width,
+	}
+	if e, ok := s.cache.Get(key); ok {
+		s.finish(job, &JobResult{
+			Verdict:  e.Verdict,
+			Winner:   e.Winner,
+			Bound:    job.Spec.Unroll,
+			Cached:   true,
+			SolveSec: e.SolveSec,
+		})
+		return
+	}
+
+	res := s.solveLadder(ctx, job)
+	if res.Definitive() && res.Bound == job.Spec.Unroll {
+		s.cache.Put(key, CacheEntry{
+			Verdict:  res.Verdict,
+			Winner:   res.Winner,
+			SolveSec: res.SolveSec,
+		})
+	}
+	s.finish(job, res)
+}
+
+// finish records a job's terminal state exactly once: result, board,
+// metrics, journal. A job already finished (e.g. cancelled concurrently)
+// keeps its first result.
+func (s *Server) finish(job *Job, res *JobResult) {
+	res.Replayed = job.replayed
+	s.mu.Lock()
+	if job.State == StateDone {
+		s.mu.Unlock()
+		return
+	}
+	job.State = StateDone
+	job.Result = res
+	shuttingDown := s.closing && !job.cancelled && res.Stop == sat.StopCancelled.String()
+	if shuttingDown {
+		// The shutdown cancelled this run, the user didn't: put the job back
+		// in queued state so the snapshot compaction keeps only its accept
+		// record and the next start replays it.
+		job.State = StateQueued
+		job.Result = nil
+		job.cancel = nil
+	}
+	s.mu.Unlock()
+	if shuttingDown {
+		return
+	}
+
+	if err := s.journal.Append(Record{Op: opDone, ID: job.ID, Result: res}); err != nil {
+		s.reg.Counter("journal_append_failed").Inc()
+		if lg := obs.ForRun(s.logger, job.ID); lg != nil {
+			lg.Error("journal done append failed", "err", err)
+		}
+	}
+	s.board.Done(job.ID, res.Verdict, res.Stop)
+	s.reg.Counter("jobs_completed").Inc()
+	if res.Degraded {
+		s.reg.Counter("jobs_degraded").Inc()
+	}
+	if res.Cached {
+		s.reg.Counter("jobs_cache_served").Inc()
+	}
+	if !res.Definitive() {
+		s.reg.Counter("jobs_unknown").Inc()
+	}
+	s.reg.Histogram("job_solve_us").ObserveDuration(time.Duration(res.SolveSec * float64(time.Second)))
+	if lg := obs.ForRun(s.logger, job.ID); lg != nil {
+		lg.Info("job done", "verdict", res.Verdict, "level", res.Level,
+			"winner", res.Winner, "stop", res.Stop, "degraded", res.Degraded,
+			"attempts", res.Attempts, "cached", res.Cached)
+	}
+}
+
+// ladderLevel is one rung of the degradation ladder.
+type ladderLevel struct {
+	name string
+	cfgs []SolverConfig
+	// bound overrides the job's unroll bound (0 = use the spec's).
+	bound int
+	// lowBudget caps the decision budget for the last-resort rung.
+	lowBudget bool
+}
+
+// ladderFor builds the job's ladder: its requested starting level, then
+// every weaker rung. Degradation means answering from a rung below the
+// first.
+func ladderFor(job *Job) []ladderLevel {
+	var levels []ladderLevel
+	if job.Spec.Mode == "portfolio" {
+		levels = append(levels, ladderLevel{name: "portfolio", cfgs: PortfolioConfigs()})
+	}
+	levels = append(levels, ladderLevel{name: "single", cfgs: []SolverConfig{SafestConfig()}})
+	levels = append(levels, ladderLevel{
+		name:      "bounded",
+		cfgs:      []SolverConfig{SafestConfig()},
+		bound:     1,
+		lowBudget: true,
+	})
+	return levels
+}
+
+// errLevelFailed carries a rung's representative outcome through retry.Do.
+type errLevelFailed struct {
+	level string
+	rep   raceResult
+	kind  sat.FailureKind
+}
+
+func (e *errLevelFailed) Error() string {
+	return fmt.Sprintf("level %s failed (%s)", e.level, e.kind)
+}
+
+// solveLadder walks the degradation ladder: each rung retries transient
+// failures (panic, memout) with exponential backoff + jitter, then the job
+// falls to the next rung. The final answer is honest about which rung (and
+// bound) produced it; with every rung exhausted the result is an "unknown"
+// carrying the last stop reason and failure class.
+func (s *Server) solveLadder(ctx context.Context, job *Job) *JobResult {
+	attempts, retries := 0, 0
+	var lastFail *errLevelFailed
+	levels := ladderFor(job)
+	for li, level := range levels {
+		if ctx.Err() != nil {
+			break
+		}
+		bound := job.Spec.Unroll
+		if level.bound > 0 && level.bound < bound {
+			bound = level.bound
+		}
+		var win *raceResult
+		policy := retry.Policy{
+			MaxAttempts: s.cfg.RetryAttempts,
+			Base:        s.cfg.RetryBase,
+		}
+		err := retry.Do(ctx, policy, func(ctx context.Context, attempt int) error {
+			if attempt > 0 {
+				retries++
+				s.reg.Counter("job_retries").Inc()
+			}
+			attempts++
+			w, all := s.raceOnce(ctx, job, level, bound)
+			if w != nil {
+				win = w
+				return nil
+			}
+			fail := classifyRace(level.name, all, ctx)
+			lastFail = fail
+			if fail.kind == sat.FailPanic || fail.kind == sat.FailMemout {
+				return fail // transient: backoff and retry this rung
+			}
+			return retry.Permanent(fail) // budget/deadline: fall a rung instead
+		})
+		if win != nil {
+			rep := win.rep
+			return &JobResult{
+				Verdict:   rep.Verdict.String(),
+				Level:     level.name,
+				Degraded:  li > 0,
+				Winner:    win.cfg.Label,
+				Bound:     bound,
+				Attempts:  attempts,
+				Retries:   retries,
+				SolveSec:  rep.SolveTime.Seconds(),
+				Decisions: rep.SolverStats.Decisions,
+				Conflicts: rep.SolverStats.Conflicts,
+			}
+		}
+		if lg := obs.ForRun(s.logger, job.ID); lg != nil {
+			lg.Warn("ladder level exhausted", "level", level.name, "err", err)
+		}
+	}
+
+	// Every rung exhausted (or the job deadline/cancellation cut the
+	// ladder): an honest unknown.
+	res := &JobResult{
+		Verdict:  "unknown",
+		Attempts: attempts,
+		Retries:  retries,
+		Degraded: true,
+		Level:    levels[len(levels)-1].name,
+	}
+	if lastFail != nil {
+		res.Level = lastFail.level
+		if lastFail.rep.err == nil {
+			res.Stop = lastFail.rep.rep.Stop.String()
+		}
+		if lastFail.kind != sat.FailNone {
+			res.Failure = lastFail.kind.String()
+		}
+	}
+	if ctx.Err() != nil && res.Stop == "" {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			res.Stop = sat.StopDeadline.String()
+			res.Failure = sat.FailTimeout.String()
+		} else {
+			res.Stop = sat.StopCancelled.String()
+			res.Failure = sat.FailCancelled.String()
+		}
+	}
+	return res
+}
+
+// raceOnce runs one rung attempt: a portfolio race (or single config) under
+// the attempt slice of the deadline hierarchy.
+func (s *Server) raceOnce(ctx context.Context, job *Job, level ladderLevel, bound int) (*raceResult, []raceResult) {
+	timeout := s.cfg.BoundTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < timeout {
+			timeout = rem
+		}
+	}
+	if timeout <= 0 {
+		return nil, nil
+	}
+	maxDec := s.cfg.MaxDecisions
+	if level.lowBudget && (maxDec == 0 || maxDec > lowDecisionBudget) {
+		maxDec = lowDecisionBudget
+	}
+	spec := raceSpec{
+		model:          job.model,
+		unroll:         bound,
+		width:          job.Spec.Width,
+		timeout:        timeout,
+		maxDecisions:   maxDec,
+		maxMemoryBytes: s.cfg.MaxMemoryBytes,
+		// Faults can match on either the submitted name or the job id.
+		label: job.Spec.Name + ":" + job.ID,
+	}
+	s.reg.Counter("portfolio_races").Inc()
+	win, all := racePortfolio(ctx, job.prog, spec, level.cfgs, s.cfg.Faults)
+	if win != nil {
+		s.reg.Counter("portfolio_wins_" + sanitizeMetric(win.cfg.Label)).Inc()
+	}
+	return win, all
+}
+
+// sanitizeMetric maps a config label onto a Prometheus-safe suffix.
+func sanitizeMetric(label string) string {
+	out := make([]byte, 0, len(label))
+	for i := 0; i < len(label); i++ {
+		c := label[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// classifyRace folds a winner-less race into the rung's representative
+// failure: a panic or memout anywhere in the race is transient (retry the
+// rung); anything else — budget, deadline, cancellation — is permanent at
+// this rung.
+func classifyRace(level string, all []raceResult, ctx context.Context) *errLevelFailed {
+	fail := &errLevelFailed{level: level, kind: sat.FailTimeout}
+	if len(all) == 0 {
+		// The attempt never ran (deadline already spent).
+		if ctx.Err() != nil && !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			fail.kind = sat.FailCancelled
+		}
+		return fail
+	}
+	fail.rep = all[0]
+	sawTransient := false
+	for _, r := range all {
+		if r.err != nil {
+			k := sat.Classify(r.err)
+			if k == sat.FailPanic || k == sat.FailMemout {
+				fail.rep, fail.kind, sawTransient = r, k, true
+			} else if !sawTransient {
+				fail.rep, fail.kind = r, k
+			}
+			continue
+		}
+		switch r.rep.Stop {
+		case sat.StopMemout:
+			if !sawTransient {
+				fail.rep, fail.kind, sawTransient = r, sat.FailMemout, true
+			}
+		case sat.StopCancelled:
+			if !sawTransient && fail.kind == sat.FailTimeout {
+				fail.rep, fail.kind = r, sat.FailCancelled
+			}
+		default:
+			if !sawTransient && fail.kind == sat.FailTimeout && fail.rep.err != nil {
+				fail.rep = r
+			}
+		}
+	}
+	if ctx.Err() != nil && !errors.Is(ctx.Err(), context.DeadlineExceeded) &&
+		fail.kind != sat.FailPanic && fail.kind != sat.FailMemout {
+		// The job was cancelled outright: never retry into a dead context.
+		fail.kind = sat.FailCancelled
+	}
+	return fail
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"zpre"
+	"zpre/internal/core"
+	"zpre/internal/cprog"
+	"zpre/internal/faultinject"
+	"zpre/internal/memmodel"
+	"zpre/internal/sat"
+)
+
+// SolverConfig is one portfolio member: a decision strategy, the optional
+// pre-analyses, and a distinct restart seed so members explore different
+// search prefixes even on the same strategy.
+type SolverConfig struct {
+	Label    string
+	Strategy core.Strategy
+	Prune    bool
+	Dataflow bool
+	RG       bool
+	Seed     int64
+}
+
+// PortfolioConfigs is the default racing portfolio: the paper's three
+// strategies crossed with the pre-analysis layers, each on its own seed.
+// The members are verdict-equivalent (every pre-analysis is
+// equisatisfiable), so first-answer-wins is sound.
+func PortfolioConfigs() []SolverConfig {
+	return []SolverConfig{
+		{Label: "zpre+rg+df+prune", Strategy: core.ZPRE, Prune: true, Dataflow: true, RG: true, Seed: 1},
+		{Label: "zpre", Strategy: core.ZPRE, Seed: 2},
+		{Label: "zpre-+df", Strategy: core.ZPREMinus, Dataflow: true, Seed: 3},
+		{Label: "vsids+prune", Strategy: core.Baseline, Prune: true, Seed: 4},
+	}
+}
+
+// SafestConfig is the degradation ladder's single-config level: plain ZPRE
+// with no pre-analysis passes — the fewest moving parts in the pipeline.
+func SafestConfig() SolverConfig {
+	return SolverConfig{Label: "zpre-safe", Strategy: core.ZPRE, Seed: 1}
+}
+
+// raceSpec is one race's solving parameters (the per-attempt slice of the
+// job's deadline hierarchy).
+type raceSpec struct {
+	model          memmodel.Model
+	unroll         int
+	width          int
+	timeout        time.Duration
+	maxDecisions   uint64
+	maxMemoryBytes int64
+	// label is the fault-matching prefix; each racer appends its config
+	// label.
+	label string
+}
+
+// raceResult is one racer's outcome.
+type raceResult struct {
+	cfg SolverConfig
+	rep zpre.Report
+	err error
+}
+
+// definitive reports whether the racer produced a real verdict.
+func (r raceResult) definitive() bool {
+	return r.err == nil && (r.rep.Verdict == zpre.Safe || r.rep.Verdict == zpre.Unsafe ||
+		r.rep.Verdict == zpre.UnboundedSafe)
+}
+
+// racePortfolio runs every config concurrently on the program and returns
+// the first definitive answer, cancelling and reaping the losers before it
+// returns: the caller never leaks a goroutine, which the leak tests pin
+// down. Racer panics are contained per racer and classified FailPanic.
+// With no definitive answer, all results come back for the ladder to
+// classify. An injected cancel fault delays the loser broadcast (the reap
+// still completes).
+func racePortfolio(ctx context.Context, prog *cprog.Program, spec raceSpec, cfgs []SolverConfig, faults *faultinject.Set) (winner *raceResult, all []raceResult) {
+	raceCtx, cancelLosers := context.WithCancel(ctx)
+	defer cancelLosers()
+	results := make(chan raceResult, len(cfgs))
+	var wg sync.WaitGroup
+	for _, cfg := range cfgs {
+		wg.Add(1)
+		go func(cfg SolverConfig) {
+			defer wg.Done()
+			// Panic isolation per racer: a crashing solver configuration
+			// loses the race, it does not kill the worker or the process.
+			defer func() {
+				if r := recover(); r != nil {
+					results <- raceResult{cfg: cfg, err: &sat.StatusError{
+						Kind: sat.FailPanic,
+						Err:  fmt.Errorf("racer %s panic: %v\n%s", cfg.Label, r, debug.Stack()),
+					}}
+				}
+			}()
+			rep, err := zpre.Verify(prog, zpre.Options{
+				Model:          spec.model,
+				Strategy:       cfg.Strategy,
+				Unroll:         spec.unroll,
+				Width:          spec.width,
+				Timeout:        spec.timeout,
+				MaxDecisions:   spec.maxDecisions,
+				MaxMemoryBytes: spec.maxMemoryBytes,
+				Context:        raceCtx,
+				Seed:           cfg.Seed,
+				StaticPrune:    cfg.Prune,
+				Dataflow:       cfg.Dataflow,
+				RG:             cfg.RG,
+				Faults:         faults,
+				FaultLabel:     spec.label + "/" + cfg.Label,
+			})
+			results <- raceResult{cfg: cfg, rep: rep, err: err}
+		}(cfg)
+	}
+	for i := 0; i < len(cfgs); i++ {
+		r := <-results
+		all = append(all, r)
+		if winner == nil && r.definitive() {
+			w := r
+			winner = &w
+			// First answer wins: broadcast cancellation to the losers. The
+			// cancel seam can delay the broadcast; the reap below still
+			// collects every goroutine either way.
+			if f, fired := faults.Fire(faultinject.KindCancel, spec.label); fired {
+				time.Sleep(f.Sleep)
+			}
+			cancelLosers()
+		}
+	}
+	// Reap: every racer has sent its result (the channel is buffered to
+	// len(cfgs)), so this returns as soon as the last goroutine exits.
+	wg.Wait()
+	return winner, all
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"zpre/internal/cprog"
+	"zpre/internal/faultinject"
+	"zpre/internal/memmodel"
+	"zpre/internal/sat"
+)
+
+// fig2Source is Figure 2 of the paper: safe under SC, unsafe under TSO/PSO.
+const fig2Source = `shared x; shared y; shared m; shared n;
+thread t1 { x = y + 1; m = y; }
+thread t2 { y = x + 1; n = x; }
+main { assert(!(m == 0 && n == 0)); }`
+
+func fig2(t *testing.T) *cprog.Program {
+	t.Helper()
+	prog, err := cprog.Parse("fig2", fig2Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// checkGoroutines fails the test if the goroutine count has not settled back
+// to the before level: the leak detector around portfolio races and server
+// shutdown.
+func checkGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d before, %d after settle\n%s",
+				before, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func testRaceSpec(model memmodel.Model) raceSpec {
+	return raceSpec{
+		model:   model,
+		unroll:  1,
+		width:   8,
+		timeout: 10 * time.Second,
+		label:   "race-test",
+	}
+}
+
+func TestRacePortfolioVerdicts(t *testing.T) {
+	prog := fig2(t)
+	for _, tc := range []struct {
+		model   memmodel.Model
+		verdict string
+	}{
+		{memmodel.SC, "true"},
+		{memmodel.TSO, "false"},
+	} {
+		before := runtime.NumGoroutine()
+		win, all := racePortfolio(context.Background(), prog, testRaceSpec(tc.model), PortfolioConfigs(), nil)
+		if win == nil {
+			t.Fatalf("%v: no winner (results: %+v)", tc.model, all)
+		}
+		if got := win.rep.Verdict.String(); got != tc.verdict {
+			t.Fatalf("%v: verdict = %s (winner %s), want %s", tc.model, got, win.cfg.Label, tc.verdict)
+		}
+		if len(all) != len(PortfolioConfigs()) {
+			t.Fatalf("%v: reaped %d results, want %d", tc.model, len(all), len(PortfolioConfigs()))
+		}
+		checkGoroutines(t, before)
+	}
+}
+
+// A racer that panics loses the race; the others still answer, and every
+// goroutine is reaped.
+func TestRacePortfolioContainsRacerPanic(t *testing.T) {
+	f, err := faultinject.Parse("panic:vsids:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := faultinject.New(f)
+	before := runtime.NumGoroutine()
+	win, all := racePortfolio(context.Background(), fig2(t), testRaceSpec(memmodel.TSO), PortfolioConfigs(), faults)
+	checkGoroutines(t, before)
+	if win == nil {
+		t.Fatalf("no winner despite three healthy racers (results: %+v)", all)
+	}
+	if win.rep.Verdict.String() != "false" {
+		t.Fatalf("verdict = %s, want false", win.rep.Verdict)
+	}
+	sawPanic := false
+	for _, r := range all {
+		if sat.Classify(r.err) == sat.FailPanic {
+			sawPanic = true
+		}
+	}
+	if !sawPanic {
+		t.Fatalf("injected panic never classified (results: %+v)", all)
+	}
+}
+
+// Every racer panicking yields no winner and a full set of classified
+// failures — the ladder's retry path input.
+func TestRacePortfolioAllPanic(t *testing.T) {
+	f, err := faultinject.Parse("panic::1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm one all-matching panic per racer (each fault fires once per run
+	// but the tracer wrapper is per-racer, so a single armed fault fires in
+	// every racer's solve).
+	faults := faultinject.New(f)
+	cfgs := []SolverConfig{
+		{Label: "a", Seed: 1}, {Label: "b", Seed: 2},
+	}
+	before := runtime.NumGoroutine()
+	win, all := racePortfolio(context.Background(), fig2(t), testRaceSpec(memmodel.TSO), cfgs, faults)
+	checkGoroutines(t, before)
+	if win != nil {
+		t.Fatalf("winner %s despite universal panic injection", win.cfg.Label)
+	}
+	for _, r := range all {
+		if sat.Classify(r.err) != sat.FailPanic {
+			t.Fatalf("racer %s: classified %v, want panic", r.cfg.Label, sat.Classify(r.err))
+		}
+	}
+}
+
+// Cancelling the race context reaps every racer with no winner.
+func TestRacePortfolioCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := runtime.NumGoroutine()
+	win, all := racePortfolio(ctx, fig2(t), testRaceSpec(memmodel.TSO), PortfolioConfigs(), nil)
+	checkGoroutines(t, before)
+	// A pre-cancelled context may still let a tiny instance finish before
+	// the solver polls it; either outcome must reap cleanly.
+	if win == nil {
+		for _, r := range all {
+			if r.err == nil && r.rep.Stop != sat.StopCancelled && r.rep.Stop != sat.StopNone {
+				t.Fatalf("racer %s: stop = %v", r.cfg.Label, r.rep.Stop)
+			}
+		}
+	}
+}
+
+// The injected cancel fault delays the loser broadcast; the reap must still
+// collect every goroutine.
+func TestRacePortfolioCancelFaultStillReaps(t *testing.T) {
+	f, err := faultinject.Parse("cancel::1:20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := faultinject.New(f)
+	before := runtime.NumGoroutine()
+	win, _ := racePortfolio(context.Background(), fig2(t), testRaceSpec(memmodel.TSO), PortfolioConfigs(), faults)
+	checkGoroutines(t, before)
+	if win == nil {
+		t.Fatal("no winner")
+	}
+	if faults.TotalFired() == 0 {
+		t.Fatal("cancel fault never fired")
+	}
+}

@@ -1,0 +1,568 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"zpre/internal/faultinject"
+	"zpre/internal/obs"
+	"zpre/internal/telemetry"
+)
+
+// Config configures a Server. The zero value is usable: Workers and the
+// deadlines get sane defaults, the journal and cache stay off until paths
+// are set.
+type Config struct {
+	// Workers is the pool size (default 2).
+	Workers int
+	// QueueDepth bounds the accept queue; a full queue answers 429 with
+	// Retry-After (default 64).
+	QueueDepth int
+	// JournalPath enables the write-ahead job journal ("" = volatile queue).
+	JournalPath string
+	// CacheDir enables the on-disk verdict memo ("" = memory-only memo).
+	CacheDir string
+	// JobTimeout bounds one job end to end, across every ladder level and
+	// retry (default 60s). The deadline hierarchy is
+	// JobTimeout > BoundTimeout > the solver's internal poll interval.
+	JobTimeout time.Duration
+	// BoundTimeout bounds one solve attempt (default 10s, clamped to
+	// JobTimeout).
+	BoundTimeout time.Duration
+	// MaxDecisions bounds one attempt's search (0 = none; the bounded ladder
+	// rung caps itself regardless).
+	MaxDecisions uint64
+	// MaxMemoryBytes caps one solver's approximate allocations (default
+	// 256 MiB).
+	MaxMemoryBytes int64
+	// RetryAttempts/RetryBase shape the transient-failure backoff
+	// (defaults 3 and 100ms).
+	RetryAttempts int
+	RetryBase     time.Duration
+	// Faults arms deterministic fault injection across the service seams
+	// (enqueue, cache, portfolio cancel, solver tracer/theory). Nil = off.
+	Faults *faultinject.Set
+	// Metrics is the telemetry registry (default: a fresh one).
+	Metrics *telemetry.Registry
+	// Logger receives structured job logs (nil = silent).
+	Logger *slog.Logger
+}
+
+// fill applies defaults and enforces the deadline hierarchy.
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 60 * time.Second
+	}
+	if c.BoundTimeout <= 0 {
+		c.BoundTimeout = 10 * time.Second
+	}
+	if c.BoundTimeout > c.JobTimeout {
+		c.BoundTimeout = c.JobTimeout
+	}
+	if c.MaxMemoryBytes == 0 {
+		c.MaxMemoryBytes = 256 << 20
+	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Millisecond
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.NewRegistry()
+	}
+}
+
+// Server is the zpred verification service.
+type Server struct {
+	cfg    Config
+	reg    *telemetry.Registry
+	board  *obs.RunBoard
+	logger *slog.Logger
+
+	journal *Journal
+	cache   *Cache
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string
+	seq     uint64
+	closing bool
+	queue   chan *Job
+
+	// ready flips once journal replay has re-enqueued every unfinished job;
+	// /healthz reports 503 until then.
+	ready    chan struct{}
+	replayed int
+	replayWG sync.WaitGroup
+	wg       sync.WaitGroup
+	// workerHook is a test seam run by the worker loop outside runJob's
+	// recover, so supervisor tests can crash the worker itself.
+	workerHook func(*Job)
+
+	httpLn   net.Listener
+	httpSrv  *http.Server
+	httpDone chan struct{}
+}
+
+// New builds a Server: it opens (and if needed compacts) the journal,
+// restores completed jobs, and collects the unfinished ones for replay.
+// Call Start to launch the pool and the replay.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	s := &Server{
+		cfg:    cfg,
+		reg:    cfg.Metrics,
+		board:  obs.NewRunBoard(),
+		logger: cfg.Logger,
+		jobs:   map[string]*Job{},
+		queue:  make(chan *Job, cfg.QueueDepth),
+		ready:  make(chan struct{}),
+	}
+	s.baseCtx, s.cancelAll = context.WithCancel(context.Background())
+	var err error
+	s.cache, err = NewCache(cfg.CacheDir, cfg.Faults, s.reg)
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	var recs []Record
+	if cfg.JournalPath != "" {
+		s.journal, recs, err = OpenJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+	}
+	s.restore(recs)
+	return s, nil
+}
+
+// restore rebuilds the job table from journal records. Jobs with a done
+// record keep their result; accepts without a done/cancel become the replay
+// set (marked replayed, re-enqueued by Start).
+func (s *Server) restore(recs []Record) {
+	for i := range recs {
+		rec := &recs[i]
+		switch rec.Op {
+		case opAccept:
+			if rec.Spec == nil {
+				continue
+			}
+			spec := *rec.Spec
+			prog, model, err := spec.normalize()
+			job := &Job{
+				ID:       rec.ID,
+				Seq:      rec.Seq,
+				Spec:     spec,
+				State:    StateQueued,
+				prog:     prog,
+				model:    model,
+				replayed: true,
+			}
+			if err != nil {
+				// A journal accept that no longer validates (e.g. limits were
+				// tightened between runs) finishes immediately and honestly
+				// instead of crashing replay.
+				job.State = StateDone
+				job.Result = &JobResult{
+					Verdict:  "unknown",
+					Failure:  "error",
+					Stop:     fmt.Sprintf("replay validation: %v", err),
+					Replayed: true,
+				}
+			}
+			if _, dup := s.jobs[rec.ID]; dup {
+				continue
+			}
+			s.jobs[rec.ID] = job
+			s.order = append(s.order, rec.ID)
+			if rec.Seq > s.seq {
+				s.seq = rec.Seq
+			}
+		case opDone:
+			if job, ok := s.jobs[rec.ID]; ok && rec.Result != nil {
+				job.State = StateDone
+				job.Result = rec.Result
+			}
+		case opCancel:
+			if job, ok := s.jobs[rec.ID]; ok {
+				job.State = StateDone
+				job.cancelled = true
+				job.Result = &JobResult{Verdict: "unknown", Stop: "cancelled", Replayed: true}
+			}
+		}
+	}
+}
+
+// Start launches the worker pool and replays the journal's unfinished jobs.
+// Readiness (the /healthz probe) flips once every replayed job is back in
+// the queue.
+func (s *Server) Start() {
+	s.startWorkers()
+	var pending []*Job
+	s.mu.Lock()
+	for _, id := range s.order {
+		job := s.jobs[id]
+		if job.State == StateQueued {
+			pending = append(pending, job)
+		}
+	}
+	s.mu.Unlock()
+	s.replayWG.Add(1)
+	go func() {
+		defer s.replayWG.Done()
+		defer close(s.ready)
+		for _, job := range pending {
+			if !s.enqueueReplay(job) {
+				return // shutting down; the job stays journaled for next start
+			}
+			s.mu.Lock()
+			s.replayed++
+			s.mu.Unlock()
+			s.board.Queue(job.ID)
+			s.reg.Counter("jobs_replayed").Inc()
+			if lg := obs.ForRun(s.logger, job.ID); lg != nil {
+				lg.Info("journal replay re-enqueued job")
+			}
+		}
+	}()
+}
+
+// enqueueReplay puts one restored job back on the queue, waiting out a full
+// queue (replay must not drop jobs, and must not deadlock shutdown).
+func (s *Server) enqueueReplay(job *Job) bool {
+	for {
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			return false
+		}
+		if len(s.queue) < cap(s.queue) {
+			s.queue <- job // cannot block: length checked under the same lock
+			s.mu.Unlock()
+			return true
+		}
+		s.mu.Unlock()
+		select {
+		case <-s.baseCtx.Done():
+			return false
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// Ready reports whether journal replay has finished (the readiness probe).
+func (s *Server) Ready() bool {
+	select {
+	case <-s.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// Submit accepts a job: validate, journal (fsync), enqueue. The returned
+// status is the HTTP code the job's acceptance maps to (202, or 400/429/503
+// with err set).
+func (s *Server) Submit(spec JobSpec) (*Job, int, error) {
+	prog, model, err := spec.normalize()
+	if err != nil {
+		s.reg.Counter("jobs_rejected_invalid").Inc()
+		return nil, http.StatusBadRequest, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("server is draining")
+	}
+	if _, fired := s.cfg.Faults.Fire(faultinject.KindEnqueue, spec.Name); fired {
+		s.reg.Counter("jobs_rejected_injected").Inc()
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("injected enqueue failure")
+	}
+	if len(s.queue) >= cap(s.queue) {
+		s.reg.Counter("jobs_rejected_full").Inc()
+		return nil, http.StatusTooManyRequests, fmt.Errorf("queue full (%d jobs)", cap(s.queue))
+	}
+	s.seq++
+	job := &Job{
+		ID:       jobID(s.seq, &spec),
+		Seq:      s.seq,
+		Spec:     spec,
+		State:    StateQueued,
+		Accepted: time.Now().UTC(),
+		prog:     prog,
+		model:    model,
+	}
+	if err := s.journal.Append(Record{Op: opAccept, ID: job.ID, Seq: job.Seq, Spec: &job.Spec}); err != nil {
+		// Journal failure means "accepted" could be a lie after a crash:
+		// refuse the job rather than break the crash-safety contract.
+		s.seq--
+		s.reg.Counter("journal_append_failed").Inc()
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("journal: %v", err)
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.queue <- job // cannot block: length checked under the same lock
+	s.board.Queue(job.ID)
+	s.reg.Counter("jobs_accepted").Inc()
+	s.reg.Gauge("queue_depth").Set(int64(len(s.queue)))
+	return job, http.StatusAccepted, nil
+}
+
+// Cancel cancels a queued or running job. Finished jobs are left as they
+// are (reported ok=false).
+func (s *Server) Cancel(id string) (job *Job, ok bool) {
+	s.mu.Lock()
+	job = s.jobs[id]
+	if job == nil || job.State == StateDone {
+		s.mu.Unlock()
+		return job, false
+	}
+	job.cancelled = true
+	cancel := job.cancel
+	if job.State == StateQueued {
+		// The worker that eventually dequeues it sees cancelled and skips.
+		job.State = StateDone
+		job.Result = &JobResult{Verdict: "unknown", Stop: "cancelled", Replayed: job.replayed}
+		s.mu.Unlock()
+		s.journal.Append(Record{Op: opCancel, ID: id})
+		s.board.Done(id, "unknown", "cancelled")
+		s.reg.Counter("jobs_cancelled").Inc()
+		return job, true
+	}
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel() // the running ladder unwinds; finish() journals the outcome
+	}
+	s.reg.Counter("jobs_cancelled").Inc()
+	return job, true
+}
+
+// Job returns a tracked job by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	return job, ok
+}
+
+// jobListEntry is the compact /jobs listing row (no program source).
+type jobListEntry struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	State   string `json:"state"`
+	Verdict string `json:"verdict,omitempty"`
+	Level   string `json:"level,omitempty"`
+	Cached  bool   `json:"cached,omitempty"`
+}
+
+// snapshot returns every job in acceptance order (for listing and for the
+// shutdown compaction).
+func (s *Server) snapshot() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	sort.SliceStable(jobs, func(i, k int) bool { return jobs[i].Seq < jobs[k].Seq })
+	return jobs
+}
+
+// Handler builds the service's HTTP surface: the job API plus the shared
+// observability endpoints (/metrics, /runs, /healthz readiness).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	obs.Mount(mux, s.reg, s.board, func() (bool, string) {
+		if !s.Ready() {
+			return false, "replaying journal"
+		}
+		s.mu.Lock()
+		n := s.replayed
+		s.mu.Unlock()
+		return true, fmt.Sprintf("ok (replayed %d)", n)
+	})
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxSourceBytes+4096))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	var spec JobSpec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	job, status, err := s.Submit(spec)
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterSeconds()))
+		}
+		httpError(w, status, err.Error())
+		return
+	}
+	s.mu.Lock()
+	view := *job // workers mutate State under mu; encode a stable copy
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(&view)
+}
+
+// retryAfterSeconds estimates the backpressure hint: how long until the
+// pool likely frees a queue slot, assuming each queued job costs about one
+// attempt timeout, capped at a minute.
+func (s *Server) retryAfterSeconds() int {
+	s.mu.Lock()
+	queued := len(s.queue)
+	s.mu.Unlock()
+	est := time.Duration(queued/s.cfg.Workers+1) * s.cfg.BoundTimeout
+	if est > time.Minute {
+		est = time.Minute
+	}
+	sec := int(est / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.snapshot()
+	out := make([]jobListEntry, 0, len(jobs))
+	s.mu.Lock()
+	for _, job := range jobs {
+		e := jobListEntry{ID: job.ID, Name: job.Spec.Name, State: job.State}
+		if job.Result != nil {
+			e.Verdict = job.Result.Verdict
+			e.Level = job.Result.Level
+			e.Cached = job.Result.Cached
+		}
+		out = append(out, e)
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	s.mu.Lock()
+	view := *job
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&view)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.Cancel(id)
+	if job == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	s.mu.Lock()
+	view := *job
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if !ok {
+		w.WriteHeader(http.StatusConflict) // already finished; body has the result
+	}
+	json.NewEncoder(w).Encode(&view)
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// Serve binds addr and serves the HTTP surface in the background (bind
+// errors surface immediately, the serve loop's don't — losing HTTP must
+// not lose the queue).
+func (s *Server) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.httpLn = ln
+	s.httpSrv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s.httpDone = make(chan struct{})
+	go func() {
+		defer close(s.httpDone)
+		s.httpSrv.Serve(ln)
+	}()
+	return nil
+}
+
+// Addr returns the bound HTTP address ("" before Serve).
+func (s *Server) Addr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// Close drains the service: stop accepting, cancel running jobs, reap every
+// worker goroutine, compact the journal to a clean snapshot (unfinished
+// jobs keep bare accept records so the next start replays them) and close
+// it. Safe to call twice.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closing = true
+	// Safe while holding mu: every sender (Submit, enqueueReplay) sends under
+	// this same lock after re-checking closing.
+	close(s.queue)
+	s.mu.Unlock()
+
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+		<-s.httpDone
+	}
+	s.cancelAll()
+	s.replayWG.Wait()
+	s.wg.Wait()
+
+	var err error
+	if s.journal != nil {
+		if cerr := s.journal.Compact(snapshotRecords(s.snapshot())); cerr != nil {
+			err = cerr
+		}
+		if cerr := s.journal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,500 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"zpre/internal/faultinject"
+)
+
+// newTestServer builds a started server over a temp journal, with fast
+// budgets and fsync off (tests don't need the durability, only the format).
+func newTestServer(t *testing.T, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{
+		Workers:      2,
+		QueueDepth:   16,
+		JournalPath:  filepath.Join(t.TempDir(), "journal.jsonl"),
+		CacheDir:     filepath.Join(t.TempDir(), "cache"),
+		JobTimeout:   30 * time.Second,
+		BoundTimeout: 10 * time.Second,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.journal != nil {
+		s.journal.NoSync = true
+	}
+	return s
+}
+
+// waitJobDone polls until the job finishes (fail after 30s).
+func waitJobDone(t *testing.T, s *Server, id string) *JobResult {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		job, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		s.mu.Lock()
+		state, res := job.State, job.Result
+		s.mu.Unlock()
+		if state == StateDone {
+			return res
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return nil
+}
+
+func postJob(t *testing.T, ts *httptest.Server, spec JobSpec) (*http.Response, Job) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job Job
+	json.NewDecoder(resp.Body).Decode(&job)
+	return resp, job
+}
+
+func TestServerEndToEndHTTP(t *testing.T) {
+	s := newTestServer(t, nil)
+	s.Start()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Readiness: no journal backlog, so /healthz flips to 200 immediately.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/healthz never became ready (last %d)", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	scSpec := testSpec("fig2-sc")
+	tsoSpec := testSpec("fig2-tso")
+	tsoSpec.Model = "tso"
+
+	resp, scJob := postJob(t, ts, scSpec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit sc: status %d", resp.StatusCode)
+	}
+	resp, tsoJob := postJob(t, ts, tsoSpec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit tso: status %d", resp.StatusCode)
+	}
+
+	scRes := waitJobDone(t, s, scJob.ID)
+	tsoRes := waitJobDone(t, s, tsoJob.ID)
+	if scRes.Verdict != "true" {
+		t.Fatalf("sc verdict = %q (%+v), want true", scRes.Verdict, scRes)
+	}
+	if tsoRes.Verdict != "false" {
+		t.Fatalf("tso verdict = %q (%+v), want false", tsoRes.Verdict, tsoRes)
+	}
+	if scRes.Level != "portfolio" || scRes.Degraded {
+		t.Fatalf("sc answered from level %q degraded=%v, want undegraded portfolio", scRes.Level, scRes.Degraded)
+	}
+
+	// The HTTP views agree.
+	hresp, err := http.Get(ts.URL + "/jobs/" + tsoJob.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view Job
+	json.NewDecoder(hresp.Body).Decode(&view)
+	hresp.Body.Close()
+	if view.State != StateDone || view.Result == nil || view.Result.Verdict != "false" {
+		t.Fatalf("GET /jobs/{id} = %+v", view)
+	}
+	lresp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []jobListEntry
+	json.NewDecoder(lresp.Body).Decode(&list)
+	lresp.Body.Close()
+	if len(list) != 2 {
+		t.Fatalf("listed %d jobs, want 2", len(list))
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(buf.String(), "jobs_accepted") {
+		t.Fatalf("/metrics missing jobs_accepted:\n%s", buf.String())
+	}
+}
+
+func TestServerCacheServesRepeat(t *testing.T) {
+	s := newTestServer(t, nil)
+	s.Start()
+	defer s.Close()
+
+	spec := testSpec("repeat")
+	spec.Model = "tso"
+	job1, status, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit 1: %d %v", status, err)
+	}
+	res1 := waitJobDone(t, s, job1.ID)
+	if res1.Verdict != "false" || res1.Cached {
+		t.Fatalf("first run = %+v, want uncached false", res1)
+	}
+	job2, _, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := waitJobDone(t, s, job2.ID)
+	if res2.Verdict != "false" || !res2.Cached {
+		t.Fatalf("second run = %+v, want cached false", res2)
+	}
+}
+
+func TestServerRejectsInvalidSpecs(t *testing.T) {
+	s := newTestServer(t, nil)
+	s.Start()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, spec := range []JobSpec{
+		{}, // no source
+		{Source: "shared x; main {", Model: "sc"}, // parse error
+		{Source: fig2Source, Model: "weird"},      // unknown model
+		{Source: fig2Source, Unroll: MaxUnroll + 1},
+		{Source: strings.Repeat("x", MaxSourceBytes+1)},
+	} {
+		resp, _ := postJob(t, ts, spec)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("spec %+v: status %d, want 400", spec, resp.StatusCode)
+		}
+	}
+}
+
+func TestServerBackpressure429(t *testing.T) {
+	release := make(chan struct{})
+	s := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 2
+	})
+	s.workerHook = func(*Job) { <-release }
+	s.Start()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Job 1 is dequeued into the blocked worker; jobs 2 and 3 fill the
+	// queue. Submission order is racy against the dequeue, so submit until
+	// the first 429 — it must arrive by the 4th job.
+	var got429 *http.Response
+	ids := []string{}
+	for i := 0; i < 4; i++ {
+		spec := testSpec(fmt.Sprintf("bp%d", i))
+		resp, job := postJob(t, ts, spec)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			got429 = resp
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("job %d: status %d", i, resp.StatusCode)
+		}
+		ids = append(ids, job.ID)
+	}
+	if got429 == nil {
+		t.Fatal("queue depth 2 + 1 worker accepted 4 jobs without a 429")
+	}
+	if got429.Header.Get("Retry-After") == "" {
+		t.Fatal("429 carried no Retry-After header")
+	}
+	// Backpressure resolves: release the worker and every accepted job
+	// completes.
+	close(release)
+	for _, id := range ids {
+		waitJobDone(t, s, id)
+	}
+}
+
+func TestServerCancelQueuedJob(t *testing.T) {
+	release := make(chan struct{})
+	s := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 8
+	})
+	s.workerHook = func(*Job) { <-release }
+	s.Start()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	j1, _, err := s.Submit(testSpec("running"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _, err := s.Submit(testSpec("queued"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+j2.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel queued: status %d", resp.StatusCode)
+	}
+	res2 := waitJobDone(t, s, j2.ID)
+	if res2.Verdict != "unknown" || res2.Stop != "cancelled" {
+		t.Fatalf("cancelled job result = %+v", res2)
+	}
+
+	close(release)
+	waitJobDone(t, s, j1.ID)
+
+	// Cancelling a finished job answers 409 with the result intact.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+j1.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel done job: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// The supervisor: a worker that panics outside the per-job recovery is
+// replaced and the job it held gets an honest panic result; the pool keeps
+// serving.
+func TestWorkerSupervisorRespawns(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.Workers = 1 })
+	s.workerHook = func(job *Job) {
+		if strings.HasPrefix(job.Spec.Name, "boom") {
+			panic("injected worker crash")
+		}
+	}
+	s.Start()
+	defer s.Close()
+
+	boom, _, err := s.Submit(testSpec("boom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitJobDone(t, s, boom.ID)
+	if res.Failure != "panic" {
+		t.Fatalf("crashed worker's job = %+v, want failure panic", res)
+	}
+	if got := s.reg.Counter("worker_restarts").Value(); got != 1 {
+		t.Fatalf("worker_restarts = %d, want 1", got)
+	}
+
+	// The respawned worker still solves.
+	ok, _, err := s.Submit(testSpec("after-crash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = waitJobDone(t, s, ok.ID)
+	if res.Verdict != "true" {
+		t.Fatalf("post-crash job = %+v, want true", res)
+	}
+}
+
+// An injected enqueue fault answers 503 once; the service keeps accepting.
+func TestServerEnqueueFaultInjection(t *testing.T) {
+	f, err := faultinject.Parse("enqueue::1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, func(c *Config) { c.Faults = faultinject.New(f) })
+	s.Start()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, _ := postJob(t, ts, testSpec("hit-fault"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("faulted submit: status %d, want 503", resp.StatusCode)
+	}
+	resp, job := postJob(t, ts, testSpec("after-fault"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-fault submit: status %d, want 202", resp.StatusCode)
+	}
+	if res := waitJobDone(t, s, job.ID); res.Verdict != "true" {
+		t.Fatalf("post-fault job = %+v", res)
+	}
+}
+
+// Journal replay: a journal holding accepts without dones (exactly what
+// kill -9 leaves) is re-run on start, with results marked replayed and
+// identical verdicts.
+func TestServerJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.NoSync = true
+	scSpec := testSpec("replay-sc")
+	tsoSpec := testSpec("replay-tso")
+	tsoSpec.Model = "tso"
+	// Normalize as Submit would, so the journaled specs match live ones.
+	if _, _, err := scSpec.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tsoSpec.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	id1, id2 := jobID(1, &scSpec), jobID(2, &tsoSpec)
+	j.Append(Record{Op: opAccept, ID: id1, Seq: 1, Spec: &scSpec})
+	j.Append(Record{Op: opAccept, ID: id2, Seq: 2, Spec: &tsoSpec})
+	// A completed job must NOT be re-run.
+	doneSpec := testSpec("already-done")
+	doneSpec.normalize()
+	id3 := jobID(3, &doneSpec)
+	j.Append(Record{Op: opAccept, ID: id3, Seq: 3, Spec: &doneSpec})
+	j.Append(Record{Op: opDone, ID: id3, Result: &JobResult{Verdict: "true", Level: "portfolio"}})
+	j.Close()
+
+	s := newTestServer(t, func(c *Config) { c.JournalPath = path })
+	s.Start()
+	defer s.Close()
+
+	res1 := waitJobDone(t, s, id1)
+	res2 := waitJobDone(t, s, id2)
+	if !res1.Replayed || res1.Verdict != "true" {
+		t.Fatalf("replayed sc job = %+v, want replayed true", res1)
+	}
+	if !res2.Replayed || res2.Verdict != "false" {
+		t.Fatalf("replayed tso job = %+v, want replayed false", res2)
+	}
+	done, ok := s.Job(id3)
+	if !ok || done.Result == nil || done.Result.Replayed {
+		t.Fatalf("completed job was re-run: %+v", done)
+	}
+	if !s.Ready() {
+		t.Fatal("server not ready after replay finished")
+	}
+	// New submissions continue the sequence without ID collisions.
+	j4, _, err := s.Submit(testSpec("fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j4.Seq != 4 {
+		t.Fatalf("post-replay seq = %d, want 4", j4.Seq)
+	}
+}
+
+// Graceful drain: a job still queued (or running) at Close keeps only its
+// accept record, so the next start replays it; nothing is lost and every
+// goroutine exits.
+func TestServerDrainRequeuesUnfinished(t *testing.T) {
+	before := runtime.NumGoroutine()
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	release := make(chan struct{})
+	s := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		c.JournalPath = path
+	})
+	s.workerHook = func(*Job) { <-release }
+	s.Start()
+
+	j1, _, err := s.Submit(testSpec("drain-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _, err := s.Submit(testSpec("drain-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	closed := make(chan error)
+	go func() { closed <- s.Close() }()
+	time.Sleep(20 * time.Millisecond)
+	close(release) // let the blocked worker observe the drain
+	if err := <-closed; err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	checkGoroutines(t, before)
+
+	recs, dropped, err := LoadJournal(path)
+	if err != nil || dropped != 0 {
+		t.Fatalf("load: dropped=%d err=%v", dropped, err)
+	}
+	accepts := map[string]bool{}
+	for _, rec := range recs {
+		switch rec.Op {
+		case opAccept:
+			accepts[rec.ID] = true
+		case opDone, opCancel:
+			delete(accepts, rec.ID)
+		}
+	}
+	if !accepts[j1.ID] || !accepts[j2.ID] {
+		t.Fatalf("drain lost an unfinished job (have %v); records: %+v", accepts, recs)
+	}
+
+	// Restart completes whatever was left.
+	s2 := newTestServer(t, func(c *Config) { c.JournalPath = path })
+	s2.Start()
+	for id := range accepts {
+		res := waitJobDone(t, s2, id)
+		if !res.Replayed || res.Verdict != "true" {
+			t.Fatalf("restarted job %s = %+v", id, res)
+		}
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerShutdownLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := newTestServer(t, nil)
+	s.Start()
+	job, _, err := s.Submit(testSpec("leak-probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobDone(t, s, job.ID)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close twice is fine.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkGoroutines(t, before)
+}

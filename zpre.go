@@ -33,6 +33,7 @@ import (
 	"zpre/internal/cprog"
 	"zpre/internal/dataflow"
 	"zpre/internal/encode"
+	"zpre/internal/faultinject"
 	"zpre/internal/memmodel"
 	"zpre/internal/obs"
 	"zpre/internal/order"
@@ -167,6 +168,13 @@ type Options struct {
 	// the in-solve phase split) for Chrome trace-event export; see
 	// internal/obs. Implies TimePhases. Ignored by VerifyEach.
 	Spans *obs.Trace
+	// Faults, when non-nil, arms deterministic fault injection at the
+	// solver's tracer and theory seams for this call (see
+	// internal/faultinject); faults are matched against FaultLabel. Used by
+	// the zpred service's chaos harness; nil costs nothing.
+	Faults *faultinject.Set
+	// FaultLabel is the label Faults match against (defaults to TraceTask).
+	FaultLabel string
 }
 
 // Report is the result of a Verify call.
@@ -315,8 +323,7 @@ func solveVC(vc *encode.VC, opts Options, encodeTime time.Duration) (Report, err
 		tracer.Span("static", vc.Stats.StaticTime)
 		satTracer = tracer
 	}
-	solveSpan := opts.Spans.Start("solve")
-	res, err := vc.Builder.Solve(smt.Options{
+	sopts := smt.Options{
 		Decider:               decider,
 		Deadline:              deadline,
 		MaxConflicts:          opts.MaxConflicts,
@@ -326,7 +333,19 @@ func solveVC(vc *encode.VC, opts Options, encodeTime time.Duration) (Report, err
 		EagerOrderPropagation: opts.EagerOrderPropagation,
 		Tracer:                satTracer,
 		TimePhases:            opts.TimePhases || tracer != nil || opts.Spans != nil,
-	})
+	}
+	if opts.Faults != nil {
+		label := opts.FaultLabel
+		if label == "" {
+			label = opts.TraceTask
+		}
+		sopts.Tracer = opts.Faults.Tracer(label, sopts.Tracer)
+		sopts.WrapTheory = func(th sat.Theory) sat.Theory {
+			return opts.Faults.Theory(label, th)
+		}
+	}
+	solveSpan := opts.Spans.Start("solve")
+	res, err := vc.Builder.Solve(sopts)
 	opts.Spans.End(solveSpan)
 	if err != nil {
 		return Report{}, err
