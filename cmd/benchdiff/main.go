@@ -5,7 +5,7 @@
 // Usage:
 //
 //	benchdiff [-work-tol 0.05] [-work-min 50] [-wall-tol 0] [-wall-min 0.05]
-//	          baseline.json new.json
+//	          [-require-work-drop 0] baseline.json new.json
 //
 // Gate rules, per common (task, strategy) pair:
 //
@@ -19,7 +19,10 @@
 //     default (-wall-tol 0): wall time is machine-dependent, search work is
 //     not;
 //   - a pair present in the baseline but missing from the new file fails
-//     (the corpus silently shrank). New pairs are informational only.
+//     (the corpus silently shrank). New pairs are informational only;
+//   - -require-work-drop F additionally demands the AGGREGATE search work
+//     over the common pairs shrank by at least the fraction F — the gate
+//     that enforces a claimed solver speedup against an older baseline.
 //
 // Exit status: 0 = no regressions, 1 = regressions found, 2 = usage or
 // file error.
@@ -43,6 +46,7 @@ func run(args []string) int {
 	workMin := fs.Uint64("work-min", 50, "absolute decisions+conflicts growth floor below which work never regresses")
 	wallTol := fs.Float64("wall-tol", 0, "fractional solve wall-clock growth tolerated per run (0 = wall clock not gated)")
 	wallMin := fs.Float64("wall-min", 0.05, "absolute solve wall-clock growth floor in seconds")
+	workDrop := fs.Float64("require-work-drop", 0, "required fractional AGGREGATE search-work reduction vs the baseline (0.15 = new total must be ≥15% lower; 0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -62,10 +66,11 @@ func run(args []string) int {
 		return 2
 	}
 	rep := obs.Diff(base, cur, obs.DiffOptions{
-		WorkTol:    *workTol,
-		WorkMin:    *workMin,
-		WallTol:    *wallTol,
-		WallMinSec: *wallMin,
+		WorkTol:         *workTol,
+		WorkMin:         *workMin,
+		WallTol:         *wallTol,
+		WallMinSec:      *wallMin,
+		RequireWorkDrop: *workDrop,
 	})
 	fmt.Print(rep.Format())
 	if rep.Failed() {

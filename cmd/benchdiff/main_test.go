@@ -46,3 +46,34 @@ func TestBenchdiffExitCodes(t *testing.T) {
 		t.Errorf("unreadable file: exit %d, want 2", code)
 	}
 }
+
+// TestBenchdiffRequireWorkDrop exercises the aggregate speedup gate: the
+// new file must do at least the demanded fraction less total search work
+// than the baseline, else exit 1 even with zero per-run regressions.
+func TestBenchdiffRequireWorkDrop(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	faster := filepath.Join(dir, "faster.json")
+	write(t, base, `{"runs":[
+		{"task":"lit/a@sc/k1","strategy":"zpre","status":"unsat","decisions":1000,"conflicts":200,"solve_sec":0.1},
+		{"task":"lit/b@sc/k1","strategy":"zpre","status":"sat","decisions":400,"conflicts":50,"solve_sec":0.05}]}`)
+	// Aggregate work 1650 → 1200: a 27% drop.
+	write(t, faster, `{"runs":[
+		{"task":"lit/a@sc/k1","strategy":"zpre","status":"unsat","decisions":700,"conflicts":100,"solve_sec":0.08},
+		{"task":"lit/b@sc/k1","strategy":"zpre","status":"sat","decisions":370,"conflicts":30,"solve_sec":0.04}]}`)
+
+	if code := run([]string{"-require-work-drop", "0.15", base, faster}); code != 0 {
+		t.Errorf("27%% drop vs 15%% required: exit %d, want 0", code)
+	}
+	if code := run([]string{"-require-work-drop", "0.40", base, faster}); code != 1 {
+		t.Errorf("27%% drop vs 40%% required: exit %d, want 1", code)
+	}
+	// Without the flag, no drop is demanded: identical files pass.
+	if code := run([]string{base, base}); code != 0 {
+		t.Errorf("no flag, same file: exit %d, want 0", code)
+	}
+	// With the flag, identical files fail: zero drop.
+	if code := run([]string{"-require-work-drop", "0.15", base, base}); code != 1 {
+		t.Errorf("flag with same file: exit %d, want 1", code)
+	}
+}

@@ -162,6 +162,7 @@ func main() {
 		serveAddr  = flag.String("serve", "", "serve /metrics (Prometheus text), /runs (live status JSON) and /healthz on this address for the duration of the run (e.g. :9090)")
 		chromeOut  = flag.String("chrometrace", "", "write one Chrome trace-event JSON file covering every run (load in Perfetto or chrome://tracing)")
 		logOut     = flag.String("log", "", "write structured JSON run logs (slog, one line per run event) to this file, or '-' for stderr")
+		timePhases = flag.Bool("time-phases", false, "split each run's solve time across BCP/theory/analyze/reduce/inprocess phases (exported in the JSON)")
 	)
 	var faults []faultinject.Fault
 	flag.Func("inject", "inject a fault: kind:match[:after[:sleep]] with kind panic|stall|corrupt (repeatable)", func(spec string) error {
@@ -207,6 +208,7 @@ func main() {
 		CheckpointPath:  *ckptPath,
 		CheckpointEvery: *ckptEvery,
 		Incremental:     *increm,
+		TimePhases:      *timePhases,
 	}
 	if *increm && *traceDir != "" {
 		fatalf("-trace is not supported with -incremental (one live solver spans many bounds)")

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	satsolve [-timeout 60s] [-model] [-stats] file.cnf
+//	satsolve [-timeout 60s] [-model] [-stats]
+//	         [-legacy-reduce] [-no-inprocess] [-bve] [-chrono N] file.cnf
 //
 // Output follows SAT-competition conventions: "s SATISFIABLE" /
 // "s UNSATISFIABLE" / "s UNKNOWN", optionally a "v ..." model line.
@@ -26,6 +27,10 @@ func main() {
 		timeout   = flag.Duration("timeout", 60*time.Second, "solve timeout")
 		showModel = flag.Bool("model", false, "print a satisfying assignment")
 		stats     = flag.Bool("stats", false, "print search statistics")
+		legacy    = flag.Bool("legacy-reduce", false, "use the pre-arena activity-only clause-database reduction")
+		noInproc  = flag.Bool("no-inprocess", false, "disable inprocessing (subsumption/strengthening between restarts)")
+		bve       = flag.Bool("bve", false, "enable bounded variable elimination during inprocessing")
+		chrono    = flag.Int("chrono", 100, "chronological-backtracking threshold in levels (negative = disabled)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -43,6 +48,16 @@ func main() {
 	}
 
 	s := sat.New()
+	if *legacy {
+		s.Reduce = sat.ReduceLegacyActivity
+	}
+	if *noInproc {
+		s.Inprocessing = sat.InprocessOff
+	}
+	if *bve {
+		s.Inprocessing = sat.InprocessBVE
+	}
+	s.ChronoThreshold = *chrono
 	s.Deadline = time.Now().Add(*timeout)
 	start := time.Now()
 	dimacs.LoadInto(s, f)

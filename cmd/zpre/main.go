@@ -307,10 +307,11 @@ func main() {
 		fmt.Printf("theory: %d asserts, %d conflicts, %d path queries, %d propagations\n",
 			rep.OrderStats.Asserts, rep.OrderStats.Conflicts,
 			rep.OrderStats.PathQueries, rep.OrderStats.Propagations)
-		if t := rep.SearchTimings; t.BCP+t.Theory+t.Analyze+t.Reduce > 0 {
-			fmt.Printf("phases: bcp %v, theory %v, analyze %v, reduce %v\n",
+		if t := rep.SearchTimings; t.BCP+t.Theory+t.Analyze+t.Reduce+t.Inprocess > 0 {
+			fmt.Printf("phases: bcp %v, theory %v, analyze %v, reduce %v, inprocess %v\n",
 				t.BCP.Round(time.Microsecond), t.Theory.Round(time.Microsecond),
-				t.Analyze.Round(time.Microsecond), t.Reduce.Round(time.Microsecond))
+				t.Analyze.Round(time.Microsecond), t.Reduce.Round(time.Microsecond),
+				t.Inprocess.Round(time.Microsecond))
 		}
 	}
 	switch rep.Verdict {

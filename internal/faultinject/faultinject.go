@@ -337,6 +337,12 @@ func (t *tracer) ReduceDB(kept, deleted int) {
 	}
 }
 
+func (t *tracer) Inprocess(subsumed, strengthened int) {
+	if t.base != nil {
+		t.base.Inprocess(subsumed, strengthened)
+	}
+}
+
 // Theory wraps base with the corrupt faults matching label. It returns base
 // unchanged when no fault matches.
 func (s *Set) Theory(label string, base sat.Theory) sat.Theory {

@@ -143,6 +143,7 @@ func resumedResult(task Task, strat core.Strategy, jr JSONRun) RunResult {
 	out.Timings.Theory = secDur(jr.TheorySec)
 	out.Timings.Analyze = secDur(jr.AnalyzeSec)
 	out.Timings.Reduce = secDur(jr.ReduceSec)
+	out.Timings.Inprocess = secDur(jr.InprocessSec)
 	out.Stats.Decisions = jr.Decisions
 	out.Stats.Propagations = jr.Propagations
 	out.Stats.TheoryProps = jr.TheoryProps
@@ -152,6 +153,13 @@ func resumedResult(task Task, strat core.Strategy, jr JSONRun) RunResult {
 	out.Stats.LearntClauses = jr.LearntClauses
 	out.Stats.DeletedCls = jr.DeletedCls
 	out.Stats.MaxTrail = jr.MaxTrail
+	out.Stats.BlockerHits = jr.BlockerHits
+	out.Stats.TierDemotions = jr.TierDemotions
+	out.Stats.ChronoBTs = jr.ChronoBTs
+	out.Stats.Inprocessings = jr.Inprocessings
+	out.Stats.SubsumedCls = jr.SubsumedCls
+	out.Stats.StrengthenedCls = jr.StrengthenedCls
+	out.Stats.EliminatedVars = jr.EliminatedVars
 	out.OrderStats.Asserts = jr.OrderAsserts
 	out.OrderStats.Conflicts = jr.OrderConflicts
 	out.OrderStats.PathQueries = jr.OrderPathQueries

@@ -807,6 +807,7 @@ func RunOne(task Task, strat core.Strategy, cfg Config) (out RunResult) {
 	tr.AddChild(solveSpan, "solve.theory", r.Timings.Theory)
 	tr.AddChild(solveSpan, "solve.analyze", r.Timings.Analyze)
 	tr.AddChild(solveSpan, "solve.reduce", r.Timings.Reduce)
+	tr.AddChild(solveSpan, "solve.inprocess", r.Timings.Inprocess)
 	if cfg.CheckVerdicts {
 		checkSpan := tr.Start("check")
 		checkVerdict(&out, vc, cfg)

@@ -309,6 +309,7 @@ func runSweepBound(sweep *incremental.Sweep, task Task, strat core.Strategy, cfg
 	tr.AddChild(solveSpan, "solve.theory", br.Timings.Theory)
 	tr.AddChild(solveSpan, "solve.analyze", br.Timings.Analyze)
 	tr.AddChild(solveSpan, "solve.reduce", br.Timings.Reduce)
+	tr.AddChild(solveSpan, "solve.inprocess", br.Timings.Inprocess)
 	out.Status = br.Status
 	out.Stop = br.Stop
 	out.Encode = br.Encode

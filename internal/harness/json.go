@@ -23,10 +23,11 @@ type JSONRun struct {
 	UnrollSec   float64 `json:"unroll_sec,omitempty"`
 	StaticSec   float64 `json:"static_sec,omitempty"`
 	// In-solve phase split (Config.TimePhases or tracing enabled).
-	BCPSec     float64 `json:"bcp_sec,omitempty"`
-	TheorySec  float64 `json:"theory_sec,omitempty"`
-	AnalyzeSec float64 `json:"analyze_sec,omitempty"`
-	ReduceSec  float64 `json:"reduce_sec,omitempty"`
+	BCPSec       float64 `json:"bcp_sec,omitempty"`
+	TheorySec    float64 `json:"theory_sec,omitempty"`
+	AnalyzeSec   float64 `json:"analyze_sec,omitempty"`
+	ReduceSec    float64 `json:"reduce_sec,omitempty"`
+	InprocessSec float64 `json:"inprocess_sec,omitempty"`
 	// The full sat.Stats counter set.
 	Decisions     uint64 `json:"decisions"`
 	Propagations  uint64 `json:"propagations"`
@@ -37,6 +38,14 @@ type JSONRun struct {
 	LearntClauses uint64 `json:"learnt_clauses"`
 	DeletedCls    uint64 `json:"deleted_clauses"`
 	MaxTrail      int    `json:"max_trail"`
+	// Hot-path and inprocessing counters (PR 9).
+	BlockerHits     uint64 `json:"blocker_hits,omitempty"`
+	TierDemotions   uint64 `json:"tier_demotions,omitempty"`
+	ChronoBTs       uint64 `json:"chrono_backtracks,omitempty"`
+	Inprocessings   uint64 `json:"inprocessings,omitempty"`
+	SubsumedCls     uint64 `json:"subsumed_clauses,omitempty"`
+	StrengthenedCls uint64 `json:"strengthened_clauses,omitempty"`
+	EliminatedVars  uint64 `json:"eliminated_vars,omitempty"`
 	// Ordering-theory work counters.
 	OrderAsserts     uint64 `json:"order_asserts,omitempty"`
 	OrderConflicts   uint64 `json:"order_conflicts,omitempty"`
@@ -139,6 +148,7 @@ func jsonRun(run RunResult) JSONRun {
 		TheorySec:        durSec(run.Timings.Theory),
 		AnalyzeSec:       durSec(run.Timings.Analyze),
 		ReduceSec:        durSec(run.Timings.Reduce),
+		InprocessSec:     durSec(run.Timings.Inprocess),
 		Decisions:        run.Stats.Decisions,
 		Propagations:     run.Stats.Propagations,
 		TheoryProps:      run.Stats.TheoryProps,
@@ -148,6 +158,13 @@ func jsonRun(run RunResult) JSONRun {
 		LearntClauses:    run.Stats.LearntClauses,
 		DeletedCls:       run.Stats.DeletedCls,
 		MaxTrail:         run.Stats.MaxTrail,
+		BlockerHits:      run.Stats.BlockerHits,
+		TierDemotions:    run.Stats.TierDemotions,
+		ChronoBTs:        run.Stats.ChronoBTs,
+		Inprocessings:    run.Stats.Inprocessings,
+		SubsumedCls:      run.Stats.SubsumedCls,
+		StrengthenedCls:  run.Stats.StrengthenedCls,
+		EliminatedVars:   run.Stats.EliminatedVars,
 		OrderAsserts:     run.OrderStats.Asserts,
 		OrderConflicts:   run.OrderStats.Conflicts,
 		OrderPathQueries: run.OrderStats.PathQueries,

@@ -164,6 +164,7 @@ func TestServeMetricsAndRunsDuringRun(t *testing.T) {
 var pipelinePhases = []string{
 	"run", "rg.prove", "unroll", "encode", "encode.static", "encode.dataflow",
 	"solve", "solve.bcp", "solve.theory", "solve.analyze", "solve.reduce",
+	"solve.inprocess",
 }
 
 // TestChromeSpanTreeCoversPipeline is the structural acceptance test: the
@@ -210,6 +211,7 @@ func TestChromeSpanTreeCoversPipeline(t *testing.T) {
 		"encode.static": "encode", "encode.dataflow": "encode",
 		"solve.bcp": "solve", "solve.theory": "solve",
 		"solve.analyze": "solve", "solve.reduce": "solve",
+		"solve.inprocess": "solve",
 	}
 	if ids["run"].Parent != 0 {
 		t.Errorf("run span parent = %d, want 0 (root)", ids["run"].Parent)
@@ -263,7 +265,7 @@ func TestSolveSpanChildrenSumToSearchTimings(t *testing.T) {
 	for _, ch := range traces[0].Children(solve.ID) {
 		sum += ch.Dur
 	}
-	want := r.Timings.BCP + r.Timings.Theory + r.Timings.Analyze + r.Timings.Reduce
+	want := r.Timings.BCP + r.Timings.Theory + r.Timings.Analyze + r.Timings.Reduce + r.Timings.Inprocess
 	if sum != want {
 		t.Errorf("solve children sum %v != SearchTimings total %v", sum, want)
 	}

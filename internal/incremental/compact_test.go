@@ -1,0 +1,56 @@
+package incremental
+
+import (
+	"testing"
+	"time"
+
+	"zpre/internal/core"
+	"zpre/internal/memmodel"
+)
+
+// TestCompactionKeepsActivationLiteralsValid forces an arena compaction
+// between every bound of an unroll sweep and checks the verdicts still
+// match a fresh per-bound pipeline. Activation literals (and the guarded
+// bound-k clauses they select) live in the clause arena; compaction
+// relocates every clause and rewrites watch lists and reasons, so any
+// stale ClauseRef left behind would corrupt exactly the activation-guarded
+// state the next bound's assumptions rely on.
+func TestCompactionKeepsActivationLiteralsValid(t *testing.T) {
+	benches := loopBenchmarks()
+	if len(benches) == 0 {
+		t.Fatal("corpus has no loop benchmarks")
+	}
+	models := []memmodel.Model{memmodel.SC, memmodel.TSO, memmodel.PSO}
+	if testing.Short() {
+		models = models[:1]
+	}
+	for _, model := range models {
+		for _, b := range benches {
+			s, err := New(b.Program, Options{
+				Model:    model,
+				Strategy: core.ZPRE,
+				Seed:     1,
+				Timeout:  60 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("%s@%s: %v", b.Name, model, err)
+			}
+			solver := s.VC().Builder.Solver()
+			for k := 1; k <= sweepMaxBound; k++ {
+				br, err := s.Next()
+				if err != nil {
+					t.Fatalf("%s@%s/k%d: %v", b.Name, model, k, err)
+				}
+				status, _, _ := freshSolve(t, b.Program, model, k)
+				if br.Status != status {
+					t.Fatalf("%s@%s/k%d: incremental=%v fresh=%v (after %d compactions)",
+						b.Name, model, k, br.Status, status, k-1)
+				}
+				// GC the arena mid-sweep: every live clause relocates, every
+				// watch list and reason is rebuilt. Bound k+1 must still
+				// solve correctly under its activation assumptions.
+				solver.CompactClauseDB()
+			}
+		}
+	}
+}

@@ -62,6 +62,12 @@ type DiffOptions struct {
 	WorkMin    uint64
 	WallTol    float64
 	WallMinSec float64
+	// RequireWorkDrop, when positive, additionally demands that the
+	// AGGREGATE search work over the common keys shrank by at least this
+	// fraction (0.15 = 15% less work than the baseline). This turns a
+	// claimed performance win into an enforced gate: comparing against an
+	// older baseline fails unless the improvement actually holds.
+	RequireWorkDrop float64
 }
 
 // FillDefaults applies the default thresholds (5% work tolerance with an
@@ -161,6 +167,19 @@ func Diff(base, cur *BenchFile, opts DiffOptions) *DiffReport {
 	for _, c := range cur.Runs {
 		if !baseKeys[c.Key()] {
 			rep.Added = append(rep.Added, c.Key())
+		}
+	}
+	if opts.RequireWorkDrop > 0 && rep.Common > 0 {
+		want := float64(rep.BaseWork) * (1 - opts.RequireWorkDrop)
+		if float64(rep.NewWork) > want {
+			rep.Regressions = append(rep.Regressions, Regression{
+				Key: "(aggregate)", Metric: "work",
+				Base: float64(rep.BaseWork), New: float64(rep.NewWork),
+				Detail: fmt.Sprintf("aggregate decisions+conflicts %d → %d (%+.1f%%), required ≤ %.0f (-%.0f%%)",
+					rep.BaseWork, rep.NewWork,
+					pctChange(float64(rep.BaseWork), float64(rep.NewWork)),
+					want, opts.RequireWorkDrop*100),
+			})
 		}
 	}
 	sort.Slice(rep.Regressions, func(i, j int) bool {

@@ -1,10 +1,11 @@
 package sat
 
-// analyze performs first-UIP conflict analysis on the conflicting clause and
-// returns the learnt clause (asserting literal first, a literal of the second
-// highest level at position 1) and the backjump level. Must be called at
-// decision level > 0 with every literal of confl false.
-func (s *Solver) analyze(confl *Clause) (learnt []Lit, btLevel int) {
+// analyze performs first-UIP conflict analysis on the conflicting clause
+// (an arena ref, or theoryConflRef for a conflict held in tempConfl) and
+// returns the learnt clause (asserting literal first, a literal of the
+// second highest level at position 1) and the backjump level. Must be
+// called at decision level > 0 with every literal of the conflict false.
+func (s *Solver) analyze(confl ClauseRef) (learnt []Lit, btLevel int) {
 	pathC := 0
 	p := LitUndef
 	learnt = append(learnt, LitUndef) // slot for the asserting literal
@@ -12,15 +13,22 @@ func (s *Solver) analyze(confl *Clause) (learnt []Lit, btLevel int) {
 	c := confl
 
 	for {
-		if c.learnt {
-			s.claBump(c)
+		var lits []Lit
+		if c == theoryConflRef {
+			lits = s.tempConfl
+		} else {
+			lits = s.ca.lits(c)
+			if s.ca.learnt(c) {
+				s.claBump(c)
+				s.updateLBD(c)
+			}
 		}
 		start := 0
 		if p != LitUndef {
 			start = 1 // skip the propagated literal at position 0
 		}
-		for j := start; j < len(c.Lits); j++ {
-			q := c.Lits[j]
+		for j := start; j < len(lits); j++ {
+			q := lits[j]
 			v := q.Var()
 			if s.seen[v] == 0 && s.level[v] > 0 {
 				s.seen[v] = 1
@@ -46,17 +54,20 @@ func (s *Solver) analyze(confl *Clause) (learnt []Lit, btLevel int) {
 	}
 	learnt[0] = p.Neg()
 
-	// Clause minimisation (basic mode): drop literals whose reasons are fully
-	// subsumed by the rest of the learnt clause.
-	s.minimizeCl = s.minimizeCl[:0]
-	for _, l := range learnt {
-		s.minimizeCl = append(s.minimizeCl, l)
+	// Clause minimisation, deep (recursive) mode: a literal is redundant if
+	// its whole implication cone bottoms out in level-0 facts and literals
+	// already in the learnt clause. The abstraction mask prunes cones that
+	// touch decision levels the clause does not mention.
+	s.minimizeCl = append(s.minimizeCl[:0], learnt...)
+	s.minClear = s.minClear[:0]
+	var abstract uint32
+	for i := 1; i < len(learnt); i++ {
+		abstract |= abstractLevel(s.level[learnt[i].Var()])
 	}
 	j := 1
 	for i := 1; i < len(learnt); i++ {
 		q := learnt[i]
-		r := s.reason[q.Var()]
-		if r == nil || !s.litRedundant(q, r) {
+		if s.reason[q.Var()] == NullRef || !s.litRedundant(q, abstract) {
 			learnt[j] = q
 			j++
 		}
@@ -66,6 +77,9 @@ func (s *Solver) analyze(confl *Clause) (learnt []Lit, btLevel int) {
 	// Clear seen flags for all involved variables.
 	for _, l := range s.minimizeCl {
 		s.seen[l.Var()] = 0
+	}
+	for _, v := range s.minClear {
+		s.seen[v] = 0
 	}
 
 	// Find the backjump level: the second-highest decision level.
@@ -82,18 +96,38 @@ func (s *Solver) analyze(confl *Clause) (learnt []Lit, btLevel int) {
 	return learnt, int(s.level[learnt[1].Var()])
 }
 
-// litRedundant reports whether q can be removed from the learnt clause
-// because every literal in its reason (other than q itself) is either at
-// level 0 or already present (seen) in the learnt clause. This is the
-// "basic" clause-minimisation mode.
-func (s *Solver) litRedundant(q Lit, r *Clause) bool {
-	for k := 1; k < len(r.Lits); k++ {
-		l := r.Lits[k]
-		if s.level[l.Var()] == 0 {
-			continue
-		}
-		if s.seen[l.Var()] == 0 {
-			return false
+// abstractLevel hashes a decision level into a 32-bit membership mask.
+func abstractLevel(lvl int32) uint32 { return 1 << (uint32(lvl) & 31) }
+
+// litRedundant reports whether q's implication cone is fully covered by
+// level-0 facts and seen (learnt-clause) literals, walking reasons
+// iteratively with an explicit stack. Literals proven redundant get their
+// seen flag set (recorded in minClear for cleanup) so shared cones are
+// walked once.
+func (s *Solver) litRedundant(q Lit, abstract uint32) bool {
+	s.minStack = append(s.minStack[:0], q)
+	top := len(s.minClear)
+	for len(s.minStack) > 0 {
+		p := s.minStack[len(s.minStack)-1]
+		s.minStack = s.minStack[:len(s.minStack)-1]
+		lits := s.ca.lits(s.reason[p.Var()])
+		for k := 1; k < len(lits); k++ {
+			l := lits[k]
+			v := l.Var()
+			if s.seen[v] != 0 || s.level[v] == 0 {
+				continue
+			}
+			if s.reason[v] == NullRef || abstractLevel(s.level[v])&abstract == 0 {
+				// A decision, or a level outside the clause: q must stay.
+				for len(s.minClear) > top {
+					s.seen[s.minClear[len(s.minClear)-1]] = 0
+					s.minClear = s.minClear[:len(s.minClear)-1]
+				}
+				return false
+			}
+			s.seen[v] = 1
+			s.minClear = append(s.minClear, v)
+			s.minStack = append(s.minStack, l)
 		}
 	}
 	return true

@@ -1,27 +1,157 @@
 package sat
 
-// Clause is a disjunction of literals. Learnt clauses carry an activity used
-// by the clause-database reduction policy and an LBD (literal block distance)
-// glue score computed when they are learnt.
-type Clause struct {
-	Lits     []Lit
-	activity float64
-	lbd      int32
-	learnt   bool
-	deleted  bool
+import (
+	"math"
+	"unsafe"
+)
+
+// ClauseRef is an index into the solver's flat clause arena. All clause
+// storage — problem clauses, learnt clauses, theory explanation clauses —
+// lives in one contiguous []uint32 slab and is addressed by these indices,
+// so the watch lists, reason array and clause database share cache lines
+// instead of chasing per-clause heap pointers.
+type ClauseRef uint32
+
+// NullRef marks the absence of a clause (e.g. a decision's reason).
+const NullRef ClauseRef = ^ClauseRef(0)
+
+// Clause tiers of the LBD-tiered learnt database. Core clauses (glue,
+// LBD <= coreLBD) are never deleted; mid clauses (LBD <= midLBD) survive
+// reductions while they keep participating in conflicts and are demoted to
+// local when they stop; local clauses compete by activity and lose half
+// their number at every reduction.
+const (
+	tierCore uint32 = iota
+	tierMid
+	tierLocal
+)
+
+// Arena clause layout, in uint32 words starting at the clause's ClauseRef:
+//
+//	word 0: size<<4 | learnt | deleted<<1 | used<<2 | reloc<<3
+//	word 1: float32 activity bits (forwarding ref while reloc is set)
+//	word 2: tier<<30 | lbd (learnt clauses; zero for problem clauses)
+//	word 3..3+size-1: literals
+//
+// The 3-word header is uniform for problem and learnt clauses: it wastes
+// eight bytes per problem clause but keeps every accessor branch-free.
+const (
+	hdrWords   = 3
+	flagLearnt = 1 << 0
+	flagDel    = 1 << 1
+	flagUsed   = 1 << 2
+	flagReloc  = 1 << 3
+	sizeShift  = 4
+	tierShift  = 30
+	lbdMask    = 1<<tierShift - 1
+)
+
+// arena is the flat clause slab. wasted tracks the words held by deleted
+// clauses so the solver can decide when compaction pays off.
+type arena struct {
+	data   []uint32
+	wasted int
 }
 
-// Learnt reports whether the clause was derived by conflict analysis.
-func (c *Clause) Learnt() bool { return c.learnt }
+func (a *arena) alloc(lits []Lit, learnt bool) ClauseRef {
+	r := ClauseRef(len(a.data))
+	hdr := uint32(len(lits)) << sizeShift
+	if learnt {
+		hdr |= flagLearnt
+	}
+	a.data = append(a.data, hdr, 0, 0)
+	for _, l := range lits {
+		a.data = append(a.data, uint32(l))
+	}
+	return r
+}
 
-// Len returns the number of literals.
-func (c *Clause) Len() int { return len(c.Lits) }
+func (a *arena) size(r ClauseRef) int     { return int(a.data[r] >> sizeShift) }
+func (a *arena) learnt(r ClauseRef) bool  { return a.data[r]&flagLearnt != 0 }
+func (a *arena) deleted(r ClauseRef) bool { return a.data[r]&flagDel != 0 }
+func (a *arena) used(r ClauseRef) bool    { return a.data[r]&flagUsed != 0 }
+func (a *arena) setUsed(r ClauseRef, u bool) {
+	if u {
+		a.data[r] |= flagUsed
+	} else {
+		a.data[r] &^= flagUsed
+	}
+}
 
-// watcher pairs a watching clause with a "blocker" literal: if the blocker is
-// already true the clause cannot propagate and the watch list scan can skip
-// dereferencing the clause.
+// setLearnt flips the clause's learnt flag (subsumption promotes learnt
+// clauses to problem status when they subsume a problem clause).
+func (a *arena) setLearnt(r ClauseRef, l bool) {
+	if l {
+		a.data[r] |= flagLearnt
+	} else {
+		a.data[r] &^= flagLearnt
+	}
+}
+
+func (a *arena) markDeleted(r ClauseRef) {
+	a.data[r] |= flagDel
+	a.wasted += hdrWords + a.size(r)
+}
+
+// lits returns the clause's literal slice, aliasing the arena. The view is
+// invalidated by any alloc (append may move the slab) — callers must not
+// hold it across clause allocation or compaction.
+func (a *arena) lits(r ClauseRef) []Lit {
+	n := a.size(r)
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*Lit)(unsafe.Pointer(&a.data[int(r)+hdrWords])), n)
+}
+
+func (a *arena) activity(r ClauseRef) float32 {
+	return math.Float32frombits(a.data[r+1])
+}
+
+func (a *arena) setActivity(r ClauseRef, v float32) {
+	a.data[r+1] = math.Float32bits(v)
+}
+
+func (a *arena) lbd(r ClauseRef) int32 {
+	return int32(a.data[r+2] & lbdMask)
+}
+
+func (a *arena) tier(r ClauseRef) uint32 { return a.data[r+2] >> tierShift }
+
+func (a *arena) setLBDTier(r ClauseRef, lbd int32, tier uint32) {
+	a.data[r+2] = tier<<tierShift | uint32(lbd)&lbdMask
+}
+
+// shrink drops the clause's literals to the first n, freeing the tail words
+// in place (they stay allocated until the next compaction).
+func (a *arena) shrink(r ClauseRef, n int) {
+	old := a.size(r)
+	if n >= old {
+		return
+	}
+	a.data[r] = a.data[r]&(1<<sizeShift-1) | uint32(n)<<sizeShift
+	a.wasted += old - n
+}
+
+// reloc moves the clause into dst (if not already moved) and returns its
+// new ref; the old site becomes a forwarding stub.
+func (a *arena) reloc(r ClauseRef, dst *arena) ClauseRef {
+	if a.data[r]&flagReloc != 0 {
+		return ClauseRef(a.data[r+1])
+	}
+	n := a.size(r)
+	nr := ClauseRef(len(dst.data))
+	dst.data = append(dst.data, a.data[r:int(r)+hdrWords+n]...)
+	a.data[r] |= flagReloc
+	a.data[r+1] = uint32(nr)
+	return nr
+}
+
+// watcher pairs a watching clause with a "blocker" literal: if the blocker
+// is already true the clause cannot propagate and the watch-list scan skips
+// dereferencing the clause memory entirely (counted in Stats.BlockerHits).
 type watcher struct {
-	clause  *Clause
+	ref     ClauseRef
 	blocker Lit
 }
 
@@ -37,21 +167,36 @@ type Stats struct {
 	LearntClauses uint64
 	DeletedCls    uint64
 	MaxTrail      int
+	// Hot-path and inprocessing counters (PR 9).
+	BlockerHits     uint64 // watch-list entries skipped via a true blocker
+	TierDemotions   uint64 // mid-tier clauses demoted to local at reduceDB
+	ChronoBTs       uint64 // conflicts handled by chronological backtracking
+	SubsumedCls     uint64 // clauses removed by inprocessing subsumption
+	StrengthenedCls uint64 // clauses shortened by self-subsuming resolution
+	EliminatedVars  uint64 // variables removed by bounded variable elimination
+	Inprocessings   uint64 // inprocessing rounds that ran
 }
 
 // Delta returns the counter increments from since to s (MaxTrail, a
 // high-water mark rather than a counter, carries over from s).
 func (s Stats) Delta(since Stats) Stats {
 	return Stats{
-		Decisions:     s.Decisions - since.Decisions,
-		Propagations:  s.Propagations - since.Propagations,
-		TheoryProps:   s.TheoryProps - since.TheoryProps,
-		Conflicts:     s.Conflicts - since.Conflicts,
-		TheoryConfl:   s.TheoryConfl - since.TheoryConfl,
-		Restarts:      s.Restarts - since.Restarts,
-		LearntClauses: s.LearntClauses - since.LearntClauses,
-		DeletedCls:    s.DeletedCls - since.DeletedCls,
-		MaxTrail:      s.MaxTrail,
+		Decisions:       s.Decisions - since.Decisions,
+		Propagations:    s.Propagations - since.Propagations,
+		TheoryProps:     s.TheoryProps - since.TheoryProps,
+		Conflicts:       s.Conflicts - since.Conflicts,
+		TheoryConfl:     s.TheoryConfl - since.TheoryConfl,
+		Restarts:        s.Restarts - since.Restarts,
+		LearntClauses:   s.LearntClauses - since.LearntClauses,
+		DeletedCls:      s.DeletedCls - since.DeletedCls,
+		MaxTrail:        s.MaxTrail,
+		BlockerHits:     s.BlockerHits - since.BlockerHits,
+		TierDemotions:   s.TierDemotions - since.TierDemotions,
+		ChronoBTs:       s.ChronoBTs - since.ChronoBTs,
+		SubsumedCls:     s.SubsumedCls - since.SubsumedCls,
+		StrengthenedCls: s.StrengthenedCls - since.StrengthenedCls,
+		EliminatedVars:  s.EliminatedVars - since.EliminatedVars,
+		Inprocessings:   s.Inprocessings - since.Inprocessings,
 	}
 }
 
@@ -68,4 +213,11 @@ func (s *Stats) Add(other Stats) {
 	if other.MaxTrail > s.MaxTrail {
 		s.MaxTrail = other.MaxTrail
 	}
+	s.BlockerHits += other.BlockerHits
+	s.TierDemotions += other.TierDemotions
+	s.ChronoBTs += other.ChronoBTs
+	s.SubsumedCls += other.SubsumedCls
+	s.StrengthenedCls += other.StrengthenedCls
+	s.EliminatedVars += other.EliminatedVars
+	s.Inprocessings += other.Inprocessings
 }

@@ -1,0 +1,134 @@
+package sat
+
+import (
+	"testing"
+)
+
+// FuzzInprocessing drives the inprocessing pipeline (top-level
+// simplification, subsumption, self-subsuming resolution, and — on half the
+// inputs — bounded variable elimination) against the brute-force oracle.
+//
+// Layout: byte 0 picks the variable count (2..8), byte 1 the inprocessing
+// mode (even = InprocessOn, odd = InprocessBVE). Then clause bytes as in
+// FuzzSolverAssumptions (op byte, then 1-3 literal bytes) until an op byte
+// with op%4 == 3 switches to reading 0-3 assumption literals, and the
+// instance solves once.
+//
+// Checked properties:
+//   - equisatisfiability: the verdict matches brute force over the ORIGINAL
+//     clause set (inprocessing may rewrite the database arbitrarily);
+//   - model validity: a Sat model satisfies every original clause — for BVE
+//     this exercises model reconstruction over eliminated variables;
+//   - core soundness: an Unsat core is a subset of the assumptions that is
+//     genuinely inconsistent with the original formula (BVE freezes
+//     assumption variables, so cores never mention eliminated ones).
+func FuzzInprocessing(f *testing.F) {
+	// Subsumption pair (¬x0 ∨ x1 subsumed by x1) plus a satisfiable query.
+	f.Add([]byte("\x03\x00\x01\x11\x01\x00\x01\x33"))
+	// Strengthening chain over 4 variables, assumption solve.
+	f.Add([]byte("\x04\x01\x02\x00\x11\x02\x01\x12\x01\x03\x13\x12"))
+	// Unit-heavy input: top-level simplification and false-literal stripping.
+	f.Add([]byte("\x05\x00\x00\x02\x00\x12\x03\x01\x02\x13\x00\x04\x33\x01\x03"))
+	// BVE mode with enough clauses to eliminate a middle variable.
+	f.Add([]byte("\x06\x01\x01\x00\x01\x02\x01\x14\x01\x11\x05\x02\x03\x04\x73\x02\x15"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip()
+		}
+		n := 2 + int(data[0])%7
+		mode := InprocessOn
+		if data[1]%2 == 1 {
+			mode = InprocessBVE
+		}
+		data = data[2:]
+
+		s := New()
+		s.Inprocessing = mode
+		for i := 0; i < n; i++ {
+			s.NewVar()
+		}
+		var clauses [][]Lit
+		var assumps []Lit
+		for len(data) > 0 {
+			op := data[0]
+			data = data[1:]
+			if op%4 == 3 {
+				na := int(op>>4) % 4
+				if len(data) < na {
+					break
+				}
+				assumps = make([]Lit, na)
+				for i := range assumps {
+					assumps[i] = decodeLit(data[i], n)
+				}
+				break
+			}
+			nl := 1 + int(op%3)
+			if len(data) < nl {
+				break
+			}
+			lits := make([]Lit, nl)
+			for i := range lits {
+				lits[i] = decodeLit(data[i], n)
+			}
+			data = data[nl:]
+			clauses = append(clauses, lits)
+			s.AddClause(lits...)
+		}
+		if len(clauses) == 0 {
+			t.Skip()
+		}
+
+		status := s.SolveWithAssumptions(assumps...)
+		want := bruteSat(n, clauses, assumps)
+		switch status {
+		case Sat:
+			if !want {
+				t.Fatalf("solver sat, oracle unsat: n=%d mode=%d clauses=%v assumps=%v", n, mode, clauses, assumps)
+			}
+			for _, a := range assumps {
+				if s.ValueLit(a) != LTrue {
+					t.Fatalf("assumption %v not true in model", a)
+				}
+			}
+			for _, c := range clauses {
+				ok := false
+				for _, l := range c {
+					if s.ValueLit(l) == LTrue {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("model falsifies original clause %v (mode=%d clauses=%v)", c, mode, clauses)
+				}
+			}
+		case Unsat:
+			if want {
+				t.Fatalf("solver unsat, oracle sat: n=%d mode=%d clauses=%v assumps=%v", n, mode, clauses, assumps)
+			}
+			core := s.ConflictCore()
+			inAssumps := map[Lit]bool{}
+			for _, a := range assumps {
+				inAssumps[a] = true
+			}
+			for _, l := range core {
+				if !inAssumps[l] {
+					t.Fatalf("core literal %v is not an assumption (core=%v assumps=%v)", l, core, assumps)
+				}
+			}
+			if bruteSat(n, clauses, core) {
+				t.Fatalf("conflict core %v is satisfiable with the original formula", core)
+			}
+		default:
+			t.Fatalf("budget-free solve returned %v", status)
+		}
+
+		// A second inprocessing round over the now-simplified database must
+		// stay consistent: re-solve the assumption-free formula. BVE may have
+		// eliminated variables, so this query asks nothing of them directly.
+		if got, want := s.Solve(), bruteSat(n, clauses, nil); (got == Sat) != want {
+			t.Fatalf("re-solve after inprocessing = %v, oracle says sat=%v (mode=%d clauses=%v)", got, want, mode, clauses)
+		}
+	})
+}

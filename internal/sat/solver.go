@@ -4,6 +4,42 @@ import (
 	"time"
 )
 
+// ReducePolicy selects the learnt-clause database reduction policy.
+type ReducePolicy int
+
+// Reduction policies.
+const (
+	// ReduceTiered is the default LBD-tiered policy: glue clauses
+	// (LBD <= 2) are kept forever, mid-tier clauses (LBD <= 6) survive as
+	// long as they keep participating in conflicts and are demoted to the
+	// local tier when they stop, and local clauses compete by activity.
+	ReduceTiered ReducePolicy = iota
+	// ReduceLegacyActivity is the pre-arena policy: order by (glue,
+	// activity) and drop the worst half. Kept flag-gated so the DIMACS
+	// differential tests can compare the two paths verdict for verdict.
+	ReduceLegacyActivity
+)
+
+// InprocessMode selects the between-restart inprocessing pipeline.
+type InprocessMode int
+
+// Inprocessing modes.
+const (
+	// InprocessOn (the default) runs top-level simplification, clause
+	// subsumption and self-subsuming resolution at solve entry and between
+	// restarts. All transformations are equivalence-preserving, so the
+	// solver stays sound for incremental use and assumption cores.
+	InprocessOn InprocessMode = iota
+	// InprocessOff disables inprocessing entirely.
+	InprocessOff
+	// InprocessBVE additionally runs bounded variable elimination. BVE is
+	// only equisatisfiable (eliminated variables are re-derived into the
+	// model by reconstruction), and clauses or assumptions over eliminated
+	// variables must not be introduced later: it is meant for one-shot
+	// solving (cmd/satsolve), not for the incremental DPLL(T) pipeline.
+	InprocessBVE
+)
+
 // Solver is a CDCL SAT solver with DPLL(T) hooks.
 //
 // Typical use:
@@ -26,7 +62,7 @@ type Solver struct {
 	// one Solve call (deterministic per-task budget).
 	MaxDecisions uint64
 	// MaxMemoryBytes aborts the search (Unknown, LastStop = StopMemout) when
-	// the solver's approximate live allocation — clause database, per-variable
+	// the solver's approximate live allocation — clause arena, per-variable
 	// bookkeeping, trail — exceeds this cap, instead of OOMing the process.
 	MaxMemoryBytes int64
 	// Deadline aborts the search (Unknown) when the wall clock passes it.
@@ -40,20 +76,35 @@ type Solver struct {
 	// clauses; see ProofRecorder).
 	Proof ProofRecorder
 	// Tracer, when set, observes the search (decisions, propagations,
-	// conflicts, restarts, reductions). Nil costs one branch per event.
+	// conflicts, restarts, reductions, inprocessing). Nil costs one branch
+	// per event.
 	Tracer Tracer
 	// Timings, when set, accumulates per-phase solve time (BCP vs theory
 	// vs analyze vs reduce). Nil skips all clock reads.
 	Timings *SearchTimings
+	// Reduce selects the learnt-database reduction policy (default tiered).
+	Reduce ReducePolicy
+	// Inprocessing selects the inprocessing pipeline (default on; see
+	// InprocessMode for the BVE caveats).
+	Inprocessing InprocessMode
+	// ChronoThreshold enables chronological backtracking: when a conflict's
+	// computed backjump would undo more than this many decision levels, the
+	// solver backtracks just one level instead and lets propagation repair
+	// the trail (Nadel & Ryvchin's restricted scheme). New sets 100;
+	// negative disables it.
+	ChronoThreshold int
 
-	clauses []*Clause
-	learnts []*Clause
+	ca      arena
+	clauses []ClauseRef
+	learnts []ClauseRef
 	watches [][]watcher
 
 	assigns  []LBool
 	polarity []bool // saved phase: true = prefer the negative literal
-	reason   []*Clause
+	reason   []ClauseRef
 	level    []int32
+	occs     []int32 // per-variable clause-occurrence count (monotone)
+	elim     []bool  // true once BVE removed the variable
 
 	trail    []Lit
 	trailLim []int
@@ -70,7 +121,12 @@ type Solver struct {
 	claDecay float64
 
 	seen       []byte
-	minimizeCl []Lit // scratch for clause minimisation
+	minimizeCl []Lit       // scratch for clause minimisation
+	minStack   []Lit       // scratch for deep (recursive) minimisation
+	minClear   []Var       // vars whose seen flags deep minimisation must clear
+	lbdSeen    []uint32    // level -> generation stamp for LBD computation
+	lbdGen     uint32      // current LBD generation
+	localRefs  []ClauseRef // reduceDB scratch
 
 	maxLearnts   float64
 	learntAdjust int
@@ -80,23 +136,47 @@ type Solver struct {
 
 	stopped       StopReason // why the last Solve returned Unknown
 	decisionLimit uint64     // stats.Decisions value at which MaxDecisions trips
-	clauseBytes   int64      // approximate live clause-database bytes
+
+	// Inprocessing scheduling state: problem clauses added since the last
+	// round, and the conflict count at the last between-restart round.
+	dirtyClauses  int
+	lastInprocess uint64
+	// proofUnits counts the level-0 trail literals already emitted to the
+	// proof as unit clauses (inprocessing emits them before deleting their
+	// antecedents, keeping later strengthenings RUP-checkable).
+	proofUnits int
+
+	elimStack []elimRecord // BVE reconstruction stack (reverse order)
 
 	assumptions []Lit
 	conflCore   []Lit
 	model       []LBool
 
-	tempConfl Clause // reusable container for theory conflict clauses
+	tempConfl []Lit // reusable container for theory conflict clauses
 }
 
-// New returns an empty solver.
+// theoryConflRef is the sentinel conflict "clause" for theory conflicts,
+// whose literals live in Solver.tempConfl rather than the arena.
+const theoryConflRef ClauseRef = NullRef - 1
+
+// elimRecord remembers the clauses removed when a variable was eliminated,
+// so satisfying models can be extended over the eliminated variable.
+type elimRecord struct {
+	v       Var
+	clauses [][]Lit
+}
+
+// New returns an empty solver with the default configuration: tiered
+// clause-database reduction, inprocessing on, chronological backtracking
+// for backjumps longer than 100 levels.
 func New() *Solver {
 	s := &Solver{
-		varInc:   1.0,
-		varDecay: 0.95,
-		claInc:   1.0,
-		claDecay: 0.999,
-		ok:       true,
+		varInc:          1.0,
+		varDecay:        0.95,
+		claInc:          1.0,
+		claDecay:        0.999,
+		ok:              true,
+		ChronoThreshold: 100,
 	}
 	s.order = newVarHeap(&s.activity)
 	return s
@@ -107,27 +187,40 @@ func (s *Solver) NewVar() Var {
 	v := Var(len(s.assigns))
 	s.assigns = append(s.assigns, LUndef)
 	s.polarity = append(s.polarity, true)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, NullRef)
 	s.level = append(s.level, 0)
+	s.occs = append(s.occs, 0)
+	s.elim = append(s.elim, false)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
+	s.lbdSeen = append(s.lbdSeen, 0)
 	s.watches = append(s.watches, nil, nil)
 	s.order.growTo(int(v) + 1)
 	s.order.push(v)
 	return v
 }
 
+// SetPhase sets the initial saved phase for a variable: the polarity its
+// first decision will try. Phase saving overwrites it as search proceeds.
+// Encoders use this to seed circuit-aware phases (a Tseitin gate decided
+// true propagates its inputs; decided false it propagates nothing).
+func (s *Solver) SetPhase(v Var, neg bool) { s.polarity[v] = neg }
+
 // NVars returns the number of variables created so far.
 func (s *Solver) NVars() int { return len(s.assigns) }
 
-// NClauses returns the number of problem clauses currently held.
+// NClauses returns the number of problem clauses currently held (top-level
+// simplification and subsumption may shrink it across Solve calls).
 func (s *Solver) NClauses() int { return len(s.clauses) }
 
 // ProblemClauses returns copies of the problem clauses (for serialisation).
 func (s *Solver) ProblemClauses() [][]Lit {
 	out := make([][]Lit, 0, len(s.clauses))
-	for _, c := range s.clauses {
-		out = append(out, append([]Lit(nil), c.Lits...))
+	for _, r := range s.clauses {
+		if s.ca.deleted(r) {
+			continue
+		}
+		out = append(out, append([]Lit(nil), s.ca.lits(r)...))
 	}
 	return out
 }
@@ -184,16 +277,12 @@ func (s *Solver) Stats() Stats { return s.stats }
 // verdict, otherwise the budget/deadline/memout/cancellation that aborted it.
 func (s *Solver) LastStop() StopReason { return s.stopped }
 
-// approxClauseBytes estimates the heap footprint of one clause of n literals:
-// the Clause header, the literal slice and the two watcher entries.
-func approxClauseBytes(n int) int64 { return int64(80 + 4*n) }
-
 // MemApprox returns the solver's approximate live allocation in bytes: the
-// clause database (problem + learnt), the per-variable bookkeeping arrays and
-// the trail. It deliberately over-counts a little rather than chasing exact
-// allocator numbers; MaxMemoryBytes compares against this figure.
+// clause arena, the per-variable bookkeeping arrays and the trail. It
+// deliberately over-counts a little rather than chasing exact allocator
+// numbers; MaxMemoryBytes compares against this figure.
 func (s *Solver) MemApprox() int64 {
-	return s.clauseBytes + int64(len(s.assigns))*128 + int64(cap(s.trail))*8
+	return int64(len(s.ca.data))*4 + int64(len(s.assigns))*128 + int64(cap(s.trail))*8
 }
 
 // Okay reports whether the clause set is still possibly satisfiable (false
@@ -224,6 +313,9 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	// tautologies and satisfied clauses.
 	out := make([]Lit, 0, len(lits))
 	for _, l := range lits {
+		if s.elim[l.Var()] {
+			panic("sat: AddClause over a BVE-eliminated variable")
+		}
 		switch s.valueLitInternal(l) {
 		case LTrue:
 			return true // already satisfied at top level
@@ -249,30 +341,41 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		s.ok = false
 		return false
 	case 1:
-		s.uncheckedEnqueue(out[0], nil)
-		if s.propagateBool() != nil {
+		s.uncheckedEnqueue(out[0], NullRef)
+		if s.propagateBool() != NullRef {
 			s.ok = false
 			return false
 		}
 		return true
 	}
-	c := &Clause{Lits: out}
-	s.clauses = append(s.clauses, c)
-	s.clauseBytes += approxClauseBytes(len(out))
-	s.attach(c)
+	r := s.ca.alloc(out, false)
+	s.clauses = append(s.clauses, r)
+	s.countOccs(out)
+	s.dirtyClauses++
+	s.attach(r)
 	return true
 }
 
-func (s *Solver) attach(c *Clause) {
-	s.watches[c.Lits[0].Neg()] = append(s.watches[c.Lits[0].Neg()], watcher{c, c.Lits[1]})
-	s.watches[c.Lits[1].Neg()] = append(s.watches[c.Lits[1].Neg()], watcher{c, c.Lits[0]})
+// countOccs bumps the occurrence counters of the clause's variables. The
+// counters are monotone (never decremented on deletion): over-counting only
+// costs a skipped decision elision, never soundness.
+func (s *Solver) countOccs(lits []Lit) {
+	for _, l := range lits {
+		s.occs[l.Var()]++
+	}
+}
+
+func (s *Solver) attach(r ClauseRef) {
+	lits := s.ca.lits(r)
+	s.watches[lits[0].Neg()] = append(s.watches[lits[0].Neg()], watcher{r, lits[1]})
+	s.watches[lits[1].Neg()] = append(s.watches[lits[1].Neg()], watcher{r, lits[0]})
 }
 
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
 func (s *Solver) newDecisionLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }
 
-func (s *Solver) uncheckedEnqueue(l Lit, from *Clause) {
+func (s *Solver) uncheckedEnqueue(l Lit, from ClauseRef) {
 	v := l.Var()
 	if l.IsNeg() {
 		s.assigns[v] = LFalse
@@ -297,7 +400,7 @@ func (s *Solver) cancelUntil(lvl int) {
 		v := s.trail[i].Var()
 		s.polarity[v] = s.trail[i].IsNeg()
 		s.assigns[v] = LUndef
-		s.reason[v] = nil
+		s.reason[v] = NullRef
 		s.order.push(v)
 	}
 	s.trail = s.trail[:bound]
@@ -320,8 +423,8 @@ func (s *Solver) cancelUntil(lvl int) {
 }
 
 // propagateBool runs unit propagation to fixpoint; it returns a conflicting
-// clause or nil.
-func (s *Solver) propagateBool() *Clause {
+// clause ref or NullRef.
+func (s *Solver) propagateBool() ClauseRef {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
@@ -331,32 +434,34 @@ func (s *Solver) propagateBool() *Clause {
 		for i < len(ws) {
 			w := ws[i]
 			if s.valueLitInternal(w.blocker) == LTrue {
+				s.stats.BlockerHits++
 				ws[j] = ws[i]
 				i++
 				j++
 				continue
 			}
-			c := w.clause
-			if c.deleted {
+			r := w.ref
+			if s.ca.deleted(r) {
 				i++ // drop the watcher
 				continue
 			}
+			lits := s.ca.lits(r)
 			falseLit := p.Neg()
-			if c.Lits[0] == falseLit {
-				c.Lits[0], c.Lits[1] = c.Lits[1], c.Lits[0]
+			if lits[0] == falseLit {
+				lits[0], lits[1] = lits[1], lits[0]
 			}
-			first := c.Lits[0]
-			nw := watcher{c, first}
+			first := lits[0]
+			nw := watcher{r, first}
 			if first != w.blocker && s.valueLitInternal(first) == LTrue {
 				ws[j] = nw
 				i++
 				j++
 				continue
 			}
-			for k := 2; k < len(c.Lits); k++ {
-				if s.valueLitInternal(c.Lits[k]) != LFalse {
-					c.Lits[1], c.Lits[k] = c.Lits[k], c.Lits[1]
-					neg := c.Lits[1].Neg()
+			for k := 2; k < len(lits); k++ {
+				if s.valueLitInternal(lits[k]) != LFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					neg := lits[1].Neg()
 					s.watches[neg] = append(s.watches[neg], nw)
 					i++
 					continue clauseLoop
@@ -374,26 +479,42 @@ func (s *Solver) propagateBool() *Clause {
 				}
 				s.watches[p] = ws[:j]
 				s.qhead = len(s.trail)
-				return c
+				return r
 			}
 			s.stats.Propagations++
 			if s.Tracer != nil {
 				s.Tracer.Propagation(first)
 			}
-			s.uncheckedEnqueue(first, c)
+			s.uncheckedEnqueue(first, r)
 		}
 		s.watches[p] = ws[:j]
 	}
-	return nil
+	return NullRef
+}
+
+// theoryConflict stores the theory's conflict clause in the reusable
+// scratch and returns the sentinel conflict ref.
+func (s *Solver) theoryConflict(confl []Lit) ClauseRef {
+	s.tempConfl = append(s.tempConfl[:0], confl...)
+	return theoryConflRef
+}
+
+// conflictLits returns the literals of a conflict returned by the
+// propagation pipeline (arena clause or theory scratch).
+func (s *Solver) conflictLits(r ClauseRef) []Lit {
+	if r == theoryConflRef {
+		return s.tempConfl
+	}
+	return s.ca.lits(r)
 }
 
 // theoryStep asserts pending trail literals to the theory and applies theory
-// propagations. It returns a conflict clause (or nil) and whether any new
+// propagations. It returns a conflict ref (or NullRef) and whether any new
 // literal was enqueued (so Boolean propagation must re-run).
-func (s *Solver) theoryStep() (*Clause, bool) {
+func (s *Solver) theoryStep() (ClauseRef, bool) {
 	if s.Theory == nil {
 		s.thHead = len(s.trail)
-		return nil, false
+		return NullRef, false
 	}
 	for s.thHead < len(s.trail) {
 		p := s.trail[s.thHead]
@@ -406,8 +527,7 @@ func (s *Solver) theoryStep() (*Clause, bool) {
 				if s.Proof != nil {
 					s.Proof.TheoryLemma(confl)
 				}
-				s.tempConfl.Lits = append(s.tempConfl.Lits[:0], confl...)
-				return &s.tempConfl, false
+				return s.theoryConflict(confl), false
 			}
 		}
 		s.thCum = append(s.thCum, int32(s.Theory.AssertedCount()))
@@ -427,8 +547,7 @@ func (s *Solver) theoryStep() (*Clause, bool) {
 			if s.Proof != nil {
 				s.Proof.TheoryLemma(imp.Reason)
 			}
-			s.tempConfl.Lits = append(s.tempConfl.Lits[:0], imp.Reason...)
-			return &s.tempConfl, false
+			return s.theoryConflict(imp.Reason), false
 		}
 		if len(imp.Reason) < 2 || imp.Reason[0] != imp.Lit {
 			// Theories must explain with (lit ∨ ¬cause1 ∨ ...); anything else
@@ -438,50 +557,52 @@ func (s *Solver) theoryStep() (*Clause, bool) {
 		if s.Proof != nil {
 			s.Proof.TheoryLemma(imp.Reason)
 		}
-		reason := &Clause{Lits: append([]Lit(nil), imp.Reason...), learnt: true}
+		r := s.ca.alloc(imp.Reason, true)
+		s.ca.setLBDTier(r, int32(len(imp.Reason)), tierLocal)
 		// Mid-search clause attachment: the second watch must be the false
 		// literal with the highest decision level, so the watch invariants
 		// survive backtracking.
+		lits := s.ca.lits(r)
 		maxI := 1
-		for k := 2; k < len(reason.Lits); k++ {
-			if s.level[reason.Lits[k].Var()] > s.level[reason.Lits[maxI].Var()] {
+		for k := 2; k < len(lits); k++ {
+			if s.level[lits[k].Var()] > s.level[lits[maxI].Var()] {
 				maxI = k
 			}
 		}
-		reason.Lits[1], reason.Lits[maxI] = reason.Lits[maxI], reason.Lits[1]
-		s.learnts = append(s.learnts, reason)
-		s.clauseBytes += approxClauseBytes(len(reason.Lits))
-		s.attach(reason)
+		lits[1], lits[maxI] = lits[maxI], lits[1]
+		s.learnts = append(s.learnts, r)
+		s.countOccs(lits)
+		s.attach(r)
 		s.stats.LearntClauses++
-		s.claBump(reason)
+		s.claBump(r)
 		s.stats.TheoryProps++
 		if s.Tracer != nil {
 			s.Tracer.TheoryPropagation(imp.Lit)
 		}
-		s.uncheckedEnqueue(imp.Lit, reason)
+		s.uncheckedEnqueue(imp.Lit, r)
 		progressed = true
 	}
-	return nil, progressed
+	return NullRef, progressed
 }
 
 // propagateAll interleaves Boolean and theory propagation to fixpoint.
-func (s *Solver) propagateAll() *Clause {
+func (s *Solver) propagateAll() ClauseRef {
 	for {
-		if confl := s.timedPropagateBool(); confl != nil {
+		if confl := s.timedPropagateBool(); confl != NullRef {
 			return confl
 		}
 		confl, progressed := s.timedTheoryStep()
-		if confl != nil {
+		if confl != NullRef {
 			return confl
 		}
 		if !progressed {
-			return nil
+			return NullRef
 		}
 	}
 }
 
 // timedPropagateBool is propagateBool with optional phase timing.
-func (s *Solver) timedPropagateBool() *Clause {
+func (s *Solver) timedPropagateBool() ClauseRef {
 	if s.Timings == nil {
 		return s.propagateBool()
 	}
@@ -492,7 +613,7 @@ func (s *Solver) timedPropagateBool() *Clause {
 }
 
 // timedTheoryStep is theoryStep with optional phase timing.
-func (s *Solver) timedTheoryStep() (*Clause, bool) {
+func (s *Solver) timedTheoryStep() (ClauseRef, bool) {
 	if s.Timings == nil {
 		return s.theoryStep()
 	}
@@ -503,7 +624,7 @@ func (s *Solver) timedTheoryStep() (*Clause, bool) {
 }
 
 // timedAnalyze is analyze with optional phase timing.
-func (s *Solver) timedAnalyze(confl *Clause) ([]Lit, int) {
+func (s *Solver) timedAnalyze(confl ClauseRef) ([]Lit, int) {
 	if s.Timings == nil {
 		return s.analyze(confl)
 	}
@@ -527,34 +648,72 @@ func (s *Solver) varBump(v Var) {
 
 func (s *Solver) varDecayActivity() { s.varInc /= s.varDecay }
 
-func (s *Solver) claBump(c *Clause) {
-	c.activity += s.claInc
-	if c.activity > 1e20 {
-		for _, lc := range s.learnts {
-			lc.activity *= 1e-20
+// claBump bumps a learnt clause's activity and marks it used, so the tiered
+// reduction policy sees it participating in conflicts. When conflict
+// analysis finds the clause's literals now span fewer decision levels, the
+// LBD is updated downwards and the clause promoted (glue protection).
+func (s *Solver) claBump(r ClauseRef) {
+	act := s.ca.activity(r) + float32(s.claInc)
+	if act > 1e20 {
+		for _, lr := range s.learnts {
+			s.ca.setActivity(lr, s.ca.activity(lr)*1e-20)
 		}
 		s.claInc *= 1e-20
+		act = s.ca.activity(r) + float32(s.claInc)
 	}
+	s.ca.setActivity(r, act)
+	s.ca.setUsed(r, true)
 }
 
 func (s *Solver) claDecayActivity() { s.claInc /= s.claDecay }
 
-// pickBranchLit selects the next decision literal using VSIDS + saved phase.
+// updateLBD recomputes a learnt clause's LBD during conflict analysis and
+// promotes it when the new value is better (never demotes here; demotion is
+// reduceDB's job).
+func (s *Solver) updateLBD(r ClauseRef) {
+	nl := s.computeLBD(s.ca.lits(r))
+	if nl >= s.ca.lbd(r) {
+		return
+	}
+	tier := s.ca.tier(r)
+	switch {
+	case nl <= coreLBD:
+		tier = tierCore
+	case nl <= midLBD && tier == tierLocal:
+		tier = tierMid
+	}
+	s.ca.setLBDTier(r, nl, tier)
+}
+
+// LBD tier boundaries (see ReduceTiered).
+const (
+	coreLBD = 2
+	midLBD  = 6
+)
+
+// pickBranchLit selects the next decision literal using VSIDS + saved
+// phase. Variables that occur in no clause and are invisible to the theory
+// are elided: any value satisfies them, so they are completed into the
+// model at Sat time instead of costing a decision each.
 func (s *Solver) pickBranchLit() Lit {
 	for !s.order.empty() {
 		v := s.order.pop()
-		if s.assigns[v] == LUndef {
-			return MkLit(v, s.polarity[v])
+		if s.assigns[v] != LUndef || s.elim[v] {
+			continue
 		}
+		if s.occs[v] == 0 && (s.Theory == nil || !s.Theory.Relevant(v)) {
+			continue
+		}
+		return MkLit(v, s.polarity[v])
 	}
 	return LitUndef
 }
 
-// maxClauseLevel returns the highest decision level among the clause's
-// literals (used to pre-backtrack before analysing lagging theory conflicts).
-func (s *Solver) maxClauseLevel(c *Clause) int {
+// maxLitsLevel returns the highest decision level among the literals (used
+// to pre-backtrack before analysing lagging theory conflicts).
+func (s *Solver) maxLitsLevel(lits []Lit) int {
 	m := 0
-	for _, l := range c.Lits {
+	for _, l := range lits {
 		if lv := int(s.level[l.Var()]); lv > m {
 			m = lv
 		}
@@ -582,6 +741,11 @@ func (s *Solver) SolveWithAssumptions(assumps ...Lit) Status {
 		return Unsat
 	}
 	s.assumptions = append(s.assumptions[:0], assumps...)
+	for _, a := range s.assumptions {
+		if s.elim[a.Var()] {
+			panic("sat: assumption over a BVE-eliminated variable")
+		}
+	}
 	s.conflCore = nil
 	s.model = nil
 	s.stopped = StopNone
@@ -589,6 +753,17 @@ func (s *Solver) SolveWithAssumptions(assumps ...Lit) Status {
 	if s.MaxDecisions > 0 {
 		s.decisionLimit = s.stats.Decisions + s.MaxDecisions
 	}
+	// Entry inprocessing: the clause database changed since the last round
+	// (fresh load or incremental additions), so simplify before searching.
+	if s.Inprocessing != InprocessOff && s.dirtyClauses > 0 {
+		if !s.inprocess() {
+			if s.Proof != nil {
+				s.Proof.Learnt(nil)
+			}
+			return Unsat
+		}
+	}
+	s.maybeCompact()
 	confBudget := s.MaxConflicts
 	restart := 0
 	for {
@@ -596,7 +771,7 @@ func (s *Solver) SolveWithAssumptions(assumps ...Lit) Status {
 		st := s.search(limit, &confBudget)
 		if st != Unknown {
 			if st == Sat {
-				s.model = append([]LBool(nil), s.assigns...)
+				s.saveModel()
 			}
 			s.cancelUntil(0)
 			return st
@@ -610,7 +785,80 @@ func (s *Solver) SolveWithAssumptions(assumps ...Lit) Status {
 		if s.Tracer != nil {
 			s.Tracer.Restart(s.stats.Restarts)
 		}
+		// Between-restart inprocessing, amortised over the conflicts since
+		// the last round; search returned at level 0.
+		if s.Inprocessing != InprocessOff &&
+			s.stats.Conflicts-s.lastInprocess >= inprocessConflictGap {
+			if !s.inprocess() {
+				if s.Proof != nil {
+					s.Proof.Learnt(nil)
+				}
+				return Unsat
+			}
+		}
+		s.maybeCompact()
 	}
+}
+
+// inprocessConflictGap is the number of conflicts between inprocessing
+// rounds during one search (entry rounds run whenever clauses were added).
+const inprocessConflictGap = 4000
+
+// saveModel snapshots the current total assignment, completing elided
+// variables (no clause occurrences, invisible to the theory) with their
+// saved phase — the same value a decision on them would have produced — and
+// re-deriving BVE-eliminated variables from the reconstruction stack.
+func (s *Solver) saveModel() {
+	s.model = append([]LBool(nil), s.assigns...)
+	for v := range s.model {
+		if s.model[v] == LUndef && !s.elim[v] {
+			if s.polarity[v] {
+				s.model[v] = LFalse
+			} else {
+				s.model[v] = LTrue
+			}
+		}
+	}
+	for i := len(s.elimStack) - 1; i >= 0; i-- {
+		rec := s.elimStack[i]
+		if s.polarity[rec.v] {
+			s.model[rec.v] = LFalse
+		} else {
+			s.model[rec.v] = LTrue
+		}
+		for _, c := range rec.clauses {
+			satisfied := false
+			var own Lit = LitUndef
+			for _, l := range c {
+				if l.Var() == rec.v {
+					own = l
+					continue
+				}
+				if s.modelLit(l) == LTrue {
+					satisfied = true
+					break
+				}
+			}
+			if !satisfied && own != LitUndef {
+				if own.IsNeg() {
+					s.model[rec.v] = LFalse
+				} else {
+					s.model[rec.v] = LTrue
+				}
+			}
+		}
+	}
+}
+
+func (s *Solver) modelLit(l Lit) LBool {
+	val := s.model[l.Var()]
+	if val == LUndef {
+		return LUndef
+	}
+	if l.IsNeg() {
+		return val.Neg()
+	}
+	return val
 }
 
 // ConflictCore returns, after an Unsat result from SolveWithAssumptions, a
@@ -636,16 +884,16 @@ func (s *Solver) analyzeFinal(p Lit) []Lit {
 		if s.seen[v] == 0 {
 			continue
 		}
-		if s.reason[v] == nil {
+		if s.reason[v] == NullRef {
 			// A decision below the VSIDS region is an assumption.
 			if s.level[v] > 0 {
 				out = append(out, s.trail[i])
 			}
 		} else {
-			c := s.reason[v]
-			for j := 1; j < len(c.Lits); j++ {
-				if s.level[c.Lits[j].Var()] > 0 {
-					s.seen[c.Lits[j].Var()] = 1
+			lits := s.ca.lits(s.reason[v])
+			for j := 1; j < len(lits); j++ {
+				if s.level[lits[j].Var()] > 0 {
+					s.seen[lits[j].Var()] = 1
 				}
 			}
 		}
@@ -691,6 +939,79 @@ func (s *Solver) checkStop(confBudget uint64) bool {
 	return false
 }
 
+// handleConflict runs conflict analysis on confl and applies its result:
+// learn, backtrack (chronologically when the jump is long), enqueue the
+// asserting literal, decay activities. It returns Unsat for a top-level
+// conflict and Unknown to continue the search.
+func (s *Solver) handleConflict(confl ClauseRef, theory bool) Status {
+	// A theory conflict can live entirely below the current level.
+	if ml := s.maxLitsLevel(s.conflictLits(confl)); ml < s.decisionLevel() {
+		s.cancelUntil(ml)
+	}
+	conflLevel := s.decisionLevel()
+	if conflLevel == 0 {
+		s.ok = false
+		if s.Proof != nil {
+			s.Proof.Learnt(nil)
+		}
+		if s.Tracer != nil {
+			s.Tracer.Conflict(ConflictInfo{Backjump: -1, Theory: theory})
+		}
+		return Unsat
+	}
+	learnt, bt := s.timedAnalyze(confl)
+	if s.Proof != nil {
+		s.Proof.Learnt(learnt)
+	}
+	// Restricted chronological backtracking: when the backjump would undo a
+	// long stretch of the trail, step back a single level instead; the
+	// learnt clause is unit there too, so the asserting literal still
+	// propagates, and the skipped assignments survive to be reused.
+	if s.ChronoThreshold >= 0 && conflLevel-bt > s.ChronoThreshold && conflLevel-1 > bt {
+		bt = conflLevel - 1
+		s.stats.ChronoBTs++
+	}
+	s.cancelUntil(bt)
+	if len(learnt) == 1 {
+		if s.Tracer != nil {
+			s.Tracer.Conflict(ConflictInfo{
+				LearntSize: 1, LBD: 1, Level: conflLevel, Backjump: bt, Theory: theory,
+			})
+		}
+		s.uncheckedEnqueue(learnt[0], NullRef)
+	} else {
+		lbd := s.computeLBD(learnt)
+		r := s.ca.alloc(learnt, true)
+		tier := tierLocal
+		switch {
+		case lbd <= coreLBD:
+			tier = tierCore
+		case lbd <= midLBD:
+			tier = tierMid
+		}
+		s.ca.setLBDTier(r, lbd, tier)
+		s.learnts = append(s.learnts, r)
+		s.countOccs(learnt)
+		s.attach(r)
+		s.claBump(r)
+		s.stats.LearntClauses++
+		if s.Tracer != nil {
+			s.Tracer.Conflict(ConflictInfo{
+				LearntSize: len(learnt), LBD: lbd, Level: conflLevel, Backjump: bt, Theory: theory,
+			})
+		}
+		s.uncheckedEnqueue(learnt[0], r)
+	}
+	s.varDecayActivity()
+	s.claDecayActivity()
+	s.learntAdjust--
+	if s.learntAdjust <= 0 {
+		s.learntAdjust = 1000
+		s.maxLearnts = s.maxLearnts*1.1 + 2000
+	}
+	return Unknown
+}
+
 // search runs up to maxConfl conflicts; Unknown means "restart or give up".
 func (s *Solver) search(maxConfl int, confBudget *uint64) Status {
 	var conflicts int
@@ -706,60 +1027,15 @@ func (s *Solver) search(maxConfl int, confBudget *uint64) Status {
 			return Unknown
 		}
 		confl := s.propagateAll()
-		if confl != nil {
-			theoryConfl := confl == &s.tempConfl
+		if confl != NullRef {
+			theoryConfl := confl == theoryConflRef
 			s.stats.Conflicts++
 			conflicts++
 			if s.MaxConflicts > 0 && *confBudget > 0 {
 				*confBudget--
 			}
-			// A theory conflict can live entirely below the current level.
-			if ml := s.maxClauseLevel(confl); ml < s.decisionLevel() {
-				s.cancelUntil(ml)
-			}
-			conflLevel := s.decisionLevel()
-			if conflLevel == 0 {
-				s.ok = false
-				if s.Proof != nil {
-					s.Proof.Learnt(nil)
-				}
-				if s.Tracer != nil {
-					s.Tracer.Conflict(ConflictInfo{Backjump: -1, Theory: theoryConfl})
-				}
-				return Unsat
-			}
-			learnt, bt := s.timedAnalyze(confl)
-			if s.Proof != nil {
-				s.Proof.Learnt(learnt)
-			}
-			s.cancelUntil(bt)
-			if len(learnt) == 1 {
-				if s.Tracer != nil {
-					s.Tracer.Conflict(ConflictInfo{
-						LearntSize: 1, LBD: 1, Level: conflLevel, Backjump: bt, Theory: theoryConfl,
-					})
-				}
-				s.uncheckedEnqueue(learnt[0], nil)
-			} else {
-				c := &Clause{Lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
-				s.learnts = append(s.learnts, c)
-				s.clauseBytes += approxClauseBytes(len(learnt))
-				s.attach(c)
-				s.claBump(c)
-				s.stats.LearntClauses++
-				if s.Tracer != nil {
-					s.Tracer.Conflict(ConflictInfo{
-						LearntSize: len(learnt), LBD: c.lbd, Level: conflLevel, Backjump: bt, Theory: theoryConfl,
-					})
-				}
-				s.uncheckedEnqueue(learnt[0], c)
-			}
-			s.varDecayActivity()
-			s.claDecayActivity()
-			s.learntAdjust--
-			if s.learntAdjust <= 0 {
-				s.learntAdjust = 1000
-				s.maxLearnts = s.maxLearnts*1.1 + 2000
+			if st := s.handleConflict(confl, theoryConfl); st != Unknown {
+				return st
 			}
 			if conflicts >= maxConfl || s.checkStop(*confBudget) {
 				s.cancelUntil(0)
@@ -805,50 +1081,13 @@ func (s *Solver) search(maxConfl int, confBudget *uint64) Status {
 						if s.Proof != nil {
 							s.Proof.TheoryLemma(confl)
 						}
-						s.tempConfl.Lits = append(s.tempConfl.Lits[:0], confl...)
-						// Treat like any other conflict on the next loop
-						// iteration by handling it here directly.
-						c := &s.tempConfl
 						s.stats.Conflicts++
-						if ml := s.maxClauseLevel(c); ml < s.decisionLevel() {
-							s.cancelUntil(ml)
+						conflicts++
+						if s.MaxConflicts > 0 && *confBudget > 0 {
+							*confBudget--
 						}
-						conflLevel := s.decisionLevel()
-						if conflLevel == 0 {
-							s.ok = false
-							if s.Proof != nil {
-								s.Proof.Learnt(nil)
-							}
-							if s.Tracer != nil {
-								s.Tracer.Conflict(ConflictInfo{Backjump: -1, Theory: true})
-							}
-							return Unsat
-						}
-						learnt, bt := s.timedAnalyze(c)
-						if s.Proof != nil {
-							s.Proof.Learnt(learnt)
-						}
-						s.cancelUntil(bt)
-						if len(learnt) == 1 {
-							if s.Tracer != nil {
-								s.Tracer.Conflict(ConflictInfo{
-									LearntSize: 1, LBD: 1, Level: conflLevel, Backjump: bt, Theory: true,
-								})
-							}
-							s.uncheckedEnqueue(learnt[0], nil)
-						} else {
-							lc := &Clause{Lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
-							s.learnts = append(s.learnts, lc)
-							s.clauseBytes += approxClauseBytes(len(learnt))
-							s.attach(lc)
-							s.claBump(lc)
-							s.stats.LearntClauses++
-							if s.Tracer != nil {
-								s.Tracer.Conflict(ConflictInfo{
-									LearntSize: len(learnt), LBD: lc.lbd, Level: conflLevel, Backjump: bt, Theory: true,
-								})
-							}
-							s.uncheckedEnqueue(learnt[0], lc)
+						if st := s.handleConflict(s.theoryConflict(confl), true); st != Unknown {
+							return st
 						}
 						continue
 					}
@@ -870,23 +1109,31 @@ func (s *Solver) search(maxConfl int, confBudget *uint64) Status {
 			if s.Tracer != nil {
 				s.Tracer.Decision(next, s.decisionLevel(), src)
 			}
-			s.uncheckedEnqueue(next, nil)
+			s.uncheckedEnqueue(next, NullRef)
 		}
 	}
 }
 
+// computeLBD counts the distinct decision levels among the literals using a
+// generation-stamped scratch array (no allocation).
 func (s *Solver) computeLBD(lits []Lit) int32 {
-	seenLvl := map[int32]struct{}{}
+	s.lbdGen++
+	gen := s.lbdGen
+	var n int32
 	for _, l := range lits {
-		seenLvl[s.level[l.Var()]] = struct{}{}
+		lvl := s.level[l.Var()]
+		if s.lbdSeen[lvl] != gen {
+			s.lbdSeen[lvl] = gen
+			n++
+		}
 	}
-	return int32(len(seenLvl))
+	return n
 }
 
-// locked reports whether c is the reason of its first literal's assignment.
-func (s *Solver) locked(c *Clause) bool {
-	v := c.Lits[0].Var()
-	return s.reason[v] == c && s.valueLitInternal(c.Lits[0]) == LTrue
+// locked reports whether r is the reason of its first literal's assignment.
+func (s *Solver) locked(r ClauseRef) bool {
+	l := s.ca.lits(r)[0]
+	return s.reason[l.Var()] == r && s.valueLitInternal(l) == LTrue
 }
 
 // timedReduceDB is reduceDB with optional phase timing and trace event.
@@ -905,32 +1152,171 @@ func (s *Solver) timedReduceDB() {
 	}
 }
 
-// reduceDB removes roughly half of the learnt clauses, preferring inactive,
-// long, high-LBD ones. Watchers are purged lazily via the deleted flag.
+// reduceDB removes a slice of the learnt clauses under the configured
+// policy. Watchers are purged lazily via the deleted flag; arena space is
+// reclaimed by compaction at the next restart.
 func (s *Solver) reduceDB() {
-	ls := s.learnts
-	// Simple selection: order by (lbd, activity) with binary/glue clauses kept.
-	sortLearnts(ls, func(a, b *Clause) bool {
-		if (a.lbd <= 2) != (b.lbd <= 2) {
-			return a.lbd <= 2
+	if s.Reduce == ReduceLegacyActivity {
+		s.reduceDBLegacy()
+		return
+	}
+	// Tiered policy: core clauses are permanent; mid clauses stay while
+	// they keep getting used between reductions and are demoted otherwise;
+	// local clauses compete by activity and lose half their number.
+	keep := s.learnts[:0]
+	local := s.localRefs[:0]
+	for _, r := range s.learnts {
+		if s.ca.deleted(r) {
+			continue
 		}
-		return a.activity > b.activity
+		switch s.ca.tier(r) {
+		case tierCore:
+			keep = append(keep, r)
+		case tierMid:
+			if s.ca.used(r) {
+				s.ca.setUsed(r, false)
+				keep = append(keep, r)
+			} else {
+				s.ca.setLBDTier(r, s.ca.lbd(r), tierLocal)
+				s.stats.TierDemotions++
+				local = append(local, r)
+			}
+		default:
+			local = append(local, r)
+		}
+	}
+	sortRefs(local, func(a, b ClauseRef) bool {
+		return s.ca.activity(a) > s.ca.activity(b)
+	})
+	limit := len(local) / 2
+	for i, r := range local {
+		if i < limit || s.ca.size(r) <= 2 || s.locked(r) {
+			keep = append(keep, r)
+			continue
+		}
+		s.deleteClause(r)
+	}
+	s.learnts = keep
+	s.localRefs = local[:0]
+}
+
+// reduceDBLegacy is the pre-arena policy: order by (glue, activity), keep
+// binaries, glue and locked clauses plus the better half.
+func (s *Solver) reduceDBLegacy() {
+	ls := s.learnts
+	sortRefs(ls, func(a, b ClauseRef) bool {
+		ga, gb := s.ca.lbd(a) <= coreLBD, s.ca.lbd(b) <= coreLBD
+		if ga != gb {
+			return ga
+		}
+		return s.ca.activity(a) > s.ca.activity(b)
 	})
 	keep := ls[:0]
 	limit := len(ls) / 2
-	for i, c := range ls {
-		if c.Len() <= 2 || c.lbd <= 2 || s.locked(c) || i < limit {
-			keep = append(keep, c)
+	for i, r := range ls {
+		if s.ca.deleted(r) {
+			continue
+		}
+		if s.ca.size(r) <= 2 || s.ca.lbd(r) <= coreLBD || s.locked(r) || i < limit {
+			keep = append(keep, r)
 		} else {
-			c.deleted = true
-			s.clauseBytes -= approxClauseBytes(len(c.Lits))
-			s.stats.DeletedCls++
-			if s.Proof != nil {
-				s.Proof.Deleted(c.Lits)
-			}
+			s.deleteClause(r)
 		}
 	}
 	s.learnts = keep
+}
+
+// deleteClause marks the clause deleted (watchers purge lazily) and records
+// the deletion for proof logging and stats.
+func (s *Solver) deleteClause(r ClauseRef) {
+	s.stats.DeletedCls++
+	if s.Proof != nil {
+		s.Proof.Deleted(s.ca.lits(r))
+	}
+	s.ca.markDeleted(r)
+}
+
+// maybeCompact compacts the clause arena when at least compactFrac of it is
+// dead space. Must only run at decision level 0 (restart boundaries).
+func (s *Solver) maybeCompact() {
+	if s.ca.wasted*compactDen >= len(s.ca.data)*compactNum && s.ca.wasted > 0 {
+		s.compact()
+	}
+}
+
+// Compaction threshold: wasted/len >= 1/5.
+const (
+	compactNum = 1
+	compactDen = 5
+)
+
+// CompactClauseDB forces a clause-arena compaction. The solver compacts on
+// its own at restart boundaries when a fifth of the arena is dead space;
+// this exported hook exists for tests (arena GC between incremental sweep
+// bounds) and for long-lived servers that want to return memory eagerly.
+// It must be called between Solve calls (decision level 0).
+func (s *Solver) CompactClauseDB() {
+	if s.decisionLevel() != 0 {
+		panic("sat: CompactClauseDB during search")
+	}
+	s.compact()
+}
+
+// compact rewrites the arena without the deleted clauses and rebuilds every
+// ref-bearing structure: clause lists, watch lists and reasons. At level 0
+// trail literals are permanent facts, so their reasons are dropped rather
+// than relocated.
+func (s *Solver) compact() {
+	if s.decisionLevel() != 0 {
+		panic("sat: compact during search")
+	}
+	dst := arena{data: make([]uint32, 0, len(s.ca.data)-s.ca.wasted)}
+	relocList := func(refs []ClauseRef) []ClauseRef {
+		out := refs[:0]
+		for _, r := range refs {
+			if s.ca.deleted(r) {
+				continue
+			}
+			out = append(out, s.ca.reloc(r, &dst))
+		}
+		return out
+	}
+	s.clauses = relocList(s.clauses)
+	s.learnts = relocList(s.learnts)
+	for i := range s.reason {
+		s.reason[i] = NullRef
+	}
+	s.ca = dst
+	s.rebuildWatches()
+}
+
+// rebuildWatches drops every watch list and re-attaches the live clauses,
+// preferring unfalsified watch literals so propagation strength is kept.
+func (s *Solver) rebuildWatches() {
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	attachAll := func(refs []ClauseRef) {
+		for _, r := range refs {
+			if s.ca.deleted(r) {
+				continue
+			}
+			lits := s.ca.lits(r)
+			// Move two non-false literals (true or unassigned) to the watch
+			// positions when available; a clause left with fewer is handled
+			// by the level-0 propagation that follows inprocessing.
+			w := 0
+			for i := 0; i < len(lits) && w < 2; i++ {
+				if s.valueLitInternal(lits[i]) != LFalse {
+					lits[i], lits[w] = lits[w], lits[i]
+					w++
+				}
+			}
+			s.attach(r)
+		}
+	}
+	attachAll(s.clauses)
+	attachAll(s.learnts)
 }
 
 // luby returns the x-th element (0-based) of the Luby restart sequence
@@ -949,21 +1335,20 @@ func luby(x int) int {
 	return 1 << seq
 }
 
-// sortLearnts is an insertion-free sort wrapper (kept separate to avoid an
-// import of sort with interface boxing in this hot path).
-func sortLearnts(ls []*Clause, less func(a, b *Clause) bool) {
-	// Standard heapsort: no allocations, O(n log n).
+// sortRefs is an allocation-free heapsort over clause refs (kept separate
+// to avoid sort's interface boxing in this hot path).
+func sortRefs(ls []ClauseRef, less func(a, b ClauseRef) bool) {
 	n := len(ls)
 	for i := n/2 - 1; i >= 0; i-- {
-		siftClause(ls, i, n, less)
+		siftRef(ls, i, n, less)
 	}
 	for end := n - 1; end > 0; end-- {
 		ls[0], ls[end] = ls[end], ls[0]
-		siftClause(ls, 0, end, less)
+		siftRef(ls, 0, end, less)
 	}
 }
 
-func siftClause(ls []*Clause, i, n int, less func(a, b *Clause) bool) {
+func siftRef(ls []ClauseRef, i, n int, less func(a, b ClauseRef) bool) {
 	for {
 		child := 2*i + 1
 		if child >= n {

@@ -67,6 +67,10 @@ type Tracer interface {
 	Restart(n uint64)
 	// ReduceDB fires after a learnt-clause database reduction.
 	ReduceDB(kept, deleted int)
+	// Inprocess fires after each inprocessing round with the number of
+	// clauses subsumed and strengthened in that round. The per-round values
+	// sum exactly to Stats.SubsumedCls / Stats.StrengthenedCls.
+	Inprocess(subsumed, strengthened int)
 }
 
 // SearchTimings splits solve time across the phases of the CDCL(T) loop.
@@ -81,6 +85,9 @@ type SearchTimings struct {
 	Analyze time.Duration
 	// Reduce is time spent reducing the learnt clause database.
 	Reduce time.Duration
+	// Inprocess is time spent in inprocessing rounds (subsumption,
+	// strengthening, variable elimination) and arena compaction.
+	Inprocess time.Duration
 }
 
 // Add accumulates other into t.
@@ -89,4 +96,5 @@ func (t *SearchTimings) Add(other SearchTimings) {
 	t.Theory += other.Theory
 	t.Analyze += other.Analyze
 	t.Reduce += other.Reduce
+	t.Inprocess += other.Inprocess
 }

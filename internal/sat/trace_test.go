@@ -12,6 +12,8 @@ type countingTracer struct {
 	conflicts, theoryConfl        uint64
 	restarts, reductions          uint64
 	learnt                        uint64
+	inprocessings                 uint64
+	subsumed, strengthened        uint64
 }
 
 func (c *countingTracer) Decision(l Lit, level int, src DecisionSource) { c.decisions++ }
@@ -28,6 +30,11 @@ func (c *countingTracer) TheoryConflict(size int) {}
 func (c *countingTracer) Restart(n uint64)        { c.restarts++ }
 func (c *countingTracer) ReduceDB(kept, deleted int) {
 	c.reductions++
+}
+func (c *countingTracer) Inprocess(subsumed, strengthened int) {
+	c.inprocessings++
+	c.subsumed += uint64(subsumed)
+	c.strengthened += uint64(strengthened)
 }
 
 // TestTracerCountsMatchStats solves a conflict-heavy instance with a
@@ -67,6 +74,15 @@ func TestTracerCountsMatchStats(t *testing.T) {
 	if tr.restarts != st.Restarts {
 		t.Errorf("restarts: tracer %d, stats %d", tr.restarts, st.Restarts)
 	}
+	if tr.inprocessings != st.Inprocessings {
+		t.Errorf("inprocessings: tracer %d, stats %d", tr.inprocessings, st.Inprocessings)
+	}
+	if tr.subsumed != st.SubsumedCls {
+		t.Errorf("subsumed: tracer %d, stats %d", tr.subsumed, st.SubsumedCls)
+	}
+	if tr.strengthened != st.StrengthenedCls {
+		t.Errorf("strengthened: tracer %d, stats %d", tr.strengthened, st.StrengthenedCls)
+	}
 }
 
 // TestTimingsAccumulate checks the phase-split plumbing: with a Timings
@@ -87,15 +103,28 @@ func TestTimingsAccumulate(t *testing.T) {
 	}
 }
 
+// conflictFreeChain loads a chain ¬x_i ∨ ¬x_{i+1} over n fresh variables:
+// every variable occurs in a clause (so none is elided from the decision
+// order), and saved-phase decisions (negative first) satisfy each clause
+// without ever falsifying a watched literal — a long conflict-free,
+// propagation-free, restart-free run of pure decisions.
+func conflictFreeChain(s *Solver, n int) {
+	vars := make([]Var, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(NegLit(vars[i]), NegLit(vars[i+1]))
+	}
+}
+
 // TestDeadlineConflictFreeRun is the regression test for the search-loop
-// deadline poll: a huge clause-free instance never conflicts and never
+// deadline poll: a conflict-free instance never conflicts and never
 // restarts, so the old per-conflict deadline check was unreachable and an
 // expired deadline still solved to completion.
 func TestDeadlineConflictFreeRun(t *testing.T) {
 	s := New()
-	for i := 0; i < 3000; i++ {
-		s.NewVar()
-	}
+	conflictFreeChain(s, 3000)
 	s.Deadline = time.Now().Add(-time.Second)
 	if got := s.Solve(); got != Unknown {
 		t.Fatalf("expired deadline on a conflict-free run = %v, want Unknown", got)
@@ -103,9 +132,7 @@ func TestDeadlineConflictFreeRun(t *testing.T) {
 
 	// Control: the same instance without a deadline completes.
 	s2 := New()
-	for i := 0; i < 3000; i++ {
-		s2.NewVar()
-	}
+	conflictFreeChain(s2, 3000)
 	if got := s2.Solve(); got != Sat {
 		t.Fatalf("control solve = %v, want Sat", got)
 	}

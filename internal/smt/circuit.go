@@ -51,6 +51,16 @@ func (bd *Builder) Not(a Bool) Bool { return Bool{a.lit.Neg()} }
 // NewBool introduces a fresh unconstrained Boolean variable.
 func (bd *Builder) NewBool() Bool { return Bool{sat.PosLit(bd.solver.NewVar())} }
 
+// newGate introduces a Tseitin gate output. Gate variables are marked
+// auxiliary in the solver: the encoding defines them in both directions, so
+// once the primary variables are assigned, propagation fixes every gate —
+// deferring them in the decision order removes their decisions entirely.
+func (bd *Builder) newGate() sat.Lit {
+	v := bd.solver.NewVar()
+	bd.solver.SetPhase(v, false)
+	return sat.PosLit(v)
+}
+
 // NameVar attaches a name to an existing term's variable (used by the
 // encoder to tag branch-condition gates for the control-flow heuristic).
 // Constants and already-named variables are left untouched.
@@ -99,7 +109,7 @@ func (bd *Builder) And(a, b Bool) Bool {
 	if g, ok := bd.gates[key]; ok {
 		return Bool{g}
 	}
-	g := sat.PosLit(bd.solver.NewVar())
+	g := bd.newGate()
 	bd.solver.AddClause(g.Neg(), x)
 	bd.solver.AddClause(g.Neg(), y)
 	bd.solver.AddClause(g, x.Neg(), y.Neg())
@@ -166,7 +176,7 @@ func (bd *Builder) Xor(a, b Bool) Bool {
 	key := gateKey{op: opXor, a: x, b: y}
 	g, ok := bd.gates[key]
 	if !ok {
-		g = sat.PosLit(bd.solver.NewVar())
+		g = bd.newGate()
 		bd.solver.AddClause(g.Neg(), x, y)
 		bd.solver.AddClause(g.Neg(), x.Neg(), y.Neg())
 		bd.solver.AddClause(g, x.Neg(), y)
@@ -207,7 +217,7 @@ func (bd *Builder) IteBool(c, t, e Bool) Bool {
 	if g, ok := bd.gates[key]; ok {
 		return Bool{g}
 	}
-	g := sat.PosLit(bd.solver.NewVar())
+	g := bd.newGate()
 	bd.solver.AddClause(g.Neg(), c.lit.Neg(), t.lit)
 	bd.solver.AddClause(g.Neg(), c.lit, e.lit)
 	bd.solver.AddClause(g, c.lit.Neg(), t.lit.Neg())

@@ -37,6 +37,8 @@ const (
 	KindRestart = "restart"
 	// KindReduce is one learnt-clause database reduction.
 	KindReduce = "reduce"
+	// KindInprocess is one inprocessing round (subsumption/strengthening).
+	KindInprocess = "inproc"
 	// KindSpan is a named phase timing (parse/encode/static/solve/...).
 	KindSpan = "span"
 	// KindSummary closes a trace: exact event counts and the solver's
@@ -99,6 +101,10 @@ type Event struct {
 	Kept    int `json:"kept,omitempty"`
 	Deleted int `json:"del,omitempty"`
 
+	// Inprocess fields: clauses subsumed and strengthened in the round.
+	Subsumed     int `json:"sub,omitempty"`
+	Strengthened int `json:"str,omitempty"`
+
 	// Span fields. Legacy (version 0) span events carry only Name and
 	// DurNS. Version 2 span events additionally carry a per-trace span ID,
 	// the parent span's ID (0 = root) and the span's start offset from the
@@ -117,13 +123,16 @@ type Event struct {
 // Counts are exact per-kind event totals, maintained by the tracer
 // independently of sampling.
 type Counts struct {
-	Decisions    uint64            `json:"decisions"`
-	Propagations uint64            `json:"propagations"`
-	TheoryProps  uint64            `json:"theory_propagations"`
-	Conflicts    uint64            `json:"conflicts"`
-	TheoryConfl  uint64            `json:"theory_conflicts"`
-	Restarts     uint64            `json:"restarts"`
-	Reductions   uint64            `json:"reductions"`
-	ByClass      map[string]uint64 `json:"decisions_by_class,omitempty"`
-	BySource     map[string]uint64 `json:"decisions_by_source,omitempty"`
+	Decisions     uint64            `json:"decisions"`
+	Propagations  uint64            `json:"propagations"`
+	TheoryProps   uint64            `json:"theory_propagations"`
+	Conflicts     uint64            `json:"conflicts"`
+	TheoryConfl   uint64            `json:"theory_conflicts"`
+	Restarts      uint64            `json:"restarts"`
+	Reductions    uint64            `json:"reductions"`
+	Inprocessings uint64            `json:"inprocessings,omitempty"`
+	Subsumed      uint64            `json:"subsumed,omitempty"`
+	Strengthened  uint64            `json:"strengthened,omitempty"`
+	ByClass       map[string]uint64 `json:"decisions_by_class,omitempty"`
+	BySource      map[string]uint64 `json:"decisions_by_source,omitempty"`
 }

@@ -321,6 +321,9 @@ func (m *MetricsTracer) Restart(uint64) { m.restarts.Inc() }
 // ReduceDB implements sat.Tracer.
 func (m *MetricsTracer) ReduceDB(int, int) {}
 
+// Inprocess implements sat.Tracer.
+func (m *MetricsTracer) Inprocess(int, int) {}
+
 // Flush pushes locally batched counts to the registry.
 func (m *MetricsTracer) Flush() {
 	if m.localProps > 0 {
@@ -378,6 +381,13 @@ func (m MultiTracer) Restart(n uint64) {
 func (m MultiTracer) ReduceDB(kept, deleted int) {
 	for _, t := range m {
 		t.ReduceDB(kept, deleted)
+	}
+}
+
+// Inprocess implements sat.Tracer.
+func (m MultiTracer) Inprocess(subsumed, strengthened int) {
+	for _, t := range m {
+		t.Inprocess(subsumed, strengthened)
 	}
 }
 

@@ -117,6 +117,10 @@ func AnalyzeTrace(events []Event, buckets int) (*Report, error) {
 			rep.Replayed.Restarts++
 		case KindReduce:
 			rep.Replayed.Reductions++
+		case KindInprocess:
+			rep.Replayed.Inprocessings++
+			rep.Replayed.Subsumed += uint64(ev.Subsumed)
+			rep.Replayed.Strengthened += uint64(ev.Strengthened)
 		case KindSpan:
 			rep.Spans = append(rep.Spans, *ev)
 		}
@@ -213,6 +217,12 @@ func (r *Report) CrossCheck() error {
 		return mismatch("theory conflicts", c.TheoryConfl, st.TheoryConfl)
 	case c.Restarts != st.Restarts:
 		return mismatch("restarts", c.Restarts, st.Restarts)
+	case c.Inprocessings != st.Inprocessings:
+		return mismatch("inprocessings", c.Inprocessings, st.Inprocessings)
+	case c.Subsumed != st.SubsumedCls:
+		return mismatch("subsumed clauses", c.Subsumed, st.SubsumedCls)
+	case c.Strengthened != st.StrengthenedCls:
+		return mismatch("strengthened clauses", c.Strengthened, st.StrengthenedCls)
 	}
 	if !r.Sampled {
 		rp := r.Replayed
@@ -229,6 +239,12 @@ func (r *Report) CrossCheck() error {
 			return mismatch("replayed theory conflicts", rp.TheoryConfl, c.TheoryConfl)
 		case rp.Restarts != c.Restarts:
 			return mismatch("replayed restarts", rp.Restarts, c.Restarts)
+		case rp.Inprocessings != c.Inprocessings:
+			return mismatch("replayed inprocessings", rp.Inprocessings, c.Inprocessings)
+		case rp.Subsumed != c.Subsumed:
+			return mismatch("replayed subsumed clauses", rp.Subsumed, c.Subsumed)
+		case rp.Strengthened != c.Strengthened:
+			return mismatch("replayed strengthened clauses", rp.Strengthened, c.Strengthened)
 		}
 	}
 	return nil
@@ -324,7 +340,7 @@ func (r *Report) FormatSpans() string {
 			b.WriteString("phase timings:\n")
 		}
 		for _, sp := range flat {
-			fmt.Fprintf(&b, "  %-14s %v\n", sp.Name, time.Duration(sp.DurNS).Round(time.Microsecond))
+			fmt.Fprintf(&b, "  %-16s %v\n", sp.Name, time.Duration(sp.DurNS).Round(time.Microsecond))
 		}
 	}
 	return b.String()
@@ -350,6 +366,10 @@ func (r *Report) Format() string {
 		c := r.Summary.Counts
 		fmt.Fprintf(&b, "totals: %d decisions, %d propagations (%d theory), %d conflicts (%d theory), %d restarts, %d reductions\n",
 			c.Decisions, c.Propagations, c.TheoryProps, c.Conflicts, c.TheoryConfl, c.Restarts, c.Reductions)
+		if c.Inprocessings > 0 {
+			fmt.Fprintf(&b, "inprocessing: %d rounds, %d clauses subsumed, %d strengthened\n",
+				c.Inprocessings, c.Subsumed, c.Strengthened)
+		}
 	}
 	if len(r.Spans) > 0 {
 		b.WriteString("\n")

@@ -180,6 +180,15 @@ func (t *SolverTracer) ReduceDB(kept, deleted int) {
 	t.emit(&Event{Kind: KindReduce, Kept: kept, Deleted: deleted})
 }
 
+// Inprocess implements sat.Tracer.
+func (t *SolverTracer) Inprocess(subsumed, strengthened int) {
+	t.counts.Inprocessings++
+	t.counts.Subsumed += uint64(subsumed)
+	t.counts.Strengthened += uint64(strengthened)
+	t.flushBatches()
+	t.emit(&Event{Kind: KindInprocess, Subsumed: subsumed, Strengthened: strengthened})
+}
+
 // Span records a named phase duration (parse, encode, static, solve, or the
 // in-solve split) as a flat legacy-style span event (no tree position).
 func (t *SolverTracer) Span(name string, d time.Duration) {

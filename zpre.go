@@ -354,12 +354,14 @@ func solveVC(vc *encode.VC, opts Options, encodeTime time.Duration) (Report, err
 	opts.Spans.AddChild(solveSpan, "solve.theory", res.Timings.Theory)
 	opts.Spans.AddChild(solveSpan, "solve.analyze", res.Timings.Analyze)
 	opts.Spans.AddChild(solveSpan, "solve.reduce", res.Timings.Reduce)
+	opts.Spans.AddChild(solveSpan, "solve.inprocess", res.Timings.Inprocess)
 	if tracer != nil {
 		tracer.Span("solve", res.Elapsed)
 		tracer.Span("solve.bcp", res.Timings.BCP)
 		tracer.Span("solve.theory", res.Timings.Theory)
 		tracer.Span("solve.analyze", res.Timings.Analyze)
 		tracer.Span("solve.reduce", res.Timings.Reduce)
+		tracer.Span("solve.inprocess", res.Timings.Inprocess)
 		if err := tracer.Close(res.StatsDelta); err != nil {
 			return Report{}, fmt.Errorf("zpre: trace sink: %w", err)
 		}
