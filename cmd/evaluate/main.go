@@ -147,6 +147,9 @@ func main() {
 		prune      = flag.Bool("prune", false, "statically prune rf/ws candidates and report the formula-size effect")
 		dfFlag     = flag.Bool("dataflow", false, "value-flow dataflow: fold constants, prune value-infeasible rf edges, fix forced hb edges")
 		rgFlag     = flag.Bool("rg", false, "rely-guarantee proof outlines: discharge provable (benchmark, model) pairs without solving, inject stabilized invariants elsewhere")
+		rgDomain   = flag.String("rg-domain", "", "rely-guarantee abstract domain: interval (default) or dbm")
+		rgPre      = flag.Bool("rg-prefilter", false, "skip hopeless rely-guarantee proof attempts with a cheap pre-filter (requires -rg)")
+		mhbFlag    = flag.Bool("mhb", false, "must-happens-before closure: fix forced rf edges, derive must-fr, elide contradicted candidates")
 		jsonOut    = flag.String("json", "", "write the full result set as JSON to this file")
 		traceDir   = flag.String("trace", "", "write per-run JSONL search traces into this directory")
 		traceN     = flag.Int("trace-sample", 1, "record only every Nth high-volume trace event")
@@ -198,7 +201,10 @@ func main() {
 		CheckVerdicts:   *checked,
 		StaticPrune:     *prune,
 		Dataflow:        *dfFlag,
+		MHB:             *mhbFlag,
 		RG:              *rgFlag,
+		RGDomain:        *rgDomain,
+		RGPrefilter:     *rgPre,
 		TraceDir:        *traceDir,
 		TraceEvery:      *traceN,
 		Metrics:         metrics,

@@ -45,6 +45,7 @@ func main() {
 		quiet  = flag.Bool("q", false, "print only racy variables (suppress race-free detail)")
 		df     = flag.Bool("dataflow", false, "also print inferred shared-variable value ranges and foldable statements")
 		rgF    = flag.Bool("rg", false, "also print the rely-guarantee proof outline (stabilized preconditions, rely transitions, assertion verdicts)")
+		rgDom  = flag.String("rg-domain", "", "rely-guarantee abstract domain for -rg: interval (default) or dbm")
 		model  = flag.String("model", "sc", "memory model for -rg: sc, tso, pso")
 		width  = flag.Int("width", 8, "program integer bit width for -dataflow and -rg")
 	)
@@ -100,7 +101,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "racecheck: unknown memory model %q\n", *model)
 				os.Exit(2)
 			}
-			res, err := rg.Prove(prog, rg.Options{Model: mm, Width: *width})
+			res, err := rg.Prove(prog, rg.Options{Model: mm, Width: *width, Domain: *rgDom})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "racecheck: %s: rg: %v\n", path, err)
 				os.Exit(2)

@@ -85,6 +85,9 @@ func main() {
 		prune     = flag.Bool("prune", false, "statically prune provably redundant rf/ws candidates")
 		dfFlag    = flag.Bool("dataflow", false, "value-flow dataflow: fold constants, prune value-infeasible rf edges, fix forced hb edges")
 		rgFlag    = flag.Bool("rg", false, "rely-guarantee proof outlines: prove assertions at every unroll bound, or inject interference-stabilized invariants into the encoding")
+		rgDomain  = flag.String("rg-domain", "", "rely-guarantee abstract domain: interval (default) or dbm (relational difference-bound zones)")
+		rgPre     = flag.Bool("rg-prefilter", false, "skip hopeless rely-guarantee proof attempts with a cheap pre-filter (requires -rg)")
+		mhbFlag   = flag.Bool("mhb", false, "must-happens-before closure: fix forced rf edges and their must-fr consequences at level 0, elide contradicted interference candidates")
 		dumpSMT   = flag.String("dump-smt", "", "write the VC as SMT-LIB v2.6 to this file")
 		dumpEOG   = flag.String("dump-eog", "", "write the event order graph as Graphviz DOT")
 		witness   = flag.Bool("witness", false, "on UNSAFE, print a violating interleaving")
@@ -169,8 +172,14 @@ func main() {
 		Seed:           *seed,
 		StaticPrune:    *prune,
 		Dataflow:       *dfFlag,
+		MHB:            *mhbFlag,
 		RG:             *rgFlag,
+		RGDomain:       *rgDomain,
+		RGPrefilter:    *rgPre,
 		TimePhases:     *stats,
+	}
+	if (*rgDomain != "" || *rgPre) && !*rgFlag {
+		fatalf("-rg-domain and -rg-prefilter require -rg")
 	}
 	if *rgFlag && (*each || *checkPf) {
 		// VerifyEach needs the full per-assert instance and a proof only
@@ -206,7 +215,9 @@ func main() {
 		}
 		var rgRanges map[string]dataflow.Interval
 		if *rgFlag {
-			res, err := rg.Prove(prog, rg.Options{Model: model, Width: *width})
+			res, err := rg.Prove(prog, rg.Options{
+				Model: model, Width: *width, Domain: *rgDomain, Prefilter: *rgPre,
+			})
 			if err != nil {
 				fatalf("rg: %v", err)
 			}
@@ -292,11 +303,18 @@ func main() {
 				rep.EncodeStats.ValuePruned, rep.EncodeStats.FoldedAssigns,
 				rep.EncodeStats.FixedHB, rep.EncodeStats.DataflowTime.Round(time.Microsecond))
 		}
+		if *mhbFlag {
+			fmt.Printf("mhb closure: %d rf edges fixed, %d must-fr derived, %d candidates elided\n",
+				rep.EncodeStats.MHBFixedRF, rep.EncodeStats.MHBFixedFR, rep.EncodeStats.MHBPruned)
+		}
 		if *rgFlag {
-			if rep.RGProved {
+			switch {
+			case rep.RGProved:
 				fmt.Printf("rely-guarantee: proved at every bound in %d fixpoint rounds (no SMT instance)\n",
 					rep.RGStabilizeIters)
-			} else {
+			case rep.RGSkippedPrefilter:
+				fmt.Println("rely-guarantee: pre-filter skipped the proof attempt")
+			default:
 				fmt.Printf("rely-guarantee: unproven after %d fixpoint rounds; %d invariant constraints injected\n",
 					rep.RGStabilizeIters, rep.EncodeStats.RGInvariants)
 			}

@@ -1,0 +1,165 @@
+package analysis
+
+// This file hosts the must-happens-before (MHB) closure engine: a packed
+// bitset reachability oracle over event nodes (moved here from the encoder,
+// which now consumes it for all program-order queries) plus the closure
+// fixpoint that statically fixes forced rf edges and derives must-fr edges
+// before any solving happens.
+//
+// The engine is deliberately representation-agnostic: nodes are dense ints
+// (the encoder's smt.EventID space, including the create/join dummies), and
+// the caller describes reads and writes abstractly (RFSite), so the closure
+// logic is testable without building a single clause.
+
+// MHB answers "is a guaranteed at-or-before b?" over a growing set of
+// must-happens-before edges, by BFS with a packed-bitset memo per source
+// (64 events per word instead of one bool per event).
+//
+// Reflexivity convention: Reaches(a, a) is true — an event trivially
+// happens "no later than" itself. Callers needing strict precedence must
+// exclude equal ids themselves (the edge graph is kept acyclic, so for
+// a ≠ b the relation is strict).
+type MHB struct {
+	n     int
+	words int
+	adj   [][]int32
+	memo  map[int32][]uint64
+}
+
+// NewMHB returns an empty relation over n nodes.
+func NewMHB(n int) *MHB {
+	return &MHB{n: n, words: (n + 63) / 64, adj: make([][]int32, n), memo: map[int32][]uint64{}}
+}
+
+// NumNodes returns the node-space size.
+func (m *MHB) NumNodes() int { return m.n }
+
+// AddEdge adds a base edge a → b. Only safe before the first Reaches query;
+// use AddEdgeInvalidating afterwards.
+func (m *MHB) AddEdge(a, b int) {
+	m.adj[a] = append(m.adj[a], int32(b))
+}
+
+// AddEdgeInvalidating adds an edge after memoised queries have been made
+// and drops the memo: stale sets under-approximate the new reachability,
+// which is fatal for the cycle check guarding fixed happens-before edges.
+func (m *MHB) AddEdgeInvalidating(a, b int) {
+	m.AddEdge(a, b)
+	m.memo = map[int32][]uint64{}
+}
+
+// Reaches reports whether a is guaranteed at-or-before b.
+func (m *MHB) Reaches(a, b int) bool {
+	set, ok := m.memo[int32(a)]
+	if !ok {
+		set = make([]uint64, m.words)
+		set[uint32(a)>>6] |= 1 << (uint32(a) & 63) // reflexive
+		queue := []int32{int32(a)}
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range m.adj[u] {
+				if set[uint32(v)>>6]&(1<<(uint32(v)&63)) == 0 {
+					set[uint32(v)>>6] |= 1 << (uint32(v) & 63)
+					queue = append(queue, v)
+				}
+			}
+		}
+		m.memo[int32(a)] = set
+	}
+	return set[uint32(b)>>6]&(1<<(uint32(b)&63)) != 0
+}
+
+// Edge is one ordered node pair.
+type Edge struct{ From, To int }
+
+// RFCand is one write node with its guard classification.
+type RFCand struct {
+	Node   int
+	Uncond bool // the write's guard is constantly true
+}
+
+// RFSite describes one read for the closure fixpoint: its surviving rf
+// candidates (pruned in place by CloseRF) and the full same-variable write
+// list the shadow and must-fr checks range over.
+type RFSite struct {
+	Read   int
+	Uncond bool // the read's guard is constantly true
+	Cands  []RFCand
+	Writes []RFCand
+}
+
+// CloseRF iterates the must-happens-before closure to a fixpoint:
+//
+//   - an rf candidate whose write is at-or-after the read is dropped
+//     (Before antisymmetry against the rf edge's order constraint);
+//   - an rf candidate shadowed by an unconditional intervening write — w
+//     must-before w2 must-before r — is dropped (the fr axiom forces the
+//     read before w2, contradicting w2 must-before r);
+//   - an unconditional read left with exactly one candidate has its rf edge
+//     forced by rf_some in every model, so write → read becomes a must
+//     edge; and for every unconditional other write k with w must-before k,
+//     the fr axiom then forces read → k (a must-fr edge).
+//
+// New must edges enable new drops and vice versa, hence the fixpoint. Every
+// derived edge holds in every model of the full encoding (induction over
+// the iteration order), so the enriched relation stays equisatisfiable to
+// enforce and the dropped pairs are equisatisfiable to elide. Edges that
+// would close a cycle are skipped defensively — a cycle would only mean the
+// formula is unsatisfiable for reasons the solver finds itself.
+//
+// Returns the derived must edges (already added to the relation), split
+// into forced-rf and must-fr, and the dropped read→write candidate pairs.
+func (m *MHB) CloseRF(sites []*RFSite) (fixedRF, fixedFR, dropped []Edge) {
+	for changed := true; changed; {
+		changed = false
+		for _, s := range sites {
+			kept := s.Cands[:0]
+			for _, c := range s.Cands {
+				if m.Reaches(s.Read, c.Node) || m.shadowed(s, c) {
+					dropped = append(dropped, Edge{From: s.Read, To: c.Node})
+					changed = true
+					continue
+				}
+				kept = append(kept, c)
+			}
+			s.Cands = kept
+			if !s.Uncond || len(s.Cands) != 1 {
+				continue
+			}
+			w := s.Cands[0]
+			if !m.Reaches(w.Node, s.Read) && !m.Reaches(s.Read, w.Node) {
+				m.AddEdgeInvalidating(w.Node, s.Read)
+				fixedRF = append(fixedRF, Edge{From: w.Node, To: s.Read})
+				changed = true
+			}
+			for _, k := range s.Writes {
+				if k.Node == w.Node || !k.Uncond || !m.Reaches(w.Node, k.Node) {
+					continue
+				}
+				if m.Reaches(s.Read, k.Node) || m.Reaches(k.Node, s.Read) {
+					continue // already implied, or would close a cycle
+				}
+				m.AddEdgeInvalidating(s.Read, k.Node)
+				fixedFR = append(fixedFR, Edge{From: s.Read, To: k.Node})
+				changed = true
+			}
+		}
+	}
+	return fixedRF, fixedFR, dropped
+}
+
+// shadowed reports that an unconditional write w2 is must-ordered strictly
+// between the candidate write and the read, guaranteeing it overwrites the
+// candidate before the read can observe it.
+func (m *MHB) shadowed(s *RFSite, c RFCand) bool {
+	for _, w2 := range s.Writes {
+		if w2.Node == c.Node || !w2.Uncond {
+			continue
+		}
+		if m.Reaches(c.Node, w2.Node) && m.Reaches(w2.Node, s.Read) {
+			return true
+		}
+	}
+	return false
+}

@@ -316,14 +316,46 @@ func excludeValue(iv dataflow.Interval, v int64) dataflow.Interval {
 	return iv
 }
 
-// valueInfeasible reports that the read can never observe the write: the
-// write's stored-value interval misses every value the read's guard
-// admits. Dropping the rf candidate is then equisatisfiable.
-func (e *encoder) valueInfeasible(r, w *Event) bool {
-	if r.feas == nil || w.absVal == nil {
+// plainInfeasible reports that the write's stored-value interval misses
+// every value the read's guard admits: when the read's guard holds, no
+// model can make this rf edge true.
+func (e *encoder) plainInfeasible(r, w *Event) bool {
+	return r.feas != nil && w.absVal != nil && r.feas.Disjoint(*w.absVal)
+}
+
+// relInfeasible is the relational second chance: the once-write subset-sum
+// analysis (internal/relational) bounds the variable's value at every point
+// of every execution, so both the stored value and the observed value must
+// additionally lie inside relational.Facts.Global — often finite where the
+// interval fixpoint has widened to top. An empty meet on either side means
+// that event's guard can never hold, which also makes the candidate
+// impossible.
+func (e *encoder) relInfeasible(r, w *Event) bool {
+	if e.rel == nil || r.feas == nil || w.absVal == nil {
 		return false
 	}
-	return r.feas.Disjoint(*w.absVal)
+	g := e.rel.Global(r.Var)
+	rf := dataflow.Meet(*r.feas, g)
+	wv := dataflow.Meet(*w.absVal, g)
+	return rf.IsEmpty() || wv.IsEmpty() || rf.Disjoint(wv)
+}
+
+// valueInfeasible reports that the read can never observe the write,
+// incrementing the counter attributing the prune (Stats.ValuePruned for
+// the plain interval facts, Stats.RelPruned for candidates only the
+// relational closed forms refute). Dropping the candidate is
+// equisatisfiable in either case. The MHB closure pre-pass shares the two
+// oracles directly, without attributing counters.
+func (e *encoder) valueInfeasible(r, w *Event) bool {
+	if e.plainInfeasible(r, w) {
+		e.stats.ValuePruned++
+		return true
+	}
+	if e.relInfeasible(r, w) {
+		e.stats.RelPruned++
+		return true
+	}
+	return false
 }
 
 // noteSingleCandidate records a fixed happens-before edge candidate: the

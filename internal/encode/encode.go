@@ -22,6 +22,7 @@ import (
 	"zpre/internal/dataflow"
 	"zpre/internal/memmodel"
 	"zpre/internal/proof"
+	"zpre/internal/relational"
 	"zpre/internal/smt"
 )
 
@@ -81,6 +82,23 @@ type Options struct {
 	// pruned VC is equisatisfiable with the full one; Stats.RFPruned and
 	// Stats.WSPruned count the dropped candidates.
 	StaticPrune bool
+	// MHB runs the must-happens-before closure engine (analysis.CloseRF)
+	// over the event graph before the interference relations are emitted:
+	// the fence/lock/create-join-aware fixed order is closed under a
+	// fixpoint that statically fixes the rf edge of every unconditional
+	// single-candidate read, derives the must-fr edges it entails, and
+	// drops rf candidates the enriched relation contradicts. Candidate
+	// sets are first shrunk by the window/lockset criteria and the value
+	// oracles (MHB implies the value-flow facts, though not the program
+	// simplifier), since the base order alone never isolates a cross-
+	// thread candidate. Derived edges are mirrored into the ordering
+	// theory as fixed edges (decided at level 0) and pairs they determine
+	// are elided; the VC stays equisatisfiable with the plain one. Counted
+	// by Stats.MHBFixedRF,
+	// Stats.MHBFixedFR and Stats.MHBPruned; composes with StaticPrune,
+	// Dataflow and RGRanges. The incremental encoder forces it off (edge
+	// fixing, like candidate pruning, is not bound-monotone).
+	MHB bool
 }
 
 // Event is one global memory access in SSA form.
@@ -118,15 +136,24 @@ type Stats struct {
 	Clauses   int
 	Variables int
 	// Dataflow-mode counters: rf candidates dropped because the write's
-	// value interval cannot meet the read's feasible interval; constant
-	// folds/copy propagations applied by the pre-encoding simplifier; and
-	// fixed happens-before edges derived from single-candidate reads.
+	// value interval cannot meet the read's feasible interval; candidates
+	// only the relational closed-form bounds (internal/relational) could
+	// refute; constant folds/copy propagations applied by the pre-encoding
+	// simplifier; and fixed happens-before edges derived from
+	// single-candidate reads.
 	ValuePruned   int
+	RelPruned     int
 	FoldedAssigns int
 	FixedHB       int
 	// RGInvariants counts per-read range constraints injected from the
 	// rely-guarantee invariants (Options.RGRanges).
 	RGInvariants int
+	// MHB-mode counters: rf edges fixed for unconditional single-candidate
+	// reads, must-fr edges derived from them, and rf candidates dropped by
+	// the closure fixpoint.
+	MHBFixedRF int
+	MHBFixedFR int
+	MHBPruned  int
 	// DataflowTime is the time spent simplifying and computing the value
 	// fixpoint (zero unless Dataflow is enabled).
 	DataflowTime time.Duration
@@ -159,6 +186,12 @@ type VC struct {
 	// coordinates fail to align with the encoder's, in which case
 	// lockset-based pruning is also disabled.
 	Static *analysis.Result
+	// MHBOrdered (MHB mode, nil otherwise) reports whether the accesses at
+	// the two (thread, index) coordinates are must-ordered — in either
+	// direction — by the closed happens-before relation, including the
+	// closure's derived edges. Decision strategies use it to deprioritise
+	// interference variables whose value is already forced at level 0.
+	MHBOrdered func(t1, i1, t2, i2 int) bool
 }
 
 // window is a span of events that must not be interleaved by other threads'
@@ -183,6 +216,12 @@ type encoder struct {
 	events []*Event
 	static *analysis.Result // nil when misaligned with the event space
 	prune  bool
+	mhb    bool
+
+	// mhbDropped holds the (read, write) rf candidate pairs the MHB closure
+	// fixpoint proved impossible, for emitReadFrom to elide (MHB mode, nil
+	// otherwise).
+	mhbDropped map[[2]smt.EventID]bool
 
 	// Per thread: the access sequence (with fences) and aligned events.
 	seqs      [][]memmodel.Access
@@ -211,10 +250,12 @@ type encoder struct {
 	guardCounter  int
 	stats         Stats
 
-	// flow holds the value-flow facts (Dataflow mode, nil otherwise) and
-	// pendingHB the fixed happens-before edges derived during rf emission,
-	// applied by emitFixedHB after all candidate sets are final.
+	// flow holds the value-flow facts and rel the relational closed-form
+	// bounds (Dataflow mode, nil otherwise); pendingHB the fixed
+	// happens-before edges derived during rf emission, applied by
+	// emitFixedHB after all candidate sets are final.
 	flow      *dataflow.Facts
+	rel       *relational.Facts
 	pendingHB []fixedEdge
 }
 
@@ -247,17 +288,23 @@ func Program(p *cprog.Program, opts Options) (*VC, error) {
 		opts.Width = 8
 	}
 	var flow *dataflow.Facts
+	var rel *relational.Facts
 	var flowStats dataflow.SimplifyStats
 	var flowTime time.Duration
-	if opts.Dataflow {
+	if opts.Dataflow || opts.MHB {
+		// The MHB closure needs the value oracles to shrink rf candidate
+		// sets before looking for forced edges, so it computes the facts
+		// even when Dataflow is off — but runs the pre-encoding program
+		// simplifier only under the explicit Dataflow flag.
 		dfStart := time.Now()
-		if !opts.SelectableAsserts {
+		if opts.Dataflow && !opts.SelectableAsserts {
 			// Simplification may drop always-true asserts, which would
 			// break the per-assert indexing SelectableAsserts exposes;
 			// the interval analysis and rf pruning below stay on.
 			p, flowStats = dataflow.Simplify(p, opts.Width)
 		}
 		flow = dataflow.Analyze(p, opts.Width)
+		rel = relational.Analyze(p, opts.Width)
 		flowTime = time.Since(dfStart)
 	}
 	nThreads := len(p.Threads) + 1
@@ -274,6 +321,7 @@ func Program(p *cprog.Program, opts Options) (*VC, error) {
 		eventIndex: make([]int, nThreads),
 		cursor:     make([]int, nThreads),
 		flow:       flow,
+		rel:        rel,
 	}
 	e.stats.FoldedAssigns = flowStats.FoldedAssigns + flowStats.FoldedGuards
 	e.stats.DataflowTime = flowTime
@@ -319,9 +367,17 @@ func Program(p *cprog.Program, opts Options) (*VC, error) {
 	}
 	e.stats.StaticTime = time.Since(staticStart)
 	e.prune = opts.StaticPrune
+	e.mhb = opts.MHB
 
 	// Program order per thread under the memory model.
 	reach := e.emitProgramOrder(initEvents, threadEvents, postEvents)
+
+	// Must-happens-before closure: fix forced rf edges, derive must-fr
+	// edges and mark contradicted candidates before the relations are
+	// emitted over the enriched order.
+	if e.mhb {
+		e.closeMHB(reach)
+	}
 
 	// Interference relations.
 	e.emitReadFrom(reach)
@@ -350,7 +406,7 @@ func Program(p *cprog.Program, opts Options) (*VC, error) {
 	e.stats.Assumes = len(e.assumes)
 	e.stats.Clauses = e.bd.NumClauses()
 	e.stats.Variables = e.bd.NumVars()
-	return &VC{
+	vc := &VC{
 		Builder:       e.bd,
 		Events:        e.events,
 		Model:         opts.Model,
@@ -360,7 +416,11 @@ func Program(p *cprog.Program, opts Options) (*VC, error) {
 		AssertThreads: e.assertThreads,
 		Proof:         trace,
 		Static:        e.static,
-	}, nil
+	}
+	if e.mhb {
+		vc.MHBOrdered = e.mhbOrderedOracle(reach)
+	}
+	return vc, nil
 }
 
 // alignedWithEvents verifies that the static analysis enumerated exactly the

@@ -43,6 +43,7 @@ import (
 	"zpre/internal/cprog"
 	"zpre/internal/dataflow"
 	"zpre/internal/memmodel"
+	"zpre/internal/relational"
 	"zpre/internal/smt"
 )
 
@@ -134,8 +135,11 @@ type Incremental struct {
 
 // NewIncremental prepares an incremental encoding of p. The program is not
 // unrolled by the caller — loops are handled natively at their frontiers.
-// StaticPrune is ignored (candidate pruning is not bound-monotone in the
-// coordinates the incremental path reuses).
+// StaticPrune and MHB are ignored (candidate pruning and happens-before
+// edge fixing are not bound-monotone in the coordinates the incremental
+// path reuses: a read that is single-candidate at bound k can gain
+// candidates at bound k+1, so an edge fixed early would over-constrain the
+// later instance).
 func NewIncremental(p *cprog.Program, opts Options) (*Incremental, error) {
 	if opts.SelectableAsserts {
 		return nil, fmt.Errorf("%w: SelectableAsserts", ErrUnsupported)
@@ -150,17 +154,20 @@ func NewIncremental(p *cprog.Program, opts Options) (*Incremental, error) {
 		opts.Width = 8
 	}
 	opts.StaticPrune = false
+	opts.MHB = false
 	var flow *dataflow.Facts
+	var rel *relational.Facts
 	var flowStats dataflow.SimplifyStats
 	var flowTime time.Duration
 	if opts.Dataflow {
-		// Simplification and the value fixpoint both run on the looping
-		// source program, so every fact is bound-independent: a candidate
-		// pruned at bound k stays prunable at every later bound, keeping
-		// the delta encoding monotone.
+		// Simplification, the value fixpoint and the relational closed
+		// forms all run on the looping source program, so every fact is
+		// bound-independent: a candidate pruned at bound k stays prunable
+		// at every later bound, keeping the delta encoding monotone.
 		dfStart := time.Now()
 		p, flowStats = dataflow.Simplify(p, opts.Width)
 		flow = dataflow.Analyze(p, opts.Width)
+		rel = relational.Analyze(p, opts.Width)
 		flowTime = time.Since(dfStart)
 	}
 	nThreads := len(p.Threads) + 1
@@ -172,6 +179,7 @@ func NewIncremental(p *cprog.Program, opts Options) (*Incremental, error) {
 		eventIndex: make([]int, nThreads),
 		cursor:     make([]int, nThreads),
 		flow:       flow,
+		rel:        rel,
 	}
 	e.stats.FoldedAssigns = flowStats.FoldedAssigns + flowStats.FoldedGuards
 	e.stats.DataflowTime = flowTime
@@ -493,7 +501,6 @@ func (inc *Incremental) emitDelta() {
 					continue
 				}
 				if e.flow != nil && e.valueInfeasible(rs.ev, w) {
-					e.stats.ValuePruned++
 					continue
 				}
 				inc.addRFCand(rs, w, reach)
@@ -512,7 +519,6 @@ func (inc *Incremental) emitDelta() {
 				continue
 			}
 			if e.flow != nil && e.valueInfeasible(ev, w) {
-				e.stats.ValuePruned++
 				continue
 			}
 			inc.addRFCand(rs, w, reach)

@@ -9,56 +9,37 @@ import (
 	"zpre/internal/smt"
 )
 
-// reachability answers "is a guaranteed at-or-before b?" over the fixed
-// program-order edges (including create/join), by BFS with a packed-bitset
-// memo per source (64 events per word instead of one bool per event).
+// reachability adapts the shared must-happens-before engine
+// (analysis.MHB, where the bitset BFS and the -mhb closure fixpoint live)
+// to the encoder's smt.EventID call sites. The relation starts as the fixed
+// program-order edges (including create/join) and is enriched by derived
+// must edges (fixed happens-before, MHB closure) as encoding proceeds.
 //
 // Reflexivity convention: reaches(a, a) is true — an event trivially
 // happens "no later than" itself. Callers that need strict precedence must
-// exclude equal ids themselves (the fixed-edge graph is acyclic, so for
+// exclude equal ids themselves (the edge graph is kept acyclic, so for
 // a ≠ b the relation is strict).
 type reachability struct {
-	n     int
-	words int
-	adj   [][]int32
-	memo  map[int32][]uint64
+	*analysis.MHB
 }
 
 func newReachability(n int) *reachability {
-	return &reachability{n: n, words: (n + 63) / 64, adj: make([][]int32, n), memo: map[int32][]uint64{}}
+	return &reachability{analysis.NewMHB(n)}
 }
 
 func (r *reachability) addEdge(a, b smt.EventID) {
-	r.adj[a] = append(r.adj[a], int32(b))
+	r.MHB.AddEdge(int(a), int(b))
 }
 
 // addEdgeInvalidating adds an edge after memoised queries have been made
 // and drops the memo: stale sets under-approximate the new reachability,
 // which is fatal for the cycle check guarding fixed happens-before edges.
 func (r *reachability) addEdgeInvalidating(a, b smt.EventID) {
-	r.addEdge(a, b)
-	r.memo = map[int32][]uint64{}
+	r.MHB.AddEdgeInvalidating(int(a), int(b))
 }
 
 func (r *reachability) reaches(a, b smt.EventID) bool {
-	set, ok := r.memo[int32(a)]
-	if !ok {
-		set = make([]uint64, r.words)
-		set[uint32(a)>>6] |= 1 << (uint32(a) & 63) // reflexive
-		queue := []int32{int32(a)}
-		for len(queue) > 0 {
-			u := queue[len(queue)-1]
-			queue = queue[:len(queue)-1]
-			for _, v := range r.adj[u] {
-				if set[uint32(v)>>6]&(1<<(uint32(v)&63)) == 0 {
-					set[uint32(v)>>6] |= 1 << (uint32(v) & 63)
-					queue = append(queue, v)
-				}
-			}
-		}
-		r.memo[int32(a)] = set
-	}
-	return set[uint32(b)>>6]&(1<<(uint32(b)&63)) != 0
+	return r.MHB.Reaches(int(a), int(b))
 }
 
 // emitProgramOrder computes Φ_po: per-thread preserved program order under
@@ -133,6 +114,14 @@ func (e *encoder) emitReadFrom(reach *reachability) {
 			// Candidate writes: those not provably after the read.
 			var cands []*Event
 			for _, w := range writes {
+				if e.mhbDropped[[2]smt.EventID{r.ID, w.ID}] {
+					// Dropped by the MHB closure fixpoint (checked before the
+					// reachability test so drops that the closure's derived
+					// edges turned into read-before-write are still
+					// attributed to it).
+					e.stats.MHBPruned++
+					continue
+				}
 				if reach.reaches(r.ID, w.ID) {
 					continue
 				}
@@ -141,7 +130,6 @@ func (e *encoder) emitReadFrom(reach *reachability) {
 					continue
 				}
 				if e.flow != nil && e.valueInfeasible(r, w) {
-					e.stats.ValuePruned++
 					continue
 				}
 				cands = append(cands, w)
@@ -322,7 +310,10 @@ func (e *encoder) emitWriteSerialization(reach *reachability) {
 		for i := 0; i < len(writes); i++ {
 			for j := i + 1; j < len(writes); j++ {
 				wi, wj := writes[i], writes[j]
-				if e.prune && (reach.reaches(wi.ID, wj.ID) || reach.reaches(wj.ID, wi.ID)) {
+				// With -mhb the relation also carries the closure's derived
+				// must edges, which are mirrored into the fixed order, so the
+				// same level-0 argument elides those pairs too.
+				if (e.prune || e.mhb) && (reach.reaches(wi.ID, wj.ID) || reach.reaches(wj.ID, wi.ID)) {
 					e.stats.WSPruned++
 					continue
 				}

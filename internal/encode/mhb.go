@@ -1,0 +1,109 @@
+package encode
+
+import (
+	"sort"
+
+	"zpre/internal/analysis"
+	"zpre/internal/smt"
+)
+
+// closeMHB runs the must-happens-before closure fixpoint (Options.MHB) over
+// the event graph. It describes every read to analysis.CloseRF — its rf
+// candidates under the base fixed order and the full same-variable write
+// list — then mirrors the derived must edges into the ordering theory as
+// fixed edges (so the backend decides the corresponding clk atoms at level
+// 0) and records the dropped candidate pairs for emitReadFrom to elide.
+// Soundness/equisatisfiability of each step is argued on CloseRF itself;
+// the mirror into OrderFixed is safe because every derived edge holds in
+// every model of the full encoding.
+func (e *encoder) closeMHB(reach *reachability) {
+	truth := e.bd.True()
+	writesByVar := map[string][]*Event{}
+	readsByVar := map[string][]*Event{}
+	for _, ev := range e.events {
+		if ev.IsWrite {
+			writesByVar[ev.Var] = append(writesByVar[ev.Var], ev)
+		} else {
+			readsByVar[ev.Var] = append(readsByVar[ev.Var], ev)
+		}
+	}
+	vars := make([]string, 0, len(readsByVar))
+	for v := range readsByVar { //mapiter:ok keys sorted below
+		vars = append(vars, v)
+	}
+	sort.Strings(vars) // deterministic fixpoint iteration order
+
+	var sites []*analysis.RFSite
+	for _, v := range vars {
+		writes := writesByVar[v]
+		wcands := make([]analysis.RFCand, len(writes))
+		for i, w := range writes {
+			wcands[i] = analysis.RFCand{Node: int(w.ID), Uncond: w.Guard == truth}
+		}
+		for _, r := range readsByVar[v] {
+			var cands []analysis.RFCand
+			for i, w := range writes {
+				if reach.reaches(r.ID, w.ID) {
+					// Never a candidate with or without the closure; keep it
+					// out so its drop is not attributed to the fixpoint.
+					continue
+				}
+				// The fixpoint may only fix an edge when every excluded
+				// candidate is impossible in every model of the FULL
+				// encoding, independent of whether the encoder elides it:
+				// the shadow/window/lockset criteria (rfPrunable) and the
+				// value oracles argue exactly that, so they shrink the
+				// candidate sets here even when -prune / -dataflow are off.
+				// The value oracles are guard-conditional facts, which is
+				// sound because edges are only fixed for reads whose guard
+				// is constantly true.
+				if e.rfPrunable(r, w, writes, reach) {
+					continue
+				}
+				if e.flow != nil && (e.plainInfeasible(r, w) || e.relInfeasible(r, w)) {
+					continue
+				}
+				cands = append(cands, wcands[i])
+			}
+			sites = append(sites, &analysis.RFSite{
+				Read:   int(r.ID),
+				Uncond: r.Guard == truth,
+				Cands:  cands,
+				Writes: wcands,
+			})
+		}
+	}
+
+	fixedRF, fixedFR, dropped := reach.MHB.CloseRF(sites)
+	for _, ed := range fixedRF {
+		e.bd.OrderFixed(smt.EventID(ed.From), smt.EventID(ed.To))
+	}
+	for _, ed := range fixedFR {
+		e.bd.OrderFixed(smt.EventID(ed.From), smt.EventID(ed.To))
+	}
+	e.stats.MHBFixedRF = len(fixedRF)
+	e.stats.MHBFixedFR = len(fixedFR)
+	e.mhbDropped = make(map[[2]smt.EventID]bool, len(dropped))
+	for _, ed := range dropped {
+		e.mhbDropped[[2]smt.EventID{smt.EventID(ed.From), smt.EventID(ed.To)}] = true
+	}
+}
+
+// mhbOrderedOracle builds VC.MHBOrdered: a (thread, index)-coordinate view
+// of the closed relation for decision strategies. An rf/ws variable whose
+// two accesses are must-ordered is forced by unit propagation from the
+// level-0 fixed edges, so deciding it early is wasted work.
+func (e *encoder) mhbOrderedOracle(reach *reachability) func(t1, i1, t2, i2 int) bool {
+	byCoord := make(map[[2]int]smt.EventID, len(e.events))
+	for _, ev := range e.events {
+		byCoord[[2]int{ev.Thread, ev.Index}] = ev.ID
+	}
+	return func(t1, i1, t2, i2 int) bool {
+		a, okA := byCoord[[2]int{t1, i1}]
+		b, okB := byCoord[[2]int{t2, i2}]
+		if !okA || !okB || a == b {
+			return false
+		}
+		return reach.reaches(a, b) || reach.reaches(b, a)
+	}
+}

@@ -169,11 +169,16 @@ func resumedResult(task Task, strat core.Strategy, jr JSONRun) RunResult {
 	out.VC.RFPruned = jr.RFPruned
 	out.VC.WSPruned = jr.WSPruned
 	out.VC.ValuePruned = jr.ValuePruned
+	out.VC.RelPruned = jr.RelPruned
 	out.VC.FoldedAssigns = jr.FoldedAssigns
 	out.VC.FixedHB = jr.FixedHB
+	out.VC.MHBFixedRF = jr.MHBFixedRF
+	out.VC.MHBFixedFR = jr.MHBFixedFR
+	out.VC.MHBPruned = jr.MHBPruned
 	out.VC.RGInvariants = jr.RGInvariants
 	out.RGProved = jr.RGProved
 	out.RGStabilizeIters = jr.RGStabilizeIters
+	out.RGSkippedPrefilter = jr.RGSkippedPrefilter
 	if jr.Error != "" {
 		kind := parseFailureKind(jr.Failure)
 		if kind == sat.FailNone || kind == sat.FailTimeout {

@@ -106,6 +106,10 @@ type RunResult struct {
 	// RGStabilizeIters is the engine's outer fixpoint round count for this
 	// task's (benchmark, model) pair (Config.RG only).
 	RGStabilizeIters int
+	// RGSkippedPrefilter marks a pair the rely-guarantee pre-filter
+	// (Config.RGPrefilter) deemed hopeless: the proof fixpoint never ran
+	// and the SMT backend decided the task alone.
+	RGSkippedPrefilter bool
 }
 
 // Solved reports whether the run finished within budget.
@@ -226,6 +230,21 @@ type Config struct {
 	// group skips its whole sweep, an unproven group asserts each
 	// invariant once when its read is created.
 	RG bool
+	// RGDomain selects the rely-guarantee abstract domain: rg.DomainInterval
+	// (the default when empty) or rg.DomainDBM for the relational
+	// difference-bound zones.
+	RGDomain string
+	// RGPrefilter runs the engine's cheap pre-filter before each proof
+	// attempt; skipped pairs never enter the fixpoint and are flagged on
+	// RunResult.RGSkippedPrefilter. Skips never lose proofs on domain-
+	// expressible assertions (enforced by the corpus precision test).
+	RGPrefilter bool
+	// MHB runs the encoder's must-happens-before closure engine
+	// (encode.Options.MHB): forced rf edges are fixed at decision level 0,
+	// their must-fr consequences derived, and contradicted interference
+	// candidates elided. Fresh mode only — the incremental delta encoder
+	// forces it off (edge fixing is not bound-monotone).
+	MHB bool
 	// Incremental solves each (benchmark, model, strategy) group's bounds
 	// as one unroll sweep on a single live solver (internal/incremental):
 	// the encoding grows by deltas under per-bound activation literals and
@@ -262,6 +281,9 @@ type rgMemo struct {
 	// hist, when non-nil, receives the engine's prove latency per cache
 	// miss (the "rg_prove_us" registry histogram).
 	hist *telemetry.Histogram
+	// domain and prefilter mirror Config.RGDomain / Config.RGPrefilter.
+	domain    string
+	prefilter bool
 }
 
 // get returns the (cached) engine result for one (benchmark, model) pair. A
@@ -274,7 +296,9 @@ func (c *rgMemo) get(b svcomp.Benchmark, model memmodel.Model, width int) *rg.Re
 		return r
 	}
 	start := time.Now()
-	r, err := rg.Prove(b.Program, rg.Options{Model: model, Width: width})
+	r, err := rg.Prove(b.Program, rg.Options{
+		Model: model, Width: width, Domain: c.domain, Prefilter: c.prefilter,
+	})
 	if err != nil {
 		r = &rg.Result{}
 	}
@@ -321,7 +345,7 @@ func (c *Config) fill() {
 		c.CheckpointEvery = 16
 	}
 	if c.RG && c.rgMemo == nil {
-		c.rgMemo = &rgMemo{m: map[string]*rg.Result{}}
+		c.rgMemo = &rgMemo{m: map[string]*rg.Result{}, domain: c.RGDomain, prefilter: c.RGPrefilter}
 		if c.Metrics != nil {
 			c.rgMemo.hist = c.Metrics.Histogram("rg_prove_us")
 		}
@@ -439,6 +463,9 @@ func (rc *recorder) record(idx int, r RunResult) {
 		if r.RGProved {
 			m.Counter("rg_proved").Inc()
 		}
+		if r.RGSkippedPrefilter {
+			m.Counter("rg_skipped_prefilter").Inc()
+		}
 		if !r.Incremental {
 			// Incremental bounds carry cumulative stats; their sweeps are
 			// counted once, at the end of runSweepGroup.
@@ -485,6 +512,18 @@ func addDataflowCounters(m *telemetry.Registry, vc encode.Stats) {
 	}
 	if vc.FixedHB > 0 {
 		m.Counter("dataflow_fixed_hb").Add(uint64(vc.FixedHB))
+	}
+	if vc.RelPruned > 0 {
+		m.Counter("dataflow_rel_pruned").Add(uint64(vc.RelPruned))
+	}
+	if vc.MHBFixedRF > 0 {
+		m.Counter("mhb_fixed_rf").Add(uint64(vc.MHBFixedRF))
+	}
+	if vc.MHBFixedFR > 0 {
+		m.Counter("mhb_fixed_fr").Add(uint64(vc.MHBFixedFR))
+	}
+	if vc.MHBPruned > 0 {
+		m.Counter("mhb_pruned").Add(uint64(vc.MHBPruned))
 	}
 	if vc.RGInvariants > 0 {
 		m.Counter("rg_invariants").Add(uint64(vc.RGInvariants))
@@ -675,6 +714,7 @@ func RunOne(task Task, strat core.Strategy, cfg Config) (out RunResult) {
 		res := cfg.rgMemo.get(task.Bench, task.Model, cfg.Width)
 		tr.End(rgSpan)
 		out.RGStabilizeIters = res.StabilizeIters
+		out.RGSkippedPrefilter = res.SkippedPrefilter
 		if res.Proved {
 			// Safe at every bound: nothing to encode or solve. No proof
 			// trace exists for the checker, so CheckVerdicts marks the run
@@ -700,6 +740,7 @@ func RunOne(task Task, strat core.Strategy, cfg Config) (out RunResult) {
 		WithProof:   cfg.CheckVerdicts,
 		StaticPrune: cfg.StaticPrune,
 		Dataflow:    cfg.Dataflow,
+		MHB:         cfg.MHB,
 		RGRanges:    rgRanges,
 	})
 	out.Encode = time.Since(encStart)
@@ -720,8 +761,16 @@ func RunOne(task Task, strat core.Strategy, cfg Config) (out RunResult) {
 
 	infos := core.Classify(vc.Builder.NamedVars())
 	deciderCfg := core.Config{Seed: cfg.Seed}
-	if st := vc.Static; st != nil {
+	if st, ordered := vc.Static, vc.MHBOrdered; st != nil || ordered != nil {
 		deciderCfg.Score = func(vi core.VarInfo) int {
+			// Must-ordered pairs are forced by unit propagation from the
+			// closure's level-0 fixed edges: decide them last.
+			if ordered != nil && ordered(vi.ReadThread, vi.ReadIdx, vi.WriteThread, vi.WriteIdx) {
+				return -1
+			}
+			if st == nil {
+				return 0
+			}
 			return st.PairScore(vi.ReadThread, vi.ReadIdx, vi.WriteThread, vi.WriteIdx)
 		}
 	}

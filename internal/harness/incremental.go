@@ -108,6 +108,7 @@ func newSweep(task Task, strat core.Strategy, cfg Config) (*incremental.Sweep, e
 		TimePhases:     cfg.TimePhases,
 		CheckWitness:   cfg.CheckVerdicts,
 		Dataflow:       cfg.Dataflow,
+		MHB:            cfg.MHB,
 	}
 	if cfg.RG {
 		// Only unproven pairs reach a sweep (runSweepGroup short-circuits
@@ -271,7 +272,9 @@ func runSweepBound(sweep *incremental.Sweep, task Task, strat core.Strategy, cfg
 		cfg.Chrome.Add(tr)
 	}()
 	if cfg.RG {
-		out.RGStabilizeIters = cfg.rgMemo.get(task.Bench, task.Model, cfg.Width).StabilizeIters
+		res := cfg.rgMemo.get(task.Bench, task.Model, cfg.Width)
+		out.RGStabilizeIters = res.StabilizeIters
+		out.RGSkippedPrefilter = res.SkippedPrefilter
 	}
 	if sweep == nil {
 		if setupErr == nil {

@@ -59,17 +59,26 @@ type JSONRun struct {
 	// by the interval oracle, assignments folded before event generation,
 	// and happens-before edges fixed from single-candidate rf.
 	ValuePruned   int `json:"value_pruned,omitempty"`
+	RelPruned     int `json:"rel_pruned,omitempty"`
 	FoldedAssigns int `json:"folded_assigns,omitempty"`
 	FixedHB       int `json:"fixed_hb,omitempty"`
+	// Must-happens-before closure fields (Config.MHB): rf edges fixed,
+	// must-fr edges derived, and interference candidates elided by the
+	// closure fixpoint.
+	MHBFixedRF int `json:"mhb_fixed_rf,omitempty"`
+	MHBFixedFR int `json:"mhb_fixed_fr,omitempty"`
+	MHBPruned  int `json:"mhb_pruned,omitempty"`
 	// Rely-guarantee fields (Config.RG): a task the proof-outline engine
 	// discharged at every bound (unsat with zero decisions), the number of
-	// injected per-read invariant constraints, and the engine's outer
-	// fixpoint round count.
-	RGProved         bool `json:"rg_proved,omitempty"`
-	RGInvariants     int  `json:"rg_invariants,omitempty"`
-	RGStabilizeIters int  `json:"rg_stabilize_iters,omitempty"`
-	Checked          bool `json:"checked,omitempty"`
-	CheckSkipped     bool `json:"check_skipped,omitempty"`
+	// injected per-read invariant constraints, the engine's outer
+	// fixpoint round count, and whether the cheap pre-filter skipped the
+	// proof attempt for the pair.
+	RGProved           bool `json:"rg_proved,omitempty"`
+	RGInvariants       int  `json:"rg_invariants,omitempty"`
+	RGStabilizeIters   int  `json:"rg_stabilize_iters,omitempty"`
+	RGSkippedPrefilter bool `json:"rg_skipped_prefilter,omitempty"`
+	Checked            bool `json:"checked,omitempty"`
+	CheckSkipped       bool `json:"check_skipped,omitempty"`
 	// Completed marks a terminal outcome; false only for cancelled runs,
 	// which `-resume` re-executes.
 	Completed bool `json:"completed"`
@@ -100,7 +109,10 @@ type JSONResults struct {
 	Width       int       `json:"width"`
 	StaticPrune bool      `json:"static_prune,omitempty"`
 	Dataflow    bool      `json:"dataflow,omitempty"`
+	MHB         bool      `json:"mhb,omitempty"`
 	RG          bool      `json:"rg,omitempty"`
+	RGDomain    string    `json:"rg_domain,omitempty"`
+	RGPrefilter bool      `json:"rg_prefilter,omitempty"`
 	Runs        []JSONRun `json:"runs"`
 }
 
@@ -113,7 +125,10 @@ func (r *Results) WriteJSON(w io.Writer) error {
 		Width:       r.Config.Width,
 		StaticPrune: r.Config.StaticPrune,
 		Dataflow:    r.Config.Dataflow,
+		MHB:         r.Config.MHB,
 		RG:          r.Config.RG,
+		RGDomain:    r.Config.RGDomain,
+		RGPrefilter: r.Config.RGPrefilter,
 		Bounds:      r.Config.Bounds,
 	}
 	for _, m := range r.Config.Models {
@@ -133,57 +148,62 @@ func (r *Results) WriteJSON(w io.Writer) error {
 // jsonRun converts one run into its export form.
 func jsonRun(run RunResult) JSONRun {
 	jr := JSONRun{
-		Task:             run.Task.ID(),
-		Subcategory:      run.Task.Bench.Subcategory,
-		Benchmark:        run.Task.Bench.Name,
-		Model:            run.Task.Model.String(),
-		Bound:            run.Task.Bound,
-		Strategy:         run.Strategy.String(),
-		Status:           run.Status.String(),
-		SolveSec:         durSec(run.Solve),
-		EncodeSec:        durSec(run.Encode),
-		UnrollSec:        durSec(run.Unroll),
-		StaticSec:        durSec(run.VC.StaticTime),
-		BCPSec:           durSec(run.Timings.BCP),
-		TheorySec:        durSec(run.Timings.Theory),
-		AnalyzeSec:       durSec(run.Timings.Analyze),
-		ReduceSec:        durSec(run.Timings.Reduce),
-		InprocessSec:     durSec(run.Timings.Inprocess),
-		Decisions:        run.Stats.Decisions,
-		Propagations:     run.Stats.Propagations,
-		TheoryProps:      run.Stats.TheoryProps,
-		Conflicts:        run.Stats.Conflicts,
-		TheoryConfl:      run.Stats.TheoryConfl,
-		Restarts:         run.Stats.Restarts,
-		LearntClauses:    run.Stats.LearntClauses,
-		DeletedCls:       run.Stats.DeletedCls,
-		MaxTrail:         run.Stats.MaxTrail,
-		BlockerHits:      run.Stats.BlockerHits,
-		TierDemotions:    run.Stats.TierDemotions,
-		ChronoBTs:        run.Stats.ChronoBTs,
-		Inprocessings:    run.Stats.Inprocessings,
-		SubsumedCls:      run.Stats.SubsumedCls,
-		StrengthenedCls:  run.Stats.StrengthenedCls,
-		EliminatedVars:   run.Stats.EliminatedVars,
-		OrderAsserts:     run.OrderStats.Asserts,
-		OrderConflicts:   run.OrderStats.Conflicts,
-		OrderPathQueries: run.OrderStats.PathQueries,
-		OrderProps:       run.OrderStats.Propagations,
-		RFVars:           run.VC.RFVars,
-		WSVars:           run.VC.WSVars,
-		RFPruned:         run.VC.RFPruned,
-		WSPruned:         run.VC.WSPruned,
-		ValuePruned:      run.VC.ValuePruned,
-		FoldedAssigns:    run.VC.FoldedAssigns,
-		FixedHB:          run.VC.FixedHB,
-		RGProved:         run.RGProved,
-		RGInvariants:     run.VC.RGInvariants,
-		RGStabilizeIters: run.RGStabilizeIters,
-		Checked:          run.Checked,
-		CheckSkipped:     run.CheckSkipped,
-		Completed:        run.Completed,
-		Failure:          run.Failure().String(),
-		Resumed:          run.Resumed,
+		Task:               run.Task.ID(),
+		Subcategory:        run.Task.Bench.Subcategory,
+		Benchmark:          run.Task.Bench.Name,
+		Model:              run.Task.Model.String(),
+		Bound:              run.Task.Bound,
+		Strategy:           run.Strategy.String(),
+		Status:             run.Status.String(),
+		SolveSec:           durSec(run.Solve),
+		EncodeSec:          durSec(run.Encode),
+		UnrollSec:          durSec(run.Unroll),
+		StaticSec:          durSec(run.VC.StaticTime),
+		BCPSec:             durSec(run.Timings.BCP),
+		TheorySec:          durSec(run.Timings.Theory),
+		AnalyzeSec:         durSec(run.Timings.Analyze),
+		ReduceSec:          durSec(run.Timings.Reduce),
+		InprocessSec:       durSec(run.Timings.Inprocess),
+		Decisions:          run.Stats.Decisions,
+		Propagations:       run.Stats.Propagations,
+		TheoryProps:        run.Stats.TheoryProps,
+		Conflicts:          run.Stats.Conflicts,
+		TheoryConfl:        run.Stats.TheoryConfl,
+		Restarts:           run.Stats.Restarts,
+		LearntClauses:      run.Stats.LearntClauses,
+		DeletedCls:         run.Stats.DeletedCls,
+		MaxTrail:           run.Stats.MaxTrail,
+		BlockerHits:        run.Stats.BlockerHits,
+		TierDemotions:      run.Stats.TierDemotions,
+		ChronoBTs:          run.Stats.ChronoBTs,
+		Inprocessings:      run.Stats.Inprocessings,
+		SubsumedCls:        run.Stats.SubsumedCls,
+		StrengthenedCls:    run.Stats.StrengthenedCls,
+		EliminatedVars:     run.Stats.EliminatedVars,
+		OrderAsserts:       run.OrderStats.Asserts,
+		OrderConflicts:     run.OrderStats.Conflicts,
+		OrderPathQueries:   run.OrderStats.PathQueries,
+		OrderProps:         run.OrderStats.Propagations,
+		RFVars:             run.VC.RFVars,
+		WSVars:             run.VC.WSVars,
+		RFPruned:           run.VC.RFPruned,
+		WSPruned:           run.VC.WSPruned,
+		ValuePruned:        run.VC.ValuePruned,
+		RelPruned:          run.VC.RelPruned,
+		FoldedAssigns:      run.VC.FoldedAssigns,
+		FixedHB:            run.VC.FixedHB,
+		MHBFixedRF:         run.VC.MHBFixedRF,
+		MHBFixedFR:         run.VC.MHBFixedFR,
+		MHBPruned:          run.VC.MHBPruned,
+		RGProved:           run.RGProved,
+		RGInvariants:       run.VC.RGInvariants,
+		RGStabilizeIters:   run.RGStabilizeIters,
+		RGSkippedPrefilter: run.RGSkippedPrefilter,
+		Checked:            run.Checked,
+		CheckSkipped:       run.CheckSkipped,
+		Completed:          run.Completed,
+		Failure:            run.Failure().String(),
+		Resumed:            run.Resumed,
 	}
 	if run.Incremental {
 		jr.Incremental = true

@@ -86,6 +86,10 @@ type Options struct {
 	// program (see encode.Options.Dataflow); its facts are bound-
 	// independent, so pruning composes with the delta encoding.
 	Dataflow bool
+	// MHB is accepted for configuration symmetry with the fresh pipeline
+	// and ignored: happens-before edge fixing is not bound-monotone, so
+	// the delta encoder forces it off (see encode.NewIncremental).
+	MHB bool
 	// RGRanges injects rely-guarantee invariant ranges as guarded per-read
 	// constraints (see encode.Options.RGRanges). The ranges hold at every
 	// unrolling bound, so each constraint is asserted once when its read is
@@ -136,6 +140,7 @@ func New(p *cprog.Program, opts Options) (*Sweep, error) {
 		Width:    opts.Width,
 		Unwind:   opts.Unwind,
 		Dataflow: opts.Dataflow,
+		MHB:      opts.MHB,
 		RGRanges: opts.RGRanges,
 	})
 	if err != nil {

@@ -1,0 +1,720 @@
+package relational
+
+import (
+	"zpre/internal/cprog"
+	"zpre/internal/dataflow"
+)
+
+// Facts holds the result of the terminal-state analysis: for each shared
+// variable, a sound interval for every value the variable can ever hold
+// (Global — valid at any program point, under any of the three memory
+// models) and a sound interval for its value at the moment all threads have
+// been joined (Exit — the state the post block observes). Exit is strictly
+// stronger than anything an iterative interval fixpoint can derive for
+// pure-accumulator variables: iteration must re-apply a write's own
+// contribution through the rely and diverges to Top, while the closed form
+// below counts each non-loop write at most once per value-dependency chain.
+type Facts struct {
+	Width  int
+	global map[string]dataflow.Interval
+	exit   map[string]dataflow.Interval
+	exact  map[string]bool
+	diffs  []DiffBound
+	iv     *dataflow.Facts
+}
+
+// Global returns a sound interval for every value name can ever hold.
+// Nil-safe; unknown variables map to Top.
+func (f *Facts) Global(name string) dataflow.Interval {
+	if f == nil {
+		return dataflow.Top(32)
+	}
+	if iv, ok := f.global[name]; ok {
+		return iv
+	}
+	return f.iv.Range(name)
+}
+
+// Exit returns a sound interval for name's value once every thread has
+// terminated (before the post block runs). Nil-safe.
+func (f *Facts) Exit(name string) dataflow.Interval {
+	if f == nil {
+		return dataflow.Top(32)
+	}
+	if iv, ok := f.exit[name]; ok {
+		return iv
+	}
+	return f.iv.Range(name)
+}
+
+// ExitExact reports whether name's exit value is known exactly, and if so
+// returns it.
+func (f *Facts) ExitExact(name string) (int64, bool) {
+	if f == nil || !f.exact[name] {
+		return 0, false
+	}
+	return f.exit[name].Lo, true
+}
+
+// Vars returns the shared variables with closed-form facts, sorted by the
+// caller if order matters.
+func (f *Facts) Vars() []string {
+	if f == nil {
+		return nil
+	}
+	names := make([]string, 0, len(f.exit))
+	for n := range f.exit { //mapiter:ok — callers sort
+		names = append(names, n)
+	}
+	return names
+}
+
+// Write classification: each write to a shared variable is reduced to one of
+// three shapes the closed form understands, or wOther which sends the whole
+// variable to the interval fallback.
+const (
+	wAdd   = iota // v = v + c (c may be negative)
+	wOr           // v = v | c, c ≥ 0
+	wConst        // v = c
+	wOther
+)
+
+type sharedWrite struct {
+	kind   int
+	c      int64
+	cond   bool            // may execute zero times (under If, While, or a blocking acquire)
+	loop   bool            // may execute more than once (under While)
+	atomic bool            // inside an Atomic block
+	group  int             // outermost Atomic block id (0: not in one)
+	gcond  bool            // conditional relative to its atomic block's entry
+	held   map[string]bool // mutexes held at the write
+}
+
+// DiffBound is an exact difference invariant between two shared variables:
+// A − B == Diff holds in every state outside atomic sections (in particular
+// at thread exit and in the post block). It arises when every write to A is
+// atomically paired with a write to B carrying the same contribution.
+type DiffBound struct {
+	A, B string
+	Diff int64
+}
+
+// Diffs returns the exact difference invariants. Nil-safe.
+func (f *Facts) Diffs() []DiffBound {
+	if f == nil {
+		return nil
+	}
+	return f.diffs
+}
+
+// Analyze computes Global/Exit facts for every shared variable of p,
+// interpreted at the given bit width. Variables whose writes do not all fit
+// the accumulator/const shapes — or whose closed-form bounds leave the
+// signed width range — fall back to the plain interval fixpoint
+// (dataflow.Analyze), so the result is never less precise than the
+// non-relational analysis.
+func Analyze(p *cprog.Program, width int) *Facts {
+	f := &Facts{
+		Width:  width,
+		global: map[string]dataflow.Interval{},
+		exit:   map[string]dataflow.Interval{},
+		exact:  map[string]bool{},
+		iv:     dataflow.Analyze(p, width),
+	}
+	shared := map[string]bool{}
+	init := map[string]int64{}
+	for _, d := range p.Shared {
+		shared[d.Name] = true
+		init[d.Name] = d.Init
+	}
+
+	// The post block runs sequentially after the join; a shared write there
+	// would not perturb Exit, but keeping such variables out of the closed
+	// form entirely is simpler and the generators never do it.
+	postWrites := map[string]bool{}
+	scanWrites(p.Post, shared, postWrites)
+
+	writes := map[string][]sharedWrite{}
+	groupSeq := 0
+	for _, t := range p.Threads {
+		consts := threadConsts(t)
+		c := &collector{shared: shared, consts: consts, out: writes, groupSeq: &groupSeq}
+		c.walk(t.Body, ctx{})
+	}
+
+	lo, hi := dataflow.MinSigned(width), dataflow.MaxSigned(width)
+	for _, d := range p.Shared {
+		v := d.Name
+		g, e, exact, ok := closedForm(init[v], writes[v])
+		if postWrites[v] || !ok || g.Lo < lo || g.Hi > hi || e.Lo < lo || e.Hi > hi {
+			continue // fall back to f.iv
+		}
+		// Never worse than the interval fixpoint: meet with its range.
+		if m := dataflow.Meet(g, f.iv.Range(v)); !m.IsEmpty() {
+			g = m
+		}
+		f.global[v] = g
+		f.exit[v] = e
+		f.exact[v] = exact
+	}
+	f.findDiffs(p, writes, postWrites)
+	return f
+}
+
+// findDiffs derives exact difference invariants: A − B == initA − initB when
+// every write to A is an atomically co-grouped accumulator write paired with
+// a write to B of the same contribution (and vice versa). The atomic block
+// hides the intermediate state where only one of the pair has moved, so the
+// difference is invariant at every point other threads or the post block can
+// observe.
+func (f *Facts) findDiffs(p *cprog.Program, writes map[string][]sharedWrite, postWrites map[string]bool) {
+	groupSums := func(ws []sharedWrite) (map[int]int64, bool) {
+		sums := map[int]int64{}
+		for _, w := range ws {
+			if w.kind != wAdd || w.group == 0 || w.gcond {
+				return nil, false
+			}
+			sums[w.group] += w.c
+		}
+		return sums, true
+	}
+	for i, a := range p.Shared {
+		if _, ok := f.exit[a.Name]; !ok || postWrites[a.Name] || len(writes[a.Name]) == 0 {
+			continue
+		}
+		sa, ok := groupSums(writes[a.Name])
+		if !ok {
+			continue
+		}
+		for _, b := range p.Shared[i+1:] {
+			if _, ok := f.exit[b.Name]; !ok || postWrites[b.Name] {
+				continue
+			}
+			sb, ok := groupSums(writes[b.Name])
+			if !ok || len(sa) != len(sb) {
+				continue
+			}
+			paired := true
+			for g, c := range sa { //mapiter:ok pure equality check over both maps
+				if sb[g] != c {
+					paired = false
+					break
+				}
+			}
+			if paired {
+				f.diffs = append(f.diffs, DiffBound{A: a.Name, B: b.Name, Diff: a.Init - b.Init})
+			}
+		}
+	}
+}
+
+type ctx struct {
+	cond   bool
+	loop   bool
+	atomic bool
+	group  int
+	gcond  bool
+	held   []string
+}
+
+type collector struct {
+	shared   map[string]bool
+	consts   map[string]int64
+	out      map[string][]sharedWrite
+	groupSeq *int
+}
+
+func (c *collector) record(v string, kind int, val int64, x ctx) {
+	held := map[string]bool{}
+	for _, m := range x.held {
+		held[m] = true
+	}
+	c.out[v] = append(c.out[v], sharedWrite{
+		kind: kind, c: val, cond: x.cond, loop: x.loop, atomic: x.atomic,
+		group: x.group, gcond: x.gcond, held: held,
+	})
+}
+
+func (c *collector) walk(body []cprog.Stmt, x ctx) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case cprog.Assign:
+			if !c.shared[st.Lhs] {
+				continue
+			}
+			kind, val := classify(st.Lhs, st.Rhs, c.consts)
+			if kind != wConst && x.loop {
+				kind = wOther // accumulators in loops contribute unboundedly
+			}
+			c.record(st.Lhs, kind, val, x)
+		case cprog.Havoc:
+			if c.shared[st.Name] {
+				c.record(st.Name, wOther, 0, x)
+			}
+		case cprog.Lock:
+			// A blocking acquire is a conditional const write of 1: in
+			// executions where it happens, the mutex becomes 1.
+			c.record(st.Mutex, wConst, 1, ctx{cond: true, loop: x.loop, atomic: x.atomic, held: x.held})
+			x.held = append(append([]string(nil), x.held...), st.Mutex)
+		case cprog.Unlock:
+			c.record(st.Mutex, wConst, 0, ctx{cond: true, loop: x.loop, atomic: x.atomic, held: x.held})
+			kept := x.held[:0:0]
+			for _, m := range x.held {
+				if m != st.Mutex {
+					kept = append(kept, m)
+				}
+			}
+			x.held = kept
+		case cprog.If:
+			inner := x
+			inner.cond, inner.gcond = true, true
+			c.walk(st.Then, inner)
+			c.walk(st.Else, inner)
+			x.held = dropUnlocked(x.held, append(scanUnlocks(st.Then), scanUnlocks(st.Else)...))
+		case cprog.While:
+			inner := x
+			inner.cond, inner.loop, inner.gcond = true, true, true
+			c.walk(st.Body, inner)
+			x.held = dropUnlocked(x.held, scanUnlocks(st.Body))
+		case cprog.Atomic:
+			inner := x
+			inner.atomic = true
+			if inner.group == 0 {
+				*c.groupSeq++
+				inner.group = *c.groupSeq
+				// Conditionality relative to the block restarts here: if the
+				// whole block is skipped, neither side of a pair moves.
+				inner.gcond = false
+			}
+			c.walk(st.Body, inner)
+			x.held = dropUnlocked(x.held, scanUnlocks(st.Body))
+		}
+	}
+}
+
+// scanUnlocks lists mutexes that body may release: after a branch or loop
+// that unlocks m, the caller can no longer claim m is held.
+func scanUnlocks(body []cprog.Stmt) []string {
+	var out []string
+	for _, s := range body {
+		switch st := s.(type) {
+		case cprog.Unlock:
+			out = append(out, st.Mutex)
+		case cprog.If:
+			out = append(out, scanUnlocks(st.Then)...)
+			out = append(out, scanUnlocks(st.Else)...)
+		case cprog.While:
+			out = append(out, scanUnlocks(st.Body)...)
+		case cprog.Atomic:
+			out = append(out, scanUnlocks(st.Body)...)
+		}
+	}
+	return out
+}
+
+func dropUnlocked(held []string, released []string) []string {
+	if len(released) == 0 {
+		return held
+	}
+	rel := map[string]bool{}
+	for _, m := range released {
+		rel[m] = true
+	}
+	kept := held[:0:0]
+	for _, m := range held {
+		if !rel[m] {
+			kept = append(kept, m)
+		}
+	}
+	return kept
+}
+
+// scanWrites marks shared variables written anywhere in body.
+func scanWrites(body []cprog.Stmt, shared, out map[string]bool) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case cprog.Assign:
+			if shared[st.Lhs] {
+				out[st.Lhs] = true
+			}
+		case cprog.Havoc:
+			if shared[st.Name] {
+				out[st.Name] = true
+			}
+		case cprog.Lock:
+			out[st.Mutex] = true
+		case cprog.Unlock:
+			out[st.Mutex] = true
+		case cprog.If:
+			scanWrites(st.Then, shared, out)
+			scanWrites(st.Else, shared, out)
+		case cprog.While:
+			scanWrites(st.Body, shared, out)
+		case cprog.Atomic:
+			scanWrites(st.Body, shared, out)
+		}
+	}
+}
+
+// threadConsts returns the thread's locals that are constant for its whole
+// lifetime: declared once with a const-foldable initialiser and never
+// reassigned or havoced. Locals are thread-private, so no cross-thread
+// reasoning is needed.
+func threadConsts(t *cprog.Thread) map[string]int64 {
+	decls := map[string]int{}
+	poisoned := map[string]bool{}
+	var scan func(body []cprog.Stmt)
+	scan = func(body []cprog.Stmt) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case cprog.Local:
+				decls[st.Name]++
+			case cprog.Assign:
+				poisoned[st.Lhs] = true
+			case cprog.Havoc:
+				poisoned[st.Name] = true
+			case cprog.If:
+				scan(st.Then)
+				scan(st.Else)
+			case cprog.While:
+				scan(st.Body)
+			case cprog.Atomic:
+				scan(st.Body)
+			}
+		}
+	}
+	scan(t.Body)
+	consts := map[string]int64{}
+	var collect func(body []cprog.Stmt)
+	collect = func(body []cprog.Stmt) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case cprog.Local:
+				if decls[st.Name] == 1 && !poisoned[st.Name] && st.Init != nil {
+					if v, ok := foldConst(st.Init, consts); ok {
+						consts[st.Name] = v
+					}
+				}
+			case cprog.If:
+				collect(st.Then)
+				collect(st.Else)
+			case cprog.While:
+				collect(st.Body)
+			case cprog.Atomic:
+				collect(st.Body)
+			}
+		}
+	}
+	collect(t.Body)
+	return consts
+}
+
+// foldConst evaluates e to a constant given known-constant locals.
+func foldConst(e cprog.Expr, consts map[string]int64) (int64, bool) {
+	switch x := e.(type) {
+	case cprog.Const:
+		return x.Value, true
+	case cprog.Ref:
+		v, ok := consts[x.Name]
+		return v, ok
+	case cprog.UnOp:
+		v, ok := foldConst(x.X, consts)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case cprog.OpNeg:
+			return -v, true
+		case cprog.OpBitNot:
+			return ^v, true
+		case cprog.OpLNot:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case cprog.BinOp:
+		l, ok := foldConst(x.L, consts)
+		if !ok {
+			return 0, false
+		}
+		r, ok := foldConst(x.R, consts)
+		if !ok {
+			return 0, false
+		}
+		b := func(cond bool) (int64, bool) {
+			if cond {
+				return 1, true
+			}
+			return 0, true
+		}
+		switch x.Op {
+		case cprog.OpAdd:
+			return l + r, true
+		case cprog.OpSub:
+			return l - r, true
+		case cprog.OpMul:
+			return l * r, true
+		case cprog.OpBitAnd:
+			return l & r, true
+		case cprog.OpBitOr:
+			return l | r, true
+		case cprog.OpBitXor:
+			return l ^ r, true
+		case cprog.OpShl:
+			if r >= 0 && r < 63 {
+				return l << uint(r), true
+			}
+		case cprog.OpShr:
+			if r >= 0 && r < 63 {
+				return int64(uint64(l) >> uint(r)), true
+			}
+		case cprog.OpEq:
+			return b(l == r)
+		case cprog.OpNe:
+			return b(l != r)
+		case cprog.OpLt:
+			return b(l < r)
+		case cprog.OpLe:
+			return b(l <= r)
+		case cprog.OpGt:
+			return b(l > r)
+		case cprog.OpGe:
+			return b(l >= r)
+		case cprog.OpLAnd:
+			return b(l != 0 && r != 0)
+		case cprog.OpLOr:
+			return b(l != 0 || r != 0)
+		}
+	}
+	return 0, false
+}
+
+// classify reduces an assignment rhs for shared variable v to a write shape.
+func classify(v string, rhs cprog.Expr, consts map[string]int64) (int, int64) {
+	if c, ok := foldConst(rhs, consts); ok {
+		return wConst, c
+	}
+	if b, ok := rhs.(cprog.BinOp); ok {
+		self := func(e cprog.Expr) bool {
+			r, ok := e.(cprog.Ref)
+			return ok && r.Name == v
+		}
+		switch b.Op {
+		case cprog.OpAdd:
+			if self(b.L) {
+				if c, ok := foldConst(b.R, consts); ok {
+					return wAdd, c
+				}
+			}
+			if self(b.R) {
+				if c, ok := foldConst(b.L, consts); ok {
+					return wAdd, c
+				}
+			}
+		case cprog.OpSub:
+			if self(b.L) {
+				if c, ok := foldConst(b.R, consts); ok {
+					return wAdd, -c
+				}
+			}
+		case cprog.OpBitOr:
+			if self(b.L) {
+				if c, ok := foldConst(b.R, consts); ok && c >= 0 {
+					return wOr, c
+				}
+			}
+			if self(b.R) {
+				if c, ok := foldConst(b.L, consts); ok && c >= 0 {
+					return wOr, c
+				}
+			}
+		}
+	}
+	return wOther, 0
+}
+
+// closedForm computes (global, exit, exitExact, ok) for one shared variable
+// from its initial value and classified writes. ok is false when any write
+// is unsupported or the shapes mix incompatibly.
+//
+// Soundness rests on the once-per-chain property: under SC, TSO and PSO a
+// read of v returns either the initial value or the value stored by some
+// write; the value stored by an accumulator write w is (value w read) + c_w,
+// and the resulting value-dependency chain visits each write statement at
+// most once because non-loop statements execute at most once and a write
+// cannot (transitively) read its own stored value — every hop in the chain
+// strictly increases store time, under all three models. Hence every
+// readable value is init plus a subset-sum of contributions. If all of v's
+// read-modify-writes are serialised (every write holds one common mutex, or
+// every write sits in an atomic block — mixing the two does NOT serialise),
+// no contribution can be lost, so the final value is init plus the full sum
+// of executed writes. Unserialised, the coherence-final write w still
+// contributes its own c_w on top of a subset-sum of the others.
+func closedForm(init int64, ws []sharedWrite) (g, e dataflow.Interval, exact, ok bool) {
+	if len(ws) == 0 {
+		iv := dataflow.Interval{Lo: init, Hi: init}
+		return iv, iv, true, true
+	}
+	kinds := map[int]bool{}
+	for _, w := range ws {
+		kinds[w.kind] = true
+	}
+	if kinds[wOther] || (kinds[wAdd] && kinds[wOr]) ||
+		(kinds[wConst] && (kinds[wAdd] || kinds[wOr])) {
+		return g, e, false, false
+	}
+	switch {
+	case kinds[wConst]:
+		return constForm(init, ws)
+	case kinds[wOr]:
+		return orForm(init, ws)
+	default:
+		return addForm(init, ws)
+	}
+}
+
+// serialized reports whether all writes are mutually exclusive: one common
+// mutex held at every write, or every write atomic. A mix is not enough —
+// an atomic block can interleave between a lock-protected read and its
+// write.
+func serialized(ws []sharedWrite) bool {
+	allAtomic := true
+	for _, w := range ws {
+		if !w.atomic {
+			allAtomic = false
+			break
+		}
+	}
+	if allAtomic {
+		return true
+	}
+	common := map[string]bool{}
+	for m := range ws[0].held { //mapiter:ok — set intersection, order-free
+		common[m] = true
+	}
+	for _, w := range ws[1:] {
+		for m := range common { //mapiter:ok — set intersection, order-free
+			if !w.held[m] {
+				delete(common, m)
+			}
+		}
+	}
+	return len(common) > 0
+}
+
+func addForm(init int64, ws []sharedWrite) (g, e dataflow.Interval, exact, ok bool) {
+	var sumMin, sumMax, sumUncond int64
+	anyUncond, anyCond := false, false
+	for _, w := range ws {
+		sumMin += min64(0, w.c)
+		sumMax += max64(0, w.c)
+		if w.cond {
+			anyCond = true
+		} else {
+			anyUncond = true
+			sumUncond += w.c
+		}
+	}
+	g = dataflow.Interval{Lo: init + sumMin, Hi: init + sumMax}
+	if serialized(ws) {
+		// Exact RMW accumulation: final = init + Σ executed contributions.
+		var condMin, condMax int64
+		for _, w := range ws {
+			if w.cond {
+				condMin += min64(0, w.c)
+				condMax += max64(0, w.c)
+			}
+		}
+		e = dataflow.Interval{Lo: init + sumUncond + condMin, Hi: init + sumUncond + condMax}
+		return g, e, !anyCond, true
+	}
+	if !anyUncond {
+		return g, g, false, true
+	}
+	// Racy: the coherence-final write w contributes c_w on top of a
+	// subset-sum of the other writes' contributions.
+	lo, hi := int64(1)<<62, -(int64(1) << 62)
+	for i, w := range ws {
+		var oMin, oMax int64
+		for j, o := range ws {
+			if j == i {
+				continue
+			}
+			oMin += min64(0, o.c)
+			oMax += max64(0, o.c)
+		}
+		lo = min64(lo, w.c+oMin)
+		hi = max64(hi, w.c+oMax)
+	}
+	return g, dataflow.Interval{Lo: init + lo, Hi: init + hi}, false, true
+}
+
+func orForm(init int64, ws []sharedWrite) (g, e dataflow.Interval, exact, ok bool) {
+	if init < 0 {
+		return g, e, false, false
+	}
+	var all, uncond int64 = init, init
+	anyUncond, anyCond := false, false
+	minLast := int64(1) << 62
+	for _, w := range ws {
+		all |= w.c
+		if w.cond {
+			anyCond = true
+		} else {
+			anyUncond = true
+			uncond |= w.c
+		}
+		minLast = min64(minLast, init|w.c)
+	}
+	// v|c ≥ v for non-negative values: every reachable value sits in
+	// [init, init | all-masks].
+	g = dataflow.Interval{Lo: init, Hi: all}
+	if serialized(ws) {
+		e = dataflow.Interval{Lo: uncond, Hi: all}
+		return g, e, !anyCond, true
+	}
+	if !anyUncond {
+		return g, g, false, true
+	}
+	return g, dataflow.Interval{Lo: minLast, Hi: all}, false, true
+}
+
+func constForm(init int64, ws []sharedWrite) (g, e dataflow.Interval, exact, ok bool) {
+	lo, hi := init, init
+	finalLo, finalHi := int64(1)<<62, -(int64(1) << 62)
+	sameConst, anyMustFinal := true, false
+	for _, w := range ws {
+		lo, hi = min64(lo, w.c), max64(hi, w.c)
+		finalLo, finalHi = min64(finalLo, w.c), max64(finalHi, w.c)
+		if w.c != ws[0].c {
+			sameConst = false
+		}
+		if !w.cond && !w.loop {
+			anyMustFinal = true
+		}
+	}
+	g = dataflow.Interval{Lo: lo, Hi: hi}
+	if anyMustFinal {
+		// Some write definitely executes, so the final value is one of the
+		// written constants (which one depends on coherence order).
+		e = dataflow.Interval{Lo: finalLo, Hi: finalHi}
+		return g, e, sameConst, true
+	}
+	return g, g, false, true
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,268 @@
+// Package relational holds the relational static-analysis layer: a
+// difference-bound-matrix (zone) abstract domain over program variables and
+// a terminal-state ("exit bounds") analysis over shared variables that
+// exploits the once-per-chain structure of cross-thread value flow. Both
+// feed the rely-guarantee engine's dbm domain mode (-rg-domain=dbm) and the
+// encoder's value-infeasibility pruning.
+package relational
+
+import (
+	"fmt"
+	"strings"
+
+	"zpre/internal/dataflow"
+)
+
+// inf is the +∞ sentinel of the matrix: "no constraint". All real bounds
+// produced from width-bit program values are tiny compared to it, so the
+// saturating addition below never wraps.
+const inf int64 = 1 << 60
+
+// DBM is a difference-bound matrix over n variables plus the virtual zero
+// variable at index 0: m[i][j] = c encodes x_i − x_j ≤ c (with x_0 = 0, so
+// m[i][0] is an upper bound for x_i and m[0][i] a negated lower bound).
+// Program variables use indices 1..n. The zero value of the struct is not
+// usable; construct with NewDBM or Copy.
+type DBM struct {
+	n int // program variables (matrix is (n+1)×(n+1))
+	m [][]int64
+}
+
+// NewDBM returns the unconstrained (top) zone over n program variables.
+func NewDBM(n int) *DBM {
+	d := &DBM{n: n, m: make([][]int64, n+1)}
+	for i := range d.m {
+		d.m[i] = make([]int64, n+1)
+		for j := range d.m[i] {
+			if i != j {
+				d.m[i][j] = inf
+			}
+		}
+	}
+	return d
+}
+
+// N returns the number of program variables (excluding the zero variable).
+func (d *DBM) N() int { return d.n }
+
+// Copy returns a deep copy.
+func (d *DBM) Copy() *DBM {
+	c := &DBM{n: d.n, m: make([][]int64, len(d.m))}
+	for i := range d.m {
+		c.m[i] = append([]int64(nil), d.m[i]...)
+	}
+	return c
+}
+
+// addSat is saturating addition: anything involving +∞ stays +∞.
+func addSat(a, b int64) int64 {
+	if a >= inf || b >= inf {
+		return inf
+	}
+	return a + b
+}
+
+// AddLE adds the constraint x_i − x_j ≤ c (indices may be 0 for the zero
+// variable, constraining a single variable).
+func (d *DBM) AddLE(i, j int, c int64) {
+	if c < d.m[i][j] {
+		d.m[i][j] = c
+	}
+}
+
+// SetUpper adds x_i ≤ c; SetLower adds x_i ≥ c.
+func (d *DBM) SetUpper(i int, c int64) { d.AddLE(i, 0, c) }
+func (d *DBM) SetLower(i int, c int64) { d.AddLE(0, i, -c) }
+
+// AssignConst replaces every constraint on x_i with x_i = c.
+func (d *DBM) AssignConst(i int, c int64) {
+	d.Havoc(i)
+	d.SetUpper(i, c)
+	d.SetLower(i, c)
+}
+
+// AssignVarPlusConst replaces x_i with x_j + c (the exact zone image of the
+// assignment x_i := x_j + c for i ≠ j). For i == j it shifts every
+// constraint mentioning x_i by c, which is the exact image of x_i := x_i+c.
+func (d *DBM) AssignVarPlusConst(i, j int, c int64) {
+	if i == j {
+		for k := 0; k <= d.n; k++ {
+			if k == i {
+				continue
+			}
+			if d.m[i][k] < inf {
+				d.m[i][k] = addSat(d.m[i][k], c)
+			}
+			if d.m[k][i] < inf {
+				d.m[k][i] = addSat(d.m[k][i], -c)
+			}
+		}
+		return
+	}
+	d.Havoc(i)
+	d.AddLE(i, j, c)
+	d.AddLE(j, i, -c)
+}
+
+// Havoc forgets everything about x_i (the sound image of a write with an
+// unknown value, and the building block of the cross-thread rely image:
+// interference by another thread's write is "havoc, then re-bound by that
+// write's global image interval"). Close first so facts between other
+// variables that were only implied through x_i survive the projection.
+func (d *DBM) Havoc(i int) {
+	d.Close()
+	for k := 0; k <= d.n; k++ {
+		if k != i {
+			d.m[i][k] = inf
+			d.m[k][i] = inf
+		}
+	}
+}
+
+// HavocRange havocs x_i and then re-bounds it to [lo, hi]: the sound
+// cross-thread rely image for a write whose stored values lie in that
+// interval.
+func (d *DBM) HavocRange(i int, lo, hi int64) {
+	d.Havoc(i)
+	d.SetUpper(i, hi)
+	d.SetLower(i, lo)
+}
+
+// Close runs Floyd–Warshall shortest paths, making every implied constraint
+// explicit. After closing, m[i][j] is the tightest derivable bound on
+// x_i − x_j, and a negative diagonal entry marks inconsistency.
+func (d *DBM) Close() {
+	n := len(d.m)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			ik := d.m[i][k]
+			if ik >= inf {
+				continue
+			}
+			row := d.m[i]
+			krow := d.m[k]
+			for j := 0; j < n; j++ {
+				if s := addSat(ik, krow[j]); s < row[j] {
+					row[j] = s
+				}
+			}
+		}
+	}
+}
+
+// Consistent reports whether the zone is non-empty. Call after Close.
+func (d *DBM) Consistent() bool {
+	for i := range d.m {
+		if d.m[i][i] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Join computes the least upper bound (pointwise max of closed matrices)
+// into d. Both operands should be closed for precision.
+func (d *DBM) Join(o *DBM) {
+	for i := range d.m {
+		for j := range d.m[i] {
+			if o.m[i][j] > d.m[i][j] {
+				d.m[i][j] = o.m[i][j]
+			}
+		}
+	}
+}
+
+// Meet computes the greatest lower bound (pointwise min) into d. Close
+// afterwards before querying.
+func (d *DBM) Meet(o *DBM) {
+	for i := range d.m {
+		for j := range d.m[i] {
+			if o.m[i][j] < d.m[i][j] {
+				d.m[i][j] = o.m[i][j]
+			}
+		}
+	}
+}
+
+// Widen applies threshold widening into d: a bound that grew since old
+// jumps to the smallest threshold at or above it (or +∞ past the largest).
+// The classic zone widening is the empty threshold set; the thresholds keep
+// assertion-relevant constants stable the way interval widening cannot.
+// Thresholds must be sorted ascending.
+func (d *DBM) Widen(old *DBM, thresholds []int64) {
+	for i := range d.m {
+		for j := range d.m[i] {
+			if d.m[i][j] <= old.m[i][j] {
+				continue // did not grow: keep
+			}
+			w := inf
+			for _, t := range thresholds {
+				if t >= d.m[i][j] {
+					w = t
+					break
+				}
+			}
+			d.m[i][j] = w
+		}
+	}
+}
+
+// Equal reports matrix equality (compare closed forms for semantic
+// equality).
+func (d *DBM) Equal(o *DBM) bool {
+	if d.n != o.n {
+		return false
+	}
+	for i := range d.m {
+		for j := range d.m[i] {
+			if d.m[i][j] != o.m[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Bounds projects x_i to an interval after Close. Unbounded directions map
+// to the given width's signed extremes.
+func (d *DBM) Bounds(i, width int) dataflow.Interval {
+	lo, hi := dataflow.MinSigned(width), dataflow.MaxSigned(width)
+	if d.m[i][0] < inf && d.m[i][0] < hi {
+		hi = d.m[i][0]
+	}
+	if d.m[0][i] < inf && -d.m[0][i] > lo {
+		lo = -d.m[0][i]
+	}
+	return dataflow.Interval{Lo: lo, Hi: hi}
+}
+
+// WithinWidth reports whether the closed zone confines x_i to the signed
+// range of the given bit width. Zone assignments shift bounds without
+// masking, so an exact image may only be trusted under the program's
+// wrap-around semantics when this holds.
+func (d *DBM) WithinWidth(i, width int) bool {
+	return d.m[i][0] < inf && d.m[i][0] <= dataflow.MaxSigned(width) &&
+		d.m[0][i] < inf && -d.m[0][i] >= dataflow.MinSigned(width)
+}
+
+// Entails reports whether the closed zone implies x_i − x_j ≤ c.
+func (d *DBM) Entails(i, j int, c int64) bool {
+	if !d.Consistent() {
+		return true // empty zone entails everything
+	}
+	return d.m[i][j] < inf && d.m[i][j] <= c
+}
+
+// String renders the finite constraints, for debugging and goldens.
+func (d *DBM) String() string {
+	var b strings.Builder
+	for i := range d.m {
+		for j := range d.m[i] {
+			if i == j || d.m[i][j] >= inf {
+				continue
+			}
+			fmt.Fprintf(&b, "x%d-x%d<=%d ", i, j, d.m[i][j])
+		}
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,454 @@
+package relational
+
+import (
+	"testing"
+
+	"zpre/internal/cprog"
+	"zpre/internal/dataflow"
+)
+
+// --- DBM domain ---
+
+func TestDBMCloseDerivesTransitiveBound(t *testing.T) {
+	d := NewDBM(2)
+	d.AddLE(1, 2, 3)  // x1 - x2 <= 3
+	d.SetUpper(2, 10) // x2 <= 10
+	d.Close()
+	if !d.Entails(1, 0, 13) {
+		t.Fatalf("want x1 <= 13 derivable, got %v", d)
+	}
+	if d.Entails(1, 0, 12) {
+		t.Fatalf("x1 <= 12 must not be derivable, got %v", d)
+	}
+}
+
+func TestDBMInconsistency(t *testing.T) {
+	d := NewDBM(1)
+	d.SetUpper(1, 0)
+	d.SetLower(1, 1)
+	d.Close()
+	if d.Consistent() {
+		t.Fatal("x1 <= 0 and x1 >= 1 should be inconsistent")
+	}
+}
+
+func TestDBMJoinIsHull(t *testing.T) {
+	a := NewDBM(1)
+	a.AssignConst(1, 2)
+	a.Close()
+	b := NewDBM(1)
+	b.AssignConst(1, 5)
+	b.Close()
+	a.Join(b)
+	iv := a.Bounds(1, 32)
+	if iv.Lo != 2 || iv.Hi != 5 {
+		t.Fatalf("join of {2} and {5} = %v, want [2,5]", iv)
+	}
+}
+
+func TestDBMMeetRefines(t *testing.T) {
+	a := NewDBM(1)
+	a.SetUpper(1, 10)
+	b := NewDBM(1)
+	b.SetLower(1, 4)
+	a.Meet(b)
+	a.Close()
+	iv := a.Bounds(1, 32)
+	if iv.Lo != 4 || iv.Hi != 10 {
+		t.Fatalf("meet = %v, want [4,10]", iv)
+	}
+}
+
+func TestDBMIncrementShiftsRelation(t *testing.T) {
+	// x1 = x2, then x1 := x1 + 3 must give x1 - x2 = 3.
+	d := NewDBM(2)
+	d.AddLE(1, 2, 0)
+	d.AddLE(2, 1, 0)
+	d.AssignVarPlusConst(1, 1, 3)
+	d.Close()
+	if !d.Entails(1, 2, 3) || !d.Entails(2, 1, -3) {
+		t.Fatalf("want x1-x2 == 3, got %v", d)
+	}
+}
+
+func TestDBMHavocKeepsUnrelatedFacts(t *testing.T) {
+	// x1 = x2 + 1, x2 = x3; havoc x2 must keep x1 - x3 <= 1 (implied fact
+	// survives because Havoc closes first).
+	d := NewDBM(3)
+	d.AddLE(1, 2, 1)
+	d.AddLE(2, 1, -1)
+	d.AddLE(2, 3, 0)
+	d.AddLE(3, 2, 0)
+	d.Havoc(2)
+	d.Close()
+	if !d.Entails(1, 3, 1) {
+		t.Fatalf("x1-x3 <= 1 lost across havoc of x2: %v", d)
+	}
+	if d.Entails(2, 0, 1<<40) && d.m[2][0] < inf {
+		t.Fatalf("x2 still bounded after havoc: %v", d)
+	}
+}
+
+func TestDBMHavocRange(t *testing.T) {
+	d := NewDBM(1)
+	d.AssignConst(1, 7)
+	d.HavocRange(1, 1, 5)
+	d.Close()
+	iv := d.Bounds(1, 32)
+	if iv.Lo != 1 || iv.Hi != 5 {
+		t.Fatalf("havoc-range = %v, want [1,5]", iv)
+	}
+}
+
+func TestDBMWidenThresholds(t *testing.T) {
+	old := NewDBM(1)
+	old.SetUpper(1, 2)
+	old.SetLower(1, 0)
+	grown := old.Copy()
+	grown.m[1][0] = 3 // upper bound grew 2 -> 3
+	grown.Widen(old, []int64{0, 5, 10})
+	if grown.m[1][0] != 5 {
+		t.Fatalf("widened upper = %d, want threshold 5", grown.m[1][0])
+	}
+	grown2 := old.Copy()
+	grown2.m[1][0] = 11 // beyond all thresholds
+	grown2.Widen(old, []int64{0, 5, 10})
+	if grown2.m[1][0] != inf {
+		t.Fatalf("widened upper = %d, want +inf", grown2.m[1][0])
+	}
+	// Stable bounds are kept as-is.
+	if grown2.m[0][1] != old.m[0][1] {
+		t.Fatal("stable lower bound must not widen")
+	}
+}
+
+func TestDBMWidenStabilizes(t *testing.T) {
+	// Repeated grow+widen must reach a fixpoint in bounded steps.
+	cur := NewDBM(1)
+	cur.SetUpper(1, 0)
+	cur.SetLower(1, 0)
+	th := []int64{0, 8}
+	for i := 0; i < 64; i++ {
+		next := cur.Copy()
+		next.m[1][0] = addSat(next.m[1][0], 1)
+		next.Widen(cur, th)
+		if next.Equal(cur) {
+			return
+		}
+		cur = next
+	}
+	t.Fatal("widening did not stabilize in 64 steps")
+}
+
+// --- closed-form bounds ---
+
+func incr(v string, k int64) cprog.Stmt {
+	return cprog.Set(v, cprog.Add(cprog.V(v), cprog.C(k)))
+}
+
+func prog(shared []cprog.SharedDecl, threads ...*cprog.Thread) *cprog.Program {
+	return &cprog.Program{Name: "t", Shared: shared, Threads: threads}
+}
+
+func TestExitRacyAccumulatorLowerBound(t *testing.T) {
+	// Two unprotected x = x+1: exit in [1,2] (>= 1 even with a lost
+	// update), global in [0,2]. This is the incr_race_weak shape.
+	p := prog([]cprog.SharedDecl{{Name: "x"}},
+		&cprog.Thread{Name: "a", Body: []cprog.Stmt{incr("x", 1)}},
+		&cprog.Thread{Name: "b", Body: []cprog.Stmt{incr("x", 1)}},
+	)
+	f := Analyze(p, 32)
+	if e := f.Exit("x"); e.Lo != 1 || e.Hi != 2 {
+		t.Fatalf("exit = %v, want [1,2]", e)
+	}
+	if g := f.Global("x"); g.Lo != 0 || g.Hi != 2 {
+		t.Fatalf("global = %v, want [0,2]", g)
+	}
+	if _, ok := f.ExitExact("x"); ok {
+		t.Fatal("racy exit must not be exact")
+	}
+}
+
+func TestExitLockedAccumulatorExact(t *testing.T) {
+	locked := func(k int64) []cprog.Stmt {
+		return []cprog.Stmt{cprog.Lock{Mutex: "m"}, incr("total", k), cprog.Unlock{Mutex: "m"}}
+	}
+	p := prog([]cprog.SharedDecl{{Name: "total"}, {Name: "m"}},
+		&cprog.Thread{Name: "a", Body: locked(1)},
+		&cprog.Thread{Name: "b", Body: locked(2)},
+		&cprog.Thread{Name: "c", Body: locked(3)},
+	)
+	f := Analyze(p, 32)
+	v, ok := f.ExitExact("total")
+	if !ok || v != 6 {
+		t.Fatalf("exit exact = %d,%v, want 6,true", v, ok)
+	}
+	if g := f.Global("total"); g.Lo != 0 || g.Hi != 6 {
+		t.Fatalf("global = %v, want [0,6]", g)
+	}
+	// The mutex itself: const writes 0/1 on init 0.
+	if g := f.Global("m"); g.Lo != 0 || g.Hi != 1 {
+		t.Fatalf("mutex global = %v, want [0,1]", g)
+	}
+}
+
+func TestExitAtomicAccumulatorExact(t *testing.T) {
+	at := func(body ...cprog.Stmt) []cprog.Stmt {
+		return []cprog.Stmt{cprog.Atomic{Body: body}}
+	}
+	p := prog([]cprog.SharedDecl{{Name: "a", Init: 4}, {Name: "b"}},
+		&cprog.Thread{Name: "t1", Body: at(cprog.Set("a", cprog.Sub(cprog.V("a"), cprog.C(1))), incr("b", 1))},
+		&cprog.Thread{Name: "t2", Body: at(cprog.Set("a", cprog.Sub(cprog.V("a"), cprog.C(1))), incr("b", 1))},
+	)
+	f := Analyze(p, 32)
+	if v, ok := f.ExitExact("a"); !ok || v != 2 {
+		t.Fatalf("a exit = %d,%v, want 2,true", v, ok)
+	}
+	if v, ok := f.ExitExact("b"); !ok || v != 2 {
+		t.Fatalf("b exit = %d,%v, want 2,true", v, ok)
+	}
+}
+
+func TestMixedAtomicAndLockedNotExact(t *testing.T) {
+	// One atomic RMW + one lock-protected RMW on the same var do NOT
+	// serialise: the atomic block can land between the locked read and
+	// write. The exit must keep the racy lower bound, not the exact sum.
+	p := prog([]cprog.SharedDecl{{Name: "x"}, {Name: "m"}},
+		&cprog.Thread{Name: "a", Body: []cprog.Stmt{cprog.Atomic{Body: []cprog.Stmt{incr("x", 1)}}}},
+		&cprog.Thread{Name: "b", Body: []cprog.Stmt{cprog.Lock{Mutex: "m"}, incr("x", 1), cprog.Unlock{Mutex: "m"}}},
+	)
+	f := Analyze(p, 32)
+	if _, ok := f.ExitExact("x"); ok {
+		t.Fatal("mixed protection must not be exact")
+	}
+	if e := f.Exit("x"); e.Lo != 1 || e.Hi != 2 {
+		t.Fatalf("exit = %v, want racy [1,2]", e)
+	}
+}
+
+func TestConditionalContributionWidensExit(t *testing.T) {
+	p := prog([]cprog.SharedDecl{{Name: "x"}},
+		&cprog.Thread{Name: "a", Body: []cprog.Stmt{incr("x", 1)}},
+		&cprog.Thread{Name: "b", Body: []cprog.Stmt{
+			cprog.If{Cond: cprog.Eq(cprog.V("x"), cprog.C(1)), Then: []cprog.Stmt{incr("x", 5)}},
+		}},
+	)
+	f := Analyze(p, 32)
+	// Last-write candidates: the +1 (others' subset {0,5}) or the +5
+	// (others' subset {0,1}): exit in [1, 6]; global [0,6].
+	if e := f.Exit("x"); e.Lo != 1 || e.Hi != 6 {
+		t.Fatalf("exit = %v, want [1,6]", e)
+	}
+	if g := f.Global("x"); g.Lo != 0 || g.Hi != 6 {
+		t.Fatalf("global = %v, want [0,6]", g)
+	}
+}
+
+func TestNegativeContribution(t *testing.T) {
+	p := prog([]cprog.SharedDecl{{Name: "x", Init: 10}},
+		&cprog.Thread{Name: "a", Body: []cprog.Stmt{incr("x", -3)}},
+		&cprog.Thread{Name: "b", Body: []cprog.Stmt{incr("x", 2)}},
+	)
+	f := Analyze(p, 32)
+	if g := f.Global("x"); g.Lo != 7 || g.Hi != 12 {
+		t.Fatalf("global = %v, want [7,12]", g)
+	}
+	// Final write is -3 (read saw init or init+2) or +2 (read saw init or
+	// init-3): [10-3+0, 10+2+0] = [7, 12].
+	if e := f.Exit("x"); e.Lo != 7 || e.Hi != 12 {
+		t.Fatalf("exit = %v, want [7,12]", e)
+	}
+}
+
+func TestLocalConstContribution(t *testing.T) {
+	// parsum shape: each thread adds a local constant.
+	p := prog([]cprog.SharedDecl{{Name: "total"}, {Name: "m"}},
+		&cprog.Thread{Name: "a", Body: []cprog.Stmt{
+			cprog.Local{Name: "part", Init: cprog.C(1)},
+			cprog.Lock{Mutex: "m"},
+			cprog.Set("total", cprog.Add(cprog.V("total"), cprog.V("part"))),
+			cprog.Unlock{Mutex: "m"},
+		}},
+		&cprog.Thread{Name: "b", Body: []cprog.Stmt{
+			cprog.Local{Name: "part", Init: cprog.C(2)},
+			cprog.Lock{Mutex: "m"},
+			cprog.Set("total", cprog.Add(cprog.V("total"), cprog.V("part"))),
+			cprog.Unlock{Mutex: "m"},
+		}},
+	)
+	f := Analyze(p, 32)
+	if v, ok := f.ExitExact("total"); !ok || v != 3 {
+		t.Fatalf("exit exact = %d,%v, want 3,true", v, ok)
+	}
+}
+
+func TestReassignedLocalNotConst(t *testing.T) {
+	p := prog([]cprog.SharedDecl{{Name: "x"}},
+		&cprog.Thread{Name: "a", Body: []cprog.Stmt{
+			cprog.Local{Name: "k", Init: cprog.C(1)},
+			cprog.Set("k", cprog.V("x")), // k no longer constant
+			cprog.Set("x", cprog.Add(cprog.V("x"), cprog.V("k"))),
+		}},
+	)
+	f := Analyze(p, 32)
+	// The write cannot be classified; must fall back to interval facts,
+	// i.e. no exact exit and whatever dataflow says for global.
+	if _, ok := f.ExitExact("x"); ok {
+		t.Fatal("unclassifiable write must not give exact exit")
+	}
+}
+
+func TestOrAccumulator(t *testing.T) {
+	locked := func(bit int64) []cprog.Stmt {
+		return []cprog.Stmt{
+			cprog.Lock{Mutex: "m"},
+			cprog.Set("reg", cprog.BinOp{Op: cprog.OpBitOr, L: cprog.V("reg"), R: cprog.C(bit)}),
+			cprog.Unlock{Mutex: "m"},
+		}
+	}
+	p := prog([]cprog.SharedDecl{{Name: "reg"}, {Name: "m"}},
+		&cprog.Thread{Name: "a", Body: locked(1)},
+		&cprog.Thread{Name: "b", Body: locked(2)},
+	)
+	f := Analyze(p, 32)
+	if v, ok := f.ExitExact("reg"); !ok || v != 3 {
+		t.Fatalf("exit exact = %d,%v, want 3,true", v, ok)
+	}
+	if g := f.Global("reg"); g.Lo != 0 || g.Hi != 3 {
+		t.Fatalf("global = %v, want [0,3]", g)
+	}
+}
+
+func TestConstWritesHull(t *testing.T) {
+	p := prog([]cprog.SharedDecl{{Name: "flag", Init: 9}},
+		&cprog.Thread{Name: "a", Body: []cprog.Stmt{cprog.Set("flag", cprog.C(1))}},
+		&cprog.Thread{Name: "b", Body: []cprog.Stmt{cprog.Set("flag", cprog.C(3))}},
+	)
+	f := Analyze(p, 32)
+	// Both writes unconditional: final is one of {1,3}; init 9 excluded.
+	if e := f.Exit("flag"); e.Lo != 1 || e.Hi != 3 {
+		t.Fatalf("exit = %v, want [1,3]", e)
+	}
+	if g := f.Global("flag"); g.Lo != 1 || g.Hi != 9 {
+		t.Fatalf("global = %v, want [1,9]", g)
+	}
+}
+
+func TestLoopAccumulatorFallsBack(t *testing.T) {
+	p := prog([]cprog.SharedDecl{{Name: "x"}},
+		&cprog.Thread{Name: "a", Body: []cprog.Stmt{
+			cprog.While{Cond: cprog.Lt(cprog.V("x"), cprog.C(5)), Body: []cprog.Stmt{incr("x", 1)}},
+		}},
+	)
+	f := Analyze(p, 32)
+	if _, ok := f.ExitExact("x"); ok {
+		t.Fatal("loop accumulator must not be exact")
+	}
+	// Fallback must agree with the plain interval analysis.
+	want := dataflow.Analyze(p, 32).Range("x")
+	if got := f.Global("x"); got != want {
+		t.Fatalf("global fallback = %v, want dataflow range %v", got, want)
+	}
+}
+
+func TestHavocFallsBack(t *testing.T) {
+	p := prog([]cprog.SharedDecl{{Name: "x"}},
+		&cprog.Thread{Name: "a", Body: []cprog.Stmt{cprog.Havoc{Name: "x"}, incr("x", 1)}},
+	)
+	f := Analyze(p, 32)
+	if _, ok := f.ExitExact("x"); ok {
+		t.Fatal("havoced variable must not be exact")
+	}
+}
+
+func TestUnlockInBranchInvalidatesHeld(t *testing.T) {
+	// Unlock inside a branch: the write after the If must not count as
+	// lock-protected, so the exit is racy, not the exact sum.
+	body := func() []cprog.Stmt {
+		return []cprog.Stmt{
+			cprog.Lock{Mutex: "m"},
+			cprog.If{Cond: cprog.Eq(cprog.V("x"), cprog.C(0)), Then: []cprog.Stmt{cprog.Unlock{Mutex: "m"}}},
+			incr("x", 1),
+		}
+	}
+	p := prog([]cprog.SharedDecl{{Name: "x"}, {Name: "m"}},
+		&cprog.Thread{Name: "a", Body: body()},
+		&cprog.Thread{Name: "b", Body: body()},
+	)
+	f := Analyze(p, 32)
+	if _, ok := f.ExitExact("x"); ok {
+		t.Fatal("write after conditional unlock must not be serialized")
+	}
+}
+
+func TestPairedAtomicDiff(t *testing.T) {
+	// Each thread conditionally runs atomic { x+=1; y+=1 }: x−y == 0 is
+	// invariant even though neither exit is exact.
+	body := func() []cprog.Stmt {
+		return []cprog.Stmt{
+			cprog.If{Cond: cprog.Eq(cprog.V("x"), cprog.V("x")), Then: []cprog.Stmt{
+				cprog.Atomic{Body: []cprog.Stmt{incr("x", 1), incr("y", 1)}},
+			}},
+		}
+	}
+	p := prog([]cprog.SharedDecl{{Name: "x"}, {Name: "y", Init: 0}},
+		&cprog.Thread{Name: "a", Body: body()},
+		&cprog.Thread{Name: "b", Body: body()},
+	)
+	f := Analyze(p, 32)
+	diffs := f.Diffs()
+	if len(diffs) != 1 || diffs[0].A != "x" || diffs[0].B != "y" || diffs[0].Diff != 0 {
+		t.Fatalf("diffs = %v, want [{x y 0}]", diffs)
+	}
+	if _, ok := f.ExitExact("x"); ok {
+		t.Fatal("conditional contribution must not be exact")
+	}
+}
+
+func TestInnerConditionalBreaksDiff(t *testing.T) {
+	// The write to y is conditional INSIDE the atomic block: x can move
+	// without y, so no difference invariant.
+	body := []cprog.Stmt{
+		cprog.Atomic{Body: []cprog.Stmt{
+			incr("x", 1),
+			cprog.If{Cond: cprog.Eq(cprog.V("x"), cprog.C(1)), Then: []cprog.Stmt{incr("y", 1)}},
+		}},
+	}
+	p := prog([]cprog.SharedDecl{{Name: "x"}, {Name: "y"}},
+		&cprog.Thread{Name: "a", Body: body},
+	)
+	if diffs := Analyze(p, 32).Diffs(); len(diffs) != 0 {
+		t.Fatalf("diffs = %v, want none", diffs)
+	}
+}
+
+func TestUnequalContributionsNoDiff(t *testing.T) {
+	p := prog([]cprog.SharedDecl{{Name: "x"}, {Name: "y"}},
+		&cprog.Thread{Name: "a", Body: []cprog.Stmt{
+			cprog.Atomic{Body: []cprog.Stmt{incr("x", 1), incr("y", 2)}},
+		}},
+	)
+	if diffs := Analyze(p, 32).Diffs(); len(diffs) != 0 {
+		t.Fatalf("diffs = %v, want none", diffs)
+	}
+}
+
+func TestNilFactsAreTop(t *testing.T) {
+	var f *Facts
+	if g := f.Global("x"); !g.IsTop(32) {
+		t.Fatalf("nil facts global = %v, want top", g)
+	}
+	if _, ok := f.ExitExact("x"); ok {
+		t.Fatal("nil facts must not be exact")
+	}
+}
+
+func TestNoWritesIsInit(t *testing.T) {
+	p := prog([]cprog.SharedDecl{{Name: "c", Init: 42}},
+		&cprog.Thread{Name: "a", Body: []cprog.Stmt{cprog.Assert{Cond: cprog.Eq(cprog.V("c"), cprog.C(42))}}},
+	)
+	f := Analyze(p, 32)
+	if v, ok := f.ExitExact("c"); !ok || v != 42 {
+		t.Fatalf("exit exact = %d,%v, want 42,true", v, ok)
+	}
+}

@@ -1,0 +1,426 @@
+package rg
+
+import (
+	"zpre/internal/cprog"
+	"zpre/internal/dataflow"
+	"zpre/internal/relational"
+)
+
+// Domain names for Options.Domain.
+const (
+	// DomainInterval is the default disjunctive interval domain.
+	DomainInterval = "interval"
+	// DomainDBM augments the interval walk with the relational layer: the
+	// closed-form exit/global bounds of internal/relational cap write images
+	// and refine the post-block pre-state, and the post walk carries a
+	// difference-bound zone that discharges relational assertions
+	// (x − y ≤ c) the per-variable intervals lose.
+	DomainDBM = "dbm"
+)
+
+// meetExits refines the post pre-state with the relational exit bounds:
+// every terminating execution ends with each shared variable inside its
+// closed-form exit interval, so the meet is sound; an empty meet marks the
+// environment as unreachable at the join (mirroring meetProduct).
+func (e *engine) meetExits(S stateSet) stateSet {
+	out := make(stateSet, 0, len(S))
+	for _, en := range S {
+		empty := false
+		for v := 0; v < e.pi.nShared; v++ {
+			m := dataflow.Meet(en.vals[v], e.rel.Exit(e.pi.shared[v]))
+			if m.IsEmpty() {
+				empty = true
+				break
+			}
+			en.vals[v] = m
+		}
+		if !empty {
+			out = append(out, en)
+		}
+	}
+	return normalize(out, e.cap)
+}
+
+// buildPostZone seeds a difference-bound zone over the post scope: interval
+// bounds from the (already exit-refined) state hull, plus the exact
+// difference invariants of atomically paired accumulators. Zone variable
+// i+1 is scope variable i; index 0 is the zero variable.
+func (e *engine) buildPostZone(S stateSet) *relational.DBM {
+	if len(S) == 0 {
+		return nil
+	}
+	z := relational.NewDBM(e.postScope.nVars)
+	for v := 0; v < e.postScope.nVars; v++ {
+		h := hullOf(S, v)
+		if h.IsEmpty() || h.IsTop(e.pi.width) {
+			continue
+		}
+		z.SetUpper(v+1, h.Hi)
+		z.SetLower(v+1, h.Lo)
+	}
+	for _, d := range e.rel.Diffs() {
+		i, iok := e.postScope.idx[d.A]
+		j, jok := e.postScope.idx[d.B]
+		if !iok || !jok {
+			continue
+		}
+		z.AddLE(i+1, j+1, d.Diff)
+		z.AddLE(j+1, i+1, -d.Diff)
+	}
+	z.Close()
+	return z
+}
+
+// zoneAssign updates the post-walk zone for an assignment v := rhs. The
+// x := y + c forms keep their relational precision; everything else havocs
+// the target and re-bounds it by the interval hull the walk just computed
+// (S carries the post-assignment values). A nil rhs is a zero initialiser.
+func (w *walker) zoneAssign(v int, rhs cprog.Expr, S stateSet) {
+	z := w.zone
+	if z == nil {
+		return
+	}
+	i := v + 1
+	width := w.eng.pi.width
+	if j, c, ok := w.varPlusConst(rhs); ok {
+		z.AssignVarPlusConst(i, j+1, c)
+		// Wrap-around guard: the zone shifts bounds without masking, so an
+		// increment that can overflow the width must degrade to the interval
+		// image (which already went to Top on overflow).
+		z.Close()
+		if z.WithinWidth(i, width) {
+			return
+		}
+	}
+	z.Havoc(i)
+	h := hullOf(S, v)
+	if !h.IsEmpty() && !h.IsTop(width) {
+		z.SetUpper(i, h.Hi)
+		z.SetLower(i, h.Lo)
+	}
+}
+
+// varPlusConst matches rhs against x_j + c (covering Const-only as the
+// pseudo-variable 0, Ref, Ref ± Const, Const + Ref).
+func (w *walker) varPlusConst(rhs cprog.Expr) (j int, c int64, ok bool) {
+	switch x := rhs.(type) {
+	case nil:
+		return -1, 0, true // zero initialiser: x_0 + 0
+	case cprog.Const:
+		return -1, x.Value, true
+	case cprog.Ref:
+		if i, found := w.sc.idx[x.Name]; found {
+			return i, 0, true
+		}
+	case cprog.BinOp:
+		l, lIsRef := x.L.(cprog.Ref)
+		rc, rIsConst := x.R.(cprog.Const)
+		lc, lIsConst := x.L.(cprog.Const)
+		r, rIsRef := x.R.(cprog.Ref)
+		switch x.Op {
+		case cprog.OpAdd:
+			if lIsRef && rIsConst {
+				if i, found := w.sc.idx[l.Name]; found {
+					return i, rc.Value, true
+				}
+			}
+			if lIsConst && rIsRef {
+				if i, found := w.sc.idx[r.Name]; found {
+					return i, lc.Value, true
+				}
+			}
+		case cprog.OpSub:
+			if lIsRef && rIsConst {
+				if i, found := w.sc.idx[l.Name]; found {
+					return i, -rc.Value, true
+				}
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// zoneHavocWritten havocs every variable the statement list may write and
+// re-bounds it by the current state hull — the sound join after a branch or
+// loop whose per-path zone updates were not tracked.
+func (w *walker) zoneHavocWritten(stmts []cprog.Stmt, S stateSet) {
+	if w.zone == nil {
+		return
+	}
+	written := map[int]bool{}
+	scanScopeWrites(stmts, w.sc, written)
+	width := w.eng.pi.width
+	for v := 0; v < w.sc.nVars; v++ {
+		if !written[v] {
+			continue
+		}
+		w.zone.Havoc(v + 1)
+		if len(S) == 0 {
+			continue
+		}
+		h := hullOf(S, v)
+		if !h.IsEmpty() && !h.IsTop(width) {
+			w.zone.SetUpper(v+1, h.Hi)
+			w.zone.SetLower(v+1, h.Lo)
+		}
+	}
+}
+
+func scanScopeWrites(stmts []cprog.Stmt, sc *scope, out map[int]bool) {
+	mark := func(name string) {
+		if v, ok := sc.idx[name]; ok {
+			out[v] = true
+		}
+	}
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case cprog.Assign:
+			mark(st.Lhs)
+		case cprog.Local:
+			mark(st.Name)
+		case cprog.Havoc:
+			mark(st.Name)
+		case cprog.Lock:
+			mark(st.Mutex)
+		case cprog.Unlock:
+			mark(st.Mutex)
+		case cprog.If:
+			scanScopeWrites(st.Then, sc, out)
+			scanScopeWrites(st.Else, sc, out)
+		case cprog.While:
+			scanScopeWrites(st.Body, sc, out)
+		case cprog.Atomic:
+			scanScopeWrites(st.Body, sc, out)
+		}
+	}
+}
+
+// lin is a normalised linear term x_i − x_j + c over zone indices (0 is the
+// zero variable, so pure constants are {0, 0, c}).
+type lin struct {
+	i, j int
+	c    int64
+}
+
+// linOf normalises an expression to a lin, or fails for non-zone shapes.
+func (w *walker) linOf(e cprog.Expr) (lin, bool) {
+	switch x := e.(type) {
+	case cprog.Const:
+		return lin{0, 0, x.Value}, true
+	case cprog.Ref:
+		if i, ok := w.sc.idx[x.Name]; ok {
+			return lin{i + 1, 0, 0}, true
+		}
+	case cprog.UnOp:
+		if x.Op == cprog.OpNeg {
+			if l, ok := w.linOf(x.X); ok {
+				return lin{l.j, l.i, -l.c}, true
+			}
+		}
+	case cprog.BinOp:
+		l, lok := w.linOf(x.L)
+		r, rok := w.linOf(x.R)
+		if !lok || !rok {
+			return lin{}, false
+		}
+		switch x.Op {
+		case cprog.OpAdd:
+			return combine(l, lin{r.i, r.j, r.c})
+		case cprog.OpSub:
+			return combine(l, lin{r.j, r.i, -r.c})
+		}
+	}
+	return lin{}, false
+}
+
+// combine adds two lins, cancelling matched variables; fails when the sum
+// needs more than one positive and one negative variable.
+func combine(a, b lin) (lin, bool) {
+	pos := []int{}
+	neg := []int{}
+	for _, i := range []int{a.i, b.i} {
+		if i != 0 {
+			pos = append(pos, i)
+		}
+	}
+	for _, j := range []int{a.j, b.j} {
+		if j != 0 {
+			neg = append(neg, j)
+		}
+	}
+	// Cancel equal variables across the signs.
+	for pi := 0; pi < len(pos); pi++ {
+		for ni := 0; ni < len(neg); ni++ {
+			if pos[pi] == neg[ni] {
+				pos = append(pos[:pi], pos[pi+1:]...)
+				neg = append(neg[:ni], neg[ni+1:]...)
+				pi--
+				break
+			}
+		}
+	}
+	if len(pos) > 1 || len(neg) > 1 {
+		return lin{}, false
+	}
+	out := lin{0, 0, a.c + b.c}
+	if len(pos) == 1 {
+		out.i = pos[0]
+	}
+	if len(neg) == 1 {
+		out.j = neg[0]
+	}
+	return out, true
+}
+
+// zoneProves reports whether the zone entails the condition for every state
+// it represents. Conjunctions recurse; comparison atoms normalise to
+// difference bounds. A nil zone proves nothing.
+func (w *walker) zoneProves(cond cprog.Expr) bool {
+	z := w.zone
+	if z == nil {
+		return false
+	}
+	z.Close() // havoc/rebound updates leave implied constraints un-derived
+	switch x := cond.(type) {
+	case cprog.UnOp:
+		if x.Op == cprog.OpLNot {
+			return w.zoneRefutes(x.X)
+		}
+	case cprog.BinOp:
+		switch x.Op {
+		case cprog.OpLAnd:
+			return w.zoneProves(x.L) && w.zoneProves(x.R)
+		case cprog.OpLOr:
+			return w.zoneProves(x.L) || w.zoneProves(x.R)
+		case cprog.OpEq, cprog.OpNe, cprog.OpLt, cprog.OpLe, cprog.OpGt, cprog.OpGe:
+			l, lok := w.linOf(x.L)
+			r, rok := w.linOf(x.R)
+			if !lok || !rok {
+				return false
+			}
+			d, ok := combine(l, lin{r.j, r.i, -r.c}) // l − r
+			if !ok {
+				return false
+			}
+			// d = x_i − x_j + c; "d ≤ 0" is Entails(i, j, −c).
+			le := func(m lin, slack int64) bool {
+				if m.i == 0 && m.j == 0 {
+					return m.c <= slack
+				}
+				return z.Entails(m.i, m.j, slack-m.c)
+			}
+			dn := lin{d.j, d.i, -d.c} // r − l
+			switch x.Op {
+			case cprog.OpLe:
+				return le(d, 0)
+			case cprog.OpLt:
+				return le(d, -1)
+			case cprog.OpGe:
+				return le(dn, 0)
+			case cprog.OpGt:
+				return le(dn, -1)
+			case cprog.OpEq:
+				return le(d, 0) && le(dn, 0)
+			case cprog.OpNe:
+				return le(d, -1) || le(dn, -1)
+			}
+		}
+	}
+	return false
+}
+
+// zoneRefutes reports whether the zone entails the NEGATION of cond (used
+// for !cond assertions).
+func (w *walker) zoneRefutes(cond cprog.Expr) bool {
+	if x, ok := cond.(cprog.BinOp); ok {
+		var neg cprog.Op
+		switch x.Op {
+		case cprog.OpEq:
+			neg = cprog.OpNe
+		case cprog.OpNe:
+			neg = cprog.OpEq
+		case cprog.OpLt:
+			neg = cprog.OpGe
+		case cprog.OpLe:
+			neg = cprog.OpGt
+		case cprog.OpGt:
+			neg = cprog.OpLe
+		case cprog.OpGe:
+			neg = cprog.OpLt
+		default:
+			return false
+		}
+		return w.zoneProves(cprog.BinOp{Op: neg, L: x.L, R: x.R})
+	}
+	return false
+}
+
+// --- prefilter ---
+
+// assertsExpressible reports whether every assertion in the program is
+// built from comparisons and logical connectives over linear operands
+// (variables, constants, +, −, negation, and multiplication by a constant).
+// Anything else the interval and zone domains evaluate too imprecisely to
+// ever discharge, so a proof attempt is pointless.
+func assertsExpressible(p *cprog.Program) bool {
+	ok := true
+	var walk func(body []cprog.Stmt)
+	walk = func(body []cprog.Stmt) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case cprog.Assert:
+				if !condExpressible(st.Cond) {
+					ok = false
+				}
+			case cprog.If:
+				walk(st.Then)
+				walk(st.Else)
+			case cprog.While:
+				walk(st.Body)
+			case cprog.Atomic:
+				walk(st.Body)
+			}
+		}
+	}
+	for _, t := range p.Threads {
+		walk(t.Body)
+	}
+	walk(p.Post)
+	return ok
+}
+
+func condExpressible(e cprog.Expr) bool {
+	switch x := e.(type) {
+	case cprog.Const, cprog.Ref:
+		return true
+	case cprog.UnOp:
+		return x.Op == cprog.OpLNot && condExpressible(x.X)
+	case cprog.BinOp:
+		switch x.Op {
+		case cprog.OpLAnd, cprog.OpLOr:
+			return condExpressible(x.L) && condExpressible(x.R)
+		case cprog.OpEq, cprog.OpNe, cprog.OpLt, cprog.OpLe, cprog.OpGt, cprog.OpGe:
+			return exprLinear(x.L) && exprLinear(x.R)
+		}
+	}
+	return false
+}
+
+func exprLinear(e cprog.Expr) bool {
+	switch x := e.(type) {
+	case cprog.Const, cprog.Ref:
+		return true
+	case cprog.UnOp:
+		return x.Op == cprog.OpNeg && exprLinear(x.X)
+	case cprog.BinOp:
+		switch x.Op {
+		case cprog.OpAdd, cprog.OpSub:
+			return exprLinear(x.L) && exprLinear(x.R)
+		case cprog.OpMul:
+			_, lc := x.L.(cprog.Const)
+			_, rc := x.R.(cprog.Const)
+			return (lc || rc) && exprLinear(x.L) && exprLinear(x.R)
+		}
+	}
+	return false
+}

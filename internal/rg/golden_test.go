@@ -22,23 +22,35 @@ var updateGolden = flag.Bool("update", false, "rewrite golden proof-outline file
 // deterministic: two independent Prove calls must render identically.
 func TestGoldenOutline(t *testing.T) {
 	cases := []struct {
-		bench string
-		model memmodel.Model
+		bench  string
+		model  memmodel.Model
+		domain string
 	}{
 		// Proved at every model: a fenced message-passing publish idiom.
-		{"atomic/pair_publish_safe", memmodel.SC},
-		{"atomic/pair_publish_safe", memmodel.PSO},
+		{"atomic/pair_publish_safe", memmodel.SC, ""},
+		{"atomic/pair_publish_safe", memmodel.PSO, ""},
 		// Model-sensitive: proved under SC, unproven under PSO, so the
 		// golden files pin both verdict renderings and the stabilized
 		// ranges that -rg would inject on the unproven side.
-		{"divine/handshake_safe", memmodel.SC},
-		{"divine/handshake_safe", memmodel.PSO},
+		{"divine/handshake_safe", memmodel.SC, ""},
+		{"divine/handshake_safe", memmodel.PSO, ""},
+		// The difference-bound domain's flagship regression: the weak-memory
+		// increment race that the interval domain cannot prove because the
+		// per-thread contributions only bound the sum relationally. Pinned
+		// at every model so a zone-domain regression cannot hide behind a
+		// model-specific transfer function.
+		{"pthread/incr_race_weak_safe", memmodel.SC, DomainDBM},
+		{"pthread/incr_race_weak_safe", memmodel.TSO, DomainDBM},
+		{"pthread/incr_race_weak_safe", memmodel.PSO, DomainDBM},
 	}
 	for _, tc := range cases {
 		name := strings.ReplaceAll(tc.bench, "/", "_") + "@" + tc.model.String()
+		if tc.domain != "" {
+			name += "@" + tc.domain
+		}
 		t.Run(name, func(t *testing.T) {
 			p := findBench(t, tc.bench)
-			res, err := Prove(p, Options{Model: tc.model})
+			res, err := Prove(p, Options{Model: tc.model, Domain: tc.domain})
 			if err != nil {
 				t.Fatalf("Prove: %v", err)
 			}
@@ -47,7 +59,7 @@ func TestGoldenOutline(t *testing.T) {
 				got += "stabilized ranges: " + RangesSummary(res) + "\n"
 			}
 
-			res2, err := Prove(p, Options{Model: tc.model})
+			res2, err := Prove(p, Options{Model: tc.model, Domain: tc.domain})
 			if err != nil {
 				t.Fatalf("Prove (second run): %v", err)
 			}

@@ -22,6 +22,7 @@ import (
 	"zpre/internal/cprog"
 	"zpre/internal/dataflow"
 	"zpre/internal/memmodel"
+	"zpre/internal/relational"
 )
 
 // Options configures a proof attempt.
@@ -37,6 +38,18 @@ type Options struct {
 	// Budget caps total rely-transition applications (default 3e6); an
 	// exhausted budget bails out unproved.
 	Budget int
+	// Domain selects the abstract domain: DomainInterval (default) or
+	// DomainDBM, which layers the relational closed-form exit bounds and
+	// difference invariants of internal/relational on top of the interval
+	// walk.
+	Domain string
+	// Prefilter skips proof attempts that cannot possibly succeed: programs
+	// with assertions outside the domain's linear fragment return
+	// immediately, and an assertion already refuted against the strongest
+	// (round-1, interference-free) states aborts before the expensive
+	// stabilization rounds. Never flips a verdict — a skipped attempt
+	// reports unproved, exactly what the full run would have concluded.
+	Prefilter bool
 }
 
 func (o Options) withDefaults() Options {
@@ -51,6 +64,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Budget == 0 {
 		o.Budget = 3_000_000
+	}
+	if o.Domain == "" {
+		o.Domain = DomainInterval
 	}
 	return o
 }
@@ -70,6 +86,9 @@ type Result struct {
 	// StabilizeIters is the number of outer interference-stabilization
 	// rounds until the fixpoint (or the bail-out round).
 	StabilizeIters int
+	// SkippedPrefilter: the prefilter aborted the attempt early (see
+	// Options.Prefilter). Implies !Proved and nil Ranges.
+	SkippedPrefilter bool
 	// Ranges maps each shared variable to a sound value range covering its
 	// initial value and every write image under the model — valid for every
 	// read event at every unroll bound. Nil when Bailed.
@@ -89,6 +108,7 @@ type engine struct {
 	widenRnd  int
 	budget    int
 	bailed    bool
+	rel       *relational.Facts // non-nil in the dbm domain
 
 	scopes    []*scope
 	postScope *scope
@@ -127,6 +147,11 @@ func Prove(p *cprog.Program, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("rg: %w", err)
 	}
 	opts = opts.withDefaults()
+	if opts.Prefilter && !assertsExpressible(p) {
+		// No domain run can discharge a non-linear assertion; skip the
+		// rounds entirely and report the unproved outcome they would reach.
+		return &Result{SkippedPrefilter: true}, nil
+	}
 	eng := &engine{
 		pi:        buildProgInfo(p, opts.Width),
 		prog:      p,
@@ -146,6 +171,9 @@ func Prove(p *cprog.Program, opts Options) (*Result, error) {
 	eng.postScope = buildScope(eng.pi, "post", -1, p.Post)
 	eng.scOrder = append(eng.scOrder, "post")
 	eng.detectSpans()
+	if opts.Domain == DomainDBM {
+		eng.rel = relational.Analyze(p, opts.Width)
+	}
 
 	nT := len(p.Threads)
 	prevTrans := make([][]*transition, nT)
@@ -169,6 +197,27 @@ func Prove(p *cprog.Program, opts Options) (*Result, error) {
 			widenTransitions(prevTrans, newTrans, eng)
 		}
 		stable := transSetsEqual(prevTrans, newTrans)
+		if opts.Prefilter && round == 1 && !stable {
+			// Speculative check against the strongest (round-1,
+			// interference-free) states: fixpoint rounds only grow the state
+			// sets, so an assertion refuted here stays refuted at the
+			// fixpoint and the remaining rounds are pure waste. A pass says
+			// nothing (wider states may still fail), so only a definite
+			// failure aborts.
+			eng.checkPost(exits, make([][]*transition, nT))
+			for _, k := range eng.assertOrder {
+				if !eng.asserts[k] {
+					res.Unproved = append(res.Unproved, k)
+				}
+			}
+			if len(res.Unproved) > 0 && !eng.bailed {
+				sort.Strings(res.Unproved)
+				res.SkippedPrefilter = true
+				res.Asserts = len(eng.assertOrder)
+				return res, nil
+			}
+			res.Unproved = nil
+		}
 		prevTrans = newTrans
 		eng.prevRange = eng.curRange
 		if !stable {
@@ -192,7 +241,13 @@ func Prove(p *cprog.Program, opts Options) (*Result, error) {
 		res.Proved = len(res.Unproved) == 0
 		res.Ranges = make(map[string]dataflow.Interval, eng.pi.nShared)
 		for v, name := range eng.pi.shared {
-			res.Ranges[name] = eng.curRange[v]
+			r := eng.curRange[v]
+			if eng.rel != nil {
+				if m := dataflow.Meet(r, eng.rel.Global(name)); !m.IsEmpty() {
+					r = m
+				}
+			}
+			res.Ranges[name] = r
 		}
 		res.outline = eng.buildOutline(prevTrans, res)
 		return res, nil
@@ -288,9 +343,15 @@ func (e *engine) checkPost(exits []stateSet, trans [][]*transition) {
 			}
 			S = meetProduct(S, closed, e.cap)
 		}
+		if e.rel != nil {
+			S = e.meetExits(S)
+		}
 		S = extendToScope(S, e.pi, e.postScope)
 	}
 	w := e.newWalker(e.postScope, nil, false)
+	if e.rel != nil {
+		w.zone = e.buildPostZone(S)
+	}
 	w.walkStmts(e.postScope.body, S, "post")
 }
 

@@ -7,6 +7,7 @@ import (
 	"zpre/internal/cprog"
 	"zpre/internal/dataflow"
 	"zpre/internal/memmodel"
+	"zpre/internal/relational"
 )
 
 // guardEnt constrains the memory value of a shared variable at the instant a
@@ -67,6 +68,10 @@ type walker struct {
 	compDep  int
 	atomDep  int
 	coll     *collector
+	// zone tracks relational facts through the post-block walk in the dbm
+	// domain (nil otherwise): it holds difference bounds like x − y ≤ c
+	// that survive where the per-variable intervals above lose them.
+	zone *relational.DBM
 }
 
 func heldAdd(held []string, m string) []string {
@@ -462,6 +467,7 @@ func (w *walker) execStmt(s cprog.Stmt, S stateSet, p string) stateSet {
 				e.vals[v] = dataflow.FromConst(0, pi.width)
 			}
 		}
+		w.zoneAssign(v, st.Init, S)
 	case cprog.Assign:
 		v := w.sc.idx[st.Lhs]
 		if v < pi.nShared {
@@ -473,6 +479,7 @@ func (w *walker) execStmt(s cprog.Stmt, S stateSet, p string) stateSet {
 				e.vals[v] = evalExpr(st.Rhs, e, w.sc, pi.width)
 			}
 		}
+		w.zoneAssign(v, st.Rhs, S)
 	case cprog.Havoc:
 		v := w.sc.idx[st.Name]
 		if v < pi.nShared {
@@ -483,6 +490,9 @@ func (w *walker) execStmt(s cprog.Stmt, S stateSet, p string) stateSet {
 			for _, e := range S {
 				e.vals[v] = dataflow.Top(pi.width)
 			}
+		}
+		if w.zone != nil {
+			w.zone.Havoc(v + 1)
 		}
 	case cprog.Assume:
 		S = refineSet(S, st.Cond, true, w.sc, pi, w.eng.cap)
@@ -495,6 +505,9 @@ func (w *walker) execStmt(s cprog.Stmt, S stateSet, p string) stateSet {
 				break
 			}
 		}
+		if !proved && w.zoneProves(st.Cond) {
+			proved = true
+		}
 		w.eng.noteAssert(w.sc.name+":"+p, proved)
 	case cprog.If:
 		heldIn := w.held
@@ -504,8 +517,13 @@ func (w *walker) execStmt(s cprog.Stmt, S stateSet, p string) stateSet {
 		E := w.walkStmts(st.Else, refineSet(S, st.Cond, false, w.sc, pi, w.eng.cap), p+".e")
 		w.held = heldIntersect(heldThen, w.held)
 		S = joinSets(T, E, w.eng.cap)
+		if w.zone != nil {
+			both := append(append([]cprog.Stmt{}, st.Then...), st.Else...)
+			w.zoneHavocWritten(both, S)
+		}
 	case cprog.While:
 		S = w.walkWhile(st, S, p)
+		w.zoneHavocWritten(st.Body, S)
 	case cprog.Lock:
 		v := w.sc.idx[st.Mutex]
 		for _, e := range S {
@@ -527,6 +545,9 @@ func (w *walker) execStmt(s cprog.Stmt, S stateSet, p string) stateSet {
 		for _, e := range S {
 			e.fence()
 		}
+		if w.zone != nil {
+			w.zone.AssignConst(v+1, 1)
+		}
 		w.held = heldAdd(w.held, st.Mutex)
 	case cprog.Unlock:
 		v := w.sc.idx[st.Mutex]
@@ -538,6 +559,9 @@ func (w *walker) execStmt(s cprog.Stmt, S stateSet, p string) stateSet {
 		})
 		for _, e := range S {
 			e.fence()
+		}
+		if w.zone != nil {
+			w.zone.AssignConst(v+1, 0)
 		}
 		w.held = heldRemove(w.held, st.Mutex)
 	case cprog.Fence:
@@ -603,6 +627,21 @@ func (w *walker) execSharedWrite(v int, S stateSet, key string, heldCommit []str
 	for i, e := range S {
 		imgs[i] = imgOf(e)
 		img = dataflow.Join(img, imgs[i])
+	}
+	if w.eng.rel != nil {
+		// The stored value becomes the variable's value, so the relational
+		// global range caps the write image. An empty meet marks the
+		// environment as value-infeasible; the interval image is kept as the
+		// conservative stand-in rather than dropping the state.
+		g := w.eng.rel.Global(w.eng.pi.shared[v])
+		if m := dataflow.Meet(img, g); !m.IsEmpty() {
+			img = m
+			for i := range imgs {
+				if mi := dataflow.Meet(imgs[i], g); !mi.IsEmpty() {
+					imgs[i] = mi
+				}
+			}
+		}
 	}
 	w.eng.curRange[v] = dataflow.Join(w.eng.curRange[v], img)
 	if w.compDep > 0 {

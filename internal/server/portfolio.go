@@ -23,18 +23,23 @@ type SolverConfig struct {
 	Strategy core.Strategy
 	Prune    bool
 	Dataflow bool
+	MHB      bool
 	RG       bool
+	RGDomain string
 	Seed     int64
 }
 
 // PortfolioConfigs is the default racing portfolio: the paper's three
 // strategies crossed with the pre-analysis layers, each on its own seed.
 // The members are verdict-equivalent (every pre-analysis is
-// equisatisfiable), so first-answer-wins is sound.
+// equisatisfiable), so first-answer-wins is sound. The rg member uses the
+// difference-bound domain (strictly more proofs than intervals at
+// near-identical cost); one member adds the must-happens-before closure so
+// handshake-shaped programs get their forced edges fixed at level 0.
 func PortfolioConfigs() []SolverConfig {
 	return []SolverConfig{
-		{Label: "zpre+rg+df+prune", Strategy: core.ZPRE, Prune: true, Dataflow: true, RG: true, Seed: 1},
-		{Label: "zpre", Strategy: core.ZPRE, Seed: 2},
+		{Label: "zpre+rg+df+prune", Strategy: core.ZPRE, Prune: true, Dataflow: true, RG: true, RGDomain: "dbm", Seed: 1},
+		{Label: "zpre+mhb", Strategy: core.ZPRE, MHB: true, Seed: 2},
 		{Label: "zpre-+df", Strategy: core.ZPREMinus, Dataflow: true, Seed: 3},
 		{Label: "vsids+prune", Strategy: core.Baseline, Prune: true, Seed: 4},
 	}
@@ -111,7 +116,9 @@ func racePortfolio(ctx context.Context, prog *cprog.Program, spec raceSpec, cfgs
 				Seed:           cfg.Seed,
 				StaticPrune:    cfg.Prune,
 				Dataflow:       cfg.Dataflow,
+				MHB:            cfg.MHB,
 				RG:             cfg.RG,
+				RGDomain:       cfg.RGDomain,
 				Faults:         faults,
 				FaultLabel:     spec.label + "/" + cfg.Label,
 			})

@@ -145,6 +145,30 @@ type Options struct {
 	// Ignored by VerifyEach and VerifyWithProof, whose per-assert indexing
 	// and proof traces require the full SMT instance.
 	RG bool
+	// RGDomain selects the rely-guarantee engine's abstract domain:
+	// rg.DomainInterval (default) or rg.DomainDBM, which layers the
+	// relational zone analysis (internal/relational) onto the proof
+	// outlines — closed-form exit bounds sharpen the post-state, a
+	// difference-bound matrix tracks variable differences through the post
+	// walk, and assertions the interval domain cannot see (x ≥ y, x−y ≤ c)
+	// become provable. Only consulted when RG is true.
+	RGDomain string
+	// RGPrefilter enables the rely-guarantee engine's cheap pre-filter:
+	// proof attempts whose assertions are not domain-expressible, or that
+	// round 1 already refutes under the strongest (empty) rely, are skipped
+	// before the interference fixpoint spends its budget
+	// (Report.RGSkippedPrefilter). Never flips a verdict — a skipped
+	// attempt reports unproved, exactly what the full run would have
+	// concluded. Only consulted when RG is true.
+	RGPrefilter bool
+	// MHB runs the must-happens-before closure engine before solving (see
+	// encode.Options.MHB): forced rf edges of unconditional
+	// single-candidate reads are fixed statically, the must-fr edges they
+	// entail are derived, and contradicted rf/ws candidates are elided.
+	// Equisatisfiable; Report.EncodeStats.MHBFixedRF/MHBFixedFR/MHBPruned
+	// count its effects, and the closed relation feeds the ZPRE decision
+	// order (must-ordered interference variables are decided last).
+	MHB bool
 	// RGResult supplies a precomputed rely-guarantee result for this
 	// (program, model, width), skipping the analysis inside Verify; callers
 	// running many bounds of one program (the harness, the incremental
@@ -208,6 +232,11 @@ type Report struct {
 	// RGStabilizeIters is the engine's outer fixpoint round count
 	// (Options.RG only; zero otherwise).
 	RGStabilizeIters int
+	// RGSkippedPrefilter is true when the rely-guarantee pre-filter
+	// (Options.RGPrefilter) skipped the proof attempt — the assertions were
+	// not domain-expressible, or round 1 refuted them under the strongest
+	// rely — and the SMT backend decided the program alone.
+	RGSkippedPrefilter bool
 }
 
 // ParseProgram parses the textual program form (see internal/cprog).
@@ -226,6 +255,7 @@ func Verify(p *cprog.Program, opts Options) (Report, error) {
 	}
 	var rgRanges map[string]dataflow.Interval
 	var rgIters int
+	var rgSkipped bool
 	if opts.RG {
 		rgSpan := opts.Spans.Start("rg.prove")
 		res, err := resolveRG(p, opts)
@@ -234,6 +264,7 @@ func Verify(p *cprog.Program, opts Options) (Report, error) {
 			return Report{}, err
 		}
 		rgIters = res.StabilizeIters
+		rgSkipped = res.SkippedPrefilter
 		if res.Proved {
 			return Report{
 				Verdict:          UnboundedSafe,
@@ -255,6 +286,7 @@ func Verify(p *cprog.Program, opts Options) (Report, error) {
 		Width:       opts.Width,
 		StaticPrune: opts.StaticPrune,
 		Dataflow:    opts.Dataflow,
+		MHB:         opts.MHB,
 		RGRanges:    rgRanges,
 	})
 	opts.Spans.End(encSpan)
@@ -275,6 +307,7 @@ func Verify(p *cprog.Program, opts Options) (Report, error) {
 	}
 	rep.EncodeTime = encodeTime
 	rep.RGStabilizeIters = rgIters
+	rep.RGSkippedPrefilter = rgSkipped
 	return rep, nil
 }
 
@@ -284,7 +317,12 @@ func resolveRG(p *cprog.Program, opts Options) (*rg.Result, error) {
 	if opts.RGResult != nil {
 		return opts.RGResult, nil
 	}
-	return rg.Prove(p, rg.Options{Model: opts.Model, Width: opts.Width})
+	return rg.Prove(p, rg.Options{
+		Model:     opts.Model,
+		Width:     opts.Width,
+		Domain:    opts.RGDomain,
+		Prefilter: opts.RGPrefilter,
+	})
 }
 
 // SolveVC runs the backend on an already-encoded verification condition.
@@ -387,15 +425,26 @@ func solveVC(vc *encode.VC, opts Options, encodeTime time.Duration) (Report, err
 
 // deciderConfig builds the strategy configuration for a solve, attaching
 // the static conflict scorer when the VC carries an aligned pre-analysis
-// (consumed by the ZPREStatic strategy; ignored by the others).
+// (consumed by the ZPREStatic strategy; ignored by the others). When the
+// must-happens-before closure ran, interference variables whose two
+// accesses it proved must-ordered are down-ranked below every other pair:
+// their value is forced by unit propagation from the level-0 fixed edges,
+// so deciding them early is pure search noise.
 func deciderConfig(vc *encode.VC, opts Options) core.Config {
 	cfg := core.Config{
 		Seed:             opts.Seed,
 		Polarity:         opts.Polarity,
 		DisableNumWrites: opts.DisableNumWrites,
 	}
-	if st := vc.Static; st != nil {
+	st, ordered := vc.Static, vc.MHBOrdered
+	if st != nil || ordered != nil {
 		cfg.Score = func(vi core.VarInfo) int {
+			if ordered != nil && ordered(vi.ReadThread, vi.ReadIdx, vi.WriteThread, vi.WriteIdx) {
+				return -1
+			}
+			if st == nil {
+				return 0
+			}
 			return st.PairScore(vi.ReadThread, vi.ReadIdx, vi.WriteThread, vi.WriteIdx)
 		}
 	}
@@ -456,6 +505,7 @@ func VerifyEach(p *cprog.Program, opts Options) ([]AssertReport, error) {
 		SelectableAsserts: true,
 		StaticPrune:       opts.StaticPrune,
 		Dataflow:          opts.Dataflow,
+		MHB:               opts.MHB,
 	})
 	if err != nil {
 		return nil, err
@@ -516,6 +566,7 @@ func VerifyWithProof(p *cprog.Program, opts Options) (Report, error) {
 		WithProof:   true,
 		StaticPrune: opts.StaticPrune,
 		Dataflow:    opts.Dataflow,
+		MHB:         opts.MHB,
 	})
 	if err != nil {
 		return Report{}, err
